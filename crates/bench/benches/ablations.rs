@@ -1,0 +1,114 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **fused vs classic hybrid E step** — the §5 future-work fusion saves
+//!   one n-row scan per iteration (2k+2 vs 2k+3) at the cost of a wider
+//!   YX row;
+//! * **engine worker count** — the AMP-style partition parallelism
+//!   ablated on a full EM iteration;
+//! * **shared vs per-cluster covariance** — the §2.1 extension's runtime
+//!   cost (k covariance rows, per-cluster determinants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use datagen::generate_dataset;
+use emcore::emfull::FullParams;
+use emcore::init::{initialize, InitStrategy};
+use sqlem::{EmSession, PerClusterConfig, PerClusterSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+const N: usize = 4_000;
+const P: usize = 6;
+const K: usize = 5;
+
+fn bench_fused_vs_classic(c: &mut Criterion) {
+    let data = generate_dataset(N, P, K, 1);
+    let mut group = c.benchmark_group("fused_vs_classic_e_step");
+    group.sample_size(10);
+    for fused in [false, true] {
+        let mut db = Database::new();
+        let mut config = SqlemConfig::new(K, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(1);
+        if fused {
+            config = config.with_fused_e_step();
+        }
+        let mut session = EmSession::create(&mut db, &config, P).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::Random { seed: 1 })
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if fused { "fused" } else { "classic" }),
+            &fused,
+            |b, _| {
+                b.iter(|| session.iterate_once().unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let data = generate_dataset(N * 4, P, K, 2);
+    let mut group = c.benchmark_group("em_iteration_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let mut db = Database::new();
+        db.set_workers(workers);
+        let config = SqlemConfig::new(K, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(1);
+        let mut session = EmSession::create(&mut db, &config, P).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::Random { seed: 2 })
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| session.iterate_once().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_vs_per_cluster(c: &mut Criterion) {
+    let data = generate_dataset(N, P, K, 3);
+    let mut group = c.benchmark_group("shared_vs_per_cluster_covariance");
+    group.sample_size(10);
+
+    {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(K, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(1);
+        let mut session = EmSession::create(&mut db, &config, P).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::Random { seed: 3 })
+            .unwrap();
+        group.bench_function("shared_R", |b| {
+            b.iter(|| session.iterate_once().unwrap());
+        });
+    }
+    {
+        let mut db = Database::new();
+        let mut config = PerClusterConfig::new(K);
+        config.epsilon = 0.0;
+        config.max_iterations = 1;
+        let mut session = PerClusterSession::create(&mut db, &config, P).unwrap();
+        session.load_points(&data.points).unwrap();
+        let shared = initialize(&data.points, K, &InitStrategy::Random { seed: 3 });
+        session.set_params(&FullParams::from_shared(&shared)).unwrap();
+        group.bench_function("per_cluster_R", |b| {
+            b.iter(|| session.iterate_once().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fused_vs_classic,
+    bench_workers,
+    bench_shared_vs_per_cluster
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Engine microbenchmarks: the individual SQL operations the E and M
+//! steps are built from — the hash-join probe, hash GROUP BY
+//! aggregation, wide expression evaluation, and the partition-parallel
+//! ablation (EngineConfig::workers, the AMP analogue).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sqlengine::{Database, Value};
+
+/// Z-like wide table + YX-like responsibilities, joined on RID.
+fn join_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE z (rid BIGINT PRIMARY KEY, y1 DOUBLE, y2 DOUBLE);
+         CREATE TABLE yx (rid BIGINT PRIMARY KEY, x1 DOUBLE, x2 DOUBLE)",
+    )
+    .unwrap();
+    let mut z = Vec::with_capacity(n);
+    let mut yx = Vec::with_capacity(n);
+    for i in 0..n as i64 {
+        let t = (i % 97) as f64 / 10.0;
+        z.push(vec![Value::Int(i), Value::Double(t), Value::Double(-t)]);
+        yx.push(vec![
+            Value::Int(i),
+            Value::Double(0.25),
+            Value::Double(0.75),
+        ]);
+    }
+    db.bulk_insert("z", z).unwrap();
+    db.bulk_insert("yx", yx).unwrap();
+    db
+}
+
+/// Vertical Y table for group-by aggregation.
+fn vertical_db(n: usize, p: usize) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE y (rid BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (rid, v))")
+        .unwrap();
+    let mut rows = Vec::with_capacity(n * p);
+    for i in 0..n as i64 {
+        for d in 1..=p as i64 {
+            rows.push(vec![
+                Value::Int(i),
+                Value::Int(d),
+                Value::Double(((i * 31 + d) % 89) as f64 / 7.0),
+            ]);
+        }
+    }
+    db.bulk_insert("y", rows).unwrap();
+    db
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let mut db = join_db(20_000);
+    c.bench_function("hash_join_mean_update_20k", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT sum(z.y1 * x1) / sum(x1), sum(z.y2 * x1) / sum(x1) \
+                 FROM z, yx WHERE z.rid = yx.rid",
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let mut db = vertical_db(5_000, 8);
+    c.bench_function("hash_group_by_distances_5k_x8", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT rid, sum(val * val), count(*) FROM y GROUP BY rid",
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_wide_expression(c: &mut Criterion) {
+    // A horizontal-style projected expression over 20k rows.
+    let mut db = join_db(20_000);
+    c.bench_function("wide_expression_eval_20k", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT rid, exp(-0.5 * ((y1 - 1.0) ** 2 + (y2 + 1.0) ** 2)), \
+                 CASE WHEN y1 > 4.0 THEN ln(y1) ELSE 0.0 END FROM z",
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_parallel_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_group_by_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let mut db = vertical_db(20_000, 8);
+        db.set_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    db.execute("SELECT rid, sum(val) FROM y GROUP BY rid").unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_insert_select(c: &mut Criterion) {
+    c.bench_function("insert_select_roundtrip_10k", |b| {
+        let mut db = join_db(10_000);
+        db.execute("CREATE TABLE out1 (rid BIGINT PRIMARY KEY, s DOUBLE)")
+            .unwrap();
+        b.iter(|| {
+            db.execute("DROP TABLE out1").unwrap();
+            db.execute("CREATE TABLE out1 (rid BIGINT PRIMARY KEY, s DOUBLE)")
+                .unwrap();
+            db.execute("INSERT INTO out1 SELECT rid, y1 + y2 FROM z").unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hash_join,
+    bench_group_by,
+    bench_wide_expression,
+    bench_parallel_ablation,
+    bench_insert_select
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion companion to Figure 11: hybrid EM iteration time as
+//! dimensionality p grows (k and n fixed). The full paper-scale sweep
+//! lives in the `figures` binary; this bench keeps sizes small enough for
+//! routine `cargo bench` runs while still exposing the linear trend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+fn bench_p_sweep(c: &mut Criterion) {
+    let (n, k) = (2_000, 10);
+    let mut group = c.benchmark_group("fig11_time_per_iteration_vs_p");
+    group.sample_size(10);
+    for p in [2usize, 10, 20] {
+        let data = generate_dataset(n, p, k, 11);
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(1);
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::FromSample {
+                fraction: 0.1,
+                seed: 11,
+                em_iterations: 2,
+            })
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| session.iterate_once().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p_sweep);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion companion to Figure 12: hybrid EM iteration time as the
+//! number of clusters k grows (p and n fixed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let (n, p) = (2_000, 10);
+    let mut group = c.benchmark_group("fig12_time_per_iteration_vs_k");
+    group.sample_size(10);
+    for k in [2usize, 10, 20] {
+        let data = generate_dataset(n, p, k, 12);
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(1);
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::FromSample {
+                fraction: 0.1,
+                seed: 12,
+                em_iterations: 2,
+            })
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| session.iterate_once().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k_sweep);
+criterion_main!(benches);

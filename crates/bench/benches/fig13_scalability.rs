@@ -1,0 +1,38 @@
+//! Criterion companion to Figure 13: hybrid EM iteration time as the
+//! database size n grows (p = k = 10, the paper's setting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+fn bench_n_sweep(c: &mut Criterion) {
+    let (p, k) = (10, 10);
+    let mut group = c.benchmark_group("fig13_time_per_iteration_vs_n");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000, 20_000] {
+        let data = generate_dataset(n, p, k, 13);
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(1);
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::FromSample {
+                fraction: 0.1,
+                seed: 13,
+                em_iterations: 2,
+            })
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| session.iterate_once().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_n_sweep);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! §3 strategy comparison: one EM iteration under each SQL strategy at a
+//! matched workload. Expected shape (paper §5): horizontal fastest where
+//! it parses, hybrid close behind, vertical slowest (its M step flows
+//! through kpn-row intermediates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+fn bench_strategies(c: &mut Criterion) {
+    let (n, p, k) = (2_000, 6, 5);
+    let data = generate_dataset(n, p, k, 42);
+    let mut group = c.benchmark_group("strategy_time_per_iteration");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, strategy)
+            .with_epsilon(0.0)
+            .with_max_iterations(1);
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::FromSample {
+                fraction: 0.1,
+                seed: 42,
+                em_iterations: 2,
+            })
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, _| {
+                b.iter(|| session.iterate_once().unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

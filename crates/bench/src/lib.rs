@@ -1,0 +1,30 @@
+//! # sqlem-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4):
+//!
+//! | Experiment | Paper | Binary / bench |
+//! |---|---|---|
+//! | Time per iteration vs p | Fig. 11 | `figures fig11`, criterion `fig11_dimensionality` |
+//! | Time per iteration vs k | Fig. 12 | `figures fig12`, criterion `fig12_clusters` |
+//! | Time per iteration vs n | Fig. 13 | `figures fig13`, criterion `fig13_scalability` |
+//! | Retail segmentation | §4.1 | `retail` |
+//! | Strategy comparison | §3 | `figures strategies`, criterion `strategies` |
+//! | SEM / in-memory baselines | §4.3 | `figures baselines` |
+//! | 2k+3 scan accounting | §3.5 | `scans` |
+//! | Design ablations | §5, §2.1 | `figures ablations`, criterion `ablations` |
+//!
+//! Absolute times will differ from a 1999-era NCR 4800 running Teradata;
+//! the claims under reproduction are the *shapes*: linearity in p, k and
+//! n, hybrid ≪ vertical, horizontal's parser ceiling, and the scan
+//! counts. [`linfit`] quantifies linearity with least-squares R².
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod linfit;
+pub mod report;
+pub mod timing;
+
+pub use linfit::LinearFit;
+pub use report::Series;
+pub use timing::{time_em_iterations, TimedRun};

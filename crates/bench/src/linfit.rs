@@ -1,0 +1,88 @@
+//! Least-squares linear fit — quantifies the paper's "scales linearly"
+//! claims (Figs. 11–13) instead of eyeballing a plot.
+
+/// Result of fitting `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfectly linear).
+    pub r2: f64,
+}
+
+/// Fit a line through `(x, y)` pairs. Panics with fewer than two points
+/// or zero x-variance — the sweeps always provide several sizes.
+pub fn fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    assert!(sxx > 0.0, "x values are all equal");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_has_r2_one() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let pts = vec![(1.0, 1.1), (2.0, 1.9), (3.0, 3.2), (4.0, 3.8)];
+        let f = fit(&pts);
+        assert!(f.r2 > 0.97 && f.r2 < 1.0);
+        assert!((f.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn quadratic_data_scores_lower_than_linear() {
+        let lin: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let quad: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!(fit(&lin).r2 > fit(&quad).r2);
+    }
+
+    #[test]
+    fn constant_y_is_perfectly_fit() {
+        let pts = vec![(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)];
+        let f = fit(&pts);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn one_point_rejected() {
+        fit(&[(1.0, 1.0)]);
+    }
+}

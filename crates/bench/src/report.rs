@@ -1,0 +1,114 @@
+//! Series reporting: paper-style text tables plus CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::linfit::{fit, LinearFit};
+
+/// One measured series: a swept parameter against seconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// What is being swept (`"p"`, `"k"`, `"n"` …).
+    pub x_label: String,
+    /// Measured quantity label.
+    pub y_label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Series {
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Linear fit over the series.
+    pub fn linear_fit(&self) -> LinearFit {
+        fit(&self.points)
+    }
+
+    /// Paper-style text table with the fit line appended.
+    pub fn to_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {title} ==");
+        let _ = writeln!(out, "{:>12} {:>16}", self.x_label, self.y_label);
+        for (x, y) in &self.points {
+            let _ = writeln!(out, "{x:>12.0} {y:>16.4}");
+        }
+        if self.points.len() >= 2 {
+            let f = self.linear_fit();
+            let _ = writeln!(
+                out,
+                "linear fit: {y} = {slope:.3e}·{x} + {icept:.3e}   (R² = {r2:.4})",
+                y = self.y_label,
+                x = self.x_label,
+                slope = f.slope,
+                icept = f.intercept,
+                r2 = f.r2,
+            );
+        }
+        out
+    }
+
+    /// Write the series as CSV (`x,y` header from the labels).
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut s = format!("{},{}\n", self.x_label, self.y_label);
+        for (x, y) in &self.points {
+            let _ = writeln!(s, "{x},{y}");
+        }
+        fs::write(path, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Series {
+        let mut s = Series::new("p", "secs/iter");
+        s.push(10.0, 1.0);
+        s.push(20.0, 2.1);
+        s.push(30.0, 2.9);
+        s
+    }
+
+    #[test]
+    fn table_contains_points_and_fit() {
+        let t = series().to_table("Figure 11");
+        assert!(t.contains("Figure 11"));
+        assert!(t.contains("secs/iter"));
+        assert!(t.contains("R²"));
+        assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("sqlem_bench_test");
+        let path = dir.join("fig.csv");
+        series().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("p,secs/iter\n"));
+        assert_eq!(content.lines().count(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fit_reflects_near_linearity() {
+        let f = series().linear_fit();
+        assert!(f.r2 > 0.99);
+    }
+}

@@ -1,0 +1,78 @@
+//! Timed EM runs: the paper's "time per iteration" metric.
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+/// Result of a timed run.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Mean seconds per iteration (excluding load and initialization,
+    /// matching §4.2's benchmarking of the iteration itself).
+    pub secs_per_iteration: f64,
+    /// Iterations actually timed.
+    pub iterations: usize,
+    /// Loglikelihood trace.
+    pub llh_history: Vec<f64>,
+}
+
+/// Generate a `(n, p, k)` dataset (20% noise, §4.2), run `iterations` EM
+/// iterations under `strategy`, and report the mean time per iteration.
+///
+/// `workers` sets the engine's partition parallelism (1 = serial).
+pub fn time_em_iterations(
+    strategy: Strategy,
+    n: usize,
+    p: usize,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+    workers: usize,
+) -> TimedRun {
+    let data = generate_dataset(n, p, k, seed);
+    let mut db = Database::new();
+    db.set_workers(workers);
+    let config = SqlemConfig::new(k, strategy)
+        .with_epsilon(0.0)
+        .with_max_iterations(iterations);
+    let mut session =
+        EmSession::create(&mut db, &config, p).expect("session creation failed");
+    session.load_points(&data.points).expect("load failed");
+    // Sample-based initialization (§3.1) keeps the run numerically sane
+    // at every sweep size; its cost is excluded from the timing.
+    session
+        .initialize(&InitStrategy::FromSample {
+            fraction: 0.1,
+            seed,
+            em_iterations: 3,
+        })
+        .expect("init failed");
+    let run = session.run().expect("EM run failed");
+    TimedRun {
+        secs_per_iteration: run.secs_per_iteration(),
+        iterations: run.iterations,
+        llh_history: run.llh_history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_run_reports_requested_iterations() {
+        let t = time_em_iterations(Strategy::Hybrid, 300, 2, 2, 3, 7, 1);
+        assert_eq!(t.iterations, 3);
+        assert_eq!(t.llh_history.len(), 3);
+        assert!(t.secs_per_iteration > 0.0);
+    }
+
+    #[test]
+    fn all_strategies_complete_a_timed_run() {
+        for strategy in Strategy::ALL {
+            let t = time_em_iterations(strategy, 200, 2, 2, 2, 3, 1);
+            assert!(t.secs_per_iteration > 0.0, "{strategy}");
+        }
+    }
+}

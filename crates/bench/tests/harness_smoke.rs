@@ -1,0 +1,62 @@
+//! Smoke tests for the figure-regeneration binaries: the quick paths must
+//! run end to end and emit their series files.
+
+use std::process::Command;
+
+#[test]
+fn figures_quick_all_runs_and_writes_csvs() {
+    let out_dir = std::env::temp_dir().join("sqlem_bench_smoke");
+    std::fs::remove_dir_all(&out_dir).ok();
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["all", "--quick", "--out", out_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 11"), "{stdout}");
+    assert!(stdout.contains("Figure 12"), "{stdout}");
+    assert!(stdout.contains("Figure 13"), "{stdout}");
+    assert!(stdout.contains("R²"), "{stdout}");
+    for f in [
+        "fig11_p_sweep.csv",
+        "fig12_k_sweep.csv",
+        "fig13_n_sweep.csv",
+        "strategy_comparison.csv",
+        "baselines.csv",
+        "ablations.csv",
+    ] {
+        let path = out_dir.join(f);
+        assert!(path.exists(), "missing {f}");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.lines().count() >= 3, "{f} too short:\n{content}");
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn scans_binary_verifies_the_claim() {
+    let out = Command::new(env!("CARGO_BIN_EXE_scans")).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scan-count claim verified"), "{stdout}");
+}
+
+#[test]
+fn retail_binary_runs_at_small_n() {
+    let out = Command::new(env!("CARGO_BIN_EXE_retail"))
+        .args(["--n", "5000"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top-2 cluster weight"), "{stdout}");
+    assert!(stdout.contains("purity"), "{stdout}");
+}

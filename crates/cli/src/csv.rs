@@ -1,0 +1,185 @@
+//! Minimal CSV reading/writing — no external dependencies.
+//!
+//! Supports the common subset: comma separation, optional header row,
+//! double-quoted fields with `""` escapes, CRLF or LF line endings.
+//! Every data cell must parse as `f64` (the SQLEM model is numeric;
+//! categorical columns should be one-hot expanded first, §3.7).
+
+/// A parsed numeric CSV: optional header names plus the data matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericCsv {
+    /// Column names (synthesized `c1…cp` when the file has no header).
+    pub columns: Vec<String>,
+    /// Row-major data.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// Split one CSV record into fields, honoring quotes.
+pub fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parse CSV text into a numeric matrix.
+///
+/// With `has_header = true` the first record supplies column names;
+/// otherwise names are `c1…cp`. Empty lines are skipped. Returns a
+/// description of the first problem found.
+pub fn parse_numeric(text: &str, has_header: bool) -> Result<NumericCsv, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty())
+        .peekable();
+    let columns: Vec<String> = if has_header {
+        let header = lines.next().ok_or_else(|| "empty file".to_string())?;
+        split_record(header)
+            .into_iter()
+            .map(|c| c.trim().to_string())
+            .collect()
+    } else {
+        let first = lines.peek().ok_or_else(|| "empty file".to_string())?;
+        let width = split_record(first).len();
+        (1..=width).map(|i| format!("c{i}")).collect()
+    };
+    let p = columns.len();
+    if p == 0 {
+        return Err("no columns".into());
+    }
+    let mut rows = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_record(line);
+        if fields.len() != p {
+            return Err(format!(
+                "row {} has {} fields, expected {p}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let mut row = Vec::with_capacity(p);
+        for (col, f) in fields.iter().enumerate() {
+            let v: f64 = f.trim().parse().map_err(|_| {
+                format!(
+                    "row {}, column {:?}: {:?} is not numeric",
+                    lineno + 1,
+                    columns[col],
+                    f.trim()
+                )
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("no data rows".into());
+    }
+    Ok(NumericCsv { columns, rows })
+}
+
+/// Render rows of strings as CSV (quoting only when needed).
+pub fn write_csv<S: AsRef<str>>(header: &[S], rows: &[Vec<String>]) -> String {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| field(h.as_ref()))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| field(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_header() {
+        let csv = "a,b\n1,2.5\n3,4.5\n";
+        let parsed = parse_numeric(csv, true).unwrap();
+        assert_eq!(parsed.columns, vec!["a", "b"]);
+        assert_eq!(parsed.rows, vec![vec![1.0, 2.5], vec![3.0, 4.5]]);
+    }
+
+    #[test]
+    fn synthesizes_names_without_header() {
+        let parsed = parse_numeric("1,2\n3,4\n", false).unwrap();
+        assert_eq!(parsed.columns, vec!["c1", "c2"]);
+        assert_eq!(parsed.rows.len(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let fields = split_record("\"a,b\",\"say \"\"hi\"\"\",plain");
+        assert_eq!(fields, vec!["a,b", "say \"hi\"", "plain"]);
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let err = parse_numeric("a,b\n1,2\n1\n", true).unwrap_err();
+        assert!(err.contains("row 2"), "{err}");
+        let err = parse_numeric("a,b\n1,x\n", true).unwrap_err();
+        assert!(err.contains("\"b\"") && err.contains("\"x\""), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_numeric("", true).is_err());
+        assert!(parse_numeric("a,b\n", true).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_with_quoting() {
+        let text = write_csv(
+            &["id", "note"],
+            &[vec!["1".into(), "hello, \"world\"".into()]],
+        );
+        assert_eq!(text, "id,note\n1,\"hello, \"\"world\"\"\"\n");
+        let fields = split_record(text.lines().nth(1).unwrap());
+        assert_eq!(fields[1], "hello, \"world\"");
+    }
+
+    #[test]
+    fn scientific_and_negative_numbers() {
+        let parsed = parse_numeric("x\n-1.5e3\n2E-2\n", true).unwrap();
+        assert_eq!(parsed.rows, vec![vec![-1500.0], vec![0.02]]);
+    }
+}

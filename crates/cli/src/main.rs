@@ -1,0 +1,209 @@
+//! `sqlem-cli` — cluster a numeric CSV with EM running as generated SQL.
+//!
+//! ```text
+//! sqlem-cli <input.csv> --k <clusters> [options]
+//!
+//! options:
+//!   --k N                 number of clusters (required)
+//!   --strategy S          horizontal | vertical | hybrid (default hybrid)
+//!   --epsilon E           llh convergence tolerance (default 1e-3)
+//!   --max-iterations N    iteration cap (default 10, paper §3.1)
+//!   --seed N              RNG seed for initialization (default 0)
+//!   --sample F            init from an F-fraction sample (default 0.1)
+//!   --no-header           first CSV row is data, not column names
+//!   --scores PATH         write per-row cluster assignments as CSV
+//!   --sql                 print the generated SQL instead of running
+//!   --fused               use the fused E step (one fewer scan/iteration)
+//!   --workers N           engine scan partitions, AMP-style (default 1)
+//! ```
+
+mod csv;
+
+use std::process::ExitCode;
+
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+struct Args {
+    input: String,
+    k: usize,
+    strategy: Strategy,
+    epsilon: f64,
+    max_iterations: usize,
+    seed: u64,
+    sample: f64,
+    has_header: bool,
+    scores_path: Option<String>,
+    print_sql: bool,
+    fused: bool,
+    workers: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sqlem-cli <input.csv> --k <clusters> [--strategy hybrid|horizontal|vertical] \
+         [--epsilon E] [--max-iterations N] [--seed N] [--sample F] [--no-header] \
+         [--scores PATH] [--sql] [--fused] [--workers N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut input = None;
+    let mut k = None;
+    let mut strategy = Strategy::Hybrid;
+    let mut epsilon = 1e-3;
+    let mut max_iterations = 10;
+    let mut seed = 0;
+    let mut sample = 0.1;
+    let mut has_header = true;
+    let mut scores_path = None;
+    let mut print_sql = false;
+    let mut fused = false;
+    let mut workers = 1usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut req = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--k" => k = req("--k").parse().ok(),
+            "--strategy" => {
+                strategy = match req("--strategy").as_str() {
+                    "horizontal" => Strategy::Horizontal,
+                    "vertical" => Strategy::Vertical,
+                    "hybrid" => Strategy::Hybrid,
+                    other => {
+                        eprintln!("unknown strategy {other}");
+                        usage()
+                    }
+                }
+            }
+            "--epsilon" => epsilon = req("--epsilon").parse().unwrap_or_else(|_| usage()),
+            "--max-iterations" => {
+                max_iterations = req("--max-iterations").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => seed = req("--seed").parse().unwrap_or_else(|_| usage()),
+            "--sample" => sample = req("--sample").parse().unwrap_or_else(|_| usage()),
+            "--no-header" => has_header = false,
+            "--scores" => scores_path = Some(req("--scores")),
+            "--sql" => print_sql = true,
+            "--fused" => fused = true,
+            "--workers" => workers = req("--workers").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string())
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("missing input file");
+        usage()
+    };
+    let Some(k) = k else {
+        eprintln!("--k is required");
+        usage()
+    };
+    Args {
+        input,
+        k,
+        strategy,
+        epsilon,
+        max_iterations,
+        seed,
+        sample,
+        has_header,
+        scores_path,
+        print_sql,
+        fused,
+        workers,
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let data = csv::parse_numeric(&text, args.has_header)?;
+    let (n, p) = (data.rows.len(), data.columns.len());
+    eprintln!(
+        "loaded {n} rows × {p} columns from {} ({})",
+        args.input,
+        data.columns.join(", ")
+    );
+    if args.k > n {
+        return Err(format!("--k {} exceeds the number of rows {n}", args.k));
+    }
+
+    let mut config = SqlemConfig::new(args.k, args.strategy)
+        .with_epsilon(args.epsilon)
+        .with_max_iterations(args.max_iterations);
+    if args.fused {
+        config = config.with_fused_e_step();
+    }
+    let mut db = Database::new();
+    db.set_workers(args.workers);
+    let mut session =
+        EmSession::create(&mut db, &config, p).map_err(|e| e.to_string())?;
+
+    if args.print_sql {
+        for stmt in session.script() {
+            println!("-- {}", stmt.purpose);
+            println!("{};\n", stmt.sql);
+        }
+        return Ok(());
+    }
+
+    session.load_points(&data.rows).map_err(|e| e.to_string())?;
+    session
+        .initialize(&InitStrategy::FromSample {
+            fraction: args.sample.clamp(0.01, 1.0),
+            seed: args.seed,
+            em_iterations: 5,
+        })
+        .map_err(|e| e.to_string())?;
+
+    let run = session.run().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} iterations ({:?}), {:.3}s per iteration, final llh {:.3}",
+        run.iterations,
+        run.outcome,
+        run.secs_per_iteration(),
+        run.llh_history.last().copied().unwrap_or(f64::NAN),
+    );
+
+    let names: Vec<&str> = data.columns.iter().map(String::as_str).collect();
+    println!("{}", sqlem::summary::format_table(&run.params, &names));
+
+    if let Some(path) = &args.scores_path {
+        let scores = session.scores().map_err(|e| e.to_string())?;
+        let rows: Vec<Vec<String>> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| vec![(i + 1).to_string(), s.to_string()])
+            .collect();
+        let out = csv::write_csv(&["rid", "cluster"], &rows);
+        std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {} assignments to {path}", scores.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

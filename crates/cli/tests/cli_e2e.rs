@@ -1,0 +1,154 @@
+//! End-to-end test of the `sqlem` binary: CSV in, cluster table and
+//! score file out.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sqlem-cli")
+}
+
+fn demo_csv(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("demo.csv");
+    let mut text = String::from("a,b\n");
+    for i in 0..200 {
+        let t = (i % 10) as f64 * 0.05;
+        text.push_str(&format!("{:.3},{:.3}\n", t, -t));
+        text.push_str(&format!("{:.3},{:.3}\n", 9.0 + t, 9.0 - t));
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn clusters_a_csv_and_writes_scores() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let scores = dir.join("scores.csv");
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--scores",
+            scores.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cluster"), "{stdout}");
+    assert!(stdout.contains("50.0%"), "{stdout}");
+    let scores_text = std::fs::read_to_string(&scores).unwrap();
+    assert_eq!(scores_text.lines().count(), 401); // header + 400 rows
+    assert!(scores_text.starts_with("rid,cluster\n"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sql_mode_prints_statements_without_running() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([input.to_str().unwrap(), "--k", "3", "--sql"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("INSERT INTO yd"), "{stdout}");
+    assert!(stdout.contains("GROUP BY rid"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("bad.csv");
+    std::fs::write(&input, "a,b\n1,notanumber\n").unwrap();
+    let out = Command::new(bin())
+        .args([input.to_str().unwrap(), "--k", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not numeric"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn k_larger_than_n_rejected() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test4");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("tiny.csv");
+    std::fs::write(&input, "a\n1\n2\n").unwrap();
+    let out = Command::new(bin())
+        .args([input.to_str().unwrap(), "--k", "5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shell_executes_piped_statements_and_meta_commands() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sqlengine_shell"))
+        .env("SQLENGINE_SHELL_QUIET", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b"CREATE TABLE t (a BIGINT PRIMARY KEY, x DOUBLE);\n\
+              INSERT INTO t VALUES (1, 2.0), (2, 4.0);\n\
+              SELECT sum(x) FROM t;\n\\d\n\\q\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("6.0"), "{stdout}");
+    assert!(stdout.contains("t (2 rows)"), "{stdout}");
+}
+
+#[test]
+fn shell_runs_script_files_from_args() {
+    let dir = std::env::temp_dir().join("sqlem_shell_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("setup.sql");
+    std::fs::write(
+        &script,
+        "CREATE TABLE s (v DOUBLE); INSERT INTO s VALUES (1.5), (2.5);",
+    )
+    .unwrap();
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sqlengine_shell"))
+        .arg(script.to_str().unwrap())
+        .env("SQLENGINE_SHELL_QUIET", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"SELECT avg(v) FROM s;\n\\q\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2.0"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,184 @@
+//! Categorical attributes via binary expansion (paper §3.7).
+//!
+//! "SQLEM can be extended to cluster categorical data by converting each
+//! categorical value to a binary field. The cluster centroids C will then
+//! give the probability or percentage of points in some cluster having a
+//! particular categorical value. … The drawback is that this extension
+//! increases dimensionality."
+//!
+//! [`CategoricalEncoder`] performs the one-hot expansion and keeps the
+//! mapping so centroid coordinates can be read back as per-category
+//! probabilities.
+
+use std::collections::BTreeMap;
+
+/// A mixed row: numeric values plus categorical string values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedRow {
+    /// Numeric attributes.
+    pub numeric: Vec<f64>,
+    /// Categorical attributes (one value per categorical column).
+    pub categorical: Vec<String>,
+}
+
+/// One-hot encoder for the categorical columns of a mixed dataset.
+#[derive(Debug, Clone)]
+pub struct CategoricalEncoder {
+    /// Sorted distinct values per categorical column.
+    levels: Vec<Vec<String>>,
+    numeric_cols: usize,
+}
+
+impl CategoricalEncoder {
+    /// Learn the category levels from data. Every row must have the same
+    /// shape.
+    pub fn fit(rows: &[MixedRow]) -> Self {
+        assert!(!rows.is_empty(), "no rows");
+        let numeric_cols = rows[0].numeric.len();
+        let cat_cols = rows[0].categorical.len();
+        assert!(
+            rows.iter()
+                .all(|r| r.numeric.len() == numeric_cols && r.categorical.len() == cat_cols),
+            "ragged rows"
+        );
+        let mut sets: Vec<BTreeMap<String, ()>> = vec![BTreeMap::new(); cat_cols];
+        for row in rows {
+            for (c, v) in row.categorical.iter().enumerate() {
+                sets[c].insert(v.clone(), ());
+            }
+        }
+        CategoricalEncoder {
+            levels: sets
+                .into_iter()
+                .map(|s| s.into_keys().collect())
+                .collect(),
+            numeric_cols,
+        }
+    }
+
+    /// Expanded dimensionality: numeric columns + one binary field per
+    /// category level (the §3.7 dimensionality cost, made visible).
+    pub fn expanded_p(&self) -> usize {
+        self.numeric_cols + self.levels.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Expand one row: numeric values followed by 0/1 indicator fields.
+    pub fn transform_row(&self, row: &MixedRow) -> Vec<f64> {
+        assert_eq!(row.numeric.len(), self.numeric_cols);
+        assert_eq!(row.categorical.len(), self.levels.len());
+        let mut out = Vec::with_capacity(self.expanded_p());
+        out.extend_from_slice(&row.numeric);
+        for (c, v) in row.categorical.iter().enumerate() {
+            for level in &self.levels[c] {
+                out.push(if level == v { 1.0 } else { 0.0 });
+            }
+        }
+        out
+    }
+
+    /// Expand a whole dataset.
+    pub fn transform(&self, rows: &[MixedRow]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// Interpret a centroid: per categorical column, the (level,
+    /// probability) pairs its coordinates encode (§3.7: "the cluster
+    /// centroids C will give the probability … of points in some cluster
+    /// having a particular categorical value").
+    pub fn centroid_probabilities<'a>(
+        &'a self,
+        centroid: &[f64],
+    ) -> Vec<Vec<(&'a str, f64)>> {
+        assert_eq!(centroid.len(), self.expanded_p(), "wrong centroid arity");
+        let mut out = Vec::with_capacity(self.levels.len());
+        let mut offset = self.numeric_cols;
+        for levels in &self.levels {
+            let probs = levels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (l.as_str(), centroid[offset + i]))
+                .collect();
+            offset += levels.len();
+            out.push(probs);
+        }
+        out
+    }
+
+    /// The learned levels of one categorical column.
+    pub fn levels(&self, column: usize) -> &[String] {
+        &self.levels[column]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<MixedRow> {
+        vec![
+            MixedRow {
+                numeric: vec![1.0],
+                categorical: vec!["red".into(), "cash".into()],
+            },
+            MixedRow {
+                numeric: vec![2.0],
+                categorical: vec!["blue".into(), "card".into()],
+            },
+            MixedRow {
+                numeric: vec![3.0],
+                categorical: vec!["red".into(), "card".into()],
+            },
+        ]
+    }
+
+    #[test]
+    fn expansion_shape_and_indicators() {
+        let enc = CategoricalEncoder::fit(&rows());
+        // 1 numeric + {blue, red} + {card, cash} = 5 dims.
+        assert_eq!(enc.expanded_p(), 5);
+        let t = enc.transform(&rows());
+        assert_eq!(t[0], vec![1.0, 0.0, 1.0, 0.0, 1.0]); // red, cash
+        assert_eq!(t[1], vec![2.0, 1.0, 0.0, 1.0, 0.0]); // blue, card
+        assert_eq!(t[2], vec![3.0, 0.0, 1.0, 1.0, 0.0]); // red, card
+        // Each categorical block sums to exactly 1 per row.
+        for row in &t {
+            assert_eq!(row[1] + row[2], 1.0);
+            assert_eq!(row[3] + row[4], 1.0);
+        }
+    }
+
+    #[test]
+    fn levels_are_sorted_and_stable() {
+        let enc = CategoricalEncoder::fit(&rows());
+        assert_eq!(enc.levels(0), ["blue".to_string(), "red".to_string()]);
+        assert_eq!(enc.levels(1), ["card".to_string(), "cash".to_string()]);
+    }
+
+    #[test]
+    fn centroid_reads_back_as_probabilities() {
+        let enc = CategoricalEncoder::fit(&rows());
+        // A centroid averaging rows 0 and 2 (both red; cash + card).
+        let centroid = vec![2.0, 0.0, 1.0, 0.5, 0.5];
+        let probs = enc.centroid_probabilities(&centroid);
+        assert_eq!(probs[0], vec![("blue", 0.0), ("red", 1.0)]);
+        assert_eq!(probs[1], vec![("card", 0.5), ("cash", 0.5)]);
+    }
+
+    #[test]
+    fn unseen_level_encodes_all_zero() {
+        let enc = CategoricalEncoder::fit(&rows());
+        let t = enc.transform_row(&MixedRow {
+            numeric: vec![9.0],
+            categorical: vec!["green".into(), "cash".into()],
+        });
+        assert_eq!(t, vec![9.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rejected() {
+        let mut r = rows();
+        r[1].numeric.push(5.0);
+        CategoricalEncoder::fit(&r);
+    }
+}

@@ -1,0 +1,267 @@
+//! Synthetic Gaussian-mixture datasets (paper §4.2).
+//!
+//! "We generated data by evaluating a mixture density of k Gaussian
+//! distributions on p variables. … We added 20% of n points as noise. The
+//! covariances were kept uniform across clusters."
+//!
+//! [`generate_dataset`] builds such a spec automatically for given
+//! `(n, p, k)` — well-separated means on a jittered lattice, one shared
+//! variance — and samples from it; [`generate`] samples an explicit
+//! [`MixtureSpec`].
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::normal::Normal;
+use crate::spec::{ClusterSpec, MixtureSpec};
+
+/// A generated dataset: the points, per-point ground-truth labels and the
+/// spec they were drawn from.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `n` rows of `p` values each.
+    pub points: Vec<Vec<f64>>,
+    /// Ground truth: `Some(cluster)` for mixture draws, `None` for noise.
+    pub labels: Vec<Option<usize>>,
+    /// The generating specification.
+    pub spec: MixtureSpec,
+}
+
+impl Dataset {
+    /// Number of points (including noise).
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Dimensionality.
+    pub fn p(&self) -> usize {
+        self.spec.p()
+    }
+
+    /// Number of generating clusters.
+    pub fn k(&self) -> usize {
+        self.spec.k()
+    }
+
+    /// Fraction of noise points actually drawn.
+    pub fn noise_fraction(&self) -> f64 {
+        let noise = self.labels.iter().filter(|l| l.is_none()).count();
+        noise as f64 / self.n().max(1) as f64
+    }
+}
+
+/// Sample `n` points from `spec` (of which `round(n * noise_fraction)` are
+/// uniform noise over the spec's bounding box). Deterministic in `seed`.
+pub fn generate(spec: &MixtureSpec, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let p = spec.p();
+    let n_noise = (n as f64 * spec.noise_fraction).round() as usize;
+    let n_clustered = n - n_noise;
+    let bounds = spec.bounds();
+
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+
+    // Cumulative weights for component choice.
+    let mut cum = Vec::with_capacity(spec.k());
+    let mut acc = 0.0;
+    for c in &spec.clusters {
+        acc += c.weight;
+        cum.push(acc);
+    }
+
+    for _ in 0..n_clustered {
+        let u: f64 = rng.random::<f64>() * acc;
+        let idx = cum.partition_point(|&c| c < u).min(spec.k() - 1);
+        let cl = &spec.clusters[idx];
+        let mut pt = Vec::with_capacity(p);
+        for d in 0..p {
+            pt.push(normal.sample_with(&mut rng, cl.mean[d], cl.cov[d].sqrt()));
+        }
+        points.push(pt);
+        labels.push(Some(idx));
+    }
+    for _ in 0..n_noise {
+        let mut pt = Vec::with_capacity(p);
+        for (lo, hi) in &bounds {
+            pt.push(lo + (hi - lo) * rng.random::<f64>());
+        }
+        points.push(pt);
+        labels.push(None);
+    }
+
+    // Shuffle so noise is interleaved (the engine must not depend on input
+    // order — one of the paper's §1.3 requirements).
+    for i in (1..points.len()).rev() {
+        let j = rng.random_range(0..=i);
+        points.swap(i, j);
+        labels.swap(i, j);
+    }
+
+    Dataset {
+        points,
+        labels,
+        spec: spec.clone(),
+    }
+}
+
+/// Build a default `(n, p, k)` dataset in the paper's style: means on a
+/// jittered integer lattice scaled for separation, one shared spherical
+/// variance, equal weights, 20% noise.
+pub fn generate_dataset(n: usize, p: usize, k: usize, seed: u64) -> Dataset {
+    let spec = lattice_spec(p, k, seed ^ 0x5eed);
+    generate(&spec, n, seed)
+}
+
+/// Means placed on a base-`ceil(k^(1/p))` lattice with ±0.15 jitter,
+/// scaled by `SPACING`, shared unit variance — well separated but
+/// overlapping enough that EM has work to do.
+pub fn lattice_spec(p: usize, k: usize, seed: u64) -> MixtureSpec {
+    const SPACING: f64 = 6.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (k as f64).powf(1.0 / p as f64).ceil().max(2.0) as usize;
+    let mut clusters = Vec::with_capacity(k);
+    for idx in 0..k {
+        let mut mean = Vec::with_capacity(p);
+        let mut rem = idx;
+        for _ in 0..p {
+            let coord = (rem % side) as f64;
+            rem /= side;
+            let jitter: f64 = rng.random::<f64>() * 0.3 - 0.15;
+            mean.push(SPACING * (coord + jitter));
+        }
+        clusters.push(ClusterSpec::spherical(1.0, mean, 1.0));
+    }
+    MixtureSpec::new(clusters, 0.2)
+}
+
+/// A harder spec: Zipf-skewed weights and anisotropic (per-dimension)
+/// variances, still on the separated lattice. Exercises EM where cluster
+/// sizes differ by an order of magnitude and no dimension is "round".
+pub fn skewed_spec(p: usize, k: usize, seed: u64) -> MixtureSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = lattice_spec(p, k, seed);
+    let clusters = base
+        .clusters
+        .into_iter()
+        .enumerate()
+        .map(|(j, mut c)| {
+            c.weight = 1.0 / (j + 1) as f64; // Zipf-ish, renormalized by MixtureSpec::new
+            c.cov = (0..p)
+                .map(|_| 0.25 + 2.0 * rng.random::<f64>())
+                .collect();
+            c
+        })
+        .collect();
+    MixtureSpec::new(clusters, 0.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_determinism() {
+        let a = generate_dataset(1000, 4, 3, 99);
+        assert_eq!(a.n(), 1000);
+        assert_eq!(a.p(), 4);
+        assert_eq!(a.k(), 3);
+        let b = generate_dataset(1000, 4, 3, 99);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.labels, b.labels);
+        let c = generate_dataset(1000, 4, 3, 100);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn noise_fraction_matches_spec() {
+        let d = generate_dataset(5000, 2, 4, 1);
+        assert!((d.noise_fraction() - 0.2).abs() < 0.01);
+        let spec = MixtureSpec::new(
+            vec![ClusterSpec::spherical(1.0, vec![0.0, 0.0], 1.0)],
+            0.0,
+        );
+        let clean = generate(&spec, 100, 5);
+        assert_eq!(clean.noise_fraction(), 0.0);
+    }
+
+    #[test]
+    fn clustered_points_are_near_their_means() {
+        let spec = MixtureSpec::new(
+            vec![
+                ClusterSpec::spherical(0.5, vec![0.0, 0.0], 1.0),
+                ClusterSpec::spherical(0.5, vec![100.0, 100.0], 1.0),
+            ],
+            0.0,
+        );
+        let d = generate(&spec, 2000, 3);
+        for (pt, label) in d.points.iter().zip(&d.labels) {
+            let cl = &spec.clusters[label.unwrap()];
+            let dist2: f64 = pt
+                .iter()
+                .zip(&cl.mean)
+                .map(|(x, m)| (x - m).powi(2))
+                .sum();
+            // 2-d standard normal: P(dist > 6σ) is negligible.
+            assert!(dist2 < 36.0, "point {pt:?} too far from {:?}", cl.mean);
+        }
+    }
+
+    #[test]
+    fn empirical_weights_match() {
+        let spec = MixtureSpec::new(
+            vec![
+                ClusterSpec::spherical(0.8, vec![0.0], 1.0),
+                ClusterSpec::spherical(0.2, vec![50.0], 1.0),
+            ],
+            0.0,
+        );
+        let d = generate(&spec, 20_000, 11);
+        let n0 = d.labels.iter().filter(|l| **l == Some(0)).count();
+        assert!((n0 as f64 / 20_000.0 - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn lattice_means_are_separated() {
+        let spec = lattice_spec(3, 8, 42);
+        assert_eq!(spec.k(), 8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let d2: f64 = spec.clusters[i]
+                    .mean
+                    .iter()
+                    .zip(&spec.clusters[j].mean)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum();
+                assert!(d2 > 9.0, "means {i} and {j} too close: {d2}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_spec_is_skewed_and_anisotropic() {
+        let spec = skewed_spec(3, 4, 9);
+        assert_eq!(spec.k(), 4);
+        // First cluster dominates: w1/w4 = 4.
+        assert!((spec.clusters[0].weight / spec.clusters[3].weight - 4.0).abs() < 1e-9);
+        // Variances differ across dimensions.
+        let c = &spec.clusters[0].cov;
+        assert!(c.iter().any(|&v| (v - c[0]).abs() > 1e-6) || c.len() == 1);
+        let d = generate(&spec, 1000, 3);
+        assert!((d.noise_fraction() - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn noise_within_bounds() {
+        let d = generate_dataset(2000, 2, 2, 17);
+        let bounds = d.spec.bounds();
+        for (pt, label) in d.points.iter().zip(&d.labels) {
+            if label.is_none() {
+                for (x, (lo, hi)) in pt.iter().zip(&bounds) {
+                    assert!(x >= lo && x <= hi);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Normal (Gaussian) sampling via the Box–Muller transform.
+//!
+//! Implemented from scratch so the workspace only needs `rand`'s uniform
+//! source; the polar rejection variant is avoided in favour of the exact
+//! two-value transform, with the spare value cached.
+
+use rand::{Rng, RngExt};
+
+/// A standard-normal sampler that caches the second Box–Muller value.
+#[derive(Debug, Default, Clone)]
+pub struct Normal {
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Fresh sampler.
+    pub fn new() -> Self {
+        Normal::default()
+    }
+
+    /// Draw one standard-normal value.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // u1 ∈ (0, 1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draw a normal value with the given mean and standard deviation.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_close_to_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut normal = Normal::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn shifted_and_scaled() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut normal = Normal::new();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| normal.sample_with(&mut rng, 5.0, 2.0))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(123);
+            let mut normal = Normal::new();
+            (0..10).map(|_| normal.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn values_are_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut normal = Normal::new();
+        for _ in 0..10_000 {
+            assert!(normal.sample(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Mixture specifications: the ground truth a generated dataset is drawn
+//! from, kept so experiments can compare recovered parameters against it.
+
+/// One mixture component: weight, mean vector and *diagonal* covariance
+/// (the paper's model throughout — §2.3 assumes R diagonal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Mixing weight; all weights in a [`MixtureSpec`] sum to 1.
+    pub weight: f64,
+    /// Mean vector, length `p`.
+    pub mean: Vec<f64>,
+    /// Per-dimension variances, length `p`.
+    pub cov: Vec<f64>,
+}
+
+impl ClusterSpec {
+    /// A spherical cluster: same variance in every dimension.
+    pub fn spherical(weight: f64, mean: Vec<f64>, variance: f64) -> Self {
+        let p = mean.len();
+        ClusterSpec {
+            weight,
+            mean,
+            cov: vec![variance; p],
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+/// A full mixture: components plus the uniform-noise fraction added on top
+/// (the paper adds 20% of `n` as noise, §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureSpec {
+    /// The components.
+    pub clusters: Vec<ClusterSpec>,
+    /// Noise points as a fraction of `n` (0.2 = the paper's setting).
+    pub noise_fraction: f64,
+}
+
+impl MixtureSpec {
+    /// Validate and build. Weights are normalized to sum to 1.
+    pub fn new(mut clusters: Vec<ClusterSpec>, noise_fraction: f64) -> Self {
+        assert!(!clusters.is_empty(), "a mixture needs at least one cluster");
+        let p = clusters[0].dims();
+        assert!(
+            clusters.iter().all(|c| c.dims() == p && c.cov.len() == p),
+            "all clusters must share dimensionality"
+        );
+        assert!(
+            clusters.iter().all(|c| c.weight > 0.0),
+            "weights must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&noise_fraction),
+            "noise fraction must be in [0, 1)"
+        );
+        let total: f64 = clusters.iter().map(|c| c.weight).sum();
+        for c in &mut clusters {
+            c.weight /= total;
+        }
+        MixtureSpec {
+            clusters,
+            noise_fraction,
+        }
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Dimensionality.
+    pub fn p(&self) -> usize {
+        self.clusters[0].dims()
+    }
+
+    /// Bounding box of means ± 4σ per dimension, used to place noise.
+    pub fn bounds(&self) -> Vec<(f64, f64)> {
+        let p = self.p();
+        let mut out = vec![(f64::INFINITY, f64::NEG_INFINITY); p];
+        for c in &self.clusters {
+            for ((lo_hi, &m), &v) in out.iter_mut().zip(&c.mean).zip(&c.cov) {
+                let sd = v.sqrt();
+                lo_hi.0 = lo_hi.0.min(m - 4.0 * sd);
+                lo_hi.1 = lo_hi.1.max(m + 4.0 * sd);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_normalized() {
+        let spec = MixtureSpec::new(
+            vec![
+                ClusterSpec::spherical(2.0, vec![0.0], 1.0),
+                ClusterSpec::spherical(2.0, vec![5.0], 1.0),
+            ],
+            0.0,
+        );
+        assert!((spec.clusters[0].weight - 0.5).abs() < 1e-12);
+        assert_eq!(spec.k(), 2);
+        assert_eq!(spec.p(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn mismatched_dims_rejected() {
+        MixtureSpec::new(
+            vec![
+                ClusterSpec::spherical(1.0, vec![0.0], 1.0),
+                ClusterSpec::spherical(1.0, vec![0.0, 1.0], 1.0),
+            ],
+            0.0,
+        );
+    }
+
+    #[test]
+    fn bounds_cover_all_clusters() {
+        let spec = MixtureSpec::new(
+            vec![
+                ClusterSpec::spherical(1.0, vec![0.0, 0.0], 1.0),
+                ClusterSpec::spherical(1.0, vec![10.0, -10.0], 4.0),
+            ],
+            0.1,
+        );
+        let b = spec.bounds();
+        assert!(b[0].0 <= -4.0 && b[0].1 >= 18.0);
+        assert!(b[1].0 <= -18.0 && b[1].1 >= 4.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Permutation-invariant model comparison.
+//!
+//! EM's cluster indices are arbitrary: the same solution can come back
+//! with clusters permuted. Tests that compare SQLEM output against the
+//! in-memory oracle, or recovered parameters against a generating spec,
+//! first match clusters by nearest means and then measure errors.
+
+use crate::kmeans::sq_dist;
+use crate::model::GmmParams;
+
+/// Greedy one-to-one matching from clusters of `a` to clusters of `b` by
+/// ascending mean distance. Returns `mapping[i] = j` meaning cluster `i`
+/// of `a` corresponds to cluster `j` of `b`. Greedy is exact enough for
+/// well-separated solutions and k in the paper's range (≤ 100).
+pub fn match_clusters(a: &GmmParams, b: &GmmParams) -> Vec<usize> {
+    assert_eq!(a.k(), b.k(), "cluster-count mismatch");
+    assert_eq!(a.p(), b.p(), "dimensionality mismatch");
+    let k = a.k();
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(k * k);
+    for i in 0..k {
+        for j in 0..k {
+            pairs.push((sq_dist(&a.means[i], &b.means[j]), i, j));
+        }
+    }
+    pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut mapping = vec![usize::MAX; k];
+    let mut used = vec![false; k];
+    let mut assigned = 0;
+    for (_, i, j) in pairs {
+        if mapping[i] == usize::MAX && !used[j] {
+            mapping[i] = j;
+            used[j] = true;
+            assigned += 1;
+            if assigned == k {
+                break;
+            }
+        }
+    }
+    mapping
+}
+
+/// Largest absolute parameter difference with *identity* cluster
+/// correspondence — for comparing successive iterations of one run, where
+/// indices are stable (use [`max_param_diff`] across independent runs).
+pub fn direct_max_diff(a: &GmmParams, b: &GmmParams) -> f64 {
+    assert_eq!(a.k(), b.k());
+    assert_eq!(a.p(), b.p());
+    let mut worst: f64 = 0.0;
+    for (ma, mb) in a.means.iter().zip(&b.means) {
+        for (x, y) in ma.iter().zip(mb) {
+            worst = worst.max((x - y).abs());
+        }
+    }
+    for (x, y) in a.cov.iter().zip(&b.cov) {
+        worst = worst.max((x - y).abs());
+    }
+    for (x, y) in a.weights.iter().zip(&b.weights) {
+        worst = worst.max((x - y).abs());
+    }
+    worst
+}
+
+/// Largest absolute difference across matched means, weights and the
+/// shared covariance vector.
+pub fn max_param_diff(a: &GmmParams, b: &GmmParams) -> f64 {
+    let mapping = match_clusters(a, b);
+    let mut worst: f64 = 0.0;
+    for (i, &j) in mapping.iter().enumerate() {
+        for d in 0..a.p() {
+            worst = worst.max((a.means[i][d] - b.means[j][d]).abs());
+        }
+        worst = worst.max((a.weights[i] - b.weights[j]).abs());
+    }
+    for d in 0..a.p() {
+        worst = worst.max((a.cov[d] - b.cov[d]).abs());
+    }
+    worst
+}
+
+/// Are two parameter sets the same solution up to cluster permutation and
+/// tolerance `tol`?
+pub fn params_close(a: &GmmParams, b: &GmmParams, tol: f64) -> bool {
+    a.k() == b.k() && a.p() == b.p() && max_param_diff(a, b) <= tol
+}
+
+/// Clustering purity of hard assignments against ground-truth labels:
+/// Σ_cluster max_label |cluster ∩ label| / n_labeled. Points with no label
+/// (noise) are ignored. 1.0 = every cluster is label-pure.
+pub fn purity(truth: &[Option<usize>], assigned: &[usize], k: usize) -> f64 {
+    assert_eq!(truth.len(), assigned.len());
+    let max_label = truth.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0usize; max_label]; k];
+    let mut labeled = 0usize;
+    for (t, &a) in truth.iter().zip(assigned) {
+        if let Some(l) = t {
+            table[a][*l] += 1;
+            labeled += 1;
+        }
+    }
+    if labeled == 0 {
+        return 0.0;
+    }
+    let pure: usize = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    pure as f64 / labeled as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GmmParams {
+        GmmParams::new(
+            vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 0.0]],
+            vec![1.0, 1.0],
+            vec![0.2, 0.3, 0.5],
+        )
+    }
+
+    fn permuted() -> GmmParams {
+        GmmParams::new(
+            vec![vec![9.0, 0.0], vec![0.0, 0.0], vec![5.0, 5.0]],
+            vec![1.0, 1.0],
+            vec![0.5, 0.2, 0.3],
+        )
+    }
+
+    #[test]
+    fn matching_recovers_permutation() {
+        let m = match_clusters(&base(), &permuted());
+        assert_eq!(m, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn permuted_solutions_are_close() {
+        assert!(params_close(&base(), &permuted(), 1e-12));
+    }
+
+    #[test]
+    fn perturbed_solutions_measured() {
+        let mut b = permuted();
+        b.means[0][0] += 0.25;
+        let d = max_param_diff(&base(), &b);
+        assert!((d - 0.25).abs() < 1e-12);
+        assert!(!params_close(&base(), &b, 0.1));
+        assert!(params_close(&base(), &b, 0.3));
+    }
+
+    #[test]
+    fn direct_diff_uses_identity_mapping() {
+        // Permuted solutions are "far" under direct diff but identical
+        // under matched diff.
+        assert!(direct_max_diff(&base(), &permuted()) > 1.0);
+        assert_eq!(direct_max_diff(&base(), &base()), 0.0);
+    }
+
+    #[test]
+    fn covariance_differences_count() {
+        let mut b = base();
+        b.cov[1] = 3.0;
+        assert!((max_param_diff(&base(), &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_perfect_and_mixed() {
+        let truth = vec![Some(0), Some(0), Some(1), Some(1), None];
+        let perfect = vec![1, 1, 0, 0, 0];
+        assert_eq!(purity(&truth, &perfect, 2), 1.0);
+        let mixed = vec![0, 1, 0, 1, 0];
+        assert_eq!(purity(&truth, &mixed, 2), 0.5);
+    }
+
+    #[test]
+    fn purity_ignores_noise() {
+        let truth = vec![Some(0), None, None, None];
+        let assigned = vec![0, 1, 1, 1];
+        assert_eq!(purity(&truth, &assigned, 2), 1.0);
+    }
+}

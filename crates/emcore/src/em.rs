@@ -1,0 +1,326 @@
+//! Classical in-memory EM: a faithful implementation of the paper's
+//! Figure 3 pseudo-code with the §2.4–2.5 optimizations, used as the
+//! correctness oracle for the SQL strategies and as the "workstation"
+//! comparison point.
+//!
+//! One iteration mirrors the SQL hybrid exactly:
+//!
+//! * **E step** — per point: k Mahalanobis distances (diagonal R, zero
+//!   entries skipped), densities, responsibilities with the
+//!   inverse-distance fallback when everything underflows, llh
+//!   accumulation (fallback points contribute nothing, like the NULL llh
+//!   cells `SUM` skips);
+//! * **M step** — `C_j = Σᵢ x_ij·yᵢ / Σᵢ x_ij`, `W = W'/n`, and
+//!   `R = (1/n)·Σ_j Σᵢ x_ij (yᵢ − C_j)²` using the **updated** means,
+//!   exactly as Figure 10 joins Z, C and YX after refreshing C.
+
+use crate::gaussian;
+use crate::model::GmmParams;
+
+/// Stopping parameters (paper Fig. 3 inputs ε and `maxiterations`).
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Stop when the absolute change in loglikelihood is ≤ ε.
+    pub epsilon: f64,
+    /// Hard iteration cap. The paper uses 10 for large data sets and
+    /// "never beyond 20" (§3.1).
+    pub max_iterations: usize,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            epsilon: 1e-3,
+            max_iterations: 10,
+        }
+    }
+}
+
+/// Why an EM run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmOutcome {
+    /// Loglikelihood change fell below ε.
+    Converged,
+    /// Hit `max_iterations`.
+    MaxIterations,
+}
+
+/// Result of an EM run.
+#[derive(Debug, Clone)]
+pub struct EmRun {
+    /// Final parameters.
+    pub params: GmmParams,
+    /// Loglikelihood after each completed iteration.
+    pub llh_history: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// How the run ended.
+    pub outcome: EmOutcome,
+}
+
+/// Errors from a degenerate run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmError {
+    /// A cluster received zero total responsibility, making the mean
+    /// update `Σ x·y / Σ x` a division by zero — the same statement that
+    /// would fail inside the DBMS.
+    DegenerateCluster(usize),
+    /// Input points disagree on dimensionality with the parameters.
+    DimensionMismatch,
+    /// Empty input.
+    NoPoints,
+}
+
+impl std::fmt::Display for EmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmError::DegenerateCluster(j) => write!(
+                f,
+                "cluster {j} received zero total responsibility (Σ x_ij = 0)"
+            ),
+            EmError::DimensionMismatch => write!(f, "point/parameter dimension mismatch"),
+            EmError::NoPoints => write!(f, "no input points"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {}
+
+/// One full E+M iteration. Returns the updated parameters and the
+/// loglikelihood measured during the E step (i.e. the llh of the *input*
+/// parameters on the data).
+pub fn em_step(params: &GmmParams, points: &[Vec<f64>]) -> Result<(GmmParams, f64), EmError> {
+    let n = points.len();
+    if n == 0 {
+        return Err(EmError::NoPoints);
+    }
+    let k = params.k();
+    let p = params.p();
+    if points.iter().any(|pt| pt.len() != p) {
+        return Err(EmError::DimensionMismatch);
+    }
+
+    // E step: responsibilities for every point, accumulating C' and W'.
+    let mut x = vec![0.0; k];
+    let mut responsibilities = Vec::with_capacity(n);
+    let mut llh = 0.0;
+    let mut w_prime = vec![0.0; k];
+    let mut c_prime = vec![vec![0.0; p]; k];
+    for pt in points {
+        if let Some(l) = gaussian::responsibilities(params, pt, &mut x) {
+            llh += l;
+        }
+        for j in 0..k {
+            w_prime[j] += x[j];
+            let cj = &mut c_prime[j];
+            for d in 0..p {
+                cj[d] += x[j] * pt[d];
+            }
+        }
+        responsibilities.push(x.clone());
+    }
+
+    // M step: means first…
+    let mut means = Vec::with_capacity(k);
+    for j in 0..k {
+        if w_prime[j] == 0.0 {
+            return Err(EmError::DegenerateCluster(j));
+        }
+        means.push(c_prime[j].iter().map(|v| v / w_prime[j]).collect::<Vec<_>>());
+    }
+    // …then the global covariance with the *new* means (Fig. 10 order).
+    let mut cov = vec![0.0; p];
+    for (pt, xs) in points.iter().zip(&responsibilities) {
+        for j in 0..k {
+            let xj = xs[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let mj = &means[j];
+            for d in 0..p {
+                let diff = pt[d] - mj[d];
+                cov[d] += xj * diff * diff;
+            }
+        }
+    }
+    for v in &mut cov {
+        *v /= n as f64;
+    }
+    let weights: Vec<f64> = w_prime.iter().map(|v| v / n as f64).collect();
+
+    Ok((
+        GmmParams {
+            means,
+            cov,
+            weights,
+        },
+        llh,
+    ))
+}
+
+/// Run EM from `init` until convergence or the iteration cap.
+pub fn run_em(
+    points: &[Vec<f64>],
+    init: GmmParams,
+    config: &EmConfig,
+) -> Result<EmRun, EmError> {
+    let mut params = init;
+    let mut llh_history = Vec::new();
+    let mut prev_llh: Option<f64> = None;
+    for iter in 0..config.max_iterations {
+        let (next, llh) = em_step(&params, points)?;
+        params = next;
+        llh_history.push(llh);
+        if let Some(prev) = prev_llh {
+            if (llh - prev).abs() <= config.epsilon {
+                return Ok(EmRun {
+                    params,
+                    llh_history,
+                    iterations: iter + 1,
+                    outcome: EmOutcome::Converged,
+                });
+            }
+        }
+        prev_llh = Some(llh);
+    }
+    Ok(EmRun {
+        params,
+        llh_history,
+        iterations: config.max_iterations,
+        outcome: EmOutcome::MaxIterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight, well-separated 1-d blobs.
+    fn blob_points() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(vec![0.0 + (i % 5) as f64 * 0.1]);
+            pts.push(vec![10.0 + (i % 5) as f64 * 0.1]);
+        }
+        pts
+    }
+
+    fn rough_init() -> GmmParams {
+        GmmParams::new(
+            vec![vec![2.0], vec![7.0]],
+            vec![5.0],
+            vec![0.5, 0.5],
+        )
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let run = run_em(
+            &blob_points(),
+            rough_init(),
+            &EmConfig {
+                epsilon: 1e-9,
+                max_iterations: 50,
+            },
+        )
+        .unwrap();
+        let mut means: Vec<f64> = run.params.means.iter().map(|m| m[0]).collect();
+        means.sort_by(f64::total_cmp);
+        assert!((means[0] - 0.2).abs() < 0.1, "mean {:?}", means);
+        assert!((means[1] - 10.2).abs() < 0.1, "mean {:?}", means);
+        assert!((run.params.weights[0] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn loglikelihood_is_monotone_nondecreasing() {
+        let run = run_em(
+            &blob_points(),
+            rough_init(),
+            &EmConfig {
+                epsilon: 0.0,
+                max_iterations: 15,
+            },
+        )
+        .unwrap();
+        for w in run.llh_history.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "llh decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn converges_and_reports_outcome() {
+        let run = run_em(
+            &blob_points(),
+            rough_init(),
+            &EmConfig {
+                epsilon: 1e-6,
+                max_iterations: 100,
+            },
+        )
+        .unwrap();
+        assert_eq!(run.outcome, EmOutcome::Converged);
+        assert!(run.iterations < 100);
+
+        let capped = run_em(
+            &blob_points(),
+            rough_init(),
+            &EmConfig {
+                epsilon: 0.0,
+                max_iterations: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.outcome, EmOutcome::MaxIterations);
+        assert_eq!(capped.iterations, 3);
+    }
+
+    #[test]
+    fn weights_stay_normalized_and_cov_positive() {
+        let run = run_em(
+            &blob_points(),
+            rough_init(),
+            &EmConfig::default(),
+        )
+        .unwrap();
+        assert!(run.params.weights_normalized());
+        assert!(run.params.cov.iter().all(|&v| v >= 0.0));
+        run.params.validate().unwrap();
+    }
+
+    #[test]
+    fn single_cluster_fits_global_moments() {
+        let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let init = GmmParams::new(vec![vec![10.0]], vec![100.0], vec![1.0]);
+        let (next, _) = em_step(&init, &pts).unwrap();
+        // k = 1 ⇒ one EM step lands on the sample mean and variance.
+        assert!((next.means[0][0] - 49.5).abs() < 1e-9);
+        let var: f64 = (0..100)
+            .map(|i| (i as f64 - 49.5f64).powi(2))
+            .sum::<f64>()
+            / 100.0;
+        assert!((next.cov[0] - var).abs() < 1e-9);
+        assert!((next.weights[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let err = em_step(&rough_init(), &[vec![0.0, 1.0]]).unwrap_err();
+        assert_eq!(err, EmError::DimensionMismatch);
+        assert_eq!(em_step(&rough_init(), &[]).unwrap_err(), EmError::NoPoints);
+    }
+
+    #[test]
+    fn em_survives_far_outliers_via_fallback() {
+        // A point astronomically far away underflows all densities; the
+        // fallback keeps the run alive (§2.5 motivation).
+        let mut pts = blob_points();
+        pts.push(vec![1.0e6]);
+        let run = run_em(&pts, rough_init(), &EmConfig::default()).unwrap();
+        run.params.validate().unwrap();
+    }
+}

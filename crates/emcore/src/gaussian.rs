@@ -1,0 +1,199 @@
+//! Diagonal-covariance Gaussian computations (paper §2.1, §2.4–2.5).
+//!
+//! With R diagonal the squared Mahalanobis distance collapses to
+//! `δ² = Σ_d (y_d − C_d)² / R_d` (§2.4), and `|R| = Π R_d`. Zero
+//! covariance entries are *skipped* in both — the paper's §2.5 rule —
+//! which is equivalent to computing in the subspace where variance is
+//! non-zero. The density constant `(2π)^{p/2}·√|R|` uses the full `p`
+//! (matching the `twopipdiv2` cell the SQL generators store in GMM).
+
+use crate::model::GmmParams;
+
+/// Tiny guard used in the inverse-distance fallback, exactly the
+/// `1.0E-100` literal of Figure 9.
+pub const INV_DIST_GUARD: f64 = 1.0e-100;
+
+/// Squared Mahalanobis distance of `point` to `mean` under diagonal
+/// covariance `cov`, with zero-covariance entries replaced by 1 — the
+/// §2.5 rule as the hybrid SQL implements it ("null covariances are
+/// handled by inserting a 1 instead of zero in the tables CR and R").
+/// When a dimension's covariance is genuinely zero all points equal the
+/// mean there, so the substituted term is 0 and this coincides with the
+/// "skip the dimension" formulation; keeping the substitute-1 form makes
+/// this oracle bit-comparable with the generated SQL.
+#[inline]
+pub fn mahalanobis_diag(point: &[f64], mean: &[f64], cov: &[f64]) -> f64 {
+    debug_assert_eq!(point.len(), mean.len());
+    debug_assert_eq!(point.len(), cov.len());
+    let mut acc = 0.0;
+    for d in 0..point.len() {
+        let diff = point[d] - mean[d];
+        let denom = if cov[d] != 0.0 { cov[d] } else { 1.0 };
+        acc += diff * diff / denom;
+    }
+    acc
+}
+
+/// The normalizing constant `(2π)^{p/2} · √|R|` with `|R|` skipping zeros.
+#[inline]
+pub fn density_norm(p: usize, cov: &[f64]) -> f64 {
+    let det: f64 = cov.iter().filter(|&&v| v != 0.0).product();
+    (2.0 * std::f64::consts::PI).powf(p as f64 / 2.0) * det.sqrt()
+}
+
+/// Unnormalized-by-weight component density
+/// `p(x|j) = exp(−δ²/2) / ((2π)^{p/2}√|R|)`.
+#[inline]
+pub fn component_density(delta_sq: f64, norm: f64) -> f64 {
+    (-0.5 * delta_sq).exp() / norm
+}
+
+/// E-step responsibilities of one point under `params`, written into `x`
+/// (length k). Returns `Some(ln(sump))` when probabilities are
+/// representable, `None` when every `w_j·p(x|j)` underflowed to zero and
+/// the inverse-distance fallback of §2.5 was used (its loglikelihood
+/// contribution is undefined; the SQL path stores NULL).
+pub fn responsibilities(params: &GmmParams, point: &[f64], x: &mut [f64]) -> Option<f64> {
+    let k = params.k();
+    debug_assert_eq!(x.len(), k);
+    let norm = density_norm(params.p(), &params.cov);
+    let mut sump = 0.0;
+    // First pass: densities into x, distances kept for the fallback.
+    let mut dists = vec![0.0; k];
+    for j in 0..k {
+        let d = mahalanobis_diag(point, &params.means[j], &params.cov);
+        dists[j] = d;
+        let pj = params.weights[j] * component_density(d, norm);
+        x[j] = pj;
+        sump += pj;
+    }
+    if sump > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sump;
+        }
+        Some(sump.ln())
+    } else {
+        // §2.5: p_ij = (1/δ_ij) / Σ_l (1/δ_il). The guard keeps the sum
+        // finite exactly as Fig. 9 does with `1/(d+1.0E-100)`.
+        let suminvd: f64 = dists.iter().map(|d| 1.0 / (d + INV_DIST_GUARD)).sum();
+        for (v, d) in x.iter_mut().zip(&dists) {
+            *v = (1.0 / (d + INV_DIST_GUARD)) / suminvd;
+        }
+        None
+    }
+}
+
+/// Total loglikelihood of `points` under `params`, counting only points
+/// with representable probabilities (mirrors `SUM(llh)` skipping NULLs).
+pub fn loglikelihood(params: &GmmParams, points: &[Vec<f64>]) -> f64 {
+    let mut x = vec![0.0; params.k()];
+    points
+        .iter()
+        .filter_map(|pt| responsibilities(params, pt, &mut x))
+        .sum()
+}
+
+/// Index of the highest-responsibility cluster (the `score` column of the
+/// hybrid YX table, used to segment retail data).
+pub fn score(params: &GmmParams, point: &[f64]) -> usize {
+    let mut x = vec![0.0; params.k()];
+    responsibilities(params, point, &mut x);
+    x.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GmmParams {
+        GmmParams::new(
+            vec![vec![0.0, 0.0], vec![10.0, 0.0]],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        )
+    }
+
+    #[test]
+    fn mahalanobis_matches_closed_form() {
+        let d = mahalanobis_diag(&[3.0, 4.0], &[0.0, 0.0], &[1.0, 4.0]);
+        assert!((d - (9.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_covariance_dimension_substituted_with_one() {
+        // §2.5 via Fig. 9: a zero covariance divides by 1. With genuinely
+        // constant dimensions the numerator is 0 so this equals skipping.
+        let d = mahalanobis_diag(&[3.0, 0.0], &[0.0, 0.0], &[1.0, 0.0]);
+        assert!((d - 9.0).abs() < 1e-12);
+        let raw = mahalanobis_diag(&[3.0, 2.0], &[0.0, 0.0], &[1.0, 0.0]);
+        assert!((raw - 13.0).abs() < 1e-12);
+        // |R| still skips zeros.
+        let norm = density_norm(2, &[4.0, 0.0]);
+        let expect = (2.0 * std::f64::consts::PI) * 2.0; // (2π)^1 · √4
+        assert!((norm - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one_and_favor_near_cluster() {
+        let p = params();
+        let mut x = vec![0.0; 2];
+        let llh = responsibilities(&p, &[1.0, 0.0], &mut x);
+        assert!(llh.is_some());
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-12);
+        assert!(x[0] > 0.99, "x0 = {}", x[0]);
+    }
+
+    #[test]
+    fn equidistant_point_splits_evenly() {
+        let p = params();
+        let mut x = vec![0.0; 2];
+        responsibilities(&p, &[5.0, 0.0], &mut x);
+        assert!((x[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underflow_triggers_inverse_distance_fallback() {
+        // Distances ≫ 600 underflow exp() to zero (§2.5). Means at 0 and
+        // 10000, point at 2500 → δ² huge for both.
+        let p = GmmParams::new(
+            vec![vec![0.0], vec![10_000.0]],
+            vec![1.0],
+            vec![0.5, 0.5],
+        );
+        let mut x = vec![0.0; 2];
+        let llh = responsibilities(&p, &[2500.0], &mut x);
+        assert!(llh.is_none(), "expected underflow");
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-12);
+        // Fallback still prefers the nearer mean.
+        assert!(x[0] > x[1]);
+        // 1/δ ratio: δ0 = 2500², δ1 = 7500² → x0/x1 = δ1/δ0 = 9.
+        assert!((x[0] / x[1] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loglikelihood_improves_with_better_means() {
+        let pts = vec![vec![0.1, 0.0], vec![-0.1, 0.0], vec![10.1, 0.0]];
+        // The bad means must stay close enough that densities do not
+        // underflow — fully-underflowed points fall back to the §2.5
+        // formula and contribute nothing to llh, which would make an
+        // absurd model score 0 (the llh-accuracy caveat the paper notes).
+        let good = params();
+        let bad = GmmParams::new(
+            vec![vec![15.0, 0.0], vec![20.0, 0.0]],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        );
+        assert!(loglikelihood(&good, &pts) > loglikelihood(&bad, &pts));
+    }
+
+    #[test]
+    fn score_picks_nearest() {
+        let p = params();
+        assert_eq!(score(&p, &[0.5, 0.0]), 0);
+        assert_eq!(score(&p, &[9.5, 0.0]), 1);
+    }
+}

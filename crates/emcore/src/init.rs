@@ -1,0 +1,238 @@
+//! Mixture-parameter initialization (paper §2.2, §3.1).
+//!
+//! The paper initializes either randomly around the global mean
+//! (`C ← µ random(), R ← I, W ← 1/k`) or from a sample ("usually 5% for
+//! large data sets or 10% for medium data sets"), noting that sampling
+//! alone is *not* good enough to cluster the whole set (§3.7) — it only
+//! seeds the full run.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::em::{run_em, EmConfig};
+use crate::model::GmmParams;
+
+/// How to produce the initial C, R, W.
+#[derive(Debug, Clone)]
+pub enum InitStrategy {
+    /// `C_j = µ ± U(0,1)·σ` per dimension, `R = σ²` (the global per-
+    /// dimension variance — a better-conditioned stand-in for the paper's
+    /// `R ← I`, which assumes standardized data), `W = 1/k`.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Run a short randomly-initialized EM on a sample and use its
+    /// parameters (§3.1).
+    FromSample {
+        /// Sample fraction (paper: 0.05–0.10).
+        fraction: f64,
+        /// RNG seed for sampling and the inner init.
+        seed: u64,
+        /// Inner EM iterations (a handful suffices).
+        em_iterations: usize,
+    },
+    /// Use explicit parameters (user-supplied approximate solution).
+    Explicit(GmmParams),
+}
+
+impl InitStrategy {
+    /// Convenience: random with a default seed.
+    pub fn random() -> Self {
+        InitStrategy::Random { seed: 0 }
+    }
+
+    /// Convenience: the paper's large-data-set default (5% sample).
+    pub fn sample5(seed: u64) -> Self {
+        InitStrategy::FromSample {
+            fraction: 0.05,
+            seed,
+            em_iterations: 5,
+        }
+    }
+}
+
+/// Per-dimension mean and variance of the data.
+pub fn global_moments(points: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    let n = points.len().max(1);
+    let p = points.first().map(Vec::len).unwrap_or(0);
+    let mut mean = vec![0.0; p];
+    for pt in points {
+        for d in 0..p {
+            mean[d] += pt[d];
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let mut var = vec![0.0; p];
+    for pt in points {
+        for d in 0..p {
+            let diff = pt[d] - mean[d];
+            var[d] += diff * diff;
+        }
+    }
+    for v in &mut var {
+        *v /= n as f64;
+    }
+    (mean, var)
+}
+
+/// Produce initial parameters for `k` clusters on `points`.
+pub fn initialize(points: &[Vec<f64>], k: usize, strategy: &InitStrategy) -> GmmParams {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(!points.is_empty(), "cannot initialize on an empty data set");
+    match strategy {
+        InitStrategy::Explicit(params) => {
+            assert_eq!(params.k(), k, "explicit parameters have the wrong k");
+            assert_eq!(
+                params.p(),
+                points[0].len(),
+                "explicit parameters have the wrong p"
+            );
+            params.clone()
+        }
+        InitStrategy::Random { seed } => random_init(points, k, *seed),
+        InitStrategy::FromSample {
+            fraction,
+            seed,
+            em_iterations,
+        } => {
+            assert!((0.0..=1.0).contains(fraction), "bad sample fraction");
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let target = ((points.len() as f64 * fraction).ceil() as usize)
+                .clamp(10 * k.max(1), points.len());
+            let mut sample: Vec<Vec<f64>> = Vec::with_capacity(target);
+            // Reservoir sampling keeps the pass single and unbiased.
+            for (i, pt) in points.iter().enumerate() {
+                if sample.len() < target {
+                    sample.push(pt.clone());
+                } else {
+                    let j = rng.random_range(0..=i);
+                    if j < target {
+                        sample[j] = pt.clone();
+                    }
+                }
+            }
+            let init = random_init(&sample, k, seed.wrapping_add(1));
+            match run_em(
+                &sample,
+                init.clone(),
+                &EmConfig {
+                    epsilon: 0.0,
+                    max_iterations: (*em_iterations).max(1),
+                },
+            ) {
+                Ok(run) => run.params,
+                // A degenerate sample run falls back to the random seed
+                // parameters — the full run will still refine them.
+                Err(_) => init,
+            }
+        }
+    }
+}
+
+fn random_init(points: &[Vec<f64>], k: usize, seed: u64) -> GmmParams {
+    let (mean, mut var) = global_moments(points);
+    let p = mean.len();
+    // Guard fully-constant dimensions so R is usable.
+    for v in &mut var {
+        if *v == 0.0 {
+            *v = 1.0;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut m = Vec::with_capacity(p);
+        for d in 0..p {
+            let jitter: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            m.push(mean[d] + jitter * var[d].sqrt());
+        }
+        means.push(m);
+    }
+    GmmParams {
+        means,
+        cov: var,
+        weights: vec![1.0 / k as f64; k],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        (0..200)
+            .map(|i| vec![(i % 20) as f64, (i / 20) as f64 * 3.0])
+            .collect()
+    }
+
+    #[test]
+    fn global_moments_match_hand_computation() {
+        let pts = vec![vec![0.0, 2.0], vec![4.0, 2.0]];
+        let (mean, var) = global_moments(&pts);
+        assert_eq!(mean, vec![2.0, 2.0]);
+        assert_eq!(var, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn random_init_is_valid_and_deterministic() {
+        let pts = grid_points();
+        let a = initialize(&pts, 4, &InitStrategy::Random { seed: 9 });
+        a.validate().unwrap();
+        assert_eq!(a.k(), 4);
+        assert_eq!(a.p(), 2);
+        let b = initialize(&pts, 4, &InitStrategy::Random { seed: 9 });
+        assert_eq!(a, b);
+        let c = initialize(&pts, 4, &InitStrategy::Random { seed: 10 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_init_means_near_data() {
+        let pts = grid_points();
+        let params = initialize(&pts, 3, &InitStrategy::Random { seed: 1 });
+        let (mean, var) = global_moments(&pts);
+        for m in &params.means {
+            for d in 0..2 {
+                assert!((m[d] - mean[d]).abs() <= var[d].sqrt() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_init_produces_valid_params() {
+        let pts = grid_points();
+        let params = initialize(
+            &pts,
+            2,
+            &InitStrategy::FromSample {
+                fraction: 0.2,
+                seed: 5,
+                em_iterations: 3,
+            },
+        );
+        params.validate().unwrap();
+    }
+
+    #[test]
+    fn explicit_passthrough() {
+        let pts = grid_points();
+        let explicit = GmmParams::new(
+            vec![vec![1.0, 1.0], vec![2.0, 2.0]],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        );
+        let got = initialize(&pts, 2, &InitStrategy::Explicit(explicit.clone()));
+        assert_eq!(got, explicit);
+    }
+
+    #[test]
+    fn constant_dimension_variance_guarded() {
+        let pts: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 7.0]).collect();
+        let params = initialize(&pts, 2, &InitStrategy::Random { seed: 0 });
+        assert!(params.cov[1] > 0.0);
+        params.validate().unwrap();
+    }
+}

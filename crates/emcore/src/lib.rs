@@ -1,0 +1,41 @@
+//! # emcore — in-memory EM, K-means and SEM baselines
+//!
+//! The statistical core of the SQLEM reproduction. SQLEM's headline promise
+//! is "keep the basic behavior of the EM algorithm unchanged" (paper §1.4)
+//! — the SQL implementation must compute exactly what the textbook
+//! algorithm computes. This crate provides:
+//!
+//! * [`model::GmmParams`] — the C/R/W mixture parameters of Figure 2
+//!   (diagonal global covariance, §2.5);
+//! * [`em`] — the classical in-memory EM of Figure 3, with the paper's
+//!   numerical safeguards (§2.4–2.5: diagonal-covariance Mahalanobis
+//!   shortcut, inverse-distance fallback for underflowed probabilities,
+//!   zero-covariance skipping). This is the *oracle* the SQL strategies
+//!   are validated against;
+//! * [`kmeans`] — K-means, the W = 1/k, R = I special case the paper
+//!   notes in §2.2;
+//! * [`emfull`] — EM with per-cluster covariances, the extension §2.1
+//!   mentions ("not hard to extend … a different Σ for each cluster");
+//! * [`sem`] — a scalable-EM comparator in the style of Bradley, Fayyad &
+//!   Reina (the paper's §4.3 comparison point), with primary data
+//!   compression into sufficient statistics;
+//! * [`init`] — the paper's initialization strategies (§3.1): random
+//!   around the global mean, or parameters estimated from a sample;
+//! * [`compare`] — permutation-invariant model comparison used by tests
+//!   and experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod em;
+pub mod emfull;
+pub mod gaussian;
+pub mod init;
+pub mod kmeans;
+pub mod model;
+pub mod sem;
+
+pub use em::{EmConfig, EmOutcome, EmRun};
+pub use init::InitStrategy;
+pub use model::GmmParams;

@@ -1,0 +1,161 @@
+//! Gaussian-mixture parameters: the C, R, W matrices of Figure 2.
+
+/// Parameters of a Gaussian mixture with one *global diagonal* covariance
+/// matrix (the paper's model, §2.5: per-cluster covariances are summed
+/// into one R, which "solves the problem" of null covariances at a small
+/// cost in description accuracy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmmParams {
+    /// Cluster means: `k` vectors of length `p` (matrix C, stored row-wise
+    /// per cluster; the paper stores it column-wise, which only matters
+    /// for the SQL table layouts).
+    pub means: Vec<Vec<f64>>,
+    /// Global diagonal covariance: length `p` (matrix R as a vector,
+    /// §2.4 "R being diagonal can be stored as a vector").
+    pub cov: Vec<f64>,
+    /// Mixture weights: length `k`, non-negative, summing to 1 (matrix W).
+    pub weights: Vec<f64>,
+}
+
+impl GmmParams {
+    /// Construct with validation.
+    pub fn new(means: Vec<Vec<f64>>, cov: Vec<f64>, weights: Vec<f64>) -> Self {
+        let params = GmmParams {
+            means,
+            cov,
+            weights,
+        };
+        params.validate().expect("invalid GmmParams");
+        params
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Dimensionality.
+    pub fn p(&self) -> usize {
+        self.means.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Check structural invariants. Returns a description of the first
+    /// violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.means.is_empty() {
+            return Err("no clusters".into());
+        }
+        let p = self.p();
+        if p == 0 {
+            return Err("zero-dimensional means".into());
+        }
+        if self.means.iter().any(|m| m.len() != p) {
+            return Err("ragged mean vectors".into());
+        }
+        if self.cov.len() != p {
+            return Err(format!(
+                "covariance has {} entries, expected {p}",
+                self.cov.len()
+            ));
+        }
+        if self.weights.len() != self.means.len() {
+            return Err(format!(
+                "{} weights for {} clusters",
+                self.weights.len(),
+                self.means.len()
+            ));
+        }
+        if self.cov.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+            return Err("negative or non-finite covariance entry".into());
+        }
+        if self.weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err("negative or non-finite weight".into());
+        }
+        let total: f64 = self.weights.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(format!("weights sum to {total}, expected 1"));
+        }
+        if self
+            .means
+            .iter()
+            .any(|m| m.iter().any(|x| !x.is_finite()))
+        {
+            return Err("non-finite mean entry".into());
+        }
+        Ok(())
+    }
+
+    /// `‖W‖₁ = 1` up to float error (paper §2.3 invariant).
+    pub fn weights_normalized(&self) -> bool {
+        (self.weights.iter().sum::<f64>() - 1.0).abs() <= 1e-6
+    }
+
+    /// The determinant of R, skipping zero entries (paper §2.5:
+    /// `|R| = Π_{Ri ≠ 0} Ri`).
+    pub fn det_r(&self) -> f64 {
+        self.cov
+            .iter()
+            .filter(|&&v| v != 0.0)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_params() -> GmmParams {
+        GmmParams::new(
+            vec![vec![0.0, 0.0], vec![5.0, 5.0]],
+            vec![1.0, 2.0],
+            vec![0.4, 0.6],
+        )
+    }
+
+    #[test]
+    fn dimensions() {
+        let p = ok_params();
+        assert_eq!(p.k(), 2);
+        assert_eq!(p.p(), 2);
+        assert!(p.weights_normalized());
+    }
+
+    #[test]
+    fn det_r_skips_zeros() {
+        let mut p = ok_params();
+        assert_eq!(p.det_r(), 2.0);
+        p.cov = vec![0.0, 3.0];
+        assert_eq!(p.det_r(), 3.0);
+        p.cov = vec![0.0, 0.0];
+        assert_eq!(p.det_r(), 1.0); // empty product
+    }
+
+    #[test]
+    fn validation_catches_structural_errors() {
+        let mut p = ok_params();
+        p.weights = vec![0.4, 0.4];
+        assert!(p.validate().is_err());
+
+        let mut p = ok_params();
+        p.cov = vec![1.0];
+        assert!(p.validate().is_err());
+
+        let mut p = ok_params();
+        p.means[1] = vec![1.0];
+        assert!(p.validate().is_err());
+
+        let mut p = ok_params();
+        p.cov = vec![-1.0, 1.0];
+        assert!(p.validate().is_err());
+
+        let mut p = ok_params();
+        p.means[0][0] = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GmmParams")]
+    fn constructor_panics_on_invalid() {
+        GmmParams::new(vec![vec![0.0]], vec![1.0], vec![0.5]);
+    }
+}

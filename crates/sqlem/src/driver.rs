@@ -1,0 +1,574 @@
+//! The client-side driver: the "small program in a workstation to control
+//! execution" of §1.4.
+//!
+//! An [`EmSession`] owns the generated SQL for one clustering run. It
+//! creates the tables, loads the points, writes the initial parameters,
+//! then alternates E and M steps — each a fixed list of SQL statements —
+//! reading back one number per iteration (the loglikelihood) to decide
+//! convergence, exactly as the paper's Java/JDBC client did.
+
+use std::time::{Duration, Instant};
+
+use emcore::init::{initialize, InitStrategy};
+use emcore::{EmOutcome, GmmParams};
+use sqlengine::ast::Statement;
+use sqlengine::{Database, Error as SqlError};
+
+use crate::config::SqlemConfig;
+use crate::error::SqlemError;
+use crate::generator::{build_generator, Generator, Stmt};
+use crate::loader;
+use crate::naming::Names;
+
+/// Result of a SQLEM run.
+#[derive(Debug, Clone)]
+pub struct SqlemRun {
+    /// Final mixture parameters, read back from the C/R/W tables.
+    pub params: GmmParams,
+    /// Loglikelihood after each completed iteration.
+    pub llh_history: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the ε test or the iteration cap ended the run.
+    pub outcome: EmOutcome,
+    /// Wall-clock time of each iteration (the paper's "time per
+    /// iteration" metric, Figs. 11–13).
+    pub iteration_times: Vec<Duration>,
+}
+
+impl SqlemRun {
+    /// Mean wall-clock seconds per iteration.
+    pub fn secs_per_iteration(&self) -> f64 {
+        if self.iteration_times.is_empty() {
+            return 0.0;
+        }
+        self.iteration_times.iter().map(Duration::as_secs_f64).sum::<f64>()
+            / self.iteration_times.len() as f64
+    }
+}
+
+/// One clustering session against a [`Database`].
+pub struct EmSession<'a> {
+    db: &'a mut Database,
+    config: SqlemConfig,
+    generator: Box<dyn Generator>,
+    names: Names,
+    p: usize,
+    n: Option<usize>,
+    /// Cached copy of the loaded points, kept for initialization only.
+    points: Option<Vec<Vec<f64>>>,
+    initialized: bool,
+    e_step: Vec<Stmt>,
+    m_step: Vec<Stmt>,
+    /// E/M statements parsed once and replayed every iteration (prepared
+    /// statements); populated lazily on the first iteration so parser
+    /// rejections (§3.3) surface where the paper's workflow would hit
+    /// them — at statement submission.
+    prepared: Option<Vec<(String, Statement)>>,
+}
+
+impl<'a> EmSession<'a> {
+    /// Create a session for `p`-dimensional data: generates the SQL and
+    /// creates (or recreates) every table.
+    pub fn create(
+        db: &'a mut Database,
+        config: &SqlemConfig,
+        p: usize,
+    ) -> Result<Self, SqlemError> {
+        assert!(p >= 1, "p must be at least 1");
+        let generator = build_generator(config, p);
+        let names = Names::new(&config.table_prefix);
+        let e_step = generator.e_step();
+        let m_step = generator.m_step();
+        let mut session = EmSession {
+            db,
+            config: config.clone(),
+            generator,
+            names,
+            p,
+            n: None,
+            points: None,
+            initialized: false,
+            e_step,
+            m_step,
+            prepared: None,
+        };
+        let ddl = session.generator.create_tables();
+        session.execute_stmts(&ddl)?;
+        Ok(session)
+    }
+
+    /// The generated SQL for one full iteration plus setup/score, for
+    /// inspection (the `sql_trace` example prints this).
+    pub fn script(&self) -> Vec<Stmt> {
+        let mut all = self.generator.create_tables();
+        all.extend(self.generator.post_load(self.n.unwrap_or(0)));
+        all.extend(self.e_step.clone());
+        all.extend(self.m_step.clone());
+        all.extend(self.generator.score_step());
+        all
+    }
+
+    /// Number of points loaded, if any.
+    pub fn n(&self) -> Option<usize> {
+        self.n
+    }
+
+    /// Dimensionality.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SqlemConfig {
+        &self.config
+    }
+
+    /// Longest generated statement in bytes (§3.3 parser-limit analysis).
+    pub fn longest_statement(&self) -> usize {
+        self.generator.longest_statement()
+    }
+
+    /// Bulk-load points (RIDs assigned 1…n in order) and seed GMM.
+    pub fn load_points(&mut self, points: &[Vec<f64>]) -> Result<(), SqlemError> {
+        if points.first().map(Vec::len) != Some(self.p) {
+            return Err(SqlemError::BadInput(format!(
+                "expected {}-dimensional points",
+                self.p
+            )));
+        }
+        let n = loader::load_points(self.db, &self.names, self.config.strategy, points)?;
+        self.n = Some(n);
+        self.points = Some(points.to_vec());
+        let seed = self.generator.post_load(n);
+        self.execute_stmts(&seed)?;
+        Ok(())
+    }
+
+    /// Load from an existing table instead (warehouse scenario). The
+    /// points are not cached, so [`EmSession::initialize`] then requires
+    /// an [`InitStrategy::Explicit`] parameter set.
+    pub fn load_from_table(
+        &mut self,
+        source: &str,
+        rid_col: &str,
+        value_cols: &[&str],
+    ) -> Result<(), SqlemError> {
+        if value_cols.len() != self.p {
+            return Err(SqlemError::BadInput(format!(
+                "expected {} value columns, got {}",
+                self.p,
+                value_cols.len()
+            )));
+        }
+        let n = loader::pivot_from_table(
+            self.db,
+            &self.names,
+            self.config.strategy,
+            source,
+            rid_col,
+            value_cols,
+        )?;
+        self.n = Some(n);
+        let seed = self.generator.post_load(n);
+        self.execute_stmts(&seed)?;
+        Ok(())
+    }
+
+    /// Write initial parameters into the C/R/W tables.
+    pub fn initialize(&mut self, strategy: &InitStrategy) -> Result<(), SqlemError> {
+        let params = match (strategy, &self.points) {
+            (InitStrategy::Explicit(p), _) => {
+                if p.k() != self.config.k || p.p() != self.p {
+                    return Err(SqlemError::BadInput(
+                        "explicit parameters have the wrong shape".into(),
+                    ));
+                }
+                p.clone()
+            }
+            (s, Some(points)) => initialize(points, self.config.k, s),
+            (_, None) => {
+                return Err(SqlemError::BadInput(
+                    "points were loaded from a table; initialize with \
+                     InitStrategy::Explicit"
+                        .into(),
+                ))
+            }
+        };
+        self.set_params(&params)
+    }
+
+    /// Write explicit parameters (also usable mid-run for checkpoints).
+    pub fn set_params(&mut self, params: &GmmParams) -> Result<(), SqlemError> {
+        if params.k() != self.config.k || params.p() != self.p {
+            return Err(SqlemError::BadInput(
+                "parameters have the wrong shape".into(),
+            ));
+        }
+        let stmts = self.generator.write_params(params);
+        self.execute_stmts(&stmts)?;
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Read the current parameters from the C/R/W tables.
+    pub fn params(&mut self) -> Result<GmmParams, SqlemError> {
+        self.generator.read_params(self.db)
+    }
+
+    /// Run one E+M iteration; returns the loglikelihood measured in the
+    /// E step (the llh of the parameters going *into* the iteration).
+    pub fn iterate_once(&mut self) -> Result<f64, SqlemError> {
+        if self.n.is_none() {
+            return Err(SqlemError::BadInput("no data loaded".into()));
+        }
+        if !self.initialized {
+            return Err(SqlemError::BadInput("parameters not initialized".into()));
+        }
+        if self.prepared.is_none() {
+            let mut prepared = Vec::with_capacity(self.e_step.len() + self.m_step.len());
+            for stmt in self.e_step.iter().chain(&self.m_step) {
+                let mut parsed = self
+                    .db
+                    .prepare(&stmt.sql)
+                    .map_err(|e| SqlemError::from_sql(&stmt.purpose, e))?;
+                debug_assert_eq!(parsed.len(), 1);
+                prepared.push((
+                    stmt.purpose.clone(),
+                    parsed.pop().ok_or_else(|| {
+                        SqlemError::BadInput(format!("empty statement for {}", stmt.purpose))
+                    })?,
+                ));
+            }
+            self.prepared = Some(prepared);
+        }
+        let prepared = std::mem::take(&mut self.prepared);
+        let mut result = Ok(());
+        for (purpose, stmt) in prepared.as_ref().unwrap() {
+            if let Err(e) = self.db.execute_prepared(stmt) {
+                result = Err(promote_degenerate(purpose, e));
+                break;
+            }
+        }
+        self.prepared = prepared;
+        result?;
+        let llh_sql = self.generator.llh_sql();
+        let r = self
+            .db
+            .execute(&llh_sql)
+            .map_err(|e| SqlemError::from_sql("read llh", e))?;
+        Ok(r.scalar_f64().unwrap_or(0.0))
+    }
+
+    /// Run until convergence (|Δllh| ≤ ε, or parameter stability when
+    /// [`SqlemConfig::param_epsilon`] is set) or `max_iterations`.
+    pub fn run(&mut self) -> Result<SqlemRun, SqlemError> {
+        let mut llh_history = Vec::new();
+        let mut iteration_times = Vec::new();
+        let mut prev: Option<f64> = None;
+        let mut prev_params: Option<GmmParams> = None;
+        let mut outcome = EmOutcome::MaxIterations;
+        for _ in 0..self.config.max_iterations {
+            let t0 = Instant::now();
+            let llh = self.iterate_once()?;
+            iteration_times.push(t0.elapsed());
+            llh_history.push(llh);
+            if let Some(prev) = prev {
+                if (llh - prev).abs() <= self.config.epsilon {
+                    outcome = EmOutcome::Converged;
+                    break;
+                }
+            }
+            if let Some(eps) = self.config.param_epsilon {
+                let params = self.params()?;
+                if let Some(prev_params) = &prev_params {
+                    if emcore::compare::direct_max_diff(prev_params, &params) <= eps {
+                        outcome = EmOutcome::Converged;
+                        break;
+                    }
+                }
+                prev_params = Some(params);
+            }
+            prev = Some(llh);
+        }
+        let params = self.params()?;
+        Ok(SqlemRun {
+            params,
+            iterations: llh_history.len(),
+            llh_history,
+            outcome,
+            iteration_times,
+        })
+    }
+
+    /// Materialize per-point cluster assignments (the `score` of §3.2,
+    /// via the X/XMAX tables) and return them in RID order, 0-based.
+    pub fn scores(&mut self) -> Result<Vec<usize>, SqlemError> {
+        let stmts = self.generator.score_step();
+        self.execute_stmts(&stmts)?;
+        let sql = format!(
+            "SELECT rid, score FROM {ys} ORDER BY rid",
+            ys = self.names.ys()
+        );
+        let r = self
+            .db
+            .execute(&sql)
+            .map_err(|e| SqlemError::from_sql("read scores", e))?;
+        r.rows
+            .iter()
+            .map(|row| {
+                row[1]
+                    .as_i64()
+                    .filter(|&s| s >= 1)
+                    .map(|s| s as usize - 1)
+                    .ok_or_else(|| {
+                        SqlemError::BadParamTable(format!("bad score cell {}", row[1]))
+                    })
+            })
+            .collect()
+    }
+
+    /// Drop every table this session created.
+    pub fn cleanup(&mut self) -> Result<(), SqlemError> {
+        for table in self.names.all(self.config.k) {
+            self.db
+                .execute(&format!("DROP TABLE IF EXISTS {table}"))
+                .map_err(|e| SqlemError::from_sql("cleanup", e))?;
+        }
+        Ok(())
+    }
+
+    /// Immutable access to the underlying database (stats inspection).
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Reset the engine's execution statistics (scan accounting).
+    pub fn reset_stats(&mut self) {
+        self.db.reset_stats();
+    }
+
+    fn execute_stmts(&mut self, stmts: &[Stmt]) -> Result<(), SqlemError> {
+        for stmt in stmts {
+            self.db.execute(&stmt.sql).map_err(|e| {
+                promote_degenerate(&stmt.purpose, e)
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Map a division-by-zero inside a mean-update statement to the
+/// domain-level "cluster died" error.
+fn promote_degenerate(purpose: &str, e: SqlError) -> SqlemError {
+    if let SqlError::Arithmetic(_) = &e {
+        if let Some(rest) = purpose.strip_prefix("M: mean of cluster ") {
+            if let Some(j) = rest
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+            {
+                return SqlemError::DegenerateCluster(j);
+            }
+        }
+    }
+    SqlemError::from_sql(purpose, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            let t = (i % 4) as f64 * 0.1;
+            pts.push(vec![t, t]);
+            pts.push(vec![10.0 + t, 10.0 - t]);
+        }
+        pts
+    }
+
+    fn init_params() -> GmmParams {
+        GmmParams::new(
+            vec![vec![3.0, 3.0], vec![7.0, 7.0]],
+            vec![10.0, 10.0],
+            vec![0.5, 0.5],
+        )
+    }
+
+    fn run_strategy(strategy: Strategy) -> SqlemRun {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, strategy)
+            .with_epsilon(1e-9)
+            .with_max_iterations(30);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        session.load_points(&blobs()).unwrap();
+        session
+            .initialize(&InitStrategy::Explicit(init_params()))
+            .unwrap();
+        session.run().unwrap()
+    }
+
+    #[test]
+    fn hybrid_recovers_blobs() {
+        let run = run_strategy(Strategy::Hybrid);
+        run.params.validate().unwrap();
+        let mut xs: Vec<f64> = run.params.means.iter().map(|m| m[0]).collect();
+        xs.sort_by(f64::total_cmp);
+        assert!((xs[0] - 0.15).abs() < 0.2, "means {xs:?}");
+        assert!((xs[1] - 10.15).abs() < 0.2, "means {xs:?}");
+        assert!((run.params.weights[0] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn horizontal_recovers_blobs() {
+        let run = run_strategy(Strategy::Horizontal);
+        let mut xs: Vec<f64> = run.params.means.iter().map(|m| m[0]).collect();
+        xs.sort_by(f64::total_cmp);
+        assert!((xs[0] - 0.15).abs() < 0.2, "means {xs:?}");
+        assert!((xs[1] - 10.15).abs() < 0.2, "means {xs:?}");
+    }
+
+    #[test]
+    fn vertical_recovers_blobs() {
+        let run = run_strategy(Strategy::Vertical);
+        let mut xs: Vec<f64> = run.params.means.iter().map(|m| m[0]).collect();
+        xs.sort_by(f64::total_cmp);
+        assert!((xs[0] - 0.15).abs() < 0.2, "means {xs:?}");
+        assert!((xs[1] - 10.15).abs() < 0.2, "means {xs:?}");
+    }
+
+    #[test]
+    fn llh_monotone_across_strategies() {
+        for strategy in Strategy::ALL {
+            let run = run_strategy(strategy);
+            for w in run.llh_history.windows(2) {
+                assert!(
+                    w[1] >= w[0] - 1e-9,
+                    "{strategy}: llh decreased {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scores_separate_the_blobs() {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, Strategy::Hybrid).with_max_iterations(10);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        let pts = blobs();
+        session.load_points(&pts).unwrap();
+        session
+            .initialize(&InitStrategy::Explicit(init_params()))
+            .unwrap();
+        session.run().unwrap();
+        let scores = session.scores().unwrap();
+        assert_eq!(scores.len(), pts.len());
+        // Same-blob points share a label, cross-blob points differ.
+        assert_eq!(scores[0], scores[2]);
+        assert_ne!(scores[0], scores[1]);
+    }
+
+    #[test]
+    fn param_epsilon_stops_early() {
+        // llh ε of 0 never converges on its own within the cap; parameter
+        // stability must cut the run short on this trivially-stable data.
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(25)
+            .with_param_epsilon(1e-9);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        session.load_points(&blobs()).unwrap();
+        session
+            .initialize(&InitStrategy::Explicit(init_params()))
+            .unwrap();
+        let run = session.run().unwrap();
+        assert_eq!(run.outcome, emcore::EmOutcome::Converged);
+        assert!(run.iterations < 25, "ran {} iterations", run.iterations);
+    }
+
+    #[test]
+    fn run_requires_load_and_init() {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, Strategy::Hybrid);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        assert!(matches!(
+            session.iterate_once(),
+            Err(SqlemError::BadInput(_))
+        ));
+        session.load_points(&blobs()).unwrap();
+        assert!(matches!(
+            session.iterate_once(),
+            Err(SqlemError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn cleanup_drops_tables() {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, Strategy::Hybrid);
+        {
+            let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+            session.load_points(&blobs()).unwrap();
+            session.cleanup().unwrap();
+        }
+        assert!(!db.contains_table("z"));
+        assert!(!db.contains_table("yx"));
+    }
+
+    #[test]
+    fn prefixed_sessions_coexist() {
+        let mut db = Database::new();
+        let cfg_a = SqlemConfig::new(2, Strategy::Hybrid).with_prefix("a_");
+        let mut a = EmSession::create(&mut db, &cfg_a, 2).unwrap();
+        a.load_points(&blobs()).unwrap();
+        a.initialize(&InitStrategy::Explicit(init_params())).unwrap();
+        a.run().unwrap();
+        drop(a);
+        let cfg_b = SqlemConfig::new(2, Strategy::Vertical).with_prefix("b_");
+        let mut b = EmSession::create(&mut db, &cfg_b, 2).unwrap();
+        b.load_points(&blobs()).unwrap();
+        b.initialize(&InitStrategy::Explicit(init_params())).unwrap();
+        b.run().unwrap();
+        assert!(db.contains_table("a_z"));
+        assert!(db.contains_table("b_y"));
+        assert!(!db.contains_table("b_z"));
+    }
+
+    #[test]
+    fn load_from_table_requires_explicit_init() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE src (id BIGINT PRIMARY KEY, a DOUBLE, b DOUBLE)")
+            .unwrap();
+        db.execute("INSERT INTO src VALUES (1, 0.0, 0.0), (2, 10.0, 10.0)")
+            .unwrap();
+        let config = SqlemConfig::new(2, Strategy::Hybrid).with_max_iterations(2);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        session.load_from_table("src", "id", &["a", "b"]).unwrap();
+        assert!(matches!(
+            session.initialize(&InitStrategy::random()),
+            Err(SqlemError::BadInput(_))
+        ));
+        session
+            .initialize(&InitStrategy::Explicit(init_params()))
+            .unwrap();
+        let run = session.run().unwrap();
+        assert_eq!(run.iterations, 2);
+    }
+
+    #[test]
+    fn wrong_dimension_points_rejected() {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, Strategy::Hybrid);
+        let mut session = EmSession::create(&mut db, &config, 3).unwrap();
+        assert!(matches!(
+            session.load_points(&blobs()),
+            Err(SqlemError::BadInput(_))
+        ));
+    }
+}

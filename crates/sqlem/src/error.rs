@@ -1,0 +1,94 @@
+//! Error type for SQLEM sessions.
+
+use sqlengine::Error as SqlError;
+
+/// Anything that can go wrong while driving a SQLEM run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlemError {
+    /// The underlying engine rejected or failed a generated statement.
+    /// Carries the statement's purpose tag for diagnosis.
+    Sql {
+        /// What the failing statement was doing (e.g. `"E: distances"`).
+        purpose: String,
+        /// The engine error.
+        source: SqlError,
+    },
+    /// A generated statement exceeded the engine's statement-length limit
+    /// — the horizontal strategy's failure mode at high `kp` (§3.3).
+    StatementTooLong {
+        /// What the statement was doing.
+        purpose: String,
+        /// Its length in bytes.
+        len: usize,
+        /// The engine's limit.
+        max: usize,
+    },
+    /// Parameter read-back found missing or malformed rows.
+    BadParamTable(String),
+    /// The data does not match the configuration (arity, emptiness).
+    BadInput(String),
+    /// A cluster lost all responsibility mass; the mean-update division
+    /// failed inside the DBMS.
+    DegenerateCluster(usize),
+}
+
+impl std::fmt::Display for SqlemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlemError::Sql { purpose, source } => {
+                write!(f, "SQL step {purpose:?} failed: {source}")
+            }
+            SqlemError::StatementTooLong { purpose, len, max } => write!(
+                f,
+                "generated statement {purpose:?} is {len} bytes, over the DBMS parser \
+                 limit of {max} (the §3.3 horizontal-strategy failure mode)"
+            ),
+            SqlemError::BadParamTable(m) => write!(f, "parameter table read-back failed: {m}"),
+            SqlemError::BadInput(m) => write!(f, "bad input: {m}"),
+            SqlemError::DegenerateCluster(j) => {
+                write!(f, "cluster {j} received zero total responsibility")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqlemError {}
+
+impl SqlemError {
+    /// Wrap an engine error, promoting length overflows to the dedicated
+    /// variant.
+    pub fn from_sql(purpose: &str, source: SqlError) -> Self {
+        match source {
+            SqlError::StatementTooLong { len, max } => SqlemError::StatementTooLong {
+                purpose: purpose.to_string(),
+                len,
+                max,
+            },
+            other => SqlemError::Sql {
+                purpose: purpose.to_string(),
+                source: other,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_overflow_promoted() {
+        let e = SqlemError::from_sql(
+            "E: distances",
+            SqlError::StatementTooLong { len: 9, max: 4 },
+        );
+        assert!(matches!(e, SqlemError::StatementTooLong { .. }));
+        assert!(e.to_string().contains("horizontal"));
+    }
+
+    #[test]
+    fn sql_errors_keep_purpose() {
+        let e = SqlemError::from_sql("M: means", SqlError::UnknownTable("c".into()));
+        assert!(e.to_string().contains("M: means"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Loading points into the strategy's table layout(s).
+//!
+//! The horizontal strategy reads points from the wide `Z(RID, y1…yp)`
+//! table, the vertical strategy from the long `Y(RID, v, val)` table, and
+//! the hybrid from both (Fig. 8 lists Z *and* Y). Rows are assigned RIDs
+//! 1…n in input order. Bulk loading bypasses the SQL parser — the
+//! FastLoad / JDBC-batch analogue (DESIGN.md §5) — while
+//! [`pivot_from_table`] supports the warehouse scenario where the data
+//! already lives in a user table.
+
+use sqlengine::{Database, Value};
+
+use crate::config::Strategy;
+use crate::error::SqlemError;
+use crate::naming::Names;
+
+/// Which layouts a strategy consumes.
+pub fn layouts(strategy: Strategy) -> (bool, bool) {
+    match strategy {
+        Strategy::Horizontal => (true, false),
+        Strategy::Vertical => (false, true),
+        Strategy::Hybrid => (true, true),
+    }
+}
+
+/// Bulk-load `points` into the layout tables for `strategy`. Returns `n`.
+pub fn load_points(
+    db: &mut Database,
+    names: &Names,
+    strategy: Strategy,
+    points: &[Vec<f64>],
+) -> Result<usize, SqlemError> {
+    let n = points.len();
+    if n == 0 {
+        return Err(SqlemError::BadInput("no points to load".into()));
+    }
+    let p = points[0].len();
+    if points.iter().any(|pt| pt.len() != p) {
+        return Err(SqlemError::BadInput("ragged point vectors".into()));
+    }
+    let (wide, long) = layouts(strategy);
+    if wide {
+        let rows = points.iter().enumerate().map(|(i, pt)| {
+            let mut row = Vec::with_capacity(p + 1);
+            row.push(Value::Int(i as i64 + 1));
+            row.extend(pt.iter().map(|&v| Value::Double(v)));
+            row
+        });
+        db.bulk_insert(&names.z(), rows)
+            .map_err(|e| SqlemError::from_sql("load Z", e))?;
+    }
+    if long {
+        let mut rows = Vec::with_capacity(n * p);
+        for (i, pt) in points.iter().enumerate() {
+            for (d, &v) in pt.iter().enumerate() {
+                rows.push(vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Int(d as i64 + 1),
+                    Value::Double(v),
+                ]);
+            }
+        }
+        db.bulk_insert(&names.y(), rows)
+            .map_err(|e| SqlemError::from_sql("load Y", e))?;
+    }
+    Ok(n)
+}
+
+/// Fill the layout tables from an existing table (the data-warehouse
+/// scenario of §1.3: never move the data out). `rid_col` must be a unique
+/// integer key; `value_cols` are the `p` variables in order. The vertical
+/// pivot issues one `INSERT … SELECT` per dimension — the standard SQL-92
+/// unpivot.
+pub fn pivot_from_table(
+    db: &mut Database,
+    names: &Names,
+    strategy: Strategy,
+    source: &str,
+    rid_col: &str,
+    value_cols: &[&str],
+) -> Result<usize, SqlemError> {
+    if value_cols.is_empty() {
+        return Err(SqlemError::BadInput("no value columns".into()));
+    }
+    let (wide, long) = layouts(strategy);
+    if wide {
+        let cols = value_cols.join(", ");
+        let sql = format!(
+            "INSERT INTO {z} SELECT {rid_col}, {cols} FROM {source}",
+            z = names.z(),
+        );
+        db.execute(&sql)
+            .map_err(|e| SqlemError::from_sql("pivot into Z", e))?;
+    }
+    if long {
+        for (d, col) in value_cols.iter().enumerate() {
+            let sql = format!(
+                "INSERT INTO {y} SELECT {rid_col}, {v}, {col} FROM {source}",
+                y = names.y(),
+                v = d + 1,
+            );
+            db.execute(&sql)
+                .map_err(|e| SqlemError::from_sql("pivot into Y", e))?;
+        }
+    }
+    db.table_len(source)
+        .map_err(|e| SqlemError::from_sql("count source", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SqlemConfig;
+    use crate::generator::build_generator;
+
+    fn setup(strategy: Strategy) -> (Database, Names) {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, strategy);
+        let g = build_generator(&config, 2);
+        for s in g.create_tables() {
+            db.execute(&s.sql).unwrap();
+        }
+        (db, Names::new(""))
+    }
+
+    #[test]
+    fn hybrid_loads_both_layouts() {
+        let (mut db, names) = setup(Strategy::Hybrid);
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let n = load_points(&mut db, &names, Strategy::Hybrid, &pts).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.table_len("z").unwrap(), 2);
+        assert_eq!(db.table_len("y").unwrap(), 4);
+        let r = db
+            .execute("SELECT val FROM y WHERE rid = 2 AND v = 1")
+            .unwrap();
+        assert_eq!(r.scalar_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn horizontal_loads_wide_only() {
+        let (mut db, names) = setup(Strategy::Horizontal);
+        let pts = vec![vec![1.0, 2.0]];
+        load_points(&mut db, &names, Strategy::Horizontal, &pts).unwrap();
+        assert_eq!(db.table_len("z").unwrap(), 1);
+        assert!(!db.contains_table("y"));
+    }
+
+    #[test]
+    fn vertical_loads_long_only() {
+        let (mut db, names) = setup(Strategy::Vertical);
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        load_points(&mut db, &names, Strategy::Vertical, &pts).unwrap();
+        assert_eq!(db.table_len("y").unwrap(), 6);
+        assert!(!db.contains_table("z"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let (mut db, names) = setup(Strategy::Hybrid);
+        assert!(matches!(
+            load_points(&mut db, &names, Strategy::Hybrid, &[]),
+            Err(SqlemError::BadInput(_))
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            load_points(&mut db, &names, Strategy::Hybrid, &ragged),
+            Err(SqlemError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn pivot_from_existing_table() {
+        let (mut db, names) = setup(Strategy::Hybrid);
+        db.execute(
+            "CREATE TABLE baskets (bid BIGINT PRIMARY KEY, hour DOUBLE, sales DOUBLE)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO baskets VALUES (10, 12.0, 6.5), (11, 17.0, 40.0)")
+            .unwrap();
+        let n = pivot_from_table(
+            &mut db,
+            &names,
+            Strategy::Hybrid,
+            "baskets",
+            "bid",
+            &["hour", "sales"],
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.table_len("z").unwrap(), 2);
+        assert_eq!(db.table_len("y").unwrap(), 4);
+        let r = db
+            .execute("SELECT val FROM y WHERE rid = 11 AND v = 2")
+            .unwrap();
+        assert_eq!(r.scalar_f64(), Some(40.0));
+    }
+}

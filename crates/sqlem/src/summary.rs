@@ -1,0 +1,120 @@
+//! Cluster interpretation helpers — the §4.1 workflow of turning C, R, W
+//! into a business narrative ("71% of the clientele in two clusters…").
+
+use emcore::GmmParams;
+
+/// One cluster, described for humans.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Cluster index (0-based, matching [`GmmParams`] order).
+    pub index: usize,
+    /// Mixture weight (fraction of the data).
+    pub weight: f64,
+    /// Mean per variable.
+    pub mean: Vec<f64>,
+}
+
+/// Summarize a model, sorted by descending weight (the paper presents
+/// clusters largest-first).
+pub fn summarize(params: &GmmParams) -> Vec<ClusterSummary> {
+    let mut out: Vec<ClusterSummary> = params
+        .means
+        .iter()
+        .zip(&params.weights)
+        .enumerate()
+        .map(|(index, (mean, &weight))| ClusterSummary {
+            index,
+            weight,
+            mean: mean.clone(),
+        })
+        .collect();
+    out.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+    out
+}
+
+/// Render a fixed-width text table of the summaries. `variables` names
+/// the columns; its length must equal `p`.
+pub fn format_table(params: &GmmParams, variables: &[&str]) -> String {
+    assert_eq!(
+        variables.len(),
+        params.p(),
+        "need one name per variable"
+    );
+    let summaries = summarize(params);
+    let mut out = String::new();
+    out.push_str(&format!("{:>8} {:>8}", "cluster", "weight"));
+    for v in variables {
+        out.push_str(&format!(" {v:>12}"));
+    }
+    out.push('\n');
+    for s in &summaries {
+        out.push_str(&format!("{:>8} {:>7.1}%", s.index, s.weight * 100.0));
+        for m in &s.mean {
+            out.push_str(&format!(" {m:>12.2}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>8} {:>8}",
+        "(cov)", ""
+    ));
+    for c in &params.cov {
+        out.push_str(&format!(" {c:>12.2}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Cumulative weight of the `top` heaviest clusters — the "71% of the
+/// clientele in two clusters" style of statement.
+pub fn top_weight(params: &GmmParams, top: usize) -> f64 {
+    let mut w = params.weights.clone();
+    w.sort_by(|a, b| b.total_cmp(a));
+    w.iter().take(top).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GmmParams {
+        GmmParams::new(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![1.0, 1.0],
+            vec![0.2, 0.5, 0.3],
+        )
+    }
+
+    #[test]
+    fn summaries_sorted_by_weight() {
+        let s = summarize(&params());
+        assert_eq!(s[0].index, 1);
+        assert_eq!(s[1].index, 2);
+        assert_eq!(s[2].index, 0);
+        assert!((s[0].weight - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_contains_all_clusters_and_names() {
+        let t = format_table(&params(), &["hour", "sales"]);
+        assert!(t.contains("hour"));
+        assert!(t.contains("sales"));
+        assert!(t.contains("50.0%"));
+        assert!(t.contains("(cov)"));
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn top_weight_accumulates() {
+        let p = params();
+        assert!((top_weight(&p, 1) - 0.5).abs() < 1e-12);
+        assert!((top_weight(&p, 2) - 0.8).abs() < 1e-12);
+        assert!((top_weight(&p, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per variable")]
+    fn wrong_variable_count_panics() {
+        format_table(&params(), &["only-one"]);
+    }
+}

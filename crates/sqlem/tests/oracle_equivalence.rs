@@ -1,0 +1,209 @@
+//! The paper's core promise (§1.4): "Keep the basic behavior of the EM
+//! algorithm unchanged. This is important to check correctness and
+//! debugging."
+//!
+//! These tests run every SQL strategy in lockstep with the in-memory
+//! Figure-3 EM from `emcore` — same data, same initial parameters, one
+//! iteration at a time — and require the parameter trajectories to agree
+//! to floating-point noise.
+
+use datagen::generate_dataset;
+use emcore::em::em_step;
+use emcore::init::{initialize, InitStrategy};
+use emcore::GmmParams;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+fn max_abs_diff(a: &GmmParams, b: &GmmParams) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (ma, mb) in a.means.iter().zip(&b.means) {
+        for (x, y) in ma.iter().zip(mb) {
+            worst = worst.max((x - y).abs());
+        }
+    }
+    for (x, y) in a.cov.iter().zip(&b.cov) {
+        worst = worst.max((x - y).abs());
+    }
+    for (x, y) in a.weights.iter().zip(&b.weights) {
+        worst = worst.max((x - y).abs());
+    }
+    worst
+}
+
+/// Run `iters` lockstep iterations and return the largest parameter
+/// divergence observed at any step.
+fn lockstep(strategy: Strategy, n: usize, p: usize, k: usize, iters: usize, seed: u64) -> f64 {
+    let data = generate_dataset(n, p, k, seed);
+    let init = initialize(&data.points, k, &InitStrategy::Random { seed });
+
+    let mut db = Database::new();
+    let config = SqlemConfig::new(k, strategy)
+        .with_epsilon(0.0)
+        .with_max_iterations(iters);
+    let mut session = EmSession::create(&mut db, &config, p).unwrap();
+    session.load_points(&data.points).unwrap();
+    session
+        .initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+
+    let mut oracle = init;
+    let mut worst: f64 = 0.0;
+    for _ in 0..iters {
+        let sql_llh = session.iterate_once().unwrap();
+        let (next, oracle_llh) = em_step(&oracle, &data.points).unwrap();
+        oracle = next;
+        let sql_params = session.params().unwrap();
+        worst = worst.max(max_abs_diff(&sql_params, &oracle));
+        // llh must agree too (same NULL-skipping semantics). The scale of
+        // llh is O(n), so compare relatively.
+        let denom = oracle_llh.abs().max(1.0);
+        assert!(
+            ((sql_llh - oracle_llh) / denom).abs() < 1e-9,
+            "{strategy}: llh {sql_llh} vs oracle {oracle_llh}"
+        );
+    }
+    worst
+}
+
+#[test]
+fn hybrid_matches_oracle() {
+    let worst = lockstep(Strategy::Hybrid, 600, 4, 3, 5, 11);
+    assert!(worst < 1e-8, "max divergence {worst}");
+}
+
+#[test]
+fn horizontal_matches_oracle() {
+    let worst = lockstep(Strategy::Horizontal, 400, 3, 3, 5, 22);
+    assert!(worst < 1e-8, "max divergence {worst}");
+}
+
+#[test]
+fn vertical_matches_oracle() {
+    let worst = lockstep(Strategy::Vertical, 400, 3, 3, 5, 33);
+    assert!(worst < 1e-8, "max divergence {worst}");
+}
+
+#[test]
+fn strategies_match_each_other() {
+    // All three strategies are the same algorithm; from one init they
+    // must land on the same parameters.
+    let data = generate_dataset(500, 3, 2, 7);
+    let init = initialize(&data.points, 2, &InitStrategy::Random { seed: 7 });
+    let mut results = Vec::new();
+    for strategy in Strategy::ALL {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, strategy)
+            .with_epsilon(0.0)
+            .with_max_iterations(4);
+        let mut session = EmSession::create(&mut db, &config, 3).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::Explicit(init.clone()))
+            .unwrap();
+        let run = session.run().unwrap();
+        results.push(run.params);
+    }
+    assert!(max_abs_diff(&results[0], &results[1]) < 1e-8);
+    assert!(max_abs_diff(&results[1], &results[2]) < 1e-8);
+}
+
+#[test]
+fn hybrid_matches_oracle_with_heavy_noise_and_underflow() {
+    // 20% noise over a widely spread lattice forces the §2.5 fallback
+    // path on some points; oracle and SQL must still agree.
+    let data = generate_dataset(800, 6, 4, 99);
+    let k = 4;
+    let init = initialize(&data.points, k, &InitStrategy::Random { seed: 99 });
+
+    let mut db = Database::new();
+    let config = SqlemConfig::new(k, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(4);
+    let mut session = EmSession::create(&mut db, &config, 6).unwrap();
+    session.load_points(&data.points).unwrap();
+    session
+        .initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+
+    let mut oracle = init;
+    for _ in 0..4 {
+        session.iterate_once().unwrap();
+        let (next, _) = em_step(&oracle, &data.points).unwrap();
+        oracle = next;
+    }
+    let sql_params = session.params().unwrap();
+    assert!(
+        max_abs_diff(&sql_params, &oracle) < 1e-7,
+        "diverged: {}",
+        max_abs_diff(&sql_params, &oracle)
+    );
+}
+
+#[test]
+fn sample_initialized_run_converges_and_agrees() {
+    // End-to-end with the paper's recommended initialization (§3.1).
+    let data = generate_dataset(1200, 2, 3, 5);
+    let init = initialize(
+        &data.points,
+        3,
+        &InitStrategy::FromSample {
+            fraction: 0.1,
+            seed: 5,
+            em_iterations: 4,
+        },
+    );
+    let mut db = Database::new();
+    let config = SqlemConfig::new(3, Strategy::Hybrid)
+        .with_epsilon(1e-4)
+        .with_max_iterations(20);
+    let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+    session.load_points(&data.points).unwrap();
+    session
+        .initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+    let sql_run = session.run().unwrap();
+
+    let oracle = emcore::em::run_em(
+        &data.points,
+        init,
+        &emcore::EmConfig {
+            epsilon: 1e-4,
+            max_iterations: 20,
+        },
+    )
+    .unwrap();
+    assert_eq!(sql_run.iterations, oracle.iterations);
+    assert!(max_abs_diff(&sql_run.params, &oracle.params) < 1e-6);
+}
+
+#[test]
+fn hybrid_matches_oracle_on_skewed_anisotropic_mixture() {
+    // Zipf weights + per-dimension variances: a harder statistical
+    // regime; SQL and oracle must still agree step for step.
+    let spec = datagen::mixture::skewed_spec(4, 4, 77);
+    let data = datagen::mixture::generate(&spec, 900, 77);
+    let init = initialize(&data.points, 4, &InitStrategy::Random { seed: 77 });
+
+    let mut db = Database::new();
+    let config = SqlemConfig::new(4, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(5);
+    let mut session = EmSession::create(&mut db, &config, 4).unwrap();
+    session.load_points(&data.points).unwrap();
+    session
+        .initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+
+    let mut oracle = init;
+    for _ in 0..5 {
+        session.iterate_once().unwrap();
+        let (next, _) = em_step(&oracle, &data.points).unwrap();
+        oracle = next;
+    }
+    let got = session.params().unwrap();
+    assert!(
+        max_abs_diff(&got, &oracle) < 1e-7,
+        "diverged by {}",
+        max_abs_diff(&got, &oracle)
+    );
+}

@@ -1,0 +1,216 @@
+//! Property-based and failure-mode tests for the SQLEM driver.
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use emcore::GmmParams;
+use proptest::prelude::*;
+use sqlem::{EmSession, SqlemConfig, SqlemError, Strategy};
+use sqlengine::Database;
+
+/// The §3.3 failure mode, reproduced: with a realistic parser limit the
+/// horizontal distance statement is rejected at high kp while the hybrid
+/// runs the identical problem.
+#[test]
+fn horizontal_hits_parser_limit_where_hybrid_does_not() {
+    let (p, k) = (40, 25); // kp = 1000, the paper's stated ceiling
+    let data = generate_dataset(50, p, k, 3);
+
+    let mut db = Database::new();
+    db.set_max_statement_len(16 * 1024);
+    let config = SqlemConfig::new(k, Strategy::Horizontal).with_max_iterations(1);
+    let mut session = EmSession::create(&mut db, &config, p).unwrap();
+    assert!(session.longest_statement() > 16 * 1024);
+    session.load_points(&data.points).unwrap();
+    session.initialize(&InitStrategy::Random { seed: 0 }).unwrap();
+    let err = session.iterate_once().unwrap_err();
+    assert!(
+        matches!(err, SqlemError::StatementTooLong { .. }),
+        "expected StatementTooLong, got {err:?}"
+    );
+
+    let mut db2 = Database::new();
+    db2.set_max_statement_len(16 * 1024);
+    let config2 = SqlemConfig::new(k, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(1);
+    let mut hybrid = EmSession::create(&mut db2, &config2, p).unwrap();
+    assert!(hybrid.longest_statement() < 16 * 1024);
+    hybrid.load_points(&data.points).unwrap();
+    hybrid.initialize(&InitStrategy::Random { seed: 0 }).unwrap();
+    hybrid.iterate_once().unwrap();
+}
+
+/// A far outlier must not kill the run (§2.5 fallback), in every strategy.
+#[test]
+fn outliers_survive_in_every_strategy() {
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    for i in 0..60 {
+        let t = (i % 6) as f64 * 0.1;
+        points.push(vec![t, -t]);
+        points.push(vec![12.0 + t, 12.0 - t]);
+    }
+    points.push(vec![1.0e7, -1.0e7]); // hopeless outlier
+    let init = GmmParams::new(
+        vec![vec![3.0, 3.0], vec![9.0, 9.0]],
+        vec![20.0, 20.0],
+        vec![0.5, 0.5],
+    );
+    for strategy in Strategy::ALL {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, strategy).with_max_iterations(5);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        session.load_points(&points).unwrap();
+        session
+            .initialize(&InitStrategy::Explicit(init.clone()))
+            .unwrap();
+        let run = session.run().unwrap();
+        run.params.validate().unwrap_or_else(|e| {
+            panic!("{strategy}: invalid params after outlier run: {e}")
+        });
+    }
+}
+
+/// Constant dimensions (zero variance) exercise the zero-covariance
+/// handling (§2.5) without killing any strategy.
+#[test]
+fn constant_dimension_handled() {
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    for i in 0..40 {
+        let t = (i % 4) as f64 * 0.2;
+        points.push(vec![t, 7.0]); // second dimension constant
+        points.push(vec![10.0 + t, 7.0]);
+    }
+    let init = GmmParams::new(
+        vec![vec![3.0, 7.0], vec![8.0, 7.0]],
+        vec![10.0, 1.0],
+        vec![0.5, 0.5],
+    );
+    for strategy in Strategy::ALL {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(2, strategy).with_max_iterations(6);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        session.load_points(&points).unwrap();
+        session
+            .initialize(&InitStrategy::Explicit(init.clone()))
+            .unwrap();
+        let run = session.run().unwrap();
+        // The constant dimension's covariance collapses to ~0 and the
+        // means sit at the constant.
+        assert!(run.params.cov[1].abs() < 1e-9, "{strategy}");
+        for m in &run.params.means {
+            assert!((m[1] - 7.0).abs() < 1e-9, "{strategy}: mean {m:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs a full SQL EM session
+        .. ProptestConfig::default()
+    })]
+
+    /// Invariants that must hold for any well-posed small problem:
+    /// weights normalized, covariance non-negative, llh non-decreasing.
+    #[test]
+    fn hybrid_invariants_hold(
+        n in 40usize..160,
+        p in 1usize..4,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let data = generate_dataset(n, p, k, seed);
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(4);
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(&data.points).unwrap();
+        session.initialize(&InitStrategy::Random { seed }).unwrap();
+        match session.run() {
+            Ok(run) => {
+                prop_assert!(run.params.weights_normalized());
+                prop_assert!(run.params.cov.iter().all(|&v| v >= 0.0 && v.is_finite()));
+                for w in run.llh_history.windows(2) {
+                    prop_assert!(
+                        w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
+                        "llh decreased: {} -> {}", w[0], w[1]
+                    );
+                }
+            }
+            // A randomly-initialized cluster can legitimately die on tiny
+            // data; the failure must be the *domain* error, not a raw SQL
+            // error.
+            Err(SqlemError::DegenerateCluster(_)) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+        }
+    }
+
+    /// Scores always cover exactly the loaded points and name real
+    /// clusters.
+    #[test]
+    fn scores_are_well_formed(
+        n in 30usize..100,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let data = generate_dataset(n, 2, k, seed);
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, Strategy::Hybrid).with_max_iterations(3);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        session.load_points(&data.points).unwrap();
+        session.initialize(&InitStrategy::Random { seed }).unwrap();
+        if session.run().is_ok() {
+            let scores = session.scores().unwrap();
+            prop_assert_eq!(scores.len(), n);
+            prop_assert!(scores.iter().all(|&s| s < k));
+        }
+    }
+}
+
+/// The entire EM state lives in the C/R/W tables, so a run can be
+/// checkpointed by reading the parameters and resumed in a brand-new
+/// database — the trajectory must be identical to an uninterrupted run.
+#[test]
+fn checkpoint_and_resume_reproduces_uninterrupted_run() {
+    let data = generate_dataset(600, 3, 3, 21);
+    let init = emcore::init::initialize(
+        &data.points,
+        3,
+        &InitStrategy::Random { seed: 21 },
+    );
+    let config = SqlemConfig::new(3, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(3);
+
+    // Uninterrupted: 6 iterations.
+    let mut db_a = Database::new();
+    let full_cfg = config.clone().with_max_iterations(6);
+    let mut a = EmSession::create(&mut db_a, &full_cfg, 3).unwrap();
+    a.load_points(&data.points).unwrap();
+    a.initialize(&InitStrategy::Explicit(init.clone())).unwrap();
+    let full = a.run().unwrap();
+
+    // Interrupted: 3 iterations, checkpoint, fresh engine, 3 more.
+    let mut db_b = Database::new();
+    let mut b1 = EmSession::create(&mut db_b, &config, 3).unwrap();
+    b1.load_points(&data.points).unwrap();
+    b1.initialize(&InitStrategy::Explicit(init)).unwrap();
+    b1.run().unwrap();
+    let checkpoint = b1.params().unwrap();
+    drop(b1);
+
+    let mut db_c = Database::new();
+    let mut b2 = EmSession::create(&mut db_c, &config, 3).unwrap();
+    b2.load_points(&data.points).unwrap();
+    b2.set_params(&checkpoint).unwrap();
+    let resumed = b2.run().unwrap();
+
+    let diff = emcore::compare::max_param_diff(&full.params, &resumed.params);
+    assert!(diff < 1e-10, "resume diverged by {diff}");
+    // The llh of the resumed first iteration equals the llh the full run
+    // measured at iteration 4 (same parameters going in).
+    assert!(
+        (full.llh_history[3] - resumed.llh_history[0]).abs()
+            < 1e-9 * full.llh_history[3].abs().max(1.0)
+    );
+}

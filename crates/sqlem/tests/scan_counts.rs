@@ -1,0 +1,140 @@
+//! Verifies the paper's §3.5 cost analysis: "Overall one iteration of EM
+//! requires 2k+3 scans on tables having n rows, and one scan on a table
+//! having pn rows" (hybrid strategy).
+//!
+//! The engine records every table pass; the paper's metric counts each
+//! join once by its streamed (driver) input, so we filter to driver
+//! scans. n-row tables during an iteration: Z, YD, YP, YX (each exactly
+//! n rows); the pn-row table is the vertical Y. Parameter tables have at
+//! most max(k, p) rows and fall below the threshold.
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+fn run_iteration_scans(strategy: Strategy, n: usize, p: usize, k: usize) -> (usize, usize) {
+    let data = generate_dataset(n, p, k, 42);
+    let mut db = Database::new();
+    let config = SqlemConfig::new(k, strategy)
+        .with_epsilon(0.0)
+        .with_max_iterations(3);
+    let mut session = EmSession::create(&mut db, &config, p).unwrap();
+    session.load_points(&data.points).unwrap();
+    session.initialize(&InitStrategy::Random { seed: 1 }).unwrap();
+    // Warm up one iteration so every work table exists with n rows, then
+    // measure a steady-state iteration.
+    session.iterate_once().unwrap();
+    session.reset_stats();
+    session.iterate_once().unwrap();
+
+    let stats = session.database().stats();
+    // Threshold: strictly more than the largest parameter table, at most n.
+    let threshold = n.min(p * k + 1).max(k + 1).max(p + 1);
+    let n_row_scans = stats
+        .scan_events()
+        .iter()
+        .filter(|e| !e.build && e.rows >= threshold && e.rows <= n)
+        .count();
+    let pn_row_scans = stats
+        .scan_events()
+        .iter()
+        .filter(|e| !e.build && e.rows > n)
+        .count();
+    (n_row_scans, pn_row_scans)
+}
+
+#[test]
+fn hybrid_iteration_costs_2k_plus_3_n_scans_and_one_pn_scan() {
+    for (n, p, k) in [(500, 4, 3), (800, 6, 5), (400, 3, 2)] {
+        let (n_scans, pn_scans) = run_iteration_scans(Strategy::Hybrid, n, p, k);
+        assert_eq!(
+            n_scans,
+            2 * k + 3,
+            "hybrid n-row driver scans for k={k} (expected 2k+3)"
+        );
+        assert_eq!(pn_scans, 1, "hybrid pn-row driver scans");
+    }
+}
+
+#[test]
+fn horizontal_iteration_has_no_pn_scan() {
+    // The horizontal strategy reads only wide n-row tables: 2k+3 n-row
+    // scans like the hybrid (same statement shapes, distances read Z
+    // instead of the vertical Y), and nothing bigger.
+    let (n, p, k) = (500, 4, 3);
+    let (n_scans, pn_scans) = run_iteration_scans(Strategy::Horizontal, n, p, k);
+    assert_eq!(n_scans, 2 * k + 3 + 1, "2k+3 plus the distance scan of Z");
+    assert_eq!(pn_scans, 0);
+}
+
+#[test]
+fn vertical_iteration_pays_multiple_big_scans() {
+    // §3.4: the vertical strategy flows through pn- and kn-row tables;
+    // count how many driver scans exceed n rows and require it to be
+    // well above the hybrid's single one.
+    let (n, p, k) = (500, 4, 3);
+    let (_n_scans, pn_scans) = run_iteration_scans(Strategy::Vertical, n, p, k);
+    assert!(
+        pn_scans >= 4,
+        "vertical should scan >n-row tables repeatedly, got {pn_scans}"
+    );
+}
+
+#[test]
+fn hybrid_statement_count_is_linear_in_k() {
+    // The iteration issues O(k) statements: each extra cluster adds one
+    // CR transpose, one C update and one RK update.
+    let count_stmts = |k: usize| {
+        let config = SqlemConfig::new(k, Strategy::Hybrid);
+        let g = sqlem::build_generator(&config, 4);
+        g.e_step().len() + g.m_step().len()
+    };
+    let c3 = count_stmts(3);
+    let c6 = count_stmts(6);
+    let c12 = count_stmts(12);
+    assert_eq!(c6 - c3, 3 * 3, "each extra cluster adds 3 statements");
+    assert_eq!(c12 - c6, 6 * 3);
+}
+
+#[test]
+fn fused_hybrid_saves_one_scan_and_matches_classic() {
+    // §5 future work implemented: fusing YP+YX drops one n-row scan.
+    let (n, p, k) = (500usize, 4usize, 3usize);
+    let data = generate_dataset(n, p, k, 42);
+    let run = |fused: bool| {
+        let mut db = Database::new();
+        let mut config = SqlemConfig::new(k, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(3);
+        if fused {
+            config = config.with_fused_e_step();
+        }
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&emcore::InitStrategy::Random { seed: 1 })
+            .unwrap();
+        session.iterate_once().unwrap();
+        session.reset_stats();
+        session.iterate_once().unwrap();
+        let threshold = n.min(p * k + 1).max(k + 1).max(p + 1);
+        let scans = session
+            .database()
+            .stats()
+            .scan_events()
+            .iter()
+            .filter(|e| !e.build && e.rows >= threshold && e.rows <= n)
+            .count();
+        let params = session.params().unwrap();
+        (scans, params)
+    };
+    let (classic_scans, classic_params) = run(false);
+    let (fused_scans, fused_params) = run(true);
+    assert_eq!(classic_scans, 2 * k + 3);
+    assert_eq!(fused_scans, 2 * k + 2, "fused E step must save one scan");
+    // Identical mathematics: the two variants agree to FP noise.
+    assert!(
+        emcore::compare::max_param_diff(&classic_params, &fused_params) < 1e-9
+    );
+}

@@ -1,0 +1,119 @@
+//! The catalog: a name → table map with create/drop semantics.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// All tables known to one [`crate::engine::Database`].
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Create a table. Errors if the name is taken and `if_not_exists` is
+    /// false; silently succeeds otherwise (keeping the existing table).
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        if_not_exists: bool,
+    ) -> Result<()> {
+        let lname = name.to_ascii_lowercase();
+        if self.tables.contains_key(&lname) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(Error::DuplicateTable(lname));
+        }
+        self.tables.insert(lname.clone(), Table::new(lname, schema));
+        Ok(())
+    }
+
+    /// Drop a table. Errors if missing and `if_exists` is false.
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        let lname = name.to_ascii_lowercase();
+        if self.tables.remove(&lname).is_none() && !if_exists {
+            return Err(Error::UnknownTable(lname));
+        }
+        Ok(())
+    }
+
+    /// Shared access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        let lname = name.to_ascii_lowercase();
+        self.tables
+            .get(&lname)
+            .ok_or(Error::UnknownTable(lname))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let lname = name.to_ascii_lowercase();
+        self.tables
+            .get_mut(&lname)
+            .ok_or(Error::UnknownTable(lname))
+    }
+
+    /// Does a table with this name exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Sorted table names (for introspection / tests).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::keyless(vec![Column::double("x")]).unwrap()
+    }
+
+    #[test]
+    fn create_and_drop() {
+        let mut c = Catalog::new();
+        c.create_table("Y", schema(), false).unwrap();
+        assert!(c.contains("y"));
+        assert!(c.contains("Y"));
+        c.drop_table("y", false).unwrap();
+        assert!(!c.contains("Y"));
+    }
+
+    #[test]
+    fn duplicate_create_rejected_unless_if_not_exists() {
+        let mut c = Catalog::new();
+        c.create_table("Y", schema(), false).unwrap();
+        assert!(c.create_table("y", schema(), false).is_err());
+        c.create_table("y", schema(), true).unwrap();
+    }
+
+    #[test]
+    fn drop_missing_rejected_unless_if_exists() {
+        let mut c = Catalog::new();
+        assert!(c.drop_table("nope", false).is_err());
+        c.drop_table("nope", true).unwrap();
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut c = Catalog::new();
+        c.create_table("b", schema(), false).unwrap();
+        c.create_table("A", schema(), false).unwrap();
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+    }
+}

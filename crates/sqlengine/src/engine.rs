@@ -1,0 +1,310 @@
+//! The [`Database`] facade: parse → execute, statistics, bulk loading.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ast::Statement;
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::exec::{execute_statement, ExecConfig, QueryResult};
+use crate::parser::parse;
+use crate::stats::Stats;
+use crate::table::Row;
+use crate::value::Value;
+
+/// Configuration for a [`Database`].
+pub type EngineConfig = ExecConfig;
+
+/// An in-memory relational database.
+///
+/// ```
+/// use sqlengine::Database;
+///
+/// let mut db = Database::new();
+/// db.execute("CREATE TABLE w (i BIGINT PRIMARY KEY, w DOUBLE)").unwrap();
+/// db.execute("INSERT INTO w VALUES (1, 0.25), (2, 0.75)").unwrap();
+/// let r = db.execute("SELECT sum(w) FROM w").unwrap();
+/// assert_eq!(r.scalar_f64(), Some(1.0));
+/// ```
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+    stats: Stats,
+    config: ExecConfig,
+}
+
+impl Database {
+    /// New database with default configuration (serial execution, 64 KiB
+    /// statement limit).
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// New database with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Database {
+            catalog: Catalog::new(),
+            stats: Stats::new(),
+            config,
+        }
+    }
+
+    /// Execute one or more `;`-separated statements; returns the result of
+    /// the **last** one. Statements run in order; on error, earlier
+    /// statements keep their effects (no transactions — the SQLEM workflow
+    /// rebuilds work tables each step, §3.6).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let results = self.execute_all(sql)?;
+        results.into_iter().last().ok_or(Error::Parse {
+            pos: 0,
+            message: "empty statement".into(),
+        })
+    }
+
+    /// Execute one or more statements, returning every result.
+    pub fn execute_all(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        if sql.len() > self.config.max_statement_len {
+            return Err(Error::StatementTooLong {
+                len: sql.len(),
+                max: self.config.max_statement_len,
+            });
+        }
+        let stmts = parse(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(execute_statement(
+                &mut self.catalog,
+                &mut self.stats,
+                &self.config,
+                stmt,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Parse statements once for repeated execution (prepared
+    /// statements). The statement-length limit applies here, exactly as
+    /// it would at the DBMS parser (§1.3).
+    pub fn prepare(&self, sql: &str) -> Result<Vec<Statement>> {
+        if sql.len() > self.config.max_statement_len {
+            return Err(Error::StatementTooLong {
+                len: sql.len(),
+                max: self.config.max_statement_len,
+            });
+        }
+        parse(sql)
+    }
+
+    /// Execute a statement prepared with [`Database::prepare`]. The
+    /// SQLEM driver prepares each E/M-step statement once and replays it
+    /// every iteration, like the paper's JDBC client would.
+    pub fn execute_prepared(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        execute_statement(&mut self.catalog, &mut self.stats, &self.config, stmt)
+    }
+
+    /// Bulk-load rows into a table without going through the SQL parser —
+    /// the analogue of Teradata FastLoad / JDBC batch inserts the paper's
+    /// client used for the 1.5M-row retail table. Values are coerced to the
+    /// column types; primary-key uniqueness is enforced.
+    pub fn bulk_insert<I>(&mut self, table: &str, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let t = self.catalog.table_mut(table)?;
+        let types: Vec<_> = t.schema().columns().iter().map(|c| c.ty).collect();
+        let mut inserted = 0usize;
+        for row in rows {
+            if row.len() != types.len() {
+                return Err(Error::ArityMismatch {
+                    table: t.name().to_string(),
+                    expected: types.len(),
+                    actual: row.len(),
+                });
+            }
+            let coerced: Row = row
+                .iter()
+                .zip(&types)
+                .map(|(v, ty)| v.coerce_to(*ty))
+                .collect::<Result<Vec<_>>>()?
+                .into_boxed_slice();
+            t.insert(coerced)?;
+            inserted += 1;
+        }
+        self.stats.record_inserts(inserted);
+        Ok(inserted)
+    }
+
+    /// Number of rows in `table`.
+    pub fn table_len(&self, table: &str) -> Result<usize> {
+        Ok(self.catalog.table(table)?.len())
+    }
+
+    /// Does `table` exist?
+    pub fn contains_table(&self, table: &str) -> bool {
+        self.catalog.contains(table)
+    }
+
+    /// Read-only catalog access.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Clear execution statistics (e.g. before timing one EM iteration).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Change the worker (partition) count for subsequent queries.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.config.workers = workers.max(1);
+    }
+
+    /// Change the statement-length limit (models DBMS parser limits, §1.3).
+    pub fn set_max_statement_len(&mut self, max: usize) {
+        self.config.max_statement_len = max;
+    }
+}
+
+/// A thread-safe handle around a [`Database`] for multi-client scenarios
+/// (several generator sessions sharing one warehouse).
+#[derive(Clone, Debug)]
+pub struct SharedDatabase {
+    inner: Arc<Mutex<Database>>,
+}
+
+impl SharedDatabase {
+    /// Wrap a database.
+    pub fn new(db: Database) -> Self {
+        SharedDatabase {
+            inner: Arc::new(Mutex::new(db)),
+        }
+    }
+
+    /// Execute statements under the lock.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.inner.lock().execute(sql)
+    }
+
+    /// Run an arbitrary closure against the locked database.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+impl Default for SharedDatabase {
+    fn default() -> Self {
+        SharedDatabase::new(Database::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_create_insert_select() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a BIGINT PRIMARY KEY, b DOUBLE)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5)").unwrap();
+        let r = db.execute("SELECT a, b FROM t ORDER BY a DESC").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn statement_length_limit_enforced() {
+        let mut db = Database::new();
+        db.set_max_statement_len(32);
+        let err = db
+            .execute("SELECT 1+1+1+1+1+1+1+1+1+1+1+1+1+1+1+1+1")
+            .unwrap_err();
+        assert!(matches!(err, Error::StatementTooLong { .. }));
+    }
+
+    #[test]
+    fn bulk_insert_coerces_and_enforces_keys() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY, y1 DOUBLE)").unwrap();
+        let n = db
+            .bulk_insert(
+                "y",
+                vec![
+                    vec![Value::Int(1), Value::Int(3)], // Int coerced to Double
+                    vec![Value::Int(2), Value::Double(4.5)],
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        let r = db.execute("SELECT sum(y1) FROM y").unwrap();
+        assert_eq!(r.scalar_f64(), Some(7.5));
+        // Duplicate key rejected.
+        assert!(db
+            .bulk_insert("y", vec![vec![Value::Int(1), Value::Double(0.0)]])
+            .is_err());
+    }
+
+    #[test]
+    fn execute_all_returns_every_result() {
+        let mut db = Database::new();
+        let rs = db
+            .execute_all("CREATE TABLE t (a BIGINT); INSERT INTO t VALUES (1); SELECT a FROM t")
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[2].rows.len(), 1);
+    }
+
+    #[test]
+    fn shared_database_is_cloneable_across_threads() {
+        let shared = SharedDatabase::default();
+        shared
+            .execute("CREATE TABLE t (a BIGINT)")
+            .unwrap();
+        let s2 = shared.clone();
+        std::thread::spawn(move || {
+            s2.execute("INSERT INTO t VALUES (42)").unwrap();
+        })
+        .join()
+        .unwrap();
+        let r = shared.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn prepared_statements_replay() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        let stmts = db.prepare("INSERT INTO t VALUES (1); SELECT count(*) FROM t").unwrap();
+        assert_eq!(stmts.len(), 2);
+        db.execute_prepared(&stmts[0]).unwrap();
+        db.execute_prepared(&stmts[0]).unwrap();
+        let r = db.execute_prepared(&stmts[1]).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+        // Length limit applies at prepare time.
+        db.set_max_statement_len(8);
+        assert!(matches!(
+            db.prepare("SELECT 12345678901234567890"),
+            Err(Error::StatementTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert!(db.stats().statements() >= 2);
+        db.reset_stats();
+        assert_eq!(db.stats().statements(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Error types for the SQL engine.
+//!
+//! Every fallible public operation returns [`Result<T>`]. Errors carry enough
+//! context (token positions, table/column names) to diagnose generated SQL,
+//! which matters here because most statements this engine sees are produced
+//! by the SQLEM code generators rather than typed by a human.
+
+use std::fmt;
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All errors the engine can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The lexer met a character it cannot start a token with.
+    Lex {
+        /// Byte offset in the statement.
+        pos: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parser met an unexpected token or ran out of input.
+    Parse {
+        /// Byte offset of the offending token.
+        pos: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A statement exceeded the configured maximum length.
+    ///
+    /// This mirrors the real-world DBMS parser limits that motivate the
+    /// paper's hybrid strategy (SQLEM §1.3, §3.3).
+    StatementTooLong {
+        /// Actual statement length in bytes.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Referenced column does not exist (optionally qualified).
+    UnknownColumn(String),
+    /// A column reference is ambiguous across the FROM tables.
+    AmbiguousColumn(String),
+    /// Two columns in a CREATE TABLE share a name, or a SELECT output list
+    /// repeats a name where uniqueness is required.
+    DuplicateColumn(String),
+    /// INSERT arity or SELECT arity does not match the target table.
+    ArityMismatch {
+        /// Destination table.
+        table: String,
+        /// Columns the table has.
+        expected: usize,
+        /// Values supplied.
+        actual: usize,
+    },
+    /// A value could not be coerced to the column's declared type.
+    TypeMismatch {
+        /// What the engine was doing when the mismatch surfaced.
+        context: String,
+    },
+    /// Primary-key uniqueness violation on insert.
+    DuplicateKey {
+        /// Destination table.
+        table: String,
+    },
+    /// An aggregate function appeared where it is not allowed (e.g. inside
+    /// WHERE) or a non-aggregated column escaped the GROUP BY list.
+    InvalidAggregate(String),
+    /// Division by zero or another runtime arithmetic fault in strict mode.
+    Arithmetic(String),
+    /// Anything else (internal invariants, unsupported constructs).
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            Error::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            Error::StatementTooLong { len, max } => write!(
+                f,
+                "statement length {len} exceeds the configured parser limit {max} \
+                 (see EngineConfig::max_statement_len)"
+            ),
+            Error::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            Error::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            Error::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            Error::DuplicateColumn(c) => write!(f, "duplicate column name: {c}"),
+            Error::ArityMismatch {
+                table,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch inserting into {table}: table has {expected} columns, \
+                 got {actual} values"
+            ),
+            Error::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            Error::DuplicateKey { table } => {
+                write!(f, "primary key violation inserting into {table}")
+            }
+            Error::InvalidAggregate(m) => write!(f, "invalid aggregate usage: {m}"),
+            Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::ArityMismatch {
+            table: "Y".into(),
+            expected: 3,
+            actual: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains('Y'));
+        assert!(s.contains('3'));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn statement_too_long_mentions_limit() {
+        let e = Error::StatementTooLong { len: 70000, max: 65536 };
+        assert!(e.to_string().contains("65536"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::UnknownTable("T".into()),
+            Error::UnknownTable("T".into())
+        );
+        assert_ne!(
+            Error::UnknownTable("T".into()),
+            Error::UnknownColumn("T".into())
+        );
+    }
+}

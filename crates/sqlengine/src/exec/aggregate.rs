@@ -1,0 +1,880 @@
+//! Hash aggregation (GROUP BY) and aggregate-expression rewriting.
+//!
+//! The planner rewrites projection/HAVING expressions into *post-aggregate*
+//! expressions over a synthetic row `[group keys…, aggregate results…]`.
+//! Each distinct aggregate call (`SUM(Z.y1*x1)` etc.) becomes one
+//! accumulator slot; expressions combining aggregates — the M step's
+//! `sum(Z.y1*x1)/sum(x1)` — evaluate over the finalized slots.
+//!
+//! Numeric behaviour: `SUM`/`AVG` skip NULLs; `SUM` over zero non-NULL
+//! inputs is NULL (SQL), `COUNT` is 0; `SUM` of integers stays integral,
+//! anything else is a double.
+
+use std::collections::HashMap;
+
+use crate::ast::{is_aggregate_name, Expr};
+use crate::error::{Error, Result};
+use crate::exec::select::RowSink;
+use crate::expr::{compile, CExpr, ColumnResolver};
+use crate::table::Row;
+use crate::value::Value;
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// `SUM(expr)`
+    Sum,
+    /// `COUNT(expr)` or `COUNT(*)` (arg = None)
+    Count,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `VARIANCE(expr)` — population variance (Welford accumulation).
+    Variance,
+    /// `STDDEV(expr)` — population standard deviation.
+    Stddev,
+}
+
+impl AggKind {
+    fn from_name(name: &str) -> Option<AggKind> {
+        Some(match name {
+            "sum" => AggKind::Sum,
+            "count" => AggKind::Count,
+            "avg" => AggKind::Avg,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            "variance" | "var_pop" => AggKind::Variance,
+            "stddev" | "stddev_pop" => AggKind::Stddev,
+            _ => return None,
+        })
+    }
+}
+
+/// One aggregate accumulator specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Which aggregate.
+    pub kind: AggKind,
+    /// Argument over the base (joined) row; `None` = `COUNT(*)`.
+    pub arg: Option<CExpr>,
+}
+
+/// A fully planned aggregation.
+#[derive(Debug, Clone)]
+pub struct AggPlan {
+    /// Group-key expressions over the base row.
+    pub keys: Vec<CExpr>,
+    /// Accumulator specs.
+    pub aggs: Vec<AggSpec>,
+    /// Projection items over `[keys…, aggs…]`.
+    pub items: Vec<CExpr>,
+    /// HAVING over `[keys…, aggs…]`.
+    pub having: Option<CExpr>,
+}
+
+/// Rewrite SELECT items + HAVING into an [`AggPlan`].
+pub fn plan_aggregate(
+    item_exprs: &[Expr],
+    group_by: &[Expr],
+    having: Option<&Expr>,
+    resolver: &ColumnResolver,
+) -> Result<AggPlan> {
+    let keys: Vec<CExpr> = group_by
+        .iter()
+        .map(|e| {
+            if e.contains_aggregate() {
+                Err(Error::InvalidAggregate(
+                    "aggregates are not allowed in GROUP BY".into(),
+                ))
+            } else {
+                compile(e, resolver)
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    let items = item_exprs
+        .iter()
+        .map(|e| rewrite(e, &keys, &mut aggs, resolver))
+        .collect::<Result<Vec<_>>>()?;
+    let having = having
+        .map(|h| rewrite(h, &keys, &mut aggs, resolver))
+        .transpose()?;
+    Ok(AggPlan {
+        keys,
+        aggs,
+        items,
+        having,
+    })
+}
+
+/// Rewrite one expression into a post-aggregate expression.
+///
+/// Rules, applied top-down:
+/// 1. a subexpression that compiles (aggregate-free) to the same [`CExpr`]
+///    as a group key becomes a reference to that key slot;
+/// 2. an aggregate call becomes a reference to its accumulator slot
+///    (deduplicated structurally);
+/// 3. otherwise recurse; a leaf column that survives to here is a
+///    non-grouped column — an error.
+fn rewrite(
+    expr: &Expr,
+    keys: &[CExpr],
+    aggs: &mut Vec<AggSpec>,
+    resolver: &ColumnResolver,
+) -> Result<CExpr> {
+    // Rule 1: matches a group key?
+    if !expr.contains_aggregate() {
+        if let Ok(compiled) = compile(expr, resolver) {
+            if let Some(i) = keys.iter().position(|k| *k == compiled) {
+                return Ok(CExpr::Col(i));
+            }
+            // A constant is fine as-is.
+            if compiled.max_slot().is_none() {
+                return Ok(compiled);
+            }
+        }
+    }
+    match expr {
+        Expr::Func { name, args } if is_aggregate_name(name) => {
+            let kind = AggKind::from_name(name).unwrap();
+            let arg = match args.len() {
+                0 => {
+                    if kind != AggKind::Count {
+                        return Err(Error::InvalidAggregate(format!(
+                            "{name}() requires an argument"
+                        )));
+                    }
+                    None
+                }
+                1 => {
+                    if args[0].contains_aggregate() {
+                        return Err(Error::InvalidAggregate(
+                            "nested aggregate calls are not allowed".into(),
+                        ));
+                    }
+                    Some(compile(&args[0], resolver)?)
+                }
+                n => {
+                    return Err(Error::InvalidAggregate(format!(
+                        "{name}() takes one argument, got {n}"
+                    )))
+                }
+            };
+            let spec = AggSpec { kind, arg };
+            let idx = match aggs.iter().position(|a| *a == spec) {
+                Some(i) => i,
+                None => {
+                    aggs.push(spec);
+                    aggs.len() - 1
+                }
+            };
+            Ok(CExpr::Col(keys.len() + idx))
+        }
+        Expr::Literal(v) => Ok(CExpr::Const(v.clone())),
+        Expr::Column { table, name } => {
+            let display = match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.clone(),
+            };
+            Err(Error::InvalidAggregate(format!(
+                "column {display} must appear in GROUP BY or inside an aggregate"
+            )))
+        }
+        Expr::Unary { op, expr } => Ok(CExpr::Unary(
+            *op,
+            Box::new(rewrite(expr, keys, aggs, resolver)?),
+        )),
+        Expr::Binary { op, left, right } => Ok(CExpr::Binary(
+            *op,
+            Box::new(rewrite(left, keys, aggs, resolver)?),
+            Box::new(rewrite(right, keys, aggs, resolver)?),
+        )),
+        Expr::Func { name, args } => {
+            let f = crate::expr::ScalarFunc::from_name(name)
+                .ok_or_else(|| Error::Unsupported(format!("unknown function {name}()")))?;
+            let cargs = args
+                .iter()
+                .map(|a| rewrite(a, keys, aggs, resolver))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(CExpr::Func(f, cargs))
+        }
+        Expr::Case { whens, else_expr } => {
+            let cwhens = whens
+                .iter()
+                .map(|(c, r)| {
+                    Ok((
+                        rewrite(c, keys, aggs, resolver)?,
+                        rewrite(r, keys, aggs, resolver)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let celse = else_expr
+                .as_ref()
+                .map(|e| rewrite(e, keys, aggs, resolver))
+                .transpose()?
+                .map(Box::new);
+            Ok(CExpr::Case {
+                whens: cwhens,
+                else_expr: celse,
+            })
+        }
+        Expr::IsNull { expr, negated } => Ok(CExpr::IsNull(
+            Box::new(rewrite(expr, keys, aggs, resolver)?),
+            *negated,
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accumulation
+// ---------------------------------------------------------------------
+
+/// Running state of one accumulator.
+#[derive(Debug, Clone)]
+enum AggState {
+    Sum { acc: f64, count: u64, all_int: bool },
+    Count(u64),
+    Avg { acc: f64, count: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    /// Welford online moments; `stddev` selects the square root at
+    /// finalize time.
+    Var {
+        count: u64,
+        mean: f64,
+        m2: f64,
+        stddev: bool,
+    },
+}
+
+impl AggState {
+    fn new(kind: AggKind) -> AggState {
+        match kind {
+            AggKind::Sum => AggState::Sum {
+                acc: 0.0,
+                count: 0,
+                all_int: true,
+            },
+            AggKind::Count => AggState::Count(0),
+            AggKind::Avg => AggState::Avg { acc: 0.0, count: 0 },
+            AggKind::Min => AggState::Min(None),
+            AggKind::Max => AggState::Max(None),
+            AggKind::Variance => AggState::Var {
+                count: 0,
+                mean: 0.0,
+                m2: 0.0,
+                stddev: false,
+            },
+            AggKind::Stddev => AggState::Var {
+                count: 0,
+                mean: 0.0,
+                m2: 0.0,
+                stddev: true,
+            },
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> Result<()> {
+        match self {
+            AggState::Count(c) => {
+                // COUNT(*) gets v = None (count every row); COUNT(expr)
+                // counts non-NULL values.
+                match v {
+                    None => *c += 1,
+                    Some(val) if !val.is_null() => *c += 1,
+                    Some(_) => {}
+                }
+            }
+            AggState::Sum { acc, count, all_int } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val.as_f64().ok_or_else(|| Error::TypeMismatch {
+                            context: format!("SUM over non-numeric value {val}"),
+                        })?;
+                        if !matches!(val, Value::Int(_)) {
+                            *all_int = false;
+                        }
+                        *acc += x;
+                        *count += 1;
+                    }
+                }
+            }
+            AggState::Avg { acc, count } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val.as_f64().ok_or_else(|| Error::TypeMismatch {
+                            context: format!("AVG over non-numeric value {val}"),
+                        })?;
+                        *acc += x;
+                        *count += 1;
+                    }
+                }
+            }
+            AggState::Min(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match best {
+                            None => true,
+                            Some(b) => val.sql_cmp(b).is_some_and(|o| o.is_lt()),
+                        };
+                        if replace {
+                            *best = Some(val);
+                        }
+                    }
+                }
+            }
+            AggState::Max(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match best {
+                            None => true,
+                            Some(b) => val.sql_cmp(b).is_some_and(|o| o.is_gt()),
+                        };
+                        if replace {
+                            *best = Some(val);
+                        }
+                    }
+                }
+            }
+            AggState::Var {
+                count, mean, m2, ..
+            } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val.as_f64().ok_or_else(|| Error::TypeMismatch {
+                            context: format!("VARIANCE over non-numeric value {val}"),
+                        })?;
+                        *count += 1;
+                        let delta = x - *mean;
+                        *mean += delta / *count as f64;
+                        *m2 += delta * (x - *mean);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge a partition-local state (parallel execution).
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (
+                AggState::Sum { acc, count, all_int },
+                AggState::Sum {
+                    acc: a2,
+                    count: c2,
+                    all_int: i2,
+                },
+            ) => {
+                *acc += a2;
+                *count += c2;
+                *all_int &= i2;
+            }
+            (AggState::Count(c), AggState::Count(c2)) => *c += c2,
+            (AggState::Avg { acc, count }, AggState::Avg { acc: a2, count: c2 }) => {
+                *acc += a2;
+                *count += c2;
+            }
+            (AggState::Min(best), AggState::Min(Some(v))) => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => v.sql_cmp(b).is_some_and(|o| o.is_lt()),
+                };
+                if replace {
+                    *best = Some(v);
+                }
+            }
+            (AggState::Max(best), AggState::Max(Some(v))) => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => v.sql_cmp(b).is_some_and(|o| o.is_gt()),
+                };
+                if replace {
+                    *best = Some(v);
+                }
+            }
+            (AggState::Min(_), AggState::Min(None)) => {}
+            (AggState::Max(_), AggState::Max(None)) => {}
+            (
+                AggState::Var {
+                    count, mean, m2, ..
+                },
+                AggState::Var {
+                    count: c2,
+                    mean: mu2,
+                    m2: s2,
+                    ..
+                },
+            ) => {
+                // Chan et al. parallel combination of moments.
+                if c2 > 0 {
+                    let n1 = *count as f64;
+                    let n2 = c2 as f64;
+                    let delta = mu2 - *mean;
+                    let total = n1 + n2;
+                    *mean += delta * n2 / total;
+                    *m2 += s2 + delta * delta * n1 * n2 / total;
+                    *count += c2;
+                }
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
+    fn finalize(&self) -> Value {
+        match self {
+            AggState::Sum { acc, count, all_int } => {
+                if *count == 0 {
+                    Value::Null
+                } else if *all_int && acc.abs() < 9.0e15 {
+                    Value::Int(*acc as i64)
+                } else {
+                    Value::Double(*acc)
+                }
+            }
+            AggState::Count(c) => Value::Int(*c as i64),
+            AggState::Avg { acc, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(acc / *count as f64)
+                }
+            }
+            AggState::Min(b) | AggState::Max(b) => b.clone().unwrap_or(Value::Null),
+            AggState::Var {
+                count, m2, stddev, ..
+            } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    let var = m2 / *count as f64;
+                    Value::Double(if *stddev { var.sqrt() } else { var })
+                }
+            }
+        }
+    }
+}
+
+/// Hash-aggregation sink: one per execution partition.
+pub struct AggSink {
+    plan: AggPlan,
+    /// Group key → index into `groups`, preserving first-seen order.
+    index: HashMap<Row, usize>,
+    groups: Vec<(Row, Vec<AggState>)>,
+}
+
+impl AggSink {
+    /// Fresh sink for `plan`.
+    pub fn new(plan: AggPlan) -> Self {
+        AggSink {
+            plan,
+            index: HashMap::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Merge another partition's groups into this one (partition order
+    /// gives deterministic group ordering).
+    pub fn merge(&mut self, other: AggSink) {
+        for (key, states) in other.groups {
+            match self.index.get(&key) {
+                Some(&i) => {
+                    for (mine, theirs) in self.groups[i].1.iter_mut().zip(states) {
+                        mine.merge(theirs);
+                    }
+                }
+                None => {
+                    self.index.insert(key.clone(), self.groups.len());
+                    self.groups.push((key, states));
+                }
+            }
+        }
+    }
+
+    /// Produce the final output rows (projection + HAVING applied).
+    pub fn finalize(&mut self) -> Result<Vec<Row>> {
+        // Implicit aggregation over an empty input yields one group.
+        if self.groups.is_empty() && self.plan.keys.is_empty() {
+            let states: Vec<AggState> =
+                self.plan.aggs.iter().map(|a| AggState::new(a.kind)).collect();
+            self.groups.push((Box::new([]), states));
+        }
+        let width = self.plan.keys.len() + self.plan.aggs.len();
+        let mut out = Vec::with_capacity(self.groups.len());
+        let mut scratch: Vec<Value> = Vec::with_capacity(width);
+        for (key, states) in &self.groups {
+            scratch.clear();
+            scratch.extend_from_slice(key);
+            for s in states {
+                scratch.push(s.finalize());
+            }
+            if let Some(h) = &self.plan.having {
+                if !h.eval_predicate(&scratch)? {
+                    continue;
+                }
+            }
+            let row: Row = self
+                .plan
+                .items
+                .iter()
+                .map(|e| e.eval(&scratch))
+                .collect::<Result<Vec<_>>>()?
+                .into_boxed_slice();
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+impl RowSink for AggSink {
+    fn push(&mut self, row: &[Value]) -> Result<()> {
+        let key: Row = self
+            .plan
+            .keys
+            .iter()
+            .map(|e| e.eval(row))
+            .collect::<Result<Vec<_>>>()?
+            .into_boxed_slice();
+        let idx = match self.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let states: Vec<AggState> =
+                    self.plan.aggs.iter().map(|a| AggState::new(a.kind)).collect();
+                self.index.insert(key.clone(), self.groups.len());
+                self.groups.push((key, states));
+                self.groups.len() - 1
+            }
+        };
+        for (spec, state) in self.plan.aggs.iter().zip(&mut self.groups[idx].1) {
+            let v = match &spec.arg {
+                Some(e) => Some(e.eval(row)?),
+                None => None,
+            };
+            state.update(v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    fn base_resolver() -> ColumnResolver {
+        ColumnResolver::from_tables(&[(
+            "t".into(),
+            vec!["rid".into(), "i".into(), "x".into()],
+        )])
+    }
+
+    fn push_rows(sink: &mut AggSink, rows: &[(i64, i64, f64)]) {
+        for (rid, i, x) in rows {
+            sink.push(&[Value::Int(*rid), Value::Int(*i), Value::Double(*x)])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn sum_group_by() {
+        let r = base_resolver();
+        let plan = plan_aggregate(
+            &[
+                Expr::col("i"),
+                Expr::Func {
+                    name: "sum".into(),
+                    args: vec![Expr::col("x")],
+                },
+            ],
+            &[Expr::col("i")],
+            None,
+            &r,
+        )
+        .unwrap();
+        let mut sink = AggSink::new(plan);
+        push_rows(&mut sink, &[(1, 1, 2.0), (2, 1, 3.0), (3, 2, 5.0)]);
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(1));
+        assert_eq!(rows[0][1], Value::Double(5.0));
+        assert_eq!(rows[1][0], Value::Int(2));
+        assert_eq!(rows[1][1], Value::Double(5.0));
+    }
+
+    #[test]
+    fn duplicate_aggregates_share_one_accumulator() {
+        let r = base_resolver();
+        let sum_x = Expr::Func {
+            name: "sum".into(),
+            args: vec![Expr::col("x")],
+        };
+        // sum(x)/sum(x) — the M-step shape.
+        let plan = plan_aggregate(
+            &[Expr::bin(BinOp::Div, sum_x.clone(), sum_x)],
+            &[],
+            None,
+            &r,
+        )
+        .unwrap();
+        assert_eq!(plan.aggs.len(), 1);
+        let mut sink = AggSink::new(plan);
+        push_rows(&mut sink, &[(1, 1, 2.0), (2, 1, 4.0)]);
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows[0][0], Value::Double(1.0));
+    }
+
+    #[test]
+    fn sum_skips_nulls_and_empty_sum_is_null() {
+        let r = base_resolver();
+        let plan = plan_aggregate(
+            &[Expr::Func {
+                name: "sum".into(),
+                args: vec![Expr::col("x")],
+            }],
+            &[],
+            None,
+            &r,
+        )
+        .unwrap();
+        let mut sink = AggSink::new(plan.clone());
+        sink.push(&[Value::Int(1), Value::Int(1), Value::Null]).unwrap();
+        sink.push(&[Value::Int(2), Value::Int(1), Value::Double(3.0)])
+            .unwrap();
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows[0][0], Value::Double(3.0));
+
+        // All-NULL input → SUM is NULL.
+        let mut empty = AggSink::new(plan);
+        empty
+            .push(&[Value::Int(1), Value::Int(1), Value::Null])
+            .unwrap();
+        let rows = empty.finalize().unwrap();
+        assert_eq!(rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn count_star_vs_count_expr() {
+        let r = base_resolver();
+        let plan = plan_aggregate(
+            &[
+                Expr::Func {
+                    name: "count".into(),
+                    args: vec![],
+                },
+                Expr::Func {
+                    name: "count".into(),
+                    args: vec![Expr::col("x")],
+                },
+            ],
+            &[],
+            None,
+            &r,
+        )
+        .unwrap();
+        let mut sink = AggSink::new(plan);
+        sink.push(&[Value::Int(1), Value::Int(1), Value::Null]).unwrap();
+        sink.push(&[Value::Int(2), Value::Int(1), Value::Double(1.0)])
+            .unwrap();
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows[0][0], Value::Int(2));
+        assert_eq!(rows[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn empty_input_implicit_group() {
+        let r = base_resolver();
+        let plan = plan_aggregate(
+            &[
+                Expr::Func {
+                    name: "count".into(),
+                    args: vec![],
+                },
+                Expr::Func {
+                    name: "sum".into(),
+                    args: vec![Expr::col("x")],
+                },
+            ],
+            &[],
+            None,
+            &r,
+        )
+        .unwrap();
+        let mut sink = AggSink::new(plan);
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert_eq!(rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn empty_input_with_group_by_yields_no_rows() {
+        let r = base_resolver();
+        let plan = plan_aggregate(
+            &[Expr::col("i")],
+            &[Expr::col("i")],
+            None,
+            &r,
+        )
+        .unwrap();
+        let mut sink = AggSink::new(plan);
+        assert!(sink.finalize().unwrap().is_empty());
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let r = base_resolver();
+        let plan = plan_aggregate(
+            &[Expr::col("i")],
+            &[Expr::col("i")],
+            Some(&Expr::bin(
+                BinOp::Gt,
+                Expr::Func {
+                    name: "sum".into(),
+                    args: vec![Expr::col("x")],
+                },
+                Expr::num(4.0),
+            )),
+            &r,
+        )
+        .unwrap();
+        let mut sink = AggSink::new(plan);
+        push_rows(&mut sink, &[(1, 1, 2.0), (2, 1, 1.0), (3, 2, 9.0)]);
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let r = base_resolver();
+        let err = plan_aggregate(
+            &[Expr::col("x")],
+            &[Expr::col("i")],
+            None,
+            &r,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidAggregate(_)));
+    }
+
+    #[test]
+    fn nested_aggregate_rejected() {
+        let r = base_resolver();
+        let nested = Expr::Func {
+            name: "sum".into(),
+            args: vec![Expr::Func {
+                name: "sum".into(),
+                args: vec![Expr::col("x")],
+            }],
+        };
+        assert!(plan_aggregate(&[nested], &[], None, &r).is_err());
+    }
+
+    #[test]
+    fn merge_combines_partitions() {
+        let r = base_resolver();
+        let plan = plan_aggregate(
+            &[
+                Expr::col("i"),
+                Expr::Func {
+                    name: "sum".into(),
+                    args: vec![Expr::col("x")],
+                },
+                Expr::Func {
+                    name: "min".into(),
+                    args: vec![Expr::col("x")],
+                },
+                Expr::Func {
+                    name: "max".into(),
+                    args: vec![Expr::col("x")],
+                },
+            ],
+            &[Expr::col("i")],
+            None,
+            &r,
+        )
+        .unwrap();
+        let mut a = AggSink::new(plan.clone());
+        push_rows(&mut a, &[(1, 1, 2.0), (2, 2, 7.0)]);
+        let mut b = AggSink::new(plan);
+        push_rows(&mut b, &[(3, 1, 4.0), (4, 3, 1.0)]);
+        a.merge(b);
+        let rows = a.finalize().unwrap();
+        assert_eq!(rows.len(), 3);
+        // Group 1 merged across partitions.
+        assert_eq!(rows[0][0], Value::Int(1));
+        assert_eq!(rows[0][1], Value::Double(6.0));
+        assert_eq!(rows[0][2], Value::Double(2.0));
+        assert_eq!(rows[0][3], Value::Double(4.0));
+    }
+
+    #[test]
+    fn avg_and_min_max() {
+        let r = base_resolver();
+        let plan = plan_aggregate(
+            &[
+                Expr::Func {
+                    name: "avg".into(),
+                    args: vec![Expr::col("x")],
+                },
+                Expr::Func {
+                    name: "min".into(),
+                    args: vec![Expr::col("x")],
+                },
+                Expr::Func {
+                    name: "max".into(),
+                    args: vec![Expr::col("x")],
+                },
+            ],
+            &[],
+            None,
+            &r,
+        )
+        .unwrap();
+        let mut sink = AggSink::new(plan);
+        push_rows(&mut sink, &[(1, 1, 2.0), (2, 1, 4.0), (3, 1, 9.0)]);
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows[0][0], Value::Double(5.0));
+        assert_eq!(rows[0][1], Value::Double(2.0));
+        assert_eq!(rows[0][2], Value::Double(9.0));
+    }
+
+    #[test]
+    fn integer_sum_stays_integer() {
+        let r = ColumnResolver::from_tables(&[("t".into(), vec!["n".into()])]);
+        let plan = plan_aggregate(
+            &[Expr::Func {
+                name: "sum".into(),
+                args: vec![Expr::col("n")],
+            }],
+            &[],
+            None,
+            &r,
+        )
+        .unwrap();
+        let mut sink = AggSink::new(plan);
+        sink.push(&[Value::Int(2)]).unwrap();
+        sink.push(&[Value::Int(3)]).unwrap();
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows[0][0], Value::Int(5));
+    }
+
+    #[test]
+    fn group_key_expression_reused_in_projection() {
+        // GROUP BY i+1, project i+1 — must match by compiled structure.
+        let r = base_resolver();
+        let key = Expr::bin(BinOp::Add, Expr::col("i"), Expr::int(1));
+        let plan =
+            plan_aggregate(std::slice::from_ref(&key), std::slice::from_ref(&key), None, &r)
+                .unwrap();
+        let mut sink = AggSink::new(plan);
+        push_rows(&mut sink, &[(1, 1, 0.0), (2, 1, 0.0)]);
+        let rows = sink.finalize().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(2));
+    }
+}

@@ -1,0 +1,986 @@
+//! SELECT execution: a streaming left-deep hash-join pipeline.
+//!
+//! The FROM list is joined left-deep in declaration order: the first table
+//! is the *driver* and is scanned once; every later table becomes a build
+//! stage — a hash table when an equi-join conjunct connects it to the
+//! accumulated prefix (the common case in SQLEM's generated SQL, always on
+//! `RID` or `v`/`i`), or a broadcast (cross product) otherwise (the 1-row
+//! parameter tables `GMM`, `W`, `R`). Joined rows stream straight into a
+//! sink — scalar projection or hash aggregation — so no intermediate join
+//! result is ever materialized; this is what keeps the `pn`-row distance
+//! join of the hybrid E step linear in memory.
+//!
+//! When [`ExecConfig::workers`] > 1 the driver scan is partitioned and each
+//! worker runs the identical pipeline into a private sink; results merge in
+//! partition order, mimicking the AMP parallelism of the paper's Teradata
+//! installation.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, Select, SelectItem};
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::exec::aggregate::{plan_aggregate, AggSink};
+use crate::exec::{ExecConfig, QueryResult};
+use crate::expr::{compile, CExpr, ColumnResolver};
+use crate::stats::Stats;
+use crate::table::Row;
+use crate::value::Value;
+
+/// Minimum driver rows before parallel execution is worth spawning.
+const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Run a SELECT and materialize its result.
+pub fn run_select(
+    catalog: &Catalog,
+    stats: &mut Stats,
+    config: &ExecConfig,
+    select: &Select,
+) -> Result<QueryResult> {
+    // ---- resolve FROM scopes ------------------------------------------
+    let mut scopes: Vec<(String, Vec<String>)> = Vec::with_capacity(select.from.len());
+    for tref in &select.from {
+        let table = catalog.table(&tref.table)?;
+        let visible = tref.visible_name().to_ascii_lowercase();
+        if scopes.iter().any(|(n, _)| *n == visible) {
+            return Err(Error::DuplicateTable(format!(
+                "{visible} appears twice in FROM; use aliases"
+            )));
+        }
+        let cols = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        scopes.push((visible, cols));
+    }
+    let resolver = ColumnResolver::from_tables(&scopes);
+
+    // ---- expand projection wildcards ----------------------------------
+    let (item_exprs, output_names) = expand_items(&select.items, &scopes)?;
+
+    // ---- classify WHERE conjuncts --------------------------------------
+    let conjuncts = match &select.where_clause {
+        Some(w) => split_conjuncts(w),
+        None => Vec::new(),
+    };
+    for c in &conjuncts {
+        if c.contains_aggregate() {
+            return Err(Error::InvalidAggregate(
+                "aggregates are not allowed in WHERE".into(),
+            ));
+        }
+    }
+
+    let pipeline = build_pipeline(catalog, stats, select, &scopes, &conjuncts, &resolver)?;
+
+    // ORDER BY may reference output aliases (`ORDER BY sump`) or base
+    // columns absent from the projection (`ORDER BY rid` under
+    // `SELECT x1, x2`). Both are handled uniformly by materializing every
+    // sort key as a trailing *hidden* output column: aliases are
+    // substituted by their defining expressions first, then the key is
+    // planned like any projection item, and the hidden columns are
+    // stripped after sorting.
+    let n_real = item_exprs.len();
+    let order_exprs: Vec<Expr> = select
+        .order_by
+        .iter()
+        .map(|k| substitute_output_aliases(&k.expr, &output_names, &item_exprs))
+        .collect();
+    let all_items: Vec<Expr> = item_exprs.iter().chain(&order_exprs).cloned().collect();
+
+    // ---- choose sink: aggregate or scalar projection -------------------
+    let is_aggregate = !select.group_by.is_empty()
+        || all_items.iter().any(Expr::contains_aggregate)
+        || select
+            .having
+            .as_ref()
+            .is_some_and(Expr::contains_aggregate);
+
+    let mut out_rows: Vec<Row>;
+    if is_aggregate {
+        let plan = plan_aggregate(
+            &all_items,
+            &select.group_by,
+            select.having.as_ref(),
+            &resolver,
+        )?;
+        let sinks = run_pipeline(&pipeline, config, || AggSink::new(plan.clone()))?;
+        let mut merged = sinks
+            .into_iter()
+            .reduce(|mut a, b| {
+                a.merge(b);
+                a
+            })
+            .expect("at least one sink");
+        out_rows = merged.finalize()?;
+    } else {
+        if select.having.is_some() {
+            return Err(Error::InvalidAggregate(
+                "HAVING requires GROUP BY or aggregates".into(),
+            ));
+        }
+        let compiled = compile_scalar_items(&all_items, &output_names, &resolver)?;
+        let base_width = resolver.width();
+        let sinks = run_pipeline(&pipeline, config, || ScalarSink {
+            items: compiled.clone(),
+            base_width,
+            buf: Vec::with_capacity(base_width + compiled.len()),
+            out: Vec::new(),
+        })?;
+        out_rows = Vec::new();
+        for s in sinks {
+            out_rows.extend(s.out);
+        }
+    }
+
+    // ---- ORDER BY / LIMIT ----------------------------------------------
+    if !select.order_by.is_empty() {
+        let descs: Vec<bool> = select.order_by.iter().map(|k| k.desc).collect();
+        sort_by_hidden(&mut out_rows, n_real, &descs);
+    }
+    if n_real < all_items.len() {
+        for row in &mut out_rows {
+            let mut v = std::mem::take(row).into_vec();
+            v.truncate(n_real);
+            *row = v.into_boxed_slice();
+        }
+    }
+    if let Some(limit) = select.limit {
+        out_rows.truncate(limit);
+    }
+
+    let n = out_rows.len();
+    Ok(QueryResult {
+        columns: output_names,
+        rows: out_rows,
+        rows_affected: n,
+    })
+}
+
+/// Expand wildcards; return per-item expressions and output names.
+fn expand_items(
+    items: &[SelectItem],
+    scopes: &[(String, Vec<String>)],
+) -> Result<(Vec<Expr>, Vec<String>)> {
+    let mut exprs = Vec::new();
+    let mut names = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                if scopes.is_empty() {
+                    return Err(Error::Unsupported("SELECT * requires a FROM clause".into()));
+                }
+                for (t, cols) in scopes {
+                    for c in cols {
+                        exprs.push(Expr::qcol(t, c));
+                        names.push(c.clone());
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let lt = t.to_ascii_lowercase();
+                let (_, cols) = scopes
+                    .iter()
+                    .find(|(n, _)| *n == lt)
+                    .ok_or_else(|| Error::UnknownTable(lt.clone()))?;
+                for c in cols {
+                    exprs.push(Expr::qcol(&lt, c));
+                    names.push(c.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.to_ascii_lowercase(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        _ => format!("col{}", exprs.len() + 1),
+                    },
+                };
+                exprs.push(expr.clone());
+                names.push(name);
+            }
+        }
+    }
+    Ok((exprs, names))
+}
+
+/// Split an expression on top-level ANDs.
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn walk(e: &Expr, out: &mut Vec<Expr>) {
+        if let Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } = e
+        {
+            walk(left, out);
+            walk(right, out);
+        } else {
+            out.push(e.clone());
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// Bitmask of scopes an expression references. Errors on unknown /
+/// ambiguous columns so classification failures surface as the same errors
+/// compilation would give.
+fn scope_mask(expr: &Expr, scopes: &[(String, Vec<String>)]) -> Result<u64> {
+    let mut mask = 0u64;
+    collect_mask(expr, scopes, &mut mask)?;
+    Ok(mask)
+}
+
+fn collect_mask(expr: &Expr, scopes: &[(String, Vec<String>)], mask: &mut u64) -> Result<()> {
+    match expr {
+        Expr::Literal(_) => Ok(()),
+        Expr::Column { table, name } => {
+            match table {
+                Some(t) => {
+                    let i = scopes
+                        .iter()
+                        .position(|(n, _)| n == t)
+                        .ok_or_else(|| Error::UnknownTable(t.clone()))?;
+                    if !scopes[i].1.contains(name) {
+                        return Err(Error::UnknownColumn(format!("{t}.{name}")));
+                    }
+                    *mask |= 1 << i;
+                }
+                None => {
+                    let mut found = None;
+                    for (i, (_, cols)) in scopes.iter().enumerate() {
+                        if cols.contains(name) {
+                            if found.is_some() {
+                                return Err(Error::AmbiguousColumn(name.clone()));
+                            }
+                            found = Some(i);
+                        }
+                    }
+                    let i = found.ok_or_else(|| Error::UnknownColumn(name.clone()))?;
+                    *mask |= 1 << i;
+                }
+            }
+            Ok(())
+        }
+        Expr::Unary { expr, .. } => collect_mask(expr, scopes, mask),
+        Expr::Binary { left, right, .. } => {
+            collect_mask(left, scopes, mask)?;
+            collect_mask(right, scopes, mask)
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_mask(a, scopes, mask)?;
+            }
+            Ok(())
+        }
+        Expr::Case { whens, else_expr } => {
+            for (c, r) in whens {
+                collect_mask(c, scopes, mask)?;
+                collect_mask(r, scopes, mask)?;
+            }
+            if let Some(e) = else_expr {
+                collect_mask(e, scopes, mask)?;
+            }
+            Ok(())
+        }
+        Expr::IsNull { expr, .. } => collect_mask(expr, scopes, mask),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline construction
+// ---------------------------------------------------------------------
+
+/// How a non-driver table joins into the pipeline.
+enum StageKind {
+    /// Equi-join: probe keys are evaluated over the accumulated row, the
+    /// hash map indexes the stage table's (filtered) rows by build key.
+    Hash {
+        map: HashMap<Row, Vec<u32>>,
+        probe_keys: Vec<CExpr>,
+    },
+    /// Cross product with the (filtered) stage rows.
+    Broadcast { indices: Vec<u32> },
+}
+
+/// One build-side stage.
+struct Stage<'a> {
+    rows: &'a [Row],
+    width: usize,
+    kind: StageKind,
+    /// Residual predicates evaluated over the accumulated row once this
+    /// stage's columns are appended.
+    residuals: Vec<CExpr>,
+    /// Visible table name (for EXPLAIN).
+    table: String,
+}
+
+/// The whole FROM/WHERE pipeline.
+struct Pipeline<'a> {
+    /// Driver rows (empty slice plus `single_row` for FROM-less selects).
+    driver_rows: &'a [Row],
+    driver_filter: Option<CExpr>,
+    stages: Vec<Stage<'a>>,
+    /// FROM-less SELECT: emit exactly one empty row.
+    single_row: bool,
+}
+
+fn build_pipeline<'a>(
+    catalog: &'a Catalog,
+    stats: &mut Stats,
+    select: &Select,
+    scopes: &[(String, Vec<String>)],
+    conjuncts: &[Expr],
+    _full_resolver: &ColumnResolver,
+) -> Result<Pipeline<'a>> {
+    if select.from.is_empty() {
+        if !conjuncts.is_empty() {
+            return Err(Error::Unsupported(
+                "WHERE requires a FROM clause".into(),
+            ));
+        }
+        return Ok(Pipeline {
+            driver_rows: &[],
+            driver_filter: None,
+            stages: Vec::new(),
+            single_row: true,
+        });
+    }
+    if select.from.len() > 64 {
+        return Err(Error::Unsupported("more than 64 tables in FROM".into()));
+    }
+
+    // Classify conjuncts.
+    let n_tables = select.from.len();
+    let mut table_filters: Vec<Vec<&Expr>> = vec![Vec::new(); n_tables];
+    // (conjunct, mask) still unassigned after single-table filtering.
+    let mut pending: Vec<(&Expr, u64)> = Vec::new();
+    for c in conjuncts {
+        let mask = scope_mask(c, scopes)?;
+        if mask.count_ones() <= 1 {
+            let idx = if mask == 0 {
+                0
+            } else {
+                mask.trailing_zeros() as usize
+            };
+            table_filters[idx].push(c);
+        } else {
+            pending.push((c, mask));
+        }
+    }
+
+    // Resolver over the driver table alone (offset 0).
+    let single_resolver = |i: usize| {
+        ColumnResolver::from_tables(&[(scopes[i].0.clone(), scopes[i].1.clone())])
+    };
+    let prefix_resolver = |upto: usize| {
+        ColumnResolver::from_tables(&scopes[..=upto])
+    };
+
+    // Driver.
+    let driver_table = catalog.table(&select.from[0].table)?;
+    stats.record_scan(driver_table.name(), driver_table.len(), false);
+    let driver_res = single_resolver(0);
+    let driver_filter = combine_filters(&table_filters[0], &driver_res)?;
+
+    // Stages.
+    let mut stages = Vec::with_capacity(n_tables - 1);
+    for i in 1..n_tables {
+        let table = catalog.table(&select.from[i].table)?;
+        stats.record_scan(table.name(), table.len(), true);
+        let width = table.schema().arity();
+        let stage_res = single_resolver(i);
+        let build_filter = combine_filters(&table_filters[i], &stage_res)?;
+
+        // Find equi-join conjuncts usable as hash keys for this stage.
+        let prefix_mask: u64 = (1 << i) - 1;
+        let this_bit: u64 = 1 << i;
+        let mut probe_exprs: Vec<CExpr> = Vec::new();
+        let mut build_exprs: Vec<CExpr> = Vec::new();
+        let prev_res = prefix_resolver(i - 1);
+        for (c, mask) in pending.iter_mut() {
+            if *mask == u64::MAX {
+                continue; // consumed
+            }
+            if mask.count_ones() < 2 || (*mask & this_bit) == 0 || (*mask & !(prefix_mask | this_bit)) != 0 {
+                continue;
+            }
+            if let Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = c
+            {
+                let lm = scope_mask(left, scopes)?;
+                let rm = scope_mask(right, scopes)?;
+                let (probe_side, build_side) = if lm & this_bit == 0 && rm == this_bit {
+                    (left, right)
+                } else if rm & this_bit == 0 && lm == this_bit {
+                    (right, left)
+                } else {
+                    continue; // mixed sides → residual
+                };
+                probe_exprs.push(compile(probe_side, &prev_res)?);
+                build_exprs.push(compile(build_side, &stage_res)?);
+                *mask = u64::MAX; // mark consumed
+            }
+        }
+
+        // Residuals that become checkable at this stage.
+        let full_prefix = prefix_mask | this_bit;
+        let mut residuals = Vec::new();
+        let cur_res = prefix_resolver(i);
+        for (c, mask) in pending.iter_mut() {
+            if *mask == u64::MAX {
+                continue;
+            }
+            if *mask & !full_prefix == 0 {
+                residuals.push(compile(c, &cur_res)?);
+                *mask = u64::MAX;
+            }
+        }
+
+        // Build the stage.
+        let kind = if probe_exprs.is_empty() {
+            let mut indices = Vec::new();
+            for (idx, row) in table.rows().iter().enumerate() {
+                if let Some(f) = &build_filter {
+                    if !f.eval_predicate(row)? {
+                        continue;
+                    }
+                }
+                indices.push(idx as u32);
+            }
+            StageKind::Broadcast { indices }
+        } else {
+            let mut map: HashMap<Row, Vec<u32>> = HashMap::with_capacity(table.len());
+            for (idx, row) in table.rows().iter().enumerate() {
+                if let Some(f) = &build_filter {
+                    if !f.eval_predicate(row)? {
+                        continue;
+                    }
+                }
+                let key: Row = build_exprs
+                    .iter()
+                    .map(|e| e.eval(row))
+                    .collect::<Result<Vec<_>>>()?
+                    .into_boxed_slice();
+                // SQL join semantics: a NULL key never matches.
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                map.entry(key).or_default().push(idx as u32);
+            }
+            StageKind::Hash {
+                map,
+                probe_keys: probe_exprs,
+            }
+        };
+        stages.push(Stage {
+            rows: table.rows(),
+            width,
+            kind,
+            residuals,
+            table: scopes[i].0.clone(),
+        });
+    }
+
+    // Any conjunct still pending means classification failed (should be
+    // impossible: every mask is ⊆ full prefix at the last stage).
+    if pending.iter().any(|(_, m)| *m != u64::MAX) && n_tables == 1 {
+        return Err(Error::Unsupported(
+            "multi-table predicate with single-table FROM".into(),
+        ));
+    }
+
+    Ok(Pipeline {
+        driver_rows: driver_table.rows(),
+        driver_filter,
+        stages,
+        single_row: false,
+    })
+}
+
+fn combine_filters(filters: &[&Expr], resolver: &ColumnResolver) -> Result<Option<CExpr>> {
+    let mut compiled = Vec::with_capacity(filters.len());
+    for f in filters {
+        compiled.push(compile(f, resolver)?);
+    }
+    Ok(match compiled.len() {
+        0 => None,
+        1 => Some(compiled.pop().unwrap()),
+        _ => {
+            let mut it = compiled.into_iter();
+            let first = it.next().unwrap();
+            Some(it.fold(first, |acc, e| {
+                CExpr::Binary(BinOp::And, Box::new(acc), Box::new(e))
+            }))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Pipeline execution
+// ---------------------------------------------------------------------
+
+/// A consumer of joined rows.
+pub trait RowSink {
+    /// Accept one joined row (concatenated table columns).
+    fn push(&mut self, row: &[Value]) -> Result<()>;
+}
+
+/// Scalar projection sink with Teradata-style lateral aliases: the buffer
+/// holds the base row followed by one slot per already-computed item.
+struct ScalarSink {
+    items: Vec<CExpr>,
+    base_width: usize,
+    buf: Vec<Value>,
+    out: Vec<Row>,
+}
+
+impl RowSink for ScalarSink {
+    fn push(&mut self, row: &[Value]) -> Result<()> {
+        self.buf.clear();
+        self.buf.extend_from_slice(row);
+        for item in &self.items {
+            let v = item.eval(&self.buf)?;
+            self.buf.push(v);
+        }
+        self.out
+            .push(self.buf[self.base_width..].to_vec().into_boxed_slice());
+        Ok(())
+    }
+}
+
+/// Compile scalar items, registering each real item's output name as a
+/// lateral alias for the items after it. Items beyond `output_names.len()`
+/// are hidden sort columns and get no alias.
+fn compile_scalar_items(
+    item_exprs: &[Expr],
+    output_names: &[String],
+    resolver: &ColumnResolver,
+) -> Result<Vec<CExpr>> {
+    let mut res = resolver.clone();
+    let base = res.width();
+    let mut compiled = Vec::with_capacity(item_exprs.len());
+    for (j, expr) in item_exprs.iter().enumerate() {
+        compiled.push(compile(expr, &res)?);
+        if let Some(name) = output_names.get(j) {
+            res.add_lateral(name, base + j);
+        }
+    }
+    Ok(compiled)
+}
+
+/// Run the pipeline into one sink per partition; returns the sinks in
+/// partition order.
+fn run_pipeline<S, F>(pipeline: &Pipeline<'_>, config: &ExecConfig, make_sink: F) -> Result<Vec<S>>
+where
+    S: RowSink + Send,
+    F: Fn() -> S + Sync,
+{
+    if pipeline.single_row {
+        let mut sink = make_sink();
+        sink.push(&[])?;
+        return Ok(vec![sink]);
+    }
+    let workers = config.workers.max(1);
+    if workers == 1 || pipeline.driver_rows.len() < PARALLEL_THRESHOLD {
+        let mut sink = make_sink();
+        drive_partition(pipeline, pipeline.driver_rows, &mut sink)?;
+        return Ok(vec![sink]);
+    }
+
+    let chunk = pipeline.driver_rows.len().div_ceil(workers);
+    let chunks: Vec<&[Row]> = pipeline.driver_rows.chunks(chunk).collect();
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|part| {
+                scope.spawn(|_| -> Result<S> {
+                    let mut sink = make_sink();
+                    drive_partition(pipeline, part, &mut sink)?;
+                    Ok(sink)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Result<Vec<S>>>()
+    })
+    .expect("scope panicked")?;
+    Ok(results)
+}
+
+fn drive_partition<S: RowSink>(
+    pipeline: &Pipeline<'_>,
+    rows: &[Row],
+    sink: &mut S,
+) -> Result<()> {
+    let mut scratch: Vec<Value> = Vec::with_capacity(
+        rows.first().map(|r| r.len()).unwrap_or(0)
+            + pipeline.stages.iter().map(|s| s.width).sum::<usize>(),
+    );
+    for row in rows {
+        if let Some(f) = &pipeline.driver_filter {
+            if !f.eval_predicate(row)? {
+                continue;
+            }
+        }
+        scratch.clear();
+        scratch.extend_from_slice(row);
+        walk_stages(pipeline, 0, &mut scratch, sink)?;
+    }
+    Ok(())
+}
+
+fn walk_stages<S: RowSink>(
+    pipeline: &Pipeline<'_>,
+    stage_idx: usize,
+    scratch: &mut Vec<Value>,
+    sink: &mut S,
+) -> Result<()> {
+    if stage_idx == pipeline.stages.len() {
+        return sink.push(scratch);
+    }
+    let stage = &pipeline.stages[stage_idx];
+    let base_len = scratch.len();
+    match &stage.kind {
+        StageKind::Hash { map, probe_keys } => {
+            let mut key = Vec::with_capacity(probe_keys.len());
+            for e in probe_keys {
+                let v = e.eval(scratch)?;
+                if v.is_null() {
+                    return Ok(()); // NULL never joins
+                }
+                key.push(v);
+            }
+            let Some(matches) = map.get(key.as_slice()) else {
+                return Ok(());
+            };
+            for &idx in matches {
+                scratch.extend_from_slice(&stage.rows[idx as usize]);
+                if check_residuals(stage, scratch)? {
+                    walk_stages(pipeline, stage_idx + 1, scratch, sink)?;
+                }
+                scratch.truncate(base_len);
+            }
+        }
+        StageKind::Broadcast { indices } => {
+            for &idx in indices {
+                scratch.extend_from_slice(&stage.rows[idx as usize]);
+                if check_residuals(stage, scratch)? {
+                    walk_stages(pipeline, stage_idx + 1, scratch, sink)?;
+                }
+                scratch.truncate(base_len);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[inline]
+fn check_residuals(stage: &Stage<'_>, row: &[Value]) -> Result<bool> {
+    for r in &stage.residuals {
+        if !r.eval_predicate(row)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// ORDER BY
+// ---------------------------------------------------------------------
+
+/// Replace bare column references that name an output item with that
+/// item's defining expression (SQL's "sort by output alias" rule). The
+/// first matching output item wins. Qualified references pass through —
+/// they resolve against base tables.
+fn substitute_output_aliases(expr: &Expr, names: &[String], items: &[Expr]) -> Expr {
+    match expr {
+        Expr::Column { table: None, name } => {
+            match names.iter().position(|n| n == name) {
+                Some(i) => items[i].clone(),
+                None => expr.clone(),
+            }
+        }
+        Expr::Literal(_) | Expr::Column { .. } => expr.clone(),
+        Expr::Unary { op, expr: e } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_output_aliases(e, names, items)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute_output_aliases(left, names, items)),
+            right: Box::new(substitute_output_aliases(right, names, items)),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| substitute_output_aliases(a, names, items))
+                .collect(),
+        },
+        Expr::Case { whens, else_expr } => Expr::Case {
+            whens: whens
+                .iter()
+                .map(|(c, r)| {
+                    (
+                        substitute_output_aliases(c, names, items),
+                        substitute_output_aliases(r, names, items),
+                    )
+                })
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(substitute_output_aliases(e, names, items))),
+        },
+        Expr::IsNull { expr: e, negated } => Expr::IsNull {
+            expr: Box::new(substitute_output_aliases(e, names, items)),
+            negated: *negated,
+        },
+    }
+}
+
+/// Stable-sort rows by the hidden sort columns at positions
+/// `n_real..n_real+descs.len()`.
+fn sort_by_hidden(rows: &mut [Row], n_real: usize, descs: &[bool]) {
+    rows.sort_by(|a, b| {
+        for (j, desc) in descs.iter().enumerate() {
+            let ord = a[n_real + j].total_cmp(&b[n_real + j]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------
+
+/// Describe the execution pipeline of a SELECT without running it to
+/// completion: driver table, per-stage join method (hash vs broadcast),
+/// residual predicates and sink type. One VARCHAR column, one row per
+/// plan step — in the spirit of the paper's claim that the generated
+/// statements "can be easily optimized and executed in parallel" (§1.4),
+/// this shows *how* each one executes.
+pub fn explain_select(catalog: &Catalog, select: &Select) -> Result<QueryResult> {
+    // Rebuild the same structures run_select uses, with throwaway stats.
+    let mut scopes: Vec<(String, Vec<String>)> = Vec::with_capacity(select.from.len());
+    for tref in &select.from {
+        let table = catalog.table(&tref.table)?;
+        let visible = tref.visible_name().to_ascii_lowercase();
+        if scopes.iter().any(|(n, _)| *n == visible) {
+            return Err(Error::DuplicateTable(visible));
+        }
+        let cols = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        scopes.push((visible, cols));
+    }
+    let resolver = ColumnResolver::from_tables(&scopes);
+    let (item_exprs, _names) = expand_items(&select.items, &scopes)?;
+    let conjuncts = match &select.where_clause {
+        Some(w) => split_conjuncts(w),
+        None => Vec::new(),
+    };
+    let mut scratch_stats = Stats::new();
+    let pipeline = build_pipeline(
+        catalog,
+        &mut scratch_stats,
+        select,
+        &scopes,
+        &conjuncts,
+        &resolver,
+    )?;
+
+    let mut lines: Vec<String> = Vec::new();
+    if pipeline.single_row {
+        lines.push("single row (no FROM)".to_string());
+    } else {
+        let driver = &select.from[0];
+        lines.push(format!(
+            "driver scan: {} ({} rows){}",
+            driver.visible_name(),
+            pipeline.driver_rows.len(),
+            if pipeline.driver_filter.is_some() {
+                ", filtered"
+            } else {
+                ""
+            }
+        ));
+        for stage in &pipeline.stages {
+            let desc = match &stage.kind {
+                StageKind::Hash { map, probe_keys } => format!(
+                    "hash join: {} on {} key(s) ({} distinct build keys)",
+                    stage.table,
+                    probe_keys.len(),
+                    map.len()
+                ),
+                StageKind::Broadcast { indices } => format!(
+                    "broadcast (cross join): {} ({} rows)",
+                    stage.table,
+                    indices.len()
+                ),
+            };
+            let res = if stage.residuals.is_empty() {
+                String::new()
+            } else {
+                format!(", {} residual predicate(s)", stage.residuals.len())
+            };
+            lines.push(format!("{desc}{res}"));
+        }
+    }
+    let is_aggregate = !select.group_by.is_empty()
+        || item_exprs.iter().any(Expr::contains_aggregate)
+        || select
+            .having
+            .as_ref()
+            .is_some_and(Expr::contains_aggregate);
+    if is_aggregate {
+        let plan = plan_aggregate(
+            &item_exprs,
+            &select.group_by,
+            select.having.as_ref(),
+            &resolver,
+        )?;
+        lines.push(format!(
+            "sink: hash aggregate ({} group key(s), {} accumulator(s)){}",
+            plan.keys.len(),
+            plan.aggs.len(),
+            if plan.having.is_some() { ", having" } else { "" }
+        ));
+    } else {
+        lines.push(format!("sink: projection ({} item(s))", item_exprs.len()));
+    }
+    if !select.order_by.is_empty() {
+        lines.push(format!("order by: {} key(s)", select.order_by.len()));
+    }
+    if let Some(limit) = select.limit {
+        lines.push(format!("limit: {limit}"));
+    }
+
+    let rows: Vec<Row> = lines
+        .into_iter()
+        .map(|l| vec![Value::from(l)].into_boxed_slice())
+        .collect();
+    let n = rows.len();
+    Ok(QueryResult {
+        columns: vec!["plan".to_string()],
+        rows,
+        rows_affected: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::UnaryOp;
+
+    #[test]
+    fn split_conjuncts_flattens_nested_ands() {
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Eq, Expr::col("a"), Expr::col("b")),
+                Expr::bin(BinOp::Gt, Expr::col("c"), Expr::int(0)),
+            ),
+            Expr::bin(BinOp::Lt, Expr::col("d"), Expr::int(9)),
+        );
+        assert_eq!(split_conjuncts(&e).len(), 3);
+        // ORs are opaque: one conjunct.
+        let or = Expr::bin(
+            BinOp::Or,
+            Expr::bin(BinOp::Eq, Expr::col("a"), Expr::int(1)),
+            Expr::bin(BinOp::Eq, Expr::col("a"), Expr::int(2)),
+        );
+        assert_eq!(split_conjuncts(&or).len(), 1);
+    }
+
+    #[test]
+    fn scope_mask_classifies_references() {
+        let scopes = vec![
+            ("y".to_string(), vec!["rid".to_string(), "v".to_string()]),
+            ("c".to_string(), vec!["i".to_string(), "v".to_string()]),
+        ];
+        // Single-table conjunct.
+        let only_y = Expr::bin(BinOp::Gt, Expr::qcol("y", "rid"), Expr::int(5));
+        assert_eq!(scope_mask(&only_y, &scopes).unwrap(), 0b01);
+        // Cross-table equi-join.
+        let join = Expr::bin(BinOp::Eq, Expr::qcol("y", "v"), Expr::qcol("c", "v"));
+        assert_eq!(scope_mask(&join, &scopes).unwrap(), 0b11);
+        // Constants reference no scope.
+        assert_eq!(scope_mask(&Expr::int(1), &scopes).unwrap(), 0);
+        // Unqualified `rid` is unique to y.
+        assert_eq!(scope_mask(&Expr::col("rid"), &scopes).unwrap(), 0b01);
+        // Unqualified `v` is ambiguous.
+        assert!(matches!(
+            scope_mask(&Expr::col("v"), &scopes),
+            Err(Error::AmbiguousColumn(_))
+        ));
+        // Unknown table / column.
+        assert!(scope_mask(&Expr::qcol("z", "v"), &scopes).is_err());
+        assert!(scope_mask(&Expr::col("zzz"), &scopes).is_err());
+    }
+
+    #[test]
+    fn alias_substitution_is_recursive_and_first_match_wins() {
+        let names = vec!["sump".to_string(), "sump".to_string()];
+        let items = vec![
+            Expr::bin(BinOp::Add, Expr::col("p1"), Expr::col("p2")),
+            Expr::col("other"),
+        ];
+        // Bare `sump` inside a function call resolves to the FIRST item.
+        let key = Expr::Func {
+            name: "ln".into(),
+            args: vec![Expr::col("sump")],
+        };
+        let out = substitute_output_aliases(&key, &names, &items);
+        assert_eq!(
+            out,
+            Expr::Func {
+                name: "ln".into(),
+                args: vec![items[0].clone()],
+            }
+        );
+        // Qualified references are never substituted.
+        let q = Expr::qcol("t", "sump");
+        assert_eq!(substitute_output_aliases(&q, &names, &items), q);
+        // Non-matching names pass through, including under unary ops.
+        let miss = Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::col("nope")),
+        };
+        assert_eq!(
+            substitute_output_aliases(&miss, &names, &items),
+            miss
+        );
+    }
+
+    #[test]
+    fn sort_by_hidden_orders_and_respects_desc() {
+        let mk = |a: i64, key: f64| -> Row {
+            vec![Value::Int(a), Value::Double(key)].into_boxed_slice()
+        };
+        let mut rows = vec![mk(1, 3.0), mk(2, 1.0), mk(3, 2.0)];
+        sort_by_hidden(&mut rows, 1, &[false]);
+        let order: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        sort_by_hidden(&mut rows, 1, &[true]);
+        let order: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+}

@@ -1,0 +1,615 @@
+//! Compiled expressions.
+//!
+//! The parser produces name-based [`crate::ast::Expr`] trees; before
+//! execution the planner compiles them into [`CExpr`] trees where every
+//! column reference is a resolved slot index into the operator's input row.
+//! This keeps the per-row hot path free of string lookups — the E step
+//! evaluates `O(kp)` arithmetic per point, so this matters for the
+//! scalability figures.
+//!
+//! Scalar semantics follow SQL with the deviations documented in DESIGN.md:
+//! `/` always produces a DOUBLE (so `1/d1` in the paper's fallback formula
+//! is a float reciprocal), `**` is `f64::powf`, NULL propagates through
+//! arithmetic and functions, and comparisons use three-valued logic.
+
+mod compile;
+
+pub use compile::{compile, compile_constant, ColumnResolver, Scope};
+
+use crate::ast::{BinOp, UnaryOp};
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Supported scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// `exp(x)`
+    Exp,
+    /// `ln(x)` — errors on non-positive input.
+    Ln,
+    /// `sqrt(x)` — errors on negative input.
+    Sqrt,
+    /// `abs(x)`
+    Abs,
+    /// `power(x, y)` — same as `x ** y`.
+    Power,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `round(x)` — half away from zero.
+    Round,
+    /// `sign(x)` ∈ {-1, 0, 1}
+    Sign,
+    /// `mod(a, b)`
+    Mod,
+    /// `least(a, b, …)` — NULLs skipped.
+    Least,
+    /// `greatest(a, b, …)` — NULLs skipped.
+    Greatest,
+    /// `coalesce(a, b, …)` — first non-NULL.
+    Coalesce,
+}
+
+impl ScalarFunc {
+    /// Look a function up by its lowercase SQL name.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        Some(match name {
+            "exp" => ScalarFunc::Exp,
+            "ln" | "log" => ScalarFunc::Ln,
+            "sqrt" => ScalarFunc::Sqrt,
+            "abs" => ScalarFunc::Abs,
+            "power" | "pow" => ScalarFunc::Power,
+            "floor" => ScalarFunc::Floor,
+            "ceil" | "ceiling" => ScalarFunc::Ceil,
+            "round" => ScalarFunc::Round,
+            "sign" => ScalarFunc::Sign,
+            "mod" => ScalarFunc::Mod,
+            "least" => ScalarFunc::Least,
+            "greatest" => ScalarFunc::Greatest,
+            "coalesce" => ScalarFunc::Coalesce,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments this function accepts (`None` = variadic ≥ 1).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            ScalarFunc::Power | ScalarFunc::Mod => Some(2),
+            ScalarFunc::Least | ScalarFunc::Greatest | ScalarFunc::Coalesce => None,
+            _ => Some(1),
+        }
+    }
+}
+
+/// A compiled expression: all column references are slot indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Constant value.
+    Const(Value),
+    /// Input-row slot.
+    Col(usize),
+    /// Unary op.
+    Unary(UnaryOp, Box<CExpr>),
+    /// Binary op.
+    Binary(BinOp, Box<CExpr>, Box<CExpr>),
+    /// Scalar function call.
+    Func(ScalarFunc, Vec<CExpr>),
+    /// Searched CASE.
+    Case {
+        /// `(condition, result)` arms.
+        whens: Vec<(CExpr, CExpr)>,
+        /// ELSE result (NULL when absent).
+        else_expr: Option<Box<CExpr>>,
+    },
+    /// `IS [NOT] NULL`.
+    IsNull(Box<CExpr>, bool),
+}
+
+impl CExpr {
+    /// Evaluate against one input row.
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            CExpr::Const(v) => Ok(v.clone()),
+            CExpr::Col(i) => Ok(row[*i].clone()),
+            CExpr::Unary(op, e) => {
+                let v = e.eval(row)?;
+                eval_unary(*op, v)
+            }
+            CExpr::Binary(op, l, r) => eval_binary(*op, l, r, row),
+            CExpr::Func(f, args) => eval_func(*f, args, row),
+            CExpr::Case { whens, else_expr } => {
+                for (cond, result) in whens {
+                    if cond.eval(row)?.truthiness() == Some(true) {
+                        return result.eval(row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row),
+                    None => Ok(Value::Null),
+                }
+            }
+            CExpr::IsNull(e, negated) => {
+                let isnull = e.eval(row)?.is_null();
+                Ok(Value::Int((isnull != *negated) as i64))
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: NULL counts as false (SQL WHERE semantics).
+    #[inline]
+    pub fn eval_predicate(&self, row: &[Value]) -> Result<bool> {
+        Ok(self.eval(row)?.truthiness() == Some(true))
+    }
+
+    /// The highest slot index referenced, if any (used by tests and by the
+    /// executor to size scratch rows).
+    pub fn max_slot(&self) -> Option<usize> {
+        match self {
+            CExpr::Const(_) => None,
+            CExpr::Col(i) => Some(*i),
+            CExpr::Unary(_, e) => e.max_slot(),
+            CExpr::Binary(_, l, r) => opt_max(l.max_slot(), r.max_slot()),
+            CExpr::Func(_, args) => args.iter().filter_map(CExpr::max_slot).max(),
+            CExpr::Case { whens, else_expr } => {
+                let mut m = else_expr.as_ref().and_then(|e| e.max_slot());
+                for (c, r) in whens {
+                    m = opt_max(m, opt_max(c.max_slot(), r.max_slot()));
+                }
+                m
+            }
+            CExpr::IsNull(e, _) => e.max_slot(),
+        }
+    }
+}
+
+fn opt_max(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                Error::Arithmetic("integer overflow in negation".into())
+            })?)),
+            Value::Double(d) => Ok(Value::Double(-d)),
+            Value::Str(_) => Err(Error::TypeMismatch {
+                context: "cannot negate a string".into(),
+            }),
+        },
+        UnaryOp::Not => match v.truthiness() {
+            None => Ok(Value::Null),
+            Some(b) => Ok(Value::Int((!b) as i64)),
+        },
+    }
+}
+
+fn eval_binary(op: BinOp, l: &CExpr, r: &CExpr, row: &[Value]) -> Result<Value> {
+    // AND/OR need lazy evaluation for three-valued logic short circuits.
+    match op {
+        BinOp::And => {
+            let lv = l.eval(row)?.truthiness();
+            if lv == Some(false) {
+                return Ok(Value::Int(0));
+            }
+            let rv = r.eval(row)?.truthiness();
+            return Ok(match (lv, rv) {
+                (_, Some(false)) => Value::Int(0),
+                (Some(true), Some(true)) => Value::Int(1),
+                _ => Value::Null,
+            });
+        }
+        BinOp::Or => {
+            let lv = l.eval(row)?.truthiness();
+            if lv == Some(true) {
+                return Ok(Value::Int(1));
+            }
+            let rv = r.eval(row)?.truthiness();
+            return Ok(match (lv, rv) {
+                (_, Some(true)) => Value::Int(1),
+                (Some(false), Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            });
+        }
+        _ => {}
+    }
+    let lv = l.eval(row)?;
+    let rv = r.eval(row)?;
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => numeric_arith(op, lv, rv),
+        BinOp::Div => {
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Null);
+            }
+            let (x, y) = float_pair(&lv, &rv, "/")?;
+            if y == 0.0 {
+                return Err(Error::Arithmetic("division by zero".into()));
+            }
+            Ok(Value::Double(x / y))
+        }
+        BinOp::Pow => {
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Null);
+            }
+            let (x, y) = float_pair(&lv, &rv, "**")?;
+            let p = x.powf(y);
+            if p.is_nan() && !x.is_nan() && !y.is_nan() {
+                return Err(Error::Arithmetic(format!(
+                    "{x} ** {y} is undefined (negative base, fractional exponent)"
+                )));
+            }
+            Ok(Value::Double(p))
+        }
+        BinOp::Eq => Ok(tri(lv.sql_eq(&rv))),
+        BinOp::Neq => Ok(tri(lv.sql_eq(&rv).map(|b| !b))),
+        BinOp::Lt => Ok(tri(lv.sql_cmp(&rv).map(|o| o.is_lt()))),
+        BinOp::Le => Ok(tri(lv.sql_cmp(&rv).map(|o| o.is_le()))),
+        BinOp::Gt => Ok(tri(lv.sql_cmp(&rv).map(|o| o.is_gt()))),
+        BinOp::Ge => Ok(tri(lv.sql_cmp(&rv).map(|o| o.is_ge()))),
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn tri(b: Option<bool>) -> Value {
+    match b {
+        None => Value::Null,
+        Some(b) => Value::Int(b as i64),
+    }
+}
+
+fn numeric_arith(op: BinOp, lv: Value, rv: Value) -> Result<Value> {
+    match (&lv, &rv) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Int(a), Value::Int(b)) => {
+            let r = match op {
+                BinOp::Add => a.checked_add(*b),
+                BinOp::Sub => a.checked_sub(*b),
+                BinOp::Mul => a.checked_mul(*b),
+                _ => unreachable!(),
+            };
+            r.map(Value::Int)
+                .ok_or_else(|| Error::Arithmetic("integer overflow".into()))
+        }
+        _ => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                _ => unreachable!(),
+            };
+            let (x, y) = float_pair(&lv, &rv, sym)?;
+            Ok(Value::Double(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+fn float_pair(l: &Value, r: &Value, op: &str) -> Result<(f64, f64)> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(x), Some(y)) => Ok((x, y)),
+        _ => Err(Error::TypeMismatch {
+            context: format!("operator {op} requires numeric operands, got {l} {op} {r}"),
+        }),
+    }
+}
+
+fn eval_func(f: ScalarFunc, args: &[CExpr], row: &[Value]) -> Result<Value> {
+    // COALESCE has bespoke NULL handling.
+    if f == ScalarFunc::Coalesce {
+        for a in args {
+            let v = a.eval(row)?;
+            if !v.is_null() {
+                return Ok(v);
+            }
+        }
+        return Ok(Value::Null);
+    }
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(a.eval(row)?);
+    }
+    match f {
+        ScalarFunc::Least | ScalarFunc::Greatest => {
+            let mut best: Option<Value> = None;
+            for v in vals {
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match v.sql_cmp(&b) {
+                            Some(o) => {
+                                if f == ScalarFunc::Least {
+                                    o.is_lt()
+                                } else {
+                                    o.is_gt()
+                                }
+                            }
+                            None => false,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        _ => {
+            // Remaining functions propagate NULL and operate on floats.
+            if vals.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let x = vals[0].as_f64().ok_or_else(|| Error::TypeMismatch {
+                context: format!("function argument must be numeric, got {}", vals[0]),
+            })?;
+            match f {
+                ScalarFunc::Exp => Ok(Value::Double(x.exp())),
+                ScalarFunc::Ln => {
+                    if x <= 0.0 {
+                        Err(Error::Arithmetic(format!("ln({x}) is undefined")))
+                    } else {
+                        Ok(Value::Double(x.ln()))
+                    }
+                }
+                ScalarFunc::Sqrt => {
+                    if x < 0.0 {
+                        Err(Error::Arithmetic(format!("sqrt({x}) is undefined")))
+                    } else {
+                        Ok(Value::Double(x.sqrt()))
+                    }
+                }
+                ScalarFunc::Abs => Ok(match &vals[0] {
+                    Value::Int(i) => Value::Int(i.abs()),
+                    _ => Value::Double(x.abs()),
+                }),
+                ScalarFunc::Power => {
+                    let y = vals[1].as_f64().ok_or_else(|| Error::TypeMismatch {
+                        context: "power() exponent must be numeric".into(),
+                    })?;
+                    let p = x.powf(y);
+                    if p.is_nan() && !x.is_nan() && !y.is_nan() {
+                        Err(Error::Arithmetic(format!("power({x}, {y}) is undefined")))
+                    } else {
+                        Ok(Value::Double(p))
+                    }
+                }
+                ScalarFunc::Floor => Ok(Value::Double(x.floor())),
+                ScalarFunc::Ceil => Ok(Value::Double(x.ceil())),
+                ScalarFunc::Round => Ok(Value::Double(x.round())),
+                ScalarFunc::Sign => Ok(Value::Int(if x > 0.0 {
+                    1
+                } else if x < 0.0 {
+                    -1
+                } else {
+                    0
+                })),
+                ScalarFunc::Mod => {
+                    let y = vals[1].as_f64().ok_or_else(|| Error::TypeMismatch {
+                        context: "mod() divisor must be numeric".into(),
+                    })?;
+                    if y == 0.0 {
+                        Err(Error::Arithmetic("mod by zero".into()))
+                    } else if let (Value::Int(a), Value::Int(b)) = (&vals[0], &vals[1]) {
+                        Ok(Value::Int(a % b))
+                    } else {
+                        Ok(Value::Double(x % y))
+                    }
+                }
+                ScalarFunc::Least
+                | ScalarFunc::Greatest
+                | ScalarFunc::Coalesce => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: f64) -> CExpr {
+        CExpr::Const(Value::Double(v))
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let e = CExpr::Binary(BinOp::Add, Box::new(c(1.5)), Box::new(c(2.5)));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Double(4.0));
+        let ints = CExpr::Binary(
+            BinOp::Mul,
+            Box::new(CExpr::Const(Value::Int(3))),
+            Box::new(CExpr::Const(Value::Int(4))),
+        );
+        assert_eq!(ints.eval(&[]).unwrap(), Value::Int(12));
+    }
+
+    #[test]
+    fn division_is_always_float() {
+        let e = CExpr::Binary(
+            BinOp::Div,
+            Box::new(CExpr::Const(Value::Int(1))),
+            Box::new(CExpr::Const(Value::Int(2))),
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Value::Double(0.5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = CExpr::Binary(BinOp::Div, Box::new(c(1.0)), Box::new(c(0.0)));
+        assert!(matches!(e.eval(&[]), Err(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn null_propagates() {
+        let e = CExpr::Binary(
+            BinOp::Add,
+            Box::new(CExpr::Const(Value::Null)),
+            Box::new(c(1.0)),
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Value::Null);
+        let f = CExpr::Func(ScalarFunc::Exp, vec![CExpr::Const(Value::Null)]);
+        assert_eq!(f.eval(&[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn pow_matches_teradata_star_star() {
+        let e = CExpr::Binary(BinOp::Pow, Box::new(c(2.0)), Box::new(c(10.0)));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Double(1024.0));
+        let sqrt = CExpr::Binary(BinOp::Pow, Box::new(c(9.0)), Box::new(c(0.5)));
+        assert_eq!(sqrt.eval(&[]).unwrap(), Value::Double(3.0));
+        let bad = CExpr::Binary(BinOp::Pow, Box::new(c(-4.0)), Box::new(c(0.5)));
+        assert!(bad.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn exp_underflows_to_zero_like_the_paper_says() {
+        // §2.5: exp(x) = 0 for very negative x at double precision.
+        let e = CExpr::Func(ScalarFunc::Exp, vec![c(-1300.0)]);
+        assert_eq!(e.eval(&[]).unwrap(), Value::Double(0.0));
+    }
+
+    #[test]
+    fn ln_of_nonpositive_errors() {
+        assert!(CExpr::Func(ScalarFunc::Ln, vec![c(0.0)]).eval(&[]).is_err());
+        assert!(CExpr::Func(ScalarFunc::Ln, vec![c(-1.0)]).eval(&[]).is_err());
+        let ok = CExpr::Func(ScalarFunc::Ln, vec![c(std::f64::consts::E)]);
+        let v = ok.eval(&[]).unwrap().as_f64().unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let null = CExpr::Const(Value::Null);
+        let t = CExpr::Const(Value::Int(1));
+        let f = CExpr::Const(Value::Int(0));
+        // TRUE OR NULL = TRUE
+        let e = CExpr::Binary(BinOp::Or, Box::new(t.clone()), Box::new(null.clone()));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Int(1));
+        // FALSE AND NULL = FALSE
+        let e = CExpr::Binary(BinOp::And, Box::new(f.clone()), Box::new(null.clone()));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Int(0));
+        // TRUE AND NULL = NULL
+        let e = CExpr::Binary(BinOp::And, Box::new(t), Box::new(null.clone()));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Null);
+        // FALSE OR NULL = NULL
+        let e = CExpr::Binary(BinOp::Or, Box::new(f), Box::new(null));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_with_null_are_null_and_filtered_by_predicates() {
+        let e = CExpr::Binary(
+            BinOp::Gt,
+            Box::new(CExpr::Const(Value::Null)),
+            Box::new(c(0.0)),
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Value::Null);
+        assert!(!e.eval_predicate(&[]).unwrap());
+    }
+
+    #[test]
+    fn case_without_else_yields_null() {
+        // Fig. 9: CASE WHEN sump>0 THEN ln(sump) END
+        let e = CExpr::Case {
+            whens: vec![(
+                CExpr::Binary(BinOp::Gt, Box::new(CExpr::Col(0)), Box::new(c(0.0))),
+                CExpr::Func(ScalarFunc::Ln, vec![CExpr::Col(0)]),
+            )],
+            else_expr: None,
+        };
+        assert_eq!(e.eval(&[Value::Double(0.0)]).unwrap(), Value::Null);
+        let v = e.eval(&[Value::Double(1.0)]).unwrap();
+        assert_eq!(v, Value::Double(0.0));
+    }
+
+    #[test]
+    fn case_first_matching_arm_wins() {
+        let e = CExpr::Case {
+            whens: vec![
+                (CExpr::Const(Value::Int(1)), c(10.0)),
+                (CExpr::Const(Value::Int(1)), c(20.0)),
+            ],
+            else_expr: Some(Box::new(c(30.0))),
+        };
+        assert_eq!(e.eval(&[]).unwrap(), Value::Double(10.0));
+    }
+
+    #[test]
+    fn is_null_returns_bool_int() {
+        let e = CExpr::IsNull(Box::new(CExpr::Col(0)), false);
+        assert_eq!(e.eval(&[Value::Null]).unwrap(), Value::Int(1));
+        assert_eq!(e.eval(&[Value::Int(5)]).unwrap(), Value::Int(0));
+        let n = CExpr::IsNull(Box::new(CExpr::Col(0)), true);
+        assert_eq!(n.eval(&[Value::Null]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn least_greatest_skip_nulls() {
+        let e = CExpr::Func(
+            ScalarFunc::Greatest,
+            vec![c(1.0), CExpr::Const(Value::Null), c(3.0)],
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Value::Double(3.0));
+        let e = CExpr::Func(
+            ScalarFunc::Least,
+            vec![CExpr::Const(Value::Null), c(2.0), c(-1.0)],
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Value::Double(-1.0));
+    }
+
+    #[test]
+    fn coalesce_first_non_null() {
+        let e = CExpr::Func(
+            ScalarFunc::Coalesce,
+            vec![CExpr::Const(Value::Null), c(7.0), c(8.0)],
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Value::Double(7.0));
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error_not_wraparound() {
+        let e = CExpr::Binary(
+            BinOp::Add,
+            Box::new(CExpr::Const(Value::Int(i64::MAX))),
+            Box::new(CExpr::Const(Value::Int(1))),
+        );
+        assert!(matches!(e.eval(&[]), Err(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn max_slot_reports_deepest_column() {
+        let e = CExpr::Binary(
+            BinOp::Add,
+            Box::new(CExpr::Col(2)),
+            Box::new(CExpr::Func(ScalarFunc::Exp, vec![CExpr::Col(5)])),
+        );
+        assert_eq!(e.max_slot(), Some(5));
+        assert_eq!(c(1.0).max_slot(), None);
+    }
+
+    #[test]
+    fn sign_and_round() {
+        assert_eq!(
+            CExpr::Func(ScalarFunc::Sign, vec![c(-3.0)]).eval(&[]).unwrap(),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            CExpr::Func(ScalarFunc::Round, vec![c(2.5)]).eval(&[]).unwrap(),
+            Value::Double(3.0)
+        );
+    }
+}

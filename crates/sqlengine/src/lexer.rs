@@ -1,0 +1,425 @@
+//! SQL lexer.
+//!
+//! Produces a flat token stream. Identifiers are case-insensitive (folded to
+//! lowercase); keywords are recognized in the parser from the identifier
+//! text, which keeps the lexer small and lets column names like `end` still
+//! parse where unambiguous. Numeric literals support scientific notation
+//! (`1.0E-100` appears verbatim in the paper's Fig. 9) and the Teradata
+//! power operator `**` is a distinct token.
+
+use crate::error::{Error, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, lowercased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Number(f64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `**` (power, Teradata style)
+    StarStar,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset where the token starts.
+    pub pos: usize,
+}
+
+/// Tokenize `sql` into a vector of spanned tokens.
+pub fn lex(sql: &str) -> Result<Vec<Spanned>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::with_capacity(sql.len() / 4);
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(Spanned { tok: Token::Plus, pos: i });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Spanned { tok: Token::Minus, pos: i });
+                i += 1;
+            }
+            b'*' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    out.push(Spanned { tok: Token::StarStar, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Star, pos: i });
+                    i += 1;
+                }
+            }
+            b'/' => {
+                out.push(Spanned { tok: Token::Slash, pos: i });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Spanned { tok: Token::LParen, pos: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned { tok: Token::RParen, pos: i });
+                i += 1;
+            }
+            b',' => {
+                out.push(Spanned { tok: Token::Comma, pos: i });
+                i += 1;
+            }
+            b';' => {
+                out.push(Spanned { tok: Token::Semicolon, pos: i });
+                i += 1;
+            }
+            b'.' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() => {
+                // `.5` style literal.
+                let (tok, next) = lex_number(sql, i)?;
+                out.push(Spanned { tok, pos: i });
+                i = next;
+            }
+            b'.' => {
+                out.push(Spanned { tok: Token::Dot, pos: i });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Spanned { tok: Token::Eq, pos: i });
+                i += 1;
+            }
+            b'!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Spanned { tok: Token::Neq, pos: i });
+                i += 2;
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Spanned { tok: Token::Neq, pos: i });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { tok: Token::Le, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { tok: Token::Ge, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_string(sql, i)?;
+                out.push(Spanned { tok: Token::Str(s), pos: i });
+                i = next;
+            }
+            b'"' => {
+                // Quoted identifier.
+                let end = sql[i + 1..]
+                    .find('"')
+                    .map(|off| i + 1 + off)
+                    .ok_or(Error::Lex {
+                        pos: i,
+                        message: "unterminated quoted identifier".into(),
+                    })?;
+                out.push(Spanned {
+                    tok: Token::Ident(sql[i + 1..end].to_ascii_lowercase()),
+                    pos: i,
+                });
+                i = end + 1;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(sql, i)?;
+                out.push(Spanned { tok, pos: i });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Token::Ident(sql[start..i].to_ascii_lowercase()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(Error::Lex {
+                    pos: i,
+                    message: format!("unexpected character {:?}", other as char),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lex a numeric literal starting at `start`. Returns the token and the
+/// index one past its end. Handles `123`, `1.5`, `.5`, `1e10`, `1.0E-100`.
+fn lex_number(sql: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !saw_dot && !saw_exp => {
+                // Not a number part if followed by a non-digit that is not
+                // end-of-number (e.g. `1.` is fine, `Y.y1` handled earlier).
+                saw_dot = true;
+                i += 1;
+            }
+            b'e' | b'E' if !saw_exp => {
+                // Lookahead: exponent must be digits, optionally signed.
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    saw_exp = true;
+                    i = j + 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &sql[start..i];
+    if !saw_dot && !saw_exp {
+        match text.parse::<i64>() {
+            Ok(v) => return Ok((Token::Int(v), i)),
+            Err(_) => {
+                // Fall through to float for huge integers.
+            }
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| (Token::Number(v), i))
+        .map_err(|_| Error::Lex {
+            pos: start,
+            message: format!("bad numeric literal {text:?}"),
+        })
+}
+
+/// Lex a `'...'` string literal with `''` as an escaped quote.
+fn lex_string(sql: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let mut i = start + 1;
+    let mut s = String::new();
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                s.push('\'');
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            // Copy one UTF-8 char.
+            let ch_len = utf8_len(bytes[i]);
+            s.push_str(&sql[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(Error::Lex {
+        pos: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        lex(sql).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_select_fragment() {
+        let t = toks("SELECT RID, d1+d2 FROM YD;");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("rid".into()),
+                Token::Comma,
+                Token::Ident("d1".into()),
+                Token::Plus,
+                Token::Ident("d2".into()),
+                Token::Ident("from".into()),
+                Token::Ident("yd".into()),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn power_operator_is_one_token() {
+        assert_eq!(
+            toks("x**2"),
+            vec![
+                Token::Ident("x".into()),
+                Token::StarStar,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(toks("1.0E-100"), vec![Token::Number(1.0e-100)]);
+        assert_eq!(toks("2.5e3"), vec![Token::Number(2500.0)]);
+        assert_eq!(toks("1e2"), vec![Token::Number(100.0)]);
+    }
+
+    #[test]
+    fn qualified_column_is_three_tokens() {
+        assert_eq!(
+            toks("Y.y1"),
+            vec![
+                Token::Ident("y".into()),
+                Token::Dot,
+                Token::Ident("y1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_followed_by_digit_is_float() {
+        assert_eq!(toks(".5"), vec![Token::Number(0.5)]);
+        assert_eq!(toks("0.5"), vec![Token::Number(0.5)]);
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        assert_eq!(
+            toks("'it''s'"),
+            vec![Token::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <> b != c <= d >= e < f > g = h"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Neq,
+                Token::Ident("b".into()),
+                Token::Neq,
+                Token::Ident("c".into()),
+                Token::Le,
+                Token::Ident("d".into()),
+                Token::Ge,
+                Token::Ident("e".into()),
+                Token::Lt,
+                Token::Ident("f".into()),
+                Token::Gt,
+                Token::Ident("g".into()),
+                Token::Eq,
+                Token::Ident("h".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(
+            toks("SELECT -- the E step\n 1"),
+            vec![Token::Ident("select".into()), Token::Int(1)]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors_with_position() {
+        let err = lex("SELECT @").unwrap_err();
+        match err {
+            Error::Lex { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn big_integer_falls_back_to_float() {
+        assert_eq!(
+            toks("99999999999999999999"),
+            vec![Token::Number(1e20)]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(toks("\"End\""), vec![Token::Ident("end".into())]);
+    }
+}

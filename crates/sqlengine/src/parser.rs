@@ -1,0 +1,980 @@
+//! Recursive-descent parser producing [`crate::ast`] nodes.
+//!
+//! Operator precedence (loosest to tightest):
+//! `OR` < `AND` < `NOT` < comparisons / `IS NULL` < `+ -` < `* /` <
+//! unary `-` < `**` (right-associative, so `-x**2 = -(x**2)`, the
+//! Teradata/Fortran rule the paper's generated SQL assumes).
+
+use crate::ast::{
+    BinOp, ColumnDef, Expr, InsertSource, OrderKey, Select, SelectItem, Statement, TableRef,
+    UnaryOp,
+};
+use crate::error::{Error, Result};
+use crate::lexer::{lex, Spanned, Token};
+use crate::value::{DataType, Value};
+
+/// Words that cannot be used as bare aliases or column names.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "by", "order", "insert", "into", "values", "update",
+    "set", "delete", "create", "drop", "table", "primary", "key", "and", "or", "not", "null",
+    "is", "case", "when", "then", "else", "end", "as", "having", "limit", "if", "exists", "asc",
+    "desc", "distinct", "on", "join", "inner", "left", "right",
+];
+
+/// Parse a string of one or more `;`-separated statements.
+pub fn parse(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat(&Token::Semicolon) {}
+        if p.at_end() {
+            break;
+        }
+        stmts.push(p.statement()?);
+        if !p.at_end() && !p.check(&Token::Semicolon) {
+            return Err(p.err("expected ';' between statements"));
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parse exactly one statement.
+pub fn parse_one(sql: &str) -> Result<Statement> {
+    let mut stmts = parse(sql)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().unwrap()),
+        0 => Err(Error::Parse {
+            pos: 0,
+            message: "empty statement".into(),
+        }),
+        n => Err(Error::Parse {
+            pos: 0,
+            message: format!("expected one statement, found {n}"),
+        }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn cur_pos(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| s.pos)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            pos: self.cur_pos(),
+            message: message.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, t: &Token) -> bool {
+        self.peek() == Some(t)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.check(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Is the current token the keyword `kw` (already lowercase)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Consume an identifier that is not reserved.
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // ----- statements -------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("create") {
+            self.create_table()
+        } else if self.eat_kw("drop") {
+            self.drop_table()
+        } else if self.eat_kw("insert") {
+            self.insert()
+        } else if self.eat_kw("update") {
+            self.update()
+        } else if self.eat_kw("delete") {
+            self.delete()
+        } else if self.at_kw("select") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("explain") {
+            let inner = self.statement()?;
+            Ok(Statement::Explain(Box::new(inner)))
+        } else {
+            Err(self.err("expected a statement keyword"))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("table")?;
+        let if_not_exists = if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident("table name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let mut columns = Vec::new();
+        let mut primary_key = Vec::new();
+        loop {
+            if self.eat_kw("primary") {
+                self.expect_kw("key")?;
+                self.expect(&Token::LParen, "'('")?;
+                loop {
+                    primary_key.push(self.ident("primary key column")?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen, "')'")?;
+            } else {
+                let cname = self.ident("column name")?;
+                let ty = self.data_type()?;
+                // Inline `PRIMARY KEY` on a single column.
+                if self.eat_kw("primary") {
+                    self.expect_kw("key")?;
+                    primary_key.push(cname.clone());
+                }
+                columns.push(ColumnDef { name: cname, ty });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+            if_not_exists,
+        })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let Some(Token::Ident(t)) = self.peek() else {
+            return Err(self.err("expected a type name"));
+        };
+        let ty = match t.as_str() {
+            "bigint" | "int" | "integer" => DataType::BigInt,
+            "double" | "float" | "real" | "numeric" | "decimal" => DataType::Double,
+            "varchar" | "char" | "text" => DataType::Varchar,
+            other => return Err(self.err(format!("unknown type {other:?}"))),
+        };
+        self.pos += 1;
+        // Optional PRECISION keyword / length parens: DOUBLE PRECISION,
+        // VARCHAR(30), DECIMAL(10,2).
+        self.eat_kw("precision");
+        if self.eat(&Token::LParen) {
+            while !self.eat(&Token::RParen) {
+                if self.advance().is_none() {
+                    return Err(self.err("unterminated type parameters"));
+                }
+            }
+        }
+        Ok(ty)
+    }
+
+    fn drop_table(&mut self) -> Result<Statement> {
+        self.expect_kw("table")?;
+        let if_exists = if self.eat_kw("if") {
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident("table name")?;
+        Ok(Statement::DropTable { name, if_exists })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.ident("table name")?;
+        // Optional column list: distinguish `(c1, c2)` from `VALUES`/`SELECT`.
+        let mut columns = None;
+        if self.check(&Token::LParen) {
+            // Lookahead: a column list is `( ident [, ident]* )` followed by
+            // VALUES or SELECT.
+            let save = self.pos;
+            self.pos += 1;
+            let mut cols = Vec::new();
+            let ok = loop {
+                match self.peek() {
+                    Some(Token::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                        cols.push(s.clone());
+                        self.pos += 1;
+                        if self.eat(&Token::Comma) {
+                            continue;
+                        }
+                        break self.eat(&Token::RParen);
+                    }
+                    _ => break false,
+                }
+            };
+            if ok && (self.at_kw("values") || self.at_kw("select")) {
+                columns = Some(cols);
+            } else {
+                self.pos = save;
+            }
+        }
+        let source = if self.eat_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen, "'('")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen, "')'")?;
+                rows.push(row);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.at_kw("select") {
+            InsertSource::Select(Box::new(self.select()?))
+        } else {
+            return Err(self.err("expected VALUES or SELECT after INSERT INTO"));
+        };
+        Ok(Statement::Insert {
+            table,
+            columns,
+            source,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident("table name")?;
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.table_ref()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            self.expect(&Token::Eq, "'='")?;
+            assignments.push((col, self.expr()?));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            from,
+            assignments,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("from")?;
+        let table = self.ident("table name")?;
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident("table name")?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident("table alias")?)
+        } else {
+            match self.peek() {
+                Some(Token::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else if matches!(self.peek(), Some(Token::Ident(_)))
+                && self.peek2() == Some(&Token::Dot)
+                && self.tokens.get(self.pos + 2).map(|s| &s.tok) == Some(&Token::Star)
+            {
+                let Some(Token::Ident(t)) = self.advance() else {
+                    unreachable!()
+                };
+                self.pos += 2; // consume `.` and `*`
+                items.push(SelectItem::QualifiedWildcard(t));
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident("output alias")?)
+                } else {
+                    match self.peek() {
+                        Some(Token::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                            let a = s.clone();
+                            self.pos += 1;
+                            Some(a)
+                        }
+                        _ => None,
+                    }
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.table_ref()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.advance() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected a non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    // ----- expressions ------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.add_sub()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Neq) => Some(BinOp::Neq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_sub()?;
+            return Ok(Expr::bin(op, left, right));
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        Ok(left)
+    }
+
+    fn add_sub(&mut self) -> Result<Expr> {
+        let mut left = self.mul_div()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_div()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn mul_div(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            // Fold literal negation so `-0.5` is a literal, not an op.
+            return Ok(match inner {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Double(d)) => Expr::Literal(Value::Double(-d)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr> {
+        let base = self.primary()?;
+        if self.eat(&Token::StarStar) {
+            // Right-associative; exponent may itself be signed (`x**-2`).
+            let exp = self.unary()?;
+            return Ok(Expr::bin(BinOp::Pow, base, exp));
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Some(Token::Number(x)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Double(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::from(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                match name.as_str() {
+                    "null" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Null));
+                    }
+                    "case" => {
+                        self.pos += 1;
+                        return self.case_expr();
+                    }
+                    _ => {}
+                }
+                if RESERVED.contains(&name.as_str()) {
+                    return Err(self.err(format!("unexpected keyword {name:?} in expression")));
+                }
+                self.pos += 1;
+                // Function call?
+                if self.check(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.eat(&Token::Star) {
+                        // COUNT(*) — encoded as zero-arg count.
+                        self.expect(&Token::RParen, "')'")?;
+                        return Ok(Expr::Func { name, args });
+                    }
+                    if !self.check(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen, "')'")?;
+                    return Ok(Expr::Func { name, args });
+                }
+                // Qualified column?
+                if self.eat(&Token::Dot) {
+                    let col = self.ident("column name")?;
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let mut whens = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.expr()?;
+            self.expect_kw("then")?;
+            let result = self.expr()?;
+            whens.push((cond, result));
+        }
+        if whens.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN arm"));
+        }
+        let else_expr = if self.eat_kw("else") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("end")?;
+        Ok(Expr::Case { whens, else_expr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table_with_compound_key() {
+        let s = parse_one(
+            "CREATE TABLE Y (RID BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (RID, v))",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                if_not_exists,
+            } => {
+                assert_eq!(name, "y");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[2].ty, DataType::Double);
+                assert_eq!(primary_key, vec!["rid", "v"]);
+                assert!(!if_not_exists);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_inline_primary_key() {
+        let s = parse_one("CREATE TABLE W (i BIGINT PRIMARY KEY, w DOUBLE)").unwrap();
+        match s {
+            Statement::CreateTable { primary_key, .. } => {
+                assert_eq!(primary_key, vec!["i"]);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_row_values() {
+        let s = parse_one("INSERT INTO W VALUES (1, 0.5), (2, 0.5)").unwrap();
+        match s {
+            Statement::Insert {
+                source: InsertSource::Values(rows),
+                ..
+            } => assert_eq!(rows.len(), 2),
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_select_with_group_by() {
+        let sql = "INSERT INTO YD SELECT RID, C.i, sum((Y.val-C.val)**2/R.val) AS d \
+                   FROM Y, C, R WHERE Y.v = C.v AND C.v = R.v GROUP BY RID, C.i";
+        let s = parse_one(sql).unwrap();
+        match s {
+            Statement::Insert {
+                table,
+                source: InsertSource::Select(sel),
+                ..
+            } => {
+                assert_eq!(table, "yd");
+                assert_eq!(sel.from.len(), 3);
+                assert_eq!(sel.group_by.len(), 2);
+                assert!(sel.items.iter().any(|i| matches!(
+                    i,
+                    SelectItem::Expr { alias: Some(a), .. } if a == "d"
+                )));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_binds_tighter_than_neg_and_is_right_assoc() {
+        let e = match parse_one("SELECT -x**2").unwrap() {
+            Statement::Select(s) => match &s.items[0] {
+                SelectItem::Expr { expr, .. } => expr.clone(),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        };
+        assert_eq!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::bin(BinOp::Pow, Expr::col("x"), Expr::int(2))),
+            }
+        );
+        let e2 = match parse_one("SELECT a**b**c").unwrap() {
+            Statement::Select(s) => match &s.items[0] {
+                SelectItem::Expr { expr, .. } => expr.clone(),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        };
+        assert_eq!(
+            e2,
+            Expr::bin(
+                BinOp::Pow,
+                Expr::col("a"),
+                Expr::bin(BinOp::Pow, Expr::col("b"), Expr::col("c"))
+            )
+        );
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        let e = match parse_one("SELECT -0.5").unwrap() {
+            Statement::Select(s) => match &s.items[0] {
+                SelectItem::Expr { expr, .. } => expr.clone(),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        };
+        assert_eq!(e, Expr::num(-0.5));
+    }
+
+    #[test]
+    fn parses_case_when_without_else() {
+        let sql = "SELECT CASE WHEN sump > 0 THEN ln(sump) END FROM YP";
+        let s = parse_one(sql).unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr {
+                    expr: Expr::Case { whens, else_expr },
+                    ..
+                } => {
+                    assert_eq!(whens.len(), 1);
+                    assert!(else_expr.is_none());
+                }
+                other => panic!("wrong item {other:?}"),
+            },
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_from() {
+        let sql = "UPDATE GMM FROM R SET detR = R.y1 * R.y2, sqrtdetR = detR ** 0.5";
+        let s = parse_one(sql).unwrap();
+        match s {
+            Statement::Update {
+                table,
+                from,
+                assignments,
+                where_clause,
+            } => {
+                assert_eq!(table, "gmm");
+                assert_eq!(from.len(), 1);
+                assert_eq!(assignments.len(), 2);
+                assert!(where_clause.is_none());
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_where() {
+        let s = parse_one("DELETE FROM YD WHERE RID < 100").unwrap();
+        match s {
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                assert_eq!(table, "yd");
+                assert!(where_clause.is_some());
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_drop_if_exists() {
+        let s = parse_one("DROP TABLE IF EXISTS YD").unwrap();
+        assert_eq!(
+            s,
+            Statement::DropTable {
+                name: "yd".into(),
+                if_exists: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_count_star_and_order_limit() {
+        let s = parse_one("SELECT i, count(*) FROM X GROUP BY i ORDER BY i DESC LIMIT 5")
+            .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.order_by.len(), 1);
+                assert!(sel.order_by[0].desc);
+                assert_eq!(sel.limit, Some(5));
+                assert!(matches!(
+                    &sel.items[1],
+                    SelectItem::Expr {
+                        expr: Expr::Func { name, args },
+                        ..
+                    } if name == "count" && args.is_empty()
+                ));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_statements_split_on_semicolons() {
+        let stmts = parse("DROP TABLE IF EXISTS a; SELECT 1; ;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let s = parse_one("SELECT 1 + 2 AS three").unwrap();
+        match s {
+            Statement::Select(sel) => assert!(sel.from.is_empty()),
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_with_column_list() {
+        let s = parse_one("INSERT INTO W (i, w) VALUES (1, 0.25)").unwrap();
+        match s {
+            Statement::Insert { columns, .. } => {
+                assert_eq!(columns, Some(vec!["i".into(), "w".into()]));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_alias_forms() {
+        let s = parse_one("SELECT a.x FROM Y AS a, Z b").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.from[0].visible_name(), "a");
+                assert_eq!(sel.from[1].visible_name(), "b");
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_and_is_not_null() {
+        let s = parse_one("SELECT x FROM t WHERE x IS NOT NULL AND y IS NULL").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let w = sel.where_clause.unwrap();
+                assert!(matches!(w, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+    }
+
+    #[test]
+    fn reserved_word_rejected_as_table() {
+        assert!(parse("SELECT x FROM select").is_err());
+    }
+
+    #[test]
+    fn parses_nested_function_calls() {
+        let s = parse_one("SELECT exp(-0.5 * ln(abs(x))) FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(
+                    &sel.items[0],
+                    SelectItem::Expr {
+                        expr: Expr::Func { name, .. },
+                        ..
+                    } if name == "exp"
+                ));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Table schemas: column definitions and primary-key metadata.
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+
+/// Definition of one table column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, stored lowercase (identifiers are case-insensitive).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Create a column; the name is lowercased.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+        }
+    }
+
+    /// Shorthand for a DOUBLE column.
+    pub fn double(name: impl Into<String>) -> Self {
+        Column::new(name, DataType::Double)
+    }
+
+    /// Shorthand for a BIGINT column.
+    pub fn bigint(name: impl Into<String>) -> Self {
+        Column::new(name, DataType::BigInt)
+    }
+
+    /// Shorthand for a VARCHAR column.
+    pub fn varchar(name: impl Into<String>) -> Self {
+        Column::new(name, DataType::Varchar)
+    }
+}
+
+/// The schema of a table: ordered columns plus an optional primary key.
+///
+/// The primary key is a set of column positions; when present the table
+/// maintains a hash index over it and enforces uniqueness, mirroring the
+/// "primary index" every SQLEM table declares (paper §2.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    primary_key: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema, validating that column names are unique and every
+    /// primary-key column exists.
+    pub fn new(columns: Vec<Column>, primary_key_names: &[&str]) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(Error::DuplicateColumn(c.name.clone()));
+            }
+        }
+        let mut primary_key = Vec::with_capacity(primary_key_names.len());
+        for name in primary_key_names {
+            let lname = name.to_ascii_lowercase();
+            let idx = columns
+                .iter()
+                .position(|c| c.name == lname)
+                .ok_or_else(|| Error::UnknownColumn(lname.clone()))?;
+            if primary_key.contains(&idx) {
+                return Err(Error::DuplicateColumn(lname));
+            }
+            primary_key.push(idx);
+        }
+        Ok(Schema {
+            columns,
+            primary_key,
+        })
+    }
+
+    /// A schema with no primary key.
+    pub fn keyless(columns: Vec<Column>) -> Result<Self> {
+        Schema::new(columns, &[])
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Positions of primary-key columns (empty = no key).
+    pub fn primary_key(&self) -> &[usize] {
+        &self.primary_key
+    }
+
+    /// True iff the table has a declared primary key.
+    pub fn has_primary_key(&self) -> bool {
+        !self.primary_key.is_empty()
+    }
+
+    /// Position of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lname)
+    }
+
+    /// Column definition by position.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = Schema::new(
+            vec![Column::double("x"), Column::double("X")],
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::DuplicateColumn("x".into()));
+    }
+
+    #[test]
+    fn resolves_pk_by_name_case_insensitively() {
+        let s = Schema::new(
+            vec![Column::bigint("RID"), Column::double("val")],
+            &["rid"],
+        )
+        .unwrap();
+        assert_eq!(s.primary_key(), &[0]);
+        assert!(s.has_primary_key());
+        assert_eq!(s.column_index("Rid"), Some(0));
+    }
+
+    #[test]
+    fn rejects_unknown_pk_column() {
+        let err = Schema::new(vec![Column::double("x")], &["y"]).unwrap_err();
+        assert_eq!(err, Error::UnknownColumn("y".into()));
+    }
+
+    #[test]
+    fn rejects_repeated_pk_column() {
+        let err = Schema::new(
+            vec![Column::bigint("rid"), Column::bigint("v")],
+            &["rid", "rid"],
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn compound_primary_key_positions() {
+        let s = Schema::new(
+            vec![
+                Column::bigint("rid"),
+                Column::bigint("v"),
+                Column::double("val"),
+            ],
+            &["rid", "v"],
+        )
+        .unwrap();
+        assert_eq!(s.primary_key(), &[0, 1]);
+        assert_eq!(s.arity(), 3);
+    }
+}

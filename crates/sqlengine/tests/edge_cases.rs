@@ -1,0 +1,476 @@
+//! Edge cases of the SQL surface that the SQLEM generators rely on but
+//! the main integration tests don't isolate.
+
+use sqlengine::{Database, Error, Value};
+
+fn db() -> Database {
+    Database::new()
+}
+
+#[test]
+fn lateral_alias_chain_three_deep() {
+    // p1 -> sump -> normalized: each item sees the previous ones.
+    let mut d = db();
+    d.execute("CREATE TABLE t (x DOUBLE)").unwrap();
+    d.execute("INSERT INTO t VALUES (3.0)").unwrap();
+    let r = d
+        .execute("SELECT x * 2 AS a, a + 1 AS b, b * b AS c FROM t")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Double(6.0));
+    assert_eq!(r.rows[0][1], Value::Double(7.0));
+    assert_eq!(r.rows[0][2], Value::Double(49.0));
+}
+
+#[test]
+fn lateral_alias_does_not_shadow_base_column() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (x DOUBLE)").unwrap();
+    d.execute("INSERT INTO t VALUES (5.0)").unwrap();
+    // Alias `x` defined from x+1; the second item's `x` must still be the
+    // base column (base wins over laterals).
+    let r = d.execute("SELECT x + 1 AS x, x AS orig FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Double(6.0));
+    assert_eq!(r.rows[0][1], Value::Double(5.0));
+}
+
+#[test]
+fn four_way_join_with_mixed_hash_and_broadcast() {
+    let mut d = db();
+    d.execute(
+        "CREATE TABLE a (k BIGINT PRIMARY KEY, v DOUBLE);
+         CREATE TABLE b (k BIGINT PRIMARY KEY, v DOUBLE);
+         CREATE TABLE one (c DOUBLE);
+         CREATE TABLE two (d DOUBLE)",
+    )
+    .unwrap();
+    d.execute(
+        "INSERT INTO a VALUES (1, 10.0), (2, 20.0);
+         INSERT INTO b VALUES (1, 1.0), (2, 2.0);
+         INSERT INTO one VALUES (100.0);
+         INSERT INTO two VALUES (1000.0)",
+    )
+    .unwrap();
+    let r = d
+        .execute(
+            "SELECT a.v + b.v + one.c + two.d FROM a, one, b, two \
+             WHERE a.k = b.k ORDER BY a.k",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Double(1111.0));
+    assert_eq!(r.rows[1][0], Value::Double(1122.0));
+}
+
+#[test]
+fn join_key_expressions_not_just_columns() {
+    let mut d = db();
+    d.execute(
+        "CREATE TABLE a (k BIGINT PRIMARY KEY);
+         CREATE TABLE b (k BIGINT PRIMARY KEY)",
+    )
+    .unwrap();
+    d.execute("INSERT INTO a VALUES (1), (2), (3); INSERT INTO b VALUES (2), (4), (6)")
+        .unwrap();
+    // a.k * 2 = b.k is an equi-join on computed keys.
+    let r = d
+        .execute("SELECT a.k, b.k FROM a, b WHERE a.k * 2 = b.k ORDER BY a.k")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[2][0], Value::Int(3));
+    assert_eq!(r.rows[2][1], Value::Int(6));
+}
+
+#[test]
+fn residual_predicate_after_join() {
+    let mut d = db();
+    d.execute(
+        "CREATE TABLE a (k BIGINT PRIMARY KEY, v DOUBLE);
+         CREATE TABLE b (k BIGINT PRIMARY KEY, v DOUBLE)",
+    )
+    .unwrap();
+    d.execute(
+        "INSERT INTO a VALUES (1, 5.0), (2, 1.0);
+         INSERT INTO b VALUES (1, 2.0), (2, 9.0)",
+    )
+    .unwrap();
+    // a.v > b.v cannot be a hash key; it must filter joined rows.
+    let r = d
+        .execute("SELECT a.k FROM a, b WHERE a.k = b.k AND a.v > b.v")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn group_by_expression_key() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)").unwrap();
+    let r = d
+        .execute("SELECT mod(x, 2), count(*) FROM t GROUP BY mod(x, 2) ORDER BY mod(x, 2)")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][1], Value::Int(2)); // evens: 2, 4
+    assert_eq!(r.rows[1][1], Value::Int(3)); // odds: 1, 3, 5
+}
+
+#[test]
+fn scalar_function_of_aggregate() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (x DOUBLE)").unwrap();
+    d.execute("INSERT INTO t VALUES (1.0), (2.0), (3.0)").unwrap();
+    // ln(sum(x)) — Fig. 7's YSUMP llh shape.
+    let r = d.execute("SELECT ln(sum(x)) FROM t").unwrap();
+    assert!((r.scalar_f64().unwrap() - 6.0f64.ln()).abs() < 1e-12);
+}
+
+#[test]
+fn aggregate_inside_case_condition() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (x DOUBLE)").unwrap();
+    d.execute("INSERT INTO t VALUES (0.25), (0.25)").unwrap();
+    let r = d
+        .execute("SELECT CASE WHEN sum(x) > 0 THEN ln(sum(x)) END FROM t")
+        .unwrap();
+    assert!((r.scalar_f64().unwrap() - 0.5f64.ln()).abs() < 1e-12);
+    d.execute("DELETE FROM t").unwrap();
+    d.execute("INSERT INTO t VALUES (0.0)").unwrap();
+    let r = d
+        .execute("SELECT CASE WHEN sum(x) > 0 THEN ln(sum(x)) END FROM t")
+        .unwrap();
+    assert!(r.rows[0][0].is_null());
+}
+
+#[test]
+fn update_where_referencing_from_table() {
+    let mut d = db();
+    d.execute(
+        "CREATE TABLE t (k BIGINT PRIMARY KEY, x DOUBLE);
+         CREATE TABLE limits (lo DOUBLE)",
+    )
+    .unwrap();
+    d.execute("INSERT INTO t VALUES (1, 5.0), (2, 50.0); INSERT INTO limits VALUES (10.0)")
+        .unwrap();
+    let r = d
+        .execute("UPDATE t FROM limits SET x = 0.0 WHERE x > limits.lo")
+        .unwrap();
+    assert_eq!(r.rows_affected, 1);
+    let r = d.execute("SELECT x FROM t ORDER BY k").unwrap();
+    assert_eq!(r.rows[0][0], Value::Double(5.0));
+    assert_eq!(r.rows[1][0], Value::Double(0.0));
+}
+
+#[test]
+fn update_pk_collision_is_detected_and_loud() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (k BIGINT PRIMARY KEY)").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    let err = d.execute("UPDATE t SET k = 9").unwrap_err();
+    assert!(matches!(err, Error::DuplicateKey { .. }));
+}
+
+#[test]
+fn insert_select_into_keyed_table_enforces_uniqueness() {
+    let mut d = db();
+    d.execute(
+        "CREATE TABLE src (k BIGINT, x DOUBLE);
+         CREATE TABLE dst (k BIGINT PRIMARY KEY, x DOUBLE)",
+    )
+    .unwrap();
+    d.execute("INSERT INTO src VALUES (1, 1.0), (1, 2.0)").unwrap();
+    let err = d.execute("INSERT INTO dst SELECT k, x FROM src").unwrap_err();
+    assert!(matches!(err, Error::DuplicateKey { .. }));
+}
+
+#[test]
+fn empty_table_aggregate_vs_group_by() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (b BIGINT, x DOUBLE)").unwrap();
+    // Implicit aggregation over empty input: one row.
+    let r = d.execute("SELECT count(*), sum(x) FROM t").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert!(r.rows[0][1].is_null());
+    // GROUP BY over empty input: zero rows.
+    let r = d.execute("SELECT b, sum(x) FROM t GROUP BY b").unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn unqualified_ambiguity_is_an_error_but_qualification_fixes_it() {
+    let mut d = db();
+    d.execute(
+        "CREATE TABLE a (v DOUBLE); CREATE TABLE b (v DOUBLE)",
+    )
+    .unwrap();
+    d.execute("INSERT INTO a VALUES (1.0); INSERT INTO b VALUES (2.0)").unwrap();
+    assert!(matches!(
+        d.execute("SELECT v FROM a, b").unwrap_err(),
+        Error::AmbiguousColumn(_)
+    ));
+    let r = d.execute("SELECT a.v, b.v FROM a, b").unwrap();
+    assert_eq!(r.rows[0][0], Value::Double(1.0));
+    assert_eq!(r.rows[0][1], Value::Double(2.0));
+}
+
+#[test]
+fn cross_join_cardinality() {
+    let mut d = db();
+    d.execute("CREATE TABLE a (x BIGINT); CREATE TABLE b (y BIGINT)").unwrap();
+    d.execute("INSERT INTO a VALUES (1), (2), (3); INSERT INTO b VALUES (10), (20)")
+        .unwrap();
+    let r = d.execute("SELECT x, y FROM a, b").unwrap();
+    assert_eq!(r.rows.len(), 6);
+}
+
+#[test]
+fn division_null_propagation_vs_zero_error() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (x DOUBLE, y DOUBLE)").unwrap();
+    d.execute("INSERT INTO t VALUES (1.0, NULL)").unwrap();
+    // NULL divisor → NULL, not an error.
+    let r = d.execute("SELECT x / y FROM t").unwrap();
+    assert!(r.rows[0][0].is_null());
+}
+
+#[test]
+fn order_by_multiple_keys_mixed_direction() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (a BIGINT, b BIGINT)").unwrap();
+    d.execute("INSERT INTO t VALUES (1, 1), (1, 2), (2, 1), (2, 2)").unwrap();
+    let r = d.execute("SELECT a, b FROM t ORDER BY a DESC, b ASC").unwrap();
+    let got: Vec<(i64, i64)> = r
+        .rows
+        .iter()
+        .map(|row| (row[0].as_i64().unwrap(), row[1].as_i64().unwrap()))
+        .collect();
+    assert_eq!(got, vec![(2, 1), (2, 2), (1, 1), (1, 2)]);
+}
+
+#[test]
+fn wide_table_with_many_columns() {
+    // A k = 60 YX-style table: wide rows through the whole pipeline.
+    let mut d = db();
+    let cols: Vec<String> = (1..=60).map(|j| format!("x{j} DOUBLE")).collect();
+    d.execute(&format!(
+        "CREATE TABLE yx (rid BIGINT PRIMARY KEY, {})",
+        cols.join(", ")
+    ))
+    .unwrap();
+    let vals: Vec<String> = (1..=60).map(|j| format!("{}.0", j)).collect();
+    d.execute(&format!("INSERT INTO yx VALUES (1, {})", vals.join(", ")))
+        .unwrap();
+    let sum: String = (1..=60)
+        .map(|j| format!("x{j}"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let r = d.execute(&format!("SELECT {sum} FROM yx")).unwrap();
+    assert_eq!(r.scalar_f64(), Some(1830.0));
+}
+
+#[test]
+fn sixty_five_tables_in_from_rejected() {
+    let mut d = db();
+    for i in 0..66 {
+        d.execute(&format!("CREATE TABLE t{i} (x BIGINT)")).unwrap();
+        d.execute(&format!("INSERT INTO t{i} VALUES ({i})")).unwrap();
+    }
+    let froms: Vec<String> = (0..66).map(|i| format!("t{i}")).collect();
+    let err = d
+        .execute(&format!("SELECT t0.x FROM {}", froms.join(", ")))
+        .unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)));
+}
+
+#[test]
+fn varchar_round_trip_and_grouping() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (name VARCHAR, x DOUBLE)").unwrap();
+    d.execute("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0), ('a', 3.0)")
+        .unwrap();
+    let r = d
+        .execute("SELECT name, sum(x) FROM t GROUP BY name ORDER BY name")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::str("a"));
+    assert_eq!(r.rows[0][1], Value::Double(4.0));
+    assert_eq!(r.rows[1][0], Value::str("b"));
+}
+
+#[test]
+fn select_from_missing_table_is_clean_error() {
+    let mut d = db();
+    assert!(matches!(
+        d.execute("SELECT * FROM nope").unwrap_err(),
+        Error::UnknownTable(_)
+    ));
+    assert!(matches!(
+        d.execute("INSERT INTO nope VALUES (1)").unwrap_err(),
+        Error::UnknownTable(_)
+    ));
+    assert!(matches!(
+        d.execute("UPDATE nope SET x = 1").unwrap_err(),
+        Error::UnknownTable(_)
+    ));
+}
+
+#[test]
+fn explain_describes_the_pipeline() {
+    let mut d = db();
+    d.execute(
+        "CREATE TABLE y (rid BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (rid, v));
+         CREATE TABLE cr (v BIGINT PRIMARY KEY, c1 DOUBLE, r DOUBLE);
+         CREATE TABLE gmm (n BIGINT)",
+    )
+    .unwrap();
+    d.execute("INSERT INTO y VALUES (1,1,0.5); INSERT INTO cr VALUES (1, 0.0, 1.0); INSERT INTO gmm VALUES (1)")
+        .unwrap();
+    let r = d
+        .execute(
+            "EXPLAIN SELECT rid, sum((y.val - cr.c1) ** 2 / cr.r) FROM y, cr, gmm \
+             WHERE y.v = cr.v GROUP BY rid",
+        )
+        .unwrap();
+    let plan: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert!(plan[0].starts_with("driver scan: y"), "{plan:?}");
+    assert!(plan[1].starts_with("hash join: cr on 1 key(s)"), "{plan:?}");
+    assert!(plan[2].starts_with("broadcast (cross join): gmm"), "{plan:?}");
+    assert!(plan[3].contains("hash aggregate (1 group key(s), 1 accumulator(s))"), "{plan:?}");
+}
+
+#[test]
+fn explain_scalar_projection_and_limits() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (a BIGINT)").unwrap();
+    d.execute("INSERT INTO t VALUES (1)").unwrap();
+    let r = d
+        .execute("EXPLAIN SELECT a, a + 1 FROM t ORDER BY a LIMIT 5")
+        .unwrap();
+    let plan: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert!(plan.iter().any(|l| l.contains("projection (2 item(s))")), "{plan:?}");
+    assert!(plan.iter().any(|l| l.contains("order by: 1 key(s)")), "{plan:?}");
+    assert!(plan.iter().any(|l| l.contains("limit: 5")), "{plan:?}");
+}
+
+#[test]
+fn explain_non_select_rejected() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (a BIGINT)").unwrap();
+    assert!(matches!(
+        d.execute("EXPLAIN DELETE FROM t").unwrap_err(),
+        Error::Unsupported(_)
+    ));
+}
+
+#[test]
+fn variance_and_stddev_aggregates() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (g BIGINT, x DOUBLE)").unwrap();
+    d.execute("INSERT INTO t VALUES (1, 2.0), (1, 4.0), (1, 6.0), (2, 5.0)")
+        .unwrap();
+    // Population variance of {2,4,6} = 8/3.
+    let r = d
+        .execute("SELECT g, variance(x), stddev(x) FROM t GROUP BY g ORDER BY g")
+        .unwrap();
+    let var = r.rows[0][1].as_f64().unwrap();
+    assert!((var - 8.0 / 3.0).abs() < 1e-12, "var {var}");
+    let sd = r.rows[0][2].as_f64().unwrap();
+    assert!((sd - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    // Single value → variance 0; empty after NULL-skip → NULL.
+    assert_eq!(r.rows[1][1], Value::Double(0.0));
+    d.execute("CREATE TABLE e (x DOUBLE)").unwrap();
+    d.execute("INSERT INTO e VALUES (NULL)").unwrap();
+    let r = d.execute("SELECT variance(x) FROM e").unwrap();
+    assert!(r.rows[0][0].is_null());
+}
+
+#[test]
+fn variance_parallel_matches_serial() {
+    let build = |workers: usize| {
+        let mut d = Database::with_config(sqlengine::EngineConfig {
+            workers,
+            ..Default::default()
+        });
+        d.execute("CREATE TABLE t (x DOUBLE)").unwrap();
+        let rows: Vec<Vec<Value>> = (0..20_000)
+            .map(|i| vec![Value::Double(((i * 37) % 101) as f64)])
+            .collect();
+        d.bulk_insert("t", rows).unwrap();
+        d.execute("SELECT variance(x), stddev(x) FROM t")
+            .unwrap()
+            .rows[0]
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect::<Vec<_>>()
+    };
+    let serial = build(1);
+    let parallel = build(4);
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn failed_statement_keeps_earlier_effects() {
+    // No transactions (§3.6 workflow): statement 2's failure leaves
+    // statement 1's insert in place.
+    let mut d = db();
+    d.execute("CREATE TABLE t (a BIGINT PRIMARY KEY)").unwrap();
+    let err = d.execute_all("INSERT INTO t VALUES (1); INSERT INTO t VALUES (1)");
+    assert!(err.is_err());
+    let r = d.execute("SELECT count(*) FROM t").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn query_result_accessors() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (a BIGINT, b DOUBLE)").unwrap();
+    d.execute("INSERT INTO t VALUES (1, 2.5)").unwrap();
+    let r = d.execute("SELECT a AS first, b AS second FROM t").unwrap();
+    assert_eq!(r.column_index("first"), Some(0));
+    assert_eq!(r.column_index("SECOND"), Some(1));
+    assert_eq!(r.column_index("third"), None);
+    assert_eq!(r.cell(0, 1), Some(&Value::Double(2.5)));
+    assert_eq!(r.cell(1, 0), None);
+    assert_eq!(r.cell(0, 9), None);
+    assert_eq!(r.scalar_f64(), Some(1.0));
+}
+
+#[test]
+fn update_from_first_match_wins() {
+    // Multiple FROM rows satisfy WHERE; the first one (in table order)
+    // supplies the bindings — deterministic, documented semantics.
+    let mut d = db();
+    d.execute(
+        "CREATE TABLE t (k BIGINT PRIMARY KEY, x DOUBLE);
+         CREATE TABLE lookup (v DOUBLE)",
+    )
+    .unwrap();
+    d.execute("INSERT INTO t VALUES (1, 0.0); INSERT INTO lookup VALUES (10.0), (20.0)")
+        .unwrap();
+    d.execute("UPDATE t FROM lookup SET x = lookup.v").unwrap();
+    let r = d.execute("SELECT x FROM t").unwrap();
+    assert_eq!(r.scalar_f64(), Some(10.0));
+}
+
+#[test]
+fn limit_zero_and_limit_beyond_rows() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (a BIGINT)").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    assert_eq!(d.execute("SELECT a FROM t LIMIT 0").unwrap().rows.len(), 0);
+    assert_eq!(d.execute("SELECT a FROM t LIMIT 99").unwrap().rows.len(), 2);
+}
+
+#[test]
+fn drop_recreate_changes_schema() {
+    // The per-iteration DROP/CREATE pattern must fully replace schemas
+    // (the fused-YX variant reuses the same table name with a wider row).
+    let mut d = db();
+    d.execute("CREATE TABLE w (a BIGINT)").unwrap();
+    d.execute("INSERT INTO w VALUES (1)").unwrap();
+    d.execute("DROP TABLE w").unwrap();
+    d.execute("CREATE TABLE w (a BIGINT, b DOUBLE, c DOUBLE)").unwrap();
+    d.execute("INSERT INTO w VALUES (1, 2.0, 3.0)").unwrap();
+    let r = d.execute("SELECT c FROM w").unwrap();
+    assert_eq!(r.scalar_f64(), Some(3.0));
+}

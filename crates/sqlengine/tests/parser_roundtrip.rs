@@ -1,0 +1,178 @@
+//! Property test: the parser inverts the AST renderer for the whole
+//! expression grammar — `parse(render(e))` reproduces `e`.
+//!
+//! The generators build SQL by string concatenation, so any disagreement
+//! between what the renderer considers valid and what the parser accepts
+//! is a bug class this test closes.
+
+use proptest::prelude::*;
+use sqlengine::ast::{BinOp, Expr, SelectItem, Statement, UnaryOp};
+use sqlengine::parser::parse_one;
+use sqlengine::value::Value;
+
+/// Random expression trees (aggregate-free — aggregates have positional
+/// restrictions the renderer does not encode).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
+        (-100i64..0).prop_map(|i| Expr::Literal(Value::Int(i))),
+        // Finite, non-negative-zero doubles; rendered via {:?} which
+        // round-trips exactly.
+        (-1.0e6f64..1.0e6)
+            .prop_filter("skip -0.0", |d| d.to_bits() != (-0.0f64).to_bits())
+            .prop_map(|d| Expr::Literal(Value::Double(d))),
+        Just(Expr::Literal(Value::Null)),
+        "[a-z][a-z0-9_]{0,6}"
+            .prop_filter("avoid reserved words", |s| !is_reserved(s))
+            .prop_map(|name| Expr::Column { table: None, name }),
+        (
+            "[a-z][a-z0-9_]{0,4}".prop_filter("reserved", |s| !is_reserved(s)),
+            "[a-z][a-z0-9_]{0,4}".prop_filter("reserved", |s| !is_reserved(s)),
+        )
+            .prop_map(|(t, c)| Expr::Column {
+                table: Some(t),
+                name: c,
+            }),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Pow,
+                    BinOp::Eq,
+                    BinOp::Neq,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::And,
+                    BinOp::Or,
+                ];
+                Expr::bin(ops[op as usize % ops.len()], l, r)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            inner.clone().prop_map(|e| Expr::Func {
+                name: "exp".into(),
+                args: vec![e],
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Func {
+                name: "power".into(),
+                args: vec![a, b],
+            }),
+            (
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                prop::option::of(inner.clone()),
+            )
+                .prop_map(|(whens, else_expr)| Expr::Case {
+                    whens,
+                    else_expr: else_expr.map(Box::new),
+                }),
+        ]
+    })
+}
+
+fn is_reserved(s: &str) -> bool {
+    // Superset of the parser's reserved list plus function names and the
+    // bare literals that parse specially.
+    const WORDS: &[&str] = &[
+        "select", "from", "where", "group", "by", "order", "insert", "into", "values",
+        "update", "set", "delete", "create", "drop", "table", "primary", "key", "and", "or",
+        "not", "null", "is", "case", "when", "then", "else", "end", "as", "having", "limit",
+        "if", "exists", "asc", "desc", "distinct", "on", "join", "inner", "left", "right",
+        "explain", "exp", "ln", "log", "sqrt", "abs", "power", "pow", "floor", "ceil",
+        "ceiling", "round", "sign", "mod", "least", "greatest", "coalesce", "sum", "count",
+        "avg", "min", "max", "variance", "var_pop", "stddev", "stddev_pop",
+    ];
+    WORDS.contains(&s)
+}
+
+/// The Neg-of-negative-literal case folds during parsing; normalize both
+/// sides the same way before comparing.
+fn normalize(e: &Expr) -> Expr {
+    match e {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => match normalize(expr) {
+            Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+            Expr::Literal(Value::Double(d)) => Expr::Literal(Value::Double(-d)),
+            inner => Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            },
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(normalize(expr)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(normalize(left)),
+            right: Box::new(normalize(right)),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(normalize).collect(),
+        },
+        Expr::Case { whens, else_expr } => Expr::Case {
+            whens: whens
+                .iter()
+                .map(|(c, r)| (normalize(c), normalize(r)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(normalize(e))),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(normalize(expr)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parse_inverts_render(e in arb_expr()) {
+        let sql = format!("SELECT {e}");
+        let stmt = parse_one(&sql)
+            .unwrap_or_else(|err| panic!("failed to parse {sql:?}: {err}"));
+        let Statement::Select(sel) = stmt else {
+            panic!("not a select");
+        };
+        let [SelectItem::Expr { expr, .. }] = sel.items.as_slice() else {
+            panic!("wrong item shape");
+        };
+        prop_assert_eq!(normalize(expr), normalize(&e), "sql was: {}", sql);
+    }
+}
+
+#[test]
+fn render_examples_are_readable() {
+    let e = Expr::bin(
+        BinOp::Div,
+        Expr::qcol("y", "val"),
+        Expr::Func {
+            name: "exp".into(),
+            args: vec![Expr::num(-0.5)],
+        },
+    );
+    assert_eq!(e.to_string(), "((y.val) / (exp((-0.5))))");
+    let parsed = parse_one(&format!("SELECT {e}")).unwrap();
+    assert!(matches!(parsed, Statement::Select(_)));
+}

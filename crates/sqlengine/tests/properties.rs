@@ -1,0 +1,211 @@
+//! Property-based tests: the engine against brute-force reference
+//! implementations on randomized data.
+
+use proptest::prelude::*;
+use sqlengine::{Database, Value};
+
+/// Row values small enough to avoid FP-associativity noise in sums.
+fn small_rows() -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
+    prop::collection::vec(
+        (0i64..50, 0i64..5, -100.0f64..100.0),
+        1..120,
+    )
+    .prop_map(|mut rows| {
+        // Unique (a) PK by re-keying sequentially; keep b, x random.
+        for (i, r) in rows.iter_mut().enumerate() {
+            r.0 = i as i64;
+        }
+        rows
+    })
+}
+
+fn load(db: &mut Database, rows: &[(i64, i64, f64)]) {
+    db.execute("CREATE TABLE t (a BIGINT PRIMARY KEY, b BIGINT, x DOUBLE)")
+        .unwrap();
+    db.bulk_insert(
+        "t",
+        rows.iter()
+            .map(|(a, b, x)| vec![Value::Int(*a), Value::Int(*b), Value::Double(*x)]),
+    )
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// COUNT/SUM/MIN/MAX against direct computation.
+    #[test]
+    fn aggregates_match_reference(rows in small_rows()) {
+        let mut db = Database::new();
+        load(&mut db, &rows);
+        let r = db.execute("SELECT count(*), sum(x), min(x), max(x) FROM t").unwrap();
+        let count = r.rows[0][0].as_i64().unwrap();
+        prop_assert_eq!(count, rows.len() as i64);
+        let sum: f64 = rows.iter().map(|r| r.2).sum();
+        prop_assert!((r.rows[0][1].as_f64().unwrap() - sum).abs() < 1e-6);
+        let min = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+        let max = rows.iter().map(|r| r.2).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(r.rows[0][2].as_f64().unwrap(), min);
+        prop_assert_eq!(r.rows[0][3].as_f64().unwrap(), max);
+    }
+
+    /// GROUP BY sums equal a HashMap-based reference.
+    #[test]
+    fn group_by_matches_reference(rows in small_rows()) {
+        let mut db = Database::new();
+        load(&mut db, &rows);
+        let r = db
+            .execute("SELECT b, sum(x), count(*) FROM t GROUP BY b ORDER BY b")
+            .unwrap();
+        let mut expect: std::collections::BTreeMap<i64, (f64, i64)> = Default::default();
+        for (_, b, x) in &rows {
+            let e = expect.entry(*b).or_insert((0.0, 0));
+            e.0 += x;
+            e.1 += 1;
+        }
+        prop_assert_eq!(r.rows.len(), expect.len());
+        for (row, (b, (sum, count))) in r.rows.iter().zip(expect) {
+            prop_assert_eq!(row[0].as_i64().unwrap(), b);
+            prop_assert!((row[1].as_f64().unwrap() - sum).abs() < 1e-6);
+            prop_assert_eq!(row[2].as_i64().unwrap(), count);
+        }
+    }
+
+    /// Hash equi-join against a nested-loop reference.
+    #[test]
+    fn join_matches_nested_loop(
+        left in small_rows(),
+        right in small_rows(),
+    ) {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE l (a BIGINT PRIMARY KEY, b BIGINT, x DOUBLE);
+             CREATE TABLE r (a BIGINT PRIMARY KEY, b BIGINT, x DOUBLE)",
+        )
+        .unwrap();
+        db.bulk_insert("l", left.iter().map(|(a, b, x)| {
+            vec![Value::Int(*a), Value::Int(*b), Value::Double(*x)]
+        })).unwrap();
+        db.bulk_insert("r", right.iter().map(|(a, b, x)| {
+            vec![Value::Int(*a), Value::Int(*b), Value::Double(*x)]
+        })).unwrap();
+        let got = db
+            .execute("SELECT l.a, r.a FROM l, r WHERE l.b = r.b ORDER BY l.a, r.a")
+            .unwrap();
+        let mut expect: Vec<(i64, i64)> = Vec::new();
+        for (la, lb, _) in &left {
+            for (ra, rb, _) in &right {
+                if lb == rb {
+                    expect.push((*la, *ra));
+                }
+            }
+        }
+        expect.sort_unstable();
+        prop_assert_eq!(got.rows.len(), expect.len());
+        for (row, (la, ra)) in got.rows.iter().zip(expect) {
+            prop_assert_eq!(row[0].as_i64().unwrap(), la);
+            prop_assert_eq!(row[1].as_i64().unwrap(), ra);
+        }
+    }
+
+    /// WHERE filtering equals retain().
+    #[test]
+    fn where_matches_filter(rows in small_rows(), threshold in -100.0f64..100.0) {
+        let mut db = Database::new();
+        load(&mut db, &rows);
+        let sql = format!("SELECT a FROM t WHERE x > {threshold} ORDER BY a");
+        let got = db.execute(&sql).unwrap();
+        let expect: Vec<i64> = rows
+            .iter()
+            .filter(|(_, _, x)| *x > threshold)
+            .map(|(a, _, _)| *a)
+            .collect();
+        prop_assert_eq!(got.rows.len(), expect.len());
+        for (row, a) in got.rows.iter().zip(expect) {
+            prop_assert_eq!(row[0].as_i64().unwrap(), a);
+        }
+    }
+
+    /// ORDER BY DESC sorts; LIMIT truncates.
+    #[test]
+    fn order_and_limit(rows in small_rows(), limit in 0usize..20) {
+        let mut db = Database::new();
+        load(&mut db, &rows);
+        let got = db
+            .execute(&format!("SELECT x FROM t ORDER BY x DESC LIMIT {limit}"))
+            .unwrap();
+        let mut expect: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        expect.sort_by(|a, b| b.total_cmp(a));
+        expect.truncate(limit);
+        prop_assert_eq!(got.rows.len(), expect.len());
+        for (row, x) in got.rows.iter().zip(expect) {
+            prop_assert_eq!(row[0].as_f64().unwrap(), x);
+        }
+    }
+
+    /// DELETE + COUNT stays consistent.
+    #[test]
+    fn delete_then_count(rows in small_rows(), threshold in -100.0f64..100.0) {
+        let mut db = Database::new();
+        load(&mut db, &rows);
+        let deleted = db
+            .execute(&format!("DELETE FROM t WHERE x <= {threshold}"))
+            .unwrap()
+            .rows_affected;
+        let remaining = db
+            .execute("SELECT count(*) FROM t")
+            .unwrap()
+            .rows[0][0]
+            .as_i64()
+            .unwrap() as usize;
+        prop_assert_eq!(deleted + remaining, rows.len());
+        // All the survivors satisfy the predicate's complement.
+        let r = db.execute("SELECT min(x) FROM t").unwrap();
+        if remaining > 0 {
+            prop_assert!(r.rows[0][0].as_f64().unwrap() > threshold);
+        } else {
+            prop_assert!(r.rows[0][0].is_null());
+        }
+    }
+
+    /// UPDATE applies the assignment to exactly the matching rows.
+    #[test]
+    fn update_applies_expression(rows in small_rows()) {
+        let mut db = Database::new();
+        load(&mut db, &rows);
+        db.execute("UPDATE t SET x = x * 2 WHERE b = 1").unwrap();
+        let got = db.execute("SELECT a, x FROM t ORDER BY a").unwrap();
+        for (row, (_, b, x)) in got.rows.iter().zip(&rows) {
+            let expect = if *b == 1 { x * 2.0 } else { *x };
+            prop_assert!((row[1].as_f64().unwrap() - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Parallel execution agrees with serial for scalar and aggregate
+    /// queries (up to FP summation order).
+    #[test]
+    fn parallel_agrees_with_serial(rows in small_rows()) {
+        let run = |workers: usize| {
+            let mut db = Database::with_config(sqlengine::EngineConfig {
+                workers,
+                ..Default::default()
+            });
+            load(&mut db, &rows);
+            let agg = db
+                .execute("SELECT b, sum(x) FROM t GROUP BY b ORDER BY b")
+                .unwrap();
+            let scalar = db.execute("SELECT a, x + 1 FROM t ORDER BY a").unwrap();
+            (agg, scalar)
+        };
+        let (agg1, scalar1) = run(1);
+        let (agg4, scalar4) = run(4);
+        prop_assert_eq!(agg1.rows.len(), agg4.rows.len());
+        for (a, b) in agg1.rows.iter().zip(&agg4.rows) {
+            prop_assert_eq!(a[0].clone(), b[0].clone());
+            prop_assert!(
+                (a[1].as_f64().unwrap() - b[1].as_f64().unwrap()).abs() < 1e-6
+            );
+        }
+        prop_assert_eq!(scalar1.rows, scalar4.rows);
+    }
+}

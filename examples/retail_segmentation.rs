@@ -1,0 +1,94 @@
+//! Customer segmentation on market-basket data — the paper's §4.1
+//! experiment at example scale (50k baskets; the `retail` bench binary
+//! runs the full 1,545,075).
+//!
+//! The workload has six basket variables (hour, sales, discount, cost,
+//! distinct items, distinct categories) and a ground-truth structure that
+//! mirrors the paper's findings: two dominant quick-trip segments
+//! (~71% combined) split by shopping hour, core shoppers, lunch crowds,
+//! promotion hunters and cherry pickers.
+//!
+//! ```text
+//! cargo run --release --example retail_segmentation
+//! ```
+
+use datagen::retail::{retail_dataset, RetailConfig, RETAIL_K, RETAIL_P, RETAIL_SEGMENTS};
+use emcore::init::InitStrategy;
+use sqlem::{summary, EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+fn main() {
+    let data = retail_dataset(&RetailConfig {
+        n: 50_000,
+        seed: 20000518,
+    });
+    println!("generated {} baskets, p = {RETAIL_P}, k = {RETAIL_K}", data.n());
+
+    let mut db = Database::new();
+    let config = SqlemConfig::new(RETAIL_K, Strategy::Hybrid)
+        .with_epsilon(1.0)
+        .with_max_iterations(10);
+    let mut session = EmSession::create(&mut db, &config, RETAIL_P).expect("create");
+    session.load_points(&data.points).expect("load");
+    session
+        .initialize(&InitStrategy::FromSample {
+            fraction: 0.05,
+            seed: 20000518,
+            em_iterations: 5,
+        })
+        .expect("init");
+
+    let run = session.run().expect("run");
+    println!(
+        "{} iterations, {:.2}s per iteration\n",
+        run.iterations,
+        run.secs_per_iteration()
+    );
+
+    let vars = ["hour", "sales", "discount", "cost", "items", "categories"];
+    println!("{}", summary::format_table(&run.params, &vars));
+
+    println!(
+        "top-2 cluster weight: {:.1}%  (paper: ~71% quick-trip shoppers)",
+        summary::top_weight(&run.params, 2) * 100.0
+    );
+    // EM with a sampled initialization sometimes splits a dominant
+    // segment across clusters (it is a local optimizer, §2.2); the
+    // *profile*-aggregated view recovers the paper's 71% headline.
+    let summaries = summary::summarize(&run.params);
+    let quick_trip: f64 = summaries
+        .iter()
+        .filter(|s| s.mean[4] < 4.0 && s.mean[1] < 15.0)
+        .map(|s| s.weight)
+        .sum();
+    println!(
+        "clusters with the quick-trip profile (<4 items, <$15): {:.1}% of baskets          (paper: ~71%)",
+        quick_trip * 100.0
+    );
+
+    // Narrate the two dominant clusters the way §4.1 does.
+    for s in summaries.iter().take(2) {
+        println!(
+            "cluster #{}: {:.0}% of baskets — ~{:.0} items from ~{:.0} sections, \
+             ~${:.0} sales, shopped around {:.0}:00",
+            s.index,
+            s.weight * 100.0,
+            s.mean[4],
+            s.mean[5],
+            s.mean[1],
+            s.mean[0],
+        );
+    }
+
+    let scores = session.scores().expect("scores");
+    let purity = emcore::compare::purity(&data.labels, &scores, RETAIL_K);
+    println!("\nsegmentation purity vs the generating segments: {purity:.3}");
+    println!(
+        "(ground-truth segments: {})",
+        RETAIL_SEGMENTS
+            .iter()
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,79 @@
+//! Runs the same clustering problem under all three §3 strategies,
+//! checks they produce the same solution, times them, and demonstrates
+//! the horizontal strategy's parser-limit failure mode (§3.3).
+//!
+//! ```text
+//! cargo run --release --example strategy_comparison
+//! ```
+
+use datagen::generate_dataset;
+use emcore::init::{initialize, InitStrategy};
+use sqlem::{EmSession, SqlemConfig, SqlemError, Strategy};
+use sqlengine::Database;
+
+fn main() {
+    let (n, p, k) = (10_000, 8, 6);
+    let data = generate_dataset(n, p, k, 5);
+    // One shared initialization so the three runs are exactly comparable.
+    let init = initialize(&data.points, k, &InitStrategy::Random { seed: 5 });
+
+    println!("n = {n}, p = {p}, k = {k}\n");
+    println!(
+        "{:>12} {:>8} {:>12} {:>16} {:>14}",
+        "strategy", "iters", "secs/iter", "final llh", "longest stmt"
+    );
+
+    let mut params = Vec::new();
+    for strategy in Strategy::ALL {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, strategy)
+            .with_epsilon(0.0)
+            .with_max_iterations(5);
+        let mut session = EmSession::create(&mut db, &config, p).expect("create");
+        session.load_points(&data.points).expect("load");
+        session
+            .initialize(&InitStrategy::Explicit(init.clone()))
+            .expect("init");
+        let longest = session.longest_statement();
+        let run = session.run().expect("run");
+        println!(
+            "{:>12} {:>8} {:>12.4} {:>16.2} {:>14}",
+            strategy.name(),
+            run.iterations,
+            run.secs_per_iteration(),
+            run.llh_history.last().unwrap(),
+            longest,
+        );
+        params.push(run.params);
+    }
+
+    // Same algorithm, three encodings: solutions must agree.
+    let d01 = emcore::compare::max_param_diff(&params[0], &params[1]);
+    let d12 = emcore::compare::max_param_diff(&params[1], &params[2]);
+    println!("\nmax parameter difference across strategies: {:.2e}", d01.max(d12));
+    assert!(d01.max(d12) < 1e-6, "strategies disagreed!");
+
+    // Now the §3.3 ceiling: the same problem at kp = 1000 with a 16 KiB
+    // parser limit. The hybrid sails through; the horizontal statement is
+    // rejected before execution.
+    println!("\n-- parser-limit demonstration (p = 40, k = 25, 16 KiB limit) --");
+    let wide = generate_dataset(200, 40, 25, 6);
+    for strategy in [Strategy::Horizontal, Strategy::Hybrid] {
+        let mut db = Database::new();
+        db.set_max_statement_len(16 * 1024);
+        let config = SqlemConfig::new(25, strategy).with_max_iterations(1);
+        let mut session = EmSession::create(&mut db, &config, 40).expect("create");
+        session.load_points(&wide.points).expect("load");
+        session
+            .initialize(&InitStrategy::Random { seed: 6 })
+            .expect("init");
+        match session.iterate_once() {
+            Ok(_) => println!("{:>12}: ran fine ({} byte statements)", strategy.name(), session.longest_statement()),
+            Err(SqlemError::StatementTooLong { len, max, .. }) => println!(
+                "{:>12}: rejected — distance statement is {len} bytes, limit {max}",
+                strategy.name()
+            ),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the SQLEM reproduction: re-exports all member crates
+//! and hosts the cross-crate examples and integration tests.
+
+pub use datagen;
+pub use emcore;
+pub use sqlem;
+pub use sqlengine;

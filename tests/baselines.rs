@@ -1,0 +1,93 @@
+//! Baseline consistency (paper §4.3): SQLEM, the in-memory EM and the
+//! SEM comparator must tell the same statistical story on the same data.
+
+use datagen::generate_dataset;
+use emcore::compare::params_close;
+use emcore::init::{initialize, InitStrategy};
+use emcore::{gaussian, EmConfig};
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+#[test]
+fn sqlem_and_memory_em_reach_the_same_solution_quality() {
+    let (n, p, k) = (3_000, 3, 3);
+    let data = generate_dataset(n, p, k, 17);
+    let init = initialize(&data.points, k, &InitStrategy::Random { seed: 17 });
+
+    let mut db = Database::new();
+    let config = SqlemConfig::new(k, Strategy::Hybrid)
+        .with_epsilon(1e-4)
+        .with_max_iterations(15);
+    let mut session = EmSession::create(&mut db, &config, p).unwrap();
+    session.load_points(&data.points).unwrap();
+    session
+        .initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+    let sql_run = session.run().unwrap();
+
+    let mem_run = emcore::em::run_em(
+        &data.points,
+        init,
+        &EmConfig {
+            epsilon: 1e-4,
+            max_iterations: 15,
+        },
+    )
+    .unwrap();
+
+    assert!(params_close(&sql_run.params, &mem_run.params, 1e-5));
+    let sql_llh = sql_run.llh_history.last().unwrap();
+    let mem_llh = mem_run.llh_history.last().unwrap();
+    assert!(
+        ((sql_llh - mem_llh) / mem_llh.abs().max(1.0)).abs() < 1e-8,
+        "final llh disagrees: {sql_llh} vs {mem_llh}"
+    );
+}
+
+#[test]
+fn sem_solution_is_competitive_with_full_em() {
+    let (n, k) = (8_000, 3);
+    // Clean, separated data: SEM's compression assumptions hold.
+    let spec = datagen::MixtureSpec::new(
+        vec![
+            datagen::ClusterSpec::spherical(0.3, vec![0.0, 0.0], 1.0),
+            datagen::ClusterSpec::spherical(0.4, vec![15.0, 0.0], 1.0),
+            datagen::ClusterSpec::spherical(0.3, vec![0.0, 15.0], 1.0),
+        ],
+        0.0,
+    );
+    let data = datagen::mixture::generate(&spec, n, 23);
+
+    let full = emcore::em::run_em(
+        &data.points,
+        initialize(&data.points, k, &InitStrategy::Random { seed: 23 }),
+        &EmConfig {
+            epsilon: 1e-6,
+            max_iterations: 30,
+        },
+    )
+    .unwrap();
+
+    let sem = emcore::sem::run_sem(
+        &data.points,
+        &emcore::sem::SemConfig {
+            k,
+            chunk_size: 1_000,
+            compression_threshold: 0.95,
+            iterations_per_chunk: 3,
+            seed: 23,
+        },
+    );
+
+    // SEM is an approximation; demand the same cluster structure and a
+    // loglikelihood within 2% of full EM's.
+    let full_llh = gaussian::loglikelihood(&full.params, &data.points);
+    let sem_llh = gaussian::loglikelihood(&sem.params, &data.points);
+    assert!(
+        sem_llh > full_llh - 0.02 * full_llh.abs(),
+        "SEM llh {sem_llh} vs full {full_llh}"
+    );
+    assert!(params_close(&full.params, &sem.params, 0.5));
+    // And it actually compressed the bulk of the data (the point of SEM).
+    assert!(sem.compressed > n / 2);
+}

@@ -1,0 +1,204 @@
+//! Cross-crate end-to-end tests: datagen → sqlem (all strategies) →
+//! emcore oracle/metrics.
+
+use datagen::generate_dataset;
+use emcore::compare::{max_param_diff, purity};
+use emcore::init::{initialize, InitStrategy};
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+/// Full pipeline: generate → load → initialize from a sample → run →
+/// score, with quality gates on the recovered model.
+#[test]
+fn full_pipeline_recovers_well_separated_mixture() {
+    let (n, p, k) = (4_000, 3, 4);
+    let data = generate_dataset(n, p, k, 77);
+    let mut db = Database::new();
+    let config = SqlemConfig::new(k, Strategy::Hybrid)
+        .with_epsilon(1e-3)
+        .with_max_iterations(15);
+    let mut session = EmSession::create(&mut db, &config, p).unwrap();
+    session.load_points(&data.points).unwrap();
+    // EM refines, it does not search globally (§2.2: "it can get stuck in
+    // a locally optimal solution"); start from a coarse perturbation of
+    // the true structure, as a practitioner's sampled initialization
+    // would provide on well-separated data.
+    let rough = emcore::GmmParams {
+        means: data
+            .spec
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(j, c)| {
+                c.mean
+                    .iter()
+                    .map(|m| m + 1.0 + 0.3 * j as f64)
+                    .collect()
+            })
+            .collect(),
+        cov: vec![4.0; p],
+        weights: vec![1.0 / k as f64; k],
+    };
+    session
+        .initialize(&InitStrategy::Explicit(rough))
+        .unwrap();
+    let run = session.run().unwrap();
+    run.params.validate().unwrap();
+
+    // Every generating mean has a recovered mean within 3 global σ-units
+    // of it (lattice spacing is 6, cluster σ = 1 — noise shifts means a
+    // bit toward the bounding box).
+    for spec_cluster in &data.spec.clusters {
+        let nearest = run
+            .params
+            .means
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .zip(&spec_cluster.mean)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            nearest < 3.0,
+            "no recovered mean near spec mean {:?} (best {nearest})",
+            spec_cluster.mean
+        );
+    }
+
+    // Hard segmentation separates the true clusters well despite noise.
+    let scores = session.scores().unwrap();
+    let pur = purity(&data.labels, &scores, k);
+    assert!(pur > 0.9, "purity {pur}");
+}
+
+/// The engine's partition parallelism must not change the result.
+#[test]
+fn parallel_engine_produces_identical_clustering_story() {
+    let (n, p, k) = (6_000, 3, 3);
+    let data = generate_dataset(n, p, k, 31);
+    let init = initialize(&data.points, k, &InitStrategy::Random { seed: 31 });
+    let mut results = Vec::new();
+    for workers in [1usize, 4] {
+        let mut db = Database::new();
+        db.set_workers(workers);
+        let config = SqlemConfig::new(k, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(4);
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(&data.points).unwrap();
+        session
+            .initialize(&InitStrategy::Explicit(init.clone()))
+            .unwrap();
+        results.push(session.run().unwrap().params);
+    }
+    // FP summation order differs across partitions; the solutions must
+    // still agree far beyond statistical noise.
+    let d = max_param_diff(&results[0], &results[1]);
+    assert!(d < 1e-6, "parallel diverged from serial by {d}");
+}
+
+/// The paper's §1.3 requirement: results must not depend on input order.
+#[test]
+fn input_order_does_not_change_the_solution() {
+    let (n, p, k) = (2_000, 2, 3);
+    let data = generate_dataset(n, p, k, 55);
+    let mut reversed = data.points.clone();
+    reversed.reverse();
+    let init = initialize(&data.points, k, &InitStrategy::Random { seed: 55 });
+
+    let run_on = |points: &[Vec<f64>]| {
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(5);
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(points).unwrap();
+        session
+            .initialize(&InitStrategy::Explicit(init.clone()))
+            .unwrap();
+        session.run().unwrap().params
+    };
+    let a = run_on(&data.points);
+    let b = run_on(&reversed);
+    // Identical multiset of points ⇒ identical solution up to FP
+    // summation order.
+    let d = max_param_diff(&a, &b);
+    assert!(d < 1e-6, "order-dependent result: {d}");
+}
+
+/// Two sessions with different prefixes can run interleaved in one
+/// database without clobbering each other.
+#[test]
+fn interleaved_prefixed_sessions() {
+    let data_a = generate_dataset(500, 2, 2, 1);
+    let data_b = generate_dataset(700, 3, 3, 2);
+    let init_a = initialize(&data_a.points, 2, &InitStrategy::Random { seed: 1 });
+    let init_b = initialize(&data_b.points, 3, &InitStrategy::Random { seed: 2 });
+
+    let mut db = Database::new();
+    // Interleave: create A, create B, run A one step, run B one step…
+    // (requires sequential &mut access, so scopes alternate).
+    {
+        let cfg = SqlemConfig::new(2, Strategy::Hybrid).with_prefix("a_");
+        let mut sa = EmSession::create(&mut db, &cfg, 2).unwrap();
+        sa.load_points(&data_a.points).unwrap();
+        sa.initialize(&InitStrategy::Explicit(init_a)).unwrap();
+        sa.iterate_once().unwrap();
+    }
+    {
+        let cfg = SqlemConfig::new(3, Strategy::Vertical).with_prefix("b_");
+        let mut sb = EmSession::create(&mut db, &cfg, 3).unwrap();
+        sb.load_points(&data_b.points).unwrap();
+        sb.initialize(&InitStrategy::Explicit(init_b)).unwrap();
+        sb.iterate_once().unwrap();
+    }
+    // A's tables are untouched by B's run.
+    assert_eq!(db.table_len("a_z").unwrap(), 500);
+    assert_eq!(db.table_len("b_y").unwrap(), 700 * 3);
+    let r = db.execute("SELECT count(*) FROM a_yx").unwrap();
+    assert_eq!(r.scalar_f64(), Some(500.0));
+}
+
+/// K-means (SQL) and EM (SQL) broadly agree on well-separated data: the
+/// EM means match the K-means centroids.
+#[test]
+fn sql_kmeans_and_sql_em_agree_on_separated_data() {
+    let (n, p, k) = (1_500, 2, 3);
+    let data = generate_dataset(n, p, k, 9);
+
+    let mut db1 = Database::new();
+    let em_cfg = SqlemConfig::new(k, Strategy::Hybrid)
+        .with_epsilon(1e-6)
+        .with_max_iterations(20);
+    let mut em = EmSession::create(&mut db1, &em_cfg, p).unwrap();
+    em.load_points(&data.points).unwrap();
+    em.initialize(&InitStrategy::FromSample {
+        fraction: 0.2,
+        seed: 9,
+        em_iterations: 5,
+    })
+    .unwrap();
+    let em_run = em.run().unwrap();
+
+    let mut db2 = Database::new();
+    let km_cfg = sqlem::KmeansConfig::new(k);
+    let mut km = sqlem::KmeansSession::create(&mut db2, &km_cfg, p).unwrap();
+    km.load_points(&data.points).unwrap();
+    km.set_centroids(&em_run.params.means).unwrap();
+    let km_run = km.run().unwrap();
+
+    // Seeded at EM's solution, K-means stays there (both are local
+    // optima of closely related objectives on well-separated blobs).
+    for (em_mean, km_c) in em_run.params.means.iter().zip(&km_run.centroids) {
+        let dist: f64 = em_mean
+            .iter()
+            .zip(km_c)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist < 1.0, "EM mean and K-means centroid diverged: {dist}");
+    }
+}

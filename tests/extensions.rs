@@ -1,0 +1,168 @@
+//! End-to-end tests for the paper's noted extensions: categorical
+//! attributes via binary expansion (§3.7) and per-cluster covariances
+//! (§2.1).
+
+use datagen::categorical::{CategoricalEncoder, MixedRow};
+use emcore::emfull::FullParams;
+use emcore::init::InitStrategy;
+use emcore::GmmParams;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sqlem::{EmSession, PerClusterConfig, PerClusterSession, SqlemConfig, Strategy};
+use sqlengine::Database;
+
+/// §3.7 end to end: two behavioural segments that differ in a categorical
+/// attribute; after one-hot expansion, SQLEM's centroids read back as the
+/// per-segment category probabilities.
+#[test]
+fn categorical_expansion_clusters_and_reads_back_probabilities() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut rows = Vec::new();
+    // Segment A: small baskets, 80% cash. Segment B: big baskets, 90% card.
+    for i in 0..400 {
+        let noise: f64 = rng.random::<f64>();
+        if i % 2 == 0 {
+            rows.push(MixedRow {
+                numeric: vec![5.0 + noise],
+                categorical: vec![if rng.random::<f64>() < 0.8 { "cash" } else { "card" }
+                    .to_string()],
+            });
+        } else {
+            rows.push(MixedRow {
+                numeric: vec![50.0 + noise * 5.0],
+                categorical: vec![if rng.random::<f64>() < 0.9 { "card" } else { "cash" }
+                    .to_string()],
+            });
+        }
+    }
+    let encoder = CategoricalEncoder::fit(&rows);
+    let points = encoder.transform(&rows);
+    let p = encoder.expanded_p();
+    assert_eq!(p, 3); // 1 numeric + {card, cash}
+
+    let mut db = Database::new();
+    let config = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(1e-6)
+        .with_max_iterations(20);
+    let mut session = EmSession::create(&mut db, &config, p).unwrap();
+    session.load_points(&points).unwrap();
+    let init = GmmParams::new(
+        vec![vec![15.0, 0.5, 0.5], vec![40.0, 0.5, 0.5]],
+        vec![100.0, 0.25, 0.25],
+        vec![0.5, 0.5],
+    );
+    session.initialize(&InitStrategy::Explicit(init)).unwrap();
+    let run = session.run().unwrap();
+
+    // Identify the small-basket cluster and decode its centroid.
+    let small = if run.params.means[0][0] < run.params.means[1][0] {
+        0
+    } else {
+        1
+    };
+    let probs = encoder.centroid_probabilities(&run.params.means[small]);
+    let cash = probs[0].iter().find(|(l, _)| *l == "cash").unwrap().1;
+    assert!(
+        (cash - 0.8).abs() < 0.07,
+        "small-basket cash probability {cash}, expected ≈ 0.8"
+    );
+    let big = 1 - small;
+    let probs = encoder.centroid_probabilities(&run.params.means[big]);
+    let card = probs[0].iter().find(|(l, _)| *l == "card").unwrap().1;
+    assert!(
+        (card - 0.9).abs() < 0.07,
+        "big-basket card probability {card}, expected ≈ 0.9"
+    );
+}
+
+/// §2.1 end to end: per-cluster covariances beat the shared-R model on
+/// heteroscedastic data, measured by loglikelihood on the same points.
+#[test]
+fn per_cluster_covariance_fits_heteroscedastic_data_better() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut normal = datagen::normal::Normal::new();
+    let mut pts = Vec::new();
+    for _ in 0..600 {
+        pts.push(vec![normal.sample_with(&mut rng, 0.0, 0.5)]);
+        pts.push(vec![normal.sample_with(&mut rng, 40.0, 8.0)]);
+    }
+
+    // Shared-R SQLEM.
+    let mut db1 = Database::new();
+    let shared_cfg = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(1e-6)
+        .with_max_iterations(30);
+    let mut shared = EmSession::create(&mut db1, &shared_cfg, 1).unwrap();
+    shared.load_points(&pts).unwrap();
+    shared
+        .initialize(&InitStrategy::Explicit(GmmParams::new(
+            vec![vec![10.0], vec![30.0]],
+            vec![100.0],
+            vec![0.5, 0.5],
+        )))
+        .unwrap();
+    let shared_run = shared.run().unwrap();
+
+    // Per-cluster SQLEM.
+    let mut db2 = Database::new();
+    let mut full_cfg = PerClusterConfig::new(2);
+    full_cfg.epsilon = 1e-6;
+    full_cfg.max_iterations = 30;
+    let mut full = PerClusterSession::create(&mut db2, &full_cfg, 1).unwrap();
+    full.load_points(&pts).unwrap();
+    full.set_params(&FullParams {
+        means: vec![vec![10.0], vec![30.0]],
+        covs: vec![vec![100.0], vec![100.0]],
+        weights: vec![0.5, 0.5],
+    })
+    .unwrap();
+    let full_run = full.run().unwrap();
+
+    let shared_llh = *shared_run.llh_history.last().unwrap();
+    let full_llh = *full_run.llh_history.last().unwrap();
+    assert!(
+        full_llh > shared_llh + 100.0,
+        "per-cluster llh {full_llh} should clearly beat shared {shared_llh}"
+    );
+
+    // And the recovered spreads differ by the right magnitude: the wide
+    // cluster's variance is ~(8/0.5)² = 256× the tight one's.
+    let (tight, wide) = if full_run.params.covs[0][0] < full_run.params.covs[1][0] {
+        (0, 1)
+    } else {
+        (1, 0)
+    };
+    let ratio = full_run.params.covs[wide][0] / full_run.params.covs[tight][0];
+    assert!(
+        (50.0..=1500.0).contains(&ratio),
+        "variance ratio {ratio}, expected ~256"
+    );
+}
+
+/// The fused hybrid (§5 future work) runs the full quickstart pipeline
+/// and matches the classic hybrid on final parameters.
+#[test]
+fn fused_hybrid_full_pipeline() {
+    let data = datagen::generate_dataset(1_500, 3, 3, 13);
+    let init = emcore::init::initialize(&data.points, 3, &InitStrategy::Random { seed: 13 });
+    let run_with = |fused: bool| {
+        let mut db = Database::new();
+        let mut config = SqlemConfig::new(3, Strategy::Hybrid)
+            .with_epsilon(1e-4)
+            .with_max_iterations(12);
+        if fused {
+            config = config.with_fused_e_step();
+        }
+        let mut s = EmSession::create(&mut db, &config, 3).unwrap();
+        s.load_points(&data.points).unwrap();
+        s.initialize(&InitStrategy::Explicit(init.clone())).unwrap();
+        let run = s.run().unwrap();
+        let scores = s.scores().unwrap();
+        (run, scores)
+    };
+    let (classic, classic_scores) = run_with(false);
+    let (fused, fused_scores) = run_with(true);
+    assert_eq!(classic.iterations, fused.iterations);
+    assert!(emcore::compare::max_param_diff(&classic.params, &fused.params) < 1e-8);
+    assert_eq!(classic_scores, fused_scores);
+}
