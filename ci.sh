@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Local CI: formatting, lints, and the tier-1 verification gate.
+# Runs fully offline against the vendored/zero-dependency workspace.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build"
+cargo build --release
+
+echo "== tier-1: tests"
+cargo test -q
+
+echo "== workspace tests"
+cargo test --workspace -q
+
+echo "CI OK"

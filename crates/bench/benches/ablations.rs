@@ -97,7 +97,9 @@ fn bench_shared_vs_per_cluster(c: &mut Criterion) {
         let mut session = PerClusterSession::create(&mut db, &config, P).unwrap();
         session.load_points(&data.points).unwrap();
         let shared = initialize(&data.points, K, &InitStrategy::Random { seed: 3 });
-        session.set_params(&FullParams::from_shared(&shared)).unwrap();
+        session
+            .set_params(&FullParams::from_shared(&shared))
+            .unwrap();
         group.bench_function("per_cluster_R", |b| {
             b.iter(|| session.iterate_once().unwrap());
         });

@@ -67,10 +67,8 @@ fn bench_group_by(c: &mut Criterion) {
     let mut db = vertical_db(5_000, 8);
     c.bench_function("hash_group_by_distances_5k_x8", |b| {
         b.iter(|| {
-            db.execute(
-                "SELECT rid, sum(val * val), count(*) FROM y GROUP BY rid",
-            )
-            .unwrap()
+            db.execute("SELECT rid, sum(val * val), count(*) FROM y GROUP BY rid")
+                .unwrap()
         });
     });
 }
@@ -95,15 +93,12 @@ fn bench_parallel_ablation(c: &mut Criterion) {
     for workers in [1usize, 2, 4] {
         let mut db = vertical_db(20_000, 8);
         db.set_workers(workers);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, _| {
-                b.iter(|| {
-                    db.execute("SELECT rid, sum(val) FROM y GROUP BY rid").unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                db.execute("SELECT rid, sum(val) FROM y GROUP BY rid")
+                    .unwrap()
+            });
+        });
     }
     group.finish();
 }
@@ -117,7 +112,8 @@ fn bench_insert_select(c: &mut Criterion) {
             db.execute("DROP TABLE out1").unwrap();
             db.execute("CREATE TABLE out1 (rid BIGINT PRIMARY KEY, s DOUBLE)")
                 .unwrap();
-            db.execute("INSERT INTO out1 SELECT rid, y1 + y2 FROM z").unwrap()
+            db.execute("INSERT INTO out1 SELECT rid, y1 + y2 FROM z")
+                .unwrap()
         });
     });
 }

@@ -55,7 +55,11 @@ fn parse_args() -> Opts {
 
 /// Fig. 11: time per iteration vs dimensionality p (k = 20, n = 10,000).
 fn fig11(opts: &Opts) {
-    let (k, n, iters) = if opts.quick { (5, 2_000, 2) } else { (20, 10_000, 3) };
+    let (k, n, iters) = if opts.quick {
+        (5, 2_000, 2)
+    } else {
+        (20, 10_000, 3)
+    };
     let ps: &[usize] = if opts.quick {
         &[2, 5, 10]
     } else {
@@ -73,12 +77,18 @@ fn fig11(opts: &Opts) {
             "Figure 11 — time/iteration vs p (k = {k}, n = {n}, hybrid)"
         ))
     );
-    series.write_csv(&opts.out.join("fig11_p_sweep.csv")).unwrap();
+    series
+        .write_csv(&opts.out.join("fig11_p_sweep.csv"))
+        .unwrap();
 }
 
 /// Fig. 12: time per iteration vs clusters k (p = 20, n = 10,000).
 fn fig12(opts: &Opts) {
-    let (p, n, iters) = if opts.quick { (5, 2_000, 2) } else { (20, 10_000, 3) };
+    let (p, n, iters) = if opts.quick {
+        (5, 2_000, 2)
+    } else {
+        (20, 10_000, 3)
+    };
     let ks: &[usize] = if opts.quick {
         &[2, 5, 10]
     } else {
@@ -96,15 +106,16 @@ fn fig12(opts: &Opts) {
             "Figure 12 — time/iteration vs k (p = {p}, n = {n}, hybrid)"
         ))
     );
-    series.write_csv(&opts.out.join("fig12_k_sweep.csv")).unwrap();
+    series
+        .write_csv(&opts.out.join("fig12_k_sweep.csv"))
+        .unwrap();
 }
 
 /// Fig. 13: time per iteration vs database size n (p = 10, k = 10).
 fn fig13(opts: &Opts) {
     let (p, k, iters) = (10, 10, 2);
     let base: Vec<usize> = vec![
-        10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_000_000, 5_000_000,
-        10_000_000,
+        10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
     ];
     let ns: Vec<usize> = if opts.quick {
         vec![2_000, 5_000, 10_000]
@@ -123,7 +134,9 @@ fn fig13(opts: &Opts) {
             "Figure 13 — time/iteration vs n (p = {p}, k = {k}, hybrid)"
         ))
     );
-    series.write_csv(&opts.out.join("fig13_n_sweep.csv")).unwrap();
+    series
+        .write_csv(&opts.out.join("fig13_n_sweep.csv"))
+        .unwrap();
 }
 
 /// §3 strategy comparison at matched sizes + the horizontal statement-
@@ -135,7 +148,10 @@ fn strategies(opts: &Opts) {
         (20_000, 10, 8, 3)
     };
     println!("== Strategy comparison (n = {n}, p = {p}, k = {k}) ==");
-    println!("{:>12} {:>16} {:>22}", "strategy", "secs/iteration", "longest stmt (bytes)");
+    println!(
+        "{:>12} {:>16} {:>22}",
+        "strategy", "secs/iteration", "longest stmt (bytes)"
+    );
     let mut series = Series::new("strategy_ord", "secs_per_iteration");
     for (ord, strategy) in Strategy::ALL.iter().enumerate() {
         let config = sqlem::SqlemConfig::new(k, *strategy);
@@ -152,7 +168,10 @@ fn strategies(opts: &Opts) {
     }
     // The parser-ceiling table: horizontal distance-statement size vs kp.
     println!("\n== Horizontal distance-statement size (the §3.3 ceiling) ==");
-    println!("{:>6} {:>6} {:>8} {:>16}", "p", "k", "kp", "statement bytes");
+    println!(
+        "{:>6} {:>6} {:>8} {:>16}",
+        "p", "k", "kp", "statement bytes"
+    );
     for (pp, kk) in [(10, 10), (20, 20), (50, 20), (100, 50), (100, 100)] {
         let g = sqlem::generator::HorizontalGenerator::new(sqlem::Names::new(""), pp, kk);
         println!(
@@ -163,7 +182,9 @@ fn strategies(opts: &Opts) {
             g.distance_statement_len()
         );
     }
-    series.write_csv(&opts.out.join("strategy_comparison.csv")).unwrap();
+    series
+        .write_csv(&opts.out.join("strategy_comparison.csv"))
+        .unwrap();
 }
 
 /// §4.3: SQLEM vs in-memory EM and SEM at a matched workload.
@@ -174,18 +195,20 @@ fn baselines(opts: &Opts) {
         (50_000, 10, 10, 3)
     };
     let data = datagen::generate_dataset(n, p, k, 99);
-    let init = emcore::init::initialize(
-        &data.points,
-        k,
-        &emcore::InitStrategy::Random { seed: 99 },
-    );
+    let init =
+        emcore::init::initialize(&data.points, k, &emcore::InitStrategy::Random { seed: 99 });
 
     println!("== Baselines (n = {n}, p = {p}, k = {k}, {iters} iterations) ==");
     let mut series = Series::new("method_ord", "secs_per_iteration");
 
     // SQLEM hybrid.
     let t = time_em_iterations(Strategy::Hybrid, n, p, k, iters, 99, 1);
-    println!("{:>22}: {:.4} s/iter (llh trace {:?})", "SQLEM hybrid", t.secs_per_iteration, last(&t.llh_history));
+    println!(
+        "{:>22}: {:.4} s/iter (llh trace {:?})",
+        "SQLEM hybrid",
+        t.secs_per_iteration,
+        last(&t.llh_history)
+    );
     series.push(0.0, t.secs_per_iteration);
 
     // In-memory classical EM (the workstation alternative).
@@ -198,7 +221,10 @@ fn baselines(opts: &Opts) {
         mem_llh = llh;
     }
     let mem_secs = t0.elapsed().as_secs_f64() / iters as f64;
-    println!("{:>22}: {:.4} s/iter (final llh {mem_llh:.1})", "in-memory EM", mem_secs);
+    println!(
+        "{:>22}: {:.4} s/iter (final llh {mem_llh:.1})",
+        "in-memory EM", mem_secs
+    );
     series.push(1.0, mem_secs);
 
     // SEM: one scan with compression.
@@ -265,7 +291,11 @@ fn ablations(opts: &Opts) {
         let run = session.run().unwrap();
         println!(
             "{:>22}: {:.4} s/iter",
-            if fused { "hybrid (fused E)" } else { "hybrid (classic)" },
+            if fused {
+                "hybrid (fused E)"
+            } else {
+                "hybrid (classic)"
+            },
             run.secs_per_iteration()
         );
         series.push(ord as f64, run.secs_per_iteration());

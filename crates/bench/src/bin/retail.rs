@@ -20,9 +20,7 @@ use emcore::init::InitStrategy;
 use sqlem::{summary, EmSession, SqlemConfig, Strategy};
 use sqlengine::Database;
 
-const VARS: [&str; RETAIL_P] = [
-    "hour", "sales", "discount", "cost", "items", "categories",
-];
+const VARS: [&str; RETAIL_P] = ["hour", "sales", "discount", "cost", "items", "categories"];
 
 fn main() {
     let mut n = 200_000usize;

@@ -9,7 +9,11 @@ use sqlem::{EmSession, SqlemConfig, Strategy};
 use sqlengine::Database;
 
 fn main() {
-    for (n, p, k) in [(2_000usize, 4usize, 3usize), (5_000, 6, 5), (10_000, 10, 10)] {
+    for (n, p, k) in [
+        (2_000usize, 4usize, 3usize),
+        (5_000, 6, 5),
+        (10_000, 10, 10),
+    ] {
         let data = generate_dataset(n, p, k, 1);
         let mut db = Database::new();
         let config = SqlemConfig::new(k, Strategy::Hybrid)
@@ -17,7 +21,9 @@ fn main() {
             .with_max_iterations(3);
         let mut session = EmSession::create(&mut db, &config, p).unwrap();
         session.load_points(&data.points).unwrap();
-        session.initialize(&InitStrategy::Random { seed: 1 }).unwrap();
+        session
+            .initialize(&InitStrategy::Random { seed: 1 })
+            .unwrap();
         session.iterate_once().unwrap(); // warm-up: all work tables exist
         session.reset_stats();
         session.iterate_once().unwrap();

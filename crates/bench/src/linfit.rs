@@ -20,10 +20,7 @@ pub fn fit(points: &[(f64, f64)]) -> LinearFit {
     let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
     let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
     let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     assert!(sxx > 0.0, "x values are all equal");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;

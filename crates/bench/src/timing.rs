@@ -36,8 +36,7 @@ pub fn time_em_iterations(
     let config = SqlemConfig::new(k, strategy)
         .with_epsilon(0.0)
         .with_max_iterations(iterations);
-    let mut session =
-        EmSession::create(&mut db, &config, p).expect("session creation failed");
+    let mut session = EmSession::create(&mut db, &config, p).expect("session creation failed");
     session.load_points(&data.points).expect("load failed");
     // Sample-based initialization (§3.1) keeps the run numerically sane
     // at every sweep size; its cost is excluded from the timing.

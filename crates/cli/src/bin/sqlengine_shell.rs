@@ -8,7 +8,10 @@
 //! ```
 //!
 //! Scripts given as arguments run first; then statements are read from
-//! stdin (end with `;`, `\q` quits). Meta-commands:
+//! stdin (end with `;`, `\q` quits). `EXPLAIN <statement>;` works for
+//! every statement kind: it prints the semantic-analysis report (term
+//! count, depth, output schema, limit warnings) and, for SELECT, the
+//! execution plan — without running anything. Meta-commands:
 //!
 //! * `\d` — list tables; `\d <table>` — describe one table
 //! * `\stats` — scan/statement counters; `\reset` — clear them
@@ -35,7 +38,9 @@ fn main() {
     let mut buffer = String::new();
     let interactive = is_tty();
     if interactive {
-        eprintln!("sqlengine shell — end statements with ';', \\q to quit");
+        eprintln!(
+            "sqlengine shell — end statements with ';', EXPLAIN <stmt>; to analyze, \\q to quit"
+        );
     }
     loop {
         if interactive {

@@ -116,12 +116,7 @@ pub fn write_csv<S: AsRef<str>>(header: &[S], rows: &[Vec<String>]) -> String {
     );
     out.push('\n');
     for row in rows {
-        out.push_str(
-            &row.iter()
-                .map(|c| field(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     out

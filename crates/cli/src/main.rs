@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sqlem-cli <input.csv> --k <clusters> [options]
+//! sqlem-cli lint --p <dims> --k <clusters> [lint options]
 //!
 //! options:
 //!   --k N                 number of clusters (required)
@@ -15,7 +16,19 @@
 //!   --sql                 print the generated SQL instead of running
 //!   --fused               use the fused E step (one fewer scan/iteration)
 //!   --workers N           engine scan partitions, AMP-style (default 1)
+//!
+//! lint options:
+//!   --p N                 dimensionality (required)
+//!   --k N                 number of clusters (required)
+//!   --max-statement-len N parser byte cap to lint against (default 65536)
+//!   --max-terms N         analyzer term-count cap (default 16384)
+//!   --verbose             print every finding, not just the summaries
 //! ```
+//!
+//! The `lint` subcommand statically analyzes all three strategies'
+//! generated scripts for one `(p, k)` — no data needed — and reports
+//! which would survive the configured parser limits (§3.3), mirroring
+//! the preflight check `EmSession::create` runs automatically.
 
 mod csv;
 
@@ -44,7 +57,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: sqlem-cli <input.csv> --k <clusters> [--strategy hybrid|horizontal|vertical] \
          [--epsilon E] [--max-iterations N] [--seed N] [--sample F] [--no-header] \
-         [--scores PATH] [--sql] [--fused] [--workers N]"
+         [--scores PATH] [--sql] [--fused] [--workers N]\n\
+         \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
+         [--max-terms N] [--verbose]"
     );
     std::process::exit(2);
 }
@@ -96,9 +111,7 @@ fn parse_args() -> Args {
             "--fused" => fused = true,
             "--workers" => workers = req("--workers").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
-            other if !other.starts_with('-') && input.is_none() => {
-                input = Some(other.to_string())
-            }
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             other => {
                 eprintln!("unknown argument {other}");
                 usage()
@@ -151,8 +164,7 @@ fn run(args: &Args) -> Result<(), String> {
     }
     let mut db = Database::new();
     db.set_workers(args.workers);
-    let mut session =
-        EmSession::create(&mut db, &config, p).map_err(|e| e.to_string())?;
+    let mut session = EmSession::create(&mut db, &config, p).map_err(|e| e.to_string())?;
 
     if args.print_sql {
         for stmt in session.script() {
@@ -197,7 +209,90 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `sqlem-cli lint --p P --k K [--max-statement-len N] [--max-terms N]`:
+/// static all-strategies analysis for one problem size.
+fn run_lint(args: &[String]) -> Result<(), String> {
+    let mut p = None;
+    let mut k = None;
+    let mut max_statement_len = None;
+    let mut max_terms = None;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut req = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+                .parse()
+                .map_err(|_| format!("{name} requires a number"))
+        };
+        match a.as_str() {
+            "--p" => p = Some(req("--p")?),
+            "--k" => k = Some(req("--k")?),
+            "--max-statement-len" => max_statement_len = Some(req("--max-statement-len")?),
+            "--max-terms" => max_terms = Some(req("--max-terms")?),
+            "--verbose" => verbose = true,
+            other => return Err(format!("unknown lint argument {other}")),
+        }
+    }
+    let p = p.ok_or("lint requires --p")?;
+    let k = k.ok_or("lint requires --k")?;
+    if p == 0 || k == 0 {
+        return Err("--p and --k must be at least 1".into());
+    }
+
+    let mut db = Database::new();
+    if let Some(max) = max_statement_len {
+        db.set_max_statement_len(max);
+    }
+    if let Some(max) = max_terms {
+        db.config_mut().limits.max_terms = max;
+    }
+    let config = SqlemConfig::new(k, Strategy::Hybrid);
+    println!(
+        "lint for p={p}, k={k} (kp = {}), parser cap {} byte(s), term cap {}:",
+        p * k,
+        db.config().max_statement_len,
+        db.config().limits.max_terms
+    );
+    let reports = sqlem::lint_all(&db, &config, p);
+    for report in &reports {
+        println!("  {}", report.summary());
+        if verbose {
+            for finding in &report.findings {
+                println!("    {finding}");
+            }
+        }
+    }
+    for report in &reports {
+        if report.strategy == Strategy::Horizontal && !report.ok() {
+            let hybrid_ok = reports
+                .iter()
+                .any(|r| r.strategy == Strategy::Hybrid && r.ok());
+            if hybrid_ok {
+                println!(
+                    "horizontal over-runs the limits at this size; the driver \
+                     would auto-fall back to hybrid (§3.6)"
+                );
+            }
+        }
+    }
+    if reports.iter().all(sqlem::LintReport::ok) {
+        println!("all strategies lint clean");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        return match run_lint(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = parse_args();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,

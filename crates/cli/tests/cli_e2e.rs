@@ -37,7 +37,11 @@ fn clusters_a_csv_and_writes_scores() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("cluster"), "{stdout}");
     assert!(stdout.contains("50.0%"), "{stdout}");

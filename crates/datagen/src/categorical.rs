@@ -48,10 +48,7 @@ impl CategoricalEncoder {
             }
         }
         CategoricalEncoder {
-            levels: sets
-                .into_iter()
-                .map(|s| s.into_keys().collect())
-                .collect(),
+            levels: sets.into_iter().map(|s| s.into_keys().collect()).collect(),
             numeric_cols,
         }
     }
@@ -85,10 +82,7 @@ impl CategoricalEncoder {
     /// probability) pairs its coordinates encode (§3.7: "the cluster
     /// centroids C will give the probability … of points in some cluster
     /// having a particular categorical value").
-    pub fn centroid_probabilities<'a>(
-        &'a self,
-        centroid: &[f64],
-    ) -> Vec<Vec<(&'a str, f64)>> {
+    pub fn centroid_probabilities<'a>(&'a self, centroid: &[f64]) -> Vec<Vec<(&'a str, f64)>> {
         assert_eq!(centroid.len(), self.expanded_p(), "wrong centroid arity");
         let mut out = Vec::with_capacity(self.levels.len());
         let mut offset = self.numeric_cols;
@@ -140,7 +134,7 @@ mod tests {
         assert_eq!(t[0], vec![1.0, 0.0, 1.0, 0.0, 1.0]); // red, cash
         assert_eq!(t[1], vec![2.0, 1.0, 0.0, 1.0, 0.0]); // blue, card
         assert_eq!(t[2], vec![3.0, 0.0, 1.0, 1.0, 0.0]); // red, card
-        // Each categorical block sums to exactly 1 per row.
+                                                         // Each categorical block sums to exactly 1 per row.
         for row in &t {
             assert_eq!(row[1] + row[2], 1.0);
             assert_eq!(row[3] + row[4], 1.0);

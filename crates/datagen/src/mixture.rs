@@ -9,8 +9,7 @@
 //! variance — and samples from it; [`generate`] samples an explicit
 //! [`MixtureSpec`].
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use prng::{Rng, StdRng};
 
 use crate::normal::Normal;
 use crate::spec::{ClusterSpec, MixtureSpec};
@@ -148,9 +147,7 @@ pub fn skewed_spec(p: usize, k: usize, seed: u64) -> MixtureSpec {
         .enumerate()
         .map(|(j, mut c)| {
             c.weight = 1.0 / (j + 1) as f64; // Zipf-ish, renormalized by MixtureSpec::new
-            c.cov = (0..p)
-                .map(|_| 0.25 + 2.0 * rng.random::<f64>())
-                .collect();
+            c.cov = (0..p).map(|_| 0.25 + 2.0 * rng.random::<f64>()).collect();
             c
         })
         .collect();
@@ -178,10 +175,7 @@ mod tests {
     fn noise_fraction_matches_spec() {
         let d = generate_dataset(5000, 2, 4, 1);
         assert!((d.noise_fraction() - 0.2).abs() < 0.01);
-        let spec = MixtureSpec::new(
-            vec![ClusterSpec::spherical(1.0, vec![0.0, 0.0], 1.0)],
-            0.0,
-        );
+        let spec = MixtureSpec::new(vec![ClusterSpec::spherical(1.0, vec![0.0, 0.0], 1.0)], 0.0);
         let clean = generate(&spec, 100, 5);
         assert_eq!(clean.noise_fraction(), 0.0);
     }
@@ -198,11 +192,7 @@ mod tests {
         let d = generate(&spec, 2000, 3);
         for (pt, label) in d.points.iter().zip(&d.labels) {
             let cl = &spec.clusters[label.unwrap()];
-            let dist2: f64 = pt
-                .iter()
-                .zip(&cl.mean)
-                .map(|(x, m)| (x - m).powi(2))
-                .sum();
+            let dist2: f64 = pt.iter().zip(&cl.mean).map(|(x, m)| (x - m).powi(2)).sum();
             // 2-d standard normal: P(dist > 6σ) is negligible.
             assert!(dist2 < 36.0, "point {pt:?} too far from {:?}", cl.mean);
         }

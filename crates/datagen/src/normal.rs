@@ -1,10 +1,10 @@
 //! Normal (Gaussian) sampling via the Box–Muller transform.
 //!
-//! Implemented from scratch so the workspace only needs `rand`'s uniform
+//! Implemented from scratch so the workspace only needs `prng`'s uniform
 //! source; the polar rejection variant is avoided in favour of the exact
 //! two-value transform, with the spare value cached.
 
-use rand::{Rng, RngExt};
+use prng::Rng;
 
 /// A standard-normal sampler that caches the second Box–Muller value.
 #[derive(Debug, Default, Clone)]
@@ -41,8 +41,7 @@ impl Normal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::StdRng;
 
     #[test]
     fn moments_are_close_to_standard_normal() {

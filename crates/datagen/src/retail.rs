@@ -22,8 +22,7 @@
 //! natural ranges (hour ∈ [0, 24], money and counts ≥ 0 with at least one
 //! product), which also gives EM realistically non-Gaussian margins.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use prng::{Rng, StdRng};
 
 use crate::mixture::Dataset;
 use crate::normal::Normal;
@@ -213,10 +212,7 @@ mod tests {
 
     #[test]
     fn generated_baskets_respect_ranges() {
-        let d = retail_dataset(&RetailConfig {
-            n: 20_000,
-            seed: 7,
-        });
+        let d = retail_dataset(&RetailConfig { n: 20_000, seed: 7 });
         assert_eq!(d.n(), 20_000);
         assert_eq!(d.p(), RETAIL_P);
         for pt in &d.points {
@@ -250,10 +246,7 @@ mod tests {
 
     #[test]
     fn core_segments_have_big_baskets() {
-        let d = retail_dataset(&RetailConfig {
-            n: 50_000,
-            seed: 5,
-        });
+        let d = retail_dataset(&RetailConfig { n: 50_000, seed: 5 });
         let mut core_items = Vec::new();
         let mut quick_items = Vec::new();
         for (pt, l) in d.points.iter().zip(&d.labels) {

@@ -126,7 +126,12 @@ pub fn em_step(params: &GmmParams, points: &[Vec<f64>]) -> Result<(GmmParams, f6
         if w_prime[j] == 0.0 {
             return Err(EmError::DegenerateCluster(j));
         }
-        means.push(c_prime[j].iter().map(|v| v / w_prime[j]).collect::<Vec<_>>());
+        means.push(
+            c_prime[j]
+                .iter()
+                .map(|v| v / w_prime[j])
+                .collect::<Vec<_>>(),
+        );
     }
     // …then the global covariance with the *new* means (Fig. 10 order).
     let mut cov = vec![0.0; p];
@@ -159,11 +164,7 @@ pub fn em_step(params: &GmmParams, points: &[Vec<f64>]) -> Result<(GmmParams, f6
 }
 
 /// Run EM from `init` until convergence or the iteration cap.
-pub fn run_em(
-    points: &[Vec<f64>],
-    init: GmmParams,
-    config: &EmConfig,
-) -> Result<EmRun, EmError> {
+pub fn run_em(points: &[Vec<f64>], init: GmmParams, config: &EmConfig) -> Result<EmRun, EmError> {
     let mut params = init;
     let mut llh_history = Vec::new();
     let mut prev_llh: Option<f64> = None;
@@ -206,11 +207,7 @@ mod tests {
     }
 
     fn rough_init() -> GmmParams {
-        GmmParams::new(
-            vec![vec![2.0], vec![7.0]],
-            vec![5.0],
-            vec![0.5, 0.5],
-        )
+        GmmParams::new(vec![vec![2.0], vec![7.0]], vec![5.0], vec![0.5, 0.5])
     }
 
     #[test]
@@ -243,12 +240,7 @@ mod tests {
         )
         .unwrap();
         for w in run.llh_history.windows(2) {
-            assert!(
-                w[1] >= w[0] - 1e-9,
-                "llh decreased: {} -> {}",
-                w[0],
-                w[1]
-            );
+            assert!(w[1] >= w[0] - 1e-9, "llh decreased: {} -> {}", w[0], w[1]);
         }
     }
 
@@ -281,12 +273,7 @@ mod tests {
 
     #[test]
     fn weights_stay_normalized_and_cov_positive() {
-        let run = run_em(
-            &blob_points(),
-            rough_init(),
-            &EmConfig::default(),
-        )
-        .unwrap();
+        let run = run_em(&blob_points(), rough_init(), &EmConfig::default()).unwrap();
         assert!(run.params.weights_normalized());
         assert!(run.params.cov.iter().all(|&v| v >= 0.0));
         run.params.validate().unwrap();
@@ -299,10 +286,7 @@ mod tests {
         let (next, _) = em_step(&init, &pts).unwrap();
         // k = 1 ⇒ one EM step lands on the sample mean and variance.
         assert!((next.means[0][0] - 49.5).abs() < 1e-9);
-        let var: f64 = (0..100)
-            .map(|i| (i as f64 - 49.5f64).powi(2))
-            .sum::<f64>()
-            / 100.0;
+        let var: f64 = (0..100).map(|i| (i as f64 - 49.5f64).powi(2)).sum::<f64>() / 100.0;
         assert!((next.cov[0] - var).abs() < 1e-9);
         assert!((next.weights[0] - 1.0).abs() < 1e-12);
     }

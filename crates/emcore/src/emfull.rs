@@ -53,9 +53,7 @@ impl FullParams {
         if self.covs.len() != k || self.weights.len() != k {
             return Err("k mismatch across fields".into());
         }
-        if self.means.iter().any(|m| m.len() != p)
-            || self.covs.iter().any(|c| c.len() != p)
-        {
+        if self.means.iter().any(|m| m.len() != p) || self.covs.iter().any(|c| c.len() != p) {
             return Err("ragged vectors".into());
         }
         if self
@@ -160,7 +158,12 @@ pub fn em_step_full(
         if w_prime[j] == 0.0 {
             return Err(crate::em::EmError::DegenerateCluster(j));
         }
-        means.push(c_prime[j].iter().map(|v| v / w_prime[j]).collect::<Vec<f64>>());
+        means.push(
+            c_prime[j]
+                .iter()
+                .map(|v| v / w_prime[j])
+                .collect::<Vec<f64>>(),
+        );
     }
 
     let mut covs = vec![vec![0.0; p]; k];
@@ -291,11 +294,8 @@ mod tests {
     #[test]
     fn shared_covariance_cannot_express_this() {
         // Same data through the global-R model: one pooled variance.
-        let shared_init = crate::model::GmmParams::new(
-            vec![vec![5.0], vec![25.0]],
-            vec![20.0],
-            vec![0.5, 0.5],
-        );
+        let shared_init =
+            crate::model::GmmParams::new(vec![vec![5.0], vec![25.0]], vec![20.0], vec![0.5, 0.5]);
         let run = crate::em::run_em(
             &hetero_points(),
             shared_init,

@@ -159,11 +159,7 @@ mod tests {
     fn underflow_triggers_inverse_distance_fallback() {
         // Distances ≫ 600 underflow exp() to zero (§2.5). Means at 0 and
         // 10000, point at 2500 → δ² huge for both.
-        let p = GmmParams::new(
-            vec![vec![0.0], vec![10_000.0]],
-            vec![1.0],
-            vec![0.5, 0.5],
-        );
+        let p = GmmParams::new(vec![vec![0.0], vec![10_000.0]], vec![1.0], vec![0.5, 0.5]);
         let mut x = vec![0.0; 2];
         let llh = responsibilities(&p, &[2500.0], &mut x);
         assert!(llh.is_none(), "expected underflow");

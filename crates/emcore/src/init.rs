@@ -6,8 +6,7 @@
 //! alone is *not* good enough to cluster the whole set (§3.7) — it only
 //! seeds the full run.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use prng::{Rng, StdRng};
 
 use crate::em::{run_em, EmConfig};
 use crate::model::GmmParams;
@@ -100,8 +99,11 @@ pub fn initialize(points: &[Vec<f64>], k: usize, strategy: &InitStrategy) -> Gmm
         } => {
             assert!((0.0..=1.0).contains(fraction), "bad sample fraction");
             let mut rng = StdRng::seed_from_u64(*seed);
+            // At least 10 points per cluster, but never more than we have
+            // (`clamp` would panic when 10k exceeds n).
             let target = ((points.len() as f64 * fraction).ceil() as usize)
-                .clamp(10 * k.max(1), points.len());
+                .max(10 * k.max(1))
+                .min(points.len());
             let mut sample: Vec<Vec<f64>> = Vec::with_capacity(target);
             // Reservoir sampling keeps the pass single and unbiased.
             for (i, pt) in points.iter().enumerate() {

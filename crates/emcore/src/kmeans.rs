@@ -6,8 +6,7 @@
 //! module is the in-memory baseline for the SQL K-means in
 //! `sqlem::kmeans`.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use prng::{Rng, StdRng};
 
 /// Result of a K-means run.
 #[derive(Debug, Clone)]
@@ -133,11 +132,7 @@ mod tests {
 
     #[test]
     fn separates_two_blobs() {
-        let run = kmeans_from(
-            &two_blobs(),
-            vec![vec![1.0, 1.0], vec![7.0, 7.0]],
-            50,
-        );
+        let run = kmeans_from(&two_blobs(), vec![vec![1.0, 1.0], vec![7.0, 7.0]], 50);
         assert!(run.converged);
         let mut cx: Vec<f64> = run.centroids.iter().map(|c| c[0]).collect();
         cx.sort_by(f64::total_cmp);

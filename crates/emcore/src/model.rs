@@ -75,11 +75,7 @@ impl GmmParams {
         if (total - 1.0).abs() > 1e-6 {
             return Err(format!("weights sum to {total}, expected 1"));
         }
-        if self
-            .means
-            .iter()
-            .any(|m| m.iter().any(|x| !x.is_finite()))
-        {
+        if self.means.iter().any(|m| m.iter().any(|x| !x.is_finite())) {
             return Err("non-finite mean entry".into());
         }
         Ok(())
@@ -93,10 +89,7 @@ impl GmmParams {
     /// The determinant of R, skipping zero entries (paper §2.5:
     /// `|R| = Π_{Ri ≠ 0} Ri`).
     pub fn det_r(&self) -> f64 {
-        self.cov
-            .iter()
-            .filter(|&&v| v != 0.0)
-            .product()
+        self.cov.iter().filter(|&&v| v != 0.0).product()
     }
 }
 

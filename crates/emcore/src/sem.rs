@@ -140,11 +140,7 @@ pub fn run_sem(points: &[Vec<f64>], config: &SemConfig) -> SemRun {
 /// One EM step over retained points plus frozen sufficient statistics.
 /// Compressed groups contribute to the M step as whole blocks owned by
 /// their cluster (BFR primary compression semantics).
-fn em_step_with_stats(
-    params: &GmmParams,
-    retained: &[Vec<f64>],
-    stats: &[SuffStats],
-) -> GmmParams {
+fn em_step_with_stats(params: &GmmParams, retained: &[Vec<f64>], stats: &[SuffStats]) -> GmmParams {
     let k = params.k();
     let p = params.p();
     let mut x = vec![0.0; k];

@@ -1,0 +1,199 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace needs nothing from a PRNG beyond seeded, reproducible
+//! uniform draws for data generation, sampling and initialization, so
+//! this module replaces the external `rand` crate with a splitmix64
+//! core (Steele, Lea & Flood, "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014). The API mirrors the subset of `rand`
+//! the call sites were written against: [`StdRng::seed_from_u64`],
+//! [`Rng::random`] and [`Rng::random_range`].
+//!
+//! Not cryptographically secure — do not use for anything
+//! security-sensitive.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be drawn uniformly from a generator.
+pub trait Sample {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can draw from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform draw from `[0, bound)` without modulo bias (Lemire's
+/// multiply-shift; the bias of the plain method is < 2^-11 for any
+/// bound below 2^53, but the fix costs one multiply, so take it).
+fn below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut m = rng.next_u64() as u128 * bound as u128;
+    let mut lo = m as u64;
+    if lo < bound {
+        let threshold = bound.wrapping_neg() % bound;
+        while lo < threshold {
+            m = rng.next_u64() as u128 * bound as u128;
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range in random_range");
+        let width = (self.end - self.start) as u64;
+        self.start + below(rng, width) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range in random_range");
+        let width = (end - start) as u64 + 1;
+        if width == 0 {
+            // Full usize range: a raw draw is already uniform.
+            return rng.next_u64() as usize;
+        }
+        start + below(rng, width) as usize
+    }
+}
+
+/// A source of uniform random `u64`s plus derived draws.
+pub trait Rng {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a value of type `T` (e.g. `rng.random::<f64>()`).
+    fn random<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from a range (e.g. `rng.random_range(0..n)`).
+    fn random_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample(self)
+    }
+}
+
+/// The workspace's standard generator: splitmix64.
+///
+/// 64 bits of state, one multiply-xorshift finalizer per draw, and
+/// every seed gives an independent-looking stream. Equidistributed in
+/// one dimension with period 2^64.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Build a generator from a 64-bit seed. Identical seeds give
+    /// identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn splitmix64_reference_vector() {
+        // Reference output for seed 1234567 from the splitmix64.c
+        // reference implementation (Vigna).
+        let mut rng = StdRng::seed_from_u64(1234567);
+        assert_eq!(rng.next_u64(), 0x599e_d017_fb08_fc85);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn range_draws_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let i = rng.random_range(0..10usize);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for hi in 0..20usize {
+            let j = rng.random_range(0..=hi);
+            assert!(j <= hi);
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_reference() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynref: &mut StdRng = &mut rng;
+        let x = draw(dynref);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -14,11 +14,7 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, for sweeps.
-    pub const ALL: [Strategy; 3] = [
-        Strategy::Horizontal,
-        Strategy::Vertical,
-        Strategy::Hybrid,
-    ];
+    pub const ALL: [Strategy; 3] = [Strategy::Horizontal, Strategy::Vertical, Strategy::Hybrid];
 
     /// Lowercase name used in reports.
     pub fn name(&self) -> &'static str {
@@ -64,6 +60,16 @@ pub struct SqlemConfig {
     /// iterations". `None` (default) keeps the pure-llh criterion of
     /// Fig. 3. The check reads back only the tiny C/R/W tables.
     pub param_epsilon: Option<f64>,
+    /// Statically lint every generated statement before creating any
+    /// table (default on). Catches the §3.3 parser-limit overflow — and
+    /// any generator bug — before the first byte of DDL executes.
+    pub preflight: bool,
+    /// When the pre-flight lint finds the horizontal strategy over a
+    /// capacity limit (statement length or term count), silently switch
+    /// to the hybrid strategy instead of failing (default on; the
+    /// decision is logged and recorded). Ignored when `preflight` is
+    /// off.
+    pub auto_fallback: bool,
 }
 
 impl SqlemConfig {
@@ -78,6 +84,8 @@ impl SqlemConfig {
             table_prefix: String::new(),
             fused_e_step: false,
             param_epsilon: None,
+            preflight: true,
+            auto_fallback: true,
         }
     }
 
@@ -112,6 +120,21 @@ impl SqlemConfig {
         self.param_epsilon = Some(eps);
         self
     }
+
+    /// Builder: skip the pre-flight lint and submit generated SQL
+    /// directly, reproducing the paper's workflow where parser limits
+    /// surface at statement submission (§3.3).
+    pub fn without_preflight(mut self) -> Self {
+        self.preflight = false;
+        self
+    }
+
+    /// Builder: fail instead of switching strategy when the pre-flight
+    /// lint finds a capacity overflow.
+    pub fn without_auto_fallback(mut self) -> Self {
+        self.auto_fallback = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +152,13 @@ mod tests {
         assert_eq!(c.max_iterations, 20);
         assert_eq!(c.table_prefix, "retail_");
         assert!(!c.fused_e_step);
+        assert!(c.preflight);
+        assert!(c.auto_fallback);
+        let bare = SqlemConfig::new(2, Strategy::Hybrid)
+            .without_preflight()
+            .without_auto_fallback();
+        assert!(!bare.preflight);
+        assert!(!bare.auto_fallback);
         let f = SqlemConfig::new(2, Strategy::Hybrid).with_fused_e_step();
         assert!(f.fused_e_step);
     }

@@ -14,9 +14,10 @@ use emcore::{EmOutcome, GmmParams};
 use sqlengine::ast::Statement;
 use sqlengine::{Database, Error as SqlError};
 
-use crate::config::SqlemConfig;
+use crate::config::{SqlemConfig, Strategy};
 use crate::error::SqlemError;
 use crate::generator::{build_generator, Generator, Stmt};
+use crate::lint::{lint_strategy, FallbackDecision, LintFinding};
 use crate::loader;
 use crate::naming::Names;
 
@@ -42,7 +43,10 @@ impl SqlemRun {
         if self.iteration_times.is_empty() {
             return 0.0;
         }
-        self.iteration_times.iter().map(Duration::as_secs_f64).sum::<f64>()
+        self.iteration_times
+            .iter()
+            .map(Duration::as_secs_f64)
+            .sum::<f64>()
             / self.iteration_times.len() as f64
     }
 }
@@ -65,24 +69,68 @@ pub struct EmSession<'a> {
     /// rejections (§3.3) surface where the paper's workflow would hit
     /// them — at statement submission.
     prepared: Option<Vec<(String, Statement)>>,
+    /// Set when the pre-flight lint switched strategy before any DDL ran.
+    fallback: Option<FallbackDecision>,
 }
 
 impl<'a> EmSession<'a> {
     /// Create a session for `p`-dimensional data: generates the SQL and
     /// creates (or recreates) every table.
+    ///
+    /// When [`SqlemConfig::preflight`] is on (the default), every
+    /// statement the strategy will generate is first statically linted
+    /// against a symbolic catalog — nothing executes until the whole
+    /// script checks out. If the horizontal strategy over-runs a
+    /// capacity limit (statement bytes or term count, §3.3) and
+    /// [`SqlemConfig::auto_fallback`] is on, the session switches to the
+    /// hybrid strategy (§3.6) and records a [`FallbackDecision`]
+    /// retrievable via [`EmSession::fallback`]; otherwise creation fails
+    /// with [`SqlemError::Preflight`] and the database is untouched.
     pub fn create(
         db: &'a mut Database,
         config: &SqlemConfig,
         p: usize,
     ) -> Result<Self, SqlemError> {
         assert!(p >= 1, "p must be at least 1");
-        let generator = build_generator(config, p);
+        let mut config = config.clone();
+        let mut fallback = None;
+        if config.preflight {
+            let report = lint_strategy(db, &config, p);
+            if !report.ok() {
+                let recoverable = config.auto_fallback
+                    && config.strategy == Strategy::Horizontal
+                    && report.findings.iter().all(LintFinding::is_capacity);
+                let mut switched = false;
+                if recoverable {
+                    let mut alt = config.clone();
+                    alt.strategy = Strategy::Hybrid;
+                    if lint_strategy(db, &alt, p).ok() {
+                        let decision = FallbackDecision {
+                            from: config.strategy,
+                            to: alt.strategy,
+                            reason: report.findings[0].to_string(),
+                        };
+                        eprintln!("sqlem preflight: {decision}");
+                        config = alt;
+                        fallback = Some(decision);
+                        switched = true;
+                    }
+                }
+                if !switched {
+                    return Err(SqlemError::Preflight {
+                        strategy: report.strategy,
+                        findings: report.findings,
+                    });
+                }
+            }
+        }
+        let generator = build_generator(&config, p);
         let names = Names::new(&config.table_prefix);
         let e_step = generator.e_step();
         let m_step = generator.m_step();
         let mut session = EmSession {
             db,
-            config: config.clone(),
+            config,
             generator,
             names,
             p,
@@ -92,6 +140,7 @@ impl<'a> EmSession<'a> {
             e_step,
             m_step,
             prepared: None,
+            fallback,
         };
         let ddl = session.generator.create_tables();
         session.execute_stmts(&ddl)?;
@@ -119,9 +168,15 @@ impl<'a> EmSession<'a> {
         self.p
     }
 
-    /// The session's configuration.
+    /// The session's configuration. Reflects any pre-flight strategy
+    /// fallback (see [`EmSession::fallback`]).
     pub fn config(&self) -> &SqlemConfig {
         &self.config
+    }
+
+    /// The pre-flight lint's strategy switch, if one happened.
+    pub fn fallback(&self) -> Option<&FallbackDecision> {
+        self.fallback.as_ref()
     }
 
     /// Longest generated statement in bytes (§3.3 parser-limit analysis).
@@ -227,10 +282,14 @@ impl<'a> EmSession<'a> {
         }
         if self.prepared.is_none() {
             let mut prepared = Vec::with_capacity(self.e_step.len() + self.m_step.len());
+            // The E/M script drops and recreates work tables as it goes;
+            // prepare each statement against a shared symbolic catalog so
+            // analysis sees the DDL effects of the statements before it.
+            let mut symbolic = self.db.symbolic_catalog();
             for stmt in self.e_step.iter().chain(&self.m_step) {
                 let mut parsed = self
                     .db
-                    .prepare(&stmt.sql)
+                    .prepare_with(&mut symbolic, &stmt.sql)
                     .map_err(|e| SqlemError::from_sql(&stmt.purpose, e))?;
                 debug_assert_eq!(parsed.len(), 1);
                 prepared.push((
@@ -242,15 +301,15 @@ impl<'a> EmSession<'a> {
             }
             self.prepared = Some(prepared);
         }
-        let prepared = std::mem::take(&mut self.prepared);
+        let prepared = std::mem::take(&mut self.prepared).unwrap_or_default();
         let mut result = Ok(());
-        for (purpose, stmt) in prepared.as_ref().unwrap() {
+        for (purpose, stmt) in &prepared {
             if let Err(e) = self.db.execute_prepared(stmt) {
                 result = Err(promote_degenerate(purpose, e));
                 break;
             }
         }
-        self.prepared = prepared;
+        self.prepared = Some(prepared);
         result?;
         let llh_sql = self.generator.llh_sql();
         let r = self
@@ -321,9 +380,7 @@ impl<'a> EmSession<'a> {
                     .as_i64()
                     .filter(|&s| s >= 1)
                     .map(|s| s as usize - 1)
-                    .ok_or_else(|| {
-                        SqlemError::BadParamTable(format!("bad score cell {}", row[1]))
-                    })
+                    .ok_or_else(|| SqlemError::BadParamTable(format!("bad score cell {}", row[1])))
             })
             .collect()
     }
@@ -350,9 +407,9 @@ impl<'a> EmSession<'a> {
 
     fn execute_stmts(&mut self, stmts: &[Stmt]) -> Result<(), SqlemError> {
         for stmt in stmts {
-            self.db.execute(&stmt.sql).map_err(|e| {
-                promote_degenerate(&stmt.purpose, e)
-            })?;
+            self.db
+                .execute(&stmt.sql)
+                .map_err(|e| promote_degenerate(&stmt.purpose, e))?;
         }
         Ok(())
     }
@@ -527,13 +584,15 @@ mod tests {
         let cfg_a = SqlemConfig::new(2, Strategy::Hybrid).with_prefix("a_");
         let mut a = EmSession::create(&mut db, &cfg_a, 2).unwrap();
         a.load_points(&blobs()).unwrap();
-        a.initialize(&InitStrategy::Explicit(init_params())).unwrap();
+        a.initialize(&InitStrategy::Explicit(init_params()))
+            .unwrap();
         a.run().unwrap();
         drop(a);
         let cfg_b = SqlemConfig::new(2, Strategy::Vertical).with_prefix("b_");
         let mut b = EmSession::create(&mut db, &cfg_b, 2).unwrap();
         b.load_points(&blobs()).unwrap();
-        b.initialize(&InitStrategy::Explicit(init_params())).unwrap();
+        b.initialize(&InitStrategy::Explicit(init_params()))
+            .unwrap();
         b.run().unwrap();
         assert!(db.contains_table("a_z"));
         assert!(db.contains_table("b_y"));

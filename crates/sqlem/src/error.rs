@@ -2,6 +2,9 @@
 
 use sqlengine::Error as SqlError;
 
+use crate::config::Strategy;
+use crate::lint::LintFinding;
+
 /// Anything that can go wrong while driving a SQLEM run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlemError {
@@ -23,6 +26,15 @@ pub enum SqlemError {
         /// The engine's limit.
         max: usize,
     },
+    /// The pre-flight lint rejected the strategy's generated script
+    /// before anything executed (and auto-fallback was off, not
+    /// applicable, or itself failed).
+    Preflight {
+        /// The strategy whose script failed the lint.
+        strategy: Strategy,
+        /// Every statement that failed, with classification.
+        findings: Vec<LintFinding>,
+    },
     /// Parameter read-back found missing or malformed rows.
     BadParamTable(String),
     /// The data does not match the configuration (arity, emptiness).
@@ -43,6 +55,18 @@ impl std::fmt::Display for SqlemError {
                 "generated statement {purpose:?} is {len} bytes, over the DBMS parser \
                  limit of {max} (the §3.3 horizontal-strategy failure mode)"
             ),
+            SqlemError::Preflight { strategy, findings } => {
+                write!(
+                    f,
+                    "pre-flight lint rejected the {strategy} strategy's script \
+                     ({} finding(s))",
+                    findings.len()
+                )?;
+                for finding in findings {
+                    write!(f, "; {finding}")?;
+                }
+                Ok(())
+            }
             SqlemError::BadParamTable(m) => write!(f, "parameter table read-back failed: {m}"),
             SqlemError::BadInput(m) => write!(f, "bad input: {m}"),
             SqlemError::DegenerateCluster(j) => {

@@ -20,8 +20,8 @@ use sqlengine::Database;
 use crate::config::Strategy;
 use crate::error::SqlemError;
 use crate::generator::{
-    det_r_update, double_cols, guarded_r, horizontal_score, read_f64_grid, recreate,
-    two_pi_p_div2, values_insert, yp_insert, yx_insert, w_update, Generator, Stmt,
+    det_r_update, double_cols, guarded_r, horizontal_score, read_f64_grid, recreate, two_pi_p_div2,
+    values_insert, w_update, yp_insert, yx_insert, Generator, Stmt,
 };
 use crate::naming::Names;
 use crate::sqlfmt::lit;
@@ -316,18 +316,26 @@ impl Generator for HorizontalGenerator {
                 .ok_or_else(|| SqlemError::BadParamTable(format!("C{j} is empty")))?;
             means.push(row);
         }
-        let cov = read_f64_grid(db, &format!("SELECT {y_cols} FROM {r}", r = n.r()), "read R")?
-            .into_iter()
-            .next()
-            .ok_or_else(|| SqlemError::BadParamTable("R is empty".into()))?;
+        let cov = read_f64_grid(
+            db,
+            &format!("SELECT {y_cols} FROM {r}", r = n.r()),
+            "read R",
+        )?
+        .into_iter()
+        .next()
+        .ok_or_else(|| SqlemError::BadParamTable("R is empty".into()))?;
         let w_cols = (1..=self.k)
             .map(|j| format!("w{j}"))
             .collect::<Vec<_>>()
             .join(", ");
-        let weights = read_f64_grid(db, &format!("SELECT {w_cols} FROM {w}", w = n.w()), "read W")?
-            .into_iter()
-            .next()
-            .ok_or_else(|| SqlemError::BadParamTable("W is empty".into()))?;
+        let weights = read_f64_grid(
+            db,
+            &format!("SELECT {w_cols} FROM {w}", w = n.w()),
+            "read W",
+        )?
+        .into_iter()
+        .next()
+        .ok_or_else(|| SqlemError::BadParamTable("W is empty".into()))?;
         Ok(GmmParams {
             means,
             cov,
@@ -372,18 +380,14 @@ mod tests {
     fn distance_expression_grows_as_theta_kp() {
         // The §3.3 scaling argument, measured: doubling k (or p)
         // roughly doubles the statement size.
-        let base = HorizontalGenerator::new(Names::new(""), 10, 10)
-            .distance_statement_len();
-        let double_k = HorizontalGenerator::new(Names::new(""), 10, 20)
-            .distance_statement_len();
-        let double_p = HorizontalGenerator::new(Names::new(""), 20, 10)
-            .distance_statement_len();
+        let base = HorizontalGenerator::new(Names::new(""), 10, 10).distance_statement_len();
+        let double_k = HorizontalGenerator::new(Names::new(""), 10, 20).distance_statement_len();
+        let double_p = HorizontalGenerator::new(Names::new(""), 20, 10).distance_statement_len();
         assert!(double_k as f64 > 1.8 * base as f64);
         assert!(double_p as f64 > 1.8 * base as f64);
         // And the paper's headline example: k = 50, p = 100 needs tens of
         // thousands of characters.
-        let huge = HorizontalGenerator::new(Names::new(""), 100, 50)
-            .distance_statement_len();
+        let huge = HorizontalGenerator::new(Names::new(""), 100, 50).distance_statement_len();
         assert!(huge > 50_000, "len = {huge}");
     }
 

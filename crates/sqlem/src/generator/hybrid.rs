@@ -19,7 +19,7 @@ use crate::config::Strategy;
 use crate::error::SqlemError;
 use crate::generator::{
     det_r_update, double_cols, horizontal_score, read_f64_grid, recreate, two_pi_p_div2,
-    values_insert, values_insert_chunked, yp_insert, yx_insert, w_update, Generator, Stmt,
+    values_insert, values_insert_chunked, w_update, yp_insert, yx_insert, Generator, Stmt,
 };
 use crate::naming::Names;
 use crate::sqlfmt::lit;
@@ -212,10 +212,7 @@ impl Generator for HybridGenerator {
             n.cr(),
             format!("v BIGINT PRIMARY KEY, {}, r DOUBLE", double_cols("c", k)),
         );
-        add(
-            n.w(),
-            format!("{}, llh DOUBLE", double_cols("w", k)),
-        );
+        add(n.w(), format!("{}, llh DOUBLE", double_cols("w", k)));
         add(
             n.gmm(),
             "n BIGINT, twopipdiv2 DOUBLE, detr DOUBLE, sqrtdetr DOUBLE".into(),
@@ -238,7 +235,12 @@ impl Generator for HybridGenerator {
         let rows: Vec<(Vec<i64>, Vec<f64>)> = (1..=self.p as i64)
             .map(|v| (vec![v], vec![0.0; self.k + 1]))
             .collect();
-        stmts.extend(values_insert_chunked("seed CR skeleton", &n.cr(), &rows, 4096));
+        stmts.extend(values_insert_chunked(
+            "seed CR skeleton",
+            &n.cr(),
+            &rows,
+            4096,
+        ));
         stmts
     }
 
@@ -314,12 +316,7 @@ impl Generator for HybridGenerator {
         ));
         for j in 1..=k {
             let cols = (1..=p)
-                .map(|d| {
-                    format!(
-                        "sum({z}.y{d} * x{j}) / sum(x{j})",
-                        z = n.z(),
-                    )
-                })
+                .map(|d| format!("sum({z}.y{d} * x{j}) / sum(x{j})", z = n.z(),))
                 .collect::<Vec<_>>()
                 .join(", ");
             stmts.push(Stmt::new(
@@ -407,9 +404,18 @@ impl Generator for HybridGenerator {
         let mut w_row = params.weights.clone();
         w_row.push(0.0); // llh column
         let mut stmts = vec![Stmt::new("init: clear C", format!("DELETE FROM {}", n.c()))];
-        stmts.extend(values_insert_chunked("init: write C", &n.c(), &c_rows, 4096));
+        stmts.extend(values_insert_chunked(
+            "init: write C",
+            &n.c(),
+            &c_rows,
+            4096,
+        ));
         stmts.push(Stmt::new("init: clear R", format!("DELETE FROM {}", n.r())));
-        stmts.push(values_insert("init: write R", &n.r(), &[(vec![], params.cov.clone())]));
+        stmts.push(values_insert(
+            "init: write R",
+            &n.r(),
+            &[(vec![], params.cov.clone())],
+        ));
         stmts.push(Stmt::new("init: clear W", format!("DELETE FROM {}", n.w())));
         stmts.push(values_insert("init: write W", &n.w(), &[(vec![], w_row)]));
         stmts

@@ -236,10 +236,7 @@ pub(crate) fn w_update(names: &Names, k: usize) -> Vec<Stmt> {
         .collect::<Vec<_>>()
         .join(", ");
     vec![
-        Stmt::new(
-            "M: clear W",
-            format!("DELETE FROM {w}", w = names.w()),
-        ),
+        Stmt::new("M: clear W", format!("DELETE FROM {w}", w = names.w())),
         Stmt::new(
             "M: accumulate W' and llh",
             format!(
@@ -278,7 +275,10 @@ pub(crate) fn horizontal_score(names: &Names, k: usize) -> Vec<Stmt> {
             ),
         ));
     }
-    stmts.extend(recreate(&names.xmax(), "rid BIGINT PRIMARY KEY, maxx DOUBLE"));
+    stmts.extend(recreate(
+        &names.xmax(),
+        "rid BIGINT PRIMARY KEY, maxx DOUBLE",
+    ));
     stmts.push(Stmt::new(
         "score: per-point max responsibility (XMAX)",
         format!(
@@ -287,7 +287,10 @@ pub(crate) fn horizontal_score(names: &Names, k: usize) -> Vec<Stmt> {
             x = names.x(),
         ),
     ));
-    stmts.extend(recreate(&names.ys(), "rid BIGINT PRIMARY KEY, score BIGINT"));
+    stmts.extend(recreate(
+        &names.ys(),
+        "rid BIGINT PRIMARY KEY, score BIGINT",
+    ));
     stmts.push(Stmt::new(
         "score: argmax cluster (YS)",
         format!(
@@ -303,11 +306,7 @@ pub(crate) fn horizontal_score(names: &Names, k: usize) -> Vec<Stmt> {
 
 /// Multi-row `INSERT INTO t VALUES …` from literal f64 rows, each row
 /// prefixed by optional integer keys.
-pub(crate) fn values_insert(
-    purpose: &str,
-    table: &str,
-    rows: &[(Vec<i64>, Vec<f64>)],
-) -> Stmt {
+pub(crate) fn values_insert(purpose: &str, table: &str, rows: &[(Vec<i64>, Vec<f64>)]) -> Stmt {
     let rows_sql = rows
         .iter()
         .map(|(keys, vals)| {
@@ -358,9 +357,7 @@ pub(crate) fn read_f64_grid(
     sql: &str,
     what: &str,
 ) -> Result<Vec<Vec<f64>>, SqlemError> {
-    let result = db
-        .execute(sql)
-        .map_err(|e| SqlemError::from_sql(what, e))?;
+    let result = db.execute(sql).map_err(|e| SqlemError::from_sql(what, e))?;
     result
         .rows
         .iter()
@@ -388,10 +385,7 @@ mod tests {
 
     #[test]
     fn guarded_r_text() {
-        assert_eq!(
-            guarded_r("r", 2),
-            "CASE WHEN r.y2 = 0 THEN 1 ELSE r.y2 END"
-        );
+        assert_eq!(guarded_r("r", 2), "CASE WHEN r.y2 = 0 THEN 1 ELSE r.y2 END");
     }
 
     #[test]
@@ -440,10 +434,7 @@ mod tests {
             "c",
             &[(vec![1], vec![0.5, -2.0]), (vec![2], vec![1.0e-100, 3.0])],
         );
-        assert_eq!(
-            s.sql,
-            "INSERT INTO c VALUES (1, 0.5, -2), (2, 1e-100, 3)"
-        );
+        assert_eq!(s.sql, "INSERT INTO c VALUES (1, 0.5, -2), (2, 1e-100, 3)");
         sqlengine::parser::parse(&s.sql).unwrap();
     }
 }

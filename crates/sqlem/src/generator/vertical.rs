@@ -18,7 +18,9 @@ use sqlengine::Database;
 
 use crate::config::Strategy;
 use crate::error::SqlemError;
-use crate::generator::{read_f64_grid, recreate, two_pi_p_div2, values_insert_chunked, Generator, Stmt};
+use crate::generator::{
+    read_f64_grid, recreate, two_pi_p_div2, values_insert_chunked, Generator, Stmt,
+};
 use crate::naming::Names;
 use crate::sqlfmt::lit;
 
@@ -56,14 +58,26 @@ impl Generator for VerticalGenerator {
                 format!("CREATE TABLE {table} ({body})"),
             ));
         };
-        add(n.y(), "rid BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (rid, v)");
-        add(n.yd(), "rid BIGINT, i BIGINT, d DOUBLE, PRIMARY KEY (rid, i)");
-        add(n.yp(), "rid BIGINT, i BIGINT, p DOUBLE, PRIMARY KEY (rid, i)");
+        add(
+            n.y(),
+            "rid BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (rid, v)",
+        );
+        add(
+            n.yd(),
+            "rid BIGINT, i BIGINT, d DOUBLE, PRIMARY KEY (rid, i)",
+        );
+        add(
+            n.yp(),
+            "rid BIGINT, i BIGINT, p DOUBLE, PRIMARY KEY (rid, i)",
+        );
         add(
             n.ysump(),
             "rid BIGINT PRIMARY KEY, sump DOUBLE, suminvd DOUBLE, llh DOUBLE",
         );
-        add(n.yx(), "rid BIGINT, i BIGINT, x DOUBLE, PRIMARY KEY (rid, i)");
+        add(
+            n.yx(),
+            "rid BIGINT, i BIGINT, x DOUBLE, PRIMARY KEY (rid, i)",
+        );
         add(n.c(), "i BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (i, v)");
         add(n.r(), "v BIGINT PRIMARY KEY, val DOUBLE");
         add(n.w(), "i BIGINT PRIMARY KEY, w DOUBLE");
@@ -71,7 +85,10 @@ impl Generator for VerticalGenerator {
             n.gmm(),
             "n BIGINT, twopipdiv2 DOUBLE, detr DOUBLE, sqrtdetr DOUBLE",
         );
-        add(n.ctmp(), "i BIGINT, v BIGINT, cv DOUBLE, PRIMARY KEY (i, v)");
+        add(
+            n.ctmp(),
+            "i BIGINT, v BIGINT, cv DOUBLE, PRIMARY KEY (i, v)",
+        );
         add(n.wv(), "i BIGINT PRIMARY KEY, sw DOUBLE");
         add(
             n.yc(),
@@ -351,11 +368,26 @@ impl Generator for VerticalGenerator {
             .map(|(j, val)| (vec![j as i64 + 1], vec![*val]))
             .collect();
         let mut stmts = vec![Stmt::new("init: clear C", format!("DELETE FROM {}", n.c()))];
-        stmts.extend(values_insert_chunked("init: write C", &n.c(), &c_rows, 4096));
+        stmts.extend(values_insert_chunked(
+            "init: write C",
+            &n.c(),
+            &c_rows,
+            4096,
+        ));
         stmts.push(Stmt::new("init: clear R", format!("DELETE FROM {}", n.r())));
-        stmts.extend(values_insert_chunked("init: write R", &n.r(), &r_rows, 4096));
+        stmts.extend(values_insert_chunked(
+            "init: write R",
+            &n.r(),
+            &r_rows,
+            4096,
+        ));
         stmts.push(Stmt::new("init: clear W", format!("DELETE FROM {}", n.w())));
-        stmts.extend(values_insert_chunked("init: write W", &n.w(), &w_rows, 4096));
+        stmts.extend(values_insert_chunked(
+            "init: write W",
+            &n.w(),
+            &w_rows,
+            4096,
+        ));
         stmts
     }
 

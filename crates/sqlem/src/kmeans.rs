@@ -169,9 +169,7 @@ impl<'a> KmeansSession<'a> {
 
     /// Write the starting centroids.
     pub fn set_centroids(&mut self, centroids: &[Vec<f64>]) -> Result<(), SqlemError> {
-        if centroids.len() != self.config.k
-            || centroids.iter().any(|c| c.len() != self.p)
-        {
+        if centroids.len() != self.config.k || centroids.iter().any(|c| c.len() != self.p) {
             return Err(SqlemError::BadInput(
                 "centroids have the wrong shape".into(),
             ));
@@ -383,10 +381,7 @@ impl<'a> KmeansSession<'a> {
             ),
         ];
         self.execute(&stmts)?;
-        let sql = format!(
-            "SELECT score FROM {ys} ORDER BY rid",
-            ys = self.names.ys()
-        );
+        let sql = format!("SELECT score FROM {ys} ORDER BY rid", ys = self.names.ys());
         let r = self
             .db
             .execute(&sql)
@@ -476,9 +471,7 @@ mod tests {
         session.load_points(&pts).unwrap();
         session.set_centroids(&[vec![0.0], vec![10.0]]).unwrap();
         session.iterate_once().unwrap();
-        let r = db
-            .execute("SELECT x1 + x2 FROM yx ORDER BY rid")
-            .unwrap();
+        let r = db.execute("SELECT x1 + x2 FROM yx ORDER BY rid").unwrap();
         for row in &r.rows {
             assert_eq!(row[0].as_f64(), Some(1.0));
         }

@@ -62,6 +62,7 @@ pub mod driver;
 pub mod error;
 pub mod generator;
 pub mod kmeans;
+pub mod lint;
 pub mod loader;
 pub mod naming;
 pub mod percluster;
@@ -73,5 +74,6 @@ pub use driver::{EmSession, SqlemRun};
 pub use error::SqlemError;
 pub use generator::{build_generator, Generator, Stmt};
 pub use kmeans::{KmeansConfig, KmeansSession};
+pub use lint::{lint_all, lint_strategy, FallbackDecision, LintFinding, LintKind, LintReport};
 pub use naming::Names;
 pub use percluster::{PerClusterConfig, PerClusterSession};

@@ -1,0 +1,327 @@
+//! Pre-flight linting of generated SQL (paper §3.3 / §3.6).
+//!
+//! The paper's horizontal strategy writes a `Θ(kp)`-character distance
+//! expression; real DBMS parsers rejected it around `kp ≈ 1000` terms,
+//! which is the entire motivation for the hybrid strategy. Rather than
+//! discover that rejection mid-run — after DDL has executed and data has
+//! loaded — the driver can *statically* replay every statement a strategy
+//! will generate against a [`SymbolicCatalog`](sqlengine::SymbolicCatalog) before touching the
+//! database: DDL effects are applied symbolically, each statement is
+//! parsed and semantically analyzed, and byte lengths are compared to the
+//! engine's parser cap.
+//!
+//! [`lint_strategy`] produces a [`LintReport`] per strategy; the driver
+//! runs it automatically when [`SqlemConfig::preflight`] is on and, when
+//! the horizontal strategy over-runs a capacity limit, falls back to the
+//! hybrid strategy (configurable via [`SqlemConfig::auto_fallback`]),
+//! recording a [`FallbackDecision`].
+//!
+//! [`SqlemConfig::preflight`]: crate::SqlemConfig::preflight
+//! [`SqlemConfig::auto_fallback`]: crate::SqlemConfig::auto_fallback
+
+use emcore::GmmParams;
+use sqlengine::{AnalyzeErrorKind, Database};
+
+use crate::config::{SqlemConfig, Strategy};
+use crate::generator::build_generator;
+
+/// Placeholder row count used when sizing `post_load` statements before
+/// any data is loaded (matches `Generator::longest_statement`).
+const PLACEHOLDER_N: usize = 1_000_000_000;
+
+/// What kind of problem a lint finding describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintKind {
+    /// The statement's byte length exceeds the engine's parser cap —
+    /// the §3.3 horizontal failure mode. Recoverable by switching
+    /// strategy.
+    TooLong {
+        /// Rendered statement length in bytes.
+        len: usize,
+        /// The engine's `max_statement_len`.
+        max: usize,
+    },
+    /// A complexity metric (term count, expression depth, column width)
+    /// exceeds the analyzer's limit. Also recoverable by strategy switch.
+    TooComplex,
+    /// The statement failed to parse or to analyze for a non-capacity
+    /// reason — a generator bug, not a sizing problem.
+    Semantic,
+}
+
+/// One statement that failed the pre-flight lint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintFinding {
+    /// The statement's purpose tag (e.g. `"E: Mahalanobis distances"`).
+    pub purpose: String,
+    /// What went wrong, rendered for humans.
+    pub message: String,
+    /// Problem classification.
+    pub kind: LintKind,
+}
+
+impl LintFinding {
+    /// True when the finding is a capacity overflow (length/complexity)
+    /// rather than a semantic error — the class auto-fallback can fix.
+    pub fn is_capacity(&self) -> bool {
+        !matches!(self.kind, LintKind::Semantic)
+    }
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.purpose, self.message)
+    }
+}
+
+/// Result of statically linting one strategy's full generated script.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Which strategy was linted.
+    pub strategy: Strategy,
+    /// Dimensionality the script was generated for.
+    pub p: usize,
+    /// Cluster count the script was generated for.
+    pub k: usize,
+    /// Number of statements examined.
+    pub statements: usize,
+    /// Longest rendered statement in bytes.
+    pub longest: usize,
+    /// Purpose tag of the longest statement.
+    pub longest_purpose: String,
+    /// Highest term count seen in any single statement.
+    pub max_terms: usize,
+    /// The engine's statement-length cap the lengths were checked
+    /// against.
+    pub max_statement_len: usize,
+    /// Everything that failed; empty means the script is clean.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// True when every statement parsed, analyzed and fit the limits.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One-line verdict for logs and the CLI.
+    pub fn summary(&self) -> String {
+        let verdict = if self.ok() {
+            "ok".to_string()
+        } else {
+            format!("{} finding(s)", self.findings.len())
+        };
+        format!(
+            "{}: {} statement(s), longest {} byte(s) ({:?}, cap {}), \
+             max {} term(s) — {}",
+            self.strategy,
+            self.statements,
+            self.longest,
+            self.longest_purpose,
+            self.max_statement_len,
+            self.max_terms,
+            verdict
+        )
+    }
+}
+
+/// Why and how the driver changed strategy before running (§3.6: the
+/// hybrid exists precisely because horizontal over-runs parser limits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackDecision {
+    /// The strategy the configuration asked for.
+    pub from: Strategy,
+    /// The strategy actually used.
+    pub to: Strategy,
+    /// The capacity finding that forced the switch.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FallbackDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "falling back from {} to {}: {}",
+            self.from, self.to, self.reason
+        )
+    }
+}
+
+/// Statically lint every statement the configured strategy will generate
+/// for `p`-dimensional data, without executing anything.
+///
+/// The script (DDL, post-load seeding, a parameter write, the E and M
+/// steps, scoring, the llh read) is replayed through a [`SymbolicCatalog`](sqlengine::SymbolicCatalog)
+/// seeded from `db`'s current tables, so `CREATE`/`DROP` effects are
+/// visible to later statements exactly as they will be at run time. Each
+/// statement is byte-length-checked against the engine's
+/// `max_statement_len` and semantically analyzed under the engine's
+/// complexity limits.
+pub fn lint_strategy(db: &Database, config: &SqlemConfig, p: usize) -> LintReport {
+    let generator = build_generator(config, p);
+    let mut script = generator.create_tables();
+    script.extend(generator.post_load(PLACEHOLDER_N));
+    // A shape-correct placeholder parameter set: the rendered literals'
+    // lengths barely vary, so any valid values size the write statements.
+    let dummy = GmmParams::new(
+        vec![vec![0.0; p]; config.k],
+        vec![1.0; p],
+        vec![1.0 / config.k as f64; config.k],
+    );
+    script.extend(generator.write_params(&dummy));
+    script.extend(generator.e_step());
+    script.extend(generator.m_step());
+    script.extend(generator.score_step());
+    script.push(crate::generator::Stmt::new("read llh", generator.llh_sql()));
+
+    let max_len = db.config().max_statement_len;
+    let limits = db.config().limits.clone();
+    let mut symbolic = db.symbolic_catalog();
+    let mut findings = Vec::new();
+    let mut longest = 0usize;
+    let mut longest_purpose = String::new();
+    let mut max_terms = 0usize;
+
+    for stmt in &script {
+        if stmt.sql.len() > longest {
+            longest = stmt.sql.len();
+            longest_purpose = stmt.purpose.clone();
+        }
+        if stmt.sql.len() > max_len {
+            findings.push(LintFinding {
+                purpose: stmt.purpose.clone(),
+                message: format!(
+                    "statement is {} bytes, over the parser limit of {max_len} \
+                     (the §3.3 horizontal failure mode)",
+                    stmt.sql.len()
+                ),
+                kind: LintKind::TooLong {
+                    len: stmt.sql.len(),
+                    max: max_len,
+                },
+            });
+            // Too long to parse at run time; skip semantic analysis but
+            // keep replaying later statements against the symbolic DDL
+            // state they expect. A skipped CREATE would cascade into
+            // bogus unknown-table findings, so apply DDL unchecked.
+            continue;
+        }
+        let parsed = match sqlengine::parser::parse(&stmt.sql) {
+            Ok(stmts) => stmts,
+            Err(e) => {
+                findings.push(LintFinding {
+                    purpose: stmt.purpose.clone(),
+                    message: format!("parse error: {e}"),
+                    kind: LintKind::Semantic,
+                });
+                continue;
+            }
+        };
+        for parsed_stmt in &parsed {
+            match symbolic.apply(parsed_stmt, &limits) {
+                Ok(report) => max_terms = max_terms.max(report.complexity.terms),
+                Err(e) => {
+                    let located = e.locate(&stmt.sql);
+                    let kind = match located.kind {
+                        AnalyzeErrorKind::TooComplex { .. } => LintKind::TooComplex,
+                        _ => LintKind::Semantic,
+                    };
+                    findings.push(LintFinding {
+                        purpose: stmt.purpose.clone(),
+                        message: located.to_string(),
+                        kind,
+                    });
+                }
+            }
+        }
+    }
+
+    LintReport {
+        strategy: config.strategy,
+        p,
+        k: config.k,
+        statements: script.len(),
+        longest,
+        longest_purpose,
+        max_terms,
+        max_statement_len: max_len,
+        findings,
+    }
+}
+
+/// Lint all three strategies for one `(p, k)` — the CLI `lint`
+/// subcommand's workhorse and a convenient sweep primitive.
+pub fn lint_all(db: &Database, config: &SqlemConfig, p: usize) -> Vec<LintReport> {
+    Strategy::ALL
+        .iter()
+        .map(|&strategy| {
+            let mut cfg = config.clone();
+            cfg.strategy = strategy;
+            lint_strategy(db, &cfg, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_problems_lint_clean_in_every_strategy() {
+        let db = Database::new();
+        let config = SqlemConfig::new(3, Strategy::Hybrid);
+        for report in lint_all(&db, &config, 4) {
+            assert!(
+                report.ok(),
+                "{} should lint clean for p=4 k=3: {:?}",
+                report.strategy,
+                report.findings
+            );
+            assert!(report.statements > 5);
+            assert!(report.longest > 0);
+            assert!(report.max_terms > 0);
+        }
+    }
+
+    #[test]
+    fn horizontal_overflow_detected_statically() {
+        let mut db = Database::new();
+        db.set_max_statement_len(16 * 1024);
+        let (p, k) = (40, 25); // kp = 1000, the paper's ceiling
+        let config = SqlemConfig::new(k, Strategy::Horizontal);
+        let report = lint_strategy(&db, &config, p);
+        assert!(!report.ok());
+        assert!(report.findings.iter().all(LintFinding::is_capacity));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f.kind, LintKind::TooLong { .. })));
+        // Hybrid fits the same problem under the same cap.
+        let hybrid = SqlemConfig::new(k, Strategy::Hybrid);
+        assert!(lint_strategy(&db, &hybrid, p).ok());
+    }
+
+    #[test]
+    fn term_limit_overflow_classified_as_capacity() {
+        let mut db = Database::new();
+        db.config_mut().limits.max_terms = 64;
+        let config = SqlemConfig::new(20, Strategy::Horizontal);
+        let report = lint_strategy(&db, &config, 20);
+        assert!(!report.ok());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == LintKind::TooComplex));
+        assert!(report.findings.iter().all(LintFinding::is_capacity));
+    }
+
+    #[test]
+    fn report_summary_mentions_strategy_and_verdict() {
+        let db = Database::new();
+        let config = SqlemConfig::new(2, Strategy::Vertical);
+        let report = lint_strategy(&db, &config, 2);
+        let s = report.summary();
+        assert!(s.starts_with("vertical:"), "{s}");
+        assert!(s.ends_with("ok"), "{s}");
+    }
+}

@@ -172,10 +172,8 @@ mod tests {
     #[test]
     fn pivot_from_existing_table() {
         let (mut db, names) = setup(Strategy::Hybrid);
-        db.execute(
-            "CREATE TABLE baskets (bid BIGINT PRIMARY KEY, hour DOUBLE, sales DOUBLE)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE baskets (bid BIGINT PRIMARY KEY, hour DOUBLE, sales DOUBLE)")
+            .unwrap();
         db.execute("INSERT INTO baskets VALUES (10, 12.0, 6.5), (11, 17.0, 40.0)")
             .unwrap();
         let n = pivot_from_table(

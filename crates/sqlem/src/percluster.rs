@@ -213,9 +213,7 @@ impl<'a> PerClusterSession<'a> {
                 "parameters have the wrong shape".into(),
             ));
         }
-        params
-            .validate()
-            .map_err(SqlemError::BadInput)?;
+        params.validate().map_err(SqlemError::BadInput)?;
         let n = &self.names;
         let c_rows: Vec<(Vec<i64>, Vec<f64>)> = params
             .means
@@ -232,9 +230,19 @@ impl<'a> PerClusterSession<'a> {
         let mut w_row = params.weights.clone();
         w_row.push(0.0);
         let mut stmts = vec![Stmt::new("init: clear C", format!("DELETE FROM {}", n.c()))];
-        stmts.extend(values_insert_chunked("init: write C", &n.c(), &c_rows, 4096));
+        stmts.extend(values_insert_chunked(
+            "init: write C",
+            &n.c(),
+            &c_rows,
+            4096,
+        ));
         stmts.push(Stmt::new("init: clear R", format!("DELETE FROM {}", n.r())));
-        stmts.extend(values_insert_chunked("init: write R", &n.r(), &r_rows, 4096));
+        stmts.extend(values_insert_chunked(
+            "init: write R",
+            &n.r(),
+            &r_rows,
+            4096,
+        ));
         stmts.push(Stmt::new("init: clear W", format!("DELETE FROM {}", n.w())));
         stmts.push(values_insert("init: write W", &n.w(), &[(vec![], w_row)]));
         self.execute(&stmts)?;
@@ -515,10 +523,7 @@ impl<'a> PerClusterSession<'a> {
     pub fn scores(&mut self) -> Result<Vec<usize>, SqlemError> {
         let stmts = horizontal_score(&self.names, self.config.k);
         self.execute(&stmts)?;
-        let sql = format!(
-            "SELECT score FROM {ys} ORDER BY rid",
-            ys = self.names.ys()
-        );
+        let sql = format!("SELECT score FROM {ys} ORDER BY rid", ys = self.names.ys());
         let r = self
             .db
             .execute(&sql)

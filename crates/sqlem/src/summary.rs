@@ -35,11 +35,7 @@ pub fn summarize(params: &GmmParams) -> Vec<ClusterSummary> {
 /// Render a fixed-width text table of the summaries. `variables` names
 /// the columns; its length must equal `p`.
 pub fn format_table(params: &GmmParams, variables: &[&str]) -> String {
-    assert_eq!(
-        variables.len(),
-        params.p(),
-        "need one name per variable"
-    );
+    assert_eq!(variables.len(), params.p(), "need one name per variable");
     let summaries = summarize(params);
     let mut out = String::new();
     out.push_str(&format!("{:>8} {:>8}", "cluster", "weight"));
@@ -54,10 +50,7 @@ pub fn format_table(params: &GmmParams, variables: &[&str]) -> String {
         }
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>8} {:>8}",
-        "(cov)", ""
-    ));
+    out.push_str(&format!("{:>8} {:>8}", "(cov)", ""));
     for c in &params.cov {
         out.push_str(&format!(" {c:>12.2}"));
     }

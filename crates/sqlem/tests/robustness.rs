@@ -3,13 +3,12 @@
 use datagen::generate_dataset;
 use emcore::init::InitStrategy;
 use emcore::GmmParams;
-use proptest::prelude::*;
-use sqlem::{EmSession, SqlemConfig, SqlemError, Strategy};
+use sqlem::{lint_all, EmSession, LintFinding, SqlemConfig, SqlemError, Strategy};
 use sqlengine::Database;
 
-/// The §3.3 failure mode, reproduced: with a realistic parser limit the
-/// horizontal distance statement is rejected at high kp while the hybrid
-/// runs the identical problem.
+/// The §3.3 failure mode, reproduced with the preflight disabled: with a
+/// realistic parser limit the horizontal distance statement is rejected
+/// at high kp while the hybrid runs the identical problem.
 #[test]
 fn horizontal_hits_parser_limit_where_hybrid_does_not() {
     let (p, k) = (40, 25); // kp = 1000, the paper's stated ceiling
@@ -17,11 +16,15 @@ fn horizontal_hits_parser_limit_where_hybrid_does_not() {
 
     let mut db = Database::new();
     db.set_max_statement_len(16 * 1024);
-    let config = SqlemConfig::new(k, Strategy::Horizontal).with_max_iterations(1);
+    let config = SqlemConfig::new(k, Strategy::Horizontal)
+        .with_max_iterations(1)
+        .without_preflight();
     let mut session = EmSession::create(&mut db, &config, p).unwrap();
     assert!(session.longest_statement() > 16 * 1024);
     session.load_points(&data.points).unwrap();
-    session.initialize(&InitStrategy::Random { seed: 0 }).unwrap();
+    session
+        .initialize(&InitStrategy::Random { seed: 0 })
+        .unwrap();
     let err = session.iterate_once().unwrap_err();
     assert!(
         matches!(err, SqlemError::StatementTooLong { .. }),
@@ -36,8 +39,121 @@ fn horizontal_hits_parser_limit_where_hybrid_does_not() {
     let mut hybrid = EmSession::create(&mut db2, &config2, p).unwrap();
     assert!(hybrid.longest_statement() < 16 * 1024);
     hybrid.load_points(&data.points).unwrap();
-    hybrid.initialize(&InitStrategy::Random { seed: 0 }).unwrap();
+    hybrid
+        .initialize(&InitStrategy::Random { seed: 0 })
+        .unwrap();
     hybrid.iterate_once().unwrap();
+}
+
+/// With the preflight on (the default), the same over-limit horizontal
+/// configuration never reaches the engine: the lint predicts the §3.3
+/// overflow statically and the driver falls back to hybrid before any
+/// DDL executes, then completes the run with hybrid SQL.
+#[test]
+fn preflight_falls_back_to_hybrid_before_any_sql_runs() {
+    let (p, k) = (40, 25);
+    let data = generate_dataset(50, p, k, 3);
+    let mut db = Database::new();
+    db.set_max_statement_len(16 * 1024);
+    let config = SqlemConfig::new(k, Strategy::Horizontal)
+        .with_epsilon(0.0)
+        .with_max_iterations(1);
+    let mut session = EmSession::create(&mut db, &config, p).unwrap();
+
+    let decision = session.fallback().expect("preflight should have switched");
+    assert_eq!(decision.from, Strategy::Horizontal);
+    assert_eq!(decision.to, Strategy::Hybrid);
+    assert!(
+        decision.reason.contains("parser limit"),
+        "{}",
+        decision.reason
+    );
+    assert_eq!(session.config().strategy, Strategy::Hybrid);
+    // The switched script fits, so the run proceeds without ever
+    // submitting a horizontal statement.
+    assert!(session.longest_statement() < 16 * 1024);
+    session.load_points(&data.points).unwrap();
+    session
+        .initialize(&InitStrategy::Random { seed: 0 })
+        .unwrap();
+    session.iterate_once().unwrap();
+}
+
+/// With auto-fallback disabled, the preflight rejects the horizontal
+/// strategy outright — before a single table is created.
+#[test]
+fn preflight_without_fallback_rejects_statically() {
+    let (p, k) = (40, 25);
+    let mut db = Database::new();
+    db.set_max_statement_len(16 * 1024);
+    let config = SqlemConfig::new(k, Strategy::Horizontal).without_auto_fallback();
+    let err = match EmSession::create(&mut db, &config, p) {
+        Ok(_) => panic!("create should fail the preflight"),
+        Err(e) => e,
+    };
+    match err {
+        SqlemError::Preflight { strategy, findings } => {
+            assert_eq!(strategy, Strategy::Horizontal);
+            assert!(!findings.is_empty());
+            assert!(findings.iter().all(LintFinding::is_capacity));
+        }
+        other => panic!("expected Preflight, got {other:?}"),
+    }
+    // Nothing executed: the database has no SQLEM tables.
+    assert!(!db.contains_table("yd"));
+    assert!(!db.contains_table("gmm"));
+    assert_eq!(db.stats().statements(), 0);
+}
+
+/// Lint sweep over a (p, k) grid spanning the horizontal-overflow region:
+/// vertical and hybrid stay clean everywhere, horizontal's verdict flips
+/// exactly where its longest statement crosses the parser cap, and every
+/// finding in the overflow region is a capacity finding (no semantic
+/// errors anywhere — the generators emit valid SQL at every size).
+#[test]
+fn lint_sweep_over_pk_grid() {
+    let mut db = Database::new();
+    db.set_max_statement_len(16 * 1024);
+    let mut horizontal_overflowed = false;
+    for p in [2usize, 8, 40] {
+        for k in [2usize, 10, 25] {
+            let config = SqlemConfig::new(k, Strategy::Hybrid);
+            for report in lint_all(&db, &config, p) {
+                match report.strategy {
+                    Strategy::Horizontal => {
+                        let fits = report.longest <= 16 * 1024;
+                        assert_eq!(
+                            report.ok(),
+                            fits,
+                            "horizontal p={p} k={k}: longest {} vs verdict {:?}",
+                            report.longest,
+                            report.findings
+                        );
+                        if !report.ok() {
+                            horizontal_overflowed = true;
+                            assert!(
+                                report.findings.iter().all(LintFinding::is_capacity),
+                                "p={p} k={k}: {:?}",
+                                report.findings
+                            );
+                        }
+                    }
+                    Strategy::Vertical | Strategy::Hybrid => {
+                        assert!(
+                            report.ok(),
+                            "{} p={p} k={k}: {:?}",
+                            report.strategy,
+                            report.findings
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        horizontal_overflowed,
+        "grid should include the horizontal-overflow region"
+    );
 }
 
 /// A far outlier must not kill the run (§2.5 fallback), in every strategy.
@@ -64,9 +180,9 @@ fn outliers_survive_in_every_strategy() {
             .initialize(&InitStrategy::Explicit(init.clone()))
             .unwrap();
         let run = session.run().unwrap();
-        run.params.validate().unwrap_or_else(|e| {
-            panic!("{strategy}: invalid params after outlier run: {e}")
-        });
+        run.params
+            .validate()
+            .unwrap_or_else(|e| panic!("{strategy}: invalid params after outlier run: {e}"));
     }
 }
 
@@ -103,81 +219,13 @@ fn constant_dimension_handled() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12, // each case runs a full SQL EM session
-        .. ProptestConfig::default()
-    })]
-
-    /// Invariants that must hold for any well-posed small problem:
-    /// weights normalized, covariance non-negative, llh non-decreasing.
-    #[test]
-    fn hybrid_invariants_hold(
-        n in 40usize..160,
-        p in 1usize..4,
-        k in 1usize..4,
-        seed in 0u64..1000,
-    ) {
-        let data = generate_dataset(n, p, k, seed);
-        let mut db = Database::new();
-        let config = SqlemConfig::new(k, Strategy::Hybrid)
-            .with_epsilon(0.0)
-            .with_max_iterations(4);
-        let mut session = EmSession::create(&mut db, &config, p).unwrap();
-        session.load_points(&data.points).unwrap();
-        session.initialize(&InitStrategy::Random { seed }).unwrap();
-        match session.run() {
-            Ok(run) => {
-                prop_assert!(run.params.weights_normalized());
-                prop_assert!(run.params.cov.iter().all(|&v| v >= 0.0 && v.is_finite()));
-                for w in run.llh_history.windows(2) {
-                    prop_assert!(
-                        w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
-                        "llh decreased: {} -> {}", w[0], w[1]
-                    );
-                }
-            }
-            // A randomly-initialized cluster can legitimately die on tiny
-            // data; the failure must be the *domain* error, not a raw SQL
-            // error.
-            Err(SqlemError::DegenerateCluster(_)) => {}
-            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
-        }
-    }
-
-    /// Scores always cover exactly the loaded points and name real
-    /// clusters.
-    #[test]
-    fn scores_are_well_formed(
-        n in 30usize..100,
-        k in 1usize..4,
-        seed in 0u64..1000,
-    ) {
-        let data = generate_dataset(n, 2, k, seed);
-        let mut db = Database::new();
-        let config = SqlemConfig::new(k, Strategy::Hybrid).with_max_iterations(3);
-        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
-        session.load_points(&data.points).unwrap();
-        session.initialize(&InitStrategy::Random { seed }).unwrap();
-        if session.run().is_ok() {
-            let scores = session.scores().unwrap();
-            prop_assert_eq!(scores.len(), n);
-            prop_assert!(scores.iter().all(|&s| s < k));
-        }
-    }
-}
-
 /// The entire EM state lives in the C/R/W tables, so a run can be
 /// checkpointed by reading the parameters and resumed in a brand-new
 /// database — the trajectory must be identical to an uninterrupted run.
 #[test]
 fn checkpoint_and_resume_reproduces_uninterrupted_run() {
     let data = generate_dataset(600, 3, 3, 21);
-    let init = emcore::init::initialize(
-        &data.points,
-        3,
-        &InitStrategy::Random { seed: 21 },
-    );
+    let init = emcore::init::initialize(&data.points, 3, &InitStrategy::Random { seed: 21 });
     let config = SqlemConfig::new(3, Strategy::Hybrid)
         .with_epsilon(0.0)
         .with_max_iterations(3);

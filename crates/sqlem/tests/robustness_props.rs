@@ -1,0 +1,72 @@
+//! Property-based invariants for the SQLEM driver (gated behind the
+//! `proptest` feature: restore the proptest dev-dependency to run).
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use proptest::prelude::*;
+use sqlem::{EmSession, SqlemConfig, SqlemError, Strategy};
+use sqlengine::Database;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs a full SQL EM session
+        .. ProptestConfig::default()
+    })]
+
+    /// Invariants that must hold for any well-posed small problem:
+    /// weights normalized, covariance non-negative, llh non-decreasing.
+    #[test]
+    fn hybrid_invariants_hold(
+        n in 40usize..160,
+        p in 1usize..4,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let data = generate_dataset(n, p, k, seed);
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, Strategy::Hybrid)
+            .with_epsilon(0.0)
+            .with_max_iterations(4);
+        let mut session = EmSession::create(&mut db, &config, p).unwrap();
+        session.load_points(&data.points).unwrap();
+        session.initialize(&InitStrategy::Random { seed }).unwrap();
+        match session.run() {
+            Ok(run) => {
+                prop_assert!(run.params.weights_normalized());
+                prop_assert!(run.params.cov.iter().all(|&v| v >= 0.0 && v.is_finite()));
+                for w in run.llh_history.windows(2) {
+                    prop_assert!(
+                        w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
+                        "llh decreased: {} -> {}", w[0], w[1]
+                    );
+                }
+            }
+            // A randomly-initialized cluster can legitimately die on tiny
+            // data; the failure must be the *domain* error, not a raw SQL
+            // error.
+            Err(SqlemError::DegenerateCluster(_)) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+        }
+    }
+
+    /// Scores always cover exactly the loaded points and name real
+    /// clusters.
+    #[test]
+    fn scores_are_well_formed(
+        n in 30usize..100,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let data = generate_dataset(n, 2, k, seed);
+        let mut db = Database::new();
+        let config = SqlemConfig::new(k, Strategy::Hybrid).with_max_iterations(3);
+        let mut session = EmSession::create(&mut db, &config, 2).unwrap();
+        session.load_points(&data.points).unwrap();
+        session.initialize(&InitStrategy::Random { seed }).unwrap();
+        if session.run().is_ok() {
+            let scores = session.scores().unwrap();
+            prop_assert_eq!(scores.len(), n);
+            prop_assert!(scores.iter().all(|&s| s < k));
+        }
+    }
+}

@@ -21,7 +21,9 @@ fn run_iteration_scans(strategy: Strategy, n: usize, p: usize, k: usize) -> (usi
         .with_max_iterations(3);
     let mut session = EmSession::create(&mut db, &config, p).unwrap();
     session.load_points(&data.points).unwrap();
-    session.initialize(&InitStrategy::Random { seed: 1 }).unwrap();
+    session
+        .initialize(&InitStrategy::Random { seed: 1 })
+        .unwrap();
     // Warm up one iteration so every work table exists with n rows, then
     // measure a steady-state iteration.
     session.iterate_once().unwrap();
@@ -134,7 +136,5 @@ fn fused_hybrid_saves_one_scan_and_matches_classic() {
     assert_eq!(classic_scans, 2 * k + 3);
     assert_eq!(fused_scans, 2 * k + 2, "fused E step must save one scan");
     // Identical mathematics: the two variants agree to FP noise.
-    assert!(
-        emcore::compare::max_param_diff(&classic_params, &fused_params) < 1e-9
-    );
+    assert!(emcore::compare::max_param_diff(&classic_params, &fused_params) < 1e-9);
 }

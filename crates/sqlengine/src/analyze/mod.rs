@@ -1,0 +1,723 @@
+//! Semantic analysis: the pass between the parser and the executor.
+//!
+//! [`analyze`] takes a parsed [`Statement`] and a catalog view
+//! ([`SchemaProvider`]) and checks everything that can be checked
+//! without touching data: every table and column resolves, types are
+//! consistent with what evaluation will accept, aggregates sit only
+//! where the planner allows them, and the statement stays under the
+//! configured complexity [`Limits`] — the static counterpart of the
+//! DBMS parser limits that motivate SQLEM's hybrid strategy (paper
+//! §1.3, §3.3). On success it returns a [`Report`] with a per-statement
+//! [`Complexity`] measurement and, for SELECTs, the inferred output
+//! schema.
+//!
+//! The pass is deliberately *exact* with respect to the executor: a
+//! statement the executor would run is never rejected, and a statement
+//! the analyzer accepts only fails at runtime for data-dependent
+//! reasons (division by zero, non-integral DOUBLE→BIGINT coercion,
+//! string arithmetic reached through untyped NULLs, …).
+//!
+//! [`SymbolicCatalog`] supports linting scripts that create their own
+//! tables: DDL is replayed against an in-memory schema map, so a
+//! generated script can be validated end-to-end before any of it runs
+//! — this is what the SQLEM pre-flight linter builds on.
+
+mod check;
+mod error;
+
+pub use check::{check_select, Scope, Ty};
+pub use error::{AnalyzeError, AnalyzeErrorKind, Clause, Metric};
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, InsertSource, Statement};
+use crate::catalog::Catalog;
+use crate::schema::Schema;
+use crate::value::DataType;
+
+use check::{build_scopes, check_plain};
+
+/// Read-only view of table schemas the analyzer resolves names against.
+pub trait SchemaProvider {
+    /// Schema of `name` (lowercase lookup), or `None` if absent.
+    fn table_schema(&self, name: &str) -> Option<&Schema>;
+}
+
+impl SchemaProvider for Catalog {
+    fn table_schema(&self, name: &str) -> Option<&Schema> {
+        self.table(name).ok().map(|t| t.schema())
+    }
+}
+
+/// A schema-only catalog for symbolic DDL replay.
+///
+/// Feed it the statements of a script in order via
+/// [`SymbolicCatalog::apply`]: CREATE/DROP TABLE update the schema map
+/// (with the executor's `IF [NOT] EXISTS` semantics), every other
+/// statement is analyzed against the schemas accumulated so far. No
+/// rows are ever materialized.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolicCatalog {
+    tables: HashMap<String, Schema>,
+}
+
+impl SymbolicCatalog {
+    /// Empty symbolic catalog.
+    pub fn new() -> Self {
+        SymbolicCatalog::default()
+    }
+
+    /// Start from the schemas of an existing catalog.
+    pub fn from_catalog(catalog: &Catalog) -> Self {
+        let tables = catalog
+            .table_names()
+            .iter()
+            .filter_map(|n| catalog.table_schema(n).map(|s| (n.to_string(), s.clone())))
+            .collect();
+        SymbolicCatalog { tables }
+    }
+
+    /// Register a table schema directly.
+    pub fn insert(&mut self, name: &str, schema: Schema) {
+        self.tables.insert(name.to_ascii_lowercase(), schema);
+    }
+
+    /// Does a table with this name exist symbolically?
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Analyze `stmt` against the current symbolic state, then apply its
+    /// DDL effect (create/drop) so later statements see it.
+    pub fn apply(&mut self, stmt: &Statement, limits: &Limits) -> Result<Report, AnalyzeError> {
+        let report = analyze(self, stmt, limits)?;
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                if_not_exists,
+            } => {
+                let lname = name.to_ascii_lowercase();
+                if !(self.contains(&lname) && *if_not_exists) {
+                    // analyze() already validated the definition.
+                    let cols = columns
+                        .iter()
+                        .map(|c| crate::schema::Column::new(c.name.clone(), c.ty))
+                        .collect();
+                    let pk: Vec<&str> = primary_key.iter().map(String::as_str).collect();
+                    let schema = Schema::new(cols, &pk).map_err(|_| {
+                        AnalyzeError::new(
+                            AnalyzeErrorKind::Unsupported("invalid CREATE TABLE definition".into()),
+                            Clause::Ddl,
+                        )
+                    })?;
+                    self.tables.insert(lname, schema);
+                }
+            }
+            Statement::DropTable { name, .. } => {
+                self.tables.remove(&name.to_ascii_lowercase());
+            }
+            _ => {}
+        }
+        Ok(report)
+    }
+}
+
+impl SchemaProvider for SymbolicCatalog {
+    fn table_schema(&self, name: &str) -> Option<&Schema> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+}
+
+/// Complexity ceilings a statement must stay under.
+///
+/// The defaults are generous enough for every statement the SQLEM
+/// generators emit at practical problem sizes; tighten them to model a
+/// real DBMS parser (the paper's Teradata client died around
+/// `k·p ≈ 1000` terms, §3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum leaf terms (column refs + literals) per statement.
+    pub max_terms: usize,
+    /// Maximum expression nesting depth.
+    pub max_depth: usize,
+    /// Maximum column-list width (projection, CREATE TABLE, INSERT).
+    pub max_columns: usize,
+    /// Maximum tables in one FROM clause (the executor's join pipeline
+    /// uses a 64-bit scope mask, so it hard-fails above 64).
+    pub max_tables: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_terms: 16 * 1024,
+            max_depth: 256,
+            max_columns: 1024,
+            max_tables: 64,
+        }
+    }
+}
+
+impl Limits {
+    /// No ceilings at all (used for EXPLAIN, which must *report*
+    /// predicted overflow rather than fail on it).
+    pub fn unbounded() -> Self {
+        Limits {
+            max_terms: usize::MAX,
+            max_depth: usize::MAX,
+            max_columns: usize::MAX,
+            max_tables: usize::MAX,
+        }
+    }
+}
+
+/// Measured complexity of one statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Complexity {
+    /// Leaf terms: column references + literals across every expression.
+    pub terms: usize,
+    /// Maximum expression nesting depth.
+    pub depth: usize,
+    /// Widest column list (projection width, CREATE TABLE columns,
+    /// INSERT row width, UPDATE assignment count).
+    pub columns: usize,
+    /// Tables referenced in FROM clauses.
+    pub tables: usize,
+    /// Statement text size, when the source string is known (filled in
+    /// by the engine; AST-only analysis leaves it `None`).
+    pub bytes: Option<usize>,
+}
+
+impl Complexity {
+    /// First metric exceeding `limits`, if any.
+    pub fn check(&self, limits: &Limits) -> Result<(), AnalyzeError> {
+        let over = |metric, value: usize, limit: usize| {
+            AnalyzeError::new(
+                AnalyzeErrorKind::TooComplex {
+                    metric,
+                    value,
+                    limit,
+                },
+                Clause::Statement,
+            )
+        };
+        if self.terms > limits.max_terms {
+            return Err(over(Metric::Terms, self.terms, limits.max_terms));
+        }
+        if self.depth > limits.max_depth {
+            return Err(over(Metric::Depth, self.depth, limits.max_depth));
+        }
+        if self.columns > limits.max_columns {
+            return Err(over(Metric::Columns, self.columns, limits.max_columns));
+        }
+        if self.tables > limits.max_tables {
+            return Err(over(Metric::Tables, self.tables, limits.max_tables));
+        }
+        Ok(())
+    }
+
+    /// One-line human-readable summary (used by EXPLAIN).
+    pub fn summary(&self) -> String {
+        let bytes = match self.bytes {
+            Some(b) => format!(", {b} byte(s)"),
+            None => String::new(),
+        };
+        format!(
+            "analysis: {} term(s), depth {}, {} column(s), {} table(s){}",
+            self.terms, self.depth, self.columns, self.tables, bytes
+        )
+    }
+
+    fn absorb_expr(&mut self, e: &Expr) {
+        self.terms += expr_terms(e);
+        self.depth = self.depth.max(expr_depth(e));
+    }
+}
+
+/// Leaf-operand count of an expression: every column reference and
+/// literal counts one; `count(*)` counts one.
+fn expr_terms(e: &Expr) -> usize {
+    match e {
+        Expr::Literal(_) | Expr::Column { .. } => 1,
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr_terms(expr),
+        Expr::Binary { left, right, .. } => expr_terms(left) + expr_terms(right),
+        Expr::Func { args, .. } => {
+            if args.is_empty() {
+                1
+            } else {
+                args.iter().map(expr_terms).sum()
+            }
+        }
+        Expr::Case { whens, else_expr } => {
+            whens
+                .iter()
+                .map(|(c, r)| expr_terms(c) + expr_terms(r))
+                .sum::<usize>()
+                + else_expr.as_deref().map(expr_terms).unwrap_or(0)
+        }
+    }
+}
+
+/// Nesting depth of an expression (leaves are depth 1).
+fn expr_depth(e: &Expr) -> usize {
+    1 + match e {
+        Expr::Literal(_) | Expr::Column { .. } => 0,
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr_depth(expr),
+        Expr::Binary { left, right, .. } => expr_depth(left).max(expr_depth(right)),
+        Expr::Func { args, .. } => args.iter().map(expr_depth).max().unwrap_or(0),
+        Expr::Case { whens, else_expr } => whens
+            .iter()
+            .map(|(c, r)| expr_depth(c).max(expr_depth(r)))
+            .max()
+            .unwrap_or(0)
+            .max(else_expr.as_deref().map(expr_depth).unwrap_or(0)),
+    }
+}
+
+/// The result of analyzing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Measured complexity.
+    pub complexity: Complexity,
+    /// For SELECT (and EXPLAIN SELECT): inferred output columns.
+    pub output: Option<Vec<(String, Ty)>>,
+}
+
+/// Analyze one statement against `provider`, enforcing `limits`.
+///
+/// Returns a [`Report`] on success, or the first [`AnalyzeError`]
+/// found. Errors carry no byte position — attach one afterwards with
+/// [`AnalyzeError::locate`] when the source text is at hand.
+pub fn analyze(
+    provider: &dyn SchemaProvider,
+    stmt: &Statement,
+    limits: &Limits,
+) -> Result<Report, AnalyzeError> {
+    let report = analyze_unchecked(provider, stmt)?;
+    // EXPLAIN reports predicted overflow instead of failing on it.
+    if !matches!(stmt, Statement::Explain(_)) {
+        report.complexity.check(limits)?;
+    }
+    Ok(report)
+}
+
+fn analyze_unchecked(
+    provider: &dyn SchemaProvider,
+    stmt: &Statement,
+) -> Result<Report, AnalyzeError> {
+    let mut cx = Complexity::default();
+    let mut output = None;
+    match stmt {
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+            if_not_exists,
+        } => {
+            if provider.table_schema(name).is_some() && !*if_not_exists {
+                return Err(AnalyzeError::new(
+                    AnalyzeErrorKind::DuplicateTable(name.to_ascii_lowercase()),
+                    Clause::Ddl,
+                ));
+            }
+            let mut seen: Vec<&str> = Vec::with_capacity(columns.len());
+            for c in columns {
+                if seen.contains(&c.name.as_str()) {
+                    return Err(AnalyzeError::new(
+                        AnalyzeErrorKind::DuplicateColumn(c.name.clone()),
+                        Clause::Ddl,
+                    ));
+                }
+                seen.push(&c.name);
+            }
+            let mut pk_seen: Vec<String> = Vec::with_capacity(primary_key.len());
+            for k in primary_key {
+                let lk = k.to_ascii_lowercase();
+                if !seen.iter().any(|c| **c == *lk) {
+                    return Err(AnalyzeError::new(
+                        AnalyzeErrorKind::UnknownColumn(lk),
+                        Clause::Ddl,
+                    ));
+                }
+                if pk_seen.contains(&lk) {
+                    return Err(AnalyzeError::new(
+                        AnalyzeErrorKind::DuplicateColumn(lk),
+                        Clause::Ddl,
+                    ));
+                }
+                pk_seen.push(lk);
+            }
+            cx.columns = columns.len();
+        }
+        Statement::DropTable { name, if_exists } => {
+            if provider.table_schema(name).is_none() && !*if_exists {
+                return Err(AnalyzeError::new(
+                    AnalyzeErrorKind::UnknownTable(name.to_ascii_lowercase()),
+                    Clause::Ddl,
+                ));
+            }
+        }
+        Statement::Insert {
+            table,
+            columns,
+            source,
+        } => {
+            let lname = table.to_ascii_lowercase();
+            let schema = provider.table_schema(&lname).ok_or_else(|| {
+                AnalyzeError::new(
+                    AnalyzeErrorKind::UnknownTable(lname.clone()),
+                    Clause::Statement,
+                )
+            })?;
+            // Destination slots, honouring an explicit column list.
+            let dest: Vec<(String, DataType)> = match columns {
+                None => schema
+                    .columns()
+                    .iter()
+                    .map(|c| (c.name.clone(), c.ty))
+                    .collect(),
+                Some(cols) => {
+                    let mut dest = Vec::with_capacity(cols.len());
+                    let mut used = Vec::with_capacity(cols.len());
+                    for c in cols {
+                        let idx = schema.column_index(c).ok_or_else(|| {
+                            AnalyzeError::new(
+                                AnalyzeErrorKind::UnknownColumn(c.to_ascii_lowercase()),
+                                Clause::Statement,
+                            )
+                        })?;
+                        if used.contains(&idx) {
+                            return Err(AnalyzeError::new(
+                                AnalyzeErrorKind::DuplicateColumn(c.to_ascii_lowercase()),
+                                Clause::Statement,
+                            ));
+                        }
+                        used.push(idx);
+                        let col = schema.column(idx);
+                        dest.push((col.name.clone(), col.ty));
+                    }
+                    dest
+                }
+            };
+            cx.columns = dest.len();
+            match source {
+                InsertSource::Values(rows) => {
+                    for row in rows {
+                        if row.len() != dest.len() {
+                            return Err(AnalyzeError::new(
+                                AnalyzeErrorKind::ArityMismatch {
+                                    table: lname.clone(),
+                                    expected: dest.len(),
+                                    actual: row.len(),
+                                },
+                                Clause::Values,
+                            ));
+                        }
+                        for (e, (cname, dt)) in row.iter().zip(&dest) {
+                            cx.absorb_expr(e);
+                            // VALUES expressions are constant-folded by
+                            // the executor: no column refs, no
+                            // aggregates.
+                            let ty = check_plain(&[], e, "VALUES", Clause::Values)?;
+                            if !ty.storable_as(*dt) {
+                                return Err(AnalyzeError::new(
+                                    AnalyzeErrorKind::TypeMismatch {
+                                        context: format!("cannot store {ty} into {cname} {dt:?}"),
+                                    },
+                                    Clause::Values,
+                                ));
+                            }
+                        }
+                    }
+                }
+                InsertSource::Select(sel) => {
+                    let inner = analyze_unchecked(provider, &Statement::Select((**sel).clone()))?;
+                    cx.terms += inner.complexity.terms;
+                    cx.depth = cx.depth.max(inner.complexity.depth);
+                    cx.columns = cx.columns.max(inner.complexity.columns);
+                    cx.tables += inner.complexity.tables;
+                    let cols = inner.output.unwrap_or_default();
+                    if cols.len() != dest.len() {
+                        return Err(AnalyzeError::new(
+                            AnalyzeErrorKind::ArityMismatch {
+                                table: lname.clone(),
+                                expected: dest.len(),
+                                actual: cols.len(),
+                            },
+                            Clause::Statement,
+                        ));
+                    }
+                    for ((oname, ty), (cname, dt)) in cols.iter().zip(&dest) {
+                        if !ty.storable_as(*dt) {
+                            return Err(AnalyzeError::new(
+                                AnalyzeErrorKind::TypeMismatch {
+                                    context: format!(
+                                        "cannot store {oname} ({ty}) into {cname} {dt:?}"
+                                    ),
+                                },
+                                Clause::Statement,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Statement::Update {
+            table,
+            from,
+            assignments,
+            where_clause,
+        } => {
+            let lname = table.to_ascii_lowercase();
+            let schema = provider.table_schema(&lname).ok_or_else(|| {
+                AnalyzeError::new(
+                    AnalyzeErrorKind::UnknownTable(lname.clone()),
+                    Clause::Statement,
+                )
+            })?;
+            let mut scopes = vec![Scope {
+                name: lname.clone(),
+                cols: schema
+                    .columns()
+                    .iter()
+                    .map(|c| (c.name.clone(), c.ty))
+                    .collect(),
+            }];
+            for scope in build_scopes(provider, from)? {
+                if scopes.iter().any(|s| s.name == scope.name) {
+                    return Err(AnalyzeError::new(
+                        AnalyzeErrorKind::DuplicateTable(scope.name),
+                        Clause::From,
+                    ));
+                }
+                scopes.push(scope);
+            }
+            cx.tables = scopes.len();
+            cx.columns = assignments.len();
+            for (col, e) in assignments {
+                cx.absorb_expr(e);
+                let idx = schema.column_index(col).ok_or_else(|| {
+                    AnalyzeError::new(
+                        AnalyzeErrorKind::UnknownColumn(col.to_ascii_lowercase()),
+                        Clause::Set,
+                    )
+                })?;
+                let dt = schema.column(idx).ty;
+                let ty = check_plain(&scopes, e, "UPDATE SET", Clause::Set)?;
+                if !ty.storable_as(dt) {
+                    return Err(AnalyzeError::new(
+                        AnalyzeErrorKind::TypeMismatch {
+                            context: format!("cannot store {ty} into {col} {dt:?}"),
+                        },
+                        Clause::Set,
+                    ));
+                }
+            }
+            if let Some(w) = where_clause {
+                cx.absorb_expr(w);
+                check_plain(&scopes, w, "WHERE", Clause::Where)?;
+            }
+        }
+        Statement::Delete {
+            table,
+            where_clause,
+        } => {
+            let lname = table.to_ascii_lowercase();
+            let schema = provider.table_schema(&lname).ok_or_else(|| {
+                AnalyzeError::new(
+                    AnalyzeErrorKind::UnknownTable(lname.clone()),
+                    Clause::Statement,
+                )
+            })?;
+            cx.tables = 1;
+            if let Some(w) = where_clause {
+                cx.absorb_expr(w);
+                let scopes = vec![Scope {
+                    name: lname,
+                    cols: schema
+                        .columns()
+                        .iter()
+                        .map(|c| (c.name.clone(), c.ty))
+                        .collect(),
+                }];
+                check_plain(&scopes, w, "WHERE", Clause::Where)?;
+            }
+        }
+        Statement::Select(sel) => {
+            let cols = check_select(provider, sel)?;
+            cx.tables = sel.from.len();
+            cx.columns = cols.len();
+            for item in &sel.items {
+                if let crate::ast::SelectItem::Expr { expr, .. } = item {
+                    cx.absorb_expr(expr);
+                }
+            }
+            if let Some(w) = &sel.where_clause {
+                cx.absorb_expr(w);
+            }
+            for k in &sel.group_by {
+                cx.absorb_expr(k);
+            }
+            if let Some(h) = &sel.having {
+                cx.absorb_expr(h);
+            }
+            for k in &sel.order_by {
+                cx.absorb_expr(&k.expr);
+            }
+            output = Some(cols);
+        }
+        Statement::Explain(inner) => {
+            return analyze_unchecked(provider, inner);
+        }
+    }
+    Ok(Report {
+        complexity: cx,
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_one;
+    use crate::schema::Column;
+
+    fn cat() -> SymbolicCatalog {
+        let mut c = SymbolicCatalog::new();
+        c.insert(
+            "y",
+            Schema::new(
+                vec![
+                    Column::bigint("rid"),
+                    Column::bigint("v"),
+                    Column::double("val"),
+                ],
+                &["rid", "v"],
+            )
+            .unwrap(),
+        );
+        c.insert(
+            "names",
+            Schema::keyless(vec![Column::varchar("label")]).unwrap(),
+        );
+        c
+    }
+
+    fn analyze_sql(sql: &str) -> Result<Report, AnalyzeError> {
+        let stmt = parse_one(sql).unwrap();
+        analyze(&cat(), &stmt, &Limits::default()).map_err(|e| e.locate(sql))
+    }
+
+    #[test]
+    fn valid_select_reports_output_schema() {
+        let r = analyze_sql("SELECT rid, val * 2 AS dbl FROM y WHERE v = 1").unwrap();
+        assert_eq!(
+            r.output,
+            Some(vec![("rid".into(), Ty::Int), ("dbl".into(), Ty::Double)])
+        );
+        assert_eq!(r.complexity.tables, 1);
+        assert!(r.complexity.terms >= 4);
+    }
+
+    #[test]
+    fn unknown_column_has_position() {
+        let sql = "SELECT rid FROM y WHERE nope > 1";
+        let e = analyze_sql(sql).unwrap_err();
+        assert_eq!(e.kind, AnalyzeErrorKind::UnknownColumn("nope".into()));
+        assert_eq!(e.clause, Clause::Where);
+        assert_eq!(e.pos, Some(sql.find("nope").unwrap()));
+    }
+
+    #[test]
+    fn aggregate_in_where_rejected() {
+        let e = analyze_sql("SELECT rid FROM y WHERE sum(val) > 1").unwrap_err();
+        assert!(matches!(e.kind, AnalyzeErrorKind::AggregateMisuse(_)));
+        assert_eq!(e.clause, Clause::Where);
+    }
+
+    #[test]
+    fn string_arithmetic_rejected() {
+        let e = analyze_sql("SELECT label + 1 FROM names").unwrap_err();
+        assert!(matches!(e.kind, AnalyzeErrorKind::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn mixed_comparison_is_allowed() {
+        // Runtime compares mixed types as NULL — not a static error.
+        analyze_sql("SELECT label FROM names WHERE label = 3").unwrap();
+    }
+
+    #[test]
+    fn term_limit_enforced() {
+        let stmt = parse_one("SELECT val + val + val + val FROM y").unwrap();
+        let limits = Limits {
+            max_terms: 3,
+            ..Limits::default()
+        };
+        let e = analyze(&cat(), &stmt, &limits).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            AnalyzeErrorKind::TooComplex {
+                metric: Metric::Terms,
+                value: 4,
+                limit: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn explain_skips_limit_enforcement() {
+        let stmt = parse_one("EXPLAIN SELECT val + val + val + val FROM y").unwrap();
+        let limits = Limits {
+            max_terms: 3,
+            ..Limits::default()
+        };
+        let r = analyze(&cat(), &stmt, &limits).unwrap();
+        assert_eq!(r.complexity.terms, 4);
+    }
+
+    #[test]
+    fn symbolic_ddl_replay() {
+        let mut cat = SymbolicCatalog::new();
+        let limits = Limits::default();
+        cat.apply(
+            &parse_one("CREATE TABLE w (i BIGINT PRIMARY KEY, w DOUBLE)").unwrap(),
+            &limits,
+        )
+        .unwrap();
+        cat.apply(&parse_one("SELECT sum(w) FROM w").unwrap(), &limits)
+            .unwrap();
+        cat.apply(&parse_one("DROP TABLE w").unwrap(), &limits)
+            .unwrap();
+        let e = cat
+            .apply(&parse_one("SELECT 1 FROM w").unwrap(), &limits)
+            .unwrap_err();
+        assert_eq!(e.kind, AnalyzeErrorKind::UnknownTable("w".into()));
+    }
+
+    #[test]
+    fn insert_select_arity_and_types_checked() {
+        let e = analyze_sql("INSERT INTO names SELECT rid, val FROM y").unwrap_err();
+        assert!(matches!(e.kind, AnalyzeErrorKind::ArityMismatch { .. }));
+        let e = analyze_sql("INSERT INTO names SELECT rid FROM y").unwrap_err();
+        assert!(matches!(e.kind, AnalyzeErrorKind::TypeMismatch { .. }));
+        analyze_sql("INSERT INTO names VALUES ('a'), ('b')").unwrap();
+    }
+
+    #[test]
+    fn lateral_alias_resolves_in_scalar_select() {
+        // Fig. 5 style: later items reference earlier aliases.
+        let r = analyze_sql("SELECT val AS p1, val AS p2, p1 + p2 AS sump FROM y").unwrap();
+        let out = r.output.unwrap();
+        assert_eq!(out[2], ("sump".into(), Ty::Double));
+    }
+
+    #[test]
+    fn naked_column_outside_group_by_rejected() {
+        let e = analyze_sql("SELECT v, sum(val) FROM y GROUP BY rid").unwrap_err();
+        assert!(matches!(e.kind, AnalyzeErrorKind::AggregateMisuse(_)));
+        analyze_sql("SELECT rid, sum(val) FROM y GROUP BY rid").unwrap();
+    }
+}

@@ -52,6 +52,28 @@ pub enum BinOp {
     Or,
 }
 
+impl std::fmt::Display for BinOp {
+    /// The SQL token for this operator (`+`, `<>`, `AND`, …).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sym = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "**",
+            BinOp::Eq => "=",
+            BinOp::Neq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(sym)
+    }
+}
+
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {
@@ -163,9 +185,7 @@ impl Expr {
                 whens
                     .iter()
                     .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
-                    || else_expr
-                        .as_ref()
-                        .is_some_and(|e| e.contains_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
             }
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
         }
@@ -192,30 +212,16 @@ impl std::fmt::Display for Expr {
                 }
                 crate::value::Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
             },
-            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => write!(f, "{t}.{name}"),
             Expr::Column { table: None, name } => write!(f, "{name}"),
             Expr::Unary { op, expr } => match op {
                 UnaryOp::Neg => write!(f, "(-({expr}))"),
                 UnaryOp::Not => write!(f, "(NOT ({expr}))"),
             },
-            Expr::Binary { op, left, right } => {
-                let sym = match op {
-                    BinOp::Add => "+",
-                    BinOp::Sub => "-",
-                    BinOp::Mul => "*",
-                    BinOp::Div => "/",
-                    BinOp::Pow => "**",
-                    BinOp::Eq => "=",
-                    BinOp::Neq => "<>",
-                    BinOp::Lt => "<",
-                    BinOp::Le => "<=",
-                    BinOp::Gt => ">",
-                    BinOp::Ge => ">=",
-                    BinOp::And => "AND",
-                    BinOp::Or => "OR",
-                };
-                write!(f, "(({left}) {sym} ({right}))")
-            }
+            Expr::Binary { op, left, right } => write!(f, "(({left}) {op} ({right}))"),
             Expr::Func { name, args } => {
                 write!(f, "{name}(")?;
                 if args.is_empty() && name == "count" {
@@ -254,8 +260,7 @@ impl std::fmt::Display for Expr {
 pub fn is_aggregate_name(name: &str) -> bool {
     matches!(
         name,
-        "sum" | "count" | "avg" | "min" | "max" | "variance" | "var_pop" | "stddev"
-            | "stddev_pop"
+        "sum" | "count" | "avg" | "min" | "max" | "variance" | "var_pop" | "stddev" | "stddev_pop"
     )
 }
 

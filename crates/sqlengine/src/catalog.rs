@@ -20,12 +20,7 @@ impl Catalog {
 
     /// Create a table. Errors if the name is taken and `if_not_exists` is
     /// false; silently succeeds otherwise (keeping the existing table).
-    pub fn create_table(
-        &mut self,
-        name: &str,
-        schema: Schema,
-        if_not_exists: bool,
-    ) -> Result<()> {
+    pub fn create_table(&mut self, name: &str, schema: Schema, if_not_exists: bool) -> Result<()> {
         let lname = name.to_ascii_lowercase();
         if self.tables.contains_key(&lname) {
             if if_not_exists {
@@ -49,9 +44,7 @@ impl Catalog {
     /// Shared access to a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
         let lname = name.to_ascii_lowercase();
-        self.tables
-            .get(&lname)
-            .ok_or(Error::UnknownTable(lname))
+        self.tables.get(&lname).ok_or(Error::UnknownTable(lname))
     }
 
     /// Mutable access to a table.

@@ -1,13 +1,12 @@
 //! The [`Database`] facade: parse → execute, statistics, bulk loading.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
-
+use crate::analyze::{analyze, Limits, SymbolicCatalog};
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
-use crate::exec::{execute_statement, ExecConfig, QueryResult};
+use crate::exec::{execute_statement, explain_select, ExecConfig, QueryResult};
 use crate::parser::parse;
 use crate::stats::Stats;
 use crate::table::Row;
@@ -63,6 +62,12 @@ impl Database {
     }
 
     /// Execute one or more statements, returning every result.
+    ///
+    /// Every statement goes through the semantic-analysis pass
+    /// ([`crate::analyze`]) against the live catalog immediately before
+    /// it runs, so DDL effects of earlier statements are visible to the
+    /// analysis of later ones. Rejections surface as
+    /// [`Error::Analyze`] with a byte position into `sql`.
     pub fn execute_all(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
         if sql.len() > self.config.max_statement_len {
             return Err(Error::StatementTooLong {
@@ -73,33 +78,130 @@ impl Database {
         let stmts = parse(sql)?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
-            out.push(execute_statement(
-                &mut self.catalog,
-                &mut self.stats,
-                &self.config,
-                stmt,
-            )?);
+            out.push(self.run_statement(stmt, Some(sql))?);
         }
         Ok(out)
     }
 
-    /// Parse statements once for repeated execution (prepared
-    /// statements). The statement-length limit applies here, exactly as
-    /// it would at the DBMS parser (§1.3).
+    /// Analyze (unless EXPLAIN, which self-analyzes) and execute one
+    /// statement. `source` is the original SQL text, used only to attach
+    /// byte positions to analysis errors.
+    fn run_statement(&mut self, stmt: &Statement, source: Option<&str>) -> Result<QueryResult> {
+        if let Statement::Explain(inner) = stmt {
+            return self.explain_statement(inner, source);
+        }
+        analyze(&self.catalog, stmt, &self.config.limits).map_err(|e| match source {
+            Some(sql) => Error::Analyze(e.locate(sql)),
+            None => Error::Analyze(e),
+        })?;
+        execute_statement(&mut self.catalog, &mut self.stats, &self.config, stmt)
+    }
+
+    /// Run `EXPLAIN <stmt>`: one VARCHAR `plan` column describing, for a
+    /// SELECT, the join pipeline, and for every statement kind the
+    /// analyzer's verdict — complexity metrics, inferred output schema,
+    /// and predicted limit overflows (reported as warnings rather than
+    /// errors, so EXPLAIN can describe a statement that would *not* run).
+    fn explain_statement(
+        &mut self,
+        inner: &Statement,
+        source: Option<&str>,
+    ) -> Result<QueryResult> {
+        self.stats.record_statement();
+        let mut lines: Vec<String> = Vec::new();
+        match analyze(&self.catalog, inner, &Limits::unbounded()) {
+            Err(e) => {
+                let e = match source {
+                    Some(sql) => e.locate(sql),
+                    None => e,
+                };
+                lines.push(format!("analysis error: {e}"));
+            }
+            Ok(mut report) => {
+                if let Statement::Select(sel) = inner {
+                    let plan = explain_select(&self.catalog, sel)?;
+                    lines.extend(plan.rows.iter().map(|r| r[0].to_string()));
+                }
+                // Approximate the statement size as the source text minus
+                // the EXPLAIN keyword itself.
+                report.complexity.bytes =
+                    source.map(|s| s.trim().len().saturating_sub("EXPLAIN ".len()));
+                lines.push(report.complexity.summary());
+                if let Some(out) = &report.output {
+                    let cols: Vec<String> = out.iter().map(|(n, t)| format!("{n} {t}")).collect();
+                    lines.push(format!("output: {}", cols.join(", ")));
+                }
+                if let Err(e) = report.complexity.check(&self.config.limits) {
+                    lines.push(format!("warning: {e}"));
+                }
+            }
+        }
+        let rows: Vec<Row> = lines
+            .into_iter()
+            .map(|l| vec![Value::from(l)].into_boxed_slice())
+            .collect();
+        let n = rows.len();
+        Ok(QueryResult {
+            columns: vec!["plan".to_string()],
+            rows,
+            rows_affected: n,
+        })
+    }
+
+    /// Parse and analyze statements once for repeated execution
+    /// (prepared statements). The statement-length limit applies here,
+    /// exactly as it would at the DBMS parser (§1.3), and the full
+    /// semantic-analysis pass runs here too — DDL inside the script is
+    /// replayed symbolically so later statements can reference tables
+    /// the script itself creates. [`Database::execute_prepared`] then
+    /// skips re-analysis, which is what makes prepared replay cheap for
+    /// the EM loop.
     pub fn prepare(&self, sql: &str) -> Result<Vec<Statement>> {
+        let mut symbolic = self.symbolic_catalog();
+        self.prepare_with(&mut symbolic, sql)
+    }
+
+    /// Like [`Database::prepare`], but replaying DDL effects into a
+    /// caller-held [`SymbolicCatalog`]. This is for preparing a *script*
+    /// one statement at a time — e.g. the SQLEM driver prepares each
+    /// E/M-step statement separately, and a `CREATE TABLE yd` prepared
+    /// now refers to a table a previously prepared `DROP TABLE yd` will
+    /// have dropped by the time it runs. Seed the catalog with
+    /// [`Database::symbolic_catalog`] and pass it to every call.
+    pub fn prepare_with(
+        &self,
+        symbolic: &mut SymbolicCatalog,
+        sql: &str,
+    ) -> Result<Vec<Statement>> {
         if sql.len() > self.config.max_statement_len {
             return Err(Error::StatementTooLong {
                 len: sql.len(),
                 max: self.config.max_statement_len,
             });
         }
-        parse(sql)
+        let stmts = parse(sql)?;
+        for stmt in &stmts {
+            symbolic
+                .apply(stmt, &self.config.limits)
+                .map_err(|e| Error::Analyze(e.locate(sql)))?;
+        }
+        Ok(stmts)
+    }
+
+    /// Snapshot the current table schemas for symbolic DDL replay (see
+    /// [`Database::prepare_with`] and [`crate::analyze`]).
+    pub fn symbolic_catalog(&self) -> SymbolicCatalog {
+        SymbolicCatalog::from_catalog(&self.catalog)
     }
 
     /// Execute a statement prepared with [`Database::prepare`]. The
     /// SQLEM driver prepares each E/M-step statement once and replays it
-    /// every iteration, like the paper's JDBC client would.
+    /// every iteration, like the paper's JDBC client would. Analysis
+    /// already happened at prepare time and is not repeated.
     pub fn execute_prepared(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        if let Statement::Explain(inner) = stmt {
+            return self.explain_statement(inner, None);
+        }
         execute_statement(&mut self.catalog, &mut self.stats, &self.config, stmt)
     }
 
@@ -165,6 +267,12 @@ impl Database {
         &self.config
     }
 
+    /// Mutable configuration access (workers, statement cap, analyzer
+    /// limits) for subsequent statements.
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
     /// Change the worker (partition) count for subsequent queries.
     pub fn set_workers(&mut self, workers: usize) {
         self.config.workers = workers.max(1);
@@ -193,12 +301,19 @@ impl SharedDatabase {
 
     /// Execute statements under the lock.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        self.inner.lock().execute(sql)
+        self.lock().execute(sql)
     }
 
     /// Run an arbitrary closure against the locked database.
     pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut self.lock())
+    }
+
+    /// Take the lock, recovering from a poisoned mutex: the database
+    /// holds no invariants that a panicking reader could break mid-way
+    /// that the next statement would not surface as a normal error.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Database> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -215,8 +330,10 @@ mod tests {
     #[test]
     fn end_to_end_create_insert_select() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (a BIGINT PRIMARY KEY, b DOUBLE)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5)").unwrap();
+        db.execute("CREATE TABLE t (a BIGINT PRIMARY KEY, b DOUBLE)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5)")
+            .unwrap();
         let r = db.execute("SELECT a, b FROM t ORDER BY a DESC").unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][0], Value::Int(2));
@@ -235,7 +352,8 @@ mod tests {
     #[test]
     fn bulk_insert_coerces_and_enforces_keys() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY, y1 DOUBLE)").unwrap();
+        db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY, y1 DOUBLE)")
+            .unwrap();
         let n = db
             .bulk_insert(
                 "y",
@@ -267,9 +385,7 @@ mod tests {
     #[test]
     fn shared_database_is_cloneable_across_threads() {
         let shared = SharedDatabase::default();
-        shared
-            .execute("CREATE TABLE t (a BIGINT)")
-            .unwrap();
+        shared.execute("CREATE TABLE t (a BIGINT)").unwrap();
         let s2 = shared.clone();
         std::thread::spawn(move || {
             s2.execute("INSERT INTO t VALUES (42)").unwrap();
@@ -284,7 +400,9 @@ mod tests {
     fn prepared_statements_replay() {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (a BIGINT)").unwrap();
-        let stmts = db.prepare("INSERT INTO t VALUES (1); SELECT count(*) FROM t").unwrap();
+        let stmts = db
+            .prepare("INSERT INTO t VALUES (1); SELECT count(*) FROM t")
+            .unwrap();
         assert_eq!(stmts.len(), 2);
         db.execute_prepared(&stmts[0]).unwrap();
         db.execute_prepared(&stmts[0]).unwrap();

@@ -72,6 +72,11 @@ pub enum Error {
     InvalidAggregate(String),
     /// Division by zero or another runtime arithmetic fault in strict mode.
     Arithmetic(String),
+    /// The semantic-analysis pass rejected the statement before
+    /// execution (see [`crate::analyze`]). Carries the clause, the kind
+    /// of defect and — when the source text was available — the byte
+    /// position of the offending token.
+    Analyze(crate::analyze::AnalyzeError),
     /// Anything else (internal invariants, unsupported constructs).
     Unsupported(String),
 }
@@ -106,12 +111,30 @@ impl fmt::Display for Error {
             }
             Error::InvalidAggregate(m) => write!(f, "invalid aggregate usage: {m}"),
             Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            Error::Analyze(e) => write!(f, "semantic analysis: {e}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<crate::analyze::AnalyzeError> for Error {
+    fn from(e: crate::analyze::AnalyzeError) -> Self {
+        Error::Analyze(e)
+    }
+}
+
+impl Error {
+    /// The inner [`crate::analyze::AnalyzeError`], if this is a
+    /// semantic-analysis rejection.
+    pub fn as_analyze(&self) -> Option<&crate::analyze::AnalyzeError> {
+        match self {
+            Error::Analyze(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -132,7 +155,10 @@ mod tests {
 
     #[test]
     fn statement_too_long_mentions_limit() {
-        let e = Error::StatementTooLong { len: 70000, max: 65536 };
+        let e = Error::StatementTooLong {
+            len: 70000,
+            max: 65536,
+        };
         assert!(e.to_string().contains("65536"));
     }
 

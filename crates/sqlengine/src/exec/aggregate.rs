@@ -236,9 +236,16 @@ fn rewrite(
 /// Running state of one accumulator.
 #[derive(Debug, Clone)]
 enum AggState {
-    Sum { acc: f64, count: u64, all_int: bool },
+    Sum {
+        acc: f64,
+        count: u64,
+        all_int: bool,
+    },
     Count(u64),
-    Avg { acc: f64, count: u64 },
+    Avg {
+        acc: f64,
+        count: u64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
     /// Welford online moments; `stddev` selects the square root at
@@ -289,7 +296,11 @@ impl AggState {
                     Some(_) => {}
                 }
             }
-            AggState::Sum { acc, count, all_int } => {
+            AggState::Sum {
+                acc,
+                count,
+                all_int,
+            } => {
                 if let Some(val) = v {
                     if !val.is_null() {
                         let x = val.as_f64().ok_or_else(|| Error::TypeMismatch {
@@ -363,7 +374,11 @@ impl AggState {
     fn merge(&mut self, other: AggState) {
         match (self, other) {
             (
-                AggState::Sum { acc, count, all_int },
+                AggState::Sum {
+                    acc,
+                    count,
+                    all_int,
+                },
                 AggState::Sum {
                     acc: a2,
                     count: c2,
@@ -427,7 +442,11 @@ impl AggState {
 
     fn finalize(&self) -> Value {
         match self {
-            AggState::Sum { acc, count, all_int } => {
+            AggState::Sum {
+                acc,
+                count,
+                all_int,
+            } => {
                 if *count == 0 {
                     Value::Null
                 } else if *all_int && acc.abs() < 9.0e15 {
@@ -499,8 +518,12 @@ impl AggSink {
     pub fn finalize(&mut self) -> Result<Vec<Row>> {
         // Implicit aggregation over an empty input yields one group.
         if self.groups.is_empty() && self.plan.keys.is_empty() {
-            let states: Vec<AggState> =
-                self.plan.aggs.iter().map(|a| AggState::new(a.kind)).collect();
+            let states: Vec<AggState> = self
+                .plan
+                .aggs
+                .iter()
+                .map(|a| AggState::new(a.kind))
+                .collect();
             self.groups.push((Box::new([]), states));
         }
         let width = self.plan.keys.len() + self.plan.aggs.len();
@@ -542,8 +565,12 @@ impl RowSink for AggSink {
         let idx = match self.index.get(&key) {
             Some(&i) => i,
             None => {
-                let states: Vec<AggState> =
-                    self.plan.aggs.iter().map(|a| AggState::new(a.kind)).collect();
+                let states: Vec<AggState> = self
+                    .plan
+                    .aggs
+                    .iter()
+                    .map(|a| AggState::new(a.kind))
+                    .collect();
                 self.index.insert(key.clone(), self.groups.len());
                 self.groups.push((key, states));
                 self.groups.len() - 1
@@ -566,10 +593,7 @@ mod tests {
     use crate::ast::BinOp;
 
     fn base_resolver() -> ColumnResolver {
-        ColumnResolver::from_tables(&[(
-            "t".into(),
-            vec!["rid".into(), "i".into(), "x".into()],
-        )])
+        ColumnResolver::from_tables(&[("t".into(), vec!["rid".into(), "i".into(), "x".into()])])
     }
 
     fn push_rows(sink: &mut AggSink, rows: &[(i64, i64, f64)]) {
@@ -641,7 +665,8 @@ mod tests {
         )
         .unwrap();
         let mut sink = AggSink::new(plan.clone());
-        sink.push(&[Value::Int(1), Value::Int(1), Value::Null]).unwrap();
+        sink.push(&[Value::Int(1), Value::Int(1), Value::Null])
+            .unwrap();
         sink.push(&[Value::Int(2), Value::Int(1), Value::Double(3.0)])
             .unwrap();
         let rows = sink.finalize().unwrap();
@@ -676,7 +701,8 @@ mod tests {
         )
         .unwrap();
         let mut sink = AggSink::new(plan);
-        sink.push(&[Value::Int(1), Value::Int(1), Value::Null]).unwrap();
+        sink.push(&[Value::Int(1), Value::Int(1), Value::Null])
+            .unwrap();
         sink.push(&[Value::Int(2), Value::Int(1), Value::Double(1.0)])
             .unwrap();
         let rows = sink.finalize().unwrap();
@@ -713,13 +739,7 @@ mod tests {
     #[test]
     fn empty_input_with_group_by_yields_no_rows() {
         let r = base_resolver();
-        let plan = plan_aggregate(
-            &[Expr::col("i")],
-            &[Expr::col("i")],
-            None,
-            &r,
-        )
-        .unwrap();
+        let plan = plan_aggregate(&[Expr::col("i")], &[Expr::col("i")], None, &r).unwrap();
         let mut sink = AggSink::new(plan);
         assert!(sink.finalize().unwrap().is_empty());
     }
@@ -751,13 +771,7 @@ mod tests {
     #[test]
     fn non_grouped_column_rejected() {
         let r = base_resolver();
-        let err = plan_aggregate(
-            &[Expr::col("x")],
-            &[Expr::col("i")],
-            None,
-            &r,
-        )
-        .unwrap_err();
+        let err = plan_aggregate(&[Expr::col("x")], &[Expr::col("i")], None, &r).unwrap_err();
         assert!(matches!(err, Error::InvalidAggregate(_)));
     }
 
@@ -868,9 +882,13 @@ mod tests {
         // GROUP BY i+1, project i+1 — must match by compiled structure.
         let r = base_resolver();
         let key = Expr::bin(BinOp::Add, Expr::col("i"), Expr::int(1));
-        let plan =
-            plan_aggregate(std::slice::from_ref(&key), std::slice::from_ref(&key), None, &r)
-                .unwrap();
+        let plan = plan_aggregate(
+            std::slice::from_ref(&key),
+            std::slice::from_ref(&key),
+            None,
+            &r,
+        )
+        .unwrap();
         let mut sink = AggSink::new(plan);
         push_rows(&mut sink, &[(1, 1, 0.0), (2, 1, 0.0)]);
         let rows = sink.finalize().unwrap();

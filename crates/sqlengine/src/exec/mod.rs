@@ -29,6 +29,10 @@ pub struct ExecConfig {
     /// Statements longer than this are rejected before parsing, modelling
     /// the DBMS parser limits that motivate the hybrid strategy (§1.3).
     pub max_statement_len: usize,
+    /// Complexity ceilings enforced by the semantic-analysis pass
+    /// (term count, expression depth, column width, FROM width) —
+    /// the structural counterpart of `max_statement_len`.
+    pub limits: crate::analyze::Limits,
 }
 
 impl Default for ExecConfig {
@@ -36,6 +40,7 @@ impl Default for ExecConfig {
         ExecConfig {
             workers: 1,
             max_statement_len: 64 * 1024,
+            limits: crate::analyze::Limits::default(),
         }
     }
 }

@@ -61,17 +61,13 @@ pub fn run_select(
     let (item_exprs, output_names) = expand_items(&select.items, &scopes)?;
 
     // ---- classify WHERE conjuncts --------------------------------------
+    // Aggregates in WHERE are rejected by the analyze pass up front and
+    // again by `compile` when the predicates are lowered, so no separate
+    // scan is needed here.
     let conjuncts = match &select.where_clause {
         Some(w) => split_conjuncts(w),
         None => Vec::new(),
     };
-    for c in &conjuncts {
-        if c.contains_aggregate() {
-            return Err(Error::InvalidAggregate(
-                "aggregates are not allowed in WHERE".into(),
-            ));
-        }
-    }
 
     let pipeline = build_pipeline(catalog, stats, select, &scopes, &conjuncts, &resolver)?;
 
@@ -93,10 +89,7 @@ pub fn run_select(
     // ---- choose sink: aggregate or scalar projection -------------------
     let is_aggregate = !select.group_by.is_empty()
         || all_items.iter().any(Expr::contains_aggregate)
-        || select
-            .having
-            .as_ref()
-            .is_some_and(Expr::contains_aggregate);
+        || select.having.as_ref().is_some_and(Expr::contains_aggregate);
 
     let mut out_rows: Vec<Row>;
     if is_aggregate {
@@ -339,9 +332,7 @@ fn build_pipeline<'a>(
 ) -> Result<Pipeline<'a>> {
     if select.from.is_empty() {
         if !conjuncts.is_empty() {
-            return Err(Error::Unsupported(
-                "WHERE requires a FROM clause".into(),
-            ));
+            return Err(Error::Unsupported("WHERE requires a FROM clause".into()));
         }
         return Ok(Pipeline {
             driver_rows: &[],
@@ -374,12 +365,9 @@ fn build_pipeline<'a>(
     }
 
     // Resolver over the driver table alone (offset 0).
-    let single_resolver = |i: usize| {
-        ColumnResolver::from_tables(&[(scopes[i].0.clone(), scopes[i].1.clone())])
-    };
-    let prefix_resolver = |upto: usize| {
-        ColumnResolver::from_tables(&scopes[..=upto])
-    };
+    let single_resolver =
+        |i: usize| ColumnResolver::from_tables(&[(scopes[i].0.clone(), scopes[i].1.clone())]);
+    let prefix_resolver = |upto: usize| ColumnResolver::from_tables(&scopes[..=upto]);
 
     // Driver.
     let driver_table = catalog.table(&select.from[0].table)?;
@@ -406,7 +394,10 @@ fn build_pipeline<'a>(
             if *mask == u64::MAX {
                 continue; // consumed
             }
-            if mask.count_ones() < 2 || (*mask & this_bit) == 0 || (*mask & !(prefix_mask | this_bit)) != 0 {
+            if mask.count_ones() < 2
+                || (*mask & this_bit) == 0
+                || (*mask & !(prefix_mask | this_bit)) != 0
+            {
                 continue;
             }
             if let Expr::Binary {
@@ -597,11 +588,11 @@ where
 
     let chunk = pipeline.driver_rows.len().div_ceil(workers);
     let chunks: Vec<&[Row]> = pipeline.driver_rows.chunks(chunk).collect();
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|part| {
-                scope.spawn(|_| -> Result<S> {
+                scope.spawn(|| -> Result<S> {
                     let mut sink = make_sink();
                     drive_partition(pipeline, part, &mut sink)?;
                     Ok(sink)
@@ -612,16 +603,11 @@ where
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Result<Vec<S>>>()
-    })
-    .expect("scope panicked")?;
+    })?;
     Ok(results)
 }
 
-fn drive_partition<S: RowSink>(
-    pipeline: &Pipeline<'_>,
-    rows: &[Row],
-    sink: &mut S,
-) -> Result<()> {
+fn drive_partition<S: RowSink>(pipeline: &Pipeline<'_>, rows: &[Row], sink: &mut S) -> Result<()> {
     let mut scratch: Vec<Value> = Vec::with_capacity(
         rows.first().map(|r| r.len()).unwrap_or(0)
             + pipeline.stages.iter().map(|s| s.width).sum::<usize>(),
@@ -704,12 +690,10 @@ fn check_residuals(stage: &Stage<'_>, row: &[Value]) -> Result<bool> {
 /// they resolve against base tables.
 fn substitute_output_aliases(expr: &Expr, names: &[String], items: &[Expr]) -> Expr {
     match expr {
-        Expr::Column { table: None, name } => {
-            match names.iter().position(|n| n == name) {
-                Some(i) => items[i].clone(),
-                None => expr.clone(),
-            }
-        }
+        Expr::Column { table: None, name } => match names.iter().position(|n| n == name) {
+            Some(i) => items[i].clone(),
+            None => expr.clone(),
+        },
         Expr::Literal(_) | Expr::Column { .. } => expr.clone(),
         Expr::Unary { op, expr: e } => Expr::Unary {
             op: *op,
@@ -845,10 +829,7 @@ pub fn explain_select(catalog: &Catalog, select: &Select) -> Result<QueryResult>
     }
     let is_aggregate = !select.group_by.is_empty()
         || item_exprs.iter().any(Expr::contains_aggregate)
-        || select
-            .having
-            .as_ref()
-            .is_some_and(Expr::contains_aggregate);
+        || select.having.as_ref().is_some_and(Expr::contains_aggregate);
     if is_aggregate {
         let plan = plan_aggregate(
             &item_exprs,
@@ -860,7 +841,11 @@ pub fn explain_select(catalog: &Catalog, select: &Select) -> Result<QueryResult>
             "sink: hash aggregate ({} group key(s), {} accumulator(s)){}",
             plan.keys.len(),
             plan.aggs.len(),
-            if plan.having.is_some() { ", having" } else { "" }
+            if plan.having.is_some() {
+                ", having"
+            } else {
+                ""
+            }
         ));
     } else {
         lines.push(format!("sink: projection ({} item(s))", item_exprs.len()));
@@ -964,10 +949,7 @@ mod tests {
             op: UnaryOp::Neg,
             expr: Box::new(Expr::col("nope")),
         };
-        assert_eq!(
-            substitute_output_aliases(&miss, &names, &items),
-            miss
-        );
+        assert_eq!(substitute_output_aliases(&miss, &names, &items), miss);
     }
 
     #[test]

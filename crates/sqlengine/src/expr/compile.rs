@@ -125,9 +125,7 @@ impl ColumnResolver {
 pub fn compile(expr: &Expr, resolver: &ColumnResolver) -> Result<CExpr> {
     match expr {
         Expr::Literal(v) => Ok(CExpr::Const(v.clone())),
-        Expr::Column { table, name } => resolver
-            .resolve(table.as_deref(), name)
-            .map(CExpr::Col),
+        Expr::Column { table, name } => resolver.resolve(table.as_deref(), name).map(CExpr::Col),
         Expr::Unary { op, expr } => Ok(CExpr::Unary(*op, Box::new(compile(expr, resolver)?))),
         Expr::Binary { op, left, right } => Ok(CExpr::Binary(
             *op,
@@ -174,10 +172,9 @@ pub fn compile(expr: &Expr, resolver: &ColumnResolver) -> Result<CExpr> {
                 else_expr: celse,
             })
         }
-        Expr::IsNull { expr, negated } => Ok(CExpr::IsNull(
-            Box::new(compile(expr, resolver)?),
-            *negated,
-        )),
+        Expr::IsNull { expr, negated } => {
+            Ok(CExpr::IsNull(Box::new(compile(expr, resolver)?), *negated))
+        }
     }
 }
 
@@ -253,11 +250,7 @@ mod tests {
     #[test]
     fn compile_resolves_and_preserves_structure() {
         let r = resolver();
-        let e = Expr::bin(
-            BinOp::Sub,
-            Expr::qcol("y", "y1"),
-            Expr::qcol("c", "y1"),
-        );
+        let e = Expr::bin(BinOp::Sub, Expr::qcol("y", "y1"), Expr::qcol("c", "y1"));
         let c = compile(&e, &r).unwrap();
         assert_eq!(
             c,

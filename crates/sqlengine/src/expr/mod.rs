@@ -175,9 +175,11 @@ fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
     match op {
         UnaryOp::Neg => match v {
             Value::Null => Ok(Value::Null),
-            Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| {
-                Error::Arithmetic("integer overflow in negation".into())
-            })?)),
+            Value::Int(i) => {
+                Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                    Error::Arithmetic("integer overflow in negation".into())
+                })?))
+            }
             Value::Double(d) => Ok(Value::Double(-d)),
             Value::Str(_) => Err(Error::TypeMismatch {
                 context: "cannot negate a string".into(),
@@ -409,9 +411,9 @@ fn eval_func(f: ScalarFunc, args: &[CExpr], row: &[Value]) -> Result<Value> {
                         Ok(Value::Double(x % y))
                     }
                 }
-                ScalarFunc::Least
-                | ScalarFunc::Greatest
-                | ScalarFunc::Coalesce => unreachable!("handled above"),
+                ScalarFunc::Least | ScalarFunc::Greatest | ScalarFunc::Coalesce => {
+                    unreachable!("handled above")
+                }
             }
         }
     }
@@ -485,7 +487,9 @@ mod tests {
     #[test]
     fn ln_of_nonpositive_errors() {
         assert!(CExpr::Func(ScalarFunc::Ln, vec![c(0.0)]).eval(&[]).is_err());
-        assert!(CExpr::Func(ScalarFunc::Ln, vec![c(-1.0)]).eval(&[]).is_err());
+        assert!(CExpr::Func(ScalarFunc::Ln, vec![c(-1.0)])
+            .eval(&[])
+            .is_err());
         let ok = CExpr::Func(ScalarFunc::Ln, vec![c(std::f64::consts::E)]);
         let v = ok.eval(&[]).unwrap().as_f64().unwrap();
         assert!((v - 1.0).abs() < 1e-12);
@@ -604,11 +608,15 @@ mod tests {
     #[test]
     fn sign_and_round() {
         assert_eq!(
-            CExpr::Func(ScalarFunc::Sign, vec![c(-3.0)]).eval(&[]).unwrap(),
+            CExpr::Func(ScalarFunc::Sign, vec![c(-3.0)])
+                .eval(&[])
+                .unwrap(),
             Value::Int(-1)
         );
         assert_eq!(
-            CExpr::Func(ScalarFunc::Round, vec![c(2.5)]).eval(&[]).unwrap(),
+            CExpr::Func(ScalarFunc::Round, vec![c(2.5)])
+                .eval(&[])
+                .unwrap(),
             Value::Double(3.0)
         );
     }

@@ -79,40 +79,67 @@ pub fn lex(sql: &str) -> Result<Vec<Spanned>> {
                 }
             }
             b'+' => {
-                out.push(Spanned { tok: Token::Plus, pos: i });
+                out.push(Spanned {
+                    tok: Token::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             b'-' => {
-                out.push(Spanned { tok: Token::Minus, pos: i });
+                out.push(Spanned {
+                    tok: Token::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             b'*' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                    out.push(Spanned { tok: Token::StarStar, pos: i });
+                    out.push(Spanned {
+                        tok: Token::StarStar,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Token::Star, pos: i });
+                    out.push(Spanned {
+                        tok: Token::Star,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             b'/' => {
-                out.push(Spanned { tok: Token::Slash, pos: i });
+                out.push(Spanned {
+                    tok: Token::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             b'(' => {
-                out.push(Spanned { tok: Token::LParen, pos: i });
+                out.push(Spanned {
+                    tok: Token::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Spanned { tok: Token::RParen, pos: i });
+                out.push(Spanned {
+                    tok: Token::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Spanned { tok: Token::Comma, pos: i });
+                out.push(Spanned {
+                    tok: Token::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             b';' => {
-                out.push(Spanned { tok: Token::Semicolon, pos: i });
+                out.push(Spanned {
+                    tok: Token::Semicolon,
+                    pos: i,
+                });
                 i += 1;
             }
             b'.' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() => {
@@ -122,41 +149,68 @@ pub fn lex(sql: &str) -> Result<Vec<Spanned>> {
                 i = next;
             }
             b'.' => {
-                out.push(Spanned { tok: Token::Dot, pos: i });
+                out.push(Spanned {
+                    tok: Token::Dot,
+                    pos: i,
+                });
                 i += 1;
             }
             b'=' => {
-                out.push(Spanned { tok: Token::Eq, pos: i });
+                out.push(Spanned {
+                    tok: Token::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             b'!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(Spanned { tok: Token::Neq, pos: i });
+                out.push(Spanned {
+                    tok: Token::Neq,
+                    pos: i,
+                });
                 i += 2;
             }
             b'<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Spanned { tok: Token::Neq, pos: i });
+                    out.push(Spanned {
+                        tok: Token::Neq,
+                        pos: i,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { tok: Token::Le, pos: i });
+                    out.push(Spanned {
+                        tok: Token::Le,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Token::Lt, pos: i });
+                    out.push(Spanned {
+                        tok: Token::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { tok: Token::Ge, pos: i });
+                    out.push(Spanned {
+                        tok: Token::Ge,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Token::Gt, pos: i });
+                    out.push(Spanned {
+                        tok: Token::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             b'\'' => {
                 let (s, next) = lex_string(sql, i)?;
-                out.push(Spanned { tok: Token::Str(s), pos: i });
+                out.push(Spanned {
+                    tok: Token::Str(s),
+                    pos: i,
+                });
                 i = next;
             }
             b'"' => {
@@ -181,9 +235,7 @@ pub fn lex(sql: &str) -> Result<Vec<Spanned>> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Spanned {
@@ -323,11 +375,7 @@ mod tests {
     fn power_operator_is_one_token() {
         assert_eq!(
             toks("x**2"),
-            vec![
-                Token::Ident("x".into()),
-                Token::StarStar,
-                Token::Int(2)
-            ]
+            vec![Token::Ident("x".into()), Token::StarStar, Token::Int(2)]
         );
     }
 
@@ -358,10 +406,7 @@ mod tests {
 
     #[test]
     fn string_with_escaped_quote() {
-        assert_eq!(
-            toks("'it''s'"),
-            vec![Token::Str("it's".into())]
-        );
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
     }
 
     #[test]
@@ -412,10 +457,7 @@ mod tests {
 
     #[test]
     fn big_integer_falls_back_to_float() {
-        assert_eq!(
-            toks("99999999999999999999"),
-            vec![Token::Number(1e20)]
-        );
+        assert_eq!(toks("99999999999999999999"), vec![Token::Number(1e20)]);
     }
 
     #[test]

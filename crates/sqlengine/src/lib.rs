@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod ast;
 pub mod catalog;
 pub mod engine;
@@ -51,6 +52,9 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use analyze::{
+    AnalyzeError, AnalyzeErrorKind, Clause, Limits, Metric, Report, SymbolicCatalog,
+};
 pub use engine::{Database, EngineConfig, SharedDatabase};
 pub use error::{Error, Result};
 pub use exec::QueryResult;

@@ -15,10 +15,10 @@ use crate::value::{DataType, Value};
 
 /// Words that cannot be used as bare aliases or column names.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "by", "order", "insert", "into", "values", "update",
-    "set", "delete", "create", "drop", "table", "primary", "key", "and", "or", "not", "null",
-    "is", "case", "when", "then", "else", "end", "as", "having", "limit", "if", "exists", "asc",
-    "desc", "distinct", "on", "join", "inner", "left", "right",
+    "select", "from", "where", "group", "by", "order", "insert", "into", "values", "update", "set",
+    "delete", "create", "drop", "table", "primary", "key", "and", "or", "not", "null", "is",
+    "case", "when", "then", "else", "end", "as", "having", "limit", "if", "exists", "asc", "desc",
+    "distinct", "on", "join", "inner", "left", "right",
 ];
 
 /// Parse a string of one or more `;`-separated statements.
@@ -42,17 +42,16 @@ pub fn parse(sql: &str) -> Result<Vec<Statement>> {
 /// Parse exactly one statement.
 pub fn parse_one(sql: &str) -> Result<Statement> {
     let mut stmts = parse(sql)?;
-    match stmts.len() {
-        1 => Ok(stmts.pop().unwrap()),
-        0 => Err(Error::Parse {
+    if stmts.len() > 1 {
+        return Err(Error::Parse {
             pos: 0,
-            message: "empty statement".into(),
-        }),
-        n => Err(Error::Parse {
-            pos: 0,
-            message: format!("expected one statement, found {n}"),
-        }),
+            message: format!("expected one statement, found {}", stmts.len()),
+        });
     }
+    stmts.pop().ok_or_else(|| Error::Parse {
+        pos: 0,
+        message: "empty statement".into(),
+    })
 }
 
 struct Parser {
@@ -392,8 +391,9 @@ impl Parser {
                 && self.peek2() == Some(&Token::Dot)
                 && self.tokens.get(self.pos + 2).map(|s| &s.tok) == Some(&Token::Star)
             {
-                let Some(Token::Ident(t)) = self.advance() else {
-                    unreachable!()
+                let t = match self.advance() {
+                    Some(Token::Ident(t)) => t,
+                    _ => return Err(self.err("expected table qualifier before '.*'")),
                 };
                 self.pos += 2; // consume `.` and `*`
                 items.push(SelectItem::QualifiedWildcard(t));
@@ -701,10 +701,9 @@ mod tests {
 
     #[test]
     fn parses_create_table_with_compound_key() {
-        let s = parse_one(
-            "CREATE TABLE Y (RID BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (RID, v))",
-        )
-        .unwrap();
+        let s =
+            parse_one("CREATE TABLE Y (RID BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (RID, v))")
+                .unwrap();
         match s {
             Statement::CreateTable {
                 name,
@@ -881,8 +880,7 @@ mod tests {
 
     #[test]
     fn parses_count_star_and_order_limit() {
-        let s = parse_one("SELECT i, count(*) FROM X GROUP BY i ORDER BY i DESC LIMIT 5")
-            .unwrap();
+        let s = parse_one("SELECT i, count(*) FROM X GROUP BY i ORDER BY i DESC LIMIT 5").unwrap();
         match s {
             Statement::Select(sel) => {
                 assert_eq!(sel.order_by.len(), 1);

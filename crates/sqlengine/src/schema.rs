@@ -118,21 +118,13 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_columns() {
-        let err = Schema::new(
-            vec![Column::double("x"), Column::double("X")],
-            &[],
-        )
-        .unwrap_err();
+        let err = Schema::new(vec![Column::double("x"), Column::double("X")], &[]).unwrap_err();
         assert_eq!(err, Error::DuplicateColumn("x".into()));
     }
 
     #[test]
     fn resolves_pk_by_name_case_insensitively() {
-        let s = Schema::new(
-            vec![Column::bigint("RID"), Column::double("val")],
-            &["rid"],
-        )
-        .unwrap();
+        let s = Schema::new(vec![Column::bigint("RID"), Column::double("val")], &["rid"]).unwrap();
         assert_eq!(s.primary_key(), &[0]);
         assert!(s.has_primary_key());
         assert_eq!(s.column_index("Rid"), Some(0));

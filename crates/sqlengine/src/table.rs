@@ -172,12 +172,11 @@ impl Table {
                 n += 1;
             }
         }
-        if n > 0 && touches_key
-            && !self.try_rebuild_index() {
-                return Err(Error::DuplicateKey {
-                    table: self.name.clone(),
-                });
-            }
+        if n > 0 && touches_key && !self.try_rebuild_index() {
+            return Err(Error::DuplicateKey {
+                table: self.name.clone(),
+            });
+        }
         Ok(n)
     }
 
@@ -221,11 +220,7 @@ mod tests {
     use crate::schema::Column;
 
     fn yd_schema() -> Schema {
-        Schema::new(
-            vec![Column::bigint("rid"), Column::double("d1")],
-            &["rid"],
-        )
-        .unwrap()
+        Schema::new(vec![Column::bigint("rid"), Column::double("d1")], &["rid"]).unwrap()
     }
 
     fn r(vals: Vec<Value>) -> Row {
@@ -235,8 +230,10 @@ mod tests {
     #[test]
     fn insert_and_lookup() {
         let mut t = Table::new("YD", yd_schema());
-        t.insert(r(vec![Value::Int(1), Value::Double(0.5)])).unwrap();
-        t.insert(r(vec![Value::Int(2), Value::Double(1.5)])).unwrap();
+        t.insert(r(vec![Value::Int(1), Value::Double(0.5)]))
+            .unwrap();
+        t.insert(r(vec![Value::Int(2), Value::Double(1.5)]))
+            .unwrap();
         assert_eq!(t.len(), 2);
         let found = t.lookup(&[Value::Int(2)]).unwrap();
         assert_eq!(found[1], Value::Double(1.5));
@@ -246,7 +243,8 @@ mod tests {
     #[test]
     fn duplicate_key_rejected() {
         let mut t = Table::new("yd", yd_schema());
-        t.insert(r(vec![Value::Int(1), Value::Double(0.5)])).unwrap();
+        t.insert(r(vec![Value::Int(1), Value::Double(0.5)]))
+            .unwrap();
         let err = t
             .insert(r(vec![Value::Int(1), Value::Double(9.9)]))
             .unwrap_err();
@@ -259,7 +257,8 @@ mod tests {
         // Int(1) and Double(1.0) are the same key — matters because
         // generated SQL mixes integer literals and computed doubles.
         let mut t = Table::new("yd", yd_schema());
-        t.insert(r(vec![Value::Int(1), Value::Double(0.0)])).unwrap();
+        t.insert(r(vec![Value::Int(1), Value::Double(0.0)]))
+            .unwrap();
         let err = t.insert(r(vec![Value::Double(1.0), Value::Double(0.0)]));
         assert!(err.is_err());
     }
@@ -274,11 +273,13 @@ mod tests {
     #[test]
     fn truncate_clears_rows_and_index() {
         let mut t = Table::new("yd", yd_schema());
-        t.insert(r(vec![Value::Int(1), Value::Double(0.5)])).unwrap();
+        t.insert(r(vec![Value::Int(1), Value::Double(0.5)]))
+            .unwrap();
         assert_eq!(t.truncate(), 1);
         assert!(t.is_empty());
         // Key is free again.
-        t.insert(r(vec![Value::Int(1), Value::Double(0.7)])).unwrap();
+        t.insert(r(vec![Value::Int(1), Value::Double(0.7)]))
+            .unwrap();
     }
 
     #[test]
@@ -297,8 +298,10 @@ mod tests {
     #[test]
     fn update_where_detects_key_collision() {
         let mut t = Table::new("yd", yd_schema());
-        t.insert(r(vec![Value::Int(1), Value::Double(0.0)])).unwrap();
-        t.insert(r(vec![Value::Int(2), Value::Double(0.0)])).unwrap();
+        t.insert(r(vec![Value::Int(1), Value::Double(0.0)]))
+            .unwrap();
+        t.insert(r(vec![Value::Int(2), Value::Double(0.0)]))
+            .unwrap();
         // Set every rid to 7 → collision.
         let err = t.update_where(
             |row| {
@@ -313,7 +316,8 @@ mod tests {
     #[test]
     fn update_non_key_columns() {
         let mut t = Table::new("yd", yd_schema());
-        t.insert(r(vec![Value::Int(1), Value::Double(0.0)])).unwrap();
+        t.insert(r(vec![Value::Int(1), Value::Double(0.0)]))
+            .unwrap();
         let n = t
             .update_where(
                 |row| {

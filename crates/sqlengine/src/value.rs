@@ -330,15 +330,20 @@ mod tests {
         );
         assert!(Value::Double(5.5).coerce_to(DataType::BigInt).is_err());
         assert!(Value::str("x").coerce_to(DataType::Double).is_err());
-        assert_eq!(Value::Null.coerce_to(DataType::Double).unwrap(), Value::Null);
+        assert_eq!(
+            Value::Null.coerce_to(DataType::Double).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
     fn total_cmp_sorts_nulls_first_and_nan_last() {
-        let mut vals = [Value::Double(f64::NAN),
+        let mut vals = [
+            Value::Double(f64::NAN),
             Value::Int(2),
             Value::Null,
-            Value::Double(-1.0)];
+            Value::Double(-1.0),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Double(-1.0));

@@ -1,0 +1,231 @@
+//! The semantic analyzer's error taxonomy, exercised end-to-end through
+//! `Database::execute`: every `AnalyzeErrorKind` a user can trigger, each
+//! with its clause tag and (where the source contains the offending
+//! identifier) a byte position.
+
+use sqlengine::{AnalyzeErrorKind, Clause, Database, Metric};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (rid BIGINT PRIMARY KEY, a DOUBLE, b DOUBLE, s VARCHAR)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 1.0, 2.0, 'x'), (2, 3.0, 4.0, 'y')")
+        .unwrap();
+    db
+}
+
+/// Run `sql`, expecting a semantic-analysis rejection; returns the error.
+fn analyze_err(db: &mut Database, sql: &str) -> sqlengine::AnalyzeError {
+    let err = db.execute(sql).unwrap_err();
+    err.as_analyze()
+        .unwrap_or_else(|| panic!("expected analyze error for {sql:?}, got {err}"))
+        .clone()
+}
+
+#[test]
+fn unknown_table() {
+    let e = analyze_err(&mut db(), "SELECT a FROM nope");
+    assert!(matches!(e.kind, AnalyzeErrorKind::UnknownTable(ref t) if t == "nope"));
+    assert_eq!(e.clause, Clause::From);
+}
+
+#[test]
+fn unknown_column_with_position() {
+    let sql = "SELECT a, missing FROM t";
+    let e = analyze_err(&mut db(), sql);
+    assert!(matches!(e.kind, AnalyzeErrorKind::UnknownColumn(ref c) if c == "missing"));
+    assert_eq!(e.clause, Clause::Projection);
+    assert_eq!(e.pos, Some(sql.find("missing").unwrap()));
+}
+
+#[test]
+fn unknown_qualified_column() {
+    let e = analyze_err(&mut db(), "SELECT t.zzz FROM t");
+    assert!(matches!(e.kind, AnalyzeErrorKind::UnknownColumn(ref c) if c == "t.zzz"));
+}
+
+#[test]
+fn ambiguous_column_across_tables() {
+    let mut d = db();
+    d.execute("CREATE TABLE u (rid BIGINT PRIMARY KEY, a DOUBLE)")
+        .unwrap();
+    let e = analyze_err(&mut d, "SELECT a FROM t, u WHERE t.rid = u.rid");
+    assert!(matches!(e.kind, AnalyzeErrorKind::AmbiguousColumn(ref c) if c == "a"));
+}
+
+#[test]
+fn duplicate_table_in_from() {
+    let e = analyze_err(&mut db(), "SELECT 1 FROM t, t");
+    assert!(matches!(e.kind, AnalyzeErrorKind::DuplicateTable(_)));
+    assert_eq!(e.clause, Clause::From);
+}
+
+#[test]
+fn type_mismatch_string_arithmetic() {
+    let e = analyze_err(&mut db(), "SELECT a + s FROM t");
+    assert!(matches!(e.kind, AnalyzeErrorKind::TypeMismatch { .. }));
+    assert_eq!(e.clause, Clause::Projection);
+}
+
+#[test]
+fn type_mismatch_numeric_function_on_string() {
+    let e = analyze_err(&mut db(), "SELECT exp(s) FROM t");
+    assert!(matches!(e.kind, AnalyzeErrorKind::TypeMismatch { .. }));
+}
+
+#[test]
+fn aggregate_in_where() {
+    let e = analyze_err(&mut db(), "SELECT a FROM t WHERE sum(b) > 1");
+    assert!(matches!(e.kind, AnalyzeErrorKind::AggregateMisuse(_)));
+    assert_eq!(e.clause, Clause::Where);
+}
+
+#[test]
+fn aggregate_in_group_by() {
+    let e = analyze_err(&mut db(), "SELECT count(*) FROM t GROUP BY sum(a)");
+    assert!(matches!(e.kind, AnalyzeErrorKind::AggregateMisuse(_)));
+    assert_eq!(e.clause, Clause::GroupBy);
+}
+
+#[test]
+fn nested_aggregates() {
+    let e = analyze_err(&mut db(), "SELECT sum(max(a)) FROM t");
+    assert!(matches!(e.kind, AnalyzeErrorKind::AggregateMisuse(_)));
+}
+
+#[test]
+fn naked_column_beside_aggregate() {
+    let e = analyze_err(&mut db(), "SELECT a, sum(b) FROM t");
+    let AnalyzeErrorKind::AggregateMisuse(msg) = &e.kind else {
+        panic!("expected AggregateMisuse, got {:?}", e.kind);
+    };
+    assert!(msg.contains("GROUP BY"), "{msg}");
+}
+
+#[test]
+fn having_without_group_or_aggregate() {
+    let e = analyze_err(&mut db(), "SELECT a FROM t HAVING a > 1");
+    assert!(matches!(e.kind, AnalyzeErrorKind::AggregateMisuse(_)));
+    assert_eq!(e.clause, Clause::Having);
+}
+
+#[test]
+fn unknown_function() {
+    let e = analyze_err(&mut db(), "SELECT frobnicate(a) FROM t");
+    assert!(matches!(e.kind, AnalyzeErrorKind::UnknownFunction(ref n) if n == "frobnicate"));
+}
+
+#[test]
+fn wrong_scalar_arity() {
+    let e = analyze_err(&mut db(), "SELECT exp(a, b) FROM t");
+    assert!(
+        matches!(e.kind, AnalyzeErrorKind::WrongArity { ref function, .. } if function == "exp")
+    );
+}
+
+#[test]
+fn wrong_aggregate_arity() {
+    let e = analyze_err(&mut db(), "SELECT sum(a, b) FROM t");
+    assert!(matches!(
+        e.kind,
+        AnalyzeErrorKind::WrongArity { .. } | AnalyzeErrorKind::AggregateMisuse(_)
+    ));
+}
+
+#[test]
+fn insert_arity_mismatch() {
+    let e = analyze_err(&mut db(), "INSERT INTO t VALUES (3, 1.0)");
+    assert!(matches!(
+        e.kind,
+        AnalyzeErrorKind::ArityMismatch {
+            expected: 4,
+            actual: 2,
+            ..
+        }
+    ));
+    assert_eq!(e.clause, Clause::Values);
+}
+
+#[test]
+fn insert_type_mismatch() {
+    let e = analyze_err(&mut db(), "INSERT INTO t VALUES (3, 1.0, 2.0, 4.5)");
+    assert!(matches!(e.kind, AnalyzeErrorKind::TypeMismatch { .. }));
+}
+
+#[test]
+fn update_unknown_target_column() {
+    let e = analyze_err(&mut db(), "UPDATE t SET zzz = 1");
+    assert!(matches!(e.kind, AnalyzeErrorKind::UnknownColumn(_)));
+    assert_eq!(e.clause, Clause::Set);
+}
+
+#[test]
+fn delete_where_unknown_column() {
+    let e = analyze_err(&mut db(), "DELETE FROM t WHERE ghost = 1");
+    assert!(matches!(e.kind, AnalyzeErrorKind::UnknownColumn(ref c) if c == "ghost"));
+    assert_eq!(e.clause, Clause::Where);
+}
+
+#[test]
+fn create_duplicate_column() {
+    let e = analyze_err(&mut db(), "CREATE TABLE d (x BIGINT, x DOUBLE)");
+    assert!(matches!(e.kind, AnalyzeErrorKind::DuplicateColumn(ref c) if c == "x"));
+    assert_eq!(e.clause, Clause::Ddl);
+}
+
+#[test]
+fn drop_unknown_table() {
+    let e = analyze_err(&mut db(), "DROP TABLE phantom");
+    assert!(matches!(e.kind, AnalyzeErrorKind::UnknownTable(_)));
+}
+
+#[test]
+fn term_limit_produces_too_complex() {
+    let mut d = db();
+    d.config_mut().limits.max_terms = 8;
+    let e = analyze_err(&mut d, "SELECT a+a+a+a+a+a+a+a+a+a FROM t");
+    assert!(matches!(
+        e.kind,
+        AnalyzeErrorKind::TooComplex {
+            metric: Metric::Terms,
+            ..
+        }
+    ));
+    assert_eq!(e.clause, Clause::Statement);
+}
+
+#[test]
+fn statements_after_failed_one_do_not_run() {
+    // Analysis is interleaved with execution per statement, so the first
+    // bad statement stops the batch and earlier effects stand.
+    let mut d = db();
+    let err = d
+        .execute_all("CREATE TABLE ok1 (x BIGINT); SELECT nope FROM t; CREATE TABLE ok2 (x BIGINT)")
+        .unwrap_err();
+    assert!(err.as_analyze().is_some());
+    assert!(d.contains_table("ok1"));
+    assert!(!d.contains_table("ok2"));
+}
+
+#[test]
+fn valid_statements_still_run() {
+    // The analyzer must never reject SQL the executor accepts: a spread
+    // of dialect features the SQLEM generators rely on.
+    let mut d = db();
+    for sql in [
+        "SELECT rid, exp(-0.5 * a) AS p1, a ** 2 FROM t WHERE b > 1 ORDER BY p1",
+        "SELECT s, count(*), sum(a + b) FROM t GROUP BY s HAVING count(*) >= 1",
+        "SELECT CASE WHEN a > b THEN a ELSE b END FROM t",
+        "SELECT least(a, b), greatest(a, 1.0E-100), coalesce(s, 'z') FROM t",
+        "SELECT t.a, u.a FROM t, u WHERE t.rid = u.rid",
+        "UPDATE t SET a = a + 1, b = a * 2 WHERE rid = 1",
+    ] {
+        if sql.contains("u.") {
+            d.execute("CREATE TABLE u (rid BIGINT PRIMARY KEY, a DOUBLE)")
+                .unwrap();
+            d.execute("INSERT INTO u VALUES (1, 9.0)").unwrap();
+        }
+        d.execute(sql)
+            .unwrap_or_else(|e| panic!("{sql:?} should be accepted: {e}"));
+    }
+}

@@ -1,0 +1,19 @@
+//! The AST renderer produces SQL the parser accepts back.
+
+use sqlengine::ast::{BinOp, Expr, Statement};
+use sqlengine::parser::parse_one;
+
+#[test]
+fn render_examples_are_readable() {
+    let e = Expr::bin(
+        BinOp::Div,
+        Expr::qcol("y", "val"),
+        Expr::Func {
+            name: "exp".into(),
+            args: vec![Expr::num(-0.5)],
+        },
+    );
+    assert_eq!(e.to_string(), "((y.val) / (exp((-0.5))))");
+    let parsed = parse_one(&format!("SELECT {e}")).unwrap();
+    assert!(matches!(parsed, Statement::Select(_)));
+}

@@ -104,7 +104,8 @@ fn residual_predicate_after_join() {
 fn group_by_expression_key() {
     let mut d = db();
     d.execute("CREATE TABLE t (x BIGINT)").unwrap();
-    d.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)")
+        .unwrap();
     let r = d
         .execute("SELECT mod(x, 2), count(*) FROM t GROUP BY mod(x, 2) ORDER BY mod(x, 2)")
         .unwrap();
@@ -117,7 +118,8 @@ fn group_by_expression_key() {
 fn scalar_function_of_aggregate() {
     let mut d = db();
     d.execute("CREATE TABLE t (x DOUBLE)").unwrap();
-    d.execute("INSERT INTO t VALUES (1.0), (2.0), (3.0)").unwrap();
+    d.execute("INSERT INTO t VALUES (1.0), (2.0), (3.0)")
+        .unwrap();
     // ln(sum(x)) — Fig. 7's YSUMP llh shape.
     let r = d.execute("SELECT ln(sum(x)) FROM t").unwrap();
     assert!((r.scalar_f64().unwrap() - 6.0f64.ln()).abs() < 1e-12);
@@ -176,8 +178,11 @@ fn insert_select_into_keyed_table_enforces_uniqueness() {
          CREATE TABLE dst (k BIGINT PRIMARY KEY, x DOUBLE)",
     )
     .unwrap();
-    d.execute("INSERT INTO src VALUES (1, 1.0), (1, 2.0)").unwrap();
-    let err = d.execute("INSERT INTO dst SELECT k, x FROM src").unwrap_err();
+    d.execute("INSERT INTO src VALUES (1, 1.0), (1, 2.0)")
+        .unwrap();
+    let err = d
+        .execute("INSERT INTO dst SELECT k, x FROM src")
+        .unwrap_err();
     assert!(matches!(err, Error::DuplicateKey { .. }));
 }
 
@@ -198,14 +203,15 @@ fn empty_table_aggregate_vs_group_by() {
 #[test]
 fn unqualified_ambiguity_is_an_error_but_qualification_fixes_it() {
     let mut d = db();
-    d.execute(
-        "CREATE TABLE a (v DOUBLE); CREATE TABLE b (v DOUBLE)",
-    )
-    .unwrap();
-    d.execute("INSERT INTO a VALUES (1.0); INSERT INTO b VALUES (2.0)").unwrap();
+    d.execute("CREATE TABLE a (v DOUBLE); CREATE TABLE b (v DOUBLE)")
+        .unwrap();
+    d.execute("INSERT INTO a VALUES (1.0); INSERT INTO b VALUES (2.0)")
+        .unwrap();
+    let err = d.execute("SELECT v FROM a, b").unwrap_err();
+    let analysis = err.as_analyze().expect("analyzer should reject this");
     assert!(matches!(
-        d.execute("SELECT v FROM a, b").unwrap_err(),
-        Error::AmbiguousColumn(_)
+        analysis.kind,
+        sqlengine::AnalyzeErrorKind::AmbiguousColumn(_)
     ));
     let r = d.execute("SELECT a.v, b.v FROM a, b").unwrap();
     assert_eq!(r.rows[0][0], Value::Double(1.0));
@@ -215,7 +221,8 @@ fn unqualified_ambiguity_is_an_error_but_qualification_fixes_it() {
 #[test]
 fn cross_join_cardinality() {
     let mut d = db();
-    d.execute("CREATE TABLE a (x BIGINT); CREATE TABLE b (y BIGINT)").unwrap();
+    d.execute("CREATE TABLE a (x BIGINT); CREATE TABLE b (y BIGINT)")
+        .unwrap();
     d.execute("INSERT INTO a VALUES (1), (2), (3); INSERT INTO b VALUES (10), (20)")
         .unwrap();
     let r = d.execute("SELECT x, y FROM a, b").unwrap();
@@ -236,8 +243,11 @@ fn division_null_propagation_vs_zero_error() {
 fn order_by_multiple_keys_mixed_direction() {
     let mut d = db();
     d.execute("CREATE TABLE t (a BIGINT, b BIGINT)").unwrap();
-    d.execute("INSERT INTO t VALUES (1, 1), (1, 2), (2, 1), (2, 2)").unwrap();
-    let r = d.execute("SELECT a, b FROM t ORDER BY a DESC, b ASC").unwrap();
+    d.execute("INSERT INTO t VALUES (1, 1), (1, 2), (2, 1), (2, 2)")
+        .unwrap();
+    let r = d
+        .execute("SELECT a, b FROM t ORDER BY a DESC, b ASC")
+        .unwrap();
     let got: Vec<(i64, i64)> = r
         .rows
         .iter()
@@ -272,19 +282,31 @@ fn sixty_five_tables_in_from_rejected() {
     let mut d = db();
     for i in 0..66 {
         d.execute(&format!("CREATE TABLE t{i} (x BIGINT)")).unwrap();
-        d.execute(&format!("INSERT INTO t{i} VALUES ({i})")).unwrap();
+        d.execute(&format!("INSERT INTO t{i} VALUES ({i})"))
+            .unwrap();
     }
     let froms: Vec<String> = (0..66).map(|i| format!("t{i}")).collect();
     let err = d
         .execute(&format!("SELECT t0.x FROM {}", froms.join(", ")))
         .unwrap_err();
-    assert!(matches!(err, Error::Unsupported(_)));
+    // The analyzer predicts the executor's 64-bit scope-mask ceiling
+    // statically, so this never reaches the join planner.
+    let analysis = err.as_analyze().expect("analyzer should reject this");
+    assert!(matches!(
+        analysis.kind,
+        sqlengine::AnalyzeErrorKind::TooComplex {
+            metric: sqlengine::Metric::Tables,
+            value: 66,
+            limit: 64,
+        }
+    ));
 }
 
 #[test]
 fn varchar_round_trip_and_grouping() {
     let mut d = db();
-    d.execute("CREATE TABLE t (name VARCHAR, x DOUBLE)").unwrap();
+    d.execute("CREATE TABLE t (name VARCHAR, x DOUBLE)")
+        .unwrap();
     d.execute("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0), ('a', 3.0)")
         .unwrap();
     let r = d
@@ -298,17 +320,20 @@ fn varchar_round_trip_and_grouping() {
 #[test]
 fn select_from_missing_table_is_clean_error() {
     let mut d = db();
-    assert!(matches!(
-        d.execute("SELECT * FROM nope").unwrap_err(),
-        Error::UnknownTable(_)
+    let is_unknown_table = |e: Error| {
+        matches!(
+            e.as_analyze().expect("analyzer should reject this").kind,
+            sqlengine::AnalyzeErrorKind::UnknownTable(_)
+        )
+    };
+    assert!(is_unknown_table(
+        d.execute("SELECT * FROM nope").unwrap_err()
     ));
-    assert!(matches!(
-        d.execute("INSERT INTO nope VALUES (1)").unwrap_err(),
-        Error::UnknownTable(_)
+    assert!(is_unknown_table(
+        d.execute("INSERT INTO nope VALUES (1)").unwrap_err()
     ));
-    assert!(matches!(
-        d.execute("UPDATE nope SET x = 1").unwrap_err(),
-        Error::UnknownTable(_)
+    assert!(is_unknown_table(
+        d.execute("UPDATE nope SET x = 1").unwrap_err()
     ));
 }
 
@@ -332,8 +357,14 @@ fn explain_describes_the_pipeline() {
     let plan: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
     assert!(plan[0].starts_with("driver scan: y"), "{plan:?}");
     assert!(plan[1].starts_with("hash join: cr on 1 key(s)"), "{plan:?}");
-    assert!(plan[2].starts_with("broadcast (cross join): gmm"), "{plan:?}");
-    assert!(plan[3].contains("hash aggregate (1 group key(s), 1 accumulator(s))"), "{plan:?}");
+    assert!(
+        plan[2].starts_with("broadcast (cross join): gmm"),
+        "{plan:?}"
+    );
+    assert!(
+        plan[3].contains("hash aggregate (1 group key(s), 1 accumulator(s))"),
+        "{plan:?}"
+    );
 }
 
 #[test]
@@ -345,19 +376,33 @@ fn explain_scalar_projection_and_limits() {
         .execute("EXPLAIN SELECT a, a + 1 FROM t ORDER BY a LIMIT 5")
         .unwrap();
     let plan: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
-    assert!(plan.iter().any(|l| l.contains("projection (2 item(s))")), "{plan:?}");
-    assert!(plan.iter().any(|l| l.contains("order by: 1 key(s)")), "{plan:?}");
+    assert!(
+        plan.iter().any(|l| l.contains("projection (2 item(s))")),
+        "{plan:?}"
+    );
+    assert!(
+        plan.iter().any(|l| l.contains("order by: 1 key(s)")),
+        "{plan:?}"
+    );
     assert!(plan.iter().any(|l| l.contains("limit: 5")), "{plan:?}");
 }
 
 #[test]
-fn explain_non_select_rejected() {
+fn explain_covers_every_statement_kind() {
     let mut d = db();
     d.execute("CREATE TABLE t (a BIGINT)").unwrap();
-    assert!(matches!(
-        d.execute("EXPLAIN DELETE FROM t").unwrap_err(),
-        Error::Unsupported(_)
-    ));
+    // Non-SELECT statements get an analysis report instead of a plan.
+    let r = d.execute("EXPLAIN DELETE FROM t").unwrap();
+    let plan: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert!(plan.iter().any(|l| l.starts_with("analysis:")), "{plan:?}");
+    // Semantic errors are reported as output, with a byte position.
+    let r = d.execute("EXPLAIN SELECT bogus FROM t").unwrap();
+    let plan: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert!(
+        plan.iter()
+            .any(|l| l.starts_with("analysis error:") && l.contains("bogus")),
+        "{plan:?}"
+    );
 }
 
 #[test]
@@ -469,7 +514,8 @@ fn drop_recreate_changes_schema() {
     d.execute("CREATE TABLE w (a BIGINT)").unwrap();
     d.execute("INSERT INTO w VALUES (1)").unwrap();
     d.execute("DROP TABLE w").unwrap();
-    d.execute("CREATE TABLE w (a BIGINT, b DOUBLE, c DOUBLE)").unwrap();
+    d.execute("CREATE TABLE w (a BIGINT, b DOUBLE, c DOUBLE)")
+        .unwrap();
     d.execute("INSERT INTO w VALUES (1, 2.0, 3.0)").unwrap();
     let r = d.execute("SELECT c FROM w").unwrap();
     assert_eq!(r.scalar_f64(), Some(3.0));

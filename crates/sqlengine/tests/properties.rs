@@ -6,11 +6,7 @@ use sqlengine::{Database, Value};
 
 /// Row values small enough to avoid FP-associativity noise in sums.
 fn small_rows() -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
-    prop::collection::vec(
-        (0i64..50, 0i64..5, -100.0f64..100.0),
-        1..120,
-    )
-    .prop_map(|mut rows| {
+    prop::collection::vec((0i64..50, 0i64..5, -100.0f64..100.0), 1..120).prop_map(|mut rows| {
         // Unique (a) PK by re-keying sequentially; keep b, x random.
         for (i, r) in rows.iter_mut().enumerate() {
             r.0 = i as i64;

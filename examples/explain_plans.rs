@@ -20,7 +20,9 @@ fn main() {
     let config = SqlemConfig::new(k, Strategy::Hybrid).with_max_iterations(1);
     let mut session = EmSession::create(&mut db, &config, p).unwrap();
     session.load_points(&data.points).unwrap();
-    session.initialize(&InitStrategy::Random { seed: 1 }).unwrap();
+    session
+        .initialize(&InitStrategy::Random { seed: 1 })
+        .unwrap();
     // One iteration so every work table is populated.
     session.iterate_once().unwrap();
     let script = session.script();

@@ -11,8 +11,7 @@ use datagen::normal::Normal;
 use emcore::emfull::FullParams;
 use emcore::init::InitStrategy;
 use emcore::GmmParams;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use prng::StdRng;
 use sqlem::{EmSession, PerClusterConfig, PerClusterSession, SqlemConfig, Strategy};
 use sqlengine::Database;
 
@@ -31,7 +30,10 @@ fn main() {
             normal.sample_with(&mut rng, -20.0, 6.0),
         ]);
     }
-    println!("{} points: tight blob at (0,0), diffuse blob at (30,-20)\n", pts.len());
+    println!(
+        "{} points: tight blob at (0,0), diffuse blob at (30,-20)\n",
+        pts.len()
+    );
 
     // Shared global R (the paper's base model).
     let mut db1 = Database::new();

@@ -45,7 +45,10 @@ fn main() {
             "  #{}: {:>5.1}% | {:?}",
             s.index,
             s.weight * 100.0,
-            s.mean.iter().map(|m| (m * 10.0).round() / 10.0).collect::<Vec<_>>()
+            s.mean
+                .iter()
+                .map(|m| (m * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -54,7 +57,10 @@ fn main() {
         println!(
             "       {:>5.1}% | {:?}",
             c.weight * (1.0 - data.spec.noise_fraction) * 100.0,
-            c.mean.iter().map(|m| (m * 10.0).round() / 10.0).collect::<Vec<_>>()
+            c.mean
+                .iter()
+                .map(|m| (m * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
         );
     }
 

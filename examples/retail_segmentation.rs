@@ -22,7 +22,10 @@ fn main() {
         n: 50_000,
         seed: 20000518,
     });
-    println!("generated {} baskets, p = {RETAIL_P}, k = {RETAIL_K}", data.n());
+    println!(
+        "generated {} baskets, p = {RETAIL_P}, k = {RETAIL_K}",
+        data.n()
+    );
 
     let mut db = Database::new();
     let config = SqlemConfig::new(RETAIL_K, Strategy::Hybrid)

@@ -29,9 +29,7 @@ fn main() {
         .collect();
     session.load_points(&points).expect("load");
 
-    println!(
-        "-- SQLEM generated SQL: strategy = {strategy}, p = {p}, k = {k}"
-    );
+    println!("-- SQLEM generated SQL: strategy = {strategy}, p = {p}, k = {k}");
     println!(
         "-- longest statement: {} bytes\n",
         session.longest_statement()

@@ -50,7 +50,10 @@ fn main() {
     // Same algorithm, three encodings: solutions must agree.
     let d01 = emcore::compare::max_param_diff(&params[0], &params[1]);
     let d12 = emcore::compare::max_param_diff(&params[1], &params[2]);
-    println!("\nmax parameter difference across strategies: {:.2e}", d01.max(d12));
+    println!(
+        "\nmax parameter difference across strategies: {:.2e}",
+        d01.max(d12)
+    );
     assert!(d01.max(d12) < 1e-6, "strategies disagreed!");
 
     // Now the §3.3 ceiling: the same problem at kp = 1000 with a 16 KiB
@@ -68,7 +71,11 @@ fn main() {
             .initialize(&InitStrategy::Random { seed: 6 })
             .expect("init");
         match session.iterate_once() {
-            Ok(_) => println!("{:>12}: ran fine ({} byte statements)", strategy.name(), session.longest_statement()),
+            Ok(_) => println!(
+                "{:>12}: ran fine ({} byte statements)",
+                strategy.name(),
+                session.longest_statement()
+            ),
             Err(SqlemError::StatementTooLong { len, max, .. }) => println!(
                 "{:>12}: rejected — distance statement is {len} bytes, limit {max}",
                 strategy.name()

@@ -29,19 +29,12 @@ fn full_pipeline_recovers_well_separated_mixture() {
             .clusters
             .iter()
             .enumerate()
-            .map(|(j, c)| {
-                c.mean
-                    .iter()
-                    .map(|m| m + 1.0 + 0.3 * j as f64)
-                    .collect()
-            })
+            .map(|(j, c)| c.mean.iter().map(|m| m + 1.0 + 0.3 * j as f64).collect())
             .collect(),
         cov: vec![4.0; p],
         weights: vec![1.0 / k as f64; k],
     };
-    session
-        .initialize(&InitStrategy::Explicit(rough))
-        .unwrap();
+    session.initialize(&InitStrategy::Explicit(rough)).unwrap();
     let run = session.run().unwrap();
     run.params.validate().unwrap();
 

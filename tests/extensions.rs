@@ -6,8 +6,7 @@ use datagen::categorical::{CategoricalEncoder, MixedRow};
 use emcore::emfull::FullParams;
 use emcore::init::InitStrategy;
 use emcore::GmmParams;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use prng::{Rng, StdRng};
 use sqlem::{EmSession, PerClusterConfig, PerClusterSession, SqlemConfig, Strategy};
 use sqlengine::Database;
 
@@ -24,14 +23,22 @@ fn categorical_expansion_clusters_and_reads_back_probabilities() {
         if i % 2 == 0 {
             rows.push(MixedRow {
                 numeric: vec![5.0 + noise],
-                categorical: vec![if rng.random::<f64>() < 0.8 { "cash" } else { "card" }
-                    .to_string()],
+                categorical: vec![if rng.random::<f64>() < 0.8 {
+                    "cash"
+                } else {
+                    "card"
+                }
+                .to_string()],
             });
         } else {
             rows.push(MixedRow {
                 numeric: vec![50.0 + noise * 5.0],
-                categorical: vec![if rng.random::<f64>() < 0.9 { "card" } else { "cash" }
-                    .to_string()],
+                categorical: vec![if rng.random::<f64>() < 0.9 {
+                    "card"
+                } else {
+                    "cash"
+                }
+                .to_string()],
             });
         }
     }

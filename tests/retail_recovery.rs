@@ -72,7 +72,11 @@ fn recovers_the_71_percent_quick_trip_story() {
         assert!(s.mean[4] < 5.0, "quick-trip items {:.1}", s.mean[4]);
         assert!(s.mean[1] < 15.0, "quick-trip sales {:.1}", s.mean[1]);
     }
-    let (noon, evening) = if a.mean[0] < b.mean[0] { (a, b) } else { (b, a) };
+    let (noon, evening) = if a.mean[0] < b.mean[0] {
+        (a, b)
+    } else {
+        (b, a)
+    };
     assert!(
         (10.0..=14.0).contains(&noon.mean[0]),
         "noon cluster hour {:.1}",
@@ -109,9 +113,7 @@ fn recovers_core_and_lunch_segments() {
     );
     // Cherry pickers: high sales, high discount, few items.
     assert!(
-        summaries
-            .iter()
-            .any(|s| s.mean[2] > 5.0 && s.mean[4] < 5.0),
+        summaries.iter().any(|s| s.mean[2] > 5.0 && s.mean[4] < 5.0),
         "no cherry-picking cluster found"
     );
 }
