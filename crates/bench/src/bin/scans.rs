@@ -1,7 +1,9 @@
 //! Verifies the §3.5 cost model interactively: runs one steady-state
 //! hybrid iteration with scan accounting on and prints every table pass,
 //! then checks the "2k+3 scans of n-row tables + one scan of a pn-row
-//! table" claim for several (n, p, k).
+//! table" claim for several (n, p, k) — from both accounting layers:
+//! the always-on [`sqlengine::Stats`] counters and the per-statement
+//! [`sqlem::IterationReport`] telemetry, which must agree.
 
 use datagen::generate_dataset;
 use emcore::init::InitStrategy;
@@ -26,6 +28,7 @@ fn main() {
             .unwrap();
         session.iterate_once().unwrap(); // warm-up: all work tables exist
         session.reset_stats();
+        session.enable_telemetry();
         session.iterate_once().unwrap();
 
         let stats = session.database().stats();
@@ -52,11 +55,21 @@ fn main() {
             .count();
         println!(
             "driver scans of n-row tables: {n_scans} (paper: 2k+3 = {}), \
-             of pn-row tables: {pn_scans} (paper: 1)\n",
+             of pn-row tables: {pn_scans} (paper: 1)",
             2 * k + 3
         );
         assert_eq!(n_scans, 2 * k + 3);
         assert_eq!(pn_scans, 1);
+
+        // The per-statement telemetry layer must agree with the Stats
+        // counters — one IterationReport for the measured iteration.
+        let report = session
+            .iteration_reports()
+            .last()
+            .expect("telemetry was enabled");
+        println!("telemetry: {}\n", report.summary());
+        assert_eq!(report.n_scans, n_scans);
+        assert_eq!(report.pn_scans, pn_scans);
     }
-    println!("§3.5 scan-count claim verified.");
+    println!("§3.5 scan-count claim verified (stats + telemetry agree).");
 }

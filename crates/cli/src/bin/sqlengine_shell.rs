@@ -15,8 +15,14 @@
 //!
 //! * `\d` — list tables; `\d <table>` — describe one table
 //! * `\stats` — scan/statement counters; `\reset` — clear them
+//! * `\metrics on|off` — per-statement execution telemetry (printed
+//!   after each statement, like a standing EXPLAIN ANALYZE);
+//!   `\metrics` — print the recorded log
 //! * `\workers N` — set partition parallelism
 //! * `\q` — quit
+//!
+//! `EXPLAIN ANALYZE <stmt>;` executes the statement with telemetry and
+//! prints the measured metrics alongside the plan.
 
 use std::io::{BufRead, Write};
 
@@ -72,10 +78,16 @@ fn main() {
             continue;
         }
         let sql = std::mem::take(&mut buffer);
+        let metrics_from = db.metrics().len();
         match db.execute_all(&sql) {
             Ok(results) => {
                 for r in results {
                     print_result(&r);
+                }
+                for m in &db.metrics().entries()[metrics_from..] {
+                    for line in m.render() {
+                        eprintln!("-- {line}");
+                    }
                 }
             }
             Err(e) => eprintln!("error: {e}"),
@@ -137,12 +149,33 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
                 println!("  scans of {table}: {count}");
             }
         }
-        "\\reset" => db.reset_stats(),
+        "\\reset" => {
+            db.reset_stats();
+            db.clear_metrics();
+        }
+        "\\metrics" => match parts.next() {
+            Some("on") => {
+                db.enable_metrics();
+                eprintln!("metrics on — telemetry printed after each statement");
+            }
+            Some("off") => db.disable_metrics(),
+            None => {
+                for m in db.metrics().entries() {
+                    for line in m.render() {
+                        println!("{line}");
+                    }
+                }
+                println!("({} statement(s) recorded)", db.metrics().len());
+            }
+            Some(other) => eprintln!("usage: \\metrics [on|off], got {other}"),
+        },
         "\\workers" => match parts.next().and_then(|w| w.parse::<usize>().ok()) {
             Some(w) => db.set_workers(w),
             None => eprintln!("usage: \\workers N"),
         },
-        other => eprintln!("unknown command {other}; try \\d \\stats \\reset \\workers \\q"),
+        other => {
+            eprintln!("unknown command {other}; try \\d \\stats \\metrics \\reset \\workers \\q")
+        }
     }
     true
 }

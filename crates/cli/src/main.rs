@@ -16,6 +16,8 @@
 //!   --sql                 print the generated SQL instead of running
 //!   --fused               use the fused E step (one fewer scan/iteration)
 //!   --workers N           engine scan partitions, AMP-style (default 1)
+//!   --trace-metrics       print per-iteration cost-model telemetry
+//!                         (n-scans / pn-scans / temp rows / E+M timings)
 //!
 //! lint options:
 //!   --p N                 dimensionality (required)
@@ -51,13 +53,14 @@ struct Args {
     print_sql: bool,
     fused: bool,
     workers: usize,
+    trace_metrics: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sqlem-cli <input.csv> --k <clusters> [--strategy hybrid|horizontal|vertical] \
          [--epsilon E] [--max-iterations N] [--seed N] [--sample F] [--no-header] \
-         [--scores PATH] [--sql] [--fused] [--workers N]\n\
+         [--scores PATH] [--sql] [--fused] [--workers N] [--trace-metrics]\n\
          \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
          [--max-terms N] [--verbose]"
     );
@@ -77,6 +80,7 @@ fn parse_args() -> Args {
     let mut print_sql = false;
     let mut fused = false;
     let mut workers = 1usize;
+    let mut trace_metrics = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -110,6 +114,7 @@ fn parse_args() -> Args {
             "--sql" => print_sql = true,
             "--fused" => fused = true,
             "--workers" => workers = req("--workers").parse().unwrap_or_else(|_| usage()),
+            "--trace-metrics" => trace_metrics = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             other => {
@@ -139,6 +144,7 @@ fn parse_args() -> Args {
         print_sql,
         fused,
         workers,
+        trace_metrics,
     }
 }
 
@@ -183,6 +189,9 @@ fn run(args: &Args) -> Result<(), String> {
         })
         .map_err(|e| e.to_string())?;
 
+    if args.trace_metrics {
+        session.enable_telemetry();
+    }
     let run = session.run().map_err(|e| e.to_string())?;
     eprintln!(
         "{} iterations ({:?}), {:.3}s per iteration, final llh {:.3}",
@@ -191,6 +200,16 @@ fn run(args: &Args) -> Result<(), String> {
         run.secs_per_iteration(),
         run.llh_history.last().copied().unwrap_or(f64::NAN),
     );
+    if args.trace_metrics {
+        eprintln!(
+            "cost model: paper §3.6 predicts 2k+3 = {} n-scan(s) + 1 pn-scan \
+             per hybrid iteration",
+            2 * args.k + 3
+        );
+        for report in &run.iteration_reports {
+            eprintln!("{}", report.summary());
+        }
+    }
 
     let names: Vec<&str> = data.columns.iter().map(String::as_str).collect();
     println!("{}", sqlem::summary::format_table(&run.params, &names));

@@ -20,6 +20,7 @@ use crate::generator::{build_generator, Generator, Stmt};
 use crate::lint::{lint_strategy, FallbackDecision, LintFinding};
 use crate::loader;
 use crate::naming::Names;
+use crate::telemetry::IterationReport;
 
 /// Result of a SQLEM run.
 #[derive(Debug, Clone)]
@@ -35,6 +36,9 @@ pub struct SqlemRun {
     /// Wall-clock time of each iteration (the paper's "time per
     /// iteration" metric, Figs. 11–13).
     pub iteration_times: Vec<Duration>,
+    /// Per-iteration cost-model telemetry; empty unless
+    /// [`EmSession::enable_telemetry`] was called before running.
+    pub iteration_reports: Vec<IterationReport>,
 }
 
 impl SqlemRun {
@@ -71,6 +75,10 @@ pub struct EmSession<'a> {
     prepared: Option<Vec<(String, Statement)>>,
     /// Set when the pre-flight lint switched strategy before any DDL ran.
     fallback: Option<FallbackDecision>,
+    /// Per-iteration cost-model reports, populated when telemetry is on.
+    iteration_reports: Vec<IterationReport>,
+    /// Iterations executed so far (indexes the reports).
+    iterations_done: usize,
 }
 
 impl<'a> EmSession<'a> {
@@ -141,6 +149,8 @@ impl<'a> EmSession<'a> {
             m_step,
             prepared: None,
             fallback,
+            iteration_reports: Vec::new(),
+            iterations_done: 0,
         };
         let ddl = session.generator.create_tables();
         session.execute_stmts(&ddl)?;
@@ -301,6 +311,7 @@ impl<'a> EmSession<'a> {
             }
             self.prepared = Some(prepared);
         }
+        let metrics_start = self.db.metrics().len();
         let prepared = std::mem::take(&mut self.prepared).unwrap_or_default();
         let mut result = Ok(());
         for (purpose, stmt) in &prepared {
@@ -316,7 +327,35 @@ impl<'a> EmSession<'a> {
             .db
             .execute(&llh_sql)
             .map_err(|e| SqlemError::from_sql("read llh", e))?;
+        if self.db.metrics().is_enabled() {
+            self.record_iteration_report(metrics_start);
+        }
+        self.iterations_done += 1;
         Ok(r.scalar_f64().unwrap_or(0.0))
+    }
+
+    /// Build an [`IterationReport`] from the metrics entries appended
+    /// since `from` (one per executed statement, plus the llh read).
+    fn record_iteration_report(&mut self, from: usize) {
+        let (Some(n), Some(prepared)) = (self.n, self.prepared.as_ref()) else {
+            return;
+        };
+        let mut purposes: Vec<&str> = prepared.iter().map(|(p, _)| p.as_str()).collect();
+        purposes.push("read llh");
+        // E-step statements lead the prepared list; anything the engine
+        // logged beyond them (M step + llh read) is the M phase.
+        let e_len = self.e_step.len();
+        let entries = &self.db.metrics().entries()[from.min(self.db.metrics().len())..];
+        let report = IterationReport::from_metrics(
+            self.iterations_done,
+            entries,
+            &purposes,
+            e_len,
+            n,
+            self.p,
+            self.config.k,
+        );
+        self.iteration_reports.push(report);
     }
 
     /// Run until convergence (|Δllh| ≤ ε, or parameter stability when
@@ -357,6 +396,7 @@ impl<'a> EmSession<'a> {
             llh_history,
             outcome,
             iteration_times,
+            iteration_reports: self.iteration_reports.clone(),
         })
     }
 
@@ -403,6 +443,26 @@ impl<'a> EmSession<'a> {
     /// Reset the engine's execution statistics (scan accounting).
     pub fn reset_stats(&mut self) {
         self.db.reset_stats();
+    }
+
+    /// Turn on per-iteration cost-model telemetry: the engine starts
+    /// recording one [`sqlengine::ExecMetrics`] per statement, and every
+    /// subsequent [`EmSession::iterate_once`] appends an
+    /// [`IterationReport`] retrievable via
+    /// [`EmSession::iteration_reports`] (and included in
+    /// [`SqlemRun::iteration_reports`]).
+    pub fn enable_telemetry(&mut self) {
+        self.db.enable_metrics();
+    }
+
+    /// Stop recording telemetry (existing reports are kept).
+    pub fn disable_telemetry(&mut self) {
+        self.db.disable_metrics();
+    }
+
+    /// Per-iteration cost-model reports recorded so far.
+    pub fn iteration_reports(&self) -> &[IterationReport] {
+        &self.iteration_reports
     }
 
     fn execute_stmts(&mut self, stmts: &[Stmt]) -> Result<(), SqlemError> {

@@ -68,6 +68,7 @@ pub mod naming;
 pub mod percluster;
 pub mod sqlfmt;
 pub mod summary;
+pub mod telemetry;
 
 pub use config::{SqlemConfig, Strategy};
 pub use driver::{EmSession, SqlemRun};
@@ -77,3 +78,4 @@ pub use kmeans::{KmeansConfig, KmeansSession};
 pub use lint::{lint_all, lint_strategy, FallbackDecision, LintFinding, LintKind, LintReport};
 pub use naming::Names;
 pub use percluster::{PerClusterConfig, PerClusterSession};
+pub use telemetry::{scan_threshold, IterationReport, StepMetrics};

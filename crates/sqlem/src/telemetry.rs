@@ -1,0 +1,208 @@
+//! Per-iteration EM telemetry: the paper's §3.5/§3.6 cost model read back
+//! from engine-reported execution metrics.
+//!
+//! When [`crate::EmSession::enable_telemetry`] is on, every
+//! [`crate::EmSession::iterate_once`] call produces one
+//! [`IterationReport`]: how many `n`-row-table scans and `pn`-row-table
+//! scans the iteration's statements performed (classified with
+//! [`scan_threshold`], the same rule the cost-model conformance tests
+//! use), how many temporary rows were materialized, and per-step wall
+//! clock split into E and M phases. For the hybrid strategy a healthy
+//! report shows `n_scans == 2k+3` and `pn_scans == 1` — the numbers the
+//! paper's Table/§3.6 analysis promises.
+
+use std::time::Duration;
+
+use sqlengine::ExecMetrics;
+
+/// Scan-size classification threshold: strictly more rows than the
+/// largest parameter table (`C`/`R` have `pk` cells, `W` has `k`, the
+/// vertical parameter tables have `p` rows), capped at `n`. A driver
+/// scan with `threshold <= rows <= n` counts as an *n-row-table* scan;
+/// `rows > n` is a *pn-row-table* scan; anything smaller is a parameter
+/// table and free by the paper's accounting.
+pub fn scan_threshold(n: usize, p: usize, k: usize) -> usize {
+    n.min(p * k + 1).max(k + 1).max(p + 1)
+}
+
+/// Metrics for one statement (step) of an iteration.
+#[derive(Debug, Clone)]
+pub struct StepMetrics {
+    /// The generator's purpose label ("E: distance", "M: mean of
+    /// cluster 1", "read llh", …).
+    pub purpose: String,
+    /// Wall-clock for the statement.
+    pub elapsed: Duration,
+    /// Driver scans of `n`-row tables this statement performed.
+    pub n_scans: usize,
+    /// Driver scans of `pn`-row tables.
+    pub pn_scans: usize,
+    /// Rows this statement wrote (inserted + updated + deleted).
+    pub rows_written: usize,
+}
+
+/// Cost-model telemetry for one EM iteration.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// 0-based iteration index within the session.
+    pub iteration: usize,
+    /// Driver scans of `n`-row tables across the whole iteration —
+    /// the paper's headline `2k+3` for the hybrid strategy (§3.6).
+    pub n_scans: usize,
+    /// Driver scans of `pn`-row tables — 1 for hybrid, 0 for
+    /// horizontal, several for vertical (§3.4).
+    pub pn_scans: usize,
+    /// Rows inserted into work tables during the iteration — the
+    /// vertical strategy's `O(kpn)` temporaries show up here.
+    pub temp_rows_materialized: u64,
+    /// Wall-clock of the E-step statements.
+    pub e_step_time: Duration,
+    /// Wall-clock of the M-step statements (plus the llh read).
+    pub m_step_time: Duration,
+    /// Per-statement breakdown, in execution order.
+    pub steps: Vec<StepMetrics>,
+}
+
+impl IterationReport {
+    /// Build a report from the engine metrics of one iteration's
+    /// statements. `purposes` labels each entry (padded with "?" if the
+    /// engine recorded more entries than labels); `e_step_len` is the
+    /// number of leading entries belonging to the E step; `n`, `p`, `k`
+    /// drive scan classification.
+    pub fn from_metrics(
+        iteration: usize,
+        entries: &[ExecMetrics],
+        purposes: &[&str],
+        e_step_len: usize,
+        n: usize,
+        p: usize,
+        k: usize,
+    ) -> Self {
+        let threshold = scan_threshold(n, p, k);
+        let mut steps = Vec::with_capacity(entries.len());
+        let mut n_scans = 0usize;
+        let mut pn_scans = 0usize;
+        let mut temp_rows = 0u64;
+        let mut e_time = Duration::ZERO;
+        let mut m_time = Duration::ZERO;
+        for (i, e) in entries.iter().enumerate() {
+            let step_n = e
+                .driver_scans()
+                .filter(|s| s.rows >= threshold && s.rows <= n)
+                .count();
+            let step_pn = e.driver_scans().filter(|s| s.rows > n).count();
+            n_scans += step_n;
+            pn_scans += step_pn;
+            temp_rows += e.rows_inserted as u64;
+            if i < e_step_len {
+                e_time += e.elapsed;
+            } else {
+                m_time += e.elapsed;
+            }
+            steps.push(StepMetrics {
+                purpose: purposes.get(i).copied().unwrap_or("?").to_string(),
+                elapsed: e.elapsed,
+                n_scans: step_n,
+                pn_scans: step_pn,
+                rows_written: e.rows_written(),
+            });
+        }
+        IterationReport {
+            iteration,
+            n_scans,
+            pn_scans,
+            temp_rows_materialized: temp_rows,
+            e_step_time: e_time,
+            m_step_time: m_time,
+            steps,
+        }
+    }
+
+    /// One-line summary for trace output.
+    pub fn summary(&self) -> String {
+        format!(
+            "iter {}: {} n-scan(s), {} pn-scan(s), {} temp row(s), \
+             E {:.3} ms, M {:.3} ms",
+            self.iteration + 1,
+            self.n_scans,
+            self.pn_scans,
+            self.temp_rows_materialized,
+            self.e_step_time.as_secs_f64() * 1e3,
+            self.m_step_time.as_secs_f64() * 1e3,
+        )
+    }
+
+    /// Multi-line rendering with the per-step breakdown.
+    pub fn render(&self) -> Vec<String> {
+        let mut lines = vec![self.summary()];
+        for s in &self.steps {
+            lines.push(format!(
+                "  {}: {:.3} ms, {} n-scan(s), {} pn-scan(s), {} row(s) written",
+                s.purpose,
+                s.elapsed.as_secs_f64() * 1e3,
+                s.n_scans,
+                s.pn_scans,
+                s.rows_written,
+            ));
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::{StatementKind, StmtProbe};
+
+    fn metric(scans: &[(&str, usize, bool)], inserted: usize, ms: u64) -> ExecMetrics {
+        let mut p = StmtProbe::enabled();
+        for (t, rows, build) in scans {
+            p.record_scan(t, *rows, *build);
+        }
+        p.add_inserted(inserted);
+        p.finish(StatementKind::Insert, Duration::from_millis(ms))
+    }
+
+    #[test]
+    fn threshold_sits_above_parameter_tables() {
+        // n=500, p=4, k=3: C/R have pk=12 rows when transposed, W has 3.
+        assert_eq!(scan_threshold(500, 4, 3), 13);
+        // Tiny n caps the threshold.
+        assert_eq!(scan_threshold(5, 4, 3), 5);
+        // k+1 / p+1 floors dominate for small pk.
+        assert_eq!(scan_threshold(100, 1, 1), 2);
+    }
+
+    #[test]
+    fn report_classifies_and_splits_phases() {
+        let (n, p, k) = (500, 4, 3);
+        let entries = vec![
+            // E step: one pn scan (vertical y has pn rows), one n scan.
+            metric(&[("y", 2000, false), ("c1", 12, true)], 500, 4),
+            // M step: an n scan plus a parameter-table scan (not counted).
+            metric(&[("yx", 500, false), ("w", 3, false)], 0, 2),
+        ];
+        let r =
+            IterationReport::from_metrics(0, &entries, &["E: distance", "M: weights"], 1, n, p, k);
+        assert_eq!(r.n_scans, 1);
+        assert_eq!(r.pn_scans, 1);
+        assert_eq!(r.temp_rows_materialized, 500);
+        assert_eq!(r.e_step_time, Duration::from_millis(4));
+        assert_eq!(r.m_step_time, Duration::from_millis(2));
+        assert_eq!(r.steps.len(), 2);
+        assert_eq!(r.steps[0].purpose, "E: distance");
+        assert_eq!(r.steps[0].rows_written, 500);
+        let text = r.render().join("\n");
+        assert!(text.contains("iter 1:"));
+        assert!(text.contains("M: weights"));
+    }
+
+    #[test]
+    fn build_scans_do_not_count() {
+        let entries = vec![metric(&[("yd", 500, true)], 0, 1)];
+        let r = IterationReport::from_metrics(3, &entries, &["E: probability"], 1, 500, 4, 3);
+        assert_eq!(r.n_scans, 0);
+        assert_eq!(r.pn_scans, 0);
+        assert!(r.summary().starts_with("iter 4:"));
+    }
+}

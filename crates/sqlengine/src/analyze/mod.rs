@@ -568,7 +568,7 @@ fn analyze_unchecked(
             }
             output = Some(cols);
         }
-        Statement::Explain(inner) => {
+        Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => {
             return analyze_unchecked(provider, inner);
         }
     }

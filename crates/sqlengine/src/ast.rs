@@ -395,6 +395,9 @@ pub enum Statement {
     Select(Select),
     /// EXPLAIN SELECT — describe the join pipeline instead of running it.
     Explain(Box<Statement>),
+    /// EXPLAIN ANALYZE — execute the inner statement with telemetry
+    /// enabled and return the plan plus measured metrics.
+    ExplainAnalyze(Box<Statement>),
 }
 
 #[cfg(test)]

@@ -6,7 +6,10 @@ use crate::analyze::{analyze, Limits, SymbolicCatalog};
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
-use crate::exec::{execute_statement, explain_select, ExecConfig, QueryResult};
+use crate::exec::{
+    execute_statement_metered, explain_select, statement_kind, ExecConfig, QueryResult,
+};
+use crate::metrics::{ExecMetrics, MetricsLog, StatementKind, StmtProbe};
 use crate::parser::parse;
 use crate::stats::Stats;
 use crate::table::Row;
@@ -31,6 +34,7 @@ pub struct Database {
     catalog: Catalog,
     stats: Stats,
     config: ExecConfig,
+    metrics: MetricsLog,
 }
 
 impl Database {
@@ -46,6 +50,7 @@ impl Database {
             catalog: Catalog::new(),
             stats: Stats::new(),
             config,
+            metrics: MetricsLog::new(),
         }
     }
 
@@ -94,7 +99,35 @@ impl Database {
             Some(sql) => Error::Analyze(e.locate(sql)),
             None => Error::Analyze(e),
         })?;
-        execute_statement(&mut self.catalog, &mut self.stats, &self.config, stmt)
+        self.execute_metered(stmt)
+    }
+
+    /// Execute one analyzed statement, recording an [`ExecMetrics`] entry
+    /// into the session log when it is enabled (a no-op probe otherwise —
+    /// the zero-overhead default).
+    fn execute_metered(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        if !self.metrics.is_enabled() {
+            let mut probe = StmtProbe::disabled();
+            return execute_statement_metered(
+                &mut self.catalog,
+                &mut self.stats,
+                &self.config,
+                stmt,
+                &mut probe,
+            );
+        }
+        let mut probe = StmtProbe::enabled();
+        let t0 = std::time::Instant::now();
+        let result = execute_statement_metered(
+            &mut self.catalog,
+            &mut self.stats,
+            &self.config,
+            stmt,
+            &mut probe,
+        )?;
+        self.metrics
+            .push(probe.finish(statement_kind(stmt), t0.elapsed()));
+        Ok(result)
     }
 
     /// Run `EXPLAIN <stmt>`: one VARCHAR `plan` column describing, for a
@@ -202,7 +235,7 @@ impl Database {
         if let Statement::Explain(inner) = stmt {
             return self.explain_statement(inner, None);
         }
-        execute_statement(&mut self.catalog, &mut self.stats, &self.config, stmt)
+        self.execute_metered(stmt)
     }
 
     /// Bulk-load rows into a table without going through the SQL parser —
@@ -234,6 +267,12 @@ impl Database {
             inserted += 1;
         }
         self.stats.record_inserts(inserted);
+        if self.metrics.is_enabled() {
+            let mut probe = StmtProbe::enabled();
+            probe.add_inserted(inserted);
+            self.metrics
+                .push(probe.finish(StatementKind::Insert, std::time::Duration::ZERO));
+        }
         Ok(inserted)
     }
 
@@ -260,6 +299,31 @@ impl Database {
     /// Clear execution statistics (e.g. before timing one EM iteration).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// The session metrics log (disabled and empty by default).
+    pub fn metrics(&self) -> &MetricsLog {
+        &self.metrics
+    }
+
+    /// Start recording one [`ExecMetrics`] entry per executed statement.
+    pub fn enable_metrics(&mut self) {
+        self.metrics.enable();
+    }
+
+    /// Stop recording metrics (existing entries are kept).
+    pub fn disable_metrics(&mut self) {
+        self.metrics.disable();
+    }
+
+    /// Drop all recorded metrics entries (recording state unchanged).
+    pub fn clear_metrics(&mut self) {
+        self.metrics.clear();
+    }
+
+    /// Take every recorded metrics entry, leaving the log empty.
+    pub fn take_metrics(&mut self) -> Vec<ExecMetrics> {
+        self.metrics.take()
     }
 
     /// Current configuration.

@@ -484,6 +484,8 @@ pub struct AggSink {
     /// Group key → index into `groups`, preserving first-seen order.
     index: HashMap<Row, usize>,
     groups: Vec<(Row, Vec<AggState>)>,
+    /// Input rows consumed (telemetry: expr-eval accounting).
+    rows_seen: u64,
 }
 
 impl AggSink {
@@ -493,12 +495,19 @@ impl AggSink {
             plan,
             index: HashMap::new(),
             groups: Vec::new(),
+            rows_seen: 0,
         }
+    }
+
+    /// Number of distinct groups accumulated so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
     }
 
     /// Merge another partition's groups into this one (partition order
     /// gives deterministic group ordering).
     pub fn merge(&mut self, other: AggSink) {
+        self.rows_seen += other.rows_seen;
         for (key, states) in other.groups {
             match self.index.get(&key) {
                 Some(&i) => {
@@ -555,6 +564,7 @@ impl AggSink {
 
 impl RowSink for AggSink {
     fn push(&mut self, row: &[Value]) -> Result<()> {
+        self.rows_seen += 1;
         let key: Row = self
             .plan
             .keys
@@ -584,6 +594,12 @@ impl RowSink for AggSink {
             state.update(v)?;
         }
         Ok(())
+    }
+
+    fn expr_evals(&self) -> u64 {
+        let per_row = self.plan.keys.len() as u64
+            + self.plan.aggs.iter().filter(|a| a.arg.is_some()).count() as u64;
+        self.rows_seen * per_row
     }
 }
 

@@ -5,6 +5,7 @@ use crate::catalog::Catalog;
 use crate::error::{Error, Result};
 use crate::exec::{run_select, ExecConfig, QueryResult};
 use crate::expr::{compile, compile_constant, ColumnResolver};
+use crate::metrics::StmtProbe;
 use crate::schema::{Column, Schema};
 use crate::stats::Stats;
 use crate::table::Row;
@@ -43,6 +44,7 @@ pub fn insert(
     table_name: &str,
     columns: Option<&[String]>,
     source: &InsertSource,
+    probe: &mut StmtProbe,
 ) -> Result<QueryResult> {
     // Map the provided column order (if any) to table slots.
     let slot_map: Option<Vec<usize>> = {
@@ -79,7 +81,7 @@ pub fn insert(
             out
         }
         InsertSource::Select(sel) => {
-            let result = run_select(catalog, stats, config, sel)?;
+            let result = run_select(catalog, stats, config, sel, probe)?;
             result.rows
         }
     };
@@ -125,6 +127,7 @@ pub fn insert(
         inserted += 1;
     }
     stats.record_inserts(inserted);
+    probe.add_inserted(inserted);
     Ok(QueryResult::affected(inserted))
 }
 
@@ -135,6 +138,7 @@ pub fn update(
     from: &[TableRef],
     assignments: &[(String, Expr)],
     where_clause: Option<&Expr>,
+    probe: &mut StmtProbe,
 ) -> Result<QueryResult> {
     // Build scopes: target table first, then FROM tables.
     let target_visible = table_name.to_ascii_lowercase();
@@ -173,6 +177,8 @@ pub fn update(
     for tref in from {
         let t = catalog.table(&tref.table)?;
         stats.record_scan(t.name(), t.len(), true);
+        probe.record_scan(t.name(), t.len(), true);
+        probe.add_build_rows(t.len() as u64);
         let mut next = Vec::with_capacity(combos.len() * t.len().max(1));
         for combo in &combos {
             for row in t.rows() {
@@ -215,6 +221,7 @@ pub fn update(
 
     let table = catalog.table_mut(table_name)?;
     stats.record_scan(table.name(), table.len(), false);
+    probe.record_scan(table.name(), table.len(), false);
     let width = col_types.len();
     let mut ctx: Vec<Value> = Vec::new();
     let updated = table.update_where(
@@ -245,6 +252,7 @@ pub fn update(
         touches_key,
     )?;
     stats.record_updates(updated);
+    probe.add_updated(updated);
     Ok(QueryResult::affected(updated))
 }
 
@@ -266,6 +274,7 @@ pub fn delete(
     stats: &mut Stats,
     table_name: &str,
     where_clause: Option<&Expr>,
+    probe: &mut StmtProbe,
 ) -> Result<QueryResult> {
     let pred = {
         let table = catalog.table(table_name)?;
@@ -283,6 +292,7 @@ pub fn delete(
     };
     let table = catalog.table_mut(table_name)?;
     stats.record_scan(table.name(), table.len(), false);
+    probe.record_scan(table.name(), table.len(), false);
     let removed = match pred {
         None => table.truncate(),
         Some(p) => {
@@ -300,5 +310,6 @@ pub fn delete(
         }
     };
     stats.record_deletes(removed);
+    probe.add_deleted(removed);
     Ok(QueryResult::affected(removed))
 }

@@ -16,6 +16,7 @@ pub use select::{explain_select, run_select};
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::Result;
+use crate::metrics::{StatementKind, StmtProbe};
 use crate::stats::Stats;
 use crate::table::Row;
 use crate::value::Value;
@@ -88,12 +89,37 @@ impl QueryResult {
     }
 }
 
-/// Execute one parsed statement.
+/// Execute one parsed statement without telemetry (a disabled probe).
 pub fn execute_statement(
     catalog: &mut Catalog,
     stats: &mut Stats,
     config: &ExecConfig,
     stmt: &Statement,
+) -> Result<QueryResult> {
+    let mut probe = StmtProbe::disabled();
+    execute_statement_metered(catalog, stats, config, stmt, &mut probe)
+}
+
+/// The [`crate::metrics::StatementKind`] a statement reports as.
+pub fn statement_kind(stmt: &Statement) -> StatementKind {
+    match stmt {
+        Statement::CreateTable { .. } => StatementKind::CreateTable,
+        Statement::DropTable { .. } => StatementKind::DropTable,
+        Statement::Insert { .. } => StatementKind::Insert,
+        Statement::Update { .. } => StatementKind::Update,
+        Statement::Delete { .. } => StatementKind::Delete,
+        Statement::Select(_) => StatementKind::Select,
+        Statement::Explain(_) | Statement::ExplainAnalyze(_) => StatementKind::Explain,
+    }
+}
+
+/// Execute one parsed statement, recording telemetry into `probe`.
+pub fn execute_statement_metered(
+    catalog: &mut Catalog,
+    stats: &mut Stats,
+    config: &ExecConfig,
+    stmt: &Statement,
+    probe: &mut StmtProbe,
 ) -> Result<QueryResult> {
     stats.record_statement();
     match stmt {
@@ -108,7 +134,15 @@ pub fn execute_statement(
             table,
             columns,
             source,
-        } => dml::insert(catalog, stats, config, table, columns.as_deref(), source),
+        } => dml::insert(
+            catalog,
+            stats,
+            config,
+            table,
+            columns.as_deref(),
+            source,
+            probe,
+        ),
         Statement::Update {
             table,
             from,
@@ -121,17 +155,53 @@ pub fn execute_statement(
             from,
             assignments,
             where_clause.as_ref(),
+            probe,
         ),
         Statement::Delete {
             table,
             where_clause,
-        } => dml::delete(catalog, stats, table, where_clause.as_ref()),
-        Statement::Select(sel) => run_select(catalog, stats, config, sel),
+        } => dml::delete(catalog, stats, table, where_clause.as_ref(), probe),
+        Statement::Select(sel) => run_select(catalog, stats, config, sel, probe),
         Statement::Explain(inner) => match inner.as_ref() {
             Statement::Select(sel) => explain_select(catalog, sel),
             _ => Err(crate::error::Error::Unsupported(
                 "EXPLAIN supports SELECT statements only".into(),
             )),
         },
+        Statement::ExplainAnalyze(inner) => explain_analyze(catalog, stats, config, inner),
     }
+}
+
+/// `EXPLAIN ANALYZE <stmt>`: execute the inner statement with a live
+/// probe and return its plan (for SELECT) followed by the measured
+/// [`crate::metrics::ExecMetrics`] — one VARCHAR `plan` column, in the
+/// spirit of PostgreSQL's EXPLAIN ANALYZE. The inner statement's side
+/// effects are real, exactly like the original.
+fn explain_analyze(
+    catalog: &mut Catalog,
+    stats: &mut Stats,
+    config: &ExecConfig,
+    inner: &Statement,
+) -> Result<QueryResult> {
+    let mut lines: Vec<String> = Vec::new();
+    if let Statement::Select(sel) = inner {
+        let plan = explain_select(catalog, sel)?;
+        lines.extend(plan.rows.iter().map(|r| r[0].to_string()));
+    }
+    let mut probe = StmtProbe::enabled();
+    let t0 = std::time::Instant::now();
+    let result = execute_statement_metered(catalog, stats, config, inner, &mut probe)?;
+    let metrics = probe.finish(statement_kind(inner), t0.elapsed());
+    lines.extend(metrics.render());
+    lines.push(format!("result: {} row(s)", result.rows_affected));
+    let rows: Vec<Row> = lines
+        .into_iter()
+        .map(|l| vec![Value::from(l)].into_boxed_slice())
+        .collect();
+    let n = rows.len();
+    Ok(QueryResult {
+        columns: vec!["plan".to_string()],
+        rows,
+        rows_affected: n,
+    })
 }

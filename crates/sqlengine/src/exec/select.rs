@@ -23,6 +23,7 @@ use crate::error::{Error, Result};
 use crate::exec::aggregate::{plan_aggregate, AggSink};
 use crate::exec::{ExecConfig, QueryResult};
 use crate::expr::{compile, CExpr, ColumnResolver};
+use crate::metrics::StmtProbe;
 use crate::stats::Stats;
 use crate::table::Row;
 use crate::value::Value;
@@ -30,12 +31,14 @@ use crate::value::Value;
 /// Minimum driver rows before parallel execution is worth spawning.
 const PARALLEL_THRESHOLD: usize = 4096;
 
-/// Run a SELECT and materialize its result.
+/// Run a SELECT and materialize its result, recording telemetry into
+/// `probe` (pass a disabled probe to skip).
 pub fn run_select(
     catalog: &Catalog,
     stats: &mut Stats,
     config: &ExecConfig,
     select: &Select,
+    probe: &mut StmtProbe,
 ) -> Result<QueryResult> {
     // ---- resolve FROM scopes ------------------------------------------
     let mut scopes: Vec<(String, Vec<String>)> = Vec::with_capacity(select.from.len());
@@ -69,7 +72,11 @@ pub fn run_select(
         None => Vec::new(),
     };
 
-    let pipeline = build_pipeline(catalog, stats, select, &scopes, &conjuncts, &resolver)?;
+    let plan_t0 = std::time::Instant::now();
+    let pipeline = build_pipeline(
+        catalog, stats, select, &scopes, &conjuncts, &resolver, probe,
+    )?;
+    probe.add_plan_time(plan_t0.elapsed());
 
     // ORDER BY may reference output aliases (`ORDER BY sump`) or base
     // columns absent from the projection (`ORDER BY rid` under
@@ -99,7 +106,7 @@ pub fn run_select(
             select.having.as_ref(),
             &resolver,
         )?;
-        let sinks = run_pipeline(&pipeline, config, || AggSink::new(plan.clone()))?;
+        let sinks = run_pipeline(&pipeline, config, probe, || AggSink::new(plan.clone()))?;
         let mut merged = sinks
             .into_iter()
             .reduce(|mut a, b| {
@@ -107,6 +114,7 @@ pub fn run_select(
                 a
             })
             .expect("at least one sink");
+        probe.set_groups(merged.group_count());
         out_rows = merged.finalize()?;
     } else {
         if select.having.is_some() {
@@ -116,7 +124,7 @@ pub fn run_select(
         }
         let compiled = compile_scalar_items(&all_items, &output_names, &resolver)?;
         let base_width = resolver.width();
-        let sinks = run_pipeline(&pipeline, config, || ScalarSink {
+        let sinks = run_pipeline(&pipeline, config, probe, || ScalarSink {
             items: compiled.clone(),
             base_width,
             buf: Vec::with_capacity(base_width + compiled.len()),
@@ -145,6 +153,7 @@ pub fn run_select(
     }
 
     let n = out_rows.len();
+    probe.set_rows_produced(n);
     Ok(QueryResult {
         columns: output_names,
         rows: out_rows,
@@ -329,6 +338,7 @@ fn build_pipeline<'a>(
     scopes: &[(String, Vec<String>)],
     conjuncts: &[Expr],
     _full_resolver: &ColumnResolver,
+    probe: &mut StmtProbe,
 ) -> Result<Pipeline<'a>> {
     if select.from.is_empty() {
         if !conjuncts.is_empty() {
@@ -372,6 +382,7 @@ fn build_pipeline<'a>(
     // Driver.
     let driver_table = catalog.table(&select.from[0].table)?;
     stats.record_scan(driver_table.name(), driver_table.len(), false);
+    probe.record_scan(driver_table.name(), driver_table.len(), false);
     let driver_res = single_resolver(0);
     let driver_filter = combine_filters(&table_filters[0], &driver_res)?;
 
@@ -380,6 +391,7 @@ fn build_pipeline<'a>(
     for i in 1..n_tables {
         let table = catalog.table(&select.from[i].table)?;
         stats.record_scan(table.name(), table.len(), true);
+        probe.record_scan(table.name(), table.len(), true);
         let width = table.schema().arity();
         let stage_res = single_resolver(i);
         let build_filter = combine_filters(&table_filters[i], &stage_res)?;
@@ -446,6 +458,7 @@ fn build_pipeline<'a>(
                 }
                 indices.push(idx as u32);
             }
+            probe.add_build_rows(indices.len() as u64);
             StageKind::Broadcast { indices }
         } else {
             let mut map: HashMap<Row, Vec<u32>> = HashMap::with_capacity(table.len());
@@ -466,6 +479,7 @@ fn build_pipeline<'a>(
                 }
                 map.entry(key).or_default().push(idx as u32);
             }
+            probe.add_build_rows(map.values().map(|v| v.len() as u64).sum());
             StageKind::Hash {
                 map,
                 probe_keys: probe_exprs,
@@ -522,6 +536,12 @@ fn combine_filters(filters: &[&Expr], resolver: &ColumnResolver) -> Result<Optio
 pub trait RowSink {
     /// Accept one joined row (concatenated table columns).
     fn push(&mut self, row: &[Value]) -> Result<()>;
+
+    /// Scalar expression evaluations this sink performed, reported after
+    /// the pipeline drains (telemetry; 0 when untracked).
+    fn expr_evals(&self) -> u64 {
+        0
+    }
 }
 
 /// Scalar projection sink with Teradata-style lateral aliases: the buffer
@@ -545,6 +565,10 @@ impl RowSink for ScalarSink {
             .push(self.buf[self.base_width..].to_vec().into_boxed_slice());
         Ok(())
     }
+
+    fn expr_evals(&self) -> u64 {
+        (self.out.len() as u64) * (self.items.len() as u64)
+    }
 }
 
 /// Compile scalar items, registering each real item's output name as a
@@ -567,9 +591,30 @@ fn compile_scalar_items(
     Ok(compiled)
 }
 
+/// Worker-local telemetry counters, flushed into the shared [`StmtProbe`]
+/// once per partition so the hot loop never touches an atomic.
+#[derive(Default)]
+struct Tally {
+    probe_rows: u64,
+    expr_evals: u64,
+}
+
+impl Tally {
+    fn flush(&self, probe: &StmtProbe) {
+        probe.add_probe_rows(self.probe_rows);
+        probe.add_expr_evals(self.expr_evals);
+    }
+}
+
 /// Run the pipeline into one sink per partition; returns the sinks in
-/// partition order.
-fn run_pipeline<S, F>(pipeline: &Pipeline<'_>, config: &ExecConfig, make_sink: F) -> Result<Vec<S>>
+/// partition order. Join-probe and expression-eval counts accumulate into
+/// `probe` (shared across workers through relaxed atomics).
+fn run_pipeline<S, F>(
+    pipeline: &Pipeline<'_>,
+    config: &ExecConfig,
+    probe: &StmtProbe,
+    make_sink: F,
+) -> Result<Vec<S>>
 where
     S: RowSink + Send,
     F: Fn() -> S + Sync,
@@ -577,12 +622,16 @@ where
     if pipeline.single_row {
         let mut sink = make_sink();
         sink.push(&[])?;
+        probe.add_expr_evals(sink.expr_evals());
         return Ok(vec![sink]);
     }
     let workers = config.workers.max(1);
     if workers == 1 || pipeline.driver_rows.len() < PARALLEL_THRESHOLD {
         let mut sink = make_sink();
-        drive_partition(pipeline, pipeline.driver_rows, &mut sink)?;
+        let mut tally = Tally::default();
+        drive_partition(pipeline, pipeline.driver_rows, &mut sink, &mut tally)?;
+        tally.expr_evals += sink.expr_evals();
+        tally.flush(probe);
         return Ok(vec![sink]);
     }
 
@@ -594,7 +643,10 @@ where
             .map(|part| {
                 scope.spawn(|| -> Result<S> {
                     let mut sink = make_sink();
-                    drive_partition(pipeline, part, &mut sink)?;
+                    let mut tally = Tally::default();
+                    drive_partition(pipeline, part, &mut sink, &mut tally)?;
+                    tally.expr_evals += sink.expr_evals();
+                    tally.flush(probe);
                     Ok(sink)
                 })
             })
@@ -607,11 +659,17 @@ where
     Ok(results)
 }
 
-fn drive_partition<S: RowSink>(pipeline: &Pipeline<'_>, rows: &[Row], sink: &mut S) -> Result<()> {
+fn drive_partition<S: RowSink>(
+    pipeline: &Pipeline<'_>,
+    rows: &[Row],
+    sink: &mut S,
+    tally: &mut Tally,
+) -> Result<()> {
     let mut scratch: Vec<Value> = Vec::with_capacity(
         rows.first().map(|r| r.len()).unwrap_or(0)
             + pipeline.stages.iter().map(|s| s.width).sum::<usize>(),
     );
+    let has_filter = pipeline.driver_filter.is_some();
     for row in rows {
         if let Some(f) = &pipeline.driver_filter {
             if !f.eval_predicate(row)? {
@@ -620,7 +678,10 @@ fn drive_partition<S: RowSink>(pipeline: &Pipeline<'_>, rows: &[Row], sink: &mut
         }
         scratch.clear();
         scratch.extend_from_slice(row);
-        walk_stages(pipeline, 0, &mut scratch, sink)?;
+        walk_stages(pipeline, 0, &mut scratch, sink, tally)?;
+    }
+    if has_filter {
+        tally.expr_evals += rows.len() as u64;
     }
     Ok(())
 }
@@ -630,6 +691,7 @@ fn walk_stages<S: RowSink>(
     stage_idx: usize,
     scratch: &mut Vec<Value>,
     sink: &mut S,
+    tally: &mut Tally,
 ) -> Result<()> {
     if stage_idx == pipeline.stages.len() {
         return sink.push(scratch);
@@ -638,6 +700,7 @@ fn walk_stages<S: RowSink>(
     let base_len = scratch.len();
     match &stage.kind {
         StageKind::Hash { map, probe_keys } => {
+            tally.expr_evals += probe_keys.len() as u64;
             let mut key = Vec::with_capacity(probe_keys.len());
             for e in probe_keys {
                 let v = e.eval(scratch)?;
@@ -649,19 +712,21 @@ fn walk_stages<S: RowSink>(
             let Some(matches) = map.get(key.as_slice()) else {
                 return Ok(());
             };
+            tally.probe_rows += matches.len() as u64;
             for &idx in matches {
                 scratch.extend_from_slice(&stage.rows[idx as usize]);
-                if check_residuals(stage, scratch)? {
-                    walk_stages(pipeline, stage_idx + 1, scratch, sink)?;
+                if check_residuals(stage, scratch, tally)? {
+                    walk_stages(pipeline, stage_idx + 1, scratch, sink, tally)?;
                 }
                 scratch.truncate(base_len);
             }
         }
         StageKind::Broadcast { indices } => {
+            tally.probe_rows += indices.len() as u64;
             for &idx in indices {
                 scratch.extend_from_slice(&stage.rows[idx as usize]);
-                if check_residuals(stage, scratch)? {
-                    walk_stages(pipeline, stage_idx + 1, scratch, sink)?;
+                if check_residuals(stage, scratch, tally)? {
+                    walk_stages(pipeline, stage_idx + 1, scratch, sink, tally)?;
                 }
                 scratch.truncate(base_len);
             }
@@ -671,7 +736,8 @@ fn walk_stages<S: RowSink>(
 }
 
 #[inline]
-fn check_residuals(stage: &Stage<'_>, row: &[Value]) -> Result<bool> {
+fn check_residuals(stage: &Stage<'_>, row: &[Value], tally: &mut Tally) -> Result<bool> {
+    tally.expr_evals += stage.residuals.len() as u64;
     for r in &stage.residuals {
         if !r.eval_predicate(row)? {
             return Ok(false);
@@ -781,6 +847,7 @@ pub fn explain_select(catalog: &Catalog, select: &Select) -> Result<QueryResult>
         None => Vec::new(),
     };
     let mut scratch_stats = Stats::new();
+    let mut scratch_probe = StmtProbe::disabled();
     let pipeline = build_pipeline(
         catalog,
         &mut scratch_stats,
@@ -788,6 +855,7 @@ pub fn explain_select(catalog: &Catalog, select: &Select) -> Result<QueryResult>
         &scopes,
         &conjuncts,
         &resolver,
+        &mut scratch_probe,
     )?;
 
     let mut lines: Vec<String> = Vec::new();

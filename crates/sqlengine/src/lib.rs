@@ -46,6 +46,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
+pub mod metrics;
 pub mod parser;
 pub mod schema;
 pub mod stats;
@@ -58,6 +59,7 @@ pub use analyze::{
 pub use engine::{Database, EngineConfig, SharedDatabase};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
+pub use metrics::{ExecMetrics, MetricsLog, ScanMetric, StatementKind, StmtProbe};
 pub use schema::{Column, Schema};
 pub use stats::Stats;
 pub use table::Row;

@@ -166,8 +166,13 @@ impl Parser {
         } else if self.at_kw("select") {
             Ok(Statement::Select(self.select()?))
         } else if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
             let inner = self.statement()?;
-            Ok(Statement::Explain(Box::new(inner)))
+            Ok(if analyze {
+                Statement::ExplainAnalyze(Box::new(inner))
+            } else {
+                Statement::Explain(Box::new(inner))
+            })
         } else {
             Err(self.err("expected a statement keyword"))
         }

@@ -1,0 +1,202 @@
+//! MetricsLog under concurrency (regression tests).
+//!
+//! Two distinct concurrency regimes exist and both must keep the
+//! telemetry exact:
+//!
+//! * **multi-client** — several threads share one warehouse through
+//!   [`SharedDatabase`] clones (the multi-session scenario of the
+//!   driver's prefixed sessions). Statements serialize through the
+//!   mutex, so the log must contain exactly one entry per executed
+//!   statement, with nothing lost, duplicated or cross-attributed even
+//!   when entries from different clients interleave;
+//! * **intra-statement parallelism** — one statement fanned out over
+//!   partition workers (`set_workers`). Worker tallies are merged into
+//!   the statement's probe, so every count must equal the serial run's
+//!   count exactly, not approximately.
+
+use std::collections::HashMap;
+
+use sqlengine::{Database, SharedDatabase, StatementKind};
+
+#[test]
+fn shared_database_records_every_statement_exactly_once() {
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 50;
+
+    let shared = SharedDatabase::default();
+    shared.with(|db| db.enable_metrics());
+    for c in 0..CLIENTS {
+        shared
+            .execute(&format!("CREATE TABLE t{c} (a BIGINT, b DOUBLE)"))
+            .unwrap();
+    }
+    let setup = shared.with(|db| db.metrics().len());
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let client = shared.clone();
+            s.spawn(move || {
+                for i in 0..ROUNDS {
+                    client
+                        .execute(&format!("INSERT INTO t{c} VALUES ({i}, {i}.5)"))
+                        .unwrap();
+                    client
+                        .execute(&format!("SELECT count(*), sum(b) FROM t{c}"))
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    shared.with(|db| {
+        let log = db.metrics();
+        // One entry per statement: CLIENTS × ROUNDS × (1 insert + 1 select).
+        assert_eq!(log.len() - setup, CLIENTS * ROUNDS * 2);
+
+        // Nothing lost and nothing double-counted, per kind...
+        let inserts = log
+            .entries()
+            .iter()
+            .filter(|m| m.kind == Some(StatementKind::Insert))
+            .count();
+        let selects = log
+            .entries()
+            .iter()
+            .filter(|m| m.kind == Some(StatementKind::Select))
+            .count();
+        assert_eq!(inserts, CLIENTS * ROUNDS);
+        assert_eq!(selects, CLIENTS * ROUNDS);
+        let total_inserted: usize = log.entries().iter().map(|m| m.rows_inserted).sum();
+        assert_eq!(total_inserted, CLIENTS * ROUNDS);
+
+        // ...and per client: each table was driven by exactly ROUNDS
+        // SELECT scans, so interleaving never bled one client's entries
+        // into another's counts.
+        let scans = log.driver_scans_by_table(setup);
+        for c in 0..CLIENTS {
+            assert_eq!(
+                scans.get(&format!("t{c}")).copied().unwrap_or(0),
+                ROUNDS,
+                "client {c} scan count"
+            );
+        }
+
+        // Every SELECT produced exactly one row (the aggregate row).
+        assert!(log
+            .entries()
+            .iter()
+            .filter(|m| m.kind == Some(StatementKind::Select))
+            .all(|m| m.rows_produced == 1));
+    });
+}
+
+#[test]
+fn interleaved_clients_keep_per_statement_attribution() {
+    // A tighter interleave: both clients hammer the *same* table, and
+    // each SELECT's own entry must still carry exactly one driver scan —
+    // per-statement attribution never smears across clients.
+    let shared = SharedDatabase::default();
+    shared.with(|db| db.enable_metrics());
+    shared.execute("CREATE TABLE t (a BIGINT)").unwrap();
+    let setup = shared.with(|db| db.metrics().len());
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let client = shared.clone();
+            s.spawn(move || {
+                for i in 0..40 {
+                    client
+                        .execute(&format!("INSERT INTO t VALUES ({i})"))
+                        .unwrap();
+                    client.execute("SELECT sum(a) FROM t").unwrap();
+                }
+            });
+        }
+    });
+
+    shared.with(|db| {
+        for m in &db.metrics().entries()[setup..] {
+            match m.kind {
+                Some(StatementKind::Insert) => {
+                    assert_eq!(m.rows_inserted, 1);
+                    assert!(m.scans.is_empty(), "plain INSERT VALUES scans nothing");
+                }
+                Some(StatementKind::Select) => {
+                    let drivers: Vec<_> = m.scans.iter().filter(|s| !s.build).collect();
+                    assert_eq!(drivers.len(), 1, "one driver scan per SELECT");
+                    assert_eq!(drivers[0].table, "t");
+                }
+                other => panic!("unexpected statement kind {other:?}"),
+            }
+        }
+    });
+}
+
+/// Serial and partition-parallel execution of the same statements must
+/// report identical metrics — worker tallies are merged exactly, never
+/// sampled or approximated.
+#[test]
+fn parallel_workers_report_the_same_metrics_as_serial() {
+    fn run(workers: usize) -> Vec<sqlengine::ExecMetrics> {
+        let mut db = Database::new();
+        db.set_workers(workers);
+        // Enough rows that the planner actually partitions the scans.
+        db.execute("CREATE TABLE pts (rid BIGINT PRIMARY KEY, x DOUBLE, g BIGINT)")
+            .unwrap();
+        let rows: Vec<Vec<sqlengine::Value>> = (0..4_000)
+            .map(|i| {
+                vec![
+                    sqlengine::Value::Int(i),
+                    sqlengine::Value::Double(i as f64 * 0.25),
+                    sqlengine::Value::Int(i % 7),
+                ]
+            })
+            .collect();
+        db.bulk_insert("pts", rows).unwrap();
+        db.execute("CREATE TABLE dims (g BIGINT PRIMARY KEY, scale DOUBLE)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO dims VALUES (0,1.0),(1,2.0),(2,3.0),(3,4.0),(4,5.0),(5,6.0),(6,7.0)",
+        )
+        .unwrap();
+        db.enable_metrics();
+        db.execute("SELECT g, count(*), sum(x) FROM pts WHERE x > 10 GROUP BY g")
+            .unwrap();
+        db.execute(
+            "SELECT pts.g, sum(pts.x * dims.scale) FROM pts, dims \
+             WHERE pts.g = dims.g GROUP BY pts.g",
+        )
+        .unwrap();
+        db.execute("CREATE TABLE out (g BIGINT, s DOUBLE)").unwrap();
+        db.execute("INSERT INTO out SELECT g, sum(x) FROM pts GROUP BY g")
+            .unwrap();
+        db.take_metrics()
+    }
+
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.scans, b.scans, "scan sets differ for {:?}", a.kind);
+        assert_eq!(a.rows_produced, b.rows_produced);
+        assert_eq!(a.rows_inserted, b.rows_inserted);
+        assert_eq!(a.join_build_rows, b.join_build_rows);
+        assert_eq!(
+            a.join_probe_rows, b.join_probe_rows,
+            "probe rows for {:?}",
+            a.kind
+        );
+        assert_eq!(a.expr_evals, b.expr_evals, "expr evals for {:?}", a.kind);
+        assert_eq!(a.groups, b.groups);
+    }
+
+    // Group counts are real: 7 groups in each aggregate.
+    let aggregates: HashMap<usize, usize> = serial
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.groups > 0)
+        .map(|(i, m)| (i, m.groups))
+        .collect();
+    assert!(aggregates.values().all(|&g| g == 7), "{aggregates:?}");
+}

@@ -1,0 +1,166 @@
+-- ==== create tables ====
+-- DDL: drop z
+DROP TABLE IF EXISTS z;
+
+-- DDL: create z
+CREATE TABLE z (rid BIGINT PRIMARY KEY, y1 DOUBLE, y2 DOUBLE, y3 DOUBLE);
+
+-- DDL: drop c1
+DROP TABLE IF EXISTS c1;
+
+-- DDL: create c1
+CREATE TABLE c1 (y1 DOUBLE, y2 DOUBLE, y3 DOUBLE);
+
+-- DDL: drop c2
+DROP TABLE IF EXISTS c2;
+
+-- DDL: create c2
+CREATE TABLE c2 (y1 DOUBLE, y2 DOUBLE, y3 DOUBLE);
+
+-- DDL: drop yd
+DROP TABLE IF EXISTS yd;
+
+-- DDL: create yd
+CREATE TABLE yd (rid BIGINT PRIMARY KEY, d1 DOUBLE, d2 DOUBLE);
+
+-- DDL: drop yp
+DROP TABLE IF EXISTS yp;
+
+-- DDL: create yp
+CREATE TABLE yp (rid BIGINT PRIMARY KEY, p1 DOUBLE, p2 DOUBLE, sump DOUBLE, suminvd DOUBLE, d1 DOUBLE, d2 DOUBLE);
+
+-- DDL: drop yx
+DROP TABLE IF EXISTS yx;
+
+-- DDL: create yx
+CREATE TABLE yx (rid BIGINT PRIMARY KEY, x1 DOUBLE, x2 DOUBLE, llh DOUBLE);
+
+-- DDL: drop r
+DROP TABLE IF EXISTS r;
+
+-- DDL: create r
+CREATE TABLE r (y1 DOUBLE, y2 DOUBLE, y3 DOUBLE);
+
+-- DDL: drop rk
+DROP TABLE IF EXISTS rk;
+
+-- DDL: create rk
+CREATE TABLE rk (i BIGINT PRIMARY KEY, y1 DOUBLE, y2 DOUBLE, y3 DOUBLE);
+
+-- DDL: drop w
+DROP TABLE IF EXISTS w;
+
+-- DDL: create w
+CREATE TABLE w (w1 DOUBLE, w2 DOUBLE, llh DOUBLE);
+
+-- DDL: drop gmm
+DROP TABLE IF EXISTS gmm;
+
+-- DDL: create gmm
+CREATE TABLE gmm (n BIGINT, twopipdiv2 DOUBLE, detr DOUBLE, sqrtdetr DOUBLE);
+
+-- ==== post load (n = 1000) ====
+-- seed GMM (n, (2π)^{p/2})
+INSERT INTO gmm VALUES (1000, 15.749609945722419, 0, 0);
+
+-- ==== E step ====
+-- E: |R| and sqrt|R| into GMM
+UPDATE gmm FROM r SET detr = (CASE WHEN r.y1 = 0 THEN 1 ELSE r.y1 END) * (CASE WHEN r.y2 = 0 THEN 1 ELSE r.y2 END) * (CASE WHEN r.y3 = 0 THEN 1 ELSE r.y3 END), sqrtdetr = detr ** 0.5;
+
+-- refresh yd: drop
+DROP TABLE IF EXISTS yd;
+
+-- refresh yd: create
+CREATE TABLE yd (rid BIGINT PRIMARY KEY, d1 DOUBLE, d2 DOUBLE);
+
+-- E: Mahalanobis distances (YD, one wide expression)
+INSERT INTO yd SELECT rid, (z.y1 - c1.y1) ** 2 / (CASE WHEN r.y1 = 0 THEN 1 ELSE r.y1 END) + (z.y2 - c1.y2) ** 2 / (CASE WHEN r.y2 = 0 THEN 1 ELSE r.y2 END) + (z.y3 - c1.y3) ** 2 / (CASE WHEN r.y3 = 0 THEN 1 ELSE r.y3 END), (z.y1 - c2.y1) ** 2 / (CASE WHEN r.y1 = 0 THEN 1 ELSE r.y1 END) + (z.y2 - c2.y2) ** 2 / (CASE WHEN r.y2 = 0 THEN 1 ELSE r.y2 END) + (z.y3 - c2.y3) ** 2 / (CASE WHEN r.y3 = 0 THEN 1 ELSE r.y3 END) FROM z, c1, c2, r;
+
+-- refresh yp: drop
+DROP TABLE IF EXISTS yp;
+
+-- refresh yp: create
+CREATE TABLE yp (rid BIGINT PRIMARY KEY, p1 DOUBLE, p2 DOUBLE, sump DOUBLE, suminvd DOUBLE, d1 DOUBLE, d2 DOUBLE);
+
+-- E: normal probabilities (YP)
+INSERT INTO yp SELECT rid, w1 / (twopipdiv2 * sqrtdetr) * exp(-0.5 * d1) AS p1, w2 / (twopipdiv2 * sqrtdetr) * exp(-0.5 * d2) AS p2, p1 + p2 AS sump, 1 / (d1 + 1.0E-100) + 1 / (d2 + 1.0E-100) AS suminvd, d1, d2 FROM yd, gmm, w;
+
+-- refresh yx: drop
+DROP TABLE IF EXISTS yx;
+
+-- refresh yx: create
+CREATE TABLE yx (rid BIGINT PRIMARY KEY, x1 DOUBLE, x2 DOUBLE, llh DOUBLE);
+
+-- E: responsibilities (YX)
+INSERT INTO yx SELECT rid, CASE WHEN sump > 0 THEN p1 / sump ELSE (1 / (d1 + 1.0E-100)) / suminvd END, CASE WHEN sump > 0 THEN p2 / sump ELSE (1 / (d2 + 1.0E-100)) / suminvd END, CASE WHEN sump > 0 THEN ln(sump) END FROM yp;
+
+-- ==== M step ====
+-- M: clear C1
+DELETE FROM c1;
+
+-- M: mean of cluster 1 (C1)
+INSERT INTO c1 SELECT sum(z.y1 * x1) / sum(x1), sum(z.y2 * x1) / sum(x1), sum(z.y3 * x1) / sum(x1) FROM z, yx WHERE z.rid = yx.rid;
+
+-- M: clear C2
+DELETE FROM c2;
+
+-- M: mean of cluster 2 (C2)
+INSERT INTO c2 SELECT sum(z.y1 * x2) / sum(x2), sum(z.y2 * x2) / sum(x2), sum(z.y3 * x2) / sum(x2) FROM z, yx WHERE z.rid = yx.rid;
+
+-- M: clear W
+DELETE FROM w;
+
+-- M: accumulate W' and llh
+INSERT INTO w SELECT sum(x1), sum(x2), sum(llh) FROM yx;
+
+-- M: W = W'/n
+UPDATE w FROM gmm SET w1 = w1 / gmm.n, w2 = w2 / gmm.n;
+
+-- M: clear RK
+DELETE FROM rk;
+
+-- M: covariance contribution of cluster 1 (RK)
+INSERT INTO rk SELECT 1, sum(x1 * (z.y1 - c1.y1) ** 2), sum(x1 * (z.y2 - c1.y2) ** 2), sum(x1 * (z.y3 - c1.y3) ** 2) FROM z, c1, yx WHERE z.rid = yx.rid;
+
+-- M: covariance contribution of cluster 2 (RK)
+INSERT INTO rk SELECT 2, sum(x2 * (z.y1 - c2.y1) ** 2), sum(x2 * (z.y2 - c2.y2) ** 2), sum(x2 * (z.y3 - c2.y3) ** 2) FROM z, c2, yx WHERE z.rid = yx.rid;
+
+-- M: clear R
+DELETE FROM r;
+
+-- M: global covariance R = ΣRK/n
+INSERT INTO r SELECT sum(y1 / gmm.n), sum(y2 / gmm.n), sum(y3 / gmm.n) FROM rk, gmm;
+
+-- ==== score ====
+-- refresh x: drop
+DROP TABLE IF EXISTS x;
+
+-- refresh x: create
+CREATE TABLE x (rid BIGINT, i BIGINT, x DOUBLE, PRIMARY KEY (rid, i));
+
+-- score: pivot x1 into X
+INSERT INTO x SELECT rid, 1, x1 FROM yx;
+
+-- score: pivot x2 into X
+INSERT INTO x SELECT rid, 2, x2 FROM yx;
+
+-- refresh xmax: drop
+DROP TABLE IF EXISTS xmax;
+
+-- refresh xmax: create
+CREATE TABLE xmax (rid BIGINT PRIMARY KEY, maxx DOUBLE);
+
+-- score: per-point max responsibility (XMAX)
+INSERT INTO xmax SELECT rid, max(x) FROM x GROUP BY rid;
+
+-- refresh ys: drop
+DROP TABLE IF EXISTS ys;
+
+-- refresh ys: create
+CREATE TABLE ys (rid BIGINT PRIMARY KEY, score BIGINT);
+
+-- score: argmax cluster (YS)
+INSERT INTO ys SELECT x.rid, min(x.i) FROM x, xmax WHERE x.rid = xmax.rid AND x.x = xmax.maxx GROUP BY x.rid;
+
+-- ==== loglikelihood ====
+SELECT llh FROM w;

@@ -1,0 +1,211 @@
+-- ==== create tables ====
+-- DDL: drop y
+DROP TABLE IF EXISTS y;
+
+-- DDL: create y
+CREATE TABLE y (rid BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (rid, v));
+
+-- DDL: drop yd
+DROP TABLE IF EXISTS yd;
+
+-- DDL: create yd
+CREATE TABLE yd (rid BIGINT, i BIGINT, d DOUBLE, PRIMARY KEY (rid, i));
+
+-- DDL: drop yp
+DROP TABLE IF EXISTS yp;
+
+-- DDL: create yp
+CREATE TABLE yp (rid BIGINT, i BIGINT, p DOUBLE, PRIMARY KEY (rid, i));
+
+-- DDL: drop ysump
+DROP TABLE IF EXISTS ysump;
+
+-- DDL: create ysump
+CREATE TABLE ysump (rid BIGINT PRIMARY KEY, sump DOUBLE, suminvd DOUBLE, llh DOUBLE);
+
+-- DDL: drop yx
+DROP TABLE IF EXISTS yx;
+
+-- DDL: create yx
+CREATE TABLE yx (rid BIGINT, i BIGINT, x DOUBLE, PRIMARY KEY (rid, i));
+
+-- DDL: drop c
+DROP TABLE IF EXISTS c;
+
+-- DDL: create c
+CREATE TABLE c (i BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (i, v));
+
+-- DDL: drop r
+DROP TABLE IF EXISTS r;
+
+-- DDL: create r
+CREATE TABLE r (v BIGINT PRIMARY KEY, val DOUBLE);
+
+-- DDL: drop w
+DROP TABLE IF EXISTS w;
+
+-- DDL: create w
+CREATE TABLE w (i BIGINT PRIMARY KEY, w DOUBLE);
+
+-- DDL: drop gmm
+DROP TABLE IF EXISTS gmm;
+
+-- DDL: create gmm
+CREATE TABLE gmm (n BIGINT, twopipdiv2 DOUBLE, detr DOUBLE, sqrtdetr DOUBLE);
+
+-- DDL: drop ctmp
+DROP TABLE IF EXISTS ctmp;
+
+-- DDL: create ctmp
+CREATE TABLE ctmp (i BIGINT, v BIGINT, cv DOUBLE, PRIMARY KEY (i, v));
+
+-- DDL: drop wv
+DROP TABLE IF EXISTS wv;
+
+-- DDL: create wv
+CREATE TABLE wv (i BIGINT PRIMARY KEY, sw DOUBLE);
+
+-- DDL: drop yc
+DROP TABLE IF EXISTS yc;
+
+-- DDL: create yc
+CREATE TABLE yc (rid BIGINT, i BIGINT, v BIGINT, sq DOUBLE, PRIMARY KEY (rid, i, v));
+
+-- DDL: drop dett
+DROP TABLE IF EXISTS dett;
+
+-- DDL: create dett
+CREATE TABLE dett (d DOUBLE);
+
+-- DDL: drop xmax
+DROP TABLE IF EXISTS xmax;
+
+-- DDL: create xmax
+CREATE TABLE xmax (rid BIGINT PRIMARY KEY, maxx DOUBLE);
+
+-- DDL: drop ys
+DROP TABLE IF EXISTS ys;
+
+-- DDL: create ys
+CREATE TABLE ys (rid BIGINT PRIMARY KEY, score BIGINT);
+
+-- ==== post load (n = 1000) ====
+-- seed GMM (n, (2π)^{p/2})
+INSERT INTO gmm VALUES (1000, 15.749609945722419, 0, 0);
+
+-- ==== E step ====
+-- refresh dett: drop
+DROP TABLE IF EXISTS dett;
+
+-- refresh dett: create
+CREATE TABLE dett (d DOUBLE);
+
+-- E: |R| staged through exp(Σ ln r) (DETT)
+INSERT INTO dett SELECT exp(sum(CASE WHEN val = 0 THEN 0 ELSE ln(val) END)) FROM r;
+
+-- E: detR/sqrtdetR into GMM
+UPDATE gmm FROM dett SET detr = dett.d, sqrtdetr = detr ** 0.5;
+
+-- refresh yd: drop
+DROP TABLE IF EXISTS yd;
+
+-- refresh yd: create
+CREATE TABLE yd (rid BIGINT, i BIGINT, d DOUBLE, PRIMARY KEY (rid, i));
+
+-- E: Mahalanobis distances (YD)
+INSERT INTO yd SELECT rid, c.i, sum((y.val - c.val) ** 2 / (CASE WHEN r.val = 0 THEN 1 ELSE r.val END)) AS d FROM y, c, r WHERE y.v = c.v AND c.v = r.v GROUP BY rid, c.i;
+
+-- refresh yp: drop
+DROP TABLE IF EXISTS yp;
+
+-- refresh yp: create
+CREATE TABLE yp (rid BIGINT, i BIGINT, p DOUBLE, PRIMARY KEY (rid, i));
+
+-- E: normal probabilities (YP)
+INSERT INTO yp SELECT rid, yd.i, w / (twopipdiv2 * sqrtdetr) * exp(-0.5 * d) AS p FROM yd, w, gmm WHERE yd.i = w.i;
+
+-- refresh ysump: drop
+DROP TABLE IF EXISTS ysump;
+
+-- refresh ysump: create
+CREATE TABLE ysump (rid BIGINT PRIMARY KEY, sump DOUBLE, suminvd DOUBLE, llh DOUBLE);
+
+-- E: per-point sums (YSUMP)
+INSERT INTO ysump SELECT yd.rid, sum(yp.p), sum(1 / (yd.d + 1.0E-100)), CASE WHEN sum(yp.p) > 0 THEN ln(sum(yp.p)) END FROM yd, yp WHERE yd.rid = yp.rid AND yd.i = yp.i GROUP BY yd.rid;
+
+-- refresh yx: drop
+DROP TABLE IF EXISTS yx;
+
+-- refresh yx: create
+CREATE TABLE yx (rid BIGINT, i BIGINT, x DOUBLE, PRIMARY KEY (rid, i));
+
+-- E: responsibilities (YX)
+INSERT INTO yx SELECT yp.rid, yp.i, CASE WHEN ysump.sump > 0 THEN yp.p / ysump.sump ELSE (1 / (yd.d + 1.0E-100)) / ysump.suminvd END FROM yp, ysump, yd WHERE yp.rid = ysump.rid AND yp.rid = yd.rid AND yp.i = yd.i;
+
+-- ==== M step ====
+-- refresh ctmp: drop
+DROP TABLE IF EXISTS ctmp;
+
+-- refresh ctmp: create
+CREATE TABLE ctmp (i BIGINT, v BIGINT, cv DOUBLE, PRIMARY KEY (i, v));
+
+-- M: C' = Σ y·x (CTMP, kpn-row join)
+INSERT INTO ctmp SELECT yx.i, y.v, sum(y.val * yx.x) FROM y, yx WHERE y.rid = yx.rid GROUP BY yx.i, y.v;
+
+-- refresh wv: drop
+DROP TABLE IF EXISTS wv;
+
+-- refresh wv: create
+CREATE TABLE wv (i BIGINT PRIMARY KEY, sw DOUBLE);
+
+-- M: W' = Σ x (WV)
+INSERT INTO wv SELECT i, sum(x) FROM yx GROUP BY i;
+
+-- M: clear C
+DELETE FROM c;
+
+-- M: C = C'/W'
+INSERT INTO c SELECT ctmp.i, ctmp.v, ctmp.cv / wv.sw FROM ctmp, wv WHERE ctmp.i = wv.i;
+
+-- M: clear W
+DELETE FROM w;
+
+-- M: W = Σ x / n
+INSERT INTO w SELECT i, sum(x / gmm.n) FROM yx, gmm GROUP BY i;
+
+-- refresh yc: drop
+DROP TABLE IF EXISTS yc;
+
+-- refresh yc: create
+CREATE TABLE yc (rid BIGINT, i BIGINT, v BIGINT, sq DOUBLE, PRIMARY KEY (rid, i, v));
+
+-- M: squared differences (YC, kpn rows materialized)
+INSERT INTO yc SELECT y.rid, c.i, y.v, (y.val - c.val) ** 2 FROM y, c WHERE y.v = c.v;
+
+-- M: clear R
+DELETE FROM r;
+
+-- M: R = Σ x·(y−C)² / n
+INSERT INTO r SELECT yc.v, sum(yc.sq * yx.x / gmm.n) FROM yc, yx, gmm WHERE yc.rid = yx.rid AND yc.i = yx.i GROUP BY yc.v;
+
+-- ==== score ====
+-- refresh xmax: drop
+DROP TABLE IF EXISTS xmax;
+
+-- refresh xmax: create
+CREATE TABLE xmax (rid BIGINT PRIMARY KEY, maxx DOUBLE);
+
+-- score: per-point max responsibility (XMAX)
+INSERT INTO xmax SELECT rid, max(x) FROM yx GROUP BY rid;
+
+-- refresh ys: drop
+DROP TABLE IF EXISTS ys;
+
+-- refresh ys: create
+CREATE TABLE ys (rid BIGINT PRIMARY KEY, score BIGINT);
+
+-- score: argmax cluster (YS)
+INSERT INTO ys SELECT yx.rid, min(yx.i) FROM yx, xmax WHERE yx.rid = xmax.rid AND yx.x = xmax.maxx GROUP BY yx.rid;
+
+-- ==== loglikelihood ====
+SELECT sum(llh) FROM ysump;
