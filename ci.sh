@@ -45,6 +45,18 @@ else
     cargo test -q
 fi
 
+# Deterministic fault-plan sweep (docs/ROBUSTNESS.md): every statement
+# index × transient/permanent × all three strategies. The plans are
+# seeded, so failures reproduce exactly. --quick samples every 7th
+# statement index instead of all of them.
+if [ "$QUICK" = 1 ]; then
+    echo "== chaos: fault-plan sweep (--quick: stride 7)"
+    SQLEM_CHAOS_STRIDE=7 cargo test -q --test chaos
+else
+    echo "== chaos: fault-plan sweep (full)"
+    cargo test -q --test chaos
+fi
+
 echo "== workspace tests"
 cargo test --workspace -q
 

@@ -18,6 +18,21 @@
 //!   --workers N           engine scan partitions, AMP-style (default 1)
 //!   --trace-metrics       print per-iteration cost-model telemetry
 //!                         (n-scans / pn-scans / temp rows / E+M timings)
+//!   --retries N           retry transiently-failed statements up to N
+//!                         times each (exponential backoff)
+//!   --checkpoint PATH     checkpoint every iteration; save the latest
+//!                         snapshot to PATH when the run ends — even on
+//!                         error — so it can be resumed
+//!   --resume PATH         restore model/iteration/llh state from a
+//!                         checkpoint file before running
+//!   --recover             re-seed degenerate (empty/NaN) clusters
+//!                         deterministically instead of aborting
+//!   --inject-fault SPEC   deterministic fault injection for testing.
+//!                         SPEC = SELECTOR[:MOD]... with SELECTOR one of
+//!                         a statement number, kind=insert|update|
+//!                         delete|select, or table=SUBSTRING; MODs:
+//!                         transient (default), permanent, once
+//!                         (default), always. Repeatable.
 //!
 //! lint options:
 //!   --p N                 dimensionality (required)
@@ -37,8 +52,9 @@ mod csv;
 use std::process::ExitCode;
 
 use emcore::init::InitStrategy;
-use sqlem::{EmSession, SqlemConfig, Strategy};
-use sqlengine::Database;
+use sqlem::naming::Names;
+use sqlem::{checkpoint, EmSession, RetryPolicy, SqlemConfig, Strategy};
+use sqlengine::{Database, FaultPlan, FaultRule, StatementKind};
 
 struct Args {
     input: String,
@@ -54,13 +70,20 @@ struct Args {
     fused: bool,
     workers: usize,
     trace_metrics: bool,
+    retries: Option<usize>,
+    checkpoint_path: Option<String>,
+    resume_path: Option<String>,
+    recover: bool,
+    fault_specs: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sqlem-cli <input.csv> --k <clusters> [--strategy hybrid|horizontal|vertical] \
          [--epsilon E] [--max-iterations N] [--seed N] [--sample F] [--no-header] \
-         [--scores PATH] [--sql] [--fused] [--workers N] [--trace-metrics]\n\
+         [--scores PATH] [--sql] [--fused] [--workers N] [--trace-metrics] \
+         [--retries N] [--checkpoint PATH] [--resume PATH] [--recover] \
+         [--inject-fault SPEC]...\n\
          \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
          [--max-terms N] [--verbose]"
     );
@@ -81,6 +104,11 @@ fn parse_args() -> Args {
     let mut fused = false;
     let mut workers = 1usize;
     let mut trace_metrics = false;
+    let mut retries = None;
+    let mut checkpoint_path = None;
+    let mut resume_path = None;
+    let mut recover = false;
+    let mut fault_specs = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -115,6 +143,11 @@ fn parse_args() -> Args {
             "--fused" => fused = true,
             "--workers" => workers = req("--workers").parse().unwrap_or_else(|_| usage()),
             "--trace-metrics" => trace_metrics = true,
+            "--retries" => retries = Some(req("--retries").parse().unwrap_or_else(|_| usage())),
+            "--checkpoint" => checkpoint_path = Some(req("--checkpoint")),
+            "--resume" => resume_path = Some(req("--resume")),
+            "--recover" => recover = true,
+            "--inject-fault" => fault_specs.push(req("--inject-fault")),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             other => {
@@ -145,6 +178,75 @@ fn parse_args() -> Args {
         fused,
         workers,
         trace_metrics,
+        retries,
+        checkpoint_path,
+        resume_path,
+        recover,
+        fault_specs,
+    }
+}
+
+/// Parse one `--inject-fault` spec: `SELECTOR[:MOD]...` where SELECTOR
+/// is a statement number, `kind=NAME`, or `table=SUBSTRING`, and MODs
+/// are `transient` (default), `permanent`, `once` (default), `always`.
+fn parse_fault_rule(spec: &str) -> Result<FaultRule, String> {
+    let mut parts = spec.split(':');
+    let selector = parts.next().unwrap_or_default();
+    let mut rule = if let Some(kind) = selector.strip_prefix("kind=") {
+        let kind = match kind {
+            "create" => StatementKind::CreateTable,
+            "drop" => StatementKind::DropTable,
+            "insert" => StatementKind::Insert,
+            "update" => StatementKind::Update,
+            "delete" => StatementKind::Delete,
+            "select" => StatementKind::Select,
+            other => return Err(format!("unknown statement kind {other:?} in {spec:?}")),
+        };
+        FaultRule::kind(kind)
+    } else if let Some(pattern) = selector.strip_prefix("table=") {
+        FaultRule::table(pattern)
+    } else {
+        let n: usize = selector.parse().map_err(|_| {
+            format!(
+                "fault selector must be a statement number, kind=…, or table=…, got {selector:?}"
+            )
+        })?;
+        FaultRule::nth(n)
+    };
+    let mut always = false;
+    for modifier in parts {
+        match modifier {
+            "transient" => rule = rule.transient(),
+            "permanent" => rule = rule.permanent(),
+            "once" => always = false,
+            "always" => always = true,
+            other => return Err(format!("unknown fault modifier {other:?} in {spec:?}")),
+        }
+    }
+    if !always {
+        rule = rule.once();
+    }
+    Ok(rule)
+}
+
+/// Persist the in-database checkpoint (if any) to `path` so a later
+/// process can `--resume` it; the database itself is in-memory only.
+fn save_checkpoint_file(db: &mut Database, path: &str) -> Result<(), String> {
+    let names = Names::new("");
+    match checkpoint::read_checkpoint(db, &names).map_err(|e| e.to_string())? {
+        Some(ckpt) => {
+            std::fs::write(path, checkpoint::to_text(&ckpt))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "saved checkpoint after iteration {} to {path} (resume with --resume {path})",
+                ckpt.iteration
+            );
+            Ok(())
+        }
+        None => {
+            eprintln!("no checkpoint to save (no iteration completed)");
+            Ok(())
+        }
     }
 }
 
@@ -168,8 +270,31 @@ fn run(args: &Args) -> Result<(), String> {
     if args.fused {
         config = config.with_fused_e_step();
     }
+    if let Some(n) = args.retries {
+        // N retries = N+1 attempts per statement.
+        config = config.with_retry(RetryPolicy::new(n + 1).with_seed(args.seed));
+    }
+    if args.checkpoint_path.is_some() {
+        config = config.with_checkpoints();
+    }
+    if args.recover {
+        config = config.with_degenerate_recovery(args.seed);
+    }
     let mut db = Database::new();
     db.set_workers(args.workers);
+    if !args.fault_specs.is_empty() {
+        let rules = args
+            .fault_specs
+            .iter()
+            .map(|s| parse_fault_rule(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        db.set_fault_plan(FaultPlan::new(rules).with_seed(args.seed));
+    }
+    if let Some(path) = &args.resume_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let ckpt = checkpoint::from_text(&text).map_err(|e| e.to_string())?;
+        checkpoint::write_checkpoint(&mut db, &Names::new(""), &ckpt).map_err(|e| e.to_string())?;
+    }
     let mut session = EmSession::create(&mut db, &config, p).map_err(|e| e.to_string())?;
 
     if args.print_sql {
@@ -181,18 +306,57 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     session.load_points(&data.rows).map_err(|e| e.to_string())?;
-    session
-        .initialize(&InitStrategy::FromSample {
-            fraction: args.sample.clamp(0.01, 1.0),
-            seed: args.seed,
-            em_iterations: 5,
-        })
-        .map_err(|e| e.to_string())?;
+    let resumed_at = if args.resume_path.is_some() {
+        session
+            .resume_from_checkpoint()
+            .map_err(|e| e.to_string())?
+    } else {
+        None
+    };
+    match resumed_at {
+        Some(done) => eprintln!("resumed from checkpoint: {done} iteration(s) already complete"),
+        None => {
+            if let Some(path) = &args.resume_path {
+                return Err(format!(
+                    "{path} holds no usable checkpoint for this data (k/p mismatch?)"
+                ));
+            }
+            session
+                .initialize(&InitStrategy::FromSample {
+                    fraction: args.sample.clamp(0.01, 1.0),
+                    seed: args.seed,
+                    em_iterations: 5,
+                })
+                .map_err(|e| e.to_string())?;
+        }
+    }
 
     if args.trace_metrics {
         session.enable_telemetry();
     }
-    let run = session.run().map_err(|e| e.to_string())?;
+    let run = match session.run() {
+        Ok(run) => run,
+        Err(e) => {
+            // Even a failed run may have checkpointed completed
+            // iterations: persist them so the user can resume.
+            drop(session);
+            if let Some(path) = &args.checkpoint_path {
+                save_checkpoint_file(&mut db, path)?;
+            }
+            return Err(e.to_string());
+        }
+    };
+    if run.retries > 0 {
+        eprintln!("retried {} transient statement failure(s)", run.retries);
+    }
+    for rec in &run.recoveries {
+        eprintln!(
+            "iteration {}: re-seeded degenerate cluster {} ({})",
+            rec.iteration + 1,
+            rec.cluster + 1,
+            rec.reason
+        );
+    }
     eprintln!(
         "{} iterations ({:?}), {:.3}s per iteration, final llh {:.3}",
         run.iterations,
@@ -224,6 +388,10 @@ fn run(args: &Args) -> Result<(), String> {
         let out = csv::write_csv(&["rid", "cluster"], &rows);
         std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {} assignments to {path}", scores.len());
+    }
+    drop(session);
+    if let Some(path) = &args.checkpoint_path {
+        save_checkpoint_file(&mut db, path)?;
     }
     Ok(())
 }

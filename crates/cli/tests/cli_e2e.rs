@@ -156,3 +156,140 @@ fn shell_runs_script_files_from_args() {
     assert!(stdout.contains("2.0"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn checkpoint_then_resume_continues_the_run() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let ckpt = dir.join("run.ckpt");
+
+    // Phase 1: three iterations, checkpoint persisted to disk.
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--epsilon",
+            "1e-12",
+            "--max-iterations",
+            "3",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("saved checkpoint after iteration 3"),
+        "{stderr}"
+    );
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(text.starts_with("sqlem-checkpoint v1"), "{text}");
+
+    // Phase 2: a fresh process resumes where phase 1 stopped.
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--epsilon",
+            "1e-12",
+            "--max-iterations",
+            "8",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("resumed from checkpoint: 3 iteration(s) already complete"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_transient_fault_is_retried() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_fault");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--max-iterations",
+            "3",
+            "--inject-fault",
+            "table=yd:transient",
+            "--retries",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("retried 1 transient statement failure(s)"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_permanent_fault_fails_with_typed_error() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_fault_perm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--max-iterations",
+            "3",
+            "--inject-fault",
+            "kind=insert:permanent",
+            "--retries",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injected permanent fault"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_fault_spec_is_rejected() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_fault_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--inject-fault",
+            "wibble",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fault selector"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

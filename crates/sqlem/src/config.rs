@@ -1,5 +1,7 @@
 //! Run configuration: which strategy, how many clusters, when to stop.
 
+use crate::retry::RetryPolicy;
+
 /// The three SQL implementation strategies of §3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
@@ -70,6 +72,30 @@ pub struct SqlemConfig {
     /// decision is logged and recorded). Ignored when `preflight` is
     /// off.
     pub auto_fallback: bool,
+    /// Re-submit statements that fail with a transient error, per this
+    /// policy. `None` (default) fails fast on the first error. Safe
+    /// because the engine's statement semantics are atomic (see
+    /// `docs/ROBUSTNESS.md`).
+    pub retry: Option<RetryPolicy>,
+    /// Persist the model + iteration counter + llh history into durable
+    /// checkpoint tables after every completed iteration (default off).
+    /// An interrupted run can then continue via
+    /// [`crate::EmSession::resume_from_checkpoint`].
+    pub checkpoint: bool,
+    /// When an M step kills a cluster (zero responsibility mass) or
+    /// produces non-finite parameters, deterministically re-seed the
+    /// dead cluster and repeat the iteration instead of aborting
+    /// (default off). Recoveries are reported in
+    /// [`crate::SqlemRun::recoveries`].
+    pub recover_degenerate: bool,
+    /// Seed for degenerate-cluster re-seeding (so recovery is
+    /// reproducible).
+    pub recovery_seed: u64,
+    /// Drop every session work table when [`crate::EmSession::run`]
+    /// fails (default on), so a failed run never leaks prefixed temp
+    /// tables into a shared database. Checkpoint tables survive either
+    /// way.
+    pub cleanup_on_error: bool,
 }
 
 impl SqlemConfig {
@@ -86,6 +112,11 @@ impl SqlemConfig {
             param_epsilon: None,
             preflight: true,
             auto_fallback: true,
+            retry: None,
+            checkpoint: false,
+            recover_degenerate: false,
+            recovery_seed: 0,
+            cleanup_on_error: true,
         }
     }
 
@@ -133,6 +164,33 @@ impl SqlemConfig {
     /// lint finds a capacity overflow.
     pub fn without_auto_fallback(mut self) -> Self {
         self.auto_fallback = false;
+        self
+    }
+
+    /// Builder: retry transiently-failing statements per `policy`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Builder: checkpoint the model after every iteration.
+    pub fn with_checkpoints(mut self) -> Self {
+        self.checkpoint = true;
+        self
+    }
+
+    /// Builder: re-seed degenerate clusters instead of aborting, using
+    /// `seed` for reproducible re-seeding.
+    pub fn with_degenerate_recovery(mut self, seed: u64) -> Self {
+        self.recover_degenerate = true;
+        self.recovery_seed = seed;
+        self
+    }
+
+    /// Builder: keep work tables around when a run fails (for
+    /// post-mortem inspection).
+    pub fn without_cleanup_on_error(mut self) -> Self {
+        self.cleanup_on_error = false;
         self
     }
 }

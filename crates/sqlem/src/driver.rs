@@ -14,13 +14,27 @@ use emcore::{EmOutcome, GmmParams};
 use sqlengine::ast::Statement;
 use sqlengine::{Database, Error as SqlError};
 
+use crate::checkpoint::{self, Checkpoint};
 use crate::config::{SqlemConfig, Strategy};
 use crate::error::SqlemError;
 use crate::generator::{build_generator, Generator, Stmt};
 use crate::lint::{lint_strategy, FallbackDecision, LintFinding};
 use crate::loader;
 use crate::naming::Names;
+use crate::retry::RetryPolicy;
 use crate::telemetry::IterationReport;
+
+/// One degenerate-model repair performed by [`EmSession::run`] under
+/// [`SqlemConfig::recover_degenerate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// 0-based index of the iteration that was repaired and repeated.
+    pub iteration: usize,
+    /// 0-based index of the re-seeded cluster.
+    pub cluster: usize,
+    /// Human-readable description of the degeneracy.
+    pub reason: String,
+}
 
 /// Result of a SQLEM run.
 #[derive(Debug, Clone)]
@@ -39,6 +53,11 @@ pub struct SqlemRun {
     /// Per-iteration cost-model telemetry; empty unless
     /// [`EmSession::enable_telemetry`] was called before running.
     pub iteration_reports: Vec<IterationReport>,
+    /// Transient-fault statement retries performed across the run.
+    pub retries: usize,
+    /// Degenerate-cluster repairs performed across the run (empty unless
+    /// [`SqlemConfig::recover_degenerate`] is on and a cluster died).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl SqlemRun {
@@ -79,6 +98,14 @@ pub struct EmSession<'a> {
     iteration_reports: Vec<IterationReport>,
     /// Iterations executed so far (indexes the reports).
     iterations_done: usize,
+    /// Transient-fault retries performed so far.
+    retries: usize,
+    /// Degenerate-cluster repairs performed so far.
+    recoveries: Vec<RecoveryEvent>,
+    /// Loglikelihood history restored by
+    /// [`EmSession::resume_from_checkpoint`]; consumed by the next
+    /// [`EmSession::run`].
+    resumed_llh: Vec<f64>,
 }
 
 impl<'a> EmSession<'a> {
@@ -151,9 +178,19 @@ impl<'a> EmSession<'a> {
             fallback,
             iteration_reports: Vec::new(),
             iterations_done: 0,
+            retries: 0,
+            recoveries: Vec::new(),
+            resumed_llh: Vec::new(),
         };
         let ddl = session.generator.create_tables();
-        session.execute_stmts(&ddl)?;
+        if let Err(e) = session.execute_stmts(&ddl) {
+            // The caller never gets a session to clean up, so a failure
+            // mid-DDL must not leak the tables already created.
+            if session.config.cleanup_on_error {
+                let _ = session.cleanup();
+            }
+            return Err(e);
+        }
         Ok(session)
     }
 
@@ -277,7 +314,21 @@ impl<'a> EmSession<'a> {
     }
 
     /// Read the current parameters from the C/R/W tables.
+    ///
+    /// Every cell is checked for finiteness on the way out: a NaN or
+    /// infinite mean/weight/covariance yields
+    /// [`SqlemError::Degenerate`] naming the cluster and parameter
+    /// rather than letting the poison propagate into summaries or
+    /// convergence tests.
     pub fn params(&mut self) -> Result<GmmParams, SqlemError> {
+        let params = self.generator.read_params(self.db)?;
+        validate_finite(&params)?;
+        Ok(params)
+    }
+
+    /// Read the current parameters without the finiteness check — the
+    /// degenerate-recovery path needs to look at a poisoned model.
+    fn params_unchecked(&mut self) -> Result<GmmParams, SqlemError> {
         self.generator.read_params(self.db)
     }
 
@@ -312,23 +363,32 @@ impl<'a> EmSession<'a> {
             self.prepared = Some(prepared);
         }
         let metrics_start = self.db.metrics().len();
+        let retries_before = self.retries;
+        let policy = self.config.retry.clone();
         let prepared = std::mem::take(&mut self.prepared).unwrap_or_default();
         let mut result = Ok(());
         for (purpose, stmt) in &prepared {
-            if let Err(e) = self.db.execute_prepared(stmt) {
-                result = Err(promote_degenerate(purpose, e));
+            let db = &mut *self.db;
+            let r = with_retry(policy.as_ref(), &mut self.retries, || {
+                db.execute_prepared(stmt)
+                    .map(|_| ())
+                    .map_err(|e| promote_degenerate(purpose, e))
+            });
+            if let Err(e) = r {
+                result = Err(e);
                 break;
             }
         }
         self.prepared = Some(prepared);
         result?;
         let llh_sql = self.generator.llh_sql();
-        let r = self
-            .db
-            .execute(&llh_sql)
-            .map_err(|e| SqlemError::from_sql("read llh", e))?;
+        let db = &mut *self.db;
+        let r = with_retry(policy.as_ref(), &mut self.retries, || {
+            db.execute(&llh_sql)
+                .map_err(|e| SqlemError::from_sql("read llh", e))
+        })?;
         if self.db.metrics().is_enabled() {
-            self.record_iteration_report(metrics_start);
+            self.record_iteration_report(metrics_start, self.retries - retries_before);
         }
         self.iterations_done += 1;
         Ok(r.scalar_f64().unwrap_or(0.0))
@@ -336,7 +396,7 @@ impl<'a> EmSession<'a> {
 
     /// Build an [`IterationReport`] from the metrics entries appended
     /// since `from` (one per executed statement, plus the llh read).
-    fn record_iteration_report(&mut self, from: usize) {
+    fn record_iteration_report(&mut self, from: usize, retries: usize) {
         let (Some(n), Some(prepared)) = (self.n, self.prepared.as_ref()) else {
             return;
         };
@@ -346,7 +406,7 @@ impl<'a> EmSession<'a> {
         // logged beyond them (M step + llh read) is the M phase.
         let e_len = self.e_step.len();
         let entries = &self.db.metrics().entries()[from.min(self.db.metrics().len())..];
-        let report = IterationReport::from_metrics(
+        let mut report = IterationReport::from_metrics(
             self.iterations_done,
             entries,
             &purposes,
@@ -355,22 +415,101 @@ impl<'a> EmSession<'a> {
             self.p,
             self.config.k,
         );
+        report.retries = retries;
         self.iteration_reports.push(report);
     }
 
     /// Run until convergence (|Δllh| ≤ ε, or parameter stability when
     /// [`SqlemConfig::param_epsilon`] is set) or `max_iterations`.
+    ///
+    /// Robustness behaviour (all off by default, see [`SqlemConfig`]):
+    /// transiently-failing statements are retried per
+    /// [`SqlemConfig::retry`]; the model is checkpointed after every
+    /// iteration when [`SqlemConfig::checkpoint`] is on (and a run
+    /// primed by [`EmSession::resume_from_checkpoint`] continues from
+    /// the recorded iteration); a degenerate M step is repaired by
+    /// re-seeding the dead cluster when
+    /// [`SqlemConfig::recover_degenerate`] is on. On error, every work
+    /// table is dropped unless [`SqlemConfig::cleanup_on_error`] was
+    /// disabled — a failed run never leaks prefixed temp tables.
     pub fn run(&mut self) -> Result<SqlemRun, SqlemError> {
-        let mut llh_history = Vec::new();
+        match self.run_inner() {
+            Ok(run) => Ok(run),
+            Err(e) => {
+                if self.config.cleanup_on_error {
+                    // Best effort; the original error is what matters.
+                    let _ = self.cleanup();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn run_inner(&mut self) -> Result<SqlemRun, SqlemError> {
+        let mut llh_history = std::mem::take(&mut self.resumed_llh);
         let mut iteration_times = Vec::new();
-        let mut prev: Option<f64> = None;
+        let mut prev: Option<f64> = llh_history.last().copied();
         let mut prev_params: Option<GmmParams> = None;
         let mut outcome = EmOutcome::MaxIterations;
-        for _ in 0..self.config.max_iterations {
+        // At most k repairs per run: re-seeding the same model more
+        // often than it has clusters means the data cannot support k
+        // components, and aborting with the typed error is honest.
+        let mut recovery_budget = self.config.k;
+        while llh_history.len() < self.config.max_iterations {
+            let pre_params = if self.config.recover_degenerate {
+                Some(self.params()?)
+            } else {
+                None
+            };
             let t0 = Instant::now();
-            let llh = self.iterate_once()?;
+            let iterated = self.iterate_once().and_then(|llh| {
+                // Under recovery, inspect the M step's output before
+                // accepting the iteration.
+                if self.config.recover_degenerate {
+                    let params = self.params_unchecked()?;
+                    validate_finite(&params)?;
+                }
+                Ok(llh)
+            });
+            let llh = match iterated {
+                Ok(llh) => llh,
+                Err(e) if e.is_degenerate() && recovery_budget > 0 => {
+                    let Some(mut params) = pre_params else {
+                        return Err(e); // recovery off: typed error out
+                    };
+                    recovery_budget -= 1;
+                    let cluster = e.degenerate_cluster().unwrap_or(0).min(self.config.k - 1);
+                    let event = RecoveryEvent {
+                        iteration: llh_history.len(),
+                        cluster,
+                        reason: e.to_string(),
+                    };
+                    reseed_cluster(
+                        &mut params,
+                        cluster,
+                        self.config.recovery_seed,
+                        self.recoveries.len(),
+                    );
+                    self.set_params(&params)?;
+                    self.recoveries.push(event);
+                    continue; // repeat the iteration with the repaired model
+                }
+                Err(e) => return Err(e),
+            };
             iteration_times.push(t0.elapsed());
             llh_history.push(llh);
+            if self.config.checkpoint {
+                let params = self.params()?;
+                checkpoint::write_checkpoint(
+                    self.db,
+                    &self.names,
+                    &Checkpoint {
+                        iteration: llh_history.len(),
+                        llh_history: llh_history.clone(),
+                        params,
+                    },
+                )?;
+            }
             if let Some(prev) = prev {
                 if (llh - prev).abs() <= self.config.epsilon {
                     outcome = EmOutcome::Converged;
@@ -397,7 +536,56 @@ impl<'a> EmSession<'a> {
             outcome,
             iteration_times,
             iteration_reports: self.iteration_reports.clone(),
+            retries: self.retries,
+            recoveries: self.recoveries.clone(),
         })
+    }
+
+    /// Prime this session from the durable checkpoint left by a previous
+    /// (possibly crashed) run with the same table prefix: restores the
+    /// model into the parameter tables, the iteration counter, and the
+    /// loglikelihood history that the next [`EmSession::run`] continues
+    /// from. Returns the number of completed iterations, or `None` when
+    /// no valid checkpoint exists (run then starts from scratch).
+    ///
+    /// Points must already be loaded ([`EmSession::load_points`] /
+    /// [`EmSession::load_from_table`]); the checkpoint stores the model,
+    /// not the data. Re-running a half-finished iteration is safe
+    /// because every E step drops and recreates its work tables.
+    pub fn resume_from_checkpoint(&mut self) -> Result<Option<usize>, SqlemError> {
+        let Some(ckpt) = checkpoint::read_checkpoint(self.db, &self.names)? else {
+            return Ok(None);
+        };
+        if ckpt.params.k() != self.config.k || ckpt.params.p() != self.p {
+            return Err(SqlemError::BadInput(format!(
+                "checkpoint shape (k={}, p={}) does not match session (k={}, p={})",
+                ckpt.params.k(),
+                ckpt.params.p(),
+                self.config.k,
+                self.p
+            )));
+        }
+        self.set_params(&ckpt.params)?;
+        self.iterations_done = ckpt.iteration;
+        self.resumed_llh = ckpt.llh_history;
+        Ok(Some(ckpt.iteration))
+    }
+
+    /// Drop this session's checkpoint tables (a completed run's
+    /// checkpoint is otherwise deliberately left behind).
+    pub fn clear_checkpoint(&mut self) -> Result<(), SqlemError> {
+        checkpoint::clear_checkpoint(self.db, &self.names)
+    }
+
+    /// Statement retries performed so far (0 without a
+    /// [`SqlemConfig::retry`] policy).
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+
+    /// Degenerate-cluster repairs performed so far.
+    pub fn recoveries(&self) -> &[RecoveryEvent] {
+        &self.recoveries
     }
 
     /// Materialize per-point cluster assignments (the `score` of §3.2,
@@ -466,13 +654,155 @@ impl<'a> EmSession<'a> {
     }
 
     fn execute_stmts(&mut self, stmts: &[Stmt]) -> Result<(), SqlemError> {
+        let policy = self.config.retry.clone();
         for stmt in stmts {
-            self.db
-                .execute(&stmt.sql)
-                .map_err(|e| promote_degenerate(&stmt.purpose, e))?;
+            let db = &mut *self.db;
+            with_retry(policy.as_ref(), &mut self.retries, || {
+                db.execute(&stmt.sql)
+                    .map(|_| ())
+                    .map_err(|e| promote_degenerate(&stmt.purpose, e))
+            })?;
         }
         Ok(())
     }
+}
+
+/// Run `f`, re-running it per `policy` as long as it fails transiently.
+///
+/// Sound only because the engine's statement semantics are atomic: a
+/// transiently-failed statement left no effects, so the re-run executes
+/// against exactly the state the first attempt saw (docs/ROBUSTNESS.md).
+/// Non-transient errors — every organic engine or domain error — return
+/// immediately.
+fn with_retry<T>(
+    policy: Option<&RetryPolicy>,
+    retries: &mut usize,
+    mut f: impl FnMut() -> Result<T, SqlemError>,
+) -> Result<T, SqlemError> {
+    let mut attempt = 0usize;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let Some(policy) = policy else {
+                    return Err(e);
+                };
+                if !e.is_transient() || !policy.allows_retry(attempt) {
+                    return Err(e);
+                }
+                let delay = policy.delay_for(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+                *retries += 1;
+            }
+        }
+    }
+}
+
+/// Validate that every parameter cell read back from the C/R/W tables is
+/// finite, naming the first offender (satellite of the §2.5 safeguards:
+/// the generated SQL guards against *expected* degeneracies, this guards
+/// the read-back against everything else).
+fn validate_finite(params: &GmmParams) -> Result<(), SqlemError> {
+    for (j, mean) in params.means.iter().enumerate() {
+        for (d, v) in mean.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(SqlemError::Degenerate {
+                    cluster: j,
+                    param: format!("mean y{}", d + 1),
+                });
+            }
+        }
+    }
+    for (j, w) in params.weights.iter().enumerate() {
+        if !w.is_finite() {
+            return Err(SqlemError::Degenerate {
+                cluster: j,
+                param: "weight".to_string(),
+            });
+        }
+    }
+    for (d, r) in params.cov.iter().enumerate() {
+        if !r.is_finite() {
+            return Err(SqlemError::Degenerate {
+                cluster: d,
+                param: format!("covariance r{}", d + 1),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Deterministically re-seed cluster `j` of a degenerate model: repair
+/// any non-finite cells, move the dead cluster's mean to the centroid of
+/// the surviving means plus a seeded jitter of one standard deviation,
+/// and give it weight `1/k` (renormalizing the rest). Pure splitmix64 —
+/// the same `(seed, round, j)` always produces the same re-seed.
+fn reseed_cluster(params: &mut GmmParams, j: usize, seed: u64, round: usize) {
+    let k = params.k();
+    let p = params.p();
+    let mix = |x: u64| -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    // Repair non-finite covariance cells first; their sqrt scales the
+    // jitter below.
+    for c in &mut params.cov {
+        if !c.is_finite() || *c < 0.0 {
+            *c = 1.0;
+        }
+    }
+    for d in 0..p {
+        let (mut sum, mut cnt) = (0.0, 0usize);
+        for (i, mean) in params.means.iter().enumerate() {
+            if i != j && mean[d].is_finite() {
+                sum += mean[d];
+                cnt += 1;
+            }
+        }
+        let centroid = if cnt > 0 { sum / cnt as f64 } else { 0.0 };
+        let h = mix(seed
+            ^ (round as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ ((j * p + d) as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        // Uniform in [-1, 1).
+        let u = ((h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) * 2.0 - 1.0;
+        let sigma = params.cov[d].sqrt().max(1e-6);
+        params.means[j][d] = centroid + u * sigma;
+    }
+    // Repair any other dead mean cells without moving live clusters.
+    for mean in &mut params.means {
+        for v in mean.iter_mut() {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+    }
+    let w_new = 1.0 / k as f64;
+    let others: f64 = params
+        .weights
+        .iter()
+        .enumerate()
+        .filter(|&(i, w)| i != j && w.is_finite())
+        .map(|(_, w)| *w)
+        .sum();
+    if others > 0.0 && others.is_finite() {
+        let scale = (1.0 - w_new) / others;
+        for (i, w) in params.weights.iter_mut().enumerate() {
+            if i != j {
+                *w = if w.is_finite() { *w * scale } else { 0.0 };
+            }
+        }
+    } else {
+        // Everything died: flat restart.
+        for w in params.weights.iter_mut() {
+            *w = w_new;
+        }
+    }
+    params.weights[j] = w_new;
 }
 
 /// Map a division-by-zero inside a mean-update statement to the
@@ -678,6 +1008,66 @@ mod tests {
             .unwrap();
         let run = session.run().unwrap();
         assert_eq!(run.iterations, 2);
+    }
+
+    #[test]
+    fn validate_finite_names_first_offender() {
+        let mut p = init_params();
+        assert!(validate_finite(&p).is_ok());
+        p.means[1][0] = f64::NAN;
+        match validate_finite(&p).unwrap_err() {
+            SqlemError::Degenerate { cluster, param } => {
+                assert_eq!(cluster, 1);
+                assert_eq!(param, "mean y1");
+            }
+            other => panic!("unexpected {other}"),
+        }
+        let mut p = init_params();
+        p.cov[1] = f64::INFINITY;
+        match validate_finite(&p).unwrap_err() {
+            SqlemError::Degenerate { cluster, param } => {
+                assert_eq!(cluster, 1);
+                assert_eq!(param, "covariance r2");
+            }
+            other => panic!("unexpected {other}"),
+        }
+        let mut p = init_params();
+        p.weights[0] = f64::NAN;
+        assert!(matches!(
+            validate_finite(&p),
+            Err(SqlemError::Degenerate { cluster: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn reseed_repairs_and_renormalizes() {
+        let mut p = GmmParams {
+            means: vec![vec![0.0, 0.0], vec![f64::NAN, 1.0e9]],
+            cov: vec![4.0, f64::NAN],
+            weights: vec![1.0, 0.0],
+        };
+        reseed_cluster(&mut p, 1, 7, 0);
+        p.validate().expect("re-seeded model is structurally valid");
+        assert!((p.weights[1] - 0.5).abs() < 1e-12, "dead cluster gets 1/k");
+        assert!(p.weights_normalized());
+        // Mean lands near the surviving cluster, jittered by ≤ sqrt(cov).
+        assert!(p.means[1][0].abs() <= 2.0 + 1e-9, "{:?}", p.means[1]);
+        assert_eq!(p.cov[1], 1.0, "non-finite covariance reset");
+
+        // Determinism in (seed, round); sensitivity to both.
+        let mk = || GmmParams {
+            means: vec![vec![0.0, 0.0], vec![f64::NAN, 1.0e9]],
+            cov: vec![4.0, f64::NAN],
+            weights: vec![1.0, 0.0],
+        };
+        let (mut a, mut b, mut c, mut d) = (mk(), mk(), mk(), mk());
+        reseed_cluster(&mut a, 1, 7, 0);
+        reseed_cluster(&mut b, 1, 7, 0);
+        reseed_cluster(&mut c, 1, 8, 0);
+        reseed_cluster(&mut d, 1, 7, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
     }
 
     #[test]

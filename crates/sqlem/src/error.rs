@@ -42,6 +42,17 @@ pub enum SqlemError {
     /// A cluster lost all responsibility mass; the mean-update division
     /// failed inside the DBMS.
     DegenerateCluster(usize),
+    /// A parameter read back from the C/R/W tables is NaN or infinite —
+    /// the model degenerated without tripping a SQL-level error. Names
+    /// the offending cluster (0-based; for the global covariance vector
+    /// the "cluster" is the dimension index) and parameter cell.
+    Degenerate {
+        /// 0-based cluster index (dimension index for covariance cells).
+        cluster: usize,
+        /// Which parameter cell went non-finite (e.g. `"mean y2"`,
+        /// `"weight"`, `"covariance r1"`).
+        param: String,
+    },
 }
 
 impl std::fmt::Display for SqlemError {
@@ -72,6 +83,12 @@ impl std::fmt::Display for SqlemError {
             SqlemError::DegenerateCluster(j) => {
                 write!(f, "cluster {j} received zero total responsibility")
             }
+            SqlemError::Degenerate { cluster, param } => {
+                write!(
+                    f,
+                    "degenerate model: {param} of cluster {cluster} is not finite"
+                )
+            }
         }
     }
 }
@@ -92,6 +109,35 @@ impl SqlemError {
                 purpose: purpose.to_string(),
                 source: other,
             },
+        }
+    }
+
+    /// Is a retry of the failed step worth attempting? Delegates to the
+    /// engine's classification: only injected transient faults qualify;
+    /// every domain-level error (preflight, bad input, degenerate model,
+    /// …) is deterministic.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SqlemError::Sql { source, .. } if source.is_transient())
+    }
+
+    /// Is this a degenerate-model condition (a dead cluster or a
+    /// non-finite parameter) that [`crate::SqlemConfig::recover_degenerate`]
+    /// can repair?
+    pub fn is_degenerate(&self) -> bool {
+        matches!(
+            self,
+            SqlemError::DegenerateCluster(_) | SqlemError::Degenerate { .. }
+        )
+    }
+
+    /// The cluster a degenerate-model error names, 0-based, if any
+    /// ([`SqlemError::DegenerateCluster`] carries the paper's 1-based
+    /// table index and is shifted down here).
+    pub fn degenerate_cluster(&self) -> Option<usize> {
+        match self {
+            SqlemError::DegenerateCluster(j) => Some(j.saturating_sub(1)),
+            SqlemError::Degenerate { cluster, .. } => Some(*cluster),
+            _ => None,
         }
     }
 }

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod error;
@@ -66,16 +67,19 @@ pub mod lint;
 pub mod loader;
 pub mod naming;
 pub mod percluster;
+pub mod retry;
 pub mod sqlfmt;
 pub mod summary;
 pub mod telemetry;
 
+pub use checkpoint::Checkpoint;
 pub use config::{SqlemConfig, Strategy};
-pub use driver::{EmSession, SqlemRun};
+pub use driver::{EmSession, RecoveryEvent, SqlemRun};
 pub use error::SqlemError;
 pub use generator::{build_generator, Generator, Stmt};
 pub use kmeans::{KmeansConfig, KmeansSession};
 pub use lint::{lint_all, lint_strategy, FallbackDecision, LintFinding, LintKind, LintReport};
 pub use naming::Names;
 pub use percluster::{PerClusterConfig, PerClusterSession};
+pub use retry::RetryPolicy;
 pub use telemetry::{scan_threshold, IterationReport, StepMetrics};

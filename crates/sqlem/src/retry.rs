@@ -1,0 +1,169 @@
+//! Statement-level retry with exponential backoff.
+//!
+//! The paper's deployment model (§1.4) is a thin client driving a remote
+//! DBMS: individual statements can fail transiently (deadlock victim,
+//! timeout, connection blip) without the overall computation being in
+//! any trouble. Because the engine guarantees atomic statement semantics
+//! (a failed statement leaves its target untouched — see
+//! `docs/ROBUSTNESS.md`), re-submitting the identical statement is
+//! always safe, and for a transient failure it is the right move.
+//!
+//! A [`RetryPolicy`] says how many times to re-submit and how long to
+//! wait between attempts: exponential backoff (`base · 2^attempt`,
+//! capped) with deterministic seed-derived jitter so two clients with
+//! different seeds don't stampede in lockstep — and so tests replay
+//! exactly.
+//!
+//! Only errors classified transient by [`crate::SqlemError::is_transient`]
+//! are retried; organic engine errors (parse, analysis, arithmetic,
+//! duplicate key, …) are deterministic and would only reproduce.
+
+use std::time::Duration;
+
+/// Retry budget and backoff schedule for one SQLEM session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per statement, including the first (so `1` means
+    /// "never retry"). Must be ≥ 1.
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream (deterministic across runs).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(3)
+    }
+}
+
+impl RetryPolicy {
+    /// Policy with `max_attempts` total attempts and a small default
+    /// backoff (1 ms base, 100 ms cap).
+    pub fn new(max_attempts: usize) -> Self {
+        assert!(max_attempts >= 1, "max_attempts must be at least 1");
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            seed: 0,
+        }
+    }
+
+    /// Policy that retries without sleeping — for tests and in-process
+    /// engines where backoff buys nothing.
+    pub fn immediate(max_attempts: usize) -> Self {
+        RetryPolicy::new(max_attempts).with_base_delay(Duration::ZERO)
+    }
+
+    /// Builder: set the base backoff.
+    pub fn with_base_delay(mut self, d: Duration) -> Self {
+        self.base_delay = d;
+        self
+    }
+
+    /// Builder: set the backoff ceiling.
+    pub fn with_max_delay(mut self, d: Duration) -> Self {
+        self.max_delay = d;
+        self
+    }
+
+    /// Builder: set the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (0-based: the delay after
+    /// the first failure is `delay_for(0)`). Exponential in `attempt`
+    /// with up to +100 % deterministic jitter, capped at `max_delay`.
+    pub fn delay_for(&self, attempt: usize) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16) as u32);
+        let capped = exp.min(self.max_delay);
+        // Jitter in [1.0, 2.0), drawn from (seed, attempt) — replayable.
+        let jitter = 1.0
+            + unit_f64(splitmix64(
+                self.seed ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            ));
+        capped.mul_f64(jitter).min(self.max_delay)
+    }
+
+    /// Whether a failure on 0-based attempt `attempt` leaves budget for
+    /// another try.
+    pub fn allows_retry(&self, attempt: usize) -> bool {
+        attempt + 1 < self.max_attempts
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let p = RetryPolicy::new(10)
+            .with_base_delay(Duration::from_millis(1))
+            .with_max_delay(Duration::from_millis(8));
+        let d0 = p.delay_for(0);
+        let d3 = p.delay_for(3);
+        assert!(d0 >= Duration::from_millis(1));
+        assert!(d0 <= Duration::from_millis(2), "{d0:?}");
+        assert!(d3 <= Duration::from_millis(8), "{d3:?}");
+        // Far-out attempts stay at the cap instead of overflowing.
+        assert!(p.delay_for(60) <= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let a = RetryPolicy::new(5).with_seed(1);
+        let b = RetryPolicy::new(5).with_seed(1);
+        let c = RetryPolicy::new(5).with_seed(2);
+        assert_eq!(a.delay_for(1), b.delay_for(1));
+        assert_ne!(
+            a.delay_for(1),
+            c.delay_for(1),
+            "different seed, different jitter"
+        );
+    }
+
+    #[test]
+    fn immediate_never_sleeps() {
+        let p = RetryPolicy::immediate(4);
+        for attempt in 0..8 {
+            assert_eq!(p.delay_for(attempt), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn attempt_budget() {
+        let p = RetryPolicy::new(3);
+        assert!(p.allows_retry(0));
+        assert!(p.allows_retry(1));
+        assert!(!p.allows_retry(2), "third failure exhausts 3 attempts");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempts_rejected() {
+        RetryPolicy::new(0);
+    }
+}

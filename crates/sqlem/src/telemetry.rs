@@ -61,6 +61,10 @@ pub struct IterationReport {
     pub m_step_time: Duration,
     /// Per-statement breakdown, in execution order.
     pub steps: Vec<StepMetrics>,
+    /// Transient-fault retries the driver performed during this
+    /// iteration (0 unless a [`crate::RetryPolicy`] is configured and a
+    /// fault fired).
+    pub retries: usize,
 }
 
 impl IterationReport {
@@ -115,6 +119,7 @@ impl IterationReport {
             e_step_time: e_time,
             m_step_time: m_time,
             steps,
+            retries: 0,
         }
     }
 

@@ -7,8 +7,10 @@ use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
 use crate::exec::{
-    execute_statement_metered, explain_select, statement_kind, ExecConfig, QueryResult,
+    execute_statement_metered, explain_select, statement_kind, statement_tables, ExecConfig,
+    QueryResult,
 };
+use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::metrics::{ExecMetrics, MetricsLog, StatementKind, StmtProbe};
 use crate::parser::parse;
 use crate::stats::Stats;
@@ -35,6 +37,8 @@ pub struct Database {
     stats: Stats,
     config: ExecConfig,
     metrics: MetricsLog,
+    /// Armed fault plan (chaos testing); `None` in production use.
+    injector: Option<FaultInjector>,
 }
 
 impl Database {
@@ -51,6 +55,7 @@ impl Database {
             stats: Stats::new(),
             config,
             metrics: MetricsLog::new(),
+            injector: None,
         }
     }
 
@@ -104,30 +109,53 @@ impl Database {
 
     /// Execute one analyzed statement, recording an [`ExecMetrics`] entry
     /// into the session log when it is enabled (a no-op probe otherwise —
-    /// the zero-overhead default).
+    /// the zero-overhead default). An armed fault plan is consulted
+    /// before execution (and, for after-exec rules, after): a fired rule
+    /// surfaces as [`Error::Injected`] — with the target untouched for
+    /// before-exec faults.
     fn execute_metered(&mut self, stmt: &Statement) -> Result<QueryResult> {
-        if !self.metrics.is_enabled() {
+        self.check_fault(FaultSite::BeforeExec, stmt)?;
+        let result = if !self.metrics.is_enabled() {
             let mut probe = StmtProbe::disabled();
-            return execute_statement_metered(
+            execute_statement_metered(
                 &mut self.catalog,
                 &mut self.stats,
                 &self.config,
                 stmt,
                 &mut probe,
-            );
-        }
-        let mut probe = StmtProbe::enabled();
-        let t0 = std::time::Instant::now();
-        let result = execute_statement_metered(
-            &mut self.catalog,
-            &mut self.stats,
-            &self.config,
-            stmt,
-            &mut probe,
-        )?;
-        self.metrics
-            .push(probe.finish(statement_kind(stmt), t0.elapsed()));
+            )?
+        } else {
+            let mut probe = StmtProbe::enabled();
+            let t0 = std::time::Instant::now();
+            let result = execute_statement_metered(
+                &mut self.catalog,
+                &mut self.stats,
+                &self.config,
+                stmt,
+                &mut probe,
+            )?;
+            self.metrics
+                .push(probe.finish(statement_kind(stmt), t0.elapsed()));
+            result
+        };
+        self.check_fault(FaultSite::AfterExec, stmt)?;
         Ok(result)
+    }
+
+    /// Consult the armed fault plan (if any) for `stmt` at `site`.
+    fn check_fault(&mut self, site: FaultSite, stmt: &Statement) -> Result<()> {
+        let Some(injector) = &mut self.injector else {
+            return Ok(());
+        };
+        let tables = statement_tables(stmt);
+        if let Some(hit) = injector.decide(site, statement_kind(stmt), &tables) {
+            return Err(Error::Injected {
+                transient: hit.fault == crate::fault::FaultKind::Transient,
+                applied: site == FaultSite::AfterExec,
+                statement: hit.statement,
+            });
+        }
+        Ok(())
     }
 
     /// Run `EXPLAIN <stmt>`: one VARCHAR `plan` column describing, for a
@@ -246,9 +274,23 @@ impl Database {
     where
         I: IntoIterator<Item = Vec<Value>>,
     {
+        if let Some(injector) = &mut self.injector {
+            let tables = vec![table.to_ascii_lowercase()];
+            if let Some(hit) =
+                injector.decide(FaultSite::BeforeExec, StatementKind::Insert, &tables)
+            {
+                return Err(Error::Injected {
+                    transient: hit.fault == crate::fault::FaultKind::Transient,
+                    applied: false,
+                    statement: hit.statement,
+                });
+            }
+        }
         let t = self.catalog.table_mut(table)?;
         let types: Vec<_> = t.schema().columns().iter().map(|c| c.ty).collect();
-        let mut inserted = 0usize;
+        // Coerce every row before touching the table, then insert
+        // atomically: a failed bulk load leaves the target unchanged.
+        let mut staged: Vec<Row> = Vec::new();
         for row in rows {
             if row.len() != types.len() {
                 return Err(Error::ArityMismatch {
@@ -257,15 +299,15 @@ impl Database {
                     actual: row.len(),
                 });
             }
-            let coerced: Row = row
-                .iter()
-                .zip(&types)
-                .map(|(v, ty)| v.coerce_to(*ty))
-                .collect::<Result<Vec<_>>>()?
-                .into_boxed_slice();
-            t.insert(coerced)?;
-            inserted += 1;
+            staged.push(
+                row.iter()
+                    .zip(&types)
+                    .map(|(v, ty)| v.coerce_to(*ty))
+                    .collect::<Result<Vec<_>>>()?
+                    .into_boxed_slice(),
+            );
         }
+        let inserted = t.insert_all_or_rollback(staged)?;
         self.stats.record_inserts(inserted);
         if self.metrics.is_enabled() {
             let mut probe = StmtProbe::enabled();
@@ -299,6 +341,26 @@ impl Database {
     /// Clear execution statistics (e.g. before timing one EM iteration).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// Arm a fault plan (chaos testing): every subsequent statement is
+    /// checked against its rules, and matches fail with
+    /// [`Error::Injected`]. The plan's statement counter starts at zero
+    /// here — install it right before the region under test. Replaces
+    /// any previously armed plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Disarm the fault plan; subsequent statements run normally.
+    pub fn clear_fault_plan(&mut self) {
+        self.injector = None;
+    }
+
+    /// The armed injector's runtime state (statement count, faults
+    /// fired), if a plan is armed.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// The session metrics log (disabled and empty by default).

@@ -77,6 +77,20 @@ pub enum Error {
     /// of defect and — when the source text was available — the byte
     /// position of the offending token.
     Analyze(crate::analyze::AnalyzeError),
+    /// A scripted fault from the [`crate::fault`] facility fired on this
+    /// statement. `transient` faults model failures that go away on
+    /// retry (deadlock victim, timeout); permanent ones reproduce
+    /// deterministically. `applied` is true when the statement's effects
+    /// committed before the fault fired ([`crate::fault::FaultSite::AfterExec`],
+    /// the lost-ack model) — a bare retry is then *not* safe.
+    Injected {
+        /// Retrying may succeed.
+        transient: bool,
+        /// The statement's effects were applied before the fault fired.
+        applied: bool,
+        /// 0-based statement sequence number since plan installation.
+        statement: usize,
+    },
     /// Anything else (internal invariants, unsupported constructs).
     Unsupported(String),
 }
@@ -112,6 +126,16 @@ impl fmt::Display for Error {
             Error::InvalidAggregate(m) => write!(f, "invalid aggregate usage: {m}"),
             Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
             Error::Analyze(e) => write!(f, "semantic analysis: {e}"),
+            Error::Injected {
+                transient,
+                applied,
+                statement,
+            } => write!(
+                f,
+                "injected {} fault on statement {statement}{}",
+                if *transient { "transient" } else { "permanent" },
+                if *applied { " (effects applied)" } else { "" },
+            ),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -133,6 +157,28 @@ impl Error {
             Error::Analyze(e) => Some(e),
             _ => None,
         }
+    }
+
+    /// Is a retry of the failed statement worth attempting? Only
+    /// injected transient faults qualify: every organic engine error
+    /// (parse, analysis, arity, duplicate key, arithmetic, …) is
+    /// deterministic and will reproduce on retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::Injected {
+                transient: true,
+                ..
+            }
+        )
+    }
+
+    /// Did the failing statement leave effects behind? True only for
+    /// after-exec injected faults (the lost-ack model); every other
+    /// error path leaves the target relation untouched thanks to the
+    /// engine's atomic statement semantics.
+    pub fn effects_applied(&self) -> bool {
+        matches!(self, Error::Injected { applied: true, .. })
     }
 }
 

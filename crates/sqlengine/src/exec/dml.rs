@@ -86,9 +86,14 @@ pub fn insert(
         }
     };
 
+    // Stage the full batch — slot mapping, arity checks and type
+    // coercion all happen before the table is touched — then insert
+    // atomically: a failed INSERT (including INSERT … SELECT) leaves
+    // the target exactly as it was, so a retry is safe (§3.6 workflow
+    // hardening; see docs/ROBUSTNESS.md).
     let table = catalog.table_mut(table_name)?;
     let arity = table.schema().arity();
-    let mut inserted = 0usize;
+    let mut staged: Vec<Row> = Vec::with_capacity(incoming.len());
     for row in incoming {
         let full: Row = match &slot_map {
             None => {
@@ -123,9 +128,9 @@ pub fn insert(
             .map(|(i, v)| v.coerce_to(table.schema().column(i).ty))
             .collect::<Result<Vec<_>>>()?
             .into_boxed_slice();
-        table.insert(coerced)?;
-        inserted += 1;
+        staged.push(coerced);
     }
+    let inserted = table.insert_all_or_rollback(staged)?;
     stats.record_inserts(inserted);
     probe.add_inserted(inserted);
     Ok(QueryResult::affected(inserted))

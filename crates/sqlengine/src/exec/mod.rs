@@ -113,6 +113,46 @@ pub fn statement_kind(stmt: &Statement) -> StatementKind {
     }
 }
 
+/// Every table name a statement touches — the DML/DDL target first,
+/// then any FROM sources — lowercased. Used by the fault-injection
+/// facility's table-pattern matching.
+pub fn statement_tables(stmt: &Statement) -> Vec<String> {
+    let mut tables = Vec::new();
+    let mut add = |name: &str| {
+        let lower = name.to_ascii_lowercase();
+        if !tables.contains(&lower) {
+            tables.push(lower);
+        }
+    };
+    match stmt {
+        Statement::CreateTable { name, .. } | Statement::DropTable { name, .. } => add(name),
+        Statement::Insert { table, source, .. } => {
+            add(table);
+            if let crate::ast::InsertSource::Select(sel) = source {
+                for tref in &sel.from {
+                    add(&tref.table);
+                }
+            }
+        }
+        Statement::Update { table, from, .. } => {
+            add(table);
+            for tref in from {
+                add(&tref.table);
+            }
+        }
+        Statement::Delete { table, .. } => add(table),
+        Statement::Select(sel) => {
+            for tref in &sel.from {
+                add(&tref.table);
+            }
+        }
+        Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => {
+            return statement_tables(inner)
+        }
+    }
+    tables
+}
+
 /// Execute one parsed statement, recording telemetry into `probe`.
 pub fn execute_statement_metered(
     catalog: &mut Catalog,

@@ -1,0 +1,400 @@
+//! Deterministic fault injection for chaos testing the SQLEM loop.
+//!
+//! The paper's architecture (§1.4, §3) is a thin client driving a remote
+//! DBMS over a network: in any real deployment individual statements fail
+//! — transiently (deadlock victim, connection reset, resource pressure)
+//! or permanently (disk full, privilege revoked). A [`FaultPlan`] scripts
+//! such failures against a [`crate::Database`] so the driver's retry,
+//! checkpoint and recovery machinery can be exercised deterministically:
+//! fail the Nth statement, fail every INSERT, fail anything touching a
+//! table whose name matches a pattern, or fail a seeded fraction of all
+//! statements.
+//!
+//! Injected failures surface as [`crate::Error::Injected`] carrying a
+//! transient/permanent classification, which the `sqlem` retry policy
+//! uses to decide whether a retry is worthwhile.
+//!
+//! Faults fire **before** the statement executes by default
+//! ([`FaultSite::BeforeExec`]), so the database is untouched and a retry
+//! re-executes from clean state — modelling a statement rejected at
+//! submission. [`FaultSite::AfterExec`] fires *after* the statement's
+//! effects are applied, modelling a lost acknowledgement / client crash
+//! mid-iteration; recovering from that requires the checkpoint/resume
+//! protocol, not a bare statement retry.
+
+use crate::metrics::StatementKind;
+
+/// Transient faults are worth retrying; permanent ones are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultKind {
+    /// Goes away on retry (deadlock victim, timeout, connection blip).
+    #[default]
+    Transient,
+    /// Deterministic; retrying reproduces it (disk full, missing grant).
+    Permanent,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Permanent => "permanent",
+        })
+    }
+}
+
+/// When, relative to statement execution, a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultSite {
+    /// Before any effect is applied — the statement never ran. The
+    /// default: retries are safe without any recovery protocol.
+    #[default]
+    BeforeExec,
+    /// After the statement's effects committed but before the client saw
+    /// the result (lost ack / crash between statements).
+    AfterExec,
+}
+
+/// One scripted failure rule. All populated matchers must agree for the
+/// rule to fire (conjunction); a rule with no matchers matches every
+/// statement.
+#[derive(Debug, Clone, Default)]
+pub struct FaultRule {
+    /// Fire on the Nth statement executed since the plan was installed
+    /// (0-based).
+    pub nth: Option<usize>,
+    /// Fire on statements of this kind.
+    pub kind: Option<StatementKind>,
+    /// Fire on statements whose target or source table names contain
+    /// this substring (case-insensitive).
+    pub table_pattern: Option<String>,
+    /// Fire with this probability per matching statement, drawn from the
+    /// plan's seeded generator (`None` ⇒ always fire when matched).
+    pub probability: Option<f64>,
+    /// Transient or permanent.
+    pub fault: FaultKind,
+    /// Where the fault fires relative to execution.
+    pub site: FaultSite,
+    /// Fire at most this many times (`None` ⇒ unlimited). A transient
+    /// blip is `Some(1)`: the retry then succeeds.
+    pub budget: Option<usize>,
+}
+
+impl FaultRule {
+    /// Rule firing on the Nth statement executed after plan installation.
+    pub fn nth(n: usize) -> Self {
+        FaultRule {
+            nth: Some(n),
+            ..FaultRule::default()
+        }
+    }
+
+    /// Rule firing on every statement of `kind`.
+    pub fn kind(kind: StatementKind) -> Self {
+        FaultRule {
+            kind: Some(kind),
+            ..FaultRule::default()
+        }
+    }
+
+    /// Rule firing on statements touching tables matching `pattern`.
+    pub fn table(pattern: impl Into<String>) -> Self {
+        FaultRule {
+            table_pattern: Some(pattern.into().to_ascii_lowercase()),
+            ..FaultRule::default()
+        }
+    }
+
+    /// Builder: additionally require the statement kind (conjunction
+    /// with whatever matchers are already set).
+    pub fn kind_is(mut self, kind: StatementKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Builder: mark transient (the default).
+    pub fn transient(mut self) -> Self {
+        self.fault = FaultKind::Transient;
+        self
+    }
+
+    /// Builder: mark permanent.
+    pub fn permanent(mut self) -> Self {
+        self.fault = FaultKind::Permanent;
+        self
+    }
+
+    /// Builder: fire at most once.
+    pub fn once(mut self) -> Self {
+        self.budget = Some(1);
+        self
+    }
+
+    /// Builder: fire at most `n` times.
+    pub fn times(mut self, n: usize) -> Self {
+        self.budget = Some(n);
+        self
+    }
+
+    /// Builder: fire with probability `p` per matching statement.
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = Some(p.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Builder: fire after the statement executed (lost-ack model).
+    pub fn after_exec(mut self) -> Self {
+        self.site = FaultSite::AfterExec;
+        self
+    }
+
+    fn matches(&self, seq: usize, kind: StatementKind, tables: &[String]) -> bool {
+        if let Some(n) = self.nth {
+            if n != seq {
+                return false;
+            }
+        }
+        if let Some(k) = self.kind {
+            if k != kind {
+                return false;
+            }
+        }
+        if let Some(pat) = &self.table_pattern {
+            if !tables.iter().any(|t| t.contains(pat.as_str())) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A scripted set of [`FaultRule`]s plus the seed driving probabilistic
+/// rules. Install with [`crate::Database::set_fault_plan`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Rules, checked in order; the first match fires.
+    pub rules: Vec<FaultRule>,
+    /// Seed for probabilistic rules (deterministic across runs).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Plan with one rule.
+    pub fn single(rule: FaultRule) -> Self {
+        FaultPlan {
+            rules: vec![rule],
+            seed: 0,
+        }
+    }
+
+    /// Plan with a rule list.
+    pub fn new(rules: Vec<FaultRule>) -> Self {
+        FaultPlan { rules, seed: 0 }
+    }
+
+    /// Builder: set the seed for probabilistic rules.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A fired (or pending) injection decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// Transient or permanent.
+    pub fault: FaultKind,
+    /// Before or after execution.
+    pub site: FaultSite,
+    /// 0-based statement sequence number (since plan installation).
+    pub statement: usize,
+    /// Index of the rule that fired.
+    pub rule: usize,
+}
+
+/// Runtime state for a [`FaultPlan`]: statement counter, per-rule fire
+/// budgets and the seeded generator.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    executed: usize,
+    fired: Vec<usize>,
+    rng_state: u64,
+}
+
+impl FaultInjector {
+    /// Arm a plan. The statement counter starts at zero here, so `nth`
+    /// rules are relative to installation — install right before the
+    /// region you want to test.
+    pub fn new(plan: FaultPlan) -> Self {
+        let fired = vec![0; plan.rules.len()];
+        // splitmix64 seeding; avoid the all-zeros fixpoint.
+        let rng_state = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
+        FaultInjector {
+            plan,
+            executed: 0,
+            fired,
+            rng_state,
+        }
+    }
+
+    /// Statements observed since installation.
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    /// Total faults fired so far.
+    pub fn total_fired(&self) -> usize {
+        self.fired.iter().sum()
+    }
+
+    /// splitmix64 step — deterministic, dependency-free.
+    fn next_u64(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn coin(&mut self, p: f64) -> bool {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Decide whether the statement about to run (or just run, for
+    /// [`FaultSite::AfterExec`] checks) trips a rule at `site`. Advances
+    /// the statement counter only when `site` is `BeforeExec` — call
+    /// both sites for each statement, `BeforeExec` first.
+    pub fn decide(
+        &mut self,
+        site: FaultSite,
+        kind: StatementKind,
+        tables: &[String],
+    ) -> Option<Injection> {
+        let seq = self.executed;
+        if site == FaultSite::BeforeExec {
+            self.executed += 1;
+        }
+        for i in 0..self.plan.rules.len() {
+            let (fault, probability) = {
+                let rule = &self.plan.rules[i];
+                if rule.site != site || !rule.matches(seq, kind, tables) {
+                    continue;
+                }
+                if let Some(budget) = rule.budget {
+                    if self.fired[i] >= budget {
+                        continue;
+                    }
+                }
+                (rule.fault, rule.probability)
+            };
+            if let Some(p) = probability {
+                if !self.coin(p) {
+                    continue;
+                }
+            }
+            self.fired[i] += 1;
+            return Some(Injection {
+                fault,
+                site,
+                statement: seq,
+                rule: i,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_tables() -> Vec<String> {
+        Vec::new()
+    }
+
+    #[test]
+    fn nth_rule_fires_exactly_once_at_position() {
+        let mut inj = FaultInjector::new(FaultPlan::single(FaultRule::nth(2).permanent()));
+        for seq in 0..5 {
+            let hit = inj.decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables());
+            assert_eq!(hit.is_some(), seq == 2, "seq {seq}");
+            if let Some(h) = hit {
+                assert_eq!(h.fault, FaultKind::Permanent);
+                assert_eq!(h.statement, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_limits_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::single(
+            FaultRule::kind(StatementKind::Insert).once(),
+        ));
+        let a = inj.decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables());
+        let b = inj.decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables());
+        assert!(a.is_some());
+        assert!(b.is_none(), "budget of 1 exhausted");
+    }
+
+    #[test]
+    fn table_pattern_is_substring_match() {
+        let mut inj = FaultInjector::new(FaultPlan::single(FaultRule::table("yx")));
+        let miss = inj.decide(FaultSite::BeforeExec, StatementKind::Insert, &["yd".into()]);
+        let hit = inj.decide(
+            FaultSite::BeforeExec,
+            StatementKind::Insert,
+            &["s1_yx".into()],
+        );
+        assert!(miss.is_none());
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn kind_and_site_must_match() {
+        let mut inj = FaultInjector::new(FaultPlan::single(
+            FaultRule::kind(StatementKind::Update).after_exec(),
+        ));
+        assert!(inj
+            .decide(FaultSite::BeforeExec, StatementKind::Update, &no_tables())
+            .is_none());
+        assert!(inj
+            .decide(FaultSite::AfterExec, StatementKind::Update, &no_tables())
+            .is_some());
+        assert!(inj
+            .decide(FaultSite::AfterExec, StatementKind::Insert, &no_tables())
+            .is_none());
+    }
+
+    #[test]
+    fn probabilistic_rule_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut inj = FaultInjector::new(
+                FaultPlan::single(FaultRule::default().with_probability(0.5)).with_seed(seed),
+            );
+            (0..64)
+                .map(|_| {
+                    inj.decide(FaultSite::BeforeExec, StatementKind::Select, &no_tables())
+                        .is_some()
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same decisions");
+        assert_ne!(run(7), run(8), "different seed, different decisions");
+        let hits = run(7).iter().filter(|&&b| b).count();
+        assert!((10..=54).contains(&hits), "p=0.5 over 64 draws: {hits}");
+    }
+
+    #[test]
+    fn empty_rule_matches_everything() {
+        let mut inj = FaultInjector::new(FaultPlan::single(FaultRule::default()));
+        assert!(inj
+            .decide(
+                FaultSite::BeforeExec,
+                StatementKind::DropTable,
+                &no_tables()
+            )
+            .is_some());
+    }
+}

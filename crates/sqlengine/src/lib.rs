@@ -45,6 +45,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fault;
 pub mod lexer;
 pub mod metrics;
 pub mod parser;
@@ -59,6 +60,7 @@ pub use analyze::{
 pub use engine::{Database, EngineConfig, SharedDatabase};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, Injection};
 pub use metrics::{ExecMetrics, MetricsLog, ScanMetric, StatementKind, StmtProbe};
 pub use schema::{Column, Schema};
 pub use stats::Stats;

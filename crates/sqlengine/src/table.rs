@@ -108,10 +108,9 @@ impl Table {
         Ok(())
     }
 
-    /// Bulk insert with pre-reserved capacity. Rolls the index back is not
-    /// needed: on error the table may retain a prefix of `rows`, which the
-    /// engine surfaces as a failed statement (no transactional guarantees,
-    /// same as the paper's workflow of dropping and refilling work tables).
+    /// Bulk insert with pre-reserved capacity. On error the table may
+    /// retain a prefix of `rows`; use [`Table::insert_all_or_rollback`]
+    /// when statement atomicity is required.
     pub fn insert_many<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<usize> {
         let iter = rows.into_iter();
         let (lo, _) = iter.size_hint();
@@ -125,6 +124,43 @@ impl Table {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Atomic bulk insert: either every row lands or none do. On a
+    /// mid-batch failure (duplicate key, arity) the rows inserted so far
+    /// are popped back off and their index entries removed, restoring
+    /// the table to its pre-statement state — the staging half of the
+    /// stage-and-swap semantics that make statement retries safe.
+    pub fn insert_all_or_rollback(&mut self, rows: Vec<Row>) -> Result<usize> {
+        let start = self.rows.len();
+        self.rows.reserve(rows.len());
+        if let Some(index) = &mut self.index {
+            index.reserve(rows.len());
+        }
+        let total = rows.len();
+        let mut failure = None;
+        for row in rows {
+            if let Err(e) = self.insert(row) {
+                failure = Some(e);
+                break;
+            }
+        }
+        let Some(e) = failure else {
+            return Ok(total);
+        };
+        while self.rows.len() > start {
+            let row = self.rows.pop().expect("len > start implies non-empty");
+            let key: Row = self
+                .schema
+                .primary_key()
+                .iter()
+                .map(|&i| row[i].clone())
+                .collect();
+            if let Some(index) = &mut self.index {
+                index.remove(&key);
+            }
+        }
+        Err(e)
     }
 
     /// Point lookup by full primary-key tuple. `None` when the table has no
@@ -157,26 +193,47 @@ impl Table {
         removed
     }
 
-    /// Apply `f` to every row in place (UPDATE). `f` returns true when it
-    /// modified the row. The index is rebuilt if any PK column might have
-    /// changed. Returns the number of modified rows, or an error if the
-    /// update created a duplicate key.
+    /// Apply `f` to every row (UPDATE). `f` returns true when it
+    /// modified the row. **Atomic**: the updates are staged on a copy of
+    /// the rows and swapped in only if every evaluation succeeds (and,
+    /// when `touches_key`, only if the updated keys are still unique) —
+    /// a failed UPDATE leaves the table exactly as it was, so retrying
+    /// the statement is safe. Returns the number of modified rows.
     pub fn update_where<F: FnMut(&mut [Value]) -> Result<bool>>(
         &mut self,
         mut f: F,
         touches_key: bool,
     ) -> Result<usize> {
+        let mut new_rows = self.rows.clone();
         let mut n = 0;
-        for row in &mut self.rows {
+        for row in &mut new_rows {
             if f(row)? {
                 n += 1;
             }
         }
-        if n > 0 && touches_key && !self.try_rebuild_index() {
-            return Err(Error::DuplicateKey {
-                table: self.name.clone(),
-            });
+        if n == 0 {
+            return Ok(0);
         }
+        if touches_key && self.index.is_some() {
+            // Build the replacement index before committing anything;
+            // a duplicate key aborts with the table untouched.
+            let mut new_index = HashMap::with_capacity(new_rows.len());
+            for (pos, row) in new_rows.iter().enumerate() {
+                let key: Row = self
+                    .schema
+                    .primary_key()
+                    .iter()
+                    .map(|&i| row[i].clone())
+                    .collect();
+                if new_index.insert(key, pos).is_some() {
+                    return Err(Error::DuplicateKey {
+                        table: self.name.clone(),
+                    });
+                }
+            }
+            self.index = Some(new_index);
+        }
+        self.rows = new_rows;
         Ok(n)
     }
 

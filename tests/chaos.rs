@@ -1,0 +1,297 @@
+//! Chaos suite: deterministic fault-plan sweeps over the whole EM
+//! pipeline (tier-2 robustness).
+//!
+//! The contract under test, for every statement a session executes and
+//! for every strategy: an injected **transient** fault with a retry
+//! policy either leaves the run bit-identical to the unfaulted baseline
+//! (the fault was retried, or never surfaced) or produces a clean typed
+//! error with zero leaked work tables; an injected **permanent** fault
+//! always produces the typed error and zero leaked work tables.
+//!
+//! `SQLEM_CHAOS_STRIDE=N` samples every Nth statement index instead of
+//! all of them (the CI `--quick` mode sets it); default is the full
+//! sweep.
+
+use emcore::em::em_step;
+use emcore::init::InitStrategy;
+use emcore::GmmParams;
+use sqlem::{EmSession, RetryPolicy, SqlemConfig, SqlemError, SqlemRun, Strategy};
+use sqlengine::{Database, Error as SqlError, FaultPlan, FaultRule};
+
+const STRATEGIES: [Strategy; 3] = [Strategy::Hybrid, Strategy::Horizontal, Strategy::Vertical];
+
+fn stride() -> usize {
+    std::env::var("SQLEM_CHAOS_STRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1)
+}
+
+fn blobs() -> Vec<Vec<f64>> {
+    let mut pts = Vec::new();
+    for i in 0..20 {
+        let t = (i % 4) as f64 * 0.1;
+        pts.push(vec![t, t]);
+        pts.push(vec![10.0 + t, 10.0 - t]);
+    }
+    pts
+}
+
+fn blob_init() -> GmmParams {
+    GmmParams::new(
+        vec![vec![3.0, 3.0], vec![7.0, 7.0]],
+        vec![10.0, 10.0],
+        vec![0.5, 0.5],
+    )
+}
+
+/// Create → load → initialize → run, with the documented client-side
+/// recovery: on any error the session's work tables are dropped.
+fn run_all(
+    db: &mut Database,
+    cfg: &SqlemConfig,
+    points: &[Vec<f64>],
+    init: &GmmParams,
+) -> Result<SqlemRun, SqlemError> {
+    let mut session = EmSession::create(db, cfg, init.p())?;
+    let result = (|| {
+        session.load_points(points)?;
+        session.initialize(&InitStrategy::Explicit(init.clone()))?;
+        session.run()
+    })();
+    if result.is_err() {
+        let _ = session.cleanup();
+    }
+    result
+}
+
+/// Statement counts of a clean run: (after create+load+initialize,
+/// after run). The injector's counter is the sweep's index space.
+fn statement_counts(cfg: &SqlemConfig, points: &[Vec<f64>], init: &GmmParams) -> (usize, usize) {
+    let mut db = Database::new();
+    db.set_fault_plan(FaultPlan::new(Vec::new()));
+    let mut session = EmSession::create(&mut db, cfg, init.p()).unwrap();
+    session.load_points(points).unwrap();
+    session
+        .initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+    let after_init = session.database().fault_injector().unwrap().executed();
+    session.run().unwrap();
+    let total = session.database().fault_injector().unwrap().executed();
+    (after_init, total)
+}
+
+/// Work tables left behind with `prefix` (checkpoint tables are durable
+/// by design and excluded).
+fn leaked(db: &Database, prefix: &str) -> Vec<String> {
+    db.catalog()
+        .table_names()
+        .into_iter()
+        .filter(|t| t.starts_with(prefix) && !t.contains("ckpt"))
+        .map(str::to_string)
+        .collect()
+}
+
+fn assert_injected(err: &SqlemError, transient: bool, ctx: &str) {
+    assert!(
+        matches!(
+            err,
+            SqlemError::Sql {
+                source: SqlError::Injected { transient: t, .. },
+                ..
+            } if *t == transient
+        ),
+        "{ctx}: expected injected {} fault, got: {err}",
+        if transient { "transient" } else { "permanent" },
+    );
+}
+
+/// Transient sweep: a one-shot transient fault at every statement index,
+/// with retries. Either the run completes bit-identically to the clean
+/// baseline, or it fails typed and leak-free (the few statements outside
+/// retry coverage: the bulk load and driver-side reads).
+#[test]
+fn transient_fault_at_every_statement_retries_or_fails_clean() {
+    let (points, init) = (blobs(), blob_init());
+    for strategy in STRATEGIES {
+        let cfg = SqlemConfig::new(2, strategy)
+            .with_epsilon(0.0)
+            .with_max_iterations(2)
+            .with_prefix("cz_");
+        let baseline = run_all(&mut Database::new(), &cfg, &points, &init).unwrap();
+        let (_, total) = statement_counts(&cfg, &points, &init);
+        let retry_cfg = cfg.clone().with_retry(RetryPolicy::immediate(4));
+        for i in (0..total).step_by(stride()) {
+            let ctx = format!("{strategy}, transient fault at statement {i}");
+            let mut db = Database::new();
+            db.set_fault_plan(FaultPlan::single(FaultRule::nth(i).transient().once()));
+            match run_all(&mut db, &retry_cfg, &points, &init) {
+                Ok(run) => {
+                    assert_eq!(run.params, baseline.params, "{ctx}: params diverged");
+                    assert_eq!(run.llh_history, baseline.llh_history, "{ctx}: llh diverged");
+                }
+                Err(e) => {
+                    assert_injected(&e, true, &ctx);
+                    let left = leaked(&db, "cz_");
+                    assert!(left.is_empty(), "{ctx}: leaked tables {left:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Permanent sweep: an unretryable fault at every statement index must
+/// always surface as the typed injected error, leak-free — even with a
+/// generous retry policy installed.
+#[test]
+fn permanent_fault_at_every_statement_fails_clean() {
+    let (points, init) = (blobs(), blob_init());
+    for strategy in STRATEGIES {
+        let cfg = SqlemConfig::new(2, strategy)
+            .with_epsilon(0.0)
+            .with_max_iterations(2)
+            .with_prefix("cz_")
+            .with_retry(RetryPolicy::immediate(4));
+        let (_, total) = statement_counts(&cfg, &points, &init);
+        for i in (0..total).step_by(stride()) {
+            let ctx = format!("{strategy}, permanent fault at statement {i}");
+            let mut db = Database::new();
+            db.set_fault_plan(FaultPlan::single(FaultRule::nth(i).permanent()));
+            let err = run_all(&mut db, &cfg, &points, &init)
+                .expect_err(&format!("{ctx}: a permanent fault cannot succeed"));
+            assert_injected(&err, false, &ctx);
+            let left = leaked(&db, "cz_");
+            assert!(left.is_empty(), "{ctx}: leaked tables {left:?}");
+        }
+    }
+}
+
+/// Kill a checkpointing run mid-iteration with a permanent fault, then
+/// resume in a fresh session: the completed run must be bit-identical
+/// to one that was never interrupted.
+#[test]
+fn resume_after_mid_iteration_kill_matches_uninterrupted_run() {
+    const ITERS: usize = 3;
+    let (points, init) = (blobs(), blob_init());
+    let cfg = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(ITERS)
+        .with_prefix("rz_")
+        .with_checkpoints();
+    let baseline = run_all(&mut Database::new(), &cfg, &points, &init).unwrap();
+    assert_eq!(
+        baseline.iterations, ITERS,
+        "baseline must not converge early"
+    );
+
+    // Land the fault a few statements into iteration 2: after the
+    // iteration-1 checkpoint, before iteration 2 completes.
+    let (after_init, total) = statement_counts(&cfg, &points, &init);
+    let per_iter = (total - after_init) / ITERS;
+    let fault_at = after_init + per_iter + 2;
+
+    let mut db = Database::new();
+    db.set_fault_plan(FaultPlan::single(FaultRule::nth(fault_at).permanent()));
+    let err = run_all(&mut db, &cfg, &points, &init).unwrap_err();
+    assert_injected(&err, false, "mid-iteration kill");
+    assert!(leaked(&db, "rz_").is_empty(), "kill leaked work tables");
+
+    db.clear_fault_plan();
+    let mut session = EmSession::create(&mut db, &cfg, init.p()).unwrap();
+    session.load_points(&points).unwrap();
+    let resumed_at = session.resume_from_checkpoint().unwrap();
+    let done = resumed_at.expect("a checkpoint must have survived the kill");
+    assert!(
+        (1..ITERS).contains(&done),
+        "kill was mid-run, got {done} completed iterations"
+    );
+    let run = session.run().unwrap();
+    assert_eq!(run.iterations, baseline.iterations);
+    assert_eq!(run.llh_history, baseline.llh_history, "resumed history");
+    assert_eq!(run.params, baseline.params, "resumed final model");
+}
+
+/// §2.5 chaos: the two degenerate numerical regimes must survive a
+/// transient fault injected mid-iteration — retried runs stay
+/// bit-identical to the clean run and keep tracking the oracle.
+fn degenerate_regime_survives_fault(points: &[Vec<f64>], init: &GmmParams, label: &str) {
+    const ITERS: usize = 3;
+    let mut oracle = init.clone();
+    let mut oracle_llh = Vec::new();
+    for _ in 0..ITERS {
+        let (next, llh) = em_step(&oracle, points).unwrap();
+        oracle_llh.push(llh);
+        oracle = next;
+    }
+
+    for strategy in STRATEGIES {
+        let ctx = format!("{label}/{strategy}");
+        let cfg = SqlemConfig::new(init.k(), strategy)
+            .with_epsilon(0.0)
+            .with_max_iterations(ITERS)
+            .with_prefix("dz_");
+        let clean = run_all(&mut Database::new(), &cfg, points, init).unwrap();
+
+        // Transient blip two statements into iteration 1's E step.
+        let (after_init, _) = statement_counts(&cfg, points, init);
+        let mut db = Database::new();
+        db.set_fault_plan(FaultPlan::single(
+            FaultRule::nth(after_init + 2).transient().once(),
+        ));
+        let faulted = run_all(
+            &mut db,
+            &cfg.clone().with_retry(RetryPolicy::immediate(3)),
+            points,
+            init,
+        )
+        .unwrap();
+
+        assert_eq!(faulted.params, clean.params, "{ctx}: params vs clean run");
+        assert_eq!(faulted.llh_history, clean.llh_history, "{ctx}: llh history");
+        for (i, (sql, orc)) in faulted.llh_history.iter().zip(&oracle_llh).enumerate() {
+            let denom = orc.abs().max(1.0);
+            assert!(
+                ((sql - orc) / denom).abs() < 1e-9,
+                "{ctx} iter {i}: llh {sql} vs oracle {orc}"
+            );
+        }
+        for (j, (ms, mo)) in faulted.params.means.iter().zip(&oracle.means).enumerate() {
+            for (a, b) in ms.iter().zip(mo) {
+                assert!((a - b).abs() <= 1e-8, "{ctx}: mean of cluster {j} diverged");
+            }
+        }
+        for (a, b) in faulted.params.cov.iter().zip(&oracle.cov) {
+            assert!((a - b).abs() <= 1e-8, "{ctx}: covariance diverged");
+        }
+        for (a, b) in faulted.params.weights.iter().zip(&oracle.weights) {
+            assert!((a - b).abs() <= 1e-8, "{ctx}: weights diverged");
+        }
+    }
+}
+
+/// §2.5 inverse-distance fallback (densities underflow to zero) under a
+/// mid-iteration transient fault.
+#[test]
+fn underflow_fallback_survives_transient_fault() {
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    for i in 0..30 {
+        points.push(vec![(i % 7) as f64 * 0.3]);
+        points.push(vec![10_000.0 + (i % 7) as f64 * 0.3]);
+    }
+    for i in 0..6 {
+        points.push(vec![2_500.0 + i as f64]); // underflow region
+    }
+    let init = GmmParams::new(vec![vec![0.0], vec![10_000.0]], vec![1.0], vec![0.5, 0.5]);
+    degenerate_regime_survives_fault(&points, &init, "underflow");
+}
+
+/// §2.5 zero-covariance skip (a dimension collapses to exactly 0) under
+/// a mid-iteration transient fault.
+#[test]
+fn zero_covariance_survives_transient_fault() {
+    let data = datagen::generate_dataset(80, 1, 2, 9);
+    let points: Vec<Vec<f64>> = data.points.iter().map(|pt| vec![pt[0], 0.0]).collect();
+    let init = emcore::init::initialize(&points, 2, &InitStrategy::Random { seed: 9 });
+    degenerate_regime_survives_fault(&points, &init, "zero-cov");
+}
