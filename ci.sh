@@ -2,21 +2,44 @@
 # Local CI: formatting, lints, and the tier-1 verification gate.
 # Runs fully offline against the vendored/zero-dependency workspace.
 #
-#   ./ci.sh           full gate (fmt, clippy, build, all tests)
-#   ./ci.sh --quick   same, but skips the slow retail end-to-end suite
+#   ./ci.sh           full gate (all stages below)
+#   ./ci.sh --quick   same, but slow sweeps run strided / trimmed
+#   ./ci.sh --help    list the stages
 set -eu
 
 cd "$(dirname "$0")"
+
+usage() {
+    cat <<'EOF'
+usage: ./ci.sh [--quick]
+
+Stages, in order:
+  ignore-gate   tier-1 suites must contain no #[ignore]d tests
+  fmt           cargo fmt --all -- --check
+  clippy        cargo clippy --workspace --all-targets -D warnings
+  build         cargo build --release
+  conformance   cost-model conformance + golden-SQL snapshots + differential
+  tier-1        the main test suites (--quick skips the retail e2e suite)
+  chaos         deterministic fault-plan sweep over every statement index
+                (--quick: SQLEM_CHAOS_STRIDE=7 samples every 7th index)
+  crash         crash-recovery sweep: kill a child process at every WAL
+                crash point in an EM iteration, reopen, require
+                bit-identical recovery (--quick: strided like chaos)
+  workspace     cargo test --workspace
+EOF
+    exit 0
+}
 
 QUICK=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
-        *) echo "unknown argument: $arg (usage: ./ci.sh [--quick])" >&2; exit 2 ;;
+        --help|-h) usage ;;
+        *) echo "unknown argument: $arg (try ./ci.sh --help)" >&2; exit 2 ;;
     esac
 done
 
-echo "== tier-1 suites contain no ignored tests"
+echo "== ignore-gate: tier-1 suites contain no ignored tests"
 # The tier-1 gate is only meaningful if nothing inside it is quietly
 # switched off: an `#[ignore]` in tests/ would pass CI while asserting
 # nothing. Slow tests belong behind --quick, not behind #[ignore].
@@ -25,16 +48,16 @@ if grep -rn '#\[ignore' tests/; then
     exit 1
 fi
 
-echo "== cargo fmt --check"
+echo "== fmt: cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy (workspace, warnings are errors)"
+echo "== clippy: workspace, warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: release build"
+echo "== build: tier-1 release build"
 cargo build --release
 
-echo "== tier-1: cost-model conformance + golden-SQL snapshots"
+echo "== conformance: cost-model + golden-SQL snapshots"
 cargo test -q --test cost_model --test snapshots --test differential
 
 if [ "$QUICK" = 1 ]; then
@@ -57,7 +80,19 @@ else
     cargo test -q --test chaos
 fi
 
-echo "== workspace tests"
+# Crash-recovery sweep (docs/ROBUSTNESS.md "Durability & crash
+# recovery"): child processes are killed at every WAL crash point
+# inside a hybrid EM iteration, then the durable database is reopened
+# and the resumed run must be bit-identical to the uninterrupted one.
+if [ "$QUICK" = 1 ]; then
+    echo "== crash: WAL crash-point sweep (--quick: stride 7)"
+    SQLEM_CHAOS_STRIDE=7 cargo test -q --test crash_recovery
+else
+    echo "== crash: WAL crash-point sweep (full)"
+    cargo test -q --test crash_recovery
+fi
+
+echo "== workspace: all crate tests"
 cargo test --workspace -q
 
 echo "CI OK"

@@ -24,7 +24,14 @@
 //!                         snapshot to PATH when the run ends — even on
 //!                         error — so it can be resumed
 //!   --resume PATH         restore model/iteration/llh state from a
-//!                         checkpoint file before running
+//!                         checkpoint file before running (a missing or
+//!                         empty checkpoint exits with code 3)
+//!   --durable             persist the database under a write-ahead
+//!                         logged directory (default ./sqlem_data); a
+//!                         killed run resumes from its in-database
+//!                         checkpoint on the next invocation
+//!   --data-dir PATH       where the durable database lives (implies
+//!                         --durable)
 //!   --recover             re-seed degenerate (empty/NaN) clusters
 //!                         deterministically instead of aborting
 //!   --inject-fault SPEC   deterministic fault injection for testing.
@@ -46,6 +53,9 @@
 //! generated scripts for one `(p, k)` — no data needed — and reports
 //! which would survive the configured parser limits (§3.3), mirroring
 //! the preflight check `EmSession::create` runs automatically.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 the
+//! `--resume` checkpoint is missing, empty, or unusable.
 
 mod csv;
 
@@ -55,6 +65,32 @@ use emcore::init::InitStrategy;
 use sqlem::naming::Names;
 use sqlem::{checkpoint, EmSession, RetryPolicy, SqlemConfig, Strategy};
 use sqlengine::{Database, FaultPlan, FaultRule, StatementKind};
+
+/// Exit code for a `--resume` checkpoint that is missing, empty, or
+/// unusable — distinct from generic runtime failure (1) and usage
+/// errors (2) so scripts can branch on "nothing to resume".
+const EXIT_NO_CHECKPOINT: u8 = 3;
+
+/// A CLI failure carrying the process exit code to report it with.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn no_checkpoint(message: String) -> Self {
+        CliError {
+            code: EXIT_NO_CHECKPOINT,
+            message,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
 
 struct Args {
     input: String,
@@ -73,6 +109,7 @@ struct Args {
     retries: Option<usize>,
     checkpoint_path: Option<String>,
     resume_path: Option<String>,
+    data_dir: Option<String>,
     recover: bool,
     fault_specs: Vec<String>,
 }
@@ -82,8 +119,8 @@ fn usage() -> ! {
         "usage: sqlem-cli <input.csv> --k <clusters> [--strategy hybrid|horizontal|vertical] \
          [--epsilon E] [--max-iterations N] [--seed N] [--sample F] [--no-header] \
          [--scores PATH] [--sql] [--fused] [--workers N] [--trace-metrics] \
-         [--retries N] [--checkpoint PATH] [--resume PATH] [--recover] \
-         [--inject-fault SPEC]...\n\
+         [--retries N] [--checkpoint PATH] [--resume PATH] [--durable] [--data-dir PATH] \
+         [--recover] [--inject-fault SPEC]...\n\
          \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
          [--max-terms N] [--verbose]"
     );
@@ -107,6 +144,8 @@ fn parse_args() -> Args {
     let mut retries = None;
     let mut checkpoint_path = None;
     let mut resume_path = None;
+    let mut data_dir = None;
+    let mut durable = false;
     let mut recover = false;
     let mut fault_specs = Vec::new();
 
@@ -146,6 +185,8 @@ fn parse_args() -> Args {
             "--retries" => retries = Some(req("--retries").parse().unwrap_or_else(|_| usage())),
             "--checkpoint" => checkpoint_path = Some(req("--checkpoint")),
             "--resume" => resume_path = Some(req("--resume")),
+            "--durable" => durable = true,
+            "--data-dir" => data_dir = Some(req("--data-dir")),
             "--recover" => recover = true,
             "--inject-fault" => fault_specs.push(req("--inject-fault")),
             "--help" | "-h" => usage(),
@@ -181,6 +222,7 @@ fn parse_args() -> Args {
         retries,
         checkpoint_path,
         resume_path,
+        data_dir: data_dir.or_else(|| durable.then(|| "sqlem_data".to_string())),
         recover,
         fault_specs,
     }
@@ -250,7 +292,7 @@ fn save_checkpoint_file(db: &mut Database, path: &str) -> Result<(), String> {
     }
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<(), CliError> {
     let text = std::fs::read_to_string(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input))?;
     let data = csv::parse_numeric(&text, args.has_header)?;
@@ -261,7 +303,7 @@ fn run(args: &Args) -> Result<(), String> {
         data.columns.join(", ")
     );
     if args.k > n {
-        return Err(format!("--k {} exceeds the number of rows {n}", args.k));
+        return Err(format!("--k {} exceeds the number of rows {n}", args.k).into());
     }
 
     let mut config = SqlemConfig::new(args.k, args.strategy)
@@ -274,13 +316,23 @@ fn run(args: &Args) -> Result<(), String> {
         // N retries = N+1 attempts per statement.
         config = config.with_retry(RetryPolicy::new(n + 1).with_seed(args.seed));
     }
-    if args.checkpoint_path.is_some() {
+    if args.checkpoint_path.is_some() || args.data_dir.is_some() {
+        // Durable runs always checkpoint: that is what lets a killed
+        // process pick up from its last completed iteration.
         config = config.with_checkpoints();
     }
     if args.recover {
         config = config.with_degenerate_recovery(args.seed);
     }
-    let mut db = Database::new();
+    let mut db = match &args.data_dir {
+        Some(dir) => {
+            let db = Database::open_durable(dir)
+                .map_err(|e| format!("cannot open durable database at {dir}: {e}"))?;
+            eprintln!("durable database at {dir} (write-ahead logged)");
+            db
+        }
+        None => Database::new(),
+    };
     db.set_workers(args.workers);
     if !args.fault_specs.is_empty() {
         let rules = args
@@ -291,8 +343,15 @@ fn run(args: &Args) -> Result<(), String> {
         db.set_fault_plan(FaultPlan::new(rules).with_seed(args.seed));
     }
     if let Some(path) = &args.resume_path {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let ckpt = checkpoint::from_text(&text).map_err(|e| e.to_string())?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::no_checkpoint(format!("cannot read checkpoint {path}: {e}")))?;
+        if text.trim().is_empty() {
+            return Err(CliError::no_checkpoint(format!(
+                "checkpoint {path} is empty: nothing to resume"
+            )));
+        }
+        let ckpt = checkpoint::from_text(&text)
+            .map_err(|e| CliError::no_checkpoint(format!("checkpoint {path} is unusable: {e}")))?;
         checkpoint::write_checkpoint(&mut db, &Names::new(""), &ckpt).map_err(|e| e.to_string())?;
     }
     let mut session = EmSession::create(&mut db, &config, p).map_err(|e| e.to_string())?;
@@ -306,7 +365,9 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     session.load_points(&data.rows).map_err(|e| e.to_string())?;
-    let resumed_at = if args.resume_path.is_some() {
+    // Durable databases carry their checkpoint tables across process
+    // restarts, so try an in-database resume even without --resume.
+    let resumed_at = if args.resume_path.is_some() || args.data_dir.is_some() {
         session
             .resume_from_checkpoint()
             .map_err(|e| e.to_string())?
@@ -317,9 +378,9 @@ fn run(args: &Args) -> Result<(), String> {
         Some(done) => eprintln!("resumed from checkpoint: {done} iteration(s) already complete"),
         None => {
             if let Some(path) = &args.resume_path {
-                return Err(format!(
+                return Err(CliError::no_checkpoint(format!(
                     "{path} holds no usable checkpoint for this data (k/p mismatch?)"
-                ));
+                )));
             }
             session
                 .initialize(&InitStrategy::FromSample {
@@ -343,7 +404,7 @@ fn run(args: &Args) -> Result<(), String> {
             if let Some(path) = &args.checkpoint_path {
                 save_checkpoint_file(&mut db, path)?;
             }
-            return Err(e.to_string());
+            return Err(e.to_string().into());
         }
     };
     if run.retries > 0 {
@@ -389,9 +450,21 @@ fn run(args: &Args) -> Result<(), String> {
         std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {} assignments to {path}", scores.len());
     }
+    let converged = run.outcome == emcore::EmOutcome::Converged;
     drop(session);
     if let Some(path) = &args.checkpoint_path {
         save_checkpoint_file(&mut db, path)?;
+    }
+    if args.data_dir.is_some() {
+        if converged {
+            // Clear the in-database checkpoint so the next invocation
+            // starts fresh instead of "resuming" a finished run.
+            checkpoint::clear_checkpoint(&mut db, &Names::new("")).map_err(|e| e.to_string())?;
+        } else {
+            // Stopped at the iteration cap: keep the checkpoint so a
+            // rerun with a higher --max-iterations picks up from here.
+            eprintln!("iteration cap reached; rerun with a higher --max-iterations to continue");
+        }
     }
     Ok(())
 }
@@ -484,8 +557,13 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            if let Some(dir) = &args.data_dir {
+                eprintln!(
+                    "durable database kept at {dir}; rerun the same command to resume or retry"
+                );
+            }
+            ExitCode::from(e.code)
         }
     }
 }

@@ -274,6 +274,188 @@ fn injected_permanent_fault_fails_with_typed_error() {
 }
 
 #[test]
+fn missing_resume_checkpoint_exits_with_code_3() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_resume_missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--resume",
+            dir.join("no_such.ckpt").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "distinct no-checkpoint code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read checkpoint"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_resume_checkpoint_exits_with_code_3() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_resume_empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let ckpt = dir.join("empty.ckpt");
+    std::fs::write(&ckpt, "").unwrap();
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "distinct no-checkpoint code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("empty"), "{stderr}");
+    assert!(stderr.contains("nothing to resume"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durable_run_persists_and_reruns_cleanly() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_durable");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let data_dir = dir.join("db");
+
+    let base = [
+        input.to_str().unwrap().to_string(),
+        "--k".into(),
+        "2".into(),
+        "--seed".into(),
+        "7".into(),
+        "--data-dir".into(),
+        data_dir.to_str().unwrap().to_string(),
+    ];
+    let out = Command::new(bin()).args(&base).output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("durable database"), "{stderr}");
+    assert!(data_dir.join("wal.log").exists(), "WAL file created");
+
+    // The run completed, so the checkpoint was cleared: a second
+    // invocation against the same directory starts fresh (no resume).
+    let out = Command::new(bin()).args(&base).output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(!stderr.contains("resumed from checkpoint"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durable_run_resumes_across_processes_after_iteration_cap() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_durable_resume");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let data_dir = dir.join("db");
+
+    // Phase 1: the iteration cap stops the run before convergence; the
+    // checkpoint stays inside the durable database.
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--epsilon",
+            "1e-12",
+            "--max-iterations",
+            "3",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("iteration cap reached"), "{stderr}");
+
+    // Phase 2: a fresh process reopens the database, finds the
+    // checkpoint, and continues — no --resume file involved.
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--epsilon",
+            "1e-12",
+            "--max-iterations",
+            "8",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("resumed from checkpoint: 3 iteration(s) already complete"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durable_failed_run_reports_resumability() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_durable_fail");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let data_dir = dir.join("db");
+
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            "--inject-fault",
+            "table=yd:permanent",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("rerun the same command to resume"),
+        "{stderr}"
+    );
+
+    // The database directory survived; the same command without the
+    // fault completes against it.
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_fault_spec_is_rejected() {
     let dir = std::env::temp_dir().join("sqlem_cli_test_fault_bad");
     std::fs::create_dir_all(&dir).unwrap();

@@ -22,6 +22,20 @@
 //! The table layout is strategy-agnostic — plain `(index, value)` pairs
 //! — so a run checkpointed under one strategy can in principle resume
 //! under another.
+//!
+//! ## Durable databases
+//!
+//! On a database opened with [`sqlengine::Database::open_durable`],
+//! every checkpoint write is WAL-framed like any other statement, so
+//! the `ckpt*` tables survive a **process kill**: a fresh process
+//! reopens the directory and [`crate::EmSession::resume_from_checkpoint`]
+//! finds the checkpoint without any text side-channel ([`to_text`]/
+//! [`from_text`] remain available for moving checkpoints *between*
+//! databases). The delete-first/
+//! insert-last marker protocol composes with WAL recovery: a kill
+//! mid-checkpoint replays only the committed statements, which is a
+//! state this module already treats as "no checkpoint yet" or "previous
+//! checkpoint intact".
 
 use emcore::GmmParams;
 use sqlengine::Database;

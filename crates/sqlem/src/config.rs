@@ -80,7 +80,10 @@ pub struct SqlemConfig {
     /// Persist the model + iteration counter + llh history into durable
     /// checkpoint tables after every completed iteration (default off).
     /// An interrupted run can then continue via
-    /// [`crate::EmSession::resume_from_checkpoint`].
+    /// [`crate::EmSession::resume_from_checkpoint`]. On a durable
+    /// database (`Database::open_durable`) the checkpoint tables are
+    /// WAL-logged like everything else, so a resume works across real
+    /// process restarts, not just dropped sessions.
     pub checkpoint: bool,
     /// When an M step kills a cluster (zero responsibility mass) or
     /// produces non-finite parameters, deterministically re-seed the

@@ -369,7 +369,10 @@ impl<'a> EmSession<'a> {
         let mut result = Ok(());
         for (purpose, stmt) in &prepared {
             let db = &mut *self.db;
-            let r = with_retry(policy.as_ref(), &mut self.retries, || {
+            let r = with_retry(policy.as_ref(), &mut self.retries, |attempt| {
+                if attempt > 0 {
+                    db.note_statement_retry();
+                }
                 db.execute_prepared(stmt)
                     .map(|_| ())
                     .map_err(|e| promote_degenerate(purpose, e))
@@ -383,7 +386,10 @@ impl<'a> EmSession<'a> {
         result?;
         let llh_sql = self.generator.llh_sql();
         let db = &mut *self.db;
-        let r = with_retry(policy.as_ref(), &mut self.retries, || {
+        let r = with_retry(policy.as_ref(), &mut self.retries, |attempt| {
+            if attempt > 0 {
+                db.note_statement_retry();
+            }
             db.execute(&llh_sql)
                 .map_err(|e| SqlemError::from_sql("read llh", e))
         })?;
@@ -657,7 +663,10 @@ impl<'a> EmSession<'a> {
         let policy = self.config.retry.clone();
         for stmt in stmts {
             let db = &mut *self.db;
-            with_retry(policy.as_ref(), &mut self.retries, || {
+            with_retry(policy.as_ref(), &mut self.retries, |attempt| {
+                if attempt > 0 {
+                    db.note_statement_retry();
+                }
                 db.execute(&stmt.sql)
                     .map(|_| ())
                     .map_err(|e| promote_degenerate(&stmt.purpose, e))
@@ -674,14 +683,20 @@ impl<'a> EmSession<'a> {
 /// against exactly the state the first attempt saw (docs/ROBUSTNESS.md).
 /// Non-transient errors — every organic engine or domain error — return
 /// immediately.
+///
+/// `f` receives the 0-based attempt index. Callers executing against a
+/// [`sqlengine::Database`] must call `note_statement_retry()` when the
+/// index is non-zero, so an armed fault injector treats the re-run as
+/// the *same* statement (shared sequence number and firing budgets)
+/// rather than a fresh one.
 fn with_retry<T>(
     policy: Option<&RetryPolicy>,
     retries: &mut usize,
-    mut f: impl FnMut() -> Result<T, SqlemError>,
+    mut f: impl FnMut(usize) -> Result<T, SqlemError>,
 ) -> Result<T, SqlemError> {
     let mut attempt = 0usize;
     loop {
-        match f() {
+        match f(attempt) {
             Ok(v) => return Ok(v),
             Err(e) => {
                 let Some(policy) = policy else {

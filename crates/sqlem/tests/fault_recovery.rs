@@ -7,7 +7,7 @@
 use emcore::init::InitStrategy;
 use emcore::GmmParams;
 use sqlem::{EmSession, RetryPolicy, SqlemConfig, SqlemError, Strategy};
-use sqlengine::{Database, Error as SqlError, FaultPlan, FaultRule, StatementKind};
+use sqlengine::{Database, Error as SqlError, FaultPlan, FaultRule, SharedDatabase, StatementKind};
 
 fn blobs() -> Vec<Vec<f64>> {
     let mut pts = Vec::new();
@@ -65,6 +65,39 @@ fn transient_fault_retried_to_bit_identical_result() {
     assert_eq!(with_fault.retries, 1, "exactly one retry");
     assert_eq!(baseline.params, with_fault.params, "bit-identical model");
     assert_eq!(baseline.llh_history, with_fault.llh_history);
+}
+
+#[test]
+fn retry_does_not_shift_the_statement_sequence() {
+    // A retried statement keeps its sequence number, so the injector's
+    // statement count after a faulted-and-retried run equals the count
+    // of an unfaulted run — retries are invisible to `nth` index space.
+    let config = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(1e-9)
+        .with_max_iterations(6);
+
+    let mut clean_db = Database::new();
+    clean_db.set_fault_plan(FaultPlan::default()); // count statements only
+    run_to_completion(&mut clean_db, &config);
+    let clean_count = clean_db.fault_injector().unwrap().executed();
+
+    let mut faulty_db = Database::new();
+    faulty_db.set_fault_plan(FaultPlan::single(
+        FaultRule::table("yd")
+            .kind_is(StatementKind::Insert)
+            .transient()
+            .once(),
+    ));
+    let run = run_to_completion(
+        &mut faulty_db,
+        &config.clone().with_retry(RetryPolicy::immediate(3)),
+    );
+    assert_eq!(run.retries, 1, "exactly one retry happened");
+    assert_eq!(
+        faulty_db.fault_injector().unwrap().executed(),
+        clean_count,
+        "the retry must not consume a fresh statement sequence number"
+    );
 }
 
 #[test]
@@ -217,6 +250,65 @@ fn checkpoint_survives_cleanup_and_can_be_cleared() {
     session.clear_checkpoint().unwrap();
     drop(session);
     assert!(!db.contains_table("cs_ckptmeta"));
+}
+
+#[test]
+fn cleanup_never_drops_a_checkpoint_a_concurrent_resume_reads() {
+    // Two clients of one durable warehouse: one repeatedly cleans up
+    // session work tables, the other repeatedly opens a fresh session
+    // and resumes from the checkpoint. Cleanup drops `Names::all`,
+    // which deliberately excludes the ckpt* tables — so no interleaving
+    // may ever leave the resumer without its checkpoint.
+    let dir = std::env::temp_dir().join(format!(
+        "sqlem_ckpt_shared_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_checkpoints()
+        .with_max_iterations(2);
+    let mut db = Database::open_durable(&dir).unwrap();
+    run_to_completion(&mut db, &config);
+    let shared = SharedDatabase::new(db);
+
+    let cleaner = {
+        let shared = shared.clone();
+        let config = config.clone();
+        std::thread::spawn(move || {
+            for _ in 0..8 {
+                shared.with(|db| {
+                    let mut s = EmSession::create(db, &config, 2).unwrap();
+                    s.cleanup().unwrap();
+                });
+            }
+        })
+    };
+    let resumer = {
+        let shared = shared.clone();
+        let config = config.clone();
+        std::thread::spawn(move || {
+            for _ in 0..8 {
+                shared.with(|db| {
+                    let mut s = EmSession::create(db, &config, 2).unwrap();
+                    s.load_points(&blobs()).unwrap();
+                    let at = s.resume_from_checkpoint().unwrap();
+                    assert_eq!(at, Some(2), "checkpoint must survive concurrent cleanup");
+                });
+            }
+        })
+    };
+    cleaner.join().unwrap();
+    resumer.join().unwrap();
+
+    // And the checkpoint survives a real process boundary too: reopen
+    // the durable directory and resume once more.
+    drop(shared);
+    let mut db = Database::open_durable(&dir).unwrap();
+    let mut s = EmSession::create(&mut db, &config, 2).unwrap();
+    s.load_points(&blobs()).unwrap();
+    assert_eq!(s.resume_from_checkpoint().unwrap(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

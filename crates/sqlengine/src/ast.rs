@@ -256,6 +256,187 @@ impl std::fmt::Display for Expr {
     }
 }
 
+impl std::fmt::Display for SelectItem {
+    /// Render as it would appear in a projection list.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+            SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } => write!(f, "{expr} AS {a}"),
+        }
+    }
+}
+
+impl std::fmt::Display for TableRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.table),
+            None => f.write_str(&self.table),
+        }
+    }
+}
+
+impl std::fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if self.desc {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// Join a list of displayable items with `, `.
+fn comma_join<T: std::fmt::Display>(
+    f: &mut std::fmt::Formatter<'_>,
+    items: &[T],
+) -> std::fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for Select {
+    /// Render as parseable SQL, clause by clause.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SELECT ")?;
+        comma_join(f, &self.items)?;
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            comma_join(f, &self.from)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            comma_join(f, &self.group_by)?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            comma_join(f, &self.order_by)?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Statement {
+    /// Render the statement as SQL the parser accepts, so
+    /// `parse(stmt.to_string())` reproduces `stmt`. The write-ahead log
+    /// ([`crate::wal`]) persists mutating statements in exactly this
+    /// form and replays them through the parser on recovery; double
+    /// literals use the shortest exact representation (`{:?}`), which
+    /// round-trips bit-identically (see [`Expr`]'s `Display`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                if_not_exists,
+            } => {
+                write!(
+                    f,
+                    "CREATE TABLE {}{name} (",
+                    if *if_not_exists { "IF NOT EXISTS " } else { "" }
+                )?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} {}", c.name, c.ty)?;
+                }
+                if !primary_key.is_empty() {
+                    write!(f, ", PRIMARY KEY ({})", primary_key.join(", "))?;
+                }
+                f.write_str(")")
+            }
+            Statement::DropTable { name, if_exists } => {
+                write!(
+                    f,
+                    "DROP TABLE {}{name}",
+                    if *if_exists { "IF EXISTS " } else { "" }
+                )
+            }
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                match source {
+                    InsertSource::Values(rows) => {
+                        f.write_str(" VALUES ")?;
+                        for (i, row) in rows.iter().enumerate() {
+                            if i > 0 {
+                                f.write_str(", ")?;
+                            }
+                            f.write_str("(")?;
+                            comma_join(f, row)?;
+                            f.write_str(")")?;
+                        }
+                        Ok(())
+                    }
+                    InsertSource::Select(sel) => write!(f, " {sel}"),
+                }
+            }
+            Statement::Update {
+                table,
+                from,
+                assignments,
+                where_clause,
+            } => {
+                write!(f, "UPDATE {table}")?;
+                if !from.is_empty() {
+                    f.write_str(" FROM ")?;
+                    comma_join(f, from)?;
+                }
+                f.write_str(" SET ")?;
+                for (i, (col, expr)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{col} = {expr}")?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Select(sel) => write!(f, "{sel}"),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::ExplainAnalyze(inner) => write!(f, "EXPLAIN ANALYZE {inner}"),
+        }
+    }
+}
+
 /// Is `name` one of the supported aggregate functions?
 pub fn is_aggregate_name(name: &str) -> bool {
     matches!(
@@ -447,6 +628,47 @@ mod tests {
             else_expr: None,
         };
         assert!(e.contains_aggregate());
+    }
+
+    #[test]
+    fn statement_display_roundtrips_through_parser() {
+        let sqls = [
+            "CREATE TABLE yd (rid BIGINT, d1 DOUBLE, name VARCHAR, PRIMARY KEY (rid))",
+            "CREATE TABLE IF NOT EXISTS c (i BIGINT PRIMARY KEY, y1 DOUBLE)",
+            "DROP TABLE yd",
+            "DROP TABLE IF EXISTS yd",
+            "INSERT INTO w VALUES (1, 0.25), (2, (-0.75))",
+            "INSERT INTO w (i, val) VALUES (1, 'it''s')",
+            "INSERT INTO yx SELECT rid, exp((-(0.5)) * d1) AS p1 FROM yd WHERE d1 > 0.0",
+            "UPDATE gmm SET detr = r1 * r2, sqrtdetr = detr ** 0.5",
+            "UPDATE c FROM w AS t SET y1 = y1 / t.w1 WHERE i = 1",
+            "DELETE FROM yx WHERE p1 IS NULL",
+            "DELETE FROM yx",
+            "SELECT sum(val) AS s, count(*) FROM y, c AS m WHERE y.v = m.i \
+             GROUP BY y.v HAVING sum(val) > 0.0 ORDER BY y.v DESC LIMIT 3",
+            "SELECT CASE WHEN sump > 1.0E-100 THEN p1 / sump ELSE 0.0 END FROM yp",
+        ];
+        for sql in sqls {
+            let stmt = crate::parser::parse_one(sql).unwrap();
+            let rendered = stmt.to_string();
+            let reparsed = crate::parser::parse_one(&rendered)
+                .unwrap_or_else(|e| panic!("render of {sql:?} unparseable: {rendered:?}: {e}"));
+            assert_eq!(reparsed, stmt, "roundtrip of {sql:?} via {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn statement_display_is_bit_exact_for_doubles() {
+        let awkward = [1.0 / 3.0, f64::MIN_POSITIVE, -1.234_567_890_123_456_7e300];
+        for v in awkward {
+            let stmt = Statement::Insert {
+                table: "t".into(),
+                columns: None,
+                source: InsertSource::Values(vec![vec![Expr::num(v)]]),
+            };
+            let back = crate::parser::parse_one(&stmt.to_string()).unwrap();
+            assert_eq!(back, stmt, "double {v:?} must round-trip bit-exactly");
+        }
     }
 
     #[test]

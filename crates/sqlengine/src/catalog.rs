@@ -66,6 +66,20 @@ impl Catalog {
         names.sort_unstable();
         names
     }
+
+    /// All tables in name order (deterministic iteration for the
+    /// snapshot writer).
+    pub fn tables_sorted(&self) -> Vec<&Table> {
+        let mut tables: Vec<&Table> = self.tables.values().collect();
+        tables.sort_unstable_by(|a, b| a.name().cmp(b.name()));
+        tables
+    }
+
+    /// Install a fully-built table (snapshot load). Replaces any
+    /// existing table with the same name.
+    pub fn install_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,8 @@
-//! The [`Database`] facade: parse → execute, statistics, bulk loading.
+//! The [`Database`] facade: parse → execute, statistics, bulk loading,
+//! and the optional durability layer (WAL + snapshot compaction).
 
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::analyze::{analyze, Limits, SymbolicCatalog};
@@ -7,18 +10,65 @@ use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
 use crate::exec::{
-    execute_statement_metered, explain_select, statement_kind, statement_tables, ExecConfig,
-    QueryResult,
+    execute_statement, execute_statement_metered, explain_select, statement_kind, statement_tables,
+    ExecConfig, QueryResult,
 };
-use crate::fault::{FaultInjector, FaultPlan, FaultSite};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 use crate::metrics::{ExecMetrics, MetricsLog, StatementKind, StmtProbe};
 use crate::parser::parse;
 use crate::stats::Stats;
+use crate::storage::snapshot::{read_snapshot, write_snapshot};
 use crate::table::Row;
 use crate::value::Value;
+use crate::wal::{encode_commit, encode_frame, scan, wal_path, Wal, WalOp};
 
 /// Configuration for a [`Database`].
 pub type EngineConfig = ExecConfig;
+
+/// Tuning knobs for a durable database ([`Database::open_durable_with`]).
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Auto-compact (snapshot + WAL reset) once the log exceeds this
+    /// many bytes; `0` disables auto-compaction (explicit
+    /// [`Database::compact`] still works).
+    pub auto_compact_bytes: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            auto_compact_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Runtime state of the durability layer: the open log, the directory
+/// it lives in, and the statement sequence counter.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+    /// Sequence number the next logged statement gets. Monotone across
+    /// reopen and compaction.
+    next_seq: u64,
+    options: DurabilityOptions,
+}
+
+/// Does executing this statement mutate the catalog or table data (and
+/// therefore need WAL framing on a durable database)?
+fn is_mutating(stmt: &Statement) -> bool {
+    match stmt {
+        Statement::CreateTable { .. }
+        | Statement::DropTable { .. }
+        | Statement::Insert { .. }
+        | Statement::Update { .. }
+        | Statement::Delete { .. } => true,
+        // EXPLAIN ANALYZE executes its inner statement with real side
+        // effects; plain EXPLAIN and SELECT touch nothing.
+        Statement::ExplainAnalyze(inner) => is_mutating(inner),
+        Statement::Explain(_) | Statement::Select(_) => false,
+    }
+}
 
 /// An in-memory relational database.
 ///
@@ -39,6 +89,9 @@ pub struct Database {
     metrics: MetricsLog,
     /// Armed fault plan (chaos testing); `None` in production use.
     injector: Option<FaultInjector>,
+    /// Durability layer; `None` for the default in-memory database (the
+    /// in-memory execution path is byte-for-byte unaffected).
+    durability: Option<Durability>,
 }
 
 impl Database {
@@ -56,7 +109,134 @@ impl Database {
             config,
             metrics: MetricsLog::new(),
             injector: None,
+            durability: None,
         }
+    }
+
+    /// Open (or create) a **durable** database rooted at `dir` with the
+    /// default configuration. See [`Database::open_durable_with`].
+    pub fn open_durable(dir: impl AsRef<Path>) -> Result<Self> {
+        Database::open_durable_with(dir, EngineConfig::default(), DurabilityOptions::default())
+    }
+
+    /// Open (or create) a durable database: recover state from the
+    /// snapshot plus write-ahead log under `dir`, then keep logging
+    /// every mutating statement there.
+    ///
+    /// Recovery order: load `snapshot.bin` if present (its checksum is
+    /// verified), validate `wal.log`, replay committed frames whose
+    /// sequence number is at or above the snapshot watermark, and
+    /// physically truncate any torn tail. Damaged acknowledged state —
+    /// a checksum mismatch, an undecodable record, a logged statement
+    /// that no longer applies — surfaces as [`Error::Corruption`];
+    /// recovery never silently diverges from what was acknowledged.
+    pub fn open_durable_with(
+        dir: impl AsRef<Path>,
+        config: EngineConfig,
+        options: DurabilityOptions,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(|e| Error::io("create database directory", e))?;
+        let (catalog, watermark) = match read_snapshot(dir)? {
+            Some((catalog, watermark)) => (catalog, watermark),
+            None => (Catalog::new(), 0),
+        };
+        let wal_bytes = match fs::read(wal_path(dir)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(Error::io("read wal", e)),
+        };
+        let scanned = scan(&wal_bytes)?;
+        let mut db = Database::with_config(config);
+        db.catalog = catalog;
+        for (seq, op) in &scanned.committed {
+            if *seq < watermark {
+                continue; // already captured by the snapshot
+            }
+            db.replay_op(op)?;
+        }
+        // Replay ran through the normal executor; its scans must not
+        // leak into the session's statistics.
+        db.stats.reset();
+        let wal = Wal::open(dir, scanned.valid_len as u64)?;
+        db.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            next_seq: watermark.max(scanned.next_seq),
+            options,
+        });
+        Ok(db)
+    }
+
+    /// Re-apply one recovered WAL operation. The statement succeeded
+    /// against this exact state when it was logged, so any failure here
+    /// means the durable image is internally inconsistent — reported as
+    /// [`Error::Corruption`], never ignored.
+    fn replay_op(&mut self, op: &WalOp) -> Result<()> {
+        match op {
+            WalOp::Sql(sql) => {
+                let stmts = parse(sql).map_err(|e| {
+                    Error::corruption(format!("wal replay: logged statement unparsable: {e}"))
+                })?;
+                for stmt in &stmts {
+                    execute_statement(&mut self.catalog, &mut self.stats, &self.config, stmt)
+                        .map_err(|e| {
+                            Error::corruption(format!(
+                                "wal replay: logged statement failed: {e} (statement: {sql})"
+                            ))
+                        })?;
+                }
+            }
+            WalOp::BulkInsert { table, rows } => {
+                let t = self.catalog.table_mut(table).map_err(|e| {
+                    Error::corruption(format!("wal replay: bulk-insert target missing: {e}"))
+                })?;
+                t.insert_all_or_rollback(rows.clone()).map_err(|e| {
+                    Error::corruption(format!("wal replay: bulk insert into {table} failed: {e}"))
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Is this database backed by the durability layer?
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable database directory, if durability is enabled.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Current WAL length in bytes (durable databases only).
+    pub fn wal_len(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal.len())
+    }
+
+    /// Compact the durable state: write the whole catalog as a new
+    /// snapshot (staged and atomically renamed), then reset the WAL.
+    /// A crash at any point leaves either the old snapshot + full log
+    /// or the new snapshot (+ a log whose frames the watermark skips).
+    pub fn compact(&mut self) -> Result<()> {
+        let Some(d) = self.durability.as_mut() else {
+            return Err(Error::Unsupported(
+                "compact: database is not durable".into(),
+            ));
+        };
+        write_snapshot(&d.dir, &self.catalog, d.next_seq)?;
+        d.wal.reset()
+    }
+
+    /// Auto-compaction check, run after each synced commit.
+    fn maybe_compact(&mut self) -> Result<()> {
+        let should = self.durability.as_ref().is_some_and(|d| {
+            d.options.auto_compact_bytes > 0 && d.wal.len() > d.options.auto_compact_bytes
+        });
+        if should {
+            self.compact()?;
+        }
+        Ok(())
     }
 
     /// Execute one or more `;`-separated statements; returns the result of
@@ -113,8 +293,22 @@ impl Database {
     /// before execution (and, for after-exec rules, after): a fired rule
     /// surfaces as [`Error::Injected`] — with the target untouched for
     /// before-exec faults.
+    ///
+    /// On a durable database every mutating statement is WAL-framed
+    /// around its execution: begin+payload appended first, effects
+    /// applied in memory, then the commit marker and an `fsync`. A
+    /// statement that fails in memory leaves its frame uncommitted —
+    /// recovery skips it, matching the in-memory atomic semantics.
     fn execute_metered(&mut self, stmt: &Statement) -> Result<QueryResult> {
         self.check_fault(FaultSite::BeforeExec, stmt)?;
+        let framed = if self.durability.is_some() && is_mutating(stmt) {
+            let kind = statement_kind(stmt);
+            let tables = statement_tables(stmt);
+            let seq = self.wal_append_frame(kind, &tables, &WalOp::Sql(stmt.to_string()))?;
+            Some((seq, kind, tables))
+        } else {
+            None
+        };
         let result = if !self.metrics.is_enabled() {
             let mut probe = StmtProbe::disabled();
             execute_statement_metered(
@@ -138,8 +332,99 @@ impl Database {
                 .push(probe.finish(statement_kind(stmt), t0.elapsed()));
             result
         };
+        if let Some((seq, kind, tables)) = framed {
+            self.wal_commit_frame(seq, kind, &tables)?;
+        }
         self.check_fault(FaultSite::AfterExec, stmt)?;
         Ok(result)
+    }
+
+    /// Consult the armed fault plan at a WAL site. Returns the fired
+    /// injection (if any) for the caller to turn into a crash or a
+    /// typed error at the right point of the protocol.
+    fn wal_fault(
+        &mut self,
+        site: FaultSite,
+        kind: StatementKind,
+        tables: &[String],
+    ) -> Option<crate::fault::Injection> {
+        self.injector.as_mut()?.decide(site, kind, tables)
+    }
+
+    /// Append the begin+payload frame for one mutating statement and
+    /// run the `BeforeWalAppend`/`AfterWalAppend` crash points. Returns
+    /// the frame's sequence number.
+    fn wal_append_frame(
+        &mut self,
+        kind: StatementKind,
+        tables: &[String],
+        op: &WalOp,
+    ) -> Result<u64> {
+        if let Some(hit) = self.wal_fault(FaultSite::BeforeWalAppend, kind, tables) {
+            if hit.crash {
+                // Kill before anything reached the log: recovery must
+                // see no trace of this statement.
+                std::process::abort();
+            }
+            return Err(Error::Injected {
+                transient: hit.fault == FaultKind::Transient,
+                applied: false,
+                statement: hit.statement,
+            });
+        }
+        let d = self.durability.as_mut().expect("durable database");
+        let seq = d.next_seq;
+        let frame = encode_frame(seq, op);
+        let start = d.wal.append(&frame)?;
+        d.next_seq += 1;
+        if let Some(hit) = self.wal_fault(FaultSite::AfterWalAppend, kind, tables) {
+            if hit.crash {
+                // Reproduce a kill mid-append: tear the frame to a
+                // deterministic partial prefix (statement index modulo
+                // frame size + 1, so full-frame survival is reachable)
+                // and abort without the commit marker.
+                let tear = (hit.statement as u64) % (frame.len() as u64 + 1);
+                let d = self.durability.as_mut().expect("durable database");
+                let _ = d.wal.truncate_to(start + tear);
+                let _ = d.wal.sync();
+                std::process::abort();
+            }
+            // Non-crash fault: the frame is on disk but uncommitted —
+            // recovery skips it, so nothing was applied.
+            return Err(Error::Injected {
+                transient: hit.fault == FaultKind::Transient,
+                applied: false,
+                statement: hit.statement,
+            });
+        }
+        Ok(seq)
+    }
+
+    /// Append the commit marker for `seq`, run the `BeforeWalSync`
+    /// crash point, fsync the log and maybe auto-compact.
+    fn wal_commit_frame(&mut self, seq: u64, kind: StatementKind, tables: &[String]) -> Result<()> {
+        {
+            let d = self.durability.as_mut().expect("durable database");
+            d.wal.append(&encode_commit(seq))?;
+        }
+        if let Some(hit) = self.wal_fault(FaultSite::BeforeWalSync, kind, tables) {
+            if hit.crash {
+                // Kill after the commit marker but before the fsync:
+                // the bytes are in the file, the client never saw the
+                // ack — recovery *includes* this statement.
+                std::process::abort();
+            }
+            // Non-crash flavour of the same window: the statement
+            // applied (in memory and in the log) but the ack was lost.
+            return Err(Error::Injected {
+                transient: hit.fault == FaultKind::Transient,
+                applied: true,
+                statement: hit.statement,
+            });
+        }
+        let d = self.durability.as_mut().expect("durable database");
+        d.wal.sync()?;
+        self.maybe_compact()
     }
 
     /// Consult the armed fault plan (if any) for `stmt` at `site`.
@@ -274,27 +559,34 @@ impl Database {
     where
         I: IntoIterator<Item = Vec<Value>>,
     {
+        let lname = table.to_ascii_lowercase();
+        let wal_tables = [lname.clone()];
         if let Some(injector) = &mut self.injector {
-            let tables = vec![table.to_ascii_lowercase()];
             if let Some(hit) =
-                injector.decide(FaultSite::BeforeExec, StatementKind::Insert, &tables)
+                injector.decide(FaultSite::BeforeExec, StatementKind::Insert, &wal_tables)
             {
                 return Err(Error::Injected {
-                    transient: hit.fault == crate::fault::FaultKind::Transient,
+                    transient: hit.fault == FaultKind::Transient,
                     applied: false,
                     statement: hit.statement,
                 });
             }
         }
-        let t = self.catalog.table_mut(table)?;
-        let types: Vec<_> = t.schema().columns().iter().map(|c| c.ty).collect();
+        let types: Vec<_> = self
+            .catalog
+            .table(&lname)?
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.ty)
+            .collect();
         // Coerce every row before touching the table, then insert
         // atomically: a failed bulk load leaves the target unchanged.
         let mut staged: Vec<Row> = Vec::new();
         for row in rows {
             if row.len() != types.len() {
                 return Err(Error::ArityMismatch {
-                    table: t.name().to_string(),
+                    table: lname,
                     expected: types.len(),
                     actual: row.len(),
                 });
@@ -307,8 +599,25 @@ impl Database {
                     .into_boxed_slice(),
             );
         }
-        let inserted = t.insert_all_or_rollback(staged)?;
+        // Bulk loads have no SQL text; they are logged as binary row
+        // frames under the same begin/commit protocol.
+        let framed = if self.durability.is_some() {
+            let op = WalOp::BulkInsert {
+                table: lname.clone(),
+                rows: staged.clone(),
+            };
+            Some(self.wal_append_frame(StatementKind::Insert, &wal_tables, &op)?)
+        } else {
+            None
+        };
+        let inserted = self
+            .catalog
+            .table_mut(&lname)?
+            .insert_all_or_rollback(staged)?;
         self.stats.record_inserts(inserted);
+        if let Some(seq) = framed {
+            self.wal_commit_frame(seq, StatementKind::Insert, &wal_tables)?;
+        }
         if self.metrics.is_enabled() {
             let mut probe = StmtProbe::enabled();
             probe.add_inserted(inserted);
@@ -355,6 +664,18 @@ impl Database {
     /// Disarm the fault plan; subsequent statements run normally.
     pub fn clear_fault_plan(&mut self) {
         self.injector = None;
+    }
+
+    /// Tell the armed injector (if any) that the next statement is a
+    /// **retry** of the one that just failed: it keeps the failed
+    /// statement's sequence number, so `nth` rules do not shift and
+    /// firing budgets are shared across re-executions. Retry drivers
+    /// (e.g. the SQLEM `RetryPolicy` loop) call this before each
+    /// re-submission.
+    pub fn note_statement_retry(&mut self) {
+        if let Some(injector) = &mut self.injector {
+            injector.note_retry();
+        }
     }
 
     /// The armed injector's runtime state (statement count, faults
@@ -550,5 +871,175 @@ mod tests {
         assert!(db.stats().statements() >= 2);
         db.reset_stats();
         assert_eq!(db.stats().statements(), 0);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sqlem_engine_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut db = Database::open_durable(&dir).unwrap();
+            assert!(db.is_durable());
+            assert_eq!(db.data_dir(), Some(dir.as_path()));
+            db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY, v DOUBLE)")
+                .unwrap();
+            db.execute("INSERT INTO y VALUES (1, 0.5), (2, 1.5)")
+                .unwrap();
+            db.execute("UPDATE y SET v = v * 2.0 WHERE rid = 2")
+                .unwrap();
+        }
+        let mut db = Database::open_durable(&dir).unwrap();
+        let r = db.execute("SELECT sum(v) FROM y").unwrap();
+        assert_eq!(r.scalar_f64(), Some(3.5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_bulk_insert_survives_reopen() {
+        let dir = temp_dir("bulk");
+        {
+            let mut db = Database::open_durable(&dir).unwrap();
+            db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY, v DOUBLE)")
+                .unwrap();
+            db.bulk_insert(
+                "y",
+                vec![
+                    vec![Value::Int(1), Value::Double(1.0 / 3.0)],
+                    vec![Value::Int(2), Value::Double(-0.0)],
+                ],
+            )
+            .unwrap();
+        }
+        let db = Database::open_durable(&dir).unwrap();
+        let rows = db.catalog().table("y").unwrap().rows();
+        assert_eq!(rows.len(), 2);
+        match &rows[0][1] {
+            Value::Double(d) => assert_eq!(d.to_bits(), (1.0f64 / 3.0).to_bits()),
+            other => panic!("expected double, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_statement_leaves_uncommitted_frame_that_replay_skips() {
+        let dir = temp_dir("failfr");
+        {
+            let mut db = Database::open_durable(&dir).unwrap();
+            db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY)")
+                .unwrap();
+            db.execute("INSERT INTO y VALUES (1)").unwrap();
+            // Duplicate key: fails in memory, frame stays uncommitted.
+            assert!(db.execute("INSERT INTO y VALUES (1)").is_err());
+            db.execute("INSERT INTO y VALUES (2)").unwrap();
+        }
+        let db = Database::open_durable(&dir).unwrap();
+        assert_eq!(db.table_len("y").unwrap(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_resets_wal_and_preserves_state() {
+        let dir = temp_dir("compact");
+        {
+            let mut db = Database::open_durable(&dir).unwrap();
+            db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY, v DOUBLE)")
+                .unwrap();
+            for i in 0..20 {
+                db.execute(&format!("INSERT INTO y VALUES ({i}, {i}.5)"))
+                    .unwrap();
+            }
+            let before = db.wal_len().unwrap();
+            db.compact().unwrap();
+            assert!(db.wal_len().unwrap() < before, "wal reset by compaction");
+            // More statements after the compaction land in the fresh log.
+            db.execute("INSERT INTO y VALUES (100, 0.25)").unwrap();
+        }
+        let mut db = Database::open_durable(&dir).unwrap();
+        let r = db.execute("SELECT count(*) FROM y").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(21)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_threshold() {
+        let dir = temp_dir("autocompact");
+        {
+            let mut db = Database::open_durable_with(
+                &dir,
+                EngineConfig::default(),
+                DurabilityOptions {
+                    auto_compact_bytes: 256,
+                },
+            )
+            .unwrap();
+            db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY)")
+                .unwrap();
+            for i in 0..50 {
+                db.execute(&format!("INSERT INTO y VALUES ({i})")).unwrap();
+            }
+            assert!(
+                db.wal_len().unwrap() < 1024,
+                "wal kept small by auto-compaction: {} bytes",
+                db.wal_len().unwrap()
+            );
+        }
+        let db = Database::open_durable(&dir).unwrap();
+        assert_eq!(db.table_len("y").unwrap(), 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_wal_is_a_typed_error() {
+        let dir = temp_dir("corrupt");
+        {
+            let mut db = Database::open_durable(&dir).unwrap();
+            db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY)")
+                .unwrap();
+            db.execute("INSERT INTO y VALUES (1)").unwrap();
+        }
+        // Flip one byte inside the first record's payload.
+        let path = crate::wal::wal_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = crate::wal::WAL_MAGIC.len() + 9;
+        bytes[pos] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match Database::open_durable(&dir) {
+            Err(Error::Corruption { .. }) => {}
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_database_has_no_durability_surface() {
+        let mut db = Database::new();
+        assert!(!db.is_durable());
+        assert!(db.data_dir().is_none());
+        assert!(db.wal_len().is_none());
+        assert!(matches!(db.compact(), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn explain_analyze_mutation_is_replayed() {
+        let dir = temp_dir("expanalyze");
+        {
+            let mut db = Database::open_durable(&dir).unwrap();
+            db.execute("CREATE TABLE y (rid BIGINT PRIMARY KEY)")
+                .unwrap();
+            db.execute("EXPLAIN ANALYZE INSERT INTO y VALUES (7)")
+                .unwrap();
+        }
+        let db = Database::open_durable(&dir).unwrap();
+        assert_eq!(db.table_len("y").unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -91,6 +91,27 @@ pub enum Error {
         /// 0-based statement sequence number since plan installation.
         statement: usize,
     },
+    /// A filesystem operation of the durability layer failed (open,
+    /// append, sync, rename). Carries the operation context and the OS
+    /// error text — kept as strings so [`Error`] stays `Clone` +
+    /// `PartialEq`.
+    Io {
+        /// What the engine was doing ("open wal", "sync wal", …).
+        context: String,
+        /// The underlying OS error, stringified.
+        message: String,
+    },
+    /// Durable state failed validation on recovery: a write-ahead-log
+    /// record or snapshot whose checksum does not match its contents, an
+    /// undecodable record, or a replayed statement that no longer
+    /// applies. Never produced for a *torn tail* (an interrupted append
+    /// at the end of the log) — those are unacknowledged writes and are
+    /// silently discarded; `Corruption` means acknowledged state is
+    /// damaged and recovering would silently diverge.
+    Corruption {
+        /// What failed validation and where.
+        detail: String,
+    },
     /// Anything else (internal invariants, unsupported constructs).
     Unsupported(String),
 }
@@ -136,6 +157,8 @@ impl fmt::Display for Error {
                 if *transient { "transient" } else { "permanent" },
                 if *applied { " (effects applied)" } else { "" },
             ),
+            Error::Io { context, message } => write!(f, "io error ({context}): {message}"),
+            Error::Corruption { detail } => write!(f, "durable state corrupted: {detail}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -150,6 +173,21 @@ impl From<crate::analyze::AnalyzeError> for Error {
 }
 
 impl Error {
+    /// Wrap a [`std::io::Error`] with the operation that hit it.
+    pub fn io(context: impl Into<String>, e: std::io::Error) -> Self {
+        Error::Io {
+            context: context.into(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Build a [`Error::Corruption`] from a detail message.
+    pub fn corruption(detail: impl Into<String>) -> Self {
+        Error::Corruption {
+            detail: detail.into(),
+        }
+    }
+
     /// The inner [`crate::analyze::AnalyzeError`], if this is a
     /// semantic-analysis rejection.
     pub fn as_analyze(&self) -> Option<&crate::analyze::AnalyzeError> {

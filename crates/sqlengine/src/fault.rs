@@ -44,6 +44,15 @@ impl std::fmt::Display for FaultKind {
 }
 
 /// When, relative to statement execution, a fault fires.
+///
+/// The three `Wal*` sites exist only on a durable database
+/// ([`crate::Database::open_durable`]) and bracket the write-ahead-log
+/// protocol for one mutating statement: append the begin+payload frame,
+/// execute, append the commit marker, sync. They are the crash points
+/// the recovery protocol must survive (docs/ROBUSTNESS.md): combined
+/// with [`FaultRule::crashing`] they kill the process at exact WAL
+/// byte/record boundaries — including a deterministic partial append
+/// (torn tail) for [`FaultSite::AfterWalAppend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FaultSite {
     /// Before any effect is applied — the statement never ran. The
@@ -53,6 +62,30 @@ pub enum FaultSite {
     /// After the statement's effects committed but before the client saw
     /// the result (lost ack / crash between statements).
     AfterExec,
+    /// Durable only: before the statement's begin+payload frame is
+    /// appended to the WAL. Nothing was written or applied; recovery
+    /// sees no trace of the statement.
+    BeforeWalAppend,
+    /// Durable only: after the begin+payload frame was appended (a
+    /// crashing rule tears it to a deterministic partial prefix) but
+    /// before the statement executed or committed. Recovery discards
+    /// the uncommitted frame.
+    AfterWalAppend,
+    /// Durable only: after the commit marker was appended but before
+    /// `fsync`. The statement's effects are in the log but the client
+    /// never saw the acknowledgment — the lost-ack model at the
+    /// durability layer; recovery *includes* the statement.
+    BeforeWalSync,
+}
+
+impl FaultSite {
+    /// Is this one of the durable-only WAL protocol sites?
+    pub fn is_wal(self) -> bool {
+        matches!(
+            self,
+            FaultSite::BeforeWalAppend | FaultSite::AfterWalAppend | FaultSite::BeforeWalSync
+        )
+    }
 }
 
 /// One scripted failure rule. All populated matchers must agree for the
@@ -76,8 +109,19 @@ pub struct FaultRule {
     /// Where the fault fires relative to execution.
     pub site: FaultSite,
     /// Fire at most this many times (`None` ⇒ unlimited). A transient
-    /// blip is `Some(1)`: the retry then succeeds.
+    /// blip is `Some(1)`: the retry then succeeds. The budget is shared
+    /// across retry re-executions of the same statement: a retried
+    /// statement keeps its sequence number (see
+    /// [`FaultInjector::note_retry`]), so an exhausted `once()` rule
+    /// does not re-arm when the driver re-submits.
     pub budget: Option<usize>,
+    /// Kill the process (`std::process::abort`) instead of returning an
+    /// injected error — the crash-simulation mode used by the
+    /// `crash_recovery` suite at the WAL sites. The abort is performed
+    /// by the engine, which first reproduces the exact on-disk state of
+    /// a kill at that site (e.g. a partial frame for
+    /// [`FaultSite::AfterWalAppend`]).
+    pub crash: bool,
 }
 
 impl FaultRule {
@@ -148,6 +192,19 @@ impl FaultRule {
         self
     }
 
+    /// Builder: fire at an arbitrary site (the WAL crash points).
+    pub fn at_site(mut self, site: FaultSite) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// Builder: abort the process at the fault site instead of
+    /// returning an error (crash simulation; see [`FaultRule::crash`]).
+    pub fn crashing(mut self) -> Self {
+        self.crash = true;
+        self
+    }
+
     fn matches(&self, seq: usize, kind: StatementKind, tables: &[String]) -> bool {
         if let Some(n) = self.nth {
             if n != seq {
@@ -210,6 +267,8 @@ pub struct Injection {
     pub statement: usize,
     /// Index of the rule that fired.
     pub rule: usize,
+    /// The rule asks for a process abort at the site (crash simulation).
+    pub crash: bool,
 }
 
 /// Runtime state for a [`FaultPlan`]: statement counter, per-rule fire
@@ -220,6 +279,9 @@ pub struct FaultInjector {
     executed: usize,
     fired: Vec<usize>,
     rng_state: u64,
+    /// The next `BeforeExec` decision is a retry of the previous
+    /// statement: reuse its sequence number instead of advancing.
+    retry_pending: bool,
 }
 
 impl FaultInjector {
@@ -235,12 +297,28 @@ impl FaultInjector {
             executed: 0,
             fired,
             rng_state,
+            retry_pending: false,
         }
     }
 
     /// Statements observed since installation.
     pub fn executed(&self) -> usize {
         self.executed
+    }
+
+    /// Declare that the next statement is a **retry** of the one that
+    /// just failed: it keeps the failed statement's sequence number
+    /// instead of consuming a new one. Without this, every retry would
+    /// shift the `nth` index space — a later `nth` rule would fire on
+    /// the retry of an *earlier* statement, and a budgeted "transient"
+    /// rule would re-arm against fresh sequence numbers, making
+    /// transient faults effectively permanent in long sweeps. Budgets
+    /// are therefore shared across re-executions: an exhausted `once()`
+    /// rule stays exhausted for the retry of the statement it hit.
+    pub fn note_retry(&mut self) {
+        if self.executed > 0 {
+            self.retry_pending = true;
+        }
     }
 
     /// Total faults fired so far.
@@ -263,21 +341,33 @@ impl FaultInjector {
     }
 
     /// Decide whether the statement about to run (or just run, for
-    /// [`FaultSite::AfterExec`] checks) trips a rule at `site`. Advances
-    /// the statement counter only when `site` is `BeforeExec` — call
-    /// both sites for each statement, `BeforeExec` first.
+    /// non-`BeforeExec` checks) trips a rule at `site`. Advances the
+    /// statement counter only when `site` is `BeforeExec` — call that
+    /// site first for each statement; every other site (the WAL crash
+    /// points and `AfterExec`) then addresses the *same* sequence
+    /// number, so `nth(n)` refers to statement `n` at every site.
     pub fn decide(
         &mut self,
         site: FaultSite,
         kind: StatementKind,
         tables: &[String],
     ) -> Option<Injection> {
-        let seq = self.executed;
-        if site == FaultSite::BeforeExec {
-            self.executed += 1;
-        }
+        let seq = if site == FaultSite::BeforeExec {
+            if self.retry_pending {
+                // A retry re-executes the previous statement under its
+                // original sequence number; budgets stay consumed.
+                self.retry_pending = false;
+                self.executed.saturating_sub(1)
+            } else {
+                let s = self.executed;
+                self.executed += 1;
+                s
+            }
+        } else {
+            self.executed.saturating_sub(1)
+        };
         for i in 0..self.plan.rules.len() {
-            let (fault, probability) = {
+            let (fault, probability, crash) = {
                 let rule = &self.plan.rules[i];
                 if rule.site != site || !rule.matches(seq, kind, tables) {
                     continue;
@@ -287,7 +377,7 @@ impl FaultInjector {
                         continue;
                     }
                 }
-                (rule.fault, rule.probability)
+                (rule.fault, rule.probability, rule.crash)
             };
             if let Some(p) = probability {
                 if !self.coin(p) {
@@ -300,6 +390,7 @@ impl FaultInjector {
                 site,
                 statement: seq,
                 rule: i,
+                crash,
             });
         }
         None
@@ -384,6 +475,108 @@ mod tests {
         assert_ne!(run(7), run(8), "different seed, different decisions");
         let hits = run(7).iter().filter(|&&b| b).count();
         assert!((10..=54).contains(&hits), "p=0.5 over 64 draws: {hits}");
+    }
+
+    #[test]
+    fn retry_reuses_sequence_number_and_shares_budget() {
+        // Statement 2 trips a once-budgeted transient rule; its retry
+        // must NOT fire the nth(3) rule (the index space must not
+        // shift) and must NOT re-trip the exhausted transient rule.
+        let mut inj = FaultInjector::new(FaultPlan::new(vec![
+            FaultRule::nth(2).transient().once(),
+            FaultRule::nth(3).permanent(),
+        ]));
+        for seq in 0..2 {
+            assert!(
+                inj.decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables())
+                    .is_none(),
+                "seq {seq}"
+            );
+        }
+        let hit = inj
+            .decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables())
+            .expect("statement 2 trips the transient rule");
+        assert_eq!(hit.statement, 2);
+        assert_eq!(hit.fault, FaultKind::Transient);
+
+        // Driver retries statement 2.
+        inj.note_retry();
+        let retry = inj.decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables());
+        assert!(
+            retry.is_none(),
+            "retry of statement 2 must not hit the exhausted once() rule \
+             nor the nth(3) rule: {retry:?}"
+        );
+
+        // The *next* statement is still number 3 and trips the
+        // permanent rule.
+        let hit = inj
+            .decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables())
+            .expect("statement 3 trips the permanent rule");
+        assert_eq!(hit.statement, 3);
+        assert_eq!(hit.fault, FaultKind::Permanent);
+    }
+
+    #[test]
+    fn transient_blip_is_transient_under_retry() {
+        // The satellite-1 regression: an unbudgeted nth rule used to
+        // re-fire on every retry because the retry consumed a fresh
+        // sequence number while the rule re-armed. With shared
+        // sequence numbers the rule *does* re-fire (same seq matches),
+        // so "transient blip" rules must pair nth with a budget — and
+        // with the budget the retry now succeeds.
+        let mut inj = FaultInjector::new(FaultPlan::single(FaultRule::nth(0).transient().times(2)));
+        assert!(inj
+            .decide(FaultSite::BeforeExec, StatementKind::Update, &no_tables())
+            .is_some());
+        inj.note_retry();
+        assert!(
+            inj.decide(FaultSite::BeforeExec, StatementKind::Update, &no_tables())
+                .is_some(),
+            "budget of 2: first retry still faults"
+        );
+        inj.note_retry();
+        assert!(
+            inj.decide(FaultSite::BeforeExec, StatementKind::Update, &no_tables())
+                .is_none(),
+            "budget exhausted: second retry succeeds"
+        );
+    }
+
+    #[test]
+    fn wal_site_nth_addresses_current_statement() {
+        // nth(1) at a WAL site fires during statement 1's WAL window,
+        // i.e. after its BeforeExec check advanced the counter.
+        let mut inj = FaultInjector::new(FaultPlan::single(
+            FaultRule::nth(1)
+                .at_site(FaultSite::BeforeWalAppend)
+                .crashing(),
+        ));
+        // Statement 0: BeforeExec then its WAL append point.
+        assert!(inj
+            .decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables())
+            .is_none());
+        assert!(inj
+            .decide(
+                FaultSite::BeforeWalAppend,
+                StatementKind::Insert,
+                &no_tables()
+            )
+            .is_none());
+        // Statement 1: the WAL-site rule fires at its append point.
+        assert!(inj
+            .decide(FaultSite::BeforeExec, StatementKind::Insert, &no_tables())
+            .is_none());
+        let hit = inj
+            .decide(
+                FaultSite::BeforeWalAppend,
+                StatementKind::Insert,
+                &no_tables(),
+            )
+            .expect("nth(1) fires at statement 1's WAL append");
+        assert_eq!(hit.statement, 1);
+        assert!(hit.crash, "crashing() carried through to the injection");
+        assert!(hit.site.is_wal());
     }
 
     #[test]

@@ -51,13 +51,15 @@ pub mod metrics;
 pub mod parser;
 pub mod schema;
 pub mod stats;
+pub mod storage;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use analyze::{
     AnalyzeError, AnalyzeErrorKind, Clause, Limits, Metric, Report, SymbolicCatalog,
 };
-pub use engine::{Database, EngineConfig, SharedDatabase};
+pub use engine::{Database, DurabilityOptions, EngineConfig, SharedDatabase};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, Injection};

@@ -1,0 +1,253 @@
+//! Byte-level primitives shared by the WAL and the snapshot codec:
+//! little-endian integer framing, a length-prefixed [`Value`] encoding
+//! and a table-driven CRC-32 (IEEE 802.3 polynomial, the same checksum
+//! zlib/PNG use). Everything here is hand-rolled so the durability
+//! layer stays dependency-free.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Append a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed (`u32`) UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over an immutable byte slice. Every read is bounds-checked
+/// and returns [`Error::Corruption`] on overrun — decoding never panics
+/// on truncated or garbage input.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context string used in corruption errors ("wal record", …).
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice; `what` names the container for error messages.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Reader { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset from the start of the slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::corruption(format!(
+                "{}: truncated at byte {} (needed {n} more, had {})",
+                self.what,
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::corruption(format!("{}: invalid utf-8 string", self.what)))
+    }
+}
+
+/// Value tags for the binary codec. Stable on-disk numbers — do not
+/// reorder.
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_DOUBLE: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Append one [`Value`]: a 1-byte tag then the fixed/length-prefixed
+/// payload. Doubles are stored as raw IEEE-754 bits so the round-trip
+/// is bit-exact (NaN payloads and signed zeros included).
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Int(i) => {
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            buf.push(TAG_DOUBLE);
+            buf.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(TAG_STR);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// Decode one [`Value`] written by [`put_value`].
+pub fn read_value(r: &mut Reader<'_>) -> Result<Value> {
+    match r.u8()? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => Ok(Value::Int(r.u64()? as i64)),
+        TAG_DOUBLE => Ok(Value::Double(f64::from_bits(r.u64()?))),
+        TAG_STR => Ok(Value::Str(r.str()?.into())),
+        tag => Err(Error::corruption(format!("unknown value tag {tag:#04x}"))),
+    }
+}
+
+/// CRC-32 (IEEE, reflected, init/xorout `0xFFFF_FFFF`) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table built once; 256 entries of the reflected polynomial.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vectors for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_byte_flip() {
+        let base = b"hello durable world".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), c0, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_codec_round_trips() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Double(0.0),
+            Value::Double(-0.0),
+            Value::Double(1.0 / 3.0),
+            Value::Double(f64::MIN_POSITIVE),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Str("".into()),
+            Value::Str("it's got 'quotes' and unicode: π≈3.14159".into()),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf, "test");
+        for v in &vals {
+            let got = read_value(&mut r).unwrap();
+            match (v, &got) {
+                // NaN-free list, so PartialEq is fine; -0.0 needs bits.
+                (Value::Double(a), Value::Double(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(v, &got),
+            }
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn nan_payload_survives_bit_exact() {
+        let weird_nan = f64::from_bits(0x7FF8_DEAD_BEEF_0001);
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Double(weird_nan));
+        let mut r = Reader::new(&buf, "test");
+        match read_value(&mut r).unwrap() {
+            Value::Double(d) => assert_eq!(d.to_bits(), weird_nan.to_bits()),
+            other => panic!("expected double, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_corruption_not_panic() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Str("hello".into()));
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut], "test");
+            assert!(
+                matches!(read_value(&mut r), Err(Error::Corruption { .. })),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_corruption() {
+        let mut r = Reader::new(&[0xFE], "test");
+        assert!(matches!(read_value(&mut r), Err(Error::Corruption { .. })));
+    }
+}

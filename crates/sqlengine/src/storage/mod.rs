@@ -1,0 +1,10 @@
+//! On-disk persistence primitives for the durability layer.
+//!
+//! [`codec`] holds the byte-level building blocks (little-endian
+//! framing, the binary [`crate::value::Value`] encoding and CRC-32);
+//! [`snapshot`] is the whole-catalog image the WAL compacts into. The
+//! log itself lives in [`crate::wal`]; [`crate::Database::open_durable`]
+//! ties the pieces together.
+
+pub mod codec;
+pub mod snapshot;

@@ -42,6 +42,15 @@ impl Table {
         }
     }
 
+    /// Rebuild a table from a schema plus stored rows (snapshot load).
+    /// Re-validates arity and primary-key uniqueness so a corrupted
+    /// snapshot cannot install an inconsistent index.
+    pub fn from_rows(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        let mut table = Table::new(name, schema);
+        table.insert_many(rows)?;
+        Ok(table)
+    }
+
     /// Table name (lowercase).
     pub fn name(&self) -> &str {
         &self.name

@@ -1,0 +1,548 @@
+//! Checksummed, length-prefixed write-ahead log.
+//!
+//! Every mutating statement on a durable [`crate::Database`] is framed
+//! into the log before its effects are acknowledged:
+//!
+//! ```text
+//! file    magic b"SQLEMWAL1\n", then records back to back
+//! record  u32 len, u32 crc32(payload), payload[len]
+//! payload 0x01 Begin  { u64 seq }
+//!         0x02 Commit { u64 seq }
+//!         0x03 Sql    { u64 seq, str sql }
+//!         0x04 Bulk   { u64 seq, str table, u32 arity, u64 rows, values }
+//! frame   Begin(seq), op(seq)   — appended in one write, pre-execution
+//!         Commit(seq)           — appended after the statement applied
+//! ```
+//!
+//! The commit marker is the acknowledgement boundary: a frame without
+//! its `Commit` is a statement that failed (or a crash mid-statement)
+//! and is skipped on replay. [`scan`] distinguishes two failure modes:
+//!
+//! - **Torn tail** — the file ends mid-record (a crash interrupted an
+//!   append). Only unacknowledged bytes can be torn, so the tail is
+//!   silently discarded and the file truncated to the last complete
+//!   record.
+//! - **Corruption** — a record whose checksum does not match, an
+//!   undecodable payload, or frame-grammar violations (a `Commit` with
+//!   no open frame, sequence-number mismatch) anywhere before the tail.
+//!   That is acknowledged state gone bad: recovery refuses with
+//!   [`Error::Corruption`] rather than silently diverging.
+//!
+//! One ambiguity is inherent to length-prefixed logs: a flipped bit in
+//! the *final* record's length field is indistinguishable from a torn
+//! append and is truncated rather than reported. Every other
+//! single-byte flip or truncation is detected — the recovery invariant
+//! (proved by the gated `wal_props` suite) is that [`scan`] returns
+//! either an error or a strict prefix of the committed statements,
+//! never altered content.
+
+use std::fs;
+use std::io::{Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::error::{Error, Result};
+use crate::storage::codec::{crc32, put_str, put_u32, put_u64, put_value, read_value, Reader};
+use crate::storage::snapshot::sync_dir;
+use crate::table::Row;
+
+/// Magic prefix identifying a WAL file (versioned).
+pub const WAL_MAGIC: &[u8] = b"SQLEMWAL1\n";
+/// Log file name within the database directory.
+pub const WAL_FILE: &str = "wal.log";
+
+const TAG_BEGIN: u8 = 0x01;
+const TAG_COMMIT: u8 = 0x02;
+const TAG_SQL: u8 = 0x03;
+const TAG_BULK: u8 = 0x04;
+
+/// A logged operation — the replayable body of one mutating statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A statement logged as its rendered SQL text (the common case;
+    /// replay re-parses and re-executes it).
+    Sql(String),
+    /// A bulk load, which has no SQL text: the staged rows are logged
+    /// in the binary value codec.
+    BulkInsert {
+        /// Destination table (lowercase).
+        table: String,
+        /// The staged rows, already coerced to the table schema.
+        rows: Vec<Row>,
+    },
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+enum Record {
+    Begin { seq: u64 },
+    Commit { seq: u64 },
+    Op { seq: u64, op: WalOp },
+}
+
+fn encode_record(rec: &Record) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match rec {
+        Record::Begin { seq } => {
+            payload.push(TAG_BEGIN);
+            put_u64(&mut payload, *seq);
+        }
+        Record::Commit { seq } => {
+            payload.push(TAG_COMMIT);
+            put_u64(&mut payload, *seq);
+        }
+        Record::Op { seq, op } => match op {
+            WalOp::Sql(sql) => {
+                payload.push(TAG_SQL);
+                put_u64(&mut payload, *seq);
+                put_str(&mut payload, sql);
+            }
+            WalOp::BulkInsert { table, rows } => {
+                payload.push(TAG_BULK);
+                put_u64(&mut payload, *seq);
+                put_str(&mut payload, table);
+                let arity = rows.first().map_or(0, |r| r.len());
+                put_u32(&mut payload, arity as u32);
+                put_u64(&mut payload, rows.len() as u64);
+                for row in rows {
+                    for v in row.iter() {
+                        put_value(&mut payload, v);
+                    }
+                }
+            }
+        },
+    }
+    let mut out = Vec::with_capacity(8 + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Record> {
+    let mut r = Reader::new(payload, "wal record");
+    let rec = match r.u8()? {
+        TAG_BEGIN => Record::Begin { seq: r.u64()? },
+        TAG_COMMIT => Record::Commit { seq: r.u64()? },
+        TAG_SQL => Record::Op {
+            seq: r.u64()?,
+            op: WalOp::Sql(r.str()?),
+        },
+        TAG_BULK => {
+            let seq = r.u64()?;
+            let table = r.str()?;
+            let arity = r.u32()? as usize;
+            let nrows = r.u64()? as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+            for _ in 0..nrows {
+                let mut vals = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    vals.push(read_value(&mut r)?);
+                }
+                rows.push(vals.into_boxed_slice());
+            }
+            Record::Op {
+                seq,
+                op: WalOp::BulkInsert { table, rows },
+            }
+        }
+        tag => {
+            return Err(Error::corruption(format!(
+                "wal record: unknown tag {tag:#04x}"
+            )))
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(Error::corruption(format!(
+            "wal record: {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(rec)
+}
+
+/// Encode the pre-execution half of a statement frame: `Begin` plus the
+/// operation payload, as one byte run (appended with a single write).
+pub fn encode_frame(seq: u64, op: &WalOp) -> Vec<u8> {
+    let mut bytes = encode_record(&Record::Begin { seq });
+    bytes.extend_from_slice(&encode_record(&Record::Op {
+        seq,
+        op: op.clone(),
+    }));
+    bytes
+}
+
+/// Encode the post-execution commit marker for `seq`.
+pub fn encode_commit(seq: u64) -> Vec<u8> {
+    encode_record(&Record::Commit { seq })
+}
+
+/// Result of validating a WAL byte image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResult {
+    /// Committed operations in log order (the replay list).
+    pub committed: Vec<(u64, WalOp)>,
+    /// One past the highest sequence number seen in any complete record
+    /// (committed or not) — the counter the log resumes at. `0` for an
+    /// empty log.
+    pub next_seq: u64,
+    /// Byte length of the valid prefix (magic + complete records).
+    /// Anything past this is a torn tail the caller should truncate.
+    pub valid_len: usize,
+}
+
+/// Validate a WAL image: check the magic, walk the records, enforce the
+/// begin/op/commit frame grammar and collect committed operations.
+/// Returns [`Error::Corruption`] for damaged acknowledged state; a torn
+/// tail (short record at end-of-file) is reported via a `valid_len`
+/// shorter than the input, not an error.
+pub fn scan(bytes: &[u8]) -> Result<ScanResult> {
+    if bytes.len() < WAL_MAGIC.len() {
+        // Crash during file creation, before the magic was synced:
+        // nothing was ever acknowledged, treat as an empty log.
+        return Ok(ScanResult {
+            committed: Vec::new(),
+            next_seq: 0,
+            valid_len: 0,
+        });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(Error::corruption("wal: bad magic"));
+    }
+    let mut committed = Vec::new();
+    let mut next_seq = 0u64;
+    let mut pos = WAL_MAGIC.len();
+    let mut valid_len = pos;
+    // Open frame state: Begin seen (and optionally the op), no Commit yet.
+    let mut open: Option<(u64, Option<WalOp>)> = None;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 8 {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let stored_crc = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        if remaining - 8 < len {
+            break; // torn payload (or a flipped length in the final record)
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let actual_crc = crc32(payload);
+        if actual_crc != stored_crc {
+            return Err(Error::corruption(format!(
+                "wal: checksum mismatch at byte {pos} (stored {stored_crc:#010x}, \
+                 computed {actual_crc:#010x})"
+            )));
+        }
+        let record = decode_payload(payload)?;
+        pos += 8 + len;
+        valid_len = pos;
+        match record {
+            Record::Begin { seq } => {
+                // A Begin while a frame is open: the previous statement
+                // failed before committing — normal, drop it.
+                open = Some((seq, None));
+                next_seq = next_seq.max(seq + 1);
+            }
+            Record::Op { seq, op } => match &mut open {
+                Some((frame_seq, slot @ None)) if *frame_seq == seq => {
+                    *slot = Some(op);
+                }
+                _ => {
+                    return Err(Error::corruption(format!(
+                        "wal: operation record (seq {seq}) outside an open frame at byte {pos}"
+                    )));
+                }
+            },
+            Record::Commit { seq } => match open.take() {
+                Some((frame_seq, Some(op))) if frame_seq == seq => {
+                    committed.push((seq, op));
+                }
+                _ => {
+                    return Err(Error::corruption(format!(
+                        "wal: commit marker (seq {seq}) without a matching frame at byte {pos}"
+                    )));
+                }
+            },
+        }
+    }
+    Ok(ScanResult {
+        committed,
+        next_seq,
+        valid_len,
+    })
+}
+
+/// An open WAL file handle: append, sync, truncate.
+#[derive(Debug)]
+pub struct Wal {
+    file: fs::File,
+    path: PathBuf,
+    len: u64,
+}
+
+/// Path of the log inside a database directory.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(WAL_FILE)
+}
+
+impl Wal {
+    /// Open (or create) the log in `dir`, truncating to `valid_len` as
+    /// determined by a prior [`scan`] — torn bytes are physically
+    /// removed so later appends never interleave with garbage. A fresh
+    /// or fully-torn log is (re)initialised with the magic and synced.
+    pub fn open(dir: &Path, valid_len: u64) -> Result<Self> {
+        let path = wal_path(dir);
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| Error::io("open wal", e))?;
+        if valid_len < WAL_MAGIC.len() as u64 {
+            file.set_len(0).map_err(|e| Error::io("truncate wal", e))?;
+            file.write_all(WAL_MAGIC)
+                .map_err(|e| Error::io("write wal magic", e))?;
+            file.sync_all().map_err(|e| Error::io("sync wal", e))?;
+            sync_dir(dir)?;
+        } else {
+            file.set_len(valid_len)
+                .map_err(|e| Error::io("truncate wal", e))?;
+            file.sync_all().map_err(|e| Error::io("sync wal", e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| Error::io("seek wal", e))?;
+        let len = file.metadata().map_err(|e| Error::io("stat wal", e))?.len();
+        Ok(Wal { file, path, len })
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records (magic only).
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    /// Append raw record bytes; returns the byte offset the run started
+    /// at (used by crash simulation to compute tear points).
+    pub fn append(&mut self, bytes: &[u8]) -> Result<u64> {
+        let start = self.len;
+        self.file
+            .write_all(bytes)
+            .map_err(|e| Error::io("append wal", e))?;
+        self.len += bytes.len() as u64;
+        Ok(start)
+    }
+
+    /// Truncate the file to `len` bytes (crash simulation: tear a
+    /// partially-appended frame at an exact byte boundary).
+    pub fn truncate_to(&mut self, len: u64) -> Result<()> {
+        self.file
+            .set_len(len)
+            .map_err(|e| Error::io("truncate wal", e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| Error::io("seek wal", e))?;
+        self.len = len;
+        Ok(())
+    }
+
+    /// fsync the log — the acknowledgement point of the protocol.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_all().map_err(|e| Error::io("sync wal", e))
+    }
+
+    /// Reset the log to empty (post-compaction): truncate to the magic
+    /// and sync. The snapshot now carries everything the log held.
+    pub fn reset(&mut self) -> Result<()> {
+        self.truncate_to(WAL_MAGIC.len() as u64)?;
+        self.sync()
+    }
+
+    /// The log's path (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sql(s: &str) -> WalOp {
+        WalOp::Sql(s.to_string())
+    }
+
+    fn committed_image(frames: &[(u64, WalOp, bool)]) -> Vec<u8> {
+        let mut bytes = WAL_MAGIC.to_vec();
+        for (seq, op, commit) in frames {
+            bytes.extend_from_slice(&encode_frame(*seq, op));
+            if *commit {
+                bytes.extend_from_slice(&encode_commit(*seq));
+            }
+        }
+        bytes
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let ops = vec![
+            (0, sql("CREATE TABLE y (rid BIGINT)"), true),
+            (
+                1,
+                WalOp::BulkInsert {
+                    table: "y".into(),
+                    rows: vec![
+                        vec![Value::Int(1), Value::Double(0.5)].into_boxed_slice(),
+                        vec![Value::Int(2), Value::Null].into_boxed_slice(),
+                    ],
+                },
+                true,
+            ),
+            (2, sql("UPDATE y SET rid = 3"), true),
+        ];
+        let bytes = committed_image(&ops);
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.valid_len, bytes.len());
+        assert_eq!(scan.next_seq, 3);
+        assert_eq!(scan.committed.len(), 3);
+        for ((seq, op, _), (got_seq, got_op)) in ops.iter().zip(&scan.committed) {
+            assert_eq!(seq, got_seq);
+            assert_eq!(op, got_op);
+        }
+    }
+
+    #[test]
+    fn uncommitted_frame_is_skipped() {
+        // Frame 1 failed in memory (no commit marker); 0 and 2 applied.
+        let bytes = committed_image(&[
+            (0, sql("s0"), true),
+            (1, sql("s1-failed"), false),
+            (2, sql("s2"), true),
+        ]);
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.valid_len, bytes.len());
+        assert_eq!(
+            scan.committed.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(scan.next_seq, 3, "uncommitted seq still bumps the counter");
+    }
+
+    #[test]
+    fn every_truncation_yields_a_prefix() {
+        let full = committed_image(&[
+            (0, sql("s0"), true),
+            (1, sql("statement one with a longer body"), true),
+            (2, sql("s2"), true),
+        ]);
+        let all = scan(&full).unwrap().committed;
+        for cut in 0..full.len() {
+            let r = scan(&full[..cut]).expect("truncation is never Corruption");
+            assert!(
+                r.committed.len() <= all.len() && r.committed == all[..r.committed.len()],
+                "cut {cut}: not a prefix"
+            );
+            assert!(r.valid_len <= cut, "cut {cut}: valid_len past the cut");
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_corruption() {
+        let bytes = committed_image(&[(0, sql("CREATE TABLE t (a BIGINT)"), true)]);
+        // Flip a byte inside the SQL text (well past both headers).
+        let mut bad = bytes.clone();
+        let pos = bytes.len() - 12;
+        bad[pos] ^= 0x01;
+        assert!(
+            matches!(scan(&bad), Err(Error::Corruption { .. })),
+            "flip at {pos}"
+        );
+    }
+
+    #[test]
+    fn flips_detect_or_truncate_never_alter() {
+        let full = committed_image(&[(0, sql("s0"), true), (1, sql("s1"), true)]);
+        let all = scan(&full).unwrap().committed;
+        for i in 0..full.len() {
+            for bit in [0x01u8, 0x80u8] {
+                let mut bad = full.clone();
+                bad[i] ^= bit;
+                match scan(&bad) {
+                    Err(Error::Corruption { .. }) => {}
+                    Err(e) => panic!("flip at {i}: unexpected error {e}"),
+                    Ok(r) => assert!(
+                        r.committed == all[..r.committed.len().min(all.len())],
+                        "flip at byte {i} bit {bit:#04x} silently altered content"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commit_without_frame_is_corruption() {
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_commit(0));
+        assert!(matches!(scan(&bytes), Err(Error::Corruption { .. })));
+    }
+
+    #[test]
+    fn seq_mismatch_is_corruption() {
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_frame(3, &sql("s3")));
+        bytes.extend_from_slice(&encode_commit(4));
+        assert!(matches!(scan(&bytes), Err(Error::Corruption { .. })));
+    }
+
+    #[test]
+    fn short_or_missing_magic() {
+        assert_eq!(scan(b"").unwrap().valid_len, 0);
+        assert_eq!(
+            scan(b"SQLE").unwrap().valid_len,
+            0,
+            "torn magic = fresh log"
+        );
+        assert!(matches!(
+            scan(b"NOTAWALFILE"),
+            Err(Error::Corruption { .. })
+        ));
+    }
+
+    #[test]
+    fn wal_file_append_truncate_cycle() {
+        let dir = std::env::temp_dir().join(format!("sqlem_wal_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        // Fresh log.
+        let mut wal = Wal::open(&dir, 0).unwrap();
+        assert!(wal.is_empty());
+        let frame = encode_frame(0, &sql("CREATE TABLE t (a BIGINT)"));
+        let start = wal.append(&frame).unwrap();
+        assert_eq!(start, WAL_MAGIC.len() as u64);
+        wal.append(&encode_commit(0)).unwrap();
+        wal.sync().unwrap();
+        // Tear a second frame mid-way.
+        let frame2 = encode_frame(1, &sql("DROP TABLE t"));
+        let start2 = wal.append(&frame2).unwrap();
+        wal.truncate_to(start2 + 3).unwrap();
+        drop(wal);
+        // Recovery: frame 0 survives, the torn frame 1 is discarded.
+        let bytes = fs::read(wal_path(&dir)).unwrap();
+        let r = scan(&bytes).unwrap();
+        assert_eq!(r.committed.len(), 1);
+        assert_eq!(r.valid_len as u64, start2);
+        // Reopen at the valid length: the torn bytes are gone.
+        let wal = Wal::open(&dir, r.valid_len as u64).unwrap();
+        assert_eq!(wal.len(), start2);
+        fs::remove_dir_all(&dir).ok();
+    }
+}
