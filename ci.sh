@@ -25,6 +25,12 @@ Stages, in order:
   crash         crash-recovery sweep: kill a child process at every WAL
                 crash point in an EM iteration, reopen, require
                 bit-identical recovery (--quick: strided like chaos)
+  server        client/server e2e over real processes: a remote
+                sqlem-cli run must match the in-process run byte for
+                byte, and kill -9ing a --durable sqlem-server
+                mid-iteration must leave the client able to resume
+                from its checkpoint to the uninterrupted result
+                (--quick: smaller dataset / iteration budget)
   workspace     cargo test --workspace
 EOF
     exit 0
@@ -54,8 +60,8 @@ cargo fmt --all -- --check
 echo "== clippy: workspace, warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== build: tier-1 release build"
-cargo build --release
+echo "== build: tier-1 release build (all crates, incl. server/cli binaries)"
+cargo build --release --workspace
 
 echo "== conformance: cost-model + golden-SQL snapshots"
 cargo test -q --test cost_model --test snapshots --test differential
@@ -91,6 +97,127 @@ else
     echo "== crash: WAL crash-point sweep (full)"
     cargo test -q --test crash_recovery
 fi
+
+# Client/server gate (docs/SERVER.md): the same study through real
+# sqlem-server / sqlem-cli processes. Two requirements:
+#   1. a remote run is byte-identical to the in-process run (summary
+#      and per-row assignments);
+#   2. kill -9ing a --durable server mid-iteration leaves the client
+#      able to reconnect to a restarted server and resume from its
+#      in-database checkpoint to the uninterrupted final result.
+if [ "$QUICK" = 1 ]; then
+    echo "== server: client/server e2e (--quick: trimmed)"
+    SRV_ROWS=300 SRV_CAP=120
+else
+    echo "== server: client/server e2e (remote parity + kill/resume)"
+    SRV_ROWS=600 SRV_CAP=250
+fi
+SERVER_BIN=target/release/sqlem-server
+CLI_BIN=target/release/sqlem-cli
+SRV_TMP=$(mktemp -d)
+SERVER_PID=''
+trap 'kill -9 $SERVER_PID 2>/dev/null || :; rm -rf "$SRV_TMP"' EXIT
+
+# Two *overlapping* irregular blobs: separated blobs saturate the
+# posteriors to exact 0/1 and EM hits a fixed point in a couple of
+# iterations; overlap keeps the log-likelihood moving for dozens of
+# iterations, leaving a wide window to kill the server mid-study.
+awk -v n="$SRV_ROWS" 'BEGIN {
+    print "a,b"
+    for (i = 0; i < n; i++) {
+        t = (i % 97) * 0.013; u = (i % 53) * 0.021
+        printf "%.6f,%.6f\n", t, 1 - u
+        printf "%.6f,%.6f\n", 1.1 + u, 0.4 + t
+    }
+}' > "$SRV_TMP/data.csv"
+
+# The server serves until its stdin yields "shutdown" or closes; hold a
+# fifo open read-write so backgrounding does not slam stdin shut.
+mkfifo "$SRV_TMP/ctl"
+exec 9<>"$SRV_TMP/ctl"
+
+# start_server [extra flags...] -> sets SERVER_PID and SRV_ADDR
+start_server() {
+    : > "$SRV_TMP/server.log"
+    "$SERVER_BIN" --listen 127.0.0.1:0 "$@" \
+        < "$SRV_TMP/ctl" > "$SRV_TMP/server.log" 2> "$SRV_TMP/server.err" &
+    SERVER_PID=$!
+    SRV_ADDR=''
+    i=0
+    while [ $i -lt 100 ]; do
+        SRV_ADDR=$(sed -n 's/^listening on //p' "$SRV_TMP/server.log")
+        [ -n "$SRV_ADDR" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$SRV_ADDR" ]; then
+        echo "ERROR: sqlem-server failed to start" >&2
+        cat "$SRV_TMP/server.err" >&2
+        exit 1
+    fi
+}
+
+# 1. Remote parity: same seed, same config, opposite sides of the wire.
+"$CLI_BIN" "$SRV_TMP/data.csv" --k 2 --seed 11 --max-iterations 12 \
+    --scores "$SRV_TMP/local.csv" > "$SRV_TMP/local.out" 2> /dev/null
+start_server
+"$CLI_BIN" "$SRV_TMP/data.csv" --k 2 --seed 11 --max-iterations 12 \
+    --scores "$SRV_TMP/remote.csv" --connect "$SRV_ADDR" --namespace ci_ \
+    > "$SRV_TMP/remote.out" 2> "$SRV_TMP/remote.err"
+cmp "$SRV_TMP/local.csv" "$SRV_TMP/remote.csv" || {
+    echo "ERROR: remote assignments differ from in-process" >&2; exit 1; }
+cmp "$SRV_TMP/local.out" "$SRV_TMP/remote.out" || {
+    echo "ERROR: remote summary differs from in-process" >&2; exit 1; }
+echo shutdown >&9
+wait "$SERVER_PID" || { echo "ERROR: server drain failed" >&2; exit 1; }
+
+# 2. Kill/resume: baseline first, then the interrupted remote study.
+"$CLI_BIN" "$SRV_TMP/data.csv" --k 2 --seed 11 --epsilon 0 \
+    --max-iterations "$SRV_CAP" --scores "$SRV_TMP/base.csv" \
+    > "$SRV_TMP/base.out" 2> /dev/null
+start_server --durable --data-dir "$SRV_TMP/db"
+"$CLI_BIN" "$SRV_TMP/data.csv" --k 2 --seed 11 --epsilon 0 \
+    --max-iterations "$SRV_CAP" --connect "$SRV_ADDR" --namespace ci_ \
+    > /dev/null 2> "$SRV_TMP/interrupted.err" &
+CLIENT_PID=$!
+# The WAL logs statement text; checkpoint writes mention the ckpt
+# tables. Wait until at least two iterations' worth are durable, then
+# yank the server out from under the client.
+i=0
+while [ $i -lt 400 ]; do
+    kill -0 "$CLIENT_PID" 2>/dev/null || break
+    marks=$(grep -ao ckpt "$SRV_TMP/db/wal.log" 2>/dev/null | wc -l)
+    [ "$marks" -ge 30 ] && break
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -0 "$CLIENT_PID" 2>/dev/null || {
+    echo "ERROR: client finished before the server could be killed" >&2
+    exit 1
+}
+kill -9 "$SERVER_PID"
+if wait "$CLIENT_PID"; then
+    echo "ERROR: client should fail when its server is killed" >&2
+    exit 1
+fi
+start_server --durable --data-dir "$SRV_TMP/db"
+"$CLI_BIN" "$SRV_TMP/data.csv" --k 2 --seed 11 --epsilon 0 \
+    --max-iterations "$SRV_CAP" --connect "$SRV_ADDR" --namespace ci_ \
+    --scores "$SRV_TMP/resumed.csv" \
+    > "$SRV_TMP/resumed.out" 2> "$SRV_TMP/resumed.err"
+grep -q "resumed from checkpoint" "$SRV_TMP/resumed.err" || {
+    echo "ERROR: restarted run did not resume from the checkpoint" >&2
+    cat "$SRV_TMP/resumed.err" >&2
+    exit 1
+}
+cmp "$SRV_TMP/base.csv" "$SRV_TMP/resumed.csv" || {
+    echo "ERROR: resumed assignments differ from uninterrupted run" >&2; exit 1; }
+cmp "$SRV_TMP/base.out" "$SRV_TMP/resumed.out" || {
+    echo "ERROR: resumed summary differs from uninterrupted run" >&2; exit 1; }
+echo shutdown >&9
+wait "$SERVER_PID" || { echo "ERROR: server drain failed" >&2; exit 1; }
+SERVER_PID=''
 
 echo "== workspace: all crate tests"
 cargo test --workspace -q

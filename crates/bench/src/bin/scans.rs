@@ -28,7 +28,7 @@ fn main() {
             .unwrap();
         session.iterate_once().unwrap(); // warm-up: all work tables exist
         session.reset_stats();
-        session.enable_telemetry();
+        session.enable_telemetry().unwrap();
         session.iterate_once().unwrap();
 
         let stats = session.database().stats();

@@ -40,6 +40,14 @@
 //!                         delete|select, or table=SUBSTRING; MODs:
 //!                         transient (default), permanent, once
 //!                         (default), always. Repeatable.
+//!   --connect HOST:PORT   run against a remote sqlem-server instead of
+//!                         an in-process database (the paper's two-tier
+//!                         deployment, §1.4). Server-side options
+//!                         (--durable, --data-dir, --workers,
+//!                         --inject-fault) then belong to the server.
+//!   --namespace PREFIX    work-table prefix to claim exclusively on the
+//!                         server (lets concurrent clients share it)
+//!   --auth-token TOKEN    shared secret for the server handshake
 //!
 //! lint options:
 //!   --p N                 dimensionality (required)
@@ -55,7 +63,9 @@
 //! the preflight check `EmSession::create` runs automatically.
 //!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 the
-//! `--resume` checkpoint is missing, empty, or unusable.
+//! `--resume` checkpoint is missing, empty, or unusable, 4 the
+//! `--connect` target is unreachable or the handshake was rejected
+//! (version/token mismatch).
 
 mod csv;
 
@@ -64,12 +74,19 @@ use std::process::ExitCode;
 use emcore::init::InitStrategy;
 use sqlem::naming::Names;
 use sqlem::{checkpoint, EmSession, RetryPolicy, SqlemConfig, Strategy};
-use sqlengine::{Database, FaultPlan, FaultRule, StatementKind};
+use sqlengine::{Database, Error as SqlError, FaultPlan, FaultRule, SqlExecutor, StatementKind};
+use sqlwire::{ClientConfig, RemoteConnection};
 
 /// Exit code for a `--resume` checkpoint that is missing, empty, or
 /// unusable — distinct from generic runtime failure (1) and usage
 /// errors (2) so scripts can branch on "nothing to resume".
 const EXIT_NO_CHECKPOINT: u8 = 3;
+
+/// Exit code for a `--connect` target that is unreachable or whose
+/// handshake was rejected (protocol version / auth token mismatch) —
+/// distinct from runtime failure (1) so scripts can branch on "the
+/// server is not there", mirroring the checkpoint convention (3).
+const EXIT_CONNECT: u8 = 4;
 
 /// A CLI failure carrying the process exit code to report it with.
 struct CliError {
@@ -82,6 +99,24 @@ impl CliError {
         CliError {
             code: EXIT_NO_CHECKPOINT,
             message,
+        }
+    }
+
+    /// Wrap a failed `--connect` with an actionable next step.
+    fn connect(addr: &str, e: &SqlError) -> Self {
+        let hint = match &e {
+            SqlError::Net { message, .. } if message.contains("version mismatch") => {
+                "client and server speak different protocol versions; \
+                 rebuild both from the same source tree"
+            }
+            SqlError::Net { message, .. } if message.contains("auth token") => {
+                "pass the server's secret with --auth-token"
+            }
+            _ => "is sqlem-server running there? start one with: sqlem-server --listen HOST:PORT",
+        };
+        CliError {
+            code: EXIT_CONNECT,
+            message: format!("cannot establish a session with {addr}: {e}\n  hint: {hint}"),
         }
     }
 }
@@ -112,6 +147,9 @@ struct Args {
     data_dir: Option<String>,
     recover: bool,
     fault_specs: Vec<String>,
+    connect: Option<String>,
+    namespace: String,
+    auth_token: String,
 }
 
 fn usage() -> ! {
@@ -120,7 +158,8 @@ fn usage() -> ! {
          [--epsilon E] [--max-iterations N] [--seed N] [--sample F] [--no-header] \
          [--scores PATH] [--sql] [--fused] [--workers N] [--trace-metrics] \
          [--retries N] [--checkpoint PATH] [--resume PATH] [--durable] [--data-dir PATH] \
-         [--recover] [--inject-fault SPEC]...\n\
+         [--recover] [--inject-fault SPEC]... \
+         [--connect HOST:PORT] [--namespace PREFIX] [--auth-token TOKEN]\n\
          \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
          [--max-terms N] [--verbose]"
     );
@@ -148,6 +187,9 @@ fn parse_args() -> Args {
     let mut durable = false;
     let mut recover = false;
     let mut fault_specs = Vec::new();
+    let mut connect = None;
+    let mut namespace = String::new();
+    let mut auth_token = String::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -189,6 +231,9 @@ fn parse_args() -> Args {
             "--data-dir" => data_dir = Some(req("--data-dir")),
             "--recover" => recover = true,
             "--inject-fault" => fault_specs.push(req("--inject-fault")),
+            "--connect" => connect = Some(req("--connect")),
+            "--namespace" => namespace = req("--namespace"),
+            "--auth-token" => auth_token = req("--auth-token"),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             other => {
@@ -225,6 +270,9 @@ fn parse_args() -> Args {
         data_dir: data_dir.or_else(|| durable.then(|| "sqlem_data".to_string())),
         recover,
         fault_specs,
+        connect,
+        namespace,
+        auth_token,
     }
 }
 
@@ -272,10 +320,10 @@ fn parse_fault_rule(spec: &str) -> Result<FaultRule, String> {
 }
 
 /// Persist the in-database checkpoint (if any) to `path` so a later
-/// process can `--resume` it; the database itself is in-memory only.
-fn save_checkpoint_file(db: &mut Database, path: &str) -> Result<(), String> {
-    let names = Names::new("");
-    match checkpoint::read_checkpoint(db, &names).map_err(|e| e.to_string())? {
+/// process can `--resume` it; works against any executor (in-process
+/// or a remote server's checkpoint tables).
+fn save_checkpoint_file(db: &mut dyn SqlExecutor, names: &Names, path: &str) -> Result<(), String> {
+    match checkpoint::read_checkpoint(db, names).map_err(|e| e.to_string())? {
         Some(ckpt) => {
             std::fs::write(path, checkpoint::to_text(&ckpt))
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -308,7 +356,8 @@ fn run(args: &Args) -> Result<(), CliError> {
 
     let mut config = SqlemConfig::new(args.k, args.strategy)
         .with_epsilon(args.epsilon)
-        .with_max_iterations(args.max_iterations);
+        .with_max_iterations(args.max_iterations)
+        .with_prefix(&args.namespace);
     if args.fused {
         config = config.with_fused_e_step();
     }
@@ -316,14 +365,41 @@ fn run(args: &Args) -> Result<(), CliError> {
         // N retries = N+1 attempts per statement.
         config = config.with_retry(RetryPolicy::new(n + 1).with_seed(args.seed));
     }
-    if args.checkpoint_path.is_some() || args.data_dir.is_some() {
-        // Durable runs always checkpoint: that is what lets a killed
-        // process pick up from its last completed iteration.
+    if args.checkpoint_path.is_some() || args.data_dir.is_some() || args.connect.is_some() {
+        // Durable and remote runs always checkpoint: the database (or
+        // server) can outlive this process, and the checkpoint tables
+        // are what a later invocation resumes from.
         config = config.with_checkpoints();
     }
     if args.recover {
         config = config.with_degenerate_recovery(args.seed);
     }
+
+    if let Some(addr) = &args.connect {
+        for (flag, set) in [
+            ("--durable/--data-dir", args.data_dir.is_some()),
+            ("--inject-fault", !args.fault_specs.is_empty()),
+            ("--workers", args.workers != 1),
+        ] {
+            if set {
+                eprintln!(
+                    "{flag} configures the database process; with --connect, pass it \
+                     to sqlem-server instead"
+                );
+                usage();
+            }
+        }
+        let client = ClientConfig {
+            auth_token: args.auth_token.clone(),
+            namespace: args.namespace.clone(),
+            ..ClientConfig::default()
+        };
+        let mut conn =
+            RemoteConnection::connect(addr, client).map_err(|e| CliError::connect(addr, &e))?;
+        eprintln!("connected: {}", conn.describe());
+        return run_clustering(args, &config, &data, p, &mut conn, true);
+    }
+
     let mut db = match &args.data_dir {
         Some(dir) => {
             let db = Database::open_durable(dir)
@@ -342,6 +418,23 @@ fn run(args: &Args) -> Result<(), CliError> {
             .collect::<Result<Vec<_>, _>>()?;
         db.set_fault_plan(FaultPlan::new(rules).with_seed(args.seed));
     }
+    run_clustering(args, &config, &data, p, &mut db, args.data_dir.is_some())
+}
+
+/// The clustering run proper, generic over where the SQL executes: an
+/// in-process [`Database`] or a [`RemoteConnection`] to a server.
+/// `persistent` marks executors whose state outlives this process
+/// (durable directory or remote server), enabling in-database resume
+/// and end-of-run checkpoint housekeeping.
+fn run_clustering<E: SqlExecutor>(
+    args: &Args,
+    config: &SqlemConfig,
+    data: &csv::NumericCsv,
+    p: usize,
+    db: &mut E,
+    persistent: bool,
+) -> Result<(), CliError> {
+    let names = Names::new(&args.namespace);
     if let Some(path) = &args.resume_path {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::no_checkpoint(format!("cannot read checkpoint {path}: {e}")))?;
@@ -352,9 +445,9 @@ fn run(args: &Args) -> Result<(), CliError> {
         }
         let ckpt = checkpoint::from_text(&text)
             .map_err(|e| CliError::no_checkpoint(format!("checkpoint {path} is unusable: {e}")))?;
-        checkpoint::write_checkpoint(&mut db, &Names::new(""), &ckpt).map_err(|e| e.to_string())?;
+        checkpoint::write_checkpoint(&mut *db, &names, &ckpt).map_err(|e| e.to_string())?;
     }
-    let mut session = EmSession::create(&mut db, &config, p).map_err(|e| e.to_string())?;
+    let mut session = EmSession::create(&mut *db, config, p).map_err(|e| e.to_string())?;
 
     if args.print_sql {
         for stmt in session.script() {
@@ -365,9 +458,10 @@ fn run(args: &Args) -> Result<(), CliError> {
     }
 
     session.load_points(&data.rows).map_err(|e| e.to_string())?;
-    // Durable databases carry their checkpoint tables across process
-    // restarts, so try an in-database resume even without --resume.
-    let resumed_at = if args.resume_path.is_some() || args.data_dir.is_some() {
+    // Durable databases and remote servers carry their checkpoint
+    // tables across process restarts, so try an in-database resume even
+    // without --resume.
+    let resumed_at = if args.resume_path.is_some() || persistent {
         session
             .resume_from_checkpoint()
             .map_err(|e| e.to_string())?
@@ -393,7 +487,7 @@ fn run(args: &Args) -> Result<(), CliError> {
     }
 
     if args.trace_metrics {
-        session.enable_telemetry();
+        session.enable_telemetry().map_err(|e| e.to_string())?;
     }
     let run = match session.run() {
         Ok(run) => run,
@@ -402,7 +496,7 @@ fn run(args: &Args) -> Result<(), CliError> {
             // iterations: persist them so the user can resume.
             drop(session);
             if let Some(path) = &args.checkpoint_path {
-                save_checkpoint_file(&mut db, path)?;
+                save_checkpoint_file(&mut *db, &names, path)?;
             }
             return Err(e.to_string().into());
         }
@@ -436,8 +530,8 @@ fn run(args: &Args) -> Result<(), CliError> {
         }
     }
 
-    let names: Vec<&str> = data.columns.iter().map(String::as_str).collect();
-    println!("{}", sqlem::summary::format_table(&run.params, &names));
+    let col_names: Vec<&str> = data.columns.iter().map(String::as_str).collect();
+    println!("{}", sqlem::summary::format_table(&run.params, &col_names));
 
     if let Some(path) = &args.scores_path {
         let scores = session.scores().map_err(|e| e.to_string())?;
@@ -453,13 +547,13 @@ fn run(args: &Args) -> Result<(), CliError> {
     let converged = run.outcome == emcore::EmOutcome::Converged;
     drop(session);
     if let Some(path) = &args.checkpoint_path {
-        save_checkpoint_file(&mut db, path)?;
+        save_checkpoint_file(&mut *db, &names, path)?;
     }
-    if args.data_dir.is_some() {
+    if persistent {
         if converged {
             // Clear the in-database checkpoint so the next invocation
             // starts fresh instead of "resuming" a finished run.
-            checkpoint::clear_checkpoint(&mut db, &Names::new("")).map_err(|e| e.to_string())?;
+            checkpoint::clear_checkpoint(&mut *db, &names).map_err(|e| e.to_string())?;
         } else {
             // Stopped at the iteration cap: keep the checkpoint so a
             // rerun with a higher --max-iterations picks up from here.
@@ -514,7 +608,7 @@ fn run_lint(args: &[String]) -> Result<(), String> {
         db.config().max_statement_len,
         db.config().limits.max_terms
     );
-    let reports = sqlem::lint_all(&db, &config, p);
+    let reports = sqlem::lint_all(&mut db, &config, p).map_err(|e| e.to_string())?;
     for report in &reports {
         println!("  {}", report.summary());
         if verbose {

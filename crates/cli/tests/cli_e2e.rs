@@ -475,3 +475,160 @@ fn bad_fault_spec_is_rejected() {
     assert!(stderr.contains("fault selector"), "{stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// --connect: the two-tier deployment through the CLI
+
+/// An in-process wire server the CLI subprocess can dial.
+fn spawn_server(
+    config: sqlwire::ServerConfig,
+) -> (
+    String,
+    sqlwire::ServerHandle,
+    std::thread::JoinHandle<sqlengine::Result<()>>,
+) {
+    let server =
+        sqlwire::Server::bind("127.0.0.1:0", sqlengine::SharedDatabase::default(), config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+#[test]
+fn connect_unreachable_exits_with_code_4() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_conn_unreach");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    // Bind-then-drop yields a port with no listener behind it.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let out = Command::new(bin())
+        .args([input.to_str().unwrap(), "--k", "2", "--connect", &addr])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot establish a session"), "{stderr}");
+    assert!(
+        stderr.contains("is sqlem-server running there?"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn connect_auth_rejection_exits_with_code_4_and_hint() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_conn_auth");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let (addr, handle, join) = spawn_server(sqlwire::ServerConfig {
+        auth_token: "sekrit".to_string(),
+        ..sqlwire::ServerConfig::default()
+    });
+    let out = Command::new(bin())
+        .args([input.to_str().unwrap(), "--k", "2", "--connect", &addr])
+        .output()
+        .unwrap();
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("auth token"), "{stderr}");
+    assert!(
+        stderr.contains("pass the server's secret with --auth-token"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn connect_conflicts_with_database_process_flags() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_conn_conflict");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--connect",
+            "127.0.0.1:1",
+            "--data-dir",
+            dir.join("db").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("pass it to sqlem-server instead"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn connect_remote_run_matches_in_process_run() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_conn_match");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let local_scores = dir.join("local.csv");
+    let remote_scores = dir.join("remote.csv");
+
+    let local = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--scores",
+            local_scores.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        local.status.success(),
+        "{}",
+        String::from_utf8_lossy(&local.stderr)
+    );
+
+    let (addr, handle, join) = spawn_server(sqlwire::ServerConfig::default());
+    let remote = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--scores",
+            remote_scores.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--namespace",
+            "e2e_",
+        ])
+        .output()
+        .unwrap();
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    let stderr = String::from_utf8_lossy(&remote.stderr);
+    assert!(remote.status.success(), "{stderr}");
+    assert!(stderr.contains("connected:"), "{stderr}");
+
+    // The generated SQL ran on the server, yet every artifact the user
+    // sees — summary and per-row assignments — is byte-identical.
+    assert_eq!(
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&remote.stdout)
+    );
+    assert_eq!(
+        std::fs::read(&local_scores).unwrap(),
+        std::fs::read(&remote_scores).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -38,7 +38,7 @@
 //! checkpoint intact".
 
 use emcore::GmmParams;
-use sqlengine::Database;
+use sqlengine::SqlExecutor;
 
 use crate::error::SqlemError;
 use crate::naming::Names;
@@ -56,7 +56,7 @@ pub struct Checkpoint {
     pub params: GmmParams,
 }
 
-fn exec(db: &mut Database, sql: &str) -> Result<(), SqlemError> {
+fn exec(db: &mut dyn SqlExecutor, sql: &str) -> Result<(), SqlemError> {
     db.execute(sql)
         .map(|_| ())
         .map_err(|e| SqlemError::from_sql("checkpoint", e))
@@ -78,7 +78,7 @@ fn fmt_f64(v: f64) -> String {
 ///
 /// Meta is invalidated first and revalidated last; see the module docs.
 pub fn write_checkpoint(
-    db: &mut Database,
+    db: &mut dyn SqlExecutor,
     names: &Names,
     ckpt: &Checkpoint,
 ) -> Result<(), SqlemError> {
@@ -171,7 +171,11 @@ pub fn write_checkpoint(
     Ok(())
 }
 
-fn read_f64_pairs(db: &mut Database, table: &str, key: &str) -> Result<Vec<f64>, SqlemError> {
+fn read_f64_pairs(
+    db: &mut dyn SqlExecutor,
+    table: &str,
+    key: &str,
+) -> Result<Vec<f64>, SqlemError> {
     let r = db
         .execute(&format!("SELECT {key}, val FROM {table} ORDER BY {key}"))
         .map_err(|e| SqlemError::from_sql("checkpoint read", e))?;
@@ -191,9 +195,15 @@ fn read_f64_pairs(db: &mut Database, table: &str, key: &str) -> Result<Vec<f64>,
 /// interrupted before revalidation. Shape mismatches (a checkpoint taken
 /// with different `k`/`p` than the tables now hold) are reported as
 /// [`SqlemError::BadParamTable`].
-pub fn read_checkpoint(db: &mut Database, names: &Names) -> Result<Option<Checkpoint>, SqlemError> {
+pub fn read_checkpoint(
+    db: &mut dyn SqlExecutor,
+    names: &Names,
+) -> Result<Option<Checkpoint>, SqlemError> {
     let meta = names.ckpt_meta();
-    if !db.contains_table(&meta) {
+    if !db
+        .has_table(&meta)
+        .map_err(|e| SqlemError::from_sql("checkpoint read", e))?
+    {
         return Ok(None);
     }
     let m = db
@@ -244,7 +254,7 @@ pub fn read_checkpoint(db: &mut Database, names: &Names) -> Result<Option<Checkp
 }
 
 /// Drop the checkpoint tables for this prefix (if any).
-pub fn clear_checkpoint(db: &mut Database, names: &Names) -> Result<(), SqlemError> {
+pub fn clear_checkpoint(db: &mut dyn SqlExecutor, names: &Names) -> Result<(), SqlemError> {
     for table in names.checkpoints() {
         exec(db, &format!("DROP TABLE IF EXISTS {table}"))?;
     }
@@ -349,6 +359,7 @@ pub fn from_text(text: &str) -> Result<Checkpoint, SqlemError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sqlengine::Database;
 
     fn sample() -> Checkpoint {
         Checkpoint {

@@ -11,8 +11,7 @@ use std::time::{Duration, Instant};
 
 use emcore::init::{initialize, InitStrategy};
 use emcore::{EmOutcome, GmmParams};
-use sqlengine::ast::Statement;
-use sqlengine::{Database, Error as SqlError};
+use sqlengine::{Database, Error as SqlError, PreparedId, SqlExecutor};
 
 use crate::checkpoint::{self, Checkpoint};
 use crate::config::{SqlemConfig, Strategy};
@@ -74,9 +73,12 @@ impl SqlemRun {
     }
 }
 
-/// One clustering session against a [`Database`].
-pub struct EmSession<'a> {
-    db: &'a mut Database,
+/// One clustering session against any [`SqlExecutor`] — the in-process
+/// [`Database`] (the default) or a remote server connection
+/// (`sqlwire::RemoteConnection`), reproducing the paper's two-tier
+/// deployment where the driver talks to the DBMS over a network.
+pub struct EmSession<'a, E: SqlExecutor = Database> {
+    db: &'a mut E,
     config: SqlemConfig,
     generator: Box<dyn Generator>,
     names: Names,
@@ -87,11 +89,12 @@ pub struct EmSession<'a> {
     initialized: bool,
     e_step: Vec<Stmt>,
     m_step: Vec<Stmt>,
-    /// E/M statements parsed once and replayed every iteration (prepared
-    /// statements); populated lazily on the first iteration so parser
-    /// rejections (§3.3) surface where the paper's workflow would hit
-    /// them — at statement submission.
-    prepared: Option<Vec<(String, Statement)>>,
+    /// E/M statements prepared once (by id, via
+    /// [`SqlExecutor::prepare_script`]) and replayed every iteration;
+    /// populated lazily on the first iteration so parser rejections
+    /// (§3.3) surface where the paper's workflow would hit them — at
+    /// statement submission.
+    prepared: Option<Vec<(String, PreparedId)>>,
     /// Set when the pre-flight lint switched strategy before any DDL ran.
     fallback: Option<FallbackDecision>,
     /// Per-iteration cost-model reports, populated when telemetry is on.
@@ -108,7 +111,7 @@ pub struct EmSession<'a> {
     resumed_llh: Vec<f64>,
 }
 
-impl<'a> EmSession<'a> {
+impl<'a, E: SqlExecutor> EmSession<'a, E> {
     /// Create a session for `p`-dimensional data: generates the SQL and
     /// creates (or recreates) every table.
     ///
@@ -121,16 +124,12 @@ impl<'a> EmSession<'a> {
     /// hybrid strategy (§3.6) and records a [`FallbackDecision`]
     /// retrievable via [`EmSession::fallback`]; otherwise creation fails
     /// with [`SqlemError::Preflight`] and the database is untouched.
-    pub fn create(
-        db: &'a mut Database,
-        config: &SqlemConfig,
-        p: usize,
-    ) -> Result<Self, SqlemError> {
+    pub fn create(db: &'a mut E, config: &SqlemConfig, p: usize) -> Result<Self, SqlemError> {
         assert!(p >= 1, "p must be at least 1");
         let mut config = config.clone();
         let mut fallback = None;
         if config.preflight {
-            let report = lint_strategy(db, &config, p);
+            let report = lint_strategy(&mut *db, &config, p)?;
             if !report.ok() {
                 let recoverable = config.auto_fallback
                     && config.strategy == Strategy::Horizontal
@@ -139,7 +138,7 @@ impl<'a> EmSession<'a> {
                 if recoverable {
                     let mut alt = config.clone();
                     alt.strategy = Strategy::Hybrid;
-                    if lint_strategy(db, &alt, p).ok() {
+                    if lint_strategy(&mut *db, &alt, p)?.ok() {
                         let decision = FallbackDecision {
                             from: config.strategy,
                             to: alt.strategy,
@@ -239,7 +238,7 @@ impl<'a> EmSession<'a> {
                 self.p
             )));
         }
-        let n = loader::load_points(self.db, &self.names, self.config.strategy, points)?;
+        let n = loader::load_points(&mut *self.db, &self.names, self.config.strategy, points)?;
         self.n = Some(n);
         self.points = Some(points.to_vec());
         let seed = self.generator.post_load(n);
@@ -264,7 +263,7 @@ impl<'a> EmSession<'a> {
             )));
         }
         let n = loader::pivot_from_table(
-            self.db,
+            &mut *self.db,
             &self.names,
             self.config.strategy,
             source,
@@ -321,7 +320,7 @@ impl<'a> EmSession<'a> {
     /// rather than letting the poison propagate into summaries or
     /// convergence tests.
     pub fn params(&mut self) -> Result<GmmParams, SqlemError> {
-        let params = self.generator.read_params(self.db)?;
+        let params = self.generator.read_params(&mut *self.db)?;
         validate_finite(&params)?;
         Ok(params)
     }
@@ -329,7 +328,7 @@ impl<'a> EmSession<'a> {
     /// Read the current parameters without the finiteness check — the
     /// degenerate-recovery path needs to look at a poisoned model.
     fn params_unchecked(&mut self) -> Result<GmmParams, SqlemError> {
-        self.generator.read_params(self.db)
+        self.generator.read_params(&mut *self.db)
     }
 
     /// Run one E+M iteration; returns the loglikelihood measured in the
@@ -342,38 +341,50 @@ impl<'a> EmSession<'a> {
             return Err(SqlemError::BadInput("parameters not initialized".into()));
         }
         if self.prepared.is_none() {
-            let mut prepared = Vec::with_capacity(self.e_step.len() + self.m_step.len());
             // The E/M script drops and recreates work tables as it goes;
-            // prepare each statement against a shared symbolic catalog so
-            // analysis sees the DDL effects of the statements before it.
-            let mut symbolic = self.db.symbolic_catalog();
-            for stmt in self.e_step.iter().chain(&self.m_step) {
-                let mut parsed = self
-                    .db
-                    .prepare_with(&mut symbolic, &stmt.sql)
-                    .map_err(|e| SqlemError::from_sql(&stmt.purpose, e))?;
-                debug_assert_eq!(parsed.len(), 1);
-                prepared.push((
-                    stmt.purpose.clone(),
-                    parsed.pop().ok_or_else(|| {
-                        SqlemError::BadInput(format!("empty statement for {}", stmt.purpose))
-                    })?,
-                ));
-            }
-            self.prepared = Some(prepared);
+            // the executor prepares the whole script against a shared
+            // symbolic catalog so analysis sees the DDL effects of the
+            // statements before it.
+            let purposes: Vec<String> = self
+                .e_step
+                .iter()
+                .chain(&self.m_step)
+                .map(|s| s.purpose.clone())
+                .collect();
+            let sqls: Vec<String> = self
+                .e_step
+                .iter()
+                .chain(&self.m_step)
+                .map(|s| s.sql.clone())
+                .collect();
+            let ids = self.db.prepare_script(&sqls).map_err(|e| {
+                let purpose = purposes
+                    .get(e.index)
+                    .cloned()
+                    .unwrap_or_else(|| "prepare E/M script".to_string());
+                SqlemError::from_sql(&purpose, e.error)
+            })?;
+            self.prepared = Some(purposes.into_iter().zip(ids).collect());
         }
-        let metrics_start = self.db.metrics().len();
+        let telemetry = self.db.metrics_enabled();
+        let metrics_start = if telemetry {
+            self.db
+                .metrics_len()
+                .map_err(|e| SqlemError::from_sql("read telemetry cursor", e))?
+        } else {
+            0
+        };
         let retries_before = self.retries;
         let policy = self.config.retry.clone();
         let prepared = std::mem::take(&mut self.prepared).unwrap_or_default();
         let mut result = Ok(());
-        for (purpose, stmt) in &prepared {
+        for (purpose, id) in &prepared {
             let db = &mut *self.db;
             let r = with_retry(policy.as_ref(), &mut self.retries, |attempt| {
                 if attempt > 0 {
                     db.note_statement_retry();
                 }
-                db.execute_prepared(stmt)
+                db.run_prepared(*id)
                     .map(|_| ())
                     .map_err(|e| promote_degenerate(purpose, e))
             });
@@ -393,8 +404,8 @@ impl<'a> EmSession<'a> {
             db.execute(&llh_sql)
                 .map_err(|e| SqlemError::from_sql("read llh", e))
         })?;
-        if self.db.metrics().is_enabled() {
-            self.record_iteration_report(metrics_start, self.retries - retries_before);
+        if telemetry {
+            self.record_iteration_report(metrics_start, self.retries - retries_before)?;
         }
         self.iterations_done += 1;
         Ok(r.scalar_f64().unwrap_or(0.0))
@@ -402,19 +413,24 @@ impl<'a> EmSession<'a> {
 
     /// Build an [`IterationReport`] from the metrics entries appended
     /// since `from` (one per executed statement, plus the llh read).
-    fn record_iteration_report(&mut self, from: usize, retries: usize) {
+    /// Entries are pulled through the executor, so against a remote
+    /// server this is the EXPLAIN-ANALYZE-style telemetry passthrough.
+    fn record_iteration_report(&mut self, from: usize, retries: usize) -> Result<(), SqlemError> {
         let (Some(n), Some(prepared)) = (self.n, self.prepared.as_ref()) else {
-            return;
+            return Ok(());
         };
         let mut purposes: Vec<&str> = prepared.iter().map(|(p, _)| p.as_str()).collect();
         purposes.push("read llh");
         // E-step statements lead the prepared list; anything the engine
         // logged beyond them (M step + llh read) is the M phase.
         let e_len = self.e_step.len();
-        let entries = &self.db.metrics().entries()[from.min(self.db.metrics().len())..];
+        let entries = self
+            .db
+            .metrics_since(from)
+            .map_err(|e| SqlemError::from_sql("fetch telemetry", e))?;
         let mut report = IterationReport::from_metrics(
             self.iterations_done,
-            entries,
+            &entries,
             &purposes,
             e_len,
             n,
@@ -423,6 +439,7 @@ impl<'a> EmSession<'a> {
         );
         report.retries = retries;
         self.iteration_reports.push(report);
+        Ok(())
     }
 
     /// Run until convergence (|Δllh| ≤ ε, or parameter stability when
@@ -507,7 +524,7 @@ impl<'a> EmSession<'a> {
             if self.config.checkpoint {
                 let params = self.params()?;
                 checkpoint::write_checkpoint(
-                    self.db,
+                    &mut *self.db,
                     &self.names,
                     &Checkpoint {
                         iteration: llh_history.len(),
@@ -559,7 +576,7 @@ impl<'a> EmSession<'a> {
     /// not the data. Re-running a half-finished iteration is safe
     /// because every E step drops and recreates its work tables.
     pub fn resume_from_checkpoint(&mut self) -> Result<Option<usize>, SqlemError> {
-        let Some(ckpt) = checkpoint::read_checkpoint(self.db, &self.names)? else {
+        let Some(ckpt) = checkpoint::read_checkpoint(&mut *self.db, &self.names)? else {
             return Ok(None);
         };
         if ckpt.params.k() != self.config.k || ckpt.params.p() != self.p {
@@ -580,7 +597,7 @@ impl<'a> EmSession<'a> {
     /// Drop this session's checkpoint tables (a completed run's
     /// checkpoint is otherwise deliberately left behind).
     pub fn clear_checkpoint(&mut self) -> Result<(), SqlemError> {
-        checkpoint::clear_checkpoint(self.db, &self.names)
+        checkpoint::clear_checkpoint(&mut *self.db, &self.names)
     }
 
     /// Statement retries performed so far (0 without a
@@ -629,14 +646,10 @@ impl<'a> EmSession<'a> {
         Ok(())
     }
 
-    /// Immutable access to the underlying database (stats inspection).
-    pub fn database(&self) -> &Database {
+    /// The underlying executor (e.g. to inspect a remote connection's
+    /// state or issue ad-hoc statements between iterations).
+    pub fn executor(&mut self) -> &mut E {
         self.db
-    }
-
-    /// Reset the engine's execution statistics (scan accounting).
-    pub fn reset_stats(&mut self) {
-        self.db.reset_stats();
     }
 
     /// Turn on per-iteration cost-model telemetry: the engine starts
@@ -644,14 +657,19 @@ impl<'a> EmSession<'a> {
     /// subsequent [`EmSession::iterate_once`] appends an
     /// [`IterationReport`] retrievable via
     /// [`EmSession::iteration_reports`] (and included in
-    /// [`SqlemRun::iteration_reports`]).
-    pub fn enable_telemetry(&mut self) {
-        self.db.enable_metrics();
+    /// [`SqlemRun::iteration_reports`]). Fallible because a remote
+    /// executor must tell the server to start recording.
+    pub fn enable_telemetry(&mut self) -> Result<(), SqlemError> {
+        self.db
+            .set_metrics_enabled(true)
+            .map_err(|e| SqlemError::from_sql("enable telemetry", e))
     }
 
     /// Stop recording telemetry (existing reports are kept).
-    pub fn disable_telemetry(&mut self) {
-        self.db.disable_metrics();
+    pub fn disable_telemetry(&mut self) -> Result<(), SqlemError> {
+        self.db
+            .set_metrics_enabled(false)
+            .map_err(|e| SqlemError::from_sql("disable telemetry", e))
     }
 
     /// Per-iteration cost-model reports recorded so far.
@@ -673,6 +691,20 @@ impl<'a> EmSession<'a> {
             })?;
         }
         Ok(())
+    }
+}
+
+impl<'a> EmSession<'a, Database> {
+    /// Immutable access to the underlying in-process database (stats
+    /// inspection). Only available when the session runs in-process; a
+    /// remote session has no local `Database` to look at.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Reset the engine's execution statistics (scan accounting).
+    pub fn reset_stats(&mut self) {
+        self.db.reset_stats();
     }
 }
 

@@ -15,7 +15,7 @@
 //! one-row tables.
 
 use emcore::GmmParams;
-use sqlengine::Database;
+use sqlengine::SqlExecutor;
 
 use crate::config::Strategy;
 use crate::error::SqlemError;
@@ -297,7 +297,7 @@ impl Generator for HorizontalGenerator {
         stmts
     }
 
-    fn read_params(&self, db: &mut Database) -> Result<GmmParams, SqlemError> {
+    fn read_params(&self, db: &mut dyn SqlExecutor) -> Result<GmmParams, SqlemError> {
         let n = &self.names;
         let y_cols = (1..=self.p)
             .map(|d| format!("y{d}"))

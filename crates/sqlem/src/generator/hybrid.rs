@@ -13,7 +13,7 @@
 //! `tests/scan_counts.rs`.
 
 use emcore::GmmParams;
-use sqlengine::Database;
+use sqlengine::SqlExecutor;
 
 use crate::config::Strategy;
 use crate::error::SqlemError;
@@ -421,7 +421,7 @@ impl Generator for HybridGenerator {
         stmts
     }
 
-    fn read_params(&self, db: &mut Database) -> Result<GmmParams, SqlemError> {
+    fn read_params(&self, db: &mut dyn SqlExecutor) -> Result<GmmParams, SqlemError> {
         let n = &self.names;
         let c_cols = (1..=self.p)
             .map(|d| format!("y{d}"))

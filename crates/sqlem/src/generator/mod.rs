@@ -16,7 +16,7 @@ pub use hybrid::HybridGenerator;
 pub use vertical::VerticalGenerator;
 
 use emcore::GmmParams;
-use sqlengine::Database;
+use sqlengine::SqlExecutor;
 
 use crate::config::{SqlemConfig, Strategy};
 use crate::error::SqlemError;
@@ -76,8 +76,9 @@ pub trait Generator {
     /// (initialization, or restoring a checkpoint).
     fn write_params(&self, params: &GmmParams) -> Vec<Stmt>;
 
-    /// Read the current parameters back from the C/R/W tables.
-    fn read_params(&self, db: &mut Database) -> Result<GmmParams, SqlemError>;
+    /// Read the current parameters back from the C/R/W tables (through
+    /// any [`SqlExecutor`] — in-process or remote).
+    fn read_params(&self, db: &mut dyn SqlExecutor) -> Result<GmmParams, SqlemError>;
 
     /// Length in bytes of the longest statement this generator emits —
     /// the §3.3 parser-limit analysis.
@@ -353,7 +354,7 @@ pub(crate) fn values_insert_chunked(
 
 /// Run a read-back query expecting `rows × cols` of f64 (NULL rejected).
 pub(crate) fn read_f64_grid(
-    db: &mut Database,
+    db: &mut dyn SqlExecutor,
     sql: &str,
     what: &str,
 ) -> Result<Vec<Vec<f64>>, SqlemError> {

@@ -14,7 +14,7 @@
 //! skipped (§2.5) in a one-row scratch table `DETT`.
 
 use emcore::GmmParams;
-use sqlengine::Database;
+use sqlengine::SqlExecutor;
 
 use crate::config::Strategy;
 use crate::error::SqlemError;
@@ -391,7 +391,7 @@ impl Generator for VerticalGenerator {
         stmts
     }
 
-    fn read_params(&self, db: &mut Database) -> Result<GmmParams, SqlemError> {
+    fn read_params(&self, db: &mut dyn SqlExecutor) -> Result<GmmParams, SqlemError> {
         let n = &self.names;
         let c_rows = read_f64_grid(
             db,

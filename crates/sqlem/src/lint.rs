@@ -20,7 +20,9 @@
 //! [`SqlemConfig::auto_fallback`]: crate::SqlemConfig::auto_fallback
 
 use emcore::GmmParams;
-use sqlengine::{AnalyzeErrorKind, Database};
+use sqlengine::{AnalyzeErrorKind, SqlExecutor};
+
+use crate::error::SqlemError;
 
 use crate::config::{SqlemConfig, Strategy};
 use crate::generator::build_generator;
@@ -157,7 +159,16 @@ impl std::fmt::Display for FallbackDecision {
 /// statement is byte-length-checked against the engine's
 /// `max_statement_len` and semantically analyzed under the engine's
 /// complexity limits.
-pub fn lint_strategy(db: &Database, config: &SqlemConfig, p: usize) -> LintReport {
+///
+/// The executor is only *queried* (catalog snapshot, capacity limits) —
+/// nothing executes. Against a remote server the limits and catalog are
+/// the server's own, so the lint models exactly the parser that will
+/// see the script; the `Err` case is a transport failure fetching them.
+pub fn lint_strategy(
+    db: &mut dyn SqlExecutor,
+    config: &SqlemConfig,
+    p: usize,
+) -> Result<LintReport, SqlemError> {
     let generator = build_generator(config, p);
     let mut script = generator.create_tables();
     script.extend(generator.post_load(PLACEHOLDER_N));
@@ -174,9 +185,11 @@ pub fn lint_strategy(db: &Database, config: &SqlemConfig, p: usize) -> LintRepor
     script.extend(generator.score_step());
     script.push(crate::generator::Stmt::new("read llh", generator.llh_sql()));
 
-    let max_len = db.config().max_statement_len;
-    let limits = db.config().limits.clone();
-    let mut symbolic = db.symbolic_catalog();
+    let max_len = db.max_statement_len();
+    let limits = db.analyze_limits();
+    let mut symbolic = db
+        .catalog_snapshot()
+        .map_err(|e| SqlemError::from_sql("preflight catalog snapshot", e))?;
     let mut findings = Vec::new();
     let mut longest = 0usize;
     let mut longest_purpose = String::new();
@@ -236,7 +249,7 @@ pub fn lint_strategy(db: &Database, config: &SqlemConfig, p: usize) -> LintRepor
         }
     }
 
-    LintReport {
+    Ok(LintReport {
         strategy: config.strategy,
         p,
         k: config.k,
@@ -246,12 +259,16 @@ pub fn lint_strategy(db: &Database, config: &SqlemConfig, p: usize) -> LintRepor
         max_terms,
         max_statement_len: max_len,
         findings,
-    }
+    })
 }
 
 /// Lint all three strategies for one `(p, k)` — the CLI `lint`
 /// subcommand's workhorse and a convenient sweep primitive.
-pub fn lint_all(db: &Database, config: &SqlemConfig, p: usize) -> Vec<LintReport> {
+pub fn lint_all(
+    db: &mut dyn SqlExecutor,
+    config: &SqlemConfig,
+    p: usize,
+) -> Result<Vec<LintReport>, SqlemError> {
     Strategy::ALL
         .iter()
         .map(|&strategy| {
@@ -265,12 +282,13 @@ pub fn lint_all(db: &Database, config: &SqlemConfig, p: usize) -> Vec<LintReport
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sqlengine::Database;
 
     #[test]
     fn small_problems_lint_clean_in_every_strategy() {
-        let db = Database::new();
+        let mut db = Database::new();
         let config = SqlemConfig::new(3, Strategy::Hybrid);
-        for report in lint_all(&db, &config, 4) {
+        for report in lint_all(&mut db, &config, 4).unwrap() {
             assert!(
                 report.ok(),
                 "{} should lint clean for p=4 k=3: {:?}",
@@ -289,7 +307,7 @@ mod tests {
         db.set_max_statement_len(16 * 1024);
         let (p, k) = (40, 25); // kp = 1000, the paper's ceiling
         let config = SqlemConfig::new(k, Strategy::Horizontal);
-        let report = lint_strategy(&db, &config, p);
+        let report = lint_strategy(&mut db, &config, p).unwrap();
         assert!(!report.ok());
         assert!(report.findings.iter().all(LintFinding::is_capacity));
         assert!(report
@@ -298,7 +316,7 @@ mod tests {
             .any(|f| matches!(f.kind, LintKind::TooLong { .. })));
         // Hybrid fits the same problem under the same cap.
         let hybrid = SqlemConfig::new(k, Strategy::Hybrid);
-        assert!(lint_strategy(&db, &hybrid, p).ok());
+        assert!(lint_strategy(&mut db, &hybrid, p).unwrap().ok());
     }
 
     #[test]
@@ -306,7 +324,7 @@ mod tests {
         let mut db = Database::new();
         db.config_mut().limits.max_terms = 64;
         let config = SqlemConfig::new(20, Strategy::Horizontal);
-        let report = lint_strategy(&db, &config, 20);
+        let report = lint_strategy(&mut db, &config, 20).unwrap();
         assert!(!report.ok());
         assert!(report
             .findings
@@ -317,9 +335,9 @@ mod tests {
 
     #[test]
     fn report_summary_mentions_strategy_and_verdict() {
-        let db = Database::new();
+        let mut db = Database::new();
         let config = SqlemConfig::new(2, Strategy::Vertical);
-        let report = lint_strategy(&db, &config, 2);
+        let report = lint_strategy(&mut db, &config, 2).unwrap();
         let s = report.summary();
         assert!(s.starts_with("vertical:"), "{s}");
         assert!(s.ends_with("ok"), "{s}");

@@ -8,7 +8,7 @@
 //! [`pivot_from_table`] supports the warehouse scenario where the data
 //! already lives in a user table.
 
-use sqlengine::{Database, Value};
+use sqlengine::{SqlExecutor, Value};
 
 use crate::config::Strategy;
 use crate::error::SqlemError;
@@ -25,7 +25,7 @@ pub fn layouts(strategy: Strategy) -> (bool, bool) {
 
 /// Bulk-load `points` into the layout tables for `strategy`. Returns `n`.
 pub fn load_points(
-    db: &mut Database,
+    db: &mut dyn SqlExecutor,
     names: &Names,
     strategy: Strategy,
     points: &[Vec<f64>],
@@ -40,13 +40,17 @@ pub fn load_points(
     }
     let (wide, long) = layouts(strategy);
     if wide {
-        let rows = points.iter().enumerate().map(|(i, pt)| {
-            let mut row = Vec::with_capacity(p + 1);
-            row.push(Value::Int(i as i64 + 1));
-            row.extend(pt.iter().map(|&v| Value::Double(v)));
-            row
-        });
-        db.bulk_insert(&names.z(), rows)
+        let rows = points
+            .iter()
+            .enumerate()
+            .map(|(i, pt)| {
+                let mut row = Vec::with_capacity(p + 1);
+                row.push(Value::Int(i as i64 + 1));
+                row.extend(pt.iter().map(|&v| Value::Double(v)));
+                row
+            })
+            .collect();
+        db.bulk_insert_rows(&names.z(), rows)
             .map_err(|e| SqlemError::from_sql("load Z", e))?;
     }
     if long {
@@ -60,7 +64,7 @@ pub fn load_points(
                 ]);
             }
         }
-        db.bulk_insert(&names.y(), rows)
+        db.bulk_insert_rows(&names.y(), rows)
             .map_err(|e| SqlemError::from_sql("load Y", e))?;
     }
     Ok(n)
@@ -72,7 +76,7 @@ pub fn load_points(
 /// pivot issues one `INSERT … SELECT` per dimension — the standard SQL-92
 /// unpivot.
 pub fn pivot_from_table(
-    db: &mut Database,
+    db: &mut dyn SqlExecutor,
     names: &Names,
     strategy: Strategy,
     source: &str,
@@ -103,7 +107,7 @@ pub fn pivot_from_table(
                 .map_err(|e| SqlemError::from_sql("pivot into Y", e))?;
         }
     }
-    db.table_len(source)
+    db.table_rows(source)
         .map_err(|e| SqlemError::from_sql("count source", e))
 }
 
@@ -112,6 +116,7 @@ mod tests {
     use super::*;
     use crate::config::SqlemConfig;
     use crate::generator::build_generator;
+    use sqlengine::Database;
 
     fn setup(strategy: Strategy) -> (Database, Names) {
         let mut db = Database::new();

@@ -118,7 +118,7 @@ fn lint_sweep_over_pk_grid() {
     for p in [2usize, 8, 40] {
         for k in [2usize, 10, 25] {
             let config = SqlemConfig::new(k, Strategy::Hybrid);
-            for report in lint_all(&db, &config, p) {
+            for report in lint_all(&mut db, &config, p).unwrap() {
                 match report.strategy {
                     Strategy::Horizontal => {
                         let fits = report.longest <= 16 * 1024;

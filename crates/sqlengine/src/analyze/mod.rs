@@ -87,6 +87,13 @@ impl SymbolicCatalog {
         self.tables.contains_key(&name.to_ascii_lowercase())
     }
 
+    /// Iterate over every `(name, schema)` pair, in no particular order —
+    /// the serialization hook the wire protocol uses to ship a snapshot
+    /// to remote clients.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &Schema)> {
+        self.tables.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
     /// Analyze `stmt` against the current symbolic state, then apply its
     /// DDL effect (create/drop) so later statements see it.
     pub fn apply(&mut self, stmt: &Statement, limits: &Limits) -> Result<Report, AnalyzeError> {

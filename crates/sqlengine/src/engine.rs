@@ -1,6 +1,7 @@
 //! The [`Database`] facade: parse → execute, statistics, bulk loading,
 //! and the optional durability layer (WAL + snapshot compaction).
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -92,6 +93,13 @@ pub struct Database {
     /// Durability layer; `None` for the default in-memory database (the
     /// in-memory execution path is byte-for-byte unaffected).
     durability: Option<Durability>,
+    /// Statements registered by id for repeated execution (the
+    /// [`crate::executor::SqlExecutor`] prepared-statement registry).
+    /// Keyed so a multi-session server can drop one session's ids
+    /// without shifting another's.
+    prepared: HashMap<u64, Statement>,
+    /// Next id [`Database::register_prepared`] hands out.
+    next_prepared: u64,
 }
 
 impl Database {
@@ -110,6 +118,8 @@ impl Database {
             metrics: MetricsLog::new(),
             injector: None,
             durability: None,
+            prepared: HashMap::new(),
+            next_prepared: 0,
         }
     }
 
@@ -551,6 +561,36 @@ impl Database {
         self.execute_metered(stmt)
     }
 
+    /// Register an already-prepared statement in the by-id registry
+    /// (the [`crate::executor::SqlExecutor`] prepared-statement
+    /// surface), returning its id. Ids are never reused within one
+    /// database, so a multi-session server can unregister one session's
+    /// statements ([`Database::unregister_prepared`]) without
+    /// invalidating another's ids.
+    pub fn register_prepared(&mut self, stmt: Statement) -> u64 {
+        let id = self.next_prepared;
+        self.next_prepared += 1;
+        self.prepared.insert(id, stmt);
+        id
+    }
+
+    /// The registered statement with this id, if any (cloned out so the
+    /// borrow does not pin the registry during execution).
+    pub fn registered_prepared(&self, id: u64) -> Option<Statement> {
+        self.prepared.get(&id).cloned()
+    }
+
+    /// Remove one registered statement (a server session dropping only
+    /// its own preparations). Unknown ids are ignored.
+    pub fn unregister_prepared(&mut self, id: u64) {
+        self.prepared.remove(&id);
+    }
+
+    /// Drop every registered prepared statement.
+    pub fn clear_registered_prepared(&mut self) {
+        self.prepared.clear();
+    }
+
     /// Bulk-load rows into a table without going through the SQL parser —
     /// the analogue of Teradata FastLoad / JDBC batch inserts the paper's
     /// client used for the 1.5M-row retail table. Values are coerced to the
@@ -754,6 +794,37 @@ impl SharedDatabase {
     /// Run an arbitrary closure against the locked database.
     pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
         f(&mut self.lock())
+    }
+
+    /// Like [`SharedDatabase::with`], but give up after waiting
+    /// `timeout` for the lock instead of blocking indefinitely —
+    /// the statement-timeout primitive a server needs so one client's
+    /// long statement cannot wedge every other session forever. Returns
+    /// `None` on timeout; the closure is then never run.
+    ///
+    /// Implemented as a spin-and-sleep over `try_lock` (std's mutex has
+    /// no native timed acquire): worst-case oversleep is one backoff
+    /// step (≤ 5 ms), which is noise against EM-statement runtimes.
+    pub fn with_timeout<R>(
+        &self,
+        timeout: std::time::Duration,
+        f: impl FnOnce(&mut Database) -> R,
+    ) -> Option<R> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut backoff_us = 50u64;
+        loop {
+            match self.inner.try_lock() {
+                Ok(mut guard) => return Some(f(&mut guard)),
+                Err(std::sync::TryLockError::Poisoned(e)) => return Some(f(&mut e.into_inner())),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if std::time::Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                    backoff_us = (backoff_us * 2).min(5_000);
+                }
+            }
+        }
     }
 
     /// Take the lock, recovering from a poisoned mutex: the database

@@ -112,6 +112,28 @@ pub enum Error {
         /// What failed validation and where.
         detail: String,
     },
+    /// A network/wire failure between a remote client and the server
+    /// (connect refused, connection reset, read/write timeout, protocol
+    /// version or auth mismatch). `transient` marks failures a reconnect
+    /// plus re-submission may fix — resets and timeouts — as opposed to
+    /// handshake rejections, which reproduce deterministically.
+    Net {
+        /// What the client was doing ("connect", "send query", …).
+        context: String,
+        /// The underlying failure, stringified.
+        message: String,
+        /// Retrying (after a reconnect) may succeed.
+        transient: bool,
+    },
+    /// An error that happened inside a *remote* server, relayed verbatim
+    /// over the wire. Variants a caller inspects structurally
+    /// ([`Error::StatementTooLong`], [`Error::Arithmetic`],
+    /// [`Error::Injected`], [`Error::Net`]) are reconstructed as
+    /// themselves by the wire codec; everything else arrives as its
+    /// rendered message wrapped in this variant, so the client sees the
+    /// server's exact error text without the engine's full error surface
+    /// having to cross the protocol. Never transient.
+    Remote(String),
     /// Anything else (internal invariants, unsupported constructs).
     Unsupported(String),
 }
@@ -158,7 +180,17 @@ impl fmt::Display for Error {
                 if *applied { " (effects applied)" } else { "" },
             ),
             Error::Io { context, message } => write!(f, "io error ({context}): {message}"),
+            Error::Net {
+                context,
+                message,
+                transient,
+            } => write!(
+                f,
+                "network error ({context}): {message}{}",
+                if *transient { " (transient)" } else { "" }
+            ),
             Error::Corruption { detail } => write!(f, "durable state corrupted: {detail}"),
+            Error::Remote(m) => write!(f, "server error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -197,14 +229,38 @@ impl Error {
         }
     }
 
-    /// Is a retry of the failed statement worth attempting? Only
-    /// injected transient faults qualify: every organic engine error
-    /// (parse, analysis, arity, duplicate key, arithmetic, …) is
-    /// deterministic and will reproduce on retry.
+    /// Build a transient [`Error::Net`] (reset/timeout class: a
+    /// reconnect plus re-submission may succeed).
+    pub fn net_transient(context: impl Into<String>, message: impl Into<String>) -> Self {
+        Error::Net {
+            context: context.into(),
+            message: message.into(),
+            transient: true,
+        }
+    }
+
+    /// Build a permanent [`Error::Net`] (handshake rejection class:
+    /// version/auth mismatches reproduce deterministically).
+    pub fn net_permanent(context: impl Into<String>, message: impl Into<String>) -> Self {
+        Error::Net {
+            context: context.into(),
+            message: message.into(),
+            transient: false,
+        }
+    }
+
+    /// Is a retry of the failed statement worth attempting? Injected
+    /// transient faults and transient wire failures (connection reset,
+    /// I/O timeout) qualify: every organic engine error (parse,
+    /// analysis, arity, duplicate key, arithmetic, …) is deterministic
+    /// and will reproduce on retry.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
             Error::Injected {
+                transient: true,
+                ..
+            } | Error::Net {
                 transient: true,
                 ..
             }

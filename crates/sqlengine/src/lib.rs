@@ -44,6 +44,7 @@ pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod executor;
 pub mod expr;
 pub mod fault;
 pub mod lexer;
@@ -62,6 +63,7 @@ pub use analyze::{
 pub use engine::{Database, DurabilityOptions, EngineConfig, SharedDatabase};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
+pub use executor::{PrepareError, PreparedId, SqlExecutor};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, Injection};
 pub use metrics::{ExecMetrics, MetricsLog, ScanMetric, StatementKind, StmtProbe};
 pub use schema::{Column, Schema};

@@ -1,0 +1,225 @@
+//! `sqlem-server` — serve a SQLEM database over TCP.
+//!
+//! The DBMS half of the paper's two-tier deployment: start this where
+//! the data lives, point `sqlem-cli --connect host:port` (or any
+//! [`sqlwire::RemoteConnection`]) at it, and the EM clustering client
+//! runs its generated SQL here.
+//!
+//! ```text
+//! sqlem-server [--listen ADDR] [--durable] [--data-dir DIR]
+//!              [--workers N] [--max-connections N]
+//!              [--idle-timeout SECS] [--lock-timeout SECS]
+//!              [--auth-token TOKEN] [--drop-nth-connection N]
+//!              [--inject-fault SPEC]... [--seed N]
+//! ```
+//!
+//! Prints `listening on ADDR` once ready (scripts wait for that line),
+//! then serves until stdin closes or reads a `shutdown` line, at which
+//! point it stops accepting and drains live sessions. `--durable`
+//! write-ahead-logs every mutation under `--data-dir` (default
+//! `sqlem_data`), so `kill -9` + restart recovers to the last
+//! acknowledged statement and remote clients resume from their
+//! checkpoint tables.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sqlengine::{Database, FaultPlan, FaultRule, SharedDatabase, StatementKind};
+use sqlwire::{Server, ServerConfig};
+
+struct Args {
+    listen: String,
+    data_dir: Option<String>,
+    workers: usize,
+    seed: u64,
+    fault_specs: Vec<String>,
+    server: ServerConfig,
+}
+
+const USAGE: &str = "usage: sqlem-server [--listen ADDR] [--durable] [--data-dir DIR]\n\
+     [--workers N] [--max-connections N] [--idle-timeout SECS]\n\
+     [--lock-timeout SECS] [--auth-token TOKEN]\n\
+     [--drop-nth-connection N] [--inject-fault SPEC]... [--seed N]\n\
+\n\
+Serves a SQLEM database over TCP (see docs/SERVER.md). Prints\n\
+'listening on ADDR' when ready; type 'shutdown' (or close stdin) for\n\
+a graceful drain. --durable persists to --data-dir (default\n\
+sqlem_data) via the write-ahead log.";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7878".to_string(),
+        data_dir: None,
+        workers: 1,
+        seed: 0,
+        fault_specs: Vec::new(),
+        server: ServerConfig::default(),
+    };
+    let mut durable = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut req = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = req("--listen")?,
+            "--durable" => durable = true,
+            "--data-dir" => args.data_dir = Some(req("--data-dir")?),
+            "--workers" => {
+                args.workers = req("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--max-connections" => {
+                args.server.max_connections = req("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections needs an integer".to_string())?;
+            }
+            "--idle-timeout" => {
+                args.server.idle_timeout = Duration::from_secs_f64(
+                    req("--idle-timeout")?
+                        .parse()
+                        .map_err(|_| "--idle-timeout needs seconds".to_string())?,
+                );
+            }
+            "--lock-timeout" => {
+                args.server.lock_timeout = Duration::from_secs_f64(
+                    req("--lock-timeout")?
+                        .parse()
+                        .map_err(|_| "--lock-timeout needs seconds".to_string())?,
+                );
+            }
+            "--auth-token" => args.server.auth_token = req("--auth-token")?,
+            "--drop-nth-connection" => {
+                args.server.drop_nth_connection = Some(
+                    req("--drop-nth-connection")?
+                        .parse()
+                        .map_err(|_| "--drop-nth-connection needs an integer".to_string())?,
+                );
+            }
+            "--inject-fault" => args.fault_specs.push(req("--inject-fault")?),
+            "--seed" => {
+                args.seed = req("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if durable && args.data_dir.is_none() {
+        args.data_dir = Some("sqlem_data".to_string());
+    }
+    Ok(args)
+}
+
+/// Same `--inject-fault` grammar as `sqlem-cli`:
+/// `SELECTOR[:MOD]...` with SELECTOR a statement number, `kind=NAME`
+/// or `table=SUBSTRING`, MODs `transient`/`permanent`/`once`/`always`.
+fn parse_fault_rule(spec: &str) -> Result<FaultRule, String> {
+    let mut parts = spec.split(':');
+    let selector = parts.next().unwrap_or_default();
+    let mut rule = if let Some(kind) = selector.strip_prefix("kind=") {
+        let kind = match kind {
+            "create" => StatementKind::CreateTable,
+            "drop" => StatementKind::DropTable,
+            "insert" => StatementKind::Insert,
+            "update" => StatementKind::Update,
+            "delete" => StatementKind::Delete,
+            "select" => StatementKind::Select,
+            other => return Err(format!("unknown statement kind {other:?} in {spec:?}")),
+        };
+        FaultRule::kind(kind)
+    } else if let Some(pattern) = selector.strip_prefix("table=") {
+        FaultRule::table(pattern)
+    } else {
+        let n: usize = selector.parse().map_err(|_| {
+            format!(
+                "fault selector must be a statement number, kind=…, or table=…, got {selector:?}"
+            )
+        })?;
+        FaultRule::nth(n)
+    };
+    let mut always = false;
+    for modifier in parts {
+        match modifier {
+            "transient" => rule = rule.transient(),
+            "permanent" => rule = rule.permanent(),
+            "once" => always = false,
+            "always" => always = true,
+            other => return Err(format!("unknown fault modifier {other:?} in {spec:?}")),
+        }
+    }
+    if !always {
+        rule = rule.once();
+    }
+    Ok(rule)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let mut db = match &args.data_dir {
+        Some(dir) => {
+            let db = Database::open_durable(dir)
+                .map_err(|e| format!("cannot open durable database at {dir}: {e}"))?;
+            eprintln!("durable database at {dir} (write-ahead logged)");
+            db
+        }
+        None => Database::new(),
+    };
+    db.set_workers(args.workers);
+    if !args.fault_specs.is_empty() {
+        let rules = args
+            .fault_specs
+            .iter()
+            .map(|s| parse_fault_rule(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        db.set_fault_plan(FaultPlan::new(rules).with_seed(args.seed));
+        eprintln!("fault plan armed ({} rule(s))", args.fault_specs.len());
+    }
+
+    let server = Server::bind(&args.listen, SharedDatabase::new(db), args.server)
+        .map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle();
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+
+    // The accept loop gets its own thread; this one watches stdin so an
+    // operator (or a test harness closing the pipe) can drain us.
+    let accept = std::thread::spawn(move || server.run());
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "shutdown" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    eprintln!("draining {} live session(s)", handle.active_sessions());
+    handle.shutdown();
+    accept
+        .join()
+        .map_err(|_| "accept loop panicked".to_string())?
+        .map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sqlem-server: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

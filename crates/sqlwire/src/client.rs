@@ -1,0 +1,449 @@
+//! The remote [`SqlExecutor`]: SQLEM's workstation side of the wire.
+//!
+//! [`RemoteConnection`] speaks the [`crate::proto`] protocol over one
+//! TCP connection and implements [`SqlExecutor`], so the entire `sqlem`
+//! driver — preflight linting, prepared E/M scripts, checkpoints,
+//! telemetry — runs against a server unchanged: the paper's two-tier
+//! deployment (§1.4) falls out of the trait seam.
+//!
+//! ## Reconnection
+//!
+//! A transient wire failure (reset, timeout, refused dial while the
+//! server restarts) marks the connection dead and surfaces as a
+//! *transient* [`Error::Net`], which `sqlem`'s `RetryPolicy` already
+//! classifies as retryable. The retried operation finds the dead
+//! connection and re-dials transparently, restoring session state the
+//! server lost: the handshake, the metrics-recording flag, and every
+//! prepared script (client-side ids are stable across reconnects; the
+//! fresh server ids are remapped internally).
+//!
+//! One ambiguity is inherent to lost acks: if the connection dies
+//! *after* the server executed a statement but *before* the reply
+//! arrived, a retry re-executes it (see `docs/SERVER.md` for why the
+//! EM scripts tolerate this).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sqlengine::{
+    Error, ExecMetrics, Limits, PrepareError, PreparedId, QueryResult, Result, SqlExecutor,
+    SymbolicCatalog, Value,
+};
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response, PROTOCOL_VERSION};
+
+/// Rows per bulk-insert frame: keeps each frame far below
+/// [`crate::frame::MAX_FRAME_LEN`] even for wide rows.
+const BULK_CHUNK_ROWS: usize = 16 * 1024;
+
+/// Connection settings for [`RemoteConnection::connect`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Token presented in the handshake (must match the server's).
+    pub auth_token: String,
+    /// Work-table namespace to claim exclusively ("" = no claim).
+    pub namespace: String,
+    /// Dial timeout per address.
+    pub connect_timeout: Duration,
+    /// Optional cap on waiting for any single reply (None = block).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            auth_token: String::new(),
+            namespace: String::new(),
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: None,
+        }
+    }
+}
+
+/// What the server told us at handshake, cached for the infallible
+/// [`SqlExecutor`] accessors.
+#[derive(Debug, Clone)]
+struct HelloInfo {
+    session: u64,
+    max_statement_len: usize,
+    limits: Limits,
+    description: String,
+}
+
+/// A reconnecting client-side [`SqlExecutor`] over TCP.
+pub struct RemoteConnection {
+    addr: String,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    hello: HelloInfo,
+    metrics_on: bool,
+    /// Every prepared script, in prepare order, for replay on reconnect.
+    groups: Vec<Vec<String>>,
+    /// Client id (stable) → (group index, offset within group).
+    id_map: Vec<(usize, usize)>,
+    /// Client id → current server id (rebuilt on reconnect).
+    server_ids: HashMap<u64, u64>,
+}
+
+impl RemoteConnection {
+    /// Dial `addr` (`host:port`) and complete the handshake eagerly, so
+    /// a bad address, version or token fails here, not mid-run.
+    pub fn connect(addr: &str, config: ClientConfig) -> Result<RemoteConnection> {
+        let mut conn = RemoteConnection {
+            addr: addr.to_string(),
+            config,
+            stream: None,
+            hello: HelloInfo {
+                session: 0,
+                max_statement_len: usize::MAX,
+                limits: Limits::unbounded(),
+                description: String::new(),
+            },
+            metrics_on: false,
+            groups: Vec::new(),
+            id_map: Vec::new(),
+            server_ids: HashMap::new(),
+        };
+        conn.dial()?;
+        Ok(conn)
+    }
+
+    /// The server-assigned id of the current session (changes on
+    /// reconnect; usable in [`RemoteConnection::cancel_session`]).
+    pub fn session_id(&self) -> u64 {
+        self.hello.session
+    }
+
+    /// The server's self-description from the handshake.
+    pub fn server_description(&self) -> &str {
+        &self.hello.description
+    }
+
+    /// Ask the server to cancel another live session (by the id its
+    /// owner obtained from [`RemoteConnection::session_id`]). Returns
+    /// whether the session existed.
+    pub fn cancel_session(&mut self, session: u64) -> Result<bool> {
+        match self.call(&Request::Cancel { session })? {
+            Response::Bool(b) => Ok(b),
+            other => Err(unexpected("Cancel", &other)),
+        }
+    }
+
+    /// Establish the TCP stream, shake hands, and restore session state
+    /// (metrics flag, prepared scripts) the server side may have lost.
+    fn dial(&mut self) -> Result<()> {
+        self.stream = None;
+        let addrs: Vec<_> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| Error::net_permanent("resolve", format!("{}: {e}", self.addr)))?
+            .collect();
+        let mut last: Option<Error> = None;
+        let mut stream = None;
+        for a in addrs {
+            match TcpStream::connect_timeout(&a, self.config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(crate::frame::io_to_net("connect", &e)),
+            }
+        }
+        let Some(stream) = stream else {
+            return Err(last.unwrap_or_else(|| {
+                Error::net_permanent("resolve", format!("{}: no addresses", self.addr))
+            }));
+        };
+        stream
+            .set_nodelay(true)
+            .map_err(|e| crate::frame::io_to_net("set_nodelay", &e))?;
+        stream
+            .set_read_timeout(self.config.read_timeout)
+            .map_err(|e| crate::frame::io_to_net("set_read_timeout", &e))?;
+        self.stream = Some(stream);
+
+        let hello = Request::Hello {
+            version: PROTOCOL_VERSION,
+            auth_token: self.config.auth_token.clone(),
+            namespace: self.config.namespace.clone(),
+        };
+        match self.raw_call(&hello)? {
+            Response::HelloAck {
+                version: _,
+                session,
+                max_statement_len,
+                limits,
+                description,
+            } => {
+                self.hello = HelloInfo {
+                    session,
+                    max_statement_len: max_statement_len as usize,
+                    limits,
+                    description,
+                };
+            }
+            other => return Err(unexpected("Hello", &other)),
+        }
+
+        // Restore what the (possibly restarted) server no longer has.
+        if self.metrics_on {
+            match self.raw_call(&Request::SetMetrics { on: true })? {
+                Response::Ok => {}
+                other => return Err(unexpected("SetMetrics", &other)),
+            }
+        }
+        self.server_ids.clear();
+        for (group_idx, group) in self.groups.clone().iter().enumerate() {
+            let resp = self.raw_call(&Request::Prepare {
+                statements: group.clone(),
+            })?;
+            let ids = match resp {
+                Response::PreparedIds(ids) => ids,
+                Response::PrepareErr { error, .. } => return Err(error),
+                other => return Err(unexpected("Prepare", &other)),
+            };
+            for (offset, server_id) in ids.into_iter().enumerate() {
+                let client_id = self
+                    .id_map
+                    .iter()
+                    .position(|&(g, o)| g == group_idx && o == offset)
+                    .expect("id_map covers every prepared statement")
+                    as u64;
+                self.server_ids.insert(client_id, server_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// One request/response over the live stream. Any wire failure
+    /// kills the stream so the next call re-dials.
+    fn raw_call(&mut self, req: &Request) -> Result<Response> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| Error::net_transient("call", "connection is down"))?;
+        let r = write_frame(stream, &req.encode()).and_then(|()| read_frame(stream));
+        let payload = match r {
+            Ok(p) => p,
+            Err(e) => {
+                self.stream = None;
+                return Err(e);
+            }
+        };
+        match Response::decode(&payload) {
+            Ok(Response::Err(e)) => Err(e),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// [`RemoteConnection::raw_call`] with transparent re-dial when the
+    /// connection died earlier.
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        if self.stream.is_none() {
+            self.dial()?;
+        }
+        self.raw_call(req)
+    }
+}
+
+impl std::fmt::Debug for RemoteConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteConnection")
+            .field("addr", &self.addr)
+            .field("session", &self.hello.session)
+            .field("connected", &self.stream.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> Error {
+    Error::net_permanent(
+        "protocol",
+        format!("unexpected response to {what}: {got:?}"),
+    )
+}
+
+impl SqlExecutor for RemoteConnection {
+    fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        match self.call(&Request::Query {
+            sql: sql.to_string(),
+        })? {
+            Response::Rows(q) => Ok(q),
+            other => Err(unexpected("Query", &other)),
+        }
+    }
+
+    fn prepare_script(
+        &mut self,
+        statements: &[String],
+    ) -> std::result::Result<Vec<PreparedId>, PrepareError> {
+        let wrap = |error: Error| PrepareError { index: 0, error };
+        let resp = self
+            .call(&Request::Prepare {
+                statements: statements.to_vec(),
+            })
+            .map_err(wrap)?;
+        let server_ids = match resp {
+            Response::PreparedIds(ids) => ids,
+            Response::PrepareErr { index, error } => {
+                return Err(PrepareError {
+                    index: index as usize,
+                    error,
+                })
+            }
+            other => return Err(wrap(unexpected("Prepare", &other))),
+        };
+        let group_idx = self.groups.len();
+        self.groups.push(statements.to_vec());
+        let mut client_ids = Vec::with_capacity(server_ids.len());
+        for (offset, server_id) in server_ids.into_iter().enumerate() {
+            let client_id = self.id_map.len() as u64;
+            self.id_map.push((group_idx, offset));
+            self.server_ids.insert(client_id, server_id);
+            client_ids.push(PreparedId(client_id));
+        }
+        Ok(client_ids)
+    }
+
+    fn run_prepared(&mut self, id: PreparedId) -> Result<QueryResult> {
+        if self.stream.is_none() {
+            self.dial()?; // refreshes server_ids
+        }
+        let server_id = *self.server_ids.get(&id.0).ok_or_else(|| {
+            Error::net_permanent("execute prepared", format!("unknown prepared id {}", id.0))
+        })?;
+        match self.raw_call(&Request::ExecutePrepared { id: server_id })? {
+            Response::Rows(q) => Ok(q),
+            other => Err(unexpected("ExecutePrepared", &other)),
+        }
+    }
+
+    fn clear_prepared(&mut self) -> Result<()> {
+        self.groups.clear();
+        self.id_map.clear();
+        self.server_ids.clear();
+        match self.call(&Request::ClearPrepared)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("ClearPrepared", &other)),
+        }
+    }
+
+    fn bulk_insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let mut total = 0usize;
+        if rows.is_empty() {
+            // Arity/table checks still apply server-side.
+            match self.call(&Request::BulkInsert {
+                table: table.to_string(),
+                rows,
+            })? {
+                Response::Count(n) => return Ok(n as usize),
+                other => return Err(unexpected("BulkInsert", &other)),
+            }
+        }
+        let mut rows = rows;
+        while !rows.is_empty() {
+            let rest = rows.split_off(rows.len().min(BULK_CHUNK_ROWS));
+            match self.call(&Request::BulkInsert {
+                table: table.to_string(),
+                rows,
+            })? {
+                Response::Count(n) => total += n as usize,
+                other => return Err(unexpected("BulkInsert", &other)),
+            }
+            rows = rest;
+        }
+        Ok(total)
+    }
+
+    fn table_rows(&mut self, table: &str) -> Result<usize> {
+        match self.call(&Request::TableRows {
+            table: table.to_string(),
+        })? {
+            Response::Count(n) => Ok(n as usize),
+            other => Err(unexpected("TableRows", &other)),
+        }
+    }
+
+    fn has_table(&mut self, table: &str) -> Result<bool> {
+        match self.call(&Request::HasTable {
+            table: table.to_string(),
+        })? {
+            Response::Bool(b) => Ok(b),
+            other => Err(unexpected("HasTable", &other)),
+        }
+    }
+
+    fn catalog_snapshot(&mut self) -> Result<SymbolicCatalog> {
+        match self.call(&Request::CatalogSnapshot)? {
+            Response::Catalog(c) => Ok(c),
+            other => Err(unexpected("CatalogSnapshot", &other)),
+        }
+    }
+
+    fn max_statement_len(&self) -> usize {
+        self.hello.max_statement_len
+    }
+
+    fn analyze_limits(&self) -> Limits {
+        self.hello.limits.clone()
+    }
+
+    fn note_statement_retry(&mut self) {
+        // Best-effort: retry bookkeeping must never turn a retryable
+        // situation into a new failure.
+        let _ = self.call(&Request::NoteRetry);
+    }
+
+    fn set_metrics_enabled(&mut self, on: bool) -> Result<()> {
+        match self.call(&Request::SetMetrics { on })? {
+            Response::Ok => {
+                self.metrics_on = on;
+                Ok(())
+            }
+            other => Err(unexpected("SetMetrics", &other)),
+        }
+    }
+
+    fn metrics_enabled(&self) -> bool {
+        self.metrics_on
+    }
+
+    fn metrics_len(&mut self) -> Result<usize> {
+        match self.call(&Request::MetricsLen)? {
+            Response::Count(n) => Ok(n as usize),
+            other => Err(unexpected("MetricsLen", &other)),
+        }
+    }
+
+    fn metrics_since(&mut self, from: usize) -> Result<Vec<ExecMetrics>> {
+        match self.call(&Request::MetricsSince { from: from as u64 })? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(unexpected("MetricsSince", &other)),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "remote server at {} ({})",
+            self.addr, self.hello.description
+        )
+    }
+}
+
+impl Drop for RemoteConnection {
+    fn drop(&mut self) {
+        // Orderly goodbye frees the namespace immediately instead of at
+        // the server's idle timeout; errors are moot while dropping.
+        if let Some(stream) = self.stream.as_mut() {
+            let _ = write_frame(stream, &Request::Goodbye.encode());
+            let _ = stream.flush();
+        }
+    }
+}

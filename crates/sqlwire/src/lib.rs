@@ -1,0 +1,31 @@
+//! Client/server wire protocol for the SQLEM engine.
+//!
+//! The paper runs EM as a *two-tier* system (§1.4): the clustering
+//! client lives on a workstation, generates SQL, and submits it over
+//! the network to the DBMS where the data lives. This crate supplies
+//! the network: a hermetic (std-only) binary protocol, a concurrent
+//! TCP server wrapping a [`sqlengine::SharedDatabase`], and a
+//! reconnecting client that implements [`sqlengine::SqlExecutor`] so
+//! the whole `sqlem` driver runs remotely unchanged.
+//!
+//! - [`frame`] — length-prefixed, CRC-32-checked message framing.
+//! - [`proto`] — the request/response vocabulary and its encoding;
+//!   doubles cross the wire bit-exact, so remote runs converge
+//!   bit-identically to in-process runs.
+//! - [`server`] — sessions, namespaces, admission control, timeouts,
+//!   graceful drain; composes with the engine's durability and fault
+//!   layers.
+//! - [`client`] — [`client::RemoteConnection`], the remote executor.
+//!
+//! See `docs/SERVER.md` for the frame grammar and session lifecycle.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientConfig, RemoteConnection};
+pub use proto::{Request, Response, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,894 @@
+//! The message vocabulary and its binary encoding.
+//!
+//! One frame payload (see [`crate::frame`]) encodes exactly one
+//! [`Request`] or [`Response`]; the first byte is the opcode, the rest
+//! is opcode-specific and reuses the storage layer's little-endian
+//! codec ([`sqlengine::storage::codec`]) — the same length-prefixed
+//! strings and tagged [`Value`]s the WAL writes, so doubles cross the
+//! wire bit-exact (`f64::to_bits`) and remote EM runs can converge
+//! *bit-identically* to in-process runs.
+//!
+//! ## Error relay
+//!
+//! Server-side [`Error`]s cross the wire with just enough structure for
+//! the client-side driver logic to keep working remotely:
+//! [`Error::StatementTooLong`] (the §3.3 capacity taxonomy that
+//! `sqlem`'s purpose attribution promotes), [`Error::Arithmetic`] (the
+//! degenerate-cluster recovery trigger), [`Error::Injected`] (fault
+//! injection's transient/applied semantics feed the retry policy) and
+//! [`Error::Net`] travel as themselves; every other variant arrives as
+//! its rendered message wrapped in [`Error::Remote`].
+
+use sqlengine::storage::codec::{put_str, put_u32, put_u64, put_value, read_value, Reader};
+use sqlengine::{Column, Schema, SymbolicCatalog};
+use sqlengine::{Error, ExecMetrics, Limits, QueryResult, ScanMetric, StatementKind, Value};
+use std::time::Duration;
+
+/// Protocol version; [`Request::Hello`] carries the client's, the server
+/// rejects mismatches permanently (a newer binary won't start working by
+/// retrying).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Client-to-server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the session: version/auth check plus the work-table
+    /// namespace this client wants exclusively (empty = shared/no claim).
+    Hello {
+        /// Client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Shared-secret token; must equal the server's (both default
+        /// empty).
+        auth_token: String,
+        /// Work-table prefix the session claims exclusively.
+        namespace: String,
+    },
+    /// Execute one SQL statement.
+    Query {
+        /// Statement text.
+        sql: String,
+    },
+    /// Prepare a script of statements atomically (all or none).
+    Prepare {
+        /// Statement texts, in execution order.
+        statements: Vec<String>,
+    },
+    /// Execute a previously prepared statement by server-assigned id.
+    ExecutePrepared {
+        /// Id from the [`Response::PreparedIds`] answering a `Prepare`.
+        id: u64,
+    },
+    /// Drop every prepared statement of this session.
+    ClearPrepared,
+    /// Parser-bypassing bulk load (the FastLoad analogue, DESIGN.md §5).
+    BulkInsert {
+        /// Destination table.
+        table: String,
+        /// Rows; every row must match the table's arity.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Row count of a table.
+    TableRows {
+        /// Table name.
+        table: String,
+    },
+    /// Does the table exist?
+    HasTable {
+        /// Table name.
+        table: String,
+    },
+    /// Schema snapshot of every table, for client-side pre-flight linting.
+    CatalogSnapshot,
+    /// Start/stop recording per-statement execution telemetry.
+    SetMetrics {
+        /// `true` to record.
+        on: bool,
+    },
+    /// Current length of the metrics log (cursor acquisition).
+    MetricsLen,
+    /// Metrics entries from a cursor to the end (non-draining).
+    MetricsSince {
+        /// 0-based start index.
+        from: u64,
+    },
+    /// Forward a client-side retry notice to the server's fault injector
+    /// (keeps statement sequence numbers aligned across the wire).
+    NoteRetry,
+    /// Ask the server to cancel another live session: its namespace is
+    /// released and its next operation fails permanently.
+    Cancel {
+        /// Session id from that session's [`Response::HelloAck`].
+        session: u64,
+    },
+    /// Orderly goodbye; the server closes after acknowledging.
+    Goodbye,
+}
+
+/// Server-to-client messages.
+///
+/// No `PartialEq`: [`SymbolicCatalog`] is not comparable; tests use
+/// [`same_encoding`] instead.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Successful handshake; carries everything the client caches.
+    HelloAck {
+        /// Server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// This session's id (usable in [`Request::Cancel`]).
+        session: u64,
+        /// The engine's statement-length parser cap.
+        max_statement_len: u64,
+        /// The engine's semantic-analysis complexity ceilings.
+        limits: Limits,
+        /// Human-readable server identification.
+        description: String,
+    },
+    /// Operation succeeded with nothing to return.
+    Ok,
+    /// Boolean answer ([`Request::HasTable`]).
+    Bool(bool),
+    /// Numeric answer (row counts, metrics length).
+    Count(u64),
+    /// Full query result.
+    Rows(QueryResult),
+    /// The operation failed; see the module docs for the relay taxonomy.
+    Err(Error),
+    /// Ids answering a [`Request::Prepare`], one per statement in order.
+    PreparedIds(Vec<u64>),
+    /// A `Prepare` failed at statement `index`; nothing was registered.
+    PrepareErr {
+        /// 0-based index of the offending statement.
+        index: u64,
+        /// Why it failed.
+        error: Error,
+    },
+    /// Schema snapshot answering [`Request::CatalogSnapshot`].
+    Catalog(SymbolicCatalog),
+    /// Telemetry entries answering [`Request::MetricsSince`].
+    Metrics(Vec<ExecMetrics>),
+}
+
+// ---------------------------------------------------------------------
+// opcodes
+
+const OP_HELLO: u8 = 0x01;
+const OP_QUERY: u8 = 0x02;
+const OP_PREPARE: u8 = 0x03;
+const OP_EXECUTE_PREPARED: u8 = 0x04;
+const OP_CLEAR_PREPARED: u8 = 0x05;
+const OP_BULK_INSERT: u8 = 0x06;
+const OP_TABLE_ROWS: u8 = 0x07;
+const OP_HAS_TABLE: u8 = 0x08;
+const OP_CATALOG_SNAPSHOT: u8 = 0x09;
+const OP_SET_METRICS: u8 = 0x0A;
+const OP_METRICS_LEN: u8 = 0x0B;
+const OP_METRICS_SINCE: u8 = 0x0C;
+const OP_NOTE_RETRY: u8 = 0x0D;
+const OP_CANCEL: u8 = 0x0E;
+const OP_GOODBYE: u8 = 0x0F;
+
+const OP_HELLO_ACK: u8 = 0x81;
+const OP_OK: u8 = 0x82;
+const OP_BOOL: u8 = 0x83;
+const OP_COUNT: u8 = 0x84;
+const OP_ROWS: u8 = 0x85;
+const OP_ERR: u8 = 0x86;
+const OP_PREPARED_IDS: u8 = 0x87;
+const OP_PREPARE_ERR: u8 = 0x88;
+const OP_CATALOG: u8 = 0x89;
+const OP_METRICS: u8 = 0x8A;
+
+// error relay tags
+const ERR_OTHER: u8 = 0;
+const ERR_TOO_LONG: u8 = 1;
+const ERR_ARITHMETIC: u8 = 2;
+const ERR_INJECTED: u8 = 3;
+const ERR_NET: u8 = 4;
+
+fn malformed(what: &str) -> Error {
+    Error::net_permanent("decode message", format!("malformed {what}"))
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+fn read_bool(r: &mut Reader<'_>) -> Result<bool, Error> {
+    Ok(r.u8()? != 0)
+}
+
+fn read_usize(r: &mut Reader<'_>) -> Result<usize, Error> {
+    Ok(r.u64()? as usize)
+}
+
+// ---------------------------------------------------------------------
+// error relay
+
+fn put_error(buf: &mut Vec<u8>, e: &Error) {
+    match e {
+        Error::StatementTooLong { len, max } => {
+            buf.push(ERR_TOO_LONG);
+            put_u64(buf, *len as u64);
+            put_u64(buf, *max as u64);
+        }
+        Error::Arithmetic(m) => {
+            buf.push(ERR_ARITHMETIC);
+            put_str(buf, m);
+        }
+        Error::Injected {
+            transient,
+            applied,
+            statement,
+        } => {
+            buf.push(ERR_INJECTED);
+            put_bool(buf, *transient);
+            put_bool(buf, *applied);
+            put_u64(buf, *statement as u64);
+        }
+        Error::Net {
+            context,
+            message,
+            transient,
+        } => {
+            buf.push(ERR_NET);
+            put_str(buf, context);
+            put_str(buf, message);
+            put_bool(buf, *transient);
+        }
+        // Re-relaying an already-relayed error must not stack
+        // "server error:" prefixes.
+        Error::Remote(m) => {
+            buf.push(ERR_OTHER);
+            put_str(buf, m);
+        }
+        other => {
+            buf.push(ERR_OTHER);
+            put_str(buf, &other.to_string());
+        }
+    }
+}
+
+fn read_error(r: &mut Reader<'_>) -> Result<Error, Error> {
+    Ok(match r.u8()? {
+        ERR_TOO_LONG => Error::StatementTooLong {
+            len: read_usize(r)?,
+            max: read_usize(r)?,
+        },
+        ERR_ARITHMETIC => Error::Arithmetic(r.str()?),
+        ERR_INJECTED => Error::Injected {
+            transient: read_bool(r)?,
+            applied: read_bool(r)?,
+            statement: read_usize(r)?,
+        },
+        ERR_NET => Error::Net {
+            context: r.str()?,
+            message: r.str()?,
+            transient: read_bool(r)?,
+        },
+        ERR_OTHER => Error::Remote(r.str()?),
+        _ => return Err(malformed("error tag")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// composite payloads
+
+fn put_rows(buf: &mut Vec<u8>, rows: &[Vec<Value>]) {
+    put_u32(buf, rows.len() as u32);
+    for row in rows {
+        put_u32(buf, row.len() as u32);
+        for v in row {
+            put_value(buf, v);
+        }
+    }
+}
+
+fn read_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<Value>>, Error> {
+    let n = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        let w = r.u32()? as usize;
+        let mut row = Vec::with_capacity(w.min(r.remaining() + 1));
+        for _ in 0..w {
+            row.push(read_value(r)?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn put_query_result(buf: &mut Vec<u8>, q: &QueryResult) {
+    put_u32(buf, q.columns.len() as u32);
+    for c in &q.columns {
+        put_str(buf, c);
+    }
+    // Result rows are boxed slices ([`sqlengine::Row`]); same layout as
+    // put_rows.
+    put_u32(buf, q.rows.len() as u32);
+    for row in &q.rows {
+        put_u32(buf, row.len() as u32);
+        for v in row.iter() {
+            put_value(buf, v);
+        }
+    }
+    put_u64(buf, q.rows_affected as u64);
+}
+
+fn read_query_result(r: &mut Reader<'_>) -> Result<QueryResult, Error> {
+    let ncols = r.u32()? as usize;
+    let mut columns = Vec::with_capacity(ncols.min(r.remaining()));
+    for _ in 0..ncols {
+        columns.push(r.str()?);
+    }
+    let rows = read_rows(r)?
+        .into_iter()
+        .map(Vec::into_boxed_slice)
+        .collect();
+    let rows_affected = read_usize(r)?;
+    Ok(QueryResult {
+        columns,
+        rows,
+        rows_affected,
+    })
+}
+
+fn put_limits(buf: &mut Vec<u8>, l: &Limits) {
+    put_u64(buf, l.max_terms as u64);
+    put_u64(buf, l.max_depth as u64);
+    put_u64(buf, l.max_columns as u64);
+    put_u64(buf, l.max_tables as u64);
+}
+
+fn read_limits(r: &mut Reader<'_>) -> Result<Limits, Error> {
+    Ok(Limits {
+        max_terms: read_usize(r)?,
+        max_depth: read_usize(r)?,
+        max_columns: read_usize(r)?,
+        max_tables: read_usize(r)?,
+    })
+}
+
+fn datatype_tag(t: sqlengine::DataType) -> u8 {
+    match t {
+        sqlengine::DataType::BigInt => 0,
+        sqlengine::DataType::Double => 1,
+        sqlengine::DataType::Varchar => 2,
+    }
+}
+
+fn read_datatype(r: &mut Reader<'_>) -> Result<sqlengine::DataType, Error> {
+    Ok(match r.u8()? {
+        0 => sqlengine::DataType::BigInt,
+        1 => sqlengine::DataType::Double,
+        2 => sqlengine::DataType::Varchar,
+        _ => return Err(malformed("data type tag")),
+    })
+}
+
+fn put_catalog(buf: &mut Vec<u8>, cat: &SymbolicCatalog) {
+    // Deterministic order keeps encodings reproducible (and testable).
+    let mut tables: Vec<(&str, &Schema)> = cat.tables().collect();
+    tables.sort_by_key(|(n, _)| n.to_string());
+    put_u32(buf, tables.len() as u32);
+    for (name, schema) in tables {
+        put_str(buf, name);
+        put_u32(buf, schema.columns().len() as u32);
+        for c in schema.columns() {
+            put_str(buf, &c.name);
+            buf.push(datatype_tag(c.ty));
+        }
+        put_u32(buf, schema.primary_key().len() as u32);
+        for &i in schema.primary_key() {
+            put_u32(buf, i as u32);
+        }
+    }
+}
+
+fn read_catalog(r: &mut Reader<'_>) -> Result<SymbolicCatalog, Error> {
+    let ntables = r.u32()? as usize;
+    let mut cat = SymbolicCatalog::new();
+    for _ in 0..ntables {
+        let name = r.str()?;
+        let ncols = r.u32()? as usize;
+        let mut cols = Vec::with_capacity(ncols.min(r.remaining()));
+        for _ in 0..ncols {
+            let cname = r.str()?;
+            let ty = read_datatype(r)?;
+            cols.push(Column::new(cname, ty));
+        }
+        let npk = r.u32()? as usize;
+        let mut pk_names = Vec::with_capacity(npk.min(r.remaining()));
+        for _ in 0..npk {
+            let idx = r.u32()? as usize;
+            let col = cols.get(idx).ok_or_else(|| malformed("pk index"))?;
+            pk_names.push(col.name.clone());
+        }
+        let pk_refs: Vec<&str> = pk_names.iter().map(String::as_str).collect();
+        let schema =
+            Schema::new(cols, &pk_refs).map_err(|_| malformed("schema in catalog snapshot"))?;
+        cat.insert(&name, schema);
+    }
+    Ok(cat)
+}
+
+fn kind_tag(k: Option<StatementKind>) -> u8 {
+    match k {
+        None => 0,
+        Some(StatementKind::CreateTable) => 1,
+        Some(StatementKind::DropTable) => 2,
+        Some(StatementKind::Insert) => 3,
+        Some(StatementKind::Update) => 4,
+        Some(StatementKind::Delete) => 5,
+        Some(StatementKind::Select) => 6,
+        Some(StatementKind::Explain) => 7,
+    }
+}
+
+fn read_kind(r: &mut Reader<'_>) -> Result<Option<StatementKind>, Error> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(StatementKind::CreateTable),
+        2 => Some(StatementKind::DropTable),
+        3 => Some(StatementKind::Insert),
+        4 => Some(StatementKind::Update),
+        5 => Some(StatementKind::Delete),
+        6 => Some(StatementKind::Select),
+        7 => Some(StatementKind::Explain),
+        _ => return Err(malformed("statement kind tag")),
+    })
+}
+
+fn put_metrics_entry(buf: &mut Vec<u8>, m: &ExecMetrics) {
+    buf.push(kind_tag(m.kind));
+    put_u32(buf, m.scans.len() as u32);
+    for s in &m.scans {
+        put_str(buf, &s.table);
+        put_u64(buf, s.rows as u64);
+        put_bool(buf, s.build);
+    }
+    put_u64(buf, m.rows_produced as u64);
+    put_u64(buf, m.rows_inserted as u64);
+    put_u64(buf, m.rows_updated as u64);
+    put_u64(buf, m.rows_deleted as u64);
+    put_u64(buf, m.join_build_rows);
+    put_u64(buf, m.join_probe_rows);
+    put_u64(buf, m.groups as u64);
+    put_u64(buf, m.expr_evals);
+    put_u64(buf, m.plan_time.as_nanos() as u64);
+    put_u64(buf, m.elapsed.as_nanos() as u64);
+}
+
+fn read_metrics_entry(r: &mut Reader<'_>) -> Result<ExecMetrics, Error> {
+    let kind = read_kind(r)?;
+    let nscans = r.u32()? as usize;
+    let mut scans = Vec::with_capacity(nscans.min(r.remaining()));
+    for _ in 0..nscans {
+        scans.push(ScanMetric {
+            table: r.str()?,
+            rows: read_usize(r)?,
+            build: read_bool(r)?,
+        });
+    }
+    Ok(ExecMetrics {
+        kind,
+        scans,
+        rows_produced: read_usize(r)?,
+        rows_inserted: read_usize(r)?,
+        rows_updated: read_usize(r)?,
+        rows_deleted: read_usize(r)?,
+        join_build_rows: r.u64()?,
+        join_probe_rows: r.u64()?,
+        groups: read_usize(r)?,
+        expr_evals: r.u64()?,
+        plan_time: Duration::from_nanos(r.u64()?),
+        elapsed: Duration::from_nanos(r.u64()?),
+    })
+}
+
+// ---------------------------------------------------------------------
+// top-level encode/decode
+
+impl Request {
+    /// Serialize to a frame payload (opcode byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Hello {
+                version,
+                auth_token,
+                namespace,
+            } => {
+                buf.push(OP_HELLO);
+                put_u32(&mut buf, *version);
+                put_str(&mut buf, auth_token);
+                put_str(&mut buf, namespace);
+            }
+            Request::Query { sql } => {
+                buf.push(OP_QUERY);
+                put_str(&mut buf, sql);
+            }
+            Request::Prepare { statements } => {
+                buf.push(OP_PREPARE);
+                put_u32(&mut buf, statements.len() as u32);
+                for s in statements {
+                    put_str(&mut buf, s);
+                }
+            }
+            Request::ExecutePrepared { id } => {
+                buf.push(OP_EXECUTE_PREPARED);
+                put_u64(&mut buf, *id);
+            }
+            Request::ClearPrepared => buf.push(OP_CLEAR_PREPARED),
+            Request::BulkInsert { table, rows } => {
+                buf.push(OP_BULK_INSERT);
+                put_str(&mut buf, table);
+                put_rows(&mut buf, rows);
+            }
+            Request::TableRows { table } => {
+                buf.push(OP_TABLE_ROWS);
+                put_str(&mut buf, table);
+            }
+            Request::HasTable { table } => {
+                buf.push(OP_HAS_TABLE);
+                put_str(&mut buf, table);
+            }
+            Request::CatalogSnapshot => buf.push(OP_CATALOG_SNAPSHOT),
+            Request::SetMetrics { on } => {
+                buf.push(OP_SET_METRICS);
+                put_bool(&mut buf, *on);
+            }
+            Request::MetricsLen => buf.push(OP_METRICS_LEN),
+            Request::MetricsSince { from } => {
+                buf.push(OP_METRICS_SINCE);
+                put_u64(&mut buf, *from);
+            }
+            Request::NoteRetry => buf.push(OP_NOTE_RETRY),
+            Request::Cancel { session } => {
+                buf.push(OP_CANCEL);
+                put_u64(&mut buf, *session);
+            }
+            Request::Goodbye => buf.push(OP_GOODBYE),
+        }
+        buf
+    }
+
+    /// Parse a frame payload; rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, Error> {
+        let mut r = Reader::new(payload, "wire request");
+        let req = match r.u8()? {
+            OP_HELLO => Request::Hello {
+                version: r.u32()?,
+                auth_token: r.str()?,
+                namespace: r.str()?,
+            },
+            OP_QUERY => Request::Query { sql: r.str()? },
+            OP_PREPARE => {
+                let n = r.u32()? as usize;
+                let mut statements = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    statements.push(r.str()?);
+                }
+                Request::Prepare { statements }
+            }
+            OP_EXECUTE_PREPARED => Request::ExecutePrepared { id: r.u64()? },
+            OP_CLEAR_PREPARED => Request::ClearPrepared,
+            OP_BULK_INSERT => Request::BulkInsert {
+                table: r.str()?,
+                rows: read_rows(&mut r)?,
+            },
+            OP_TABLE_ROWS => Request::TableRows { table: r.str()? },
+            OP_HAS_TABLE => Request::HasTable { table: r.str()? },
+            OP_CATALOG_SNAPSHOT => Request::CatalogSnapshot,
+            OP_SET_METRICS => Request::SetMetrics {
+                on: read_bool(&mut r)?,
+            },
+            OP_METRICS_LEN => Request::MetricsLen,
+            OP_METRICS_SINCE => Request::MetricsSince { from: r.u64()? },
+            OP_NOTE_RETRY => Request::NoteRetry,
+            OP_CANCEL => Request::Cancel { session: r.u64()? },
+            OP_GOODBYE => Request::Goodbye,
+            _ => return Err(malformed("request opcode")),
+        };
+        if r.remaining() != 0 {
+            return Err(malformed("request (trailing bytes)"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize to a frame payload (opcode byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::HelloAck {
+                version,
+                session,
+                max_statement_len,
+                limits,
+                description,
+            } => {
+                buf.push(OP_HELLO_ACK);
+                put_u32(&mut buf, *version);
+                put_u64(&mut buf, *session);
+                put_u64(&mut buf, *max_statement_len);
+                put_limits(&mut buf, limits);
+                put_str(&mut buf, description);
+            }
+            Response::Ok => buf.push(OP_OK),
+            Response::Bool(b) => {
+                buf.push(OP_BOOL);
+                put_bool(&mut buf, *b);
+            }
+            Response::Count(n) => {
+                buf.push(OP_COUNT);
+                put_u64(&mut buf, *n);
+            }
+            Response::Rows(q) => {
+                buf.push(OP_ROWS);
+                put_query_result(&mut buf, q);
+            }
+            Response::Err(e) => {
+                buf.push(OP_ERR);
+                put_error(&mut buf, e);
+            }
+            Response::PreparedIds(ids) => {
+                buf.push(OP_PREPARED_IDS);
+                put_u32(&mut buf, ids.len() as u32);
+                for id in ids {
+                    put_u64(&mut buf, *id);
+                }
+            }
+            Response::PrepareErr { index, error } => {
+                buf.push(OP_PREPARE_ERR);
+                put_u64(&mut buf, *index);
+                put_error(&mut buf, error);
+            }
+            Response::Catalog(cat) => {
+                buf.push(OP_CATALOG);
+                put_catalog(&mut buf, cat);
+            }
+            Response::Metrics(entries) => {
+                buf.push(OP_METRICS);
+                put_u32(&mut buf, entries.len() as u32);
+                for m in entries {
+                    put_metrics_entry(&mut buf, m);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Parse a frame payload; rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, Error> {
+        let mut r = Reader::new(payload, "wire response");
+        let resp = match r.u8()? {
+            OP_HELLO_ACK => Response::HelloAck {
+                version: r.u32()?,
+                session: r.u64()?,
+                max_statement_len: r.u64()?,
+                limits: read_limits(&mut r)?,
+                description: r.str()?,
+            },
+            OP_OK => Response::Ok,
+            OP_BOOL => Response::Bool(read_bool(&mut r)?),
+            OP_COUNT => Response::Count(r.u64()?),
+            OP_ROWS => Response::Rows(read_query_result(&mut r)?),
+            OP_ERR => Response::Err(read_error(&mut r)?),
+            OP_PREPARED_IDS => {
+                let n = r.u32()? as usize;
+                let mut ids = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    ids.push(r.u64()?);
+                }
+                Response::PreparedIds(ids)
+            }
+            OP_PREPARE_ERR => Response::PrepareErr {
+                index: r.u64()?,
+                error: read_error(&mut r)?,
+            },
+            OP_CATALOG => Response::Catalog(read_catalog(&mut r)?),
+            OP_METRICS => {
+                let n = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    entries.push(read_metrics_entry(&mut r)?);
+                }
+                Response::Metrics(entries)
+            }
+            _ => return Err(malformed("response opcode")),
+        };
+        if r.remaining() != 0 {
+            return Err(malformed("response (trailing bytes)"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Responses don't implement `PartialEq` for `Catalog` comparison via
+/// schema identity alone, so tests compare re-encodings; this helper
+/// exposes that as a first-class equivalence.
+pub fn same_encoding(a: &Response, b: &Response) -> bool {
+    a.encode() == b.encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let back = Response::decode(&resp.encode()).unwrap();
+        assert!(same_encoding(&back, &resp), "{resp:?} vs {back:?}");
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+            auth_token: "sekrit".into(),
+            namespace: "run1_".into(),
+        });
+        roundtrip_req(Request::Query {
+            sql: "SELECT 1".into(),
+        });
+        roundtrip_req(Request::Prepare {
+            statements: vec!["DELETE FROM c".into(), "INSERT INTO c VALUES (1)".into()],
+        });
+        roundtrip_req(Request::ExecutePrepared { id: 7 });
+        roundtrip_req(Request::ClearPrepared);
+        roundtrip_req(Request::BulkInsert {
+            table: "z".into(),
+            rows: vec![
+                vec![Value::Int(1), Value::Double(0.5), Value::Null],
+                vec![
+                    Value::Int(2),
+                    Value::Double(f64::NEG_INFINITY),
+                    Value::Str("x".into()),
+                ],
+            ],
+        });
+        roundtrip_req(Request::TableRows { table: "y".into() });
+        roundtrip_req(Request::HasTable { table: "w".into() });
+        roundtrip_req(Request::CatalogSnapshot);
+        roundtrip_req(Request::SetMetrics { on: true });
+        roundtrip_req(Request::MetricsLen);
+        roundtrip_req(Request::MetricsSince { from: 42 });
+        roundtrip_req(Request::NoteRetry);
+        roundtrip_req(Request::Cancel { session: 3 });
+        roundtrip_req(Request::Goodbye);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::HelloAck {
+            version: 1,
+            session: 9,
+            max_statement_len: 1 << 20,
+            limits: Limits::default(),
+            description: "sqlem-server".into(),
+        });
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Bool(true));
+        roundtrip_resp(Response::Count(12345));
+        roundtrip_resp(Response::Rows(QueryResult {
+            columns: vec!["llh".into()],
+            rows: vec![vec![Value::Double(-1234.5678901234567)].into_boxed_slice()],
+            rows_affected: 1,
+        }));
+        roundtrip_resp(Response::PreparedIds(vec![0, 1, 2]));
+        roundtrip_resp(Response::Metrics(vec![ExecMetrics {
+            kind: Some(StatementKind::Update),
+            scans: vec![ScanMetric {
+                table: "yd".into(),
+                rows: 1000,
+                build: true,
+            }],
+            rows_produced: 0,
+            rows_inserted: 0,
+            rows_updated: 1000,
+            rows_deleted: 0,
+            join_build_rows: 8,
+            join_probe_rows: 1000,
+            groups: 0,
+            expr_evals: 4000,
+            plan_time: Duration::from_micros(120),
+            elapsed: Duration::from_millis(3),
+        }]));
+    }
+
+    #[test]
+    fn error_relay_preserves_structure_where_it_matters() {
+        // StatementTooLong must survive for §3.3 purpose attribution.
+        let e = roundtrip_err(Error::StatementTooLong { len: 99, max: 10 });
+        assert!(matches!(e, Error::StatementTooLong { len: 99, max: 10 }));
+        // Arithmetic must survive for degenerate-cluster recovery.
+        let e = roundtrip_err(Error::Arithmetic("division by zero".into()));
+        assert!(matches!(e, Error::Arithmetic(_)));
+        // Injected transients must stay transient for the retry policy.
+        let e = roundtrip_err(Error::Injected {
+            transient: true,
+            applied: false,
+            statement: 4,
+        });
+        assert!(e.is_transient());
+        // Everything else flattens to Remote with the rendered text.
+        let e = roundtrip_err(Error::UnknownTable("nope".into()));
+        match &e {
+            Error::Remote(m) => assert!(m.contains("nope"), "{m}"),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+        assert!(!e.is_transient());
+        // Relaying a relay must not stack prefixes.
+        let twice = roundtrip_err(e);
+        match twice {
+            Error::Remote(m) => assert_eq!(m.matches("server error").count(), 0, "{m}"),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+    }
+
+    fn roundtrip_err(e: Error) -> Error {
+        match Response::decode(&Response::Err(e).encode()).unwrap() {
+            Response::Err(e) => e,
+            other => panic!("expected Err, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catalog_roundtrips_schemas() {
+        use sqlengine::DataType;
+        let mut cat = SymbolicCatalog::new();
+        cat.insert(
+            "z",
+            Schema::new(
+                vec![
+                    Column::new("rid", DataType::BigInt),
+                    Column::new("y1", DataType::Double),
+                ],
+                &["rid"],
+            )
+            .unwrap(),
+        );
+        cat.insert(
+            "names",
+            Schema::new(vec![Column::new("s", DataType::Varchar)], &[]).unwrap(),
+        );
+        let resp = Response::Catalog(cat);
+        let back = Response::decode(&resp.encode()).unwrap();
+        let Response::Catalog(cat2) = &back else {
+            panic!("expected Catalog");
+        };
+        assert!(cat2.contains("z"));
+        assert!(cat2.contains("names"));
+        assert!(same_encoding(&resp, &back));
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let full = Request::BulkInsert {
+            table: "z".into(),
+            rows: vec![vec![Value::Int(1), Value::Str("abc".into())]],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Request::Goodbye.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+        let mut buf = Response::Ok.encode();
+        buf.push(0);
+        assert!(Response::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,461 @@
+//! The concurrent SQL server: a TCP accept loop wrapping one
+//! [`SharedDatabase`].
+//!
+//! This is the "DBMS side" of the paper's two-tier deployment (§1.4):
+//! SQLEM's client generates SQL on a workstation and submits it over
+//! the network; all heavy lifting happens where the data lives. Each
+//! accepted connection becomes one *session* on its own thread:
+//!
+//! 1. **Admission** — beyond [`ServerConfig::max_connections`] live
+//!    sessions, the handshake is rejected with a *transient* error
+//!    (backpressure: a client retry policy will wait and reconnect).
+//! 2. **Handshake** — the client's [`Request::Hello`] carries the
+//!    protocol version, a shared-secret token and the work-table
+//!    namespace it wants. Version and token mismatches are rejected
+//!    *permanently*; a namespace another live session owns is rejected
+//!    transiently (it frees on that session's disconnect).
+//! 3. **Statements** — executed under the shared database lock with a
+//!    bounded wait ([`ServerConfig::lock_timeout`]): a session that
+//!    cannot get the lock in time gets a transient statement-timeout
+//!    error instead of wedging behind a long-running peer forever.
+//! 4. **Idle timeout** — a session that sends nothing for
+//!    [`ServerConfig::idle_timeout`] is closed and its namespace freed.
+//! 5. **Teardown** — orderly ([`Request::Goodbye`]) or not, the session
+//!    unregisters its prepared statements and releases its namespace.
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) stops accepting and *drains*:
+//! live sessions keep working until they disconnect or the drain
+//! timeout passes. Composability with the durability layer is free —
+//! hand [`Server::bind`] a `SharedDatabase` whose inner database was
+//! opened with [`Database::open_durable`](sqlengine::Database::open_durable)
+//! and every mutation is WAL-logged exactly as in-process.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sqlengine::{Database, Error, Result, SharedDatabase, SqlExecutor};
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response, PROTOCOL_VERSION};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrent sessions; further handshakes are rejected
+    /// with a transient error (admission control / backpressure).
+    pub max_connections: usize,
+    /// Shared-secret token clients must present (empty = open server).
+    pub auth_token: String,
+    /// Close a session that sends nothing for this long.
+    pub idle_timeout: Duration,
+    /// Bounded wait for the database lock per statement; beyond it the
+    /// statement fails with a transient timeout error.
+    pub lock_timeout: Duration,
+    /// How long [`ServerHandle::shutdown`] waits for live sessions to
+    /// finish before the accept loop returns anyway.
+    pub drain_timeout: Duration,
+    /// Chaos hook: drop the nth accepted connection (1-based) on the
+    /// floor without a single response byte — deterministic
+    /// connection-failure injection for retry tests.
+    pub drop_nth_connection: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 32,
+            auth_token: String::new(),
+            idle_timeout: Duration::from_secs(300),
+            lock_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
+            drop_nth_connection: None,
+        }
+    }
+}
+
+/// One live session's registry entry.
+struct SessionEntry {
+    /// Namespace the session claimed exclusively ("" = none).
+    namespace: String,
+    /// Set by [`Request::Cancel`]; the session fails its next request.
+    cancelled: Arc<AtomicBool>,
+}
+
+/// State shared between the accept loop, session threads and handles.
+struct ServerState {
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    next_session: AtomicU64,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+}
+
+/// Control handle for a running [`Server`] (cloneable across threads).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Stop accepting connections and let the accept loop drain.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Number of currently live sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.state.active.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running server. Call [`Server::run`] to serve.
+pub struct Server {
+    listener: TcpListener,
+    db: SharedDatabase,
+    config: ServerConfig,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, db: SharedDatabase, config: ServerConfig) -> Result<Server> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| Error::net_permanent("bind", e.to_string()))?;
+        Ok(Server {
+            listener,
+            db,
+            config,
+            state: Arc::new(ServerState {
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                accepted: AtomicU64::new(0),
+                next_session: AtomicU64::new(1),
+                sessions: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| Error::net_permanent("local_addr", e.to_string()))
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serve until [`ServerHandle::shutdown`], then drain and return.
+    pub fn run(self) -> Result<()> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::net_permanent("set_nonblocking", e.to_string()))?;
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let n = self.state.accepted.fetch_add(1, Ordering::SeqCst) + 1;
+                    if self.config.drop_nth_connection == Some(n) {
+                        drop(stream); // chaos: simulate a mid-dial crash
+                        continue;
+                    }
+                    let db = self.db.clone();
+                    let config = self.config.clone();
+                    let state = Arc::clone(&self.state);
+                    state.active.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        // The session outcome is reported to the peer over
+                        // the wire; a torn connection has nowhere to report.
+                        let _ = serve_session(stream, &db, &config, &state);
+                        state.active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(Error::net_permanent("accept", e.to_string())),
+            }
+        }
+        // Drain: no new sessions; wait for the live ones.
+        let deadline = std::time::Instant::now() + self.config.drain_timeout;
+        while self.state.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+/// Receive the handshake, register the session, then serve requests
+/// until goodbye / disconnect / idle timeout / cancellation.
+fn serve_session(
+    mut stream: TcpStream,
+    db: &SharedDatabase,
+    config: &ServerConfig,
+    state: &ServerState,
+) -> Result<()> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| Error::net_permanent("set_nodelay", e.to_string()))?;
+    stream
+        .set_read_timeout(Some(config.idle_timeout))
+        .map_err(|e| Error::net_permanent("set_read_timeout", e.to_string()))?;
+
+    // ---- handshake -------------------------------------------------
+    let hello = Request::decode(&read_frame(&mut stream)?)?;
+    let Request::Hello {
+        version,
+        auth_token,
+        namespace,
+    } = hello
+    else {
+        let e = Error::net_permanent("handshake", "first message must be Hello");
+        let _ = write_frame(&mut stream, &Response::Err(e.clone()).encode());
+        return Err(e);
+    };
+    if version != PROTOCOL_VERSION {
+        let e = Error::net_permanent(
+            "handshake",
+            format!("protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"),
+        );
+        write_frame(&mut stream, &Response::Err(e.clone()).encode())?;
+        return Err(e);
+    }
+    if auth_token != config.auth_token {
+        let e = Error::net_permanent("handshake", "auth token rejected");
+        write_frame(&mut stream, &Response::Err(e.clone()).encode())?;
+        return Err(e);
+    }
+    // Admission control: the session slot was taken optimistically by
+    // the accept loop; over capacity means *this* session must go.
+    if state.active.load(Ordering::SeqCst) > config.max_connections {
+        let e = Error::net_transient(
+            "handshake",
+            format!(
+                "server at capacity ({} sessions); retry later",
+                config.max_connections
+            ),
+        );
+        write_frame(&mut stream, &Response::Err(e.clone()).encode())?;
+        return Err(e);
+    }
+
+    let session_id;
+    let cancelled = Arc::new(AtomicBool::new(false));
+    {
+        let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        if !namespace.is_empty() && sessions.values().any(|s| s.namespace == namespace) {
+            drop(sessions);
+            let e = Error::net_transient(
+                "handshake",
+                format!("namespace {namespace:?} is held by another live session; retry later"),
+            );
+            write_frame(&mut stream, &Response::Err(e.clone()).encode())?;
+            return Err(e);
+        }
+        session_id = state.next_session.fetch_add(1, Ordering::SeqCst);
+        sessions.insert(
+            session_id,
+            SessionEntry {
+                namespace: namespace.clone(),
+                cancelled: Arc::clone(&cancelled),
+            },
+        );
+    }
+
+    let (max_statement_len, limits) = db.with(|d| {
+        (
+            d.config().max_statement_len as u64,
+            d.config().limits.clone(),
+        )
+    });
+    write_frame(
+        &mut stream,
+        &Response::HelloAck {
+            version: PROTOCOL_VERSION,
+            session: session_id,
+            max_statement_len,
+            limits,
+            description: format!(
+                "sqlem-server v{} ({})",
+                env!("CARGO_PKG_VERSION"),
+                if db.with(|d| d.is_durable()) {
+                    "durable"
+                } else {
+                    "in-memory"
+                }
+            ),
+        }
+        .encode(),
+    )?;
+
+    // ---- request loop ----------------------------------------------
+    let mut my_prepared: Vec<u64> = Vec::new();
+    let result = request_loop(&mut stream, db, config, state, &cancelled, &mut my_prepared);
+
+    // ---- teardown --------------------------------------------------
+    db.with(|d| {
+        for id in &my_prepared {
+            d.unregister_prepared(*id);
+        }
+    });
+    state
+        .sessions
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&session_id);
+    result
+}
+
+fn request_loop(
+    stream: &mut TcpStream,
+    db: &SharedDatabase,
+    config: &ServerConfig,
+    state: &ServerState,
+    cancelled: &AtomicBool,
+    my_prepared: &mut Vec<u64>,
+) -> Result<()> {
+    loop {
+        let payload = read_frame(stream)?; // idle timeout closes here
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                write_frame(stream, &Response::Err(e.clone()).encode())?;
+                return Err(e);
+            }
+        };
+        if cancelled.load(Ordering::SeqCst) {
+            let e = Error::net_permanent("session", "session cancelled by peer request");
+            write_frame(stream, &Response::Err(e.clone()).encode())?;
+            return Err(e);
+        }
+        let response = match request {
+            Request::Hello { .. } => {
+                Response::Err(Error::net_permanent("session", "duplicate Hello"))
+            }
+            Request::Goodbye => {
+                write_frame(stream, &Response::Ok.encode())?;
+                return Ok(());
+            }
+            Request::Cancel { session } => {
+                let sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
+                match sessions.get(&session) {
+                    Some(entry) => {
+                        entry.cancelled.store(true, Ordering::SeqCst);
+                        Response::Bool(true)
+                    }
+                    None => Response::Bool(false),
+                }
+            }
+            other => dispatch_db(db, config, other, my_prepared),
+        };
+        write_frame(stream, &response.encode())?;
+    }
+}
+
+/// Execute one database-touching request under the bounded lock wait.
+fn dispatch_db(
+    db: &SharedDatabase,
+    config: &ServerConfig,
+    request: Request,
+    my_prepared: &mut Vec<u64>,
+) -> Response {
+    let run = |f: &mut dyn FnMut(&mut Database) -> Response| -> Response {
+        match db.with_timeout(config.lock_timeout, |d| f(d)) {
+            Some(resp) => resp,
+            None => Response::Err(Error::net_transient(
+                "execute",
+                format!(
+                    "statement timeout: database lock not acquired within {:?}",
+                    config.lock_timeout
+                ),
+            )),
+        }
+    };
+    fn reply<T>(r: Result<T>, ok: impl FnOnce(T) -> Response) -> Response {
+        match r {
+            Ok(v) => ok(v),
+            Err(e) => Response::Err(e),
+        }
+    }
+    match request {
+        Request::Query { sql } => run(&mut |d| reply(d.execute(&sql), Response::Rows)),
+        Request::Prepare { statements } => {
+            run(&mut |d| match SqlExecutor::prepare_script(d, &statements) {
+                Ok(ids) => {
+                    my_prepared.extend(ids.iter().map(|i| i.0));
+                    Response::PreparedIds(ids.iter().map(|i| i.0).collect())
+                }
+                Err(e) => Response::PrepareErr {
+                    index: e.index as u64,
+                    error: e.error,
+                },
+            })
+        }
+        Request::ExecutePrepared { id } => {
+            if !my_prepared.contains(&id) {
+                return Response::Err(Error::net_permanent(
+                    "execute prepared",
+                    format!("unknown prepared id {id} for this session"),
+                ));
+            }
+            run(&mut |d| {
+                reply(
+                    SqlExecutor::run_prepared(d, sqlengine::PreparedId(id)),
+                    Response::Rows,
+                )
+            })
+        }
+        Request::ClearPrepared => run(&mut |d| {
+            for id in my_prepared.drain(..) {
+                d.unregister_prepared(id);
+            }
+            Response::Ok
+        }),
+        Request::BulkInsert { table, rows } => {
+            // `run` takes an FnMut but calls it at most once; Option
+            // lets the rows move into bulk_insert without a clone.
+            let mut rows = Some(rows);
+            run(&mut |d| {
+                let rows = rows.take().expect("bulk-insert closure runs once");
+                reply(d.bulk_insert(&table, rows), |n| Response::Count(n as u64))
+            })
+        }
+        Request::TableRows { table } => {
+            run(&mut |d| reply(d.table_len(&table), |n| Response::Count(n as u64)))
+        }
+        Request::HasTable { table } => run(&mut |d| Response::Bool(d.contains_table(&table))),
+        Request::CatalogSnapshot => run(&mut |d| Response::Catalog(d.symbolic_catalog())),
+        Request::SetMetrics { on } => run(&mut |d| {
+            if on {
+                d.enable_metrics();
+            } else {
+                d.disable_metrics();
+            }
+            Response::Ok
+        }),
+        Request::MetricsLen => {
+            run(&mut |d| reply(SqlExecutor::metrics_len(d), |n| Response::Count(n as u64)))
+        }
+        Request::MetricsSince { from } => run(&mut |d| {
+            reply(
+                SqlExecutor::metrics_since(d, from as usize),
+                Response::Metrics,
+            )
+        }),
+        Request::NoteRetry => run(&mut |d| {
+            d.note_statement_retry();
+            Response::Ok
+        }),
+        // Handled by the caller.
+        Request::Hello { .. } | Request::Goodbye | Request::Cancel { .. } => {
+            Response::Err(Error::net_permanent("session", "unreachable request"))
+        }
+    }
+}

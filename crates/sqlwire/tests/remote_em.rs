@@ -1,0 +1,507 @@
+//! End-to-end client/server tests: the paper's two-tier deployment
+//! (§1.4) must reproduce the in-process reproduction *bit-exactly*.
+//!
+//! Each test binds a [`Server`] on an ephemeral port with its accept
+//! loop on a thread, drives it through [`RemoteConnection`] (the
+//! `SqlExecutor` the whole `sqlem` driver is generic over), and
+//! compares against the embedded equivalent:
+//!
+//! * a full hybrid EM run over the wire — params, llh history and
+//!   telemetry identical to the in-process run;
+//! * two concurrent clients on one server, namespace-isolated, each
+//!   bit-identical to its own embedded run;
+//! * wire flakes (idle disconnects, connections dropped at accept)
+//!   absorbed by the existing `RetryPolicy` machinery;
+//! * a durable server restarted mid-study, with the client resuming
+//!   from its in-database checkpoint to the uninterrupted result;
+//! * handshake rejection (version, token, namespace, admission) with
+//!   the transient/permanent taxonomy the retry policy keys on.
+
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use emcore::init::InitStrategy;
+use emcore::GmmParams;
+use sqlem::{EmSession, RetryPolicy, SqlemConfig, SqlemRun, Strategy};
+use sqlengine::{Database, SharedDatabase, SqlExecutor, Value};
+use sqlwire::frame::{read_frame, write_frame};
+use sqlwire::proto::{Request, Response};
+use sqlwire::{ClientConfig, RemoteConnection, Server, ServerConfig, ServerHandle};
+
+// ---------------------------------------------------------------------
+// harness
+
+struct TestServer {
+    addr: String,
+    handle: ServerHandle,
+    join: thread::JoinHandle<sqlengine::Result<()>>,
+}
+
+impl TestServer {
+    fn start(db: SharedDatabase, mut config: ServerConfig) -> TestServer {
+        // Tests drop their clients before stopping; a long drain would
+        // only ever stretch a failure.
+        config.drain_timeout = Duration::from_secs(2);
+        let server = Server::bind("127.0.0.1:0", db, config).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run());
+        TestServer { addr, handle, join }
+    }
+
+    fn stop(self) {
+        self.handle.shutdown();
+        self.join.join().unwrap().unwrap();
+    }
+}
+
+fn connect(addr: &str, namespace: &str) -> RemoteConnection {
+    RemoteConnection::connect(
+        addr,
+        ClientConfig {
+            namespace: namespace.to_string(),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Two well-separated Gaussian blobs around `(c, c)` and `(c+9, c+9)`.
+fn blobs(c: f64) -> Vec<Vec<f64>> {
+    let mut pts = Vec::new();
+    for i in 0..40 {
+        let t = (i % 5) as f64 * 0.1;
+        pts.push(vec![c + t, c - t]);
+        pts.push(vec![c + 9.0 + t, c + 9.0 - t]);
+    }
+    pts
+}
+
+fn blob_init(c: f64) -> GmmParams {
+    GmmParams::new(
+        vec![vec![c + 2.0, c + 2.0], vec![c + 7.0, c + 7.0]],
+        vec![8.0, 8.0],
+        vec![0.5, 0.5],
+    )
+}
+
+fn run_em<E: SqlExecutor>(
+    db: &mut E,
+    cfg: &SqlemConfig,
+    points: &[Vec<f64>],
+    init: &GmmParams,
+    telemetry: bool,
+) -> SqlemRun {
+    let mut session = EmSession::create(db, cfg, 2).unwrap();
+    session.load_points(points).unwrap();
+    session
+        .initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+    if telemetry {
+        session.enable_telemetry().unwrap();
+    }
+    session.run().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// the tentpole: remote == embedded, bit for bit
+
+#[test]
+fn remote_hybrid_run_is_bit_identical_to_in_process() {
+    let cfg = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(1e-9)
+        .with_max_iterations(12)
+        .with_prefix("r1_");
+    let (points, init) = (blobs(0.0), blob_init(0.0));
+
+    let baseline = run_em(&mut Database::new(), &cfg, &points, &init, true);
+
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let mut conn = connect(&server.addr, "r1_");
+    let remote = run_em(&mut conn, &cfg, &points, &init, true);
+    drop(conn);
+    server.stop();
+
+    assert_eq!(remote.params, baseline.params, "final model diverged");
+    assert_eq!(remote.llh_history, baseline.llh_history, "llh diverged");
+    assert_eq!(remote.iterations, baseline.iterations);
+    assert_eq!(remote.outcome, baseline.outcome);
+
+    // Telemetry passthrough: the remote client pulls the *server's*
+    // per-statement metrics, so the cost-model counters (which are
+    // exact, unlike wall-clock) must agree entry for entry.
+    assert_eq!(
+        remote.iteration_reports.len(),
+        baseline.iteration_reports.len()
+    );
+    for (r, b) in remote
+        .iteration_reports
+        .iter()
+        .zip(&baseline.iteration_reports)
+    {
+        assert_eq!(r.n_scans, b.n_scans, "iteration {}", r.iteration);
+        assert_eq!(r.pn_scans, b.pn_scans, "iteration {}", r.iteration);
+        assert_eq!(
+            r.temp_rows_materialized, b.temp_rows_materialized,
+            "iteration {}",
+            r.iteration
+        );
+    }
+}
+
+#[test]
+fn doubles_cross_the_wire_bit_exact() {
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let mut conn = connect(&server.addr, "");
+    conn.execute("CREATE TABLE bits (i BIGINT PRIMARY KEY, v DOUBLE)")
+        .unwrap();
+    let specials = [
+        f64::MIN_POSITIVE,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        5e-324, // smallest subnormal
+        -1234.5678901234567,
+    ];
+    let rows: Vec<Vec<Value>> = specials
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| vec![Value::Int(i as i64), Value::Double(v)])
+        .collect();
+    assert_eq!(conn.bulk_insert_rows("bits", rows).unwrap(), specials.len());
+    let back = conn.execute("SELECT v FROM bits ORDER BY i").unwrap();
+    for (row, &expect) in back.rows.iter().zip(&specials) {
+        let Value::Double(got) = row[0] else {
+            panic!("expected a double back, got {:?}", row[0]);
+        };
+        assert_eq!(got.to_bits(), expect.to_bits(), "{expect} was altered");
+    }
+    drop(conn);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// concurrency: two clients, one server
+
+#[test]
+fn concurrent_clients_match_their_embedded_runs() {
+    let cfg_a = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(1e-9)
+        .with_max_iterations(10)
+        .with_prefix("ca_");
+    let cfg_b = cfg_a.clone().with_prefix("cb_");
+    let (points_a, init_a) = (blobs(0.0), blob_init(0.0));
+    let (points_b, init_b) = (blobs(3.5), blob_init(3.5));
+
+    let base_a = run_em(&mut Database::new(), &cfg_a, &points_a, &init_a, false);
+    let base_b = run_em(&mut Database::new(), &cfg_b, &points_b, &init_b, false);
+
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let addr_a = server.addr.clone();
+    let addr_b = server.addr.clone();
+    let ta = thread::spawn(move || {
+        let mut conn = connect(&addr_a, "ca_");
+        run_em(&mut conn, &cfg_a, &points_a, &init_a, false)
+    });
+    let tb = thread::spawn(move || {
+        let mut conn = connect(&addr_b, "cb_");
+        run_em(&mut conn, &cfg_b, &points_b, &init_b, false)
+    });
+    let run_a = ta.join().unwrap();
+    let run_b = tb.join().unwrap();
+    server.stop();
+
+    assert_eq!(run_a.params, base_a.params, "client A diverged");
+    assert_eq!(run_a.llh_history, base_a.llh_history, "client A llh");
+    assert_eq!(run_b.params, base_b.params, "client B diverged");
+    assert_eq!(run_b.llh_history, base_b.llh_history, "client B llh");
+}
+
+// ---------------------------------------------------------------------
+// wire flakes and the retry policy
+
+#[test]
+fn dropped_connection_surfaces_as_transient() {
+    // The server drops the very first accepted connection on the floor:
+    // the dial must fail with an error the retry machinery classifies
+    // as transient (a reconnect can fix it) — and the next dial works.
+    let config = ServerConfig {
+        drop_nth_connection: Some(1),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(SharedDatabase::default(), config);
+    let err = RemoteConnection::connect(&server.addr, ClientConfig::default()).unwrap_err();
+    assert!(err.is_transient(), "dropped dial must be transient: {err}");
+    let mut conn = connect(&server.addr, "");
+    assert!(!conn.has_table("nope").unwrap());
+    drop(conn);
+    server.stop();
+}
+
+#[test]
+fn retry_policy_rides_out_idle_disconnect_and_dropped_redial() {
+    const ITERS: usize = 5;
+    let cfg = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(ITERS)
+        .with_prefix("rf_")
+        .with_retry(RetryPolicy::immediate(4));
+    let (points, init) = (blobs(0.0), blob_init(0.0));
+
+    // Baseline: the same manual iteration loop, embedded.
+    let mut base_db = Database::new();
+    let mut base = EmSession::create(&mut base_db, &cfg, 2).unwrap();
+    base.load_points(&points).unwrap();
+    base.initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+    let base_llh: Vec<f64> = (0..ITERS).map(|_| base.iterate_once().unwrap()).collect();
+    let base_params = base.params().unwrap();
+
+    // Remote: the server hangs up on sessions idle for 100 ms AND drops
+    // the second accepted connection (the re-dial) on the floor, so the
+    // client needs *two* transient recoveries to land iteration 2.
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        drop_nth_connection: Some(2),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(SharedDatabase::default(), config);
+    let mut conn = connect(&server.addr, "rf_");
+    let mut session = EmSession::create(&mut conn, &cfg, 2).unwrap();
+    session.load_points(&points).unwrap();
+    session
+        .initialize(&InitStrategy::Explicit(init.clone()))
+        .unwrap();
+    let mut llh = Vec::new();
+    for i in 0..ITERS {
+        if i == 1 {
+            // Outlive the server's idle timeout: the next statement
+            // finds a dead stream, and the first re-dial is dropped.
+            thread::sleep(Duration::from_millis(300));
+        }
+        llh.push(session.iterate_once().unwrap());
+    }
+    let params = session.params().unwrap();
+    assert!(session.retries() >= 1, "the disconnect must cost a retry");
+    drop(session);
+    drop(conn);
+    server.stop();
+
+    assert_eq!(llh, base_llh, "recovered run must match uninterrupted");
+    assert_eq!(params, base_params);
+}
+
+// ---------------------------------------------------------------------
+// durability composition: restart the server, resume the study
+
+#[test]
+fn durable_server_restart_resumes_from_checkpoint() {
+    const FULL: usize = 5;
+    let dir = std::env::temp_dir().join("sqlwire_restart_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dir.to_str().unwrap().to_string();
+
+    let (points, init) = (blobs(0.0), blob_init(0.0));
+    let cfg_full = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(FULL)
+        .with_prefix("dr_")
+        .with_checkpoints();
+    let baseline = run_em(&mut Database::new(), &cfg_full, &points, &init, false);
+    // The tiny dataset may hit an exact fixed point before the cap; all
+    // that matters is that phase 1's cap of 2 leaves work outstanding.
+    assert!(baseline.iterations > 2);
+
+    // Phase 1: a durable server; the client completes 2 of 5 iterations
+    // (checkpointing each one) before the server goes away entirely.
+    let cfg_partial = cfg_full.clone().with_max_iterations(2);
+    let db = Database::open_durable(&dir).unwrap();
+    let server = TestServer::start(SharedDatabase::new(db), ServerConfig::default());
+    let mut conn = connect(&server.addr, "dr_");
+    let partial = run_em(&mut conn, &cfg_partial, &points, &init, false);
+    assert_eq!(partial.iterations, 2);
+    drop(conn);
+    server.stop();
+
+    // Phase 2: the database directory is all that survived. A restarted
+    // server replays the WAL; a fresh client finds the checkpoint and
+    // finishes the study — bit-identical to the uninterrupted run.
+    let db = Database::open_durable(&dir).unwrap();
+    let server = TestServer::start(SharedDatabase::new(db), ServerConfig::default());
+    let mut conn = connect(&server.addr, "dr_");
+    let mut session = EmSession::create(&mut conn, &cfg_full, 2).unwrap();
+    session.load_points(&points).unwrap();
+    let done = session
+        .resume_from_checkpoint()
+        .unwrap()
+        .expect("the restarted server must still hold the checkpoint");
+    assert_eq!(done, 2, "both completed iterations were checkpointed");
+    let resumed = session.run().unwrap();
+    drop(session);
+    drop(conn);
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(resumed.llh_history, baseline.llh_history, "resumed llh");
+    assert_eq!(resumed.params, baseline.params, "resumed final model");
+}
+
+// ---------------------------------------------------------------------
+// handshake, admission, namespaces, cancellation
+
+#[test]
+fn protocol_version_mismatch_is_rejected_permanently() {
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let mut stream = TcpStream::connect(&server.addr).unwrap();
+    let hello = Request::Hello {
+        version: 9999,
+        auth_token: String::new(),
+        namespace: String::new(),
+    };
+    write_frame(&mut stream, &hello.encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut stream).unwrap()).unwrap();
+    let Response::Err(e) = resp else {
+        panic!("expected a handshake rejection, got {resp:?}");
+    };
+    assert!(!e.is_transient(), "version skew never fixes itself: {e}");
+    assert!(e.to_string().contains("version mismatch"), "{e}");
+    drop(stream);
+    server.stop();
+}
+
+#[test]
+fn auth_token_mismatch_is_rejected_permanently() {
+    let config = ServerConfig {
+        auth_token: "sekrit".to_string(),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(SharedDatabase::default(), config);
+    let err = RemoteConnection::connect(
+        &server.addr,
+        ClientConfig {
+            auth_token: "wrong".to_string(),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(!err.is_transient(), "{err}");
+    assert!(err.to_string().contains("auth token"), "{err}");
+    let ok = RemoteConnection::connect(
+        &server.addr,
+        ClientConfig {
+            auth_token: "sekrit".to_string(),
+            ..ClientConfig::default()
+        },
+    );
+    assert!(ok.is_ok(), "the right token must get in");
+    drop(ok);
+    server.stop();
+}
+
+#[test]
+fn held_namespace_is_rejected_transiently_until_released() {
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let conn1 = connect(&server.addr, "ns_");
+    let err = RemoteConnection::connect(
+        &server.addr,
+        ClientConfig {
+            namespace: "ns_".to_string(),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        err.is_transient(),
+        "a held namespace frees on disconnect: {err}"
+    );
+    assert!(err.to_string().contains("ns_"), "{err}");
+    drop(conn1); // orderly goodbye frees the namespace
+                 // The release is processed by the server session thread; give it a
+                 // moment rather than asserting on a race.
+    let mut attempt = None;
+    for _ in 0..50 {
+        match RemoteConnection::connect(
+            &server.addr,
+            ClientConfig {
+                namespace: "ns_".to_string(),
+                ..ClientConfig::default()
+            },
+        ) {
+            Ok(c) => {
+                attempt = Some(c);
+                break;
+            }
+            Err(e) if e.is_transient() => thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("unexpected permanent rejection: {e}"),
+        }
+    }
+    assert!(attempt.is_some(), "released namespace must be claimable");
+    drop(attempt);
+    server.stop();
+}
+
+#[test]
+fn admission_control_rejects_transiently_over_capacity() {
+    let config = ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(SharedDatabase::default(), config);
+    let conn1 = connect(&server.addr, "");
+    let err = RemoteConnection::connect(&server.addr, ClientConfig::default()).unwrap_err();
+    assert!(
+        err.is_transient(),
+        "backpressure must invite a retry: {err}"
+    );
+    assert!(err.to_string().contains("capacity"), "{err}");
+    drop(conn1);
+    server.stop();
+}
+
+#[test]
+fn cancel_kills_the_target_session() {
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let mut victim = connect(&server.addr, "");
+    let mut killer = connect(&server.addr, "");
+    assert!(victim.execute("SELECT 1").is_ok());
+
+    assert!(killer.cancel_session(victim.session_id()).unwrap());
+    let err = victim.execute("SELECT 1").unwrap_err();
+    assert!(!err.is_transient(), "{err}");
+    assert!(err.to_string().contains("cancelled"), "{err}");
+
+    // Cancelling a session that never existed reports false.
+    assert!(!killer.cancel_session(424242).unwrap());
+    drop(victim);
+    drop(killer);
+    server.stop();
+}
+
+#[test]
+fn statement_lock_timeout_is_transient_backpressure() {
+    let shared = SharedDatabase::default();
+    let config = ServerConfig {
+        lock_timeout: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(shared.clone(), config);
+    let mut conn = connect(&server.addr, "");
+
+    // Hold the database lock longer than the server's bounded wait.
+    let blocker = shared.clone();
+    let hold = thread::spawn(move || {
+        blocker.with(|_db| thread::sleep(Duration::from_millis(400)));
+    });
+    thread::sleep(Duration::from_millis(50)); // let the blocker win the lock
+    let err = conn.execute("SELECT 1").unwrap_err();
+    assert!(err.is_transient(), "a busy server invites a retry: {err}");
+    assert!(err.to_string().contains("timeout"), "{err}");
+    hold.join().unwrap();
+
+    // Once the lock frees, the same connection works again.
+    assert!(conn.execute("SELECT 1").is_ok());
+    drop(conn);
+    server.stop();
+}

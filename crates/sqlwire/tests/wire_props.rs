@@ -1,0 +1,191 @@
+//! Property tests for the wire codec: frames and message bodies.
+//!
+//! Four invariants, over arbitrary messages and byte images:
+//!
+//! 1. **Round-trip**: every encodable [`Request`]/[`Response`] decodes
+//!    back to a message with the identical encoding — doubles included,
+//!    bit for bit (NaNs, infinities, subnormals, `-0.0`).
+//! 2. **Frame round-trip**: any payload survives framing verbatim.
+//! 3. **Truncation**: cutting a framed message at *any* byte yields a
+//!    transient error (a reconnect can fix a torn stream) — never a
+//!    short or altered payload.
+//! 4. **Flip detection**: flipping any single bit of a framed message
+//!    is rejected — every byte of a frame is load-bearing (length,
+//!    checksum, payload), so nothing can be smuggled past the CRC.
+//!
+//! Decoders must also never panic on arbitrary garbage: a malicious or
+//! corrupt peer gets an [`Error`], not a crashed server.
+//!
+//! (Gated behind the `proptest` feature: restore the proptest
+//! dev-dependency to run.)
+
+use proptest::prelude::*;
+use sqlengine::{Error, QueryResult, Value};
+use sqlwire::frame::{encode_frame, read_frame};
+use sqlwire::proto::{same_encoding, Request, Response};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // Arbitrary bit patterns: NaNs, infinities, subnormals and -0.0
+        // are all legal doubles and must survive bit-exact.
+        any::<u64>().prop_map(|bits| Value::Double(f64::from_bits(bits))),
+        "[ -~]{0,24}".prop_map(|s| Value::Str(s.into())),
+    ]
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_value(), 0..5), 0..6)
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let simple = prop_oneof![
+        Just(Request::ClearPrepared),
+        Just(Request::CatalogSnapshot),
+        Just(Request::MetricsLen),
+        Just(Request::NoteRetry),
+        Just(Request::Goodbye),
+        any::<u64>().prop_map(|id| Request::ExecutePrepared { id }),
+        any::<u64>().prop_map(|from| Request::MetricsSince { from }),
+        any::<u64>().prop_map(|session| Request::Cancel { session }),
+        any::<bool>().prop_map(|on| Request::SetMetrics { on }),
+    ];
+    let composite = prop_oneof![
+        (any::<u32>(), "[ -~]{0,16}", "[a-z0-9_]{0,12}").prop_map(
+            |(version, auth_token, namespace)| Request::Hello {
+                version,
+                auth_token,
+                namespace,
+            }
+        ),
+        // Statement text is opaque to the codec; any printable string
+        // (quotes, semicolons, whitespace) must round-trip verbatim.
+        "[ -~]{0,120}".prop_map(|sql| Request::Query { sql }),
+        proptest::collection::vec("[ -~]{0,60}", 0..6)
+            .prop_map(|statements| Request::Prepare { statements }),
+        ("[a-z][a-z0-9_]{0,10}", arb_rows())
+            .prop_map(|(table, rows)| Request::BulkInsert { table, rows }),
+        "[a-z][a-z0-9_]{0,10}".prop_map(|table| Request::TableRows { table }),
+        "[a-z][a-z0-9_]{0,10}".prop_map(|table| Request::HasTable { table }),
+    ];
+    prop_oneof![simple, composite]
+}
+
+/// Errors the relay must carry faithfully: the structural variants the
+/// retry/fallback machinery dispatches on, plus the opaque remainder.
+fn arb_error() -> impl Strategy<Value = Error> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(len, max)| Error::StatementTooLong {
+            len: len as usize,
+            max: max as usize,
+        }),
+        "[ -~]{0,40}".prop_map(Error::Arithmetic),
+        "[ -~]{0,40}".prop_map(Error::Remote),
+        ("[a-z ]{0,16}", "[ -~]{0,40}", any::<bool>()).prop_map(|(ctx, msg, transient)| {
+            if transient {
+                Error::net_transient(&ctx, msg)
+            } else {
+                Error::net_permanent(&ctx, msg)
+            }
+        }),
+    ]
+}
+
+fn arb_query_result() -> impl Strategy<Value = QueryResult> {
+    (
+        proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 0..5),
+        arb_rows(),
+        any::<u32>(),
+    )
+        .prop_map(|(columns, rows, affected)| QueryResult {
+            columns,
+            rows: rows.into_iter().map(|r| r.into()).collect(),
+            rows_affected: affected as usize,
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        any::<bool>().prop_map(Response::Bool),
+        any::<u64>().prop_map(Response::Count),
+        arb_query_result().prop_map(Response::Rows),
+        arb_error().prop_map(Response::Err),
+        proptest::collection::vec(any::<u64>(), 0..8).prop_map(Response::PreparedIds),
+        (any::<u64>(), arb_error())
+            .prop_map(|(index, error)| Response::PrepareErr { index, error }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrip_is_bit_exact(req in arb_request()) {
+        let bytes = req.encode();
+        let back = Request::decode(&bytes).unwrap();
+        // Encoding equality is the bit-exactness oracle: PartialEq on
+        // doubles would treat NaN != NaN, the byte image does not.
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn response_roundtrip_is_bit_exact(resp in arb_response()) {
+        let bytes = resp.encode();
+        let back = Response::decode(&bytes).unwrap();
+        prop_assert!(same_encoding(&back, &resp));
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        let framed = encode_frame(&payload);
+        let got = read_frame(&mut &framed[..]).unwrap();
+        prop_assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn frame_truncation_is_transient(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        cut_frac in 0.0f64..1.0f64,
+    ) {
+        let framed = encode_frame(&payload);
+        // Strict prefix: cut strictly before the end.
+        let cut = ((framed.len() - 1) as f64 * cut_frac) as usize;
+        match read_frame(&mut &framed[..cut]) {
+            Err(e) => prop_assert!(
+                e.is_transient(),
+                "a torn stream must invite a reconnect, got: {}", e
+            ),
+            Ok(_) => prop_assert!(false, "truncated frame decoded at cut {}", cut),
+        }
+    }
+
+    #[test]
+    fn frame_bit_flip_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        pos_frac in 0.0f64..1.0f64,
+        bit in 0u8..8u8,
+    ) {
+        let mut framed = encode_frame(&payload);
+        let pos = ((framed.len() - 1) as f64 * pos_frac) as usize;
+        framed[pos] ^= 1 << bit;
+        // Every byte is load-bearing: length prefix, CRC, or payload.
+        prop_assert!(
+            read_frame(&mut &framed[..]).is_err(),
+            "flip at byte {} bit {} went undetected", pos, bit
+        );
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        // Err or (coincidentally) Ok are both fine; panicking is not.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+}

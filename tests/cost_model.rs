@@ -39,7 +39,7 @@ fn measured_iteration(
         .initialize(&InitStrategy::Random { seed: 11 })
         .unwrap();
     session.iterate_once().unwrap(); // warm-up
-    session.enable_telemetry();
+    session.enable_telemetry().unwrap();
     let from = session.database().metrics().len();
     session.iterate_once().unwrap();
     let entries = session.database().metrics().entries()[from..].to_vec();
@@ -105,7 +105,7 @@ fn hybrid_fused_e_step_saves_exactly_one_n_scan() {
         .initialize(&InitStrategy::Random { seed: 11 })
         .unwrap();
     session.iterate_once().unwrap();
-    session.enable_telemetry();
+    session.enable_telemetry().unwrap();
     let from = session.database().metrics().len();
     session.iterate_once().unwrap();
     let entries = session.database().metrics().entries()[from..].to_vec();
