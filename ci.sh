@@ -15,10 +15,19 @@ usage: ./ci.sh [--quick]
 
 Stages, in order:
   ignore-gate   tier-1 suites must contain no #[ignore]d tests
+  unsafe-gate   every crate root carries #![forbid(unsafe_code)] and no
+                .rs file contains an unsafe block
   fmt           cargo fmt --all -- --check
   clippy        cargo clippy --workspace --all-targets -D warnings
+  doc           cargo doc --workspace --no-deps, rustdoc warnings are
+                errors
   build         cargo build --release
   conformance   cost-model conformance + golden-SQL snapshots + differential
+  plancheck     static analyzer gate: the symbolic per-iteration scan
+                derivation must equal engine ExecMetrics exactly on the
+                cost-model grid for all three strategies, and every
+                negative-corpus script must be rejected with a typed,
+                positioned diagnostic
   tier-1        the main test suites (--quick skips the retail e2e suite)
   chaos         deterministic fault-plan sweep over every statement index
                 (--quick: SQLEM_CHAOS_STRIDE=7 samples every 7th index)
@@ -54,17 +63,42 @@ if grep -rn '#\[ignore' tests/; then
     exit 1
 fi
 
+echo "== unsafe-gate: forbid(unsafe_code) in every crate root, no unsafe blocks"
+# The whole workspace is safe Rust; keep it that way mechanically. Every
+# crate root (lib.rs, main.rs, bin/*.rs) must carry the forbid attribute
+# so the compiler enforces it, and a grep backstop catches any unsafe
+# token that might sneak into a non-root module before compilation.
+for root in src/lib.rs crates/*/src/lib.rs crates/*/src/main.rs \
+    crates/*/src/bin/*.rs; do
+    [ -f "$root" ] || continue
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
+        echo "ERROR: $root lacks #![forbid(unsafe_code)]" >&2
+        exit 1
+    fi
+done
+if grep -rn --include='*.rs' 'unsafe ' src crates tests \
+    | grep -v 'forbid(unsafe_code)'; then
+    echo "ERROR: unsafe block(s) found above" >&2
+    exit 1
+fi
+
 echo "== fmt: cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "== clippy: workspace, warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== doc: rustdoc, warnings are errors"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== build: tier-1 release build (all crates, incl. server/cli binaries)"
 cargo build --release --workspace
 
 echo "== conformance: cost-model + golden-SQL snapshots"
 cargo test -q --test cost_model --test snapshots --test differential
+
+echo "== plancheck: static == dynamic scan counts + negative corpus"
+cargo test -q --test plancheck
 
 if [ "$QUICK" = 1 ]; then
     echo "== tier-1: tests (--quick: skipping the retail end-to-end suite)"

@@ -10,6 +10,8 @@
 //! wrappers and CI); defaults reproduce the paper's parameter ranges at
 //! laptop scale. CSVs land in `--out` (default `results/`).
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use sqlem::Strategy;

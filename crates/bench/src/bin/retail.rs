@@ -13,6 +13,8 @@
 //! ≈ 3%) and the purity of the recovered segmentation against the
 //! generator's ground truth.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use datagen::retail::{retail_dataset, RetailConfig, RETAIL_FULL_N, RETAIL_K, RETAIL_P};

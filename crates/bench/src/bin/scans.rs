@@ -5,6 +5,8 @@
 //! the always-on [`sqlengine::Stats`] counters and the per-statement
 //! [`sqlem::IterationReport`] telemetry, which must agree.
 
+#![forbid(unsafe_code)]
+
 use datagen::generate_dataset;
 use emcore::init::InitStrategy;
 use sqlem::{EmSession, SqlemConfig, Strategy};

@@ -24,6 +24,8 @@
 //! `EXPLAIN ANALYZE <stmt>;` executes the statement with telemetry and
 //! prints the measured metrics alongside the plan.
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, Write};
 
 use sqlengine::{Database, Value};

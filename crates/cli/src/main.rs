@@ -3,6 +3,7 @@
 //! ```text
 //! sqlem-cli <input.csv> --k <clusters> [options]
 //! sqlem-cli lint --p <dims> --k <clusters> [lint options]
+//! sqlem-cli analyze --p <dims> --k <clusters> [analyze options]
 //!
 //! options:
 //!   --k N                 number of clusters (required)
@@ -55,6 +56,14 @@
 //!   --max-statement-len N parser byte cap to lint against (default 65536)
 //!   --max-terms N         analyzer term-count cap (default 16384)
 //!   --verbose             print every finding, not just the summaries
+//!
+//! analyze options:
+//!   --p N                 dimensionality (required)
+//!   --k N                 number of clusters (required)
+//!   --strategy S          analyze one strategy only (default: all three)
+//!   --fused               hybrid only: analyze the fused E step
+//!   --max-statement-len N parser byte cap to check against (default 65536)
+//!   --max-terms N         analyzer term-count cap (default 16384)
 //! ```
 //!
 //! The `lint` subcommand statically analyzes all three strategies'
@@ -62,10 +71,21 @@
 //! which would survive the configured parser limits (§3.3), mirroring
 //! the preflight check `EmSession::create` runs automatically.
 //!
+//! The `analyze` subcommand prints the full static-analysis report the
+//! preflight is built on (see `docs/STATIC_ANALYSIS.md`): per-statement
+//! mutation classes and symbolic scan cardinalities, the table
+//! lifecycle verdict, the steady-state proof of the iteration span, and
+//! the per-iteration scan counts checked against the paper's closed
+//! forms (`2k+3` n-scans + 1 pn-scan for the hybrid, §3.5) — all
+//! without executing a single statement. Exits non-zero when any
+//! analyzed strategy fails a check.
+//!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 the
 //! `--resume` checkpoint is missing, empty, or unusable, 4 the
 //! `--connect` target is unreachable or the handshake was rejected
 //! (version/token mismatch).
+
+#![forbid(unsafe_code)]
 
 mod csv;
 
@@ -161,7 +181,9 @@ fn usage() -> ! {
          [--recover] [--inject-fault SPEC]... \
          [--connect HOST:PORT] [--namespace PREFIX] [--auth-token TOKEN]\n\
          \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
-         [--max-terms N] [--verbose]"
+         [--max-terms N] [--verbose]\n\
+         \x20      sqlem-cli analyze --p <dims> --k <clusters> [--strategy S] [--fused] \
+         [--max-statement-len N] [--max-terms N]"
     );
     std::process::exit(2);
 }
@@ -636,10 +658,94 @@ fn run_lint(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `sqlem-cli analyze --p P --k K [--strategy S] [--fused]
+/// [--max-statement-len N] [--max-terms N]`: print the full static
+/// script analysis (scan derivation, lifecycle, mutation classes,
+/// steady-state proof, closed-form cost check) without executing
+/// anything. Errs when any analyzed strategy fails a check.
+fn run_analyze(args: &[String]) -> Result<(), String> {
+    let mut p = None;
+    let mut k = None;
+    let mut strategy = None;
+    let mut fused = false;
+    let mut max_statement_len = None;
+    let mut max_terms = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut req = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let num = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("{name} requires a number"))
+        };
+        match a.as_str() {
+            "--p" => p = Some(num("--p", req("--p")?)?),
+            "--k" => k = Some(num("--k", req("--k")?)?),
+            "--strategy" => {
+                strategy = Some(match req("--strategy")?.as_str() {
+                    "horizontal" => Strategy::Horizontal,
+                    "vertical" => Strategy::Vertical,
+                    "hybrid" => Strategy::Hybrid,
+                    other => return Err(format!("unknown strategy {other}")),
+                })
+            }
+            "--fused" => fused = true,
+            "--max-statement-len" => {
+                max_statement_len = Some(num("--max-statement-len", req("--max-statement-len")?)?)
+            }
+            "--max-terms" => max_terms = Some(num("--max-terms", req("--max-terms")?)?),
+            other => return Err(format!("unknown analyze argument {other}")),
+        }
+    }
+    let p = p.ok_or("analyze requires --p")?;
+    let k = k.ok_or("analyze requires --k")?;
+    if p == 0 || k == 0 {
+        return Err("--p and --k must be at least 1".into());
+    }
+
+    let mut db = Database::new();
+    if let Some(max) = max_statement_len {
+        db.set_max_statement_len(max);
+    }
+    if let Some(max) = max_terms {
+        db.config_mut().limits.max_terms = max;
+    }
+    let mut config = SqlemConfig::new(k, strategy.unwrap_or(Strategy::Hybrid));
+    config.fused_e_step = fused;
+    let reports = match strategy {
+        Some(_) => vec![sqlem::analyze_strategy(&mut db, &config, p).map_err(|e| e.to_string())?],
+        None => sqlem::analyze_all(&mut db, &config, p).map_err(|e| e.to_string())?,
+    };
+    let mut failed = Vec::new();
+    for report in &reports {
+        print!("{}", report.render());
+        println!();
+        if !report.ok() {
+            failed.push(report.strategy.to_string());
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("static analysis failed for: {}", failed.join(", ")))
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lint") {
         return match run_lint(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("analyze") {
+        return match run_analyze(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

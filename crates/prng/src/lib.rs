@@ -11,6 +11,8 @@
 //! Not cryptographically secure — do not use for anything
 //! security-sensitive.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Types that can be drawn uniformly from a generator.

@@ -67,6 +67,7 @@ pub mod lint;
 pub mod loader;
 pub mod naming;
 pub mod percluster;
+pub mod plan;
 pub mod retry;
 pub mod sqlfmt;
 pub mod summary;
@@ -81,5 +82,9 @@ pub use kmeans::{KmeansConfig, KmeansSession};
 pub use lint::{lint_all, lint_strategy, FallbackDecision, LintFinding, LintKind, LintReport};
 pub use naming::Names;
 pub use percluster::{PerClusterConfig, PerClusterSession};
+pub use plan::{
+    analyze_all, analyze_strategy, classify_scan, expected_scans, CostCheck, IterationCost,
+    PlanReport, ScanClass,
+};
 pub use retry::RetryPolicy;
 pub use telemetry::{scan_threshold, IterationReport, StepMetrics};

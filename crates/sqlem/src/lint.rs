@@ -1,35 +1,34 @@
-//! Pre-flight linting of generated SQL (paper §3.3 / §3.6).
+//! Pre-flight linting of generated SQL (paper §3.3 / §3.6) — the
+//! legacy projection of the full static analysis in [`crate::plan`].
 //!
 //! The paper's horizontal strategy writes a `Θ(kp)`-character distance
 //! expression; real DBMS parsers rejected it around `kp ≈ 1000` terms,
 //! which is the entire motivation for the hybrid strategy. Rather than
 //! discover that rejection mid-run — after DDL has executed and data has
-//! loaded — the driver can *statically* replay every statement a strategy
-//! will generate against a [`SymbolicCatalog`](sqlengine::SymbolicCatalog) before touching the
-//! database: DDL effects are applied symbolically, each statement is
-//! parsed and semantically analyzed, and byte lengths are compared to the
-//! engine's parser cap.
+//! loaded — the driver *statically* analyzes every statement a strategy
+//! will generate before touching the database: the whole script is run
+//! through the engine's abstract interpreter
+//! ([`sqlengine::check_script`] via [`crate::plan::analyze_strategy`]),
+//! which proves the table lifecycle, the mutation classes, the §3.3
+//! cost model and expression safety in addition to the original
+//! byte-length and complexity caps.
 //!
-//! [`lint_strategy`] produces a [`LintReport`] per strategy; the driver
-//! runs it automatically when [`SqlemConfig::preflight`] is on and, when
-//! the horizontal strategy over-runs a capacity limit, falls back to the
-//! hybrid strategy (configurable via [`SqlemConfig::auto_fallback`]),
-//! recording a [`FallbackDecision`].
+//! [`lint_strategy`] projects that analysis into a [`LintReport`] per
+//! strategy; the driver runs it automatically when
+//! [`SqlemConfig::preflight`] is on and, when the horizontal strategy
+//! over-runs a capacity limit, falls back to the hybrid strategy
+//! (configurable via [`SqlemConfig::auto_fallback`]), recording a
+//! [`FallbackDecision`].
 //!
 //! [`SqlemConfig::preflight`]: crate::SqlemConfig::preflight
 //! [`SqlemConfig::auto_fallback`]: crate::SqlemConfig::auto_fallback
 
-use emcore::GmmParams;
-use sqlengine::{AnalyzeErrorKind, SqlExecutor};
+use sqlengine::{AnalyzeErrorKind, DiagnosticKind, SqlExecutor};
 
 use crate::error::SqlemError;
 
 use crate::config::{SqlemConfig, Strategy};
-use crate::generator::build_generator;
-
-/// Placeholder row count used when sizing `post_load` statements before
-/// any data is loaded (matches `Generator::longest_statement`).
-const PLACEHOLDER_N: usize = 1_000_000_000;
+use crate::plan::{analyze_strategy, CostCheck, PlanReport};
 
 /// What kind of problem a lint finding describes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +46,9 @@ pub enum LintKind {
     /// exceeds the analyzer's limit. Also recoverable by strategy switch.
     TooComplex,
     /// The statement failed to parse or to analyze for a non-capacity
-    /// reason — a generator bug, not a sizing problem.
+    /// reason — a generator bug, not a sizing problem. Lifecycle
+    /// violations, mutation-classification drift, provable division by
+    /// zero and cost-model contradictions all land here.
     Semantic,
 }
 
@@ -149,16 +150,82 @@ impl std::fmt::Display for FallbackDecision {
     }
 }
 
+/// Project a full [`PlanReport`] into the legacy lint surface: every
+/// error-severity diagnostic becomes a [`LintFinding`], classified so
+/// the driver's capacity-based fallback logic keeps working.
+pub fn lint_report_from_plan(plan: &PlanReport) -> LintReport {
+    let mut findings = Vec::new();
+    for d in plan.script.errors() {
+        let kind = match &d.kind {
+            DiagnosticKind::TooLong { len, max } => LintKind::TooLong {
+                len: *len,
+                max: *max,
+            },
+            DiagnosticKind::Semantic(e)
+                if matches!(e.kind, AnalyzeErrorKind::TooComplex { .. }) =>
+            {
+                LintKind::TooComplex
+            }
+            _ => LintKind::Semantic,
+        };
+        let message = match d.pos {
+            Some(pos) => format!("{} (byte {pos})", d.kind),
+            None => d.kind.to_string(),
+        };
+        findings.push(LintFinding {
+            purpose: d.purpose.clone(),
+            message,
+            kind,
+        });
+    }
+    if let CostCheck::Mismatch { expected, derived } = &plan.cost_check {
+        findings.push(LintFinding {
+            purpose: "per-iteration cost".into(),
+            message: format!(
+                "derived {} n-scan(s) + {} pn-scan(s) per iteration, closed form \
+                 expects {} + {} — generator or cost-model bug",
+                derived.0, derived.1, expected.0, expected.1
+            ),
+            kind: LintKind::Semantic,
+        });
+    }
+
+    let mut longest = 0usize;
+    let mut longest_purpose = String::new();
+    let mut max_terms = 0usize;
+    for s in &plan.script.statements {
+        if s.bytes > longest {
+            longest = s.bytes;
+            longest_purpose = s.purpose.clone();
+        }
+        max_terms = max_terms.max(s.terms);
+    }
+
+    LintReport {
+        strategy: plan.strategy,
+        p: plan.p,
+        k: plan.k,
+        statements: plan.script.statements.len(),
+        longest,
+        longest_purpose,
+        max_terms,
+        max_statement_len: plan.max_statement_len,
+        findings,
+    }
+}
+
 /// Statically lint every statement the configured strategy will generate
 /// for `p`-dimensional data, without executing anything.
 ///
-/// The script (DDL, post-load seeding, a parameter write, the E and M
-/// steps, scoring, the llh read) is replayed through a [`SymbolicCatalog`](sqlengine::SymbolicCatalog)
-/// seeded from `db`'s current tables, so `CREATE`/`DROP` effects are
-/// visible to later statements exactly as they will be at run time. Each
-/// statement is byte-length-checked against the engine's
-/// `max_statement_len` and semantically analyzed under the engine's
-/// complexity limits.
+/// The full script (DDL, post-load seeding, a parameter write, one EM
+/// iteration, scoring, cleanup) is run through the engine's abstract
+/// interpreter seeded from `db`'s current catalog, so `CREATE`/`DROP`
+/// effects are visible to later statements exactly as they will be at
+/// run time. Beyond the byte-length and complexity caps, the analysis
+/// proves the table lifecycle, cross-checks mutation classes against
+/// the WAL layer's classifier, verifies the §3.3 per-iteration scan
+/// counts against the paper's closed forms, and lints the §2.5
+/// division guards.
 ///
 /// The executor is only *queried* (catalog snapshot, capacity limits) —
 /// nothing executes. Against a remote server the limits and catalog are
@@ -169,97 +236,8 @@ pub fn lint_strategy(
     config: &SqlemConfig,
     p: usize,
 ) -> Result<LintReport, SqlemError> {
-    let generator = build_generator(config, p);
-    let mut script = generator.create_tables();
-    script.extend(generator.post_load(PLACEHOLDER_N));
-    // A shape-correct placeholder parameter set: the rendered literals'
-    // lengths barely vary, so any valid values size the write statements.
-    let dummy = GmmParams::new(
-        vec![vec![0.0; p]; config.k],
-        vec![1.0; p],
-        vec![1.0 / config.k as f64; config.k],
-    );
-    script.extend(generator.write_params(&dummy));
-    script.extend(generator.e_step());
-    script.extend(generator.m_step());
-    script.extend(generator.score_step());
-    script.push(crate::generator::Stmt::new("read llh", generator.llh_sql()));
-
-    let max_len = db.max_statement_len();
-    let limits = db.analyze_limits();
-    let mut symbolic = db
-        .catalog_snapshot()
-        .map_err(|e| SqlemError::from_sql("preflight catalog snapshot", e))?;
-    let mut findings = Vec::new();
-    let mut longest = 0usize;
-    let mut longest_purpose = String::new();
-    let mut max_terms = 0usize;
-
-    for stmt in &script {
-        if stmt.sql.len() > longest {
-            longest = stmt.sql.len();
-            longest_purpose = stmt.purpose.clone();
-        }
-        if stmt.sql.len() > max_len {
-            findings.push(LintFinding {
-                purpose: stmt.purpose.clone(),
-                message: format!(
-                    "statement is {} bytes, over the parser limit of {max_len} \
-                     (the §3.3 horizontal failure mode)",
-                    stmt.sql.len()
-                ),
-                kind: LintKind::TooLong {
-                    len: stmt.sql.len(),
-                    max: max_len,
-                },
-            });
-            // Too long to parse at run time; skip semantic analysis but
-            // keep replaying later statements against the symbolic DDL
-            // state they expect. A skipped CREATE would cascade into
-            // bogus unknown-table findings, so apply DDL unchecked.
-            continue;
-        }
-        let parsed = match sqlengine::parser::parse(&stmt.sql) {
-            Ok(stmts) => stmts,
-            Err(e) => {
-                findings.push(LintFinding {
-                    purpose: stmt.purpose.clone(),
-                    message: format!("parse error: {e}"),
-                    kind: LintKind::Semantic,
-                });
-                continue;
-            }
-        };
-        for parsed_stmt in &parsed {
-            match symbolic.apply(parsed_stmt, &limits) {
-                Ok(report) => max_terms = max_terms.max(report.complexity.terms),
-                Err(e) => {
-                    let located = e.locate(&stmt.sql);
-                    let kind = match located.kind {
-                        AnalyzeErrorKind::TooComplex { .. } => LintKind::TooComplex,
-                        _ => LintKind::Semantic,
-                    };
-                    findings.push(LintFinding {
-                        purpose: stmt.purpose.clone(),
-                        message: located.to_string(),
-                        kind,
-                    });
-                }
-            }
-        }
-    }
-
-    Ok(LintReport {
-        strategy: config.strategy,
-        p,
-        k: config.k,
-        statements: script.len(),
-        longest,
-        longest_purpose,
-        max_terms,
-        max_statement_len: max_len,
-        findings,
-    })
+    let plan = analyze_strategy(db, config, p)?;
+    Ok(lint_report_from_plan(&plan))
 }
 
 /// Lint all three strategies for one `(p, k)` — the CLI `lint`
@@ -341,5 +319,22 @@ mod tests {
         let s = report.summary();
         assert!(s.starts_with("vertical:"), "{s}");
         assert!(s.ends_with("ok"), "{s}");
+    }
+
+    #[test]
+    fn lint_projection_carries_cost_mismatch_as_semantic() {
+        // A cost-model contradiction must be a non-capacity finding so
+        // auto-fallback does NOT treat it as a sizing problem.
+        let mut db = Database::new();
+        let config = SqlemConfig::new(3, Strategy::Hybrid);
+        let mut plan = crate::plan::analyze_strategy(&mut db, &config, 4).unwrap();
+        plan.cost_check = CostCheck::Mismatch {
+            expected: (9, 1),
+            derived: (8, 1),
+        };
+        let report = lint_report_from_plan(&plan);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].kind, LintKind::Semantic);
+        assert!(!report.findings[0].is_capacity());
     }
 }

@@ -57,7 +57,10 @@ struct Durability {
 
 /// Does executing this statement mutate the catalog or table data (and
 /// therefore need WAL framing on a durable database)?
-fn is_mutating(stmt: &Statement) -> bool {
+///
+/// Public so the static analyzer ([`crate::plancheck`]) can cross-check
+/// its independent mutation classification against the WAL layer's.
+pub fn is_mutating(stmt: &Statement) -> bool {
     match stmt {
         Statement::CreateTable { .. }
         | Statement::DropTable { .. }

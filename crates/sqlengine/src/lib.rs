@@ -50,6 +50,7 @@ pub mod fault;
 pub mod lexer;
 pub mod metrics;
 pub mod parser;
+pub mod plancheck;
 pub mod schema;
 pub mod stats;
 pub mod storage;
@@ -60,12 +61,16 @@ pub mod wal;
 pub use analyze::{
     AnalyzeError, AnalyzeErrorKind, Clause, Limits, Metric, Report, SymbolicCatalog,
 };
-pub use engine::{Database, DurabilityOptions, EngineConfig, SharedDatabase};
+pub use engine::{is_mutating, Database, DurabilityOptions, EngineConfig, SharedDatabase};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
 pub use executor::{PrepareError, PreparedId, SqlExecutor};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, Injection};
 pub use metrics::{ExecMetrics, MetricsLog, ScanMetric, StatementKind, StmtProbe};
+pub use plancheck::{
+    check_script, Card, CheckEnv, Diagnostic, DiagnosticKind, IterationDerivation, MutationClass,
+    ScanEvent, ScriptReport, ScriptSpec, ScriptStmt, Severity, StmtReport, SymState, TableLoad,
+};
 pub use schema::{Column, Schema};
 pub use stats::Stats;
 pub use table::Row;

@@ -1,0 +1,278 @@
+//! Symbolic cardinalities: multivariate polynomials in `(n, p, k)`.
+//!
+//! The static cost model of SQLEM (paper §3.3–§3.6) talks about table
+//! sizes as closed-form functions of the data-set size `n`, the
+//! dimensionality `p` and the cluster count `k`: the points table has
+//! `n` rows, its vertical form `pn`, the distance table `kn`, the
+//! squared-differences temporary `kpn`. [`Card`] represents exactly
+//! these quantities — a polynomial with non-negative integer
+//! coefficients over the three symbols — so the abstract interpreter
+//! in the `interp` module can thread them through joins, `GROUP BY` and
+//! DDL without ever fixing a concrete data-set size.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Exponents of one monomial `n^a · p^b · k^c`.
+type Mono = (u32, u32, u32);
+
+/// A cardinality: a polynomial in `(n, p, k)` with non-negative
+/// `i128` coefficients, stored as a monomial → coefficient map.
+///
+/// The arithmetic mirrors what relational operators do to row counts:
+/// [`Card::add`] for appends, [`Card::mul`] for cross products,
+/// [`Card::div_exact`] for equi-join selectivity (`|A ⋈ B| =
+/// |A|·|B| / max(d_A, d_B)`). All operations are exact — when a
+/// division does not divide evenly the caller falls back to an upper
+/// bound instead of inventing fractional rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Card {
+    terms: BTreeMap<Mono, i128>,
+}
+
+impl Card {
+    /// The zero cardinality (an empty table).
+    pub fn zero() -> Card {
+        Card {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A constant cardinality.
+    pub fn constant(c: usize) -> Card {
+        let mut terms = BTreeMap::new();
+        if c > 0 {
+            terms.insert((0, 0, 0), c as i128);
+        }
+        Card { terms }
+    }
+
+    /// The symbol `n` (data-set size).
+    pub fn n() -> Card {
+        Card::monomial(1, 1, 0, 0)
+    }
+
+    /// The symbol `p` (dimensionality).
+    pub fn p() -> Card {
+        Card::monomial(1, 0, 1, 0)
+    }
+
+    /// The symbol `k` (cluster count).
+    pub fn k() -> Card {
+        Card::monomial(1, 0, 0, 1)
+    }
+
+    /// A single monomial `coeff · n^a p^b k^c`.
+    pub fn monomial(coeff: i128, a: u32, b: u32, c: u32) -> Card {
+        let mut terms = BTreeMap::new();
+        if coeff != 0 {
+            terms.insert((a, b, c), coeff);
+        }
+        Card { terms }
+    }
+
+    /// Is this exactly zero?
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Sum of two cardinalities (e.g. consecutive INSERTs).
+    pub fn add(&self, other: &Card) -> Card {
+        let mut terms = self.terms.clone();
+        for (m, c) in &other.terms {
+            let e = terms.entry(*m).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                terms.remove(m);
+            }
+        }
+        Card { terms }
+    }
+
+    /// Product of two cardinalities (cross join).
+    pub fn mul(&self, other: &Card) -> Card {
+        let mut terms: BTreeMap<Mono, i128> = BTreeMap::new();
+        for ((a1, b1, c1), x) in &self.terms {
+            for ((a2, b2, c2), y) in &other.terms {
+                let m = (a1 + a2, b1 + b2, c1 + c2);
+                let e = terms.entry(m).or_insert(0);
+                *e += x * y;
+                if *e == 0 {
+                    terms.remove(&m);
+                }
+            }
+        }
+        Card { terms }
+    }
+
+    /// Exact division by a single-monomial divisor. Returns `None` when
+    /// the divisor has several terms, is zero, or does not divide every
+    /// term of `self` evenly — the join-cardinality caller then keeps
+    /// the undivided upper bound.
+    pub fn div_exact(&self, divisor: &Card) -> Option<Card> {
+        if divisor.terms.len() != 1 {
+            return None;
+        }
+        let ((da, db, dc), dcoeff) = divisor.terms.iter().next().map(|(m, c)| (*m, *c))?;
+        let mut terms = BTreeMap::new();
+        for ((a, b, c), coeff) in &self.terms {
+            if a < &da || b < &db || c < &dc || coeff % dcoeff != 0 {
+                return None;
+            }
+            terms.insert((a - da, b - db, c - dc), coeff / dcoeff);
+        }
+        Some(Card { terms })
+    }
+
+    /// Evaluate at concrete `(n, p, k)`.
+    pub fn eval(&self, n: usize, p: usize, k: usize) -> u128 {
+        let mut total: i128 = 0;
+        for ((a, b, c), coeff) in &self.terms {
+            let m = (n as i128).pow(*a) * (p as i128).pow(*b) * (k as i128).pow(*c);
+            total += coeff * m;
+        }
+        total.max(0) as u128
+    }
+
+    /// Substitute concrete `p` and `k`, leaving `n` symbolic: returns
+    /// the coefficients of the resulting univariate polynomial in `n`,
+    /// index `i` holding the coefficient of `n^i`. This is the form the
+    /// scan classifier works on — generated scripts fix `p` and `k` at
+    /// generation time while `n` stays a free symbol.
+    pub fn poly_in_n(&self, p: usize, k: usize) -> Vec<i128> {
+        let mut coeffs: Vec<i128> = Vec::new();
+        for ((a, b, c), coeff) in &self.terms {
+            let idx = *a as usize;
+            if coeffs.len() <= idx {
+                coeffs.resize(idx + 1, 0);
+            }
+            coeffs[idx] += coeff * (p as i128).pow(*b) * (k as i128).pow(*c);
+        }
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        coeffs
+    }
+
+    /// Total ordering for symbolic min/max, valid in the large-`n`
+    /// regime the cost model lives in (`n ≫ p, k ≥ 1`): compare by
+    /// evaluating at a generic point with a huge `n` and distinct prime
+    /// `p`, `k`. Two different polynomials arising from row counts
+    /// cannot collide at this point in practice; exact ties compare
+    /// equal, which is all min/max needs.
+    fn order_key(&self) -> u128 {
+        self.eval(1 << 40, 1009, 1013)
+    }
+
+    /// Symbolic maximum of two cardinalities under the large-`n` order.
+    pub fn max(&self, other: &Card) -> Card {
+        if self.order_key() >= other.order_key() {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+
+    /// Symbolic minimum of two cardinalities under the large-`n` order.
+    pub fn min(&self, other: &Card) -> Card {
+        if self.order_key() <= other.order_key() {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+}
+
+impl fmt::Display for Card {
+    /// Canonical compact rendering: monomials in descending `(n, p, k)`
+    /// exponent order, variables written `n`, `p`, `k` with `^e` for
+    /// exponents above one — `kpn`, `2kn`, `n + 3`, `0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for ((a, b, c), coeff) in self.terms.iter().rev() {
+            if !first {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            let vars = (*a, *b, *c) != (0, 0, 0);
+            if *coeff != 1 || !vars {
+                write!(f, "{coeff}")?;
+            }
+            for (sym, e) in [("k", c), ("p", b), ("n", a)] {
+                match e {
+                    0 => {}
+                    1 => f.write_str(sym)?,
+                    _ => write!(f, "{sym}^{e}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_evaluation() {
+        let pn = Card::p().mul(&Card::n());
+        let kn = Card::k().mul(&Card::n());
+        assert_eq!(pn.eval(100, 4, 3), 400);
+        assert_eq!(pn.add(&kn).eval(100, 4, 3), 700);
+        assert_eq!(pn.mul(&Card::k()).eval(10, 2, 3), 60);
+    }
+
+    #[test]
+    fn exact_division_of_join_cardinalities() {
+        // |Y ⋈ CR on v| = pn·p / p = pn.
+        let num = Card::p().mul(&Card::n()).mul(&Card::p());
+        let q = num.div_exact(&Card::p()).unwrap();
+        assert_eq!(q, Card::p().mul(&Card::n()));
+        // kn·kn / (n·k) = kn, done in two steps.
+        let num = Card::k().mul(&Card::n()).mul(&Card::k()).mul(&Card::n());
+        let q = num.div_exact(&Card::n()).unwrap().div_exact(&Card::k());
+        assert_eq!(q, Some(Card::k().mul(&Card::n())));
+        // Non-exact division is refused.
+        assert_eq!(Card::n().div_exact(&Card::p()), None);
+        assert_eq!(
+            Card::n().add(&Card::p()).div_exact(&Card::constant(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn poly_in_n_substitutes_p_and_k() {
+        let kpn = Card::k().mul(&Card::p()).mul(&Card::n());
+        assert_eq!(kpn.poly_in_n(4, 3), vec![0, 12]);
+        assert_eq!(Card::n().poly_in_n(4, 3), vec![0, 1]);
+        assert_eq!(Card::k().mul(&Card::p()).poly_in_n(4, 3), vec![12]);
+        assert_eq!(Card::zero().poly_in_n(4, 3), Vec::<i128>::new());
+    }
+
+    #[test]
+    fn symbolic_min_max_prefers_higher_degree() {
+        let n = Card::n();
+        let pn = Card::p().mul(&Card::n());
+        assert_eq!(n.max(&pn), pn);
+        assert_eq!(n.min(&pn), n);
+        assert_eq!(n.max(&n), n);
+        assert_eq!(Card::p().max(&Card::constant(1)), Card::p());
+    }
+
+    #[test]
+    fn display_is_compact_and_ordered() {
+        assert_eq!(Card::zero().to_string(), "0");
+        assert_eq!(Card::constant(7).to_string(), "7");
+        assert_eq!(Card::n().to_string(), "n");
+        assert_eq!(Card::p().mul(&Card::n()).to_string(), "pn");
+        assert_eq!(Card::k().mul(&Card::p()).mul(&Card::n()).to_string(), "kpn");
+        let two_kn = Card::constant(2).mul(&Card::k()).mul(&Card::n());
+        assert_eq!(two_kn.to_string(), "2kn");
+        assert_eq!(Card::n().add(&Card::constant(3)).to_string(), "n + 3");
+        assert_eq!(Card::n().mul(&Card::n()).to_string(), "n^2");
+    }
+}

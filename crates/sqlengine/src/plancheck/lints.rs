@@ -1,0 +1,371 @@
+//! Expression safety lints: division-by-zero reachability and
+//! non-finite literals.
+//!
+//! The SQLEM generators lean on two §2.5 numeric safeguards — the
+//! `1.0E-100` underflow guard in the inverse-distance fallback and the
+//! `CASE WHEN r = 0 THEN 1 ELSE r END` zero-covariance skip. This pass
+//! walks every expression with a small *guard environment* so those
+//! idioms are recognized as provably safe, while a denominator with no
+//! guard at all is reported:
+//!
+//! * a **literal zero** denominator is an error — it divides by zero
+//!   on every row;
+//! * a denominator that is provably non-zero (non-zero literal, `exp`,
+//!   `x + ε` with a positive literal ε, a CASE whose every arm is
+//!   non-zero, or an expression the enclosing CASE condition guards)
+//!   is clean;
+//! * anything else is a warning — reachable division by zero if the
+//!   data cooperates (e.g. `sum(x)` over an empty cluster).
+//!
+//! Non-finite double literals (`NaN`, `inf`) are errors outright: the
+//! engine's parser would never produce them from text, so one in a
+//! generated AST means a poisoned parameter write.
+
+use crate::ast::{BinOp, Expr, InsertSource, Select, Statement, UnaryOp};
+use crate::value::Value;
+
+use super::DiagnosticKind;
+
+/// A lint hit: the kind plus an identifier to locate in the source.
+#[derive(PartialEq)]
+pub(super) struct LintHit {
+    pub kind: DiagnosticKind,
+    /// Identifier worth searching for in the SQL text (column name of
+    /// the offending denominator), if there is one.
+    pub token: Option<String>,
+}
+
+/// Lint every expression of `stmt`.
+pub(super) fn check(stmt: &Statement, out: &mut Vec<LintHit>) {
+    let mut guards: Vec<&Expr> = Vec::new();
+    match stmt {
+        Statement::CreateTable { .. } | Statement::DropTable { .. } => {}
+        Statement::Insert { source, .. } => match source {
+            InsertSource::Values(rows) => {
+                for row in rows {
+                    for e in row {
+                        walk(e, &mut guards, out);
+                    }
+                }
+            }
+            InsertSource::Select(sel) => check_select(sel, out),
+        },
+        Statement::Update {
+            assignments,
+            where_clause,
+            ..
+        } => {
+            for (_, e) in assignments {
+                walk(e, &mut guards, out);
+            }
+            if let Some(w) = where_clause {
+                walk(w, &mut guards, out);
+            }
+        }
+        Statement::Delete { where_clause, .. } => {
+            if let Some(w) = where_clause {
+                walk(w, &mut guards, out);
+            }
+        }
+        Statement::Select(sel) => check_select(sel, out),
+        Statement::Explain(_) => {}
+        Statement::ExplainAnalyze(inner) => check(inner, out),
+    }
+}
+
+fn check_select(sel: &Select, out: &mut Vec<LintHit>) {
+    let mut guards: Vec<&Expr> = Vec::new();
+    for item in &sel.items {
+        if let crate::ast::SelectItem::Expr { expr, .. } = item {
+            walk(expr, &mut guards, out);
+        }
+    }
+    for e in sel
+        .where_clause
+        .iter()
+        .chain(&sel.group_by)
+        .chain(sel.having.iter())
+        .chain(sel.order_by.iter().map(|k| &k.expr))
+    {
+        walk(e, &mut guards, out);
+    }
+}
+
+/// Recursive expression walk carrying the guard environment: the
+/// expressions known non-zero in the current CASE context.
+fn walk<'a>(e: &'a Expr, guards: &mut Vec<&'a Expr>, out: &mut Vec<LintHit>) {
+    match e {
+        Expr::Literal(v) => {
+            if let Value::Double(d) = v {
+                if !d.is_finite() {
+                    out.push(LintHit {
+                        kind: DiagnosticKind::NonFiniteLiteral {
+                            literal: format!("{d}"),
+                        },
+                        token: None,
+                    });
+                }
+            }
+        }
+        Expr::Column { .. } => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => walk(expr, guards, out),
+        Expr::Binary { op, left, right } => {
+            walk(left, guards, out);
+            if *op == BinOp::Div {
+                if is_zero_literal(right) {
+                    out.push(LintHit {
+                        kind: DiagnosticKind::DivisionByZero {
+                            denominator: right.to_string(),
+                        },
+                        token: first_column(right).or_else(|| literal_token(right)),
+                    });
+                } else if !provably_nonzero(right, guards) {
+                    out.push(LintHit {
+                        kind: DiagnosticKind::UnprovenDivisor {
+                            denominator: right.to_string(),
+                        },
+                        token: first_column(right),
+                    });
+                }
+            }
+            walk(right, guards, out);
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                walk(a, guards, out);
+            }
+        }
+        Expr::Case { whens, else_expr } => {
+            // Walking arm i, every earlier single-conjunct `x = 0`
+            // condition is known false, so those x are non-zero.
+            let mut falsified: Vec<&'a Expr> = Vec::new();
+            for (cond, result) in whens {
+                walk(cond, guards, out);
+                let depth = guards.len();
+                guards.extend(falsified.iter().copied());
+                guards.extend(guards_from_condition(cond));
+                walk(result, guards, out);
+                guards.truncate(depth);
+                if let Some(x) = eq_zero_subject(cond) {
+                    falsified.push(x);
+                }
+            }
+            if let Some(els) = else_expr {
+                let depth = guards.len();
+                guards.extend(falsified.iter().copied());
+                walk(els, guards, out);
+                guards.truncate(depth);
+            }
+        }
+    }
+}
+
+/// Expressions a CASE condition proves non-zero inside its THEN arm:
+/// `x > c` (c ≥ 0), `c < x`, and `x <> 0`.
+fn guards_from_condition(cond: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    let mut preds = Vec::new();
+    split_and(cond, &mut preds);
+    for p in preds {
+        if let Expr::Binary { op, left, right } = p {
+            match op {
+                BinOp::Gt | BinOp::Ge if is_nonneg_guard_bound(right, *op) => out.push(&**left),
+                BinOp::Lt | BinOp::Le if is_nonneg_guard_bound(left, *op) => out.push(&**right),
+                BinOp::Neq if is_zero_literal(right) => out.push(&**left),
+                BinOp::Neq if is_zero_literal(left) => out.push(&**right),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Is `bound` a literal making `x OP bound` imply `x ≠ 0`? For strict
+/// comparisons any literal ≥ 0 works; for inclusive ones it must be
+/// positive.
+fn is_nonneg_guard_bound(bound: &Expr, op: BinOp) -> bool {
+    let v = match bound {
+        Expr::Literal(Value::Int(i)) => *i as f64,
+        Expr::Literal(Value::Double(d)) => *d,
+        _ => return false,
+    };
+    match op {
+        BinOp::Gt | BinOp::Lt => v >= 0.0,
+        BinOp::Ge | BinOp::Le => v > 0.0,
+        _ => false,
+    }
+}
+
+/// For a single-conjunct condition `x = 0`, return `x`.
+fn eq_zero_subject(cond: &Expr) -> Option<&Expr> {
+    if let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = cond
+    {
+        if is_zero_literal(right) {
+            return Some(left);
+        }
+        if is_zero_literal(left) {
+            return Some(right);
+        }
+    }
+    None
+}
+
+fn split_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        split_and(left, out);
+        split_and(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn is_zero_literal(e: &Expr) -> bool {
+    matches!(e, Expr::Literal(Value::Int(0)))
+        || matches!(e, Expr::Literal(Value::Double(d)) if *d == 0.0)
+}
+
+fn is_positive_literal(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(Value::Int(i)) => *i > 0,
+        Expr::Literal(Value::Double(d)) => *d > 0.0,
+        _ => false,
+    }
+}
+
+/// Can the expression be proven non-zero under `guards`?
+fn provably_nonzero(e: &Expr, guards: &[&Expr]) -> bool {
+    if guards.contains(&e) {
+        return true;
+    }
+    match e {
+        Expr::Literal(Value::Int(i)) => *i != 0,
+        Expr::Literal(Value::Double(d)) => d.is_finite() && *d != 0.0,
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => provably_nonzero(expr, guards),
+        // The §2.5 underflow guard: `d + 1.0E-100` with d ≥ 0 by
+        // construction (sums of squares over positive covariances).
+        Expr::Binary {
+            op: BinOp::Add,
+            left,
+            right,
+        } => is_positive_literal(left) || is_positive_literal(right),
+        // exp(x) > 0 for every finite x.
+        Expr::Func { name, .. } if name == "exp" => true,
+        // A CASE is non-zero when every reachable arm is, each under
+        // the guards its own condition (and the falsified earlier
+        // conditions) provide. Without an ELSE the result can be NULL;
+        // NULL propagates through division as NULL, never a
+        // divide-by-zero, so it is acceptable here.
+        Expr::Case { whens, else_expr } => {
+            let mut falsified: Vec<&Expr> = Vec::new();
+            for (cond, result) in whens {
+                let mut arm_guards: Vec<&Expr> = guards.to_vec();
+                arm_guards.extend(falsified.iter().copied());
+                arm_guards.extend(guards_from_condition(cond));
+                if !provably_nonzero(result, &arm_guards) {
+                    return false;
+                }
+                if let Some(x) = eq_zero_subject(cond) {
+                    falsified.push(x);
+                }
+            }
+            if let Some(els) = else_expr {
+                let mut els_guards: Vec<&Expr> = guards.to_vec();
+                els_guards.extend(falsified.iter().copied());
+                if !provably_nonzero(els, &els_guards) {
+                    return false;
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// A searchable rendering of a bare literal (the `0` of `x / 0`), so
+/// even a column-free denominator gets a byte position.
+fn literal_token(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Literal(Value::Int(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// First column name mentioned by an expression, for positioning.
+fn first_column(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Literal(_) => None,
+        Expr::Column { name, .. } => Some(name.clone()),
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => first_column(expr),
+        Expr::Binary { left, right, .. } => first_column(left).or_else(|| first_column(right)),
+        Expr::Func { args, .. } => args.iter().find_map(first_column),
+        Expr::Case { whens, else_expr } => whens
+            .iter()
+            .find_map(|(c, r)| first_column(c).or_else(|| first_column(r)))
+            .or_else(|| else_expr.as_deref().and_then(first_column)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_one;
+
+    fn hits(sql: &str) -> Vec<DiagnosticKind> {
+        let stmt = parse_one(sql).unwrap();
+        let mut out = Vec::new();
+        check(&stmt, &mut out);
+        out.into_iter().map(|h| h.kind).collect()
+    }
+
+    #[test]
+    fn literal_zero_denominator_is_an_error() {
+        let h = hits("SELECT a / 0 FROM t");
+        assert!(matches!(h[0], DiagnosticKind::DivisionByZero { .. }));
+        let h = hits("SELECT a / 0.0 FROM t");
+        assert!(matches!(h[0], DiagnosticKind::DivisionByZero { .. }));
+    }
+
+    #[test]
+    fn underflow_guard_and_exp_are_provably_safe() {
+        assert!(hits("SELECT 1 / (d1 + 1.0E-100) FROM yd").is_empty());
+        assert!(hits("SELECT x / exp(d1) FROM yd").is_empty());
+        assert!(hits("SELECT a / 2.0 FROM t").is_empty());
+    }
+
+    #[test]
+    fn zero_covariance_skip_case_is_provably_safe() {
+        // Fig. 9's guard: CASE WHEN r = 0 THEN 1 ELSE r END.
+        assert!(
+            hits("SELECT (y1 - c1) ** 2 / CASE WHEN r1 = 0 THEN 1 ELSE r1 END FROM z, cr")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn case_condition_guards_its_own_arm() {
+        // Fig. 5's fallback: the sump > 0 arm divides by sump safely...
+        assert!(hits("SELECT CASE WHEN sump > 0 THEN p1 / sump ELSE 0.0 END FROM yp").is_empty());
+        // ...but dividing by sump outside the guard is unproven.
+        let h = hits("SELECT p1 / sump FROM yp");
+        assert!(matches!(h[0], DiagnosticKind::UnprovenDivisor { .. }));
+    }
+
+    #[test]
+    fn unguarded_aggregate_denominator_warns() {
+        let h = hits("SELECT sum(x1 * y1) / sum(x1) FROM z, yx");
+        assert_eq!(h.len(), 1);
+        assert!(matches!(h[0], DiagnosticKind::UnprovenDivisor { .. }));
+    }
+}

@@ -1,0 +1,95 @@
+//! Static mutation classification.
+//!
+//! The WAL layer decides per statement whether durability framing is
+//! needed ([`crate::engine::is_mutating`]); a misclassification there
+//! would silently skip logging and lose data on crash recovery. This
+//! module re-derives the classification from first principles — *what
+//! does the statement write?* — so the script checker can compare the
+//! two answers statement-for-statement and flag any drift as an
+//! analysis-time error instead of a recovery-time surprise.
+
+use crate::ast::Statement;
+
+/// What executing a statement writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationClass {
+    /// Changes the catalog (CREATE/DROP TABLE).
+    Catalog {
+        /// The table created or dropped.
+        table: String,
+    },
+    /// Changes rows of one table (INSERT/UPDATE/DELETE).
+    Data {
+        /// The written table.
+        table: String,
+    },
+    /// Writes nothing (SELECT, EXPLAIN).
+    ReadOnly,
+}
+
+impl MutationClass {
+    /// Does this class require WAL framing on a durable database?
+    pub fn is_mutating(&self) -> bool {
+        !matches!(self, MutationClass::ReadOnly)
+    }
+}
+
+/// Classify a statement by its write target.
+pub fn classify(stmt: &Statement) -> MutationClass {
+    match stmt {
+        Statement::CreateTable { name, .. } | Statement::DropTable { name, .. } => {
+            MutationClass::Catalog {
+                table: name.to_ascii_lowercase(),
+            }
+        }
+        Statement::Insert { table, .. }
+        | Statement::Update { table, .. }
+        | Statement::Delete { table, .. } => MutationClass::Data {
+            table: table.to_ascii_lowercase(),
+        },
+        Statement::Select(_) | Statement::Explain(_) => MutationClass::ReadOnly,
+        // EXPLAIN ANALYZE executes its inner statement for real.
+        Statement::ExplainAnalyze(inner) => classify(inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::is_mutating;
+    use crate::parser::parse_one;
+
+    /// The independent derivation must agree with the WAL layer's own
+    /// classifier on every statement shape, including nesting.
+    #[test]
+    fn classification_agrees_with_wal_layer() {
+        let samples = [
+            "CREATE TABLE t (a BIGINT)",
+            "DROP TABLE IF EXISTS t",
+            "INSERT INTO t VALUES (1)",
+            "INSERT INTO t SELECT a FROM u",
+            "UPDATE t SET a = 1",
+            "DELETE FROM t WHERE a = 0",
+            "SELECT a FROM t",
+            "EXPLAIN SELECT a FROM t",
+            "EXPLAIN ANALYZE SELECT a FROM t",
+            "EXPLAIN ANALYZE INSERT INTO t VALUES (2)",
+        ];
+        for sql in samples {
+            let stmt = parse_one(sql).unwrap();
+            assert_eq!(
+                classify(&stmt).is_mutating(),
+                is_mutating(&stmt),
+                "classification drift on {sql:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_targets_are_reported() {
+        let stmt = parse_one("INSERT INTO YX SELECT rid FROM yp").unwrap();
+        assert_eq!(classify(&stmt), MutationClass::Data { table: "yx".into() });
+        let stmt = parse_one("EXPLAIN ANALYZE DELETE FROM w").unwrap();
+        assert_eq!(classify(&stmt), MutationClass::Data { table: "w".into() });
+    }
+}

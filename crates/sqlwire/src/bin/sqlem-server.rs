@@ -21,6 +21,8 @@
 //! acknowledged statement and remote clients resume from their
 //! checkpoint tables.
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Duration;

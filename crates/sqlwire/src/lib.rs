@@ -20,6 +20,7 @@
 //! See `docs/SERVER.md` for the frame grammar and session lifecycle.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod client;
 pub mod frame;

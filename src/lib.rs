@@ -1,6 +1,8 @@
 //! Umbrella crate for the SQLEM reproduction: re-exports all member crates
 //! and hosts the cross-crate examples and integration tests.
 
+#![forbid(unsafe_code)]
+
 pub use datagen;
 pub use emcore;
 pub use sqlem;

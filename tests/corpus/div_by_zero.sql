@@ -1,0 +1,6 @@
+-- A reachable division by a literal zero with no CASE guard — the
+-- exact failure class the paper's §2.5 fallback expressions exist to
+-- prevent.
+CREATE TABLE t (a DOUBLE);
+SELECT a / 0 FROM t;
+DROP TABLE t;

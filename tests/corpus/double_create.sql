@@ -1,0 +1,5 @@
+-- The same table is created twice with no intervening DROP — the
+-- second CREATE would fail at run time after the first already ran.
+CREATE TABLE t (a BIGINT);
+CREATE TABLE t (a BIGINT);
+DROP TABLE t;

@@ -1,0 +1,5 @@
+-- A work table is created and filled but never dropped: the cleanup
+-- section of the script is missing. plancheck must reject this as a
+-- WorkTableLeak anchored to the CREATE statement.
+CREATE TABLE scratch (a BIGINT, b DOUBLE);
+INSERT INTO scratch VALUES (1, 2.0);

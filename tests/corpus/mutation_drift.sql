@@ -1,0 +1,7 @@
+-- The script author annotated the INSERT as read-only; the derived
+-- classification (shared with the WAL layer's is_mutating) says it
+-- writes. plancheck must flag the drift, not trust the annotation.
+CREATE TABLE t (a BIGINT);
+-- expect-readonly
+INSERT INTO t VALUES (1);
+DROP TABLE t;

@@ -1,0 +1,6 @@
+-- The INSERT below is far longer than the 120-byte cap the corpus
+-- harness checks against — the §3.3 horizontal failure mode in
+-- miniature. Must be rejected as TooLong.
+CREATE TABLE t (a BIGINT);
+INSERT INTO t VALUES (1), (2), (3), (4), (5), (6), (7), (8), (9), (10), (11), (12), (13), (14), (15), (16), (17), (18), (19), (20), (21), (22), (23), (24);
+DROP TABLE t;

@@ -1,0 +1,5 @@
+-- The middle statement is not SQL; the lexer/parser must reject it
+-- with a byte position instead of letting it reach the executor.
+CREATE TABLE t (a BIGINT);
+SELECT FROM WHERE;
+DROP TABLE t;

@@ -1,0 +1,5 @@
+-- The SELECT runs after the table has been dropped: a statement-order
+-- bug the runtime would only hit mid-script, after DDL has executed.
+CREATE TABLE t (a BIGINT);
+DROP TABLE t;
+SELECT a FROM t;

@@ -1,0 +1,3 @@
+-- The table never exists anywhere in the script or the ambient
+-- catalog: a plain semantic error from the analyzer.
+SELECT a FROM nowhere;

@@ -1,0 +1,5 @@
+-- The INSERT references a table that only comes into existence two
+-- statements later: the script's statement order is wrong.
+INSERT INTO t VALUES (1);
+CREATE TABLE t (a BIGINT);
+DROP TABLE t;
