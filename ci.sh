@@ -40,6 +40,13 @@ Stages, in order:
                 mid-iteration must leave the client able to resume
                 from its checkpoint to the uninterrupted result
                 (--quick: smaller dataset / iteration budget)
+  chaos-net     exactly-once wire protocol: the in-process byte-level
+                cut sweep (tests/chaos_net.rs, exhaustive over every
+                frame index), then a chaos-proxy process between real
+                sqlem-cli / sqlem-server processes severing the TCP
+                stream at swept frame positions in both directions —
+                every interrupted run must match the clean run byte
+                for byte (--quick: strided sweep, fewer cut positions)
   workspace     cargo test --workspace
 EOF
     exit 0
@@ -148,9 +155,11 @@ else
 fi
 SERVER_BIN=target/release/sqlem-server
 CLI_BIN=target/release/sqlem-cli
+PROXY_BIN=target/release/chaos-proxy
 SRV_TMP=$(mktemp -d)
 SERVER_PID=''
-trap 'kill -9 $SERVER_PID 2>/dev/null || :; rm -rf "$SRV_TMP"' EXIT
+PROXY_PID=''
+trap 'kill -9 $SERVER_PID $PROXY_PID 2>/dev/null || :; rm -rf "$SRV_TMP"' EXIT
 
 # Two *overlapping* irregular blobs: separated blobs saturate the
 # posteriors to exact 0/1 and EM hits a fixed point in a couple of
@@ -249,6 +258,108 @@ cmp "$SRV_TMP/base.csv" "$SRV_TMP/resumed.csv" || {
     echo "ERROR: resumed assignments differ from uninterrupted run" >&2; exit 1; }
 cmp "$SRV_TMP/base.out" "$SRV_TMP/resumed.out" || {
     echo "ERROR: resumed summary differs from uninterrupted run" >&2; exit 1; }
+echo shutdown >&9
+wait "$SERVER_PID" || { echo "ERROR: server drain failed" >&2; exit 1; }
+SERVER_PID=''
+
+# Exactly-once wire protocol (docs/SERVER.md "Exactly-once execution"):
+# first the in-process sweep — tests/chaos_net.rs cuts the stream at
+# every frame index in both directions (before the frame and mid-frame)
+# and requires a bit-identical model plus unchanged WAL mutation counts
+# (zero double-applies). Then the same faults across *real* processes:
+# a chaos-proxy between sqlem-cli and sqlem-server severs the TCP
+# stream at swept frame positions; the client's sequence-keyed replay
+# and the server's reply cache must absorb every cut, so each
+# interrupted run's summary and per-row assignments must be
+# byte-identical to the clean run's.
+if [ "$QUICK" = 1 ]; then
+    echo "== chaos-net: exactly-once wire sweep (--quick: strided)"
+    cargo test -q --test chaos_net
+    NET_FRAMES='2 14 40'
+    NET_OFFSETS=''
+else
+    echo "== chaos-net: exactly-once wire sweep (full)"
+    SQLEM_CHAOS_STRIDE=1 cargo test -q --test chaos_net
+    NET_FRAMES='0 1 2 5 9 14 20 28 40 60'
+    NET_OFFSETS='12'
+fi
+
+mkfifo "$SRV_TMP/proxyctl"
+exec 8<>"$SRV_TMP/proxyctl"
+awk 'BEGIN {
+    print "a,b"
+    for (i = 0; i < 40; i++) {
+        t = (i % 23) * 0.041; u = (i % 13) * 0.067
+        printf "%.6f,%.6f\n", t, 1 - u
+        printf "%.6f,%.6f\n", 1.1 + u, 0.4 + t
+    }
+}' > "$SRV_TMP/net.csv"
+
+start_server
+"$CLI_BIN" "$SRV_TMP/net.csv" --k 2 --seed 7 --max-iterations 4 \
+    --scores "$SRV_TMP/net_base.csv" --connect "$SRV_ADDR" --namespace cnb_ \
+    > "$SRV_TMP/net_base.out" 2> /dev/null
+
+# run_net_case LABEL [proxy rule flags...] — relay the same study
+# through a freshly-armed chaos proxy and require byte parity.
+# NET_EXTRA adds CLI flags (e.g. a --deadline budget). Each case gets
+# its own namespace: the runs cap at --max-iterations, which keeps the
+# in-DB checkpoint, and a later run reusing the namespace would resume
+# from it instead of executing EM at all.
+NET_CASE=0
+run_net_case() {
+    net_label=$1; shift
+    NET_CASE=$((NET_CASE + 1))
+    : > "$SRV_TMP/proxy.log"
+    "$PROXY_BIN" --upstream "$SRV_ADDR" "$@" \
+        < "$SRV_TMP/proxyctl" > "$SRV_TMP/proxy.log" 2> "$SRV_TMP/proxy.err" &
+    PROXY_PID=$!
+    PROXY_ADDR=''
+    i=0
+    while [ $i -lt 100 ]; do
+        PROXY_ADDR=$(sed -n 's/^listening on //p' "$SRV_TMP/proxy.log")
+        [ -n "$PROXY_ADDR" ] && break
+        kill -0 "$PROXY_PID" 2>/dev/null || break
+        sleep 0.05
+        i=$((i + 1))
+    done
+    if [ -z "$PROXY_ADDR" ]; then
+        echo "ERROR: chaos-proxy failed to start ($net_label)" >&2
+        cat "$SRV_TMP/proxy.err" >&2
+        exit 1
+    fi
+    "$CLI_BIN" "$SRV_TMP/net.csv" --k 2 --seed 7 --max-iterations 4 \
+        --retries 8 ${NET_EXTRA:-} --scores "$SRV_TMP/net_case.csv" \
+        --connect "$PROXY_ADDR" --namespace "cn${NET_CASE}_" \
+        > "$SRV_TMP/net_case.out" 2> "$SRV_TMP/net_case.err" || {
+        echo "ERROR: chaos-net $net_label: interrupted run failed" >&2
+        cat "$SRV_TMP/net_case.err" >&2
+        exit 1
+    }
+    cmp "$SRV_TMP/net_base.csv" "$SRV_TMP/net_case.csv" || {
+        echo "ERROR: chaos-net $net_label: assignments diverged" >&2; exit 1; }
+    cmp "$SRV_TMP/net_base.out" "$SRV_TMP/net_case.out" || {
+        echo "ERROR: chaos-net $net_label: summary diverged" >&2; exit 1; }
+    kill "$PROXY_PID" 2>/dev/null || :
+    wait "$PROXY_PID" 2>/dev/null || :
+    PROXY_PID=''
+}
+
+for net_dir in to-server to-client; do
+    for net_frame in $NET_FRAMES; do
+        run_net_case "cut-before $net_dir@$net_frame" \
+            --cut-dir "$net_dir" --cut-frame "$net_frame"
+        for net_off in $NET_OFFSETS; do
+            run_net_case "cut-at-$net_off $net_dir@$net_frame" \
+                --cut-dir "$net_dir" --cut-frame "$net_frame" \
+                --cut-offset "$net_off"
+        done
+    done
+done
+# A delayed frame is pure latency; a generous --deadline must ride
+# through the proxy headers without perturbing the result.
+run_net_case "delay to-server@9" --delay-dir to-server --delay-frame 9
+NET_EXTRA='--deadline 30' run_net_case "deadline-header passthrough"
 echo shutdown >&9
 wait "$SERVER_PID" || { echo "ERROR: server drain failed" >&2; exit 1; }
 SERVER_PID=''

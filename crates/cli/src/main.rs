@@ -49,6 +49,11 @@
 //!   --namespace PREFIX    work-table prefix to claim exclusively on the
 //!                         server (lets concurrent clients share it)
 //!   --auth-token TOKEN    shared secret for the server handshake
+//!   --deadline SECS       per-statement deadline (fractional seconds),
+//!                         enforced by the server against lock waits and
+//!                         execution; requires --connect. An expired
+//!                         deadline fails the run with a typed error
+//!                         and a hint to raise the budget.
 //!
 //! lint options:
 //!   --p N                 dimensionality (required)
@@ -90,6 +95,7 @@
 mod csv;
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use emcore::init::InitStrategy;
 use sqlem::naming::Names;
@@ -147,6 +153,26 @@ impl From<String> for CliError {
     }
 }
 
+impl From<sqlem::SqlemError> for CliError {
+    /// Runtime failures exit 1; a deadline expiry additionally names
+    /// the knob that controls the budget.
+    fn from(e: sqlem::SqlemError) -> Self {
+        let mut message = e.to_string();
+        if let sqlem::SqlemError::Sql {
+            source: SqlError::Deadline { budget_ms, .. },
+            ..
+        } = &e
+        {
+            message.push_str(&format!(
+                "\n  hint: the {budget_ms} ms statement deadline expired before the server \
+                 finished; raise --deadline (or drop it) and rerun — the run resumes from \
+                 its checkpoint, and retried statements are replayed exactly once"
+            ));
+        }
+        CliError { code: 1, message }
+    }
+}
+
 struct Args {
     input: String,
     k: usize,
@@ -170,6 +196,7 @@ struct Args {
     connect: Option<String>,
     namespace: String,
     auth_token: String,
+    deadline: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -179,7 +206,8 @@ fn usage() -> ! {
          [--scores PATH] [--sql] [--fused] [--workers N] [--trace-metrics] \
          [--retries N] [--checkpoint PATH] [--resume PATH] [--durable] [--data-dir PATH] \
          [--recover] [--inject-fault SPEC]... \
-         [--connect HOST:PORT] [--namespace PREFIX] [--auth-token TOKEN]\n\
+         [--connect HOST:PORT] [--namespace PREFIX] [--auth-token TOKEN] \
+         [--deadline SECS]\n\
          \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
          [--max-terms N] [--verbose]\n\
          \x20      sqlem-cli analyze --p <dims> --k <clusters> [--strategy S] [--fused] \
@@ -212,6 +240,7 @@ fn parse_args() -> Args {
     let mut connect = None;
     let mut namespace = String::new();
     let mut auth_token = String::new();
+    let mut deadline = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -256,6 +285,14 @@ fn parse_args() -> Args {
             "--connect" => connect = Some(req("--connect")),
             "--namespace" => namespace = req("--namespace"),
             "--auth-token" => auth_token = req("--auth-token"),
+            "--deadline" => {
+                let secs: f64 = req("--deadline").parse().unwrap_or_else(|_| usage());
+                if !(secs > 0.0 && secs.is_finite()) {
+                    eprintln!("--deadline must be a positive number of seconds");
+                    usage();
+                }
+                deadline = Some(secs);
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             other => {
@@ -295,6 +332,7 @@ fn parse_args() -> Args {
         connect,
         namespace,
         auth_token,
+        deadline,
     }
 }
 
@@ -397,6 +435,10 @@ fn run(args: &Args) -> Result<(), CliError> {
         config = config.with_degenerate_recovery(args.seed);
     }
 
+    if args.deadline.is_some() && args.connect.is_none() {
+        eprintln!("--deadline budgets remote statements; it requires --connect");
+        usage();
+    }
     if let Some(addr) = &args.connect {
         for (flag, set) in [
             ("--durable/--data-dir", args.data_dir.is_some()),
@@ -414,6 +456,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         let client = ClientConfig {
             auth_token: args.auth_token.clone(),
             namespace: args.namespace.clone(),
+            statement_deadline: args.deadline.map(Duration::from_secs_f64),
             ..ClientConfig::default()
         };
         let mut conn =
@@ -467,9 +510,9 @@ fn run_clustering<E: SqlExecutor>(
         }
         let ckpt = checkpoint::from_text(&text)
             .map_err(|e| CliError::no_checkpoint(format!("checkpoint {path} is unusable: {e}")))?;
-        checkpoint::write_checkpoint(&mut *db, &names, &ckpt).map_err(|e| e.to_string())?;
+        checkpoint::write_checkpoint(&mut *db, &names, &ckpt)?;
     }
-    let mut session = EmSession::create(&mut *db, config, p).map_err(|e| e.to_string())?;
+    let mut session = EmSession::create(&mut *db, config, p)?;
 
     if args.print_sql {
         for stmt in session.script() {
@@ -479,14 +522,12 @@ fn run_clustering<E: SqlExecutor>(
         return Ok(());
     }
 
-    session.load_points(&data.rows).map_err(|e| e.to_string())?;
+    session.load_points(&data.rows)?;
     // Durable databases and remote servers carry their checkpoint
     // tables across process restarts, so try an in-database resume even
     // without --resume.
     let resumed_at = if args.resume_path.is_some() || persistent {
-        session
-            .resume_from_checkpoint()
-            .map_err(|e| e.to_string())?
+        session.resume_from_checkpoint()?
     } else {
         None
     };
@@ -498,18 +539,16 @@ fn run_clustering<E: SqlExecutor>(
                     "{path} holds no usable checkpoint for this data (k/p mismatch?)"
                 )));
             }
-            session
-                .initialize(&InitStrategy::FromSample {
-                    fraction: args.sample.clamp(0.01, 1.0),
-                    seed: args.seed,
-                    em_iterations: 5,
-                })
-                .map_err(|e| e.to_string())?;
+            session.initialize(&InitStrategy::FromSample {
+                fraction: args.sample.clamp(0.01, 1.0),
+                seed: args.seed,
+                em_iterations: 5,
+            })?;
         }
     }
 
     if args.trace_metrics {
-        session.enable_telemetry().map_err(|e| e.to_string())?;
+        session.enable_telemetry()?;
     }
     let run = match session.run() {
         Ok(run) => run,
@@ -520,7 +559,7 @@ fn run_clustering<E: SqlExecutor>(
             if let Some(path) = &args.checkpoint_path {
                 save_checkpoint_file(&mut *db, &names, path)?;
             }
-            return Err(e.to_string().into());
+            return Err(e.into());
         }
     };
     if run.retries > 0 {
@@ -556,7 +595,7 @@ fn run_clustering<E: SqlExecutor>(
     println!("{}", sqlem::summary::format_table(&run.params, &col_names));
 
     if let Some(path) = &args.scores_path {
-        let scores = session.scores().map_err(|e| e.to_string())?;
+        let scores = session.scores()?;
         let rows: Vec<Vec<String>> = scores
             .iter()
             .enumerate()

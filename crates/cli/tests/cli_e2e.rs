@@ -632,3 +632,76 @@ fn connect_remote_run_matches_in_process_run() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn deadline_without_connect_is_a_usage_error() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_deadline_usage");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([input.to_str().unwrap(), "--k", "2", "--deadline", "1.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("requires --connect"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exceeded_deadline_fails_with_actionable_hint() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_deadline_hit");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+
+    // A server whose database lock another "statement" seizes for far
+    // longer than the client's budget — but only once the run's work
+    // tables exist, so the hold lands mid-statement-stream (the CLI's
+    // earlier metadata requests carry no deadline and would otherwise
+    // absorb the hold with their 30 s lock patience). The blocker
+    // checks and starts holding inside ONE lock acquisition, so there
+    // is no window for the CLI to slip through in between.
+    let db = sqlengine::SharedDatabase::default();
+    let server =
+        sqlwire::Server::bind("127.0.0.1:0", db.clone(), sqlwire::ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let blocker = std::thread::spawn(move || loop {
+        let held = db.with(|d| {
+            let started = d.execute("SELECT COUNT(*) FROM z").is_ok();
+            if started {
+                std::thread::sleep(std::time::Duration::from_secs(5));
+            }
+            started
+        });
+        if held {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    });
+
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--connect",
+            &addr,
+            "--deadline",
+            "0.3",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("deadline"), "{stderr}");
+    assert!(
+        stderr.contains("raise --deadline"),
+        "the failure must name the knob: {stderr}"
+    );
+    blocker.join().unwrap();
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

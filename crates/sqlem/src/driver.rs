@@ -128,8 +128,18 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
         assert!(p >= 1, "p must be at least 1");
         let mut config = config.clone();
         let mut fallback = None;
+        // Pre-flight only *reads* the executor (catalog snapshot,
+        // capacity limits) — over the wire that read can flake, and
+        // re-issuing a pure read is always safe.
+        let mut retries = 0usize;
+        let policy = config.retry.clone();
         if config.preflight {
-            let report = lint_strategy(&mut *db, &config, p)?;
+            let report = with_retry(policy.as_ref(), &mut retries, |attempt| {
+                if attempt > 0 {
+                    db.note_statement_retry();
+                }
+                lint_strategy(&mut *db, &config, p)
+            })?;
             if !report.ok() {
                 let recoverable = config.auto_fallback
                     && config.strategy == Strategy::Horizontal
@@ -138,7 +148,13 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
                 if recoverable {
                     let mut alt = config.clone();
                     alt.strategy = Strategy::Hybrid;
-                    if lint_strategy(&mut *db, &alt, p)?.ok() {
+                    let alt_report = with_retry(policy.as_ref(), &mut retries, |attempt| {
+                        if attempt > 0 {
+                            db.note_statement_retry();
+                        }
+                        lint_strategy(&mut *db, &alt, p)
+                    })?;
+                    if alt_report.ok() {
                         let decision = FallbackDecision {
                             from: config.strategy,
                             to: alt.strategy,
@@ -177,7 +193,7 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
             fallback,
             iteration_reports: Vec::new(),
             iterations_done: 0,
-            retries: 0,
+            retries,
             recoveries: Vec::new(),
             resumed_llh: Vec::new(),
         };
@@ -238,7 +254,21 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
                 self.p
             )));
         }
-        let n = loader::load_points(&mut *self.db, &self.names, self.config.strategy, points)?;
+        // The loader rides the retry policy too, per statement:
+        // against a remote engine the bulk load is exactly the
+        // statement most likely to meet a wire flake, and the client's
+        // sequence-keyed replay makes the re-run of the *same*
+        // statement safe (acked chunks are skipped, in-flight ones
+        // acked from the server's reply cache).
+        let policy = self.config.retry.clone();
+        let n = loader::load_points(
+            &mut *self.db,
+            &self.names,
+            self.config.strategy,
+            points,
+            policy.as_ref(),
+            &mut self.retries,
+        )?;
         self.n = Some(n);
         self.points = Some(points.to_vec());
         let seed = self.generator.post_load(n);
@@ -262,6 +292,7 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
                 value_cols.len()
             )));
         }
+        let policy = self.config.retry.clone();
         let n = loader::pivot_from_table(
             &mut *self.db,
             &self.names,
@@ -269,6 +300,8 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
             source,
             rid_col,
             value_cols,
+            policy.as_ref(),
+            &mut self.retries,
         )?;
         self.n = Some(n);
         let seed = self.generator.post_load(n);
@@ -320,7 +353,17 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
     /// rather than letting the poison propagate into summaries or
     /// convergence tests.
     pub fn params(&mut self) -> Result<GmmParams, SqlemError> {
-        let params = self.generator.read_params(&mut *self.db)?;
+        // A pure read: retrying after a wire flake re-reads the same
+        // committed state.
+        let policy = self.config.retry.clone();
+        let generator = &self.generator;
+        let db = &mut *self.db;
+        let params = with_retry(policy.as_ref(), &mut self.retries, |attempt| {
+            if attempt > 0 {
+                db.note_statement_retry();
+            }
+            generator.read_params(&mut *db)
+        })?;
         validate_finite(&params)?;
         Ok(params)
     }
@@ -357,12 +400,23 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
                 .chain(&self.m_step)
                 .map(|s| s.sql.clone())
                 .collect();
-            let ids = self.db.prepare_script(&sqls).map_err(|e| {
-                let purpose = purposes
-                    .get(e.index)
-                    .cloned()
-                    .unwrap_or_else(|| "prepare E/M script".to_string());
-                SqlemError::from_sql(&purpose, e.error)
+            // Preparation is pure registration (no table effects), so a
+            // wire flake mid-script is safe to retry wholesale: the
+            // re-run registers fresh ids and any half-registered batch
+            // is simply never referenced.
+            let policy = self.config.retry.clone();
+            let db = &mut *self.db;
+            let ids = with_retry(policy.as_ref(), &mut self.retries, |attempt| {
+                if attempt > 0 {
+                    db.note_statement_retry();
+                }
+                db.prepare_script(&sqls).map_err(|e| {
+                    let purpose = purposes
+                        .get(e.index)
+                        .cloned()
+                        .unwrap_or_else(|| "prepare E/M script".to_string());
+                    SqlemError::from_sql(&purpose, e.error)
+                })
             })?;
             self.prepared = Some(purposes.into_iter().zip(ids).collect());
         }
@@ -721,7 +775,7 @@ impl<'a> EmSession<'a, Database> {
 /// index is non-zero, so an armed fault injector treats the re-run as
 /// the *same* statement (shared sequence number and firing budgets)
 /// rather than a fresh one.
-fn with_retry<T>(
+pub(crate) fn with_retry<T>(
     policy: Option<&RetryPolicy>,
     retries: &mut usize,
     mut f: impl FnMut(usize) -> Result<T, SqlemError>,

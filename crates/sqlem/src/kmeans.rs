@@ -156,6 +156,8 @@ impl<'a> KmeansSession<'a> {
             &self.names,
             crate::config::Strategy::Hybrid,
             points,
+            None,
+            &mut 0,
         )?;
         self.n = Some(n);
         // CR skeleton.

@@ -86,5 +86,5 @@ pub use plan::{
     analyze_all, analyze_strategy, classify_scan, expected_scans, CostCheck, IterationCost,
     PlanReport, ScanClass,
 };
-pub use retry::RetryPolicy;
+pub use retry::{JitterMode, RetryPolicy};
 pub use telemetry::{scan_threshold, IterationReport, StepMetrics};

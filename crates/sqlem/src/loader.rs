@@ -11,8 +11,10 @@
 use sqlengine::{SqlExecutor, Value};
 
 use crate::config::Strategy;
+use crate::driver::with_retry;
 use crate::error::SqlemError;
 use crate::naming::Names;
+use crate::retry::RetryPolicy;
 
 /// Which layouts a strategy consumes.
 pub fn layouts(strategy: Strategy) -> (bool, bool) {
@@ -23,12 +25,44 @@ pub fn layouts(strategy: Strategy) -> (bool, bool) {
     }
 }
 
+/// Re-run one load statement per `retry` as long as it fails
+/// transiently, bumping the engine's retry note so fault injectors see
+/// a re-run, not a fresh statement.
+///
+/// Retry granularity here is deliberately *per statement*: against a
+/// remote executor, re-issuing the same bulk load (same table, same
+/// rows) resumes from the acked chunks and replays the in-flight one
+/// under its original sequence number — exactly-once. Retrying at any
+/// coarser granularity would re-issue *earlier, already-acknowledged*
+/// statements under fresh sequence numbers, which the server would
+/// rightly execute again (duplicate-key violations at best, silent
+/// double-applies at worst).
+fn retry_stmt<T>(
+    db: &mut dyn SqlExecutor,
+    retry: Option<&RetryPolicy>,
+    retries: &mut usize,
+    mut f: impl FnMut(&mut dyn SqlExecutor) -> Result<T, SqlemError>,
+) -> Result<T, SqlemError> {
+    with_retry(retry, retries, |attempt| {
+        if attempt > 0 {
+            db.note_statement_retry();
+        }
+        f(db)
+    })
+}
+
 /// Bulk-load `points` into the layout tables for `strategy`. Returns `n`.
+///
+/// Transient failures of each individual load statement are re-run per
+/// `retry` (see `retry_stmt` for why the granularity matters), with
+/// `retries` counting the re-runs.
 pub fn load_points(
     db: &mut dyn SqlExecutor,
     names: &Names,
     strategy: Strategy,
     points: &[Vec<f64>],
+    retry: Option<&RetryPolicy>,
+    retries: &mut usize,
 ) -> Result<usize, SqlemError> {
     let n = points.len();
     if n == 0 {
@@ -40,7 +74,7 @@ pub fn load_points(
     }
     let (wide, long) = layouts(strategy);
     if wide {
-        let rows = points
+        let rows: Vec<Vec<Value>> = points
             .iter()
             .enumerate()
             .map(|(i, pt)| {
@@ -50,8 +84,10 @@ pub fn load_points(
                 row
             })
             .collect();
-        db.bulk_insert_rows(&names.z(), rows)
-            .map_err(|e| SqlemError::from_sql("load Z", e))?;
+        retry_stmt(&mut *db, retry, retries, |db| {
+            db.bulk_insert_rows(&names.z(), rows.clone())
+                .map_err(|e| SqlemError::from_sql("load Z", e))
+        })?;
     }
     if long {
         let mut rows = Vec::with_capacity(n * p);
@@ -64,8 +100,10 @@ pub fn load_points(
                 ]);
             }
         }
-        db.bulk_insert_rows(&names.y(), rows)
-            .map_err(|e| SqlemError::from_sql("load Y", e))?;
+        retry_stmt(&mut *db, retry, retries, |db| {
+            db.bulk_insert_rows(&names.y(), rows.clone())
+                .map_err(|e| SqlemError::from_sql("load Y", e))
+        })?;
     }
     Ok(n)
 }
@@ -75,6 +113,7 @@ pub fn load_points(
 /// integer key; `value_cols` are the `p` variables in order. The vertical
 /// pivot issues one `INSERT … SELECT` per dimension — the standard SQL-92
 /// unpivot.
+#[allow(clippy::too_many_arguments)]
 pub fn pivot_from_table(
     db: &mut dyn SqlExecutor,
     names: &Names,
@@ -82,6 +121,8 @@ pub fn pivot_from_table(
     source: &str,
     rid_col: &str,
     value_cols: &[&str],
+    retry: Option<&RetryPolicy>,
+    retries: &mut usize,
 ) -> Result<usize, SqlemError> {
     if value_cols.is_empty() {
         return Err(SqlemError::BadInput("no value columns".into()));
@@ -93,8 +134,10 @@ pub fn pivot_from_table(
             "INSERT INTO {z} SELECT {rid_col}, {cols} FROM {source}",
             z = names.z(),
         );
-        db.execute(&sql)
-            .map_err(|e| SqlemError::from_sql("pivot into Z", e))?;
+        retry_stmt(&mut *db, retry, retries, |db| {
+            db.execute(&sql)
+                .map_err(|e| SqlemError::from_sql("pivot into Z", e))
+        })?;
     }
     if long {
         for (d, col) in value_cols.iter().enumerate() {
@@ -103,12 +146,16 @@ pub fn pivot_from_table(
                 y = names.y(),
                 v = d + 1,
             );
-            db.execute(&sql)
-                .map_err(|e| SqlemError::from_sql("pivot into Y", e))?;
+            retry_stmt(&mut *db, retry, retries, |db| {
+                db.execute(&sql)
+                    .map_err(|e| SqlemError::from_sql("pivot into Y", e))
+            })?;
         }
     }
-    db.table_rows(source)
-        .map_err(|e| SqlemError::from_sql("count source", e))
+    retry_stmt(&mut *db, retry, retries, |db| {
+        db.table_rows(source)
+            .map_err(|e| SqlemError::from_sql("count source", e))
+    })
 }
 
 #[cfg(test)]
@@ -132,7 +179,7 @@ mod tests {
     fn hybrid_loads_both_layouts() {
         let (mut db, names) = setup(Strategy::Hybrid);
         let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        let n = load_points(&mut db, &names, Strategy::Hybrid, &pts).unwrap();
+        let n = load_points(&mut db, &names, Strategy::Hybrid, &pts, None, &mut 0).unwrap();
         assert_eq!(n, 2);
         assert_eq!(db.table_len("z").unwrap(), 2);
         assert_eq!(db.table_len("y").unwrap(), 4);
@@ -146,7 +193,7 @@ mod tests {
     fn horizontal_loads_wide_only() {
         let (mut db, names) = setup(Strategy::Horizontal);
         let pts = vec![vec![1.0, 2.0]];
-        load_points(&mut db, &names, Strategy::Horizontal, &pts).unwrap();
+        load_points(&mut db, &names, Strategy::Horizontal, &pts, None, &mut 0).unwrap();
         assert_eq!(db.table_len("z").unwrap(), 1);
         assert!(!db.contains_table("y"));
     }
@@ -155,7 +202,7 @@ mod tests {
     fn vertical_loads_long_only() {
         let (mut db, names) = setup(Strategy::Vertical);
         let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
-        load_points(&mut db, &names, Strategy::Vertical, &pts).unwrap();
+        load_points(&mut db, &names, Strategy::Vertical, &pts, None, &mut 0).unwrap();
         assert_eq!(db.table_len("y").unwrap(), 6);
         assert!(!db.contains_table("z"));
     }
@@ -164,12 +211,12 @@ mod tests {
     fn rejects_bad_input() {
         let (mut db, names) = setup(Strategy::Hybrid);
         assert!(matches!(
-            load_points(&mut db, &names, Strategy::Hybrid, &[]),
+            load_points(&mut db, &names, Strategy::Hybrid, &[], None, &mut 0),
             Err(SqlemError::BadInput(_))
         ));
         let ragged = vec![vec![1.0, 2.0], vec![3.0]];
         assert!(matches!(
-            load_points(&mut db, &names, Strategy::Hybrid, &ragged),
+            load_points(&mut db, &names, Strategy::Hybrid, &ragged, None, &mut 0),
             Err(SqlemError::BadInput(_))
         ));
     }
@@ -188,6 +235,8 @@ mod tests {
             "baskets",
             "bid",
             &["hour", "sales"],
+            None,
+            &mut 0,
         )
         .unwrap();
         assert_eq!(n, 2);

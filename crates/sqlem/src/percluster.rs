@@ -178,6 +178,8 @@ impl<'a> PerClusterSession<'a> {
             &self.names,
             crate::config::Strategy::Hybrid,
             points,
+            None,
+            &mut 0,
         )?;
         self.n = Some(n);
         let mut stmts = vec![Stmt::new(

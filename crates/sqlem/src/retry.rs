@@ -12,13 +12,33 @@
 //! wait between attempts: exponential backoff (`base · 2^attempt`,
 //! capped) with deterministic seed-derived jitter so two clients with
 //! different seeds don't stampede in lockstep — and so tests replay
-//! exactly.
+//! exactly. Two jitter shapes are available ([`JitterMode`]):
+//! multiplicative (default) and AWS-style decorrelated, which spreads
+//! a synchronized fleet faster after a correlated failure.
 //!
 //! Only errors classified transient by [`crate::SqlemError::is_transient`]
 //! are retried; organic engine errors (parse, analysis, arithmetic,
 //! duplicate key, …) are deterministic and would only reproduce.
 
 use std::time::Duration;
+
+/// How jitter perturbs the exponential schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JitterMode {
+    /// `base · 2^attempt · uniform[1, 2)`, capped. The classic scheme:
+    /// spread is proportional to the deterministic backbone, so early
+    /// retries stay tightly grouped.
+    #[default]
+    Multiplicative,
+    /// AWS-style *decorrelated* jitter: `d₀ = base`, then
+    /// `dᵢ₊₁ = min(cap, uniform(base, 3·dᵢ))`. Consecutive delays are
+    /// correlated with each other but not with the attempt number, so
+    /// a fleet of clients that failed together de-synchronises much
+    /// faster than with multiplicative jitter. Still a pure function of
+    /// `(seed, attempt)` — the chain is re-derived deterministically —
+    /// so schedules replay exactly in tests.
+    Decorrelated,
+}
 
 /// Retry budget and backoff schedule for one SQLEM session.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +52,8 @@ pub struct RetryPolicy {
     pub max_delay: Duration,
     /// Seed for the jitter stream (deterministic across runs).
     pub seed: u64,
+    /// Shape of the jitter applied on top of the exponential backbone.
+    pub jitter: JitterMode,
 }
 
 impl Default for RetryPolicy {
@@ -50,6 +72,7 @@ impl RetryPolicy {
             base_delay: Duration::from_millis(1),
             max_delay: Duration::from_millis(100),
             seed: 0,
+            jitter: JitterMode::default(),
         }
     }
 
@@ -77,23 +100,51 @@ impl RetryPolicy {
         self
     }
 
+    /// Builder: switch to decorrelated jitter (see [`JitterMode`]).
+    pub fn with_decorrelated_jitter(mut self) -> Self {
+        self.jitter = JitterMode::Decorrelated;
+        self
+    }
+
     /// Backoff before retry number `attempt` (0-based: the delay after
     /// the first failure is `delay_for(0)`). Exponential in `attempt`
-    /// with up to +100 % deterministic jitter, capped at `max_delay`.
+    /// perturbed per [`JitterMode`], capped at `max_delay`. A pure
+    /// function of `(self, attempt)` — no hidden state — so schedules
+    /// replay exactly.
     pub fn delay_for(&self, attempt: usize) -> Duration {
         if self.base_delay.is_zero() {
             return Duration::ZERO;
         }
-        let exp = self
-            .base_delay
-            .saturating_mul(1u32 << attempt.min(16) as u32);
-        let capped = exp.min(self.max_delay);
-        // Jitter in [1.0, 2.0), drawn from (seed, attempt) — replayable.
-        let jitter = 1.0
-            + unit_f64(splitmix64(
-                self.seed ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F),
-            ));
-        capped.mul_f64(jitter).min(self.max_delay)
+        match self.jitter {
+            JitterMode::Multiplicative => {
+                let exp = self
+                    .base_delay
+                    .saturating_mul(1u32 << attempt.min(16) as u32);
+                let capped = exp.min(self.max_delay);
+                // Jitter in [1.0, 2.0), drawn from (seed, attempt) — replayable.
+                let jitter = 1.0
+                    + unit_f64(splitmix64(
+                        self.seed ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+                    ));
+                capped.mul_f64(jitter).min(self.max_delay)
+            }
+            JitterMode::Decorrelated => {
+                // Re-derive the chain d₀ = base, dᵢ₊₁ = uniform(base, 3·dᵢ)
+                // from the seed; `delay_for` stays stateless. Chains are
+                // short (max_attempts is small), so the O(attempt) walk
+                // is irrelevant next to the sleeps it schedules.
+                let base = self.base_delay.as_secs_f64();
+                let cap = self.max_delay.as_secs_f64();
+                let mut d = base.min(cap);
+                for i in 0..attempt.min(64) {
+                    let u = unit_f64(splitmix64(
+                        self.seed ^ (i as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
+                    ));
+                    d = (base + u * (3.0 * d - base).max(0.0)).min(cap);
+                }
+                Duration::from_secs_f64(d)
+            }
+        }
     }
 
     /// Whether a failure on 0-based attempt `attempt` leaves budget for
@@ -165,5 +216,57 @@ mod tests {
     #[should_panic(expected = "max_attempts")]
     fn zero_attempts_rejected() {
         RetryPolicy::new(0);
+    }
+
+    #[test]
+    fn decorrelated_schedule_is_deterministic_and_bounded() {
+        let p = RetryPolicy::new(8)
+            .with_base_delay(Duration::from_millis(2))
+            .with_max_delay(Duration::from_millis(50))
+            .with_seed(7)
+            .with_decorrelated_jitter();
+        assert_eq!(p.jitter, JitterMode::Decorrelated);
+        // First delay is the base; every delay sits in [base, cap];
+        // the whole schedule replays exactly (stateless delay_for).
+        assert_eq!(p.delay_for(0), Duration::from_millis(2));
+        for attempt in 0..12 {
+            let d = p.delay_for(attempt);
+            assert!(d >= Duration::from_millis(2), "attempt {attempt}: {d:?}");
+            assert!(d <= Duration::from_millis(50), "attempt {attempt}: {d:?}");
+            assert_eq!(d, p.delay_for(attempt), "replayable");
+        }
+        // A different seed walks a different chain.
+        let q = p.clone().with_seed(8);
+        assert!(
+            (1..12).any(|a| p.delay_for(a) != q.delay_for(a)),
+            "seed must steer the decorrelated chain"
+        );
+    }
+
+    #[test]
+    fn decorrelated_spreads_faster_than_multiplicative_early() {
+        // After one shared failure, two decorrelated clients can land
+        // anywhere in [base, 3·base) on the next retry, while the
+        // multiplicative pair is pinned to [2·base, 4·base). The point
+        // of the mode is the wider relative spread — check the chain
+        // actually leaves the backbone.
+        let p = RetryPolicy::new(8)
+            .with_base_delay(Duration::from_millis(10))
+            .with_max_delay(Duration::from_secs(10))
+            .with_seed(3)
+            .with_decorrelated_jitter();
+        let backbone: Vec<Duration> = (0..6)
+            .map(|a| Duration::from_millis(10) * (1u32 << a))
+            .collect();
+        let chain: Vec<Duration> = (0..6).map(|a| p.delay_for(a)).collect();
+        assert_ne!(chain, backbone, "decorrelated must not track 2^attempt");
+    }
+
+    #[test]
+    fn decorrelated_immediate_still_never_sleeps() {
+        let p = RetryPolicy::immediate(4).with_decorrelated_jitter();
+        for attempt in 0..8 {
+            assert_eq!(p.delay_for(attempt), Duration::ZERO);
+        }
     }
 }

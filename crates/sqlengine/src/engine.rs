@@ -43,6 +43,24 @@ impl Default for DurabilityOptions {
     }
 }
 
+/// What WAL recovery found when a durable database was (re)opened —
+/// the evidence an exactly-once session layer needs to judge whether a
+/// statement whose ack was lost to a crash actually applied.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalRecovery {
+    /// Sequence numbers of frames recovered as committed (applied).
+    pub committed: Vec<u64>,
+    /// Sequence numbers of frames begun but never committed (the
+    /// statement failed or the crash hit before its effects were
+    /// acknowledged — provably *not* applied).
+    pub uncommitted: Vec<u64>,
+    /// The snapshot watermark at open: every committed seq below it was
+    /// compacted into the snapshot and no longer appears in the log.
+    pub watermark: u64,
+    /// The sequence counter the reopened log resumes at.
+    pub next_seq: u64,
+}
+
 /// Runtime state of the durability layer: the open log, the directory
 /// it lives in, and the statement sequence counter.
 #[derive(Debug)]
@@ -53,6 +71,9 @@ struct Durability {
     /// reopen and compaction.
     next_seq: u64,
     options: DurabilityOptions,
+    /// What the open-time scan found (frozen at open; later statements
+    /// do not update it).
+    recovery: WalRecovery,
 }
 
 /// Does executing this statement mutate the catalog or table data (and
@@ -172,11 +193,18 @@ impl Database {
         // leak into the session's statistics.
         db.stats.reset();
         let wal = Wal::open(dir, scanned.valid_len as u64)?;
+        let next_seq = watermark.max(scanned.next_seq);
         db.durability = Some(Durability {
             dir: dir.to_path_buf(),
             wal,
-            next_seq: watermark.max(scanned.next_seq),
+            next_seq,
             options,
+            recovery: WalRecovery {
+                committed: scanned.committed.iter().map(|(s, _)| *s).collect(),
+                uncommitted: scanned.uncommitted,
+                watermark,
+                next_seq,
+            },
         });
         Ok(db)
     }
@@ -225,6 +253,20 @@ impl Database {
     /// Current WAL length in bytes (durable databases only).
     pub fn wal_len(&self) -> Option<u64> {
         self.durability.as_ref().map(|d| d.wal.len())
+    }
+
+    /// What open-time WAL recovery found (durable databases only).
+    /// Frozen at open; statements executed since do not appear.
+    pub fn wal_recovery_info(&self) -> Option<&WalRecovery> {
+        self.durability.as_ref().map(|d| &d.recovery)
+    }
+
+    /// The sequence number the next WAL-framed statement will get
+    /// (durable databases only). An exactly-once session layer records
+    /// this *before* executing a statement so it can later correlate
+    /// the statement's fate with the recovered log.
+    pub fn wal_next_seq(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.next_seq)
     }
 
     /// Compact the durable state: write the whole catalog as a new
@@ -772,6 +814,17 @@ impl Database {
     pub fn set_max_statement_len(&mut self, max: usize) {
         self.config.max_statement_len = max;
     }
+
+    /// Arm (or clear) a wall-clock deadline for subsequent statements:
+    /// a scan that is still running at the deadline aborts with
+    /// [`Error::Deadline`]. A server sets this per statement from the
+    /// client's propagated budget and clears it afterwards. Statement
+    /// atomicity holds across an abort — effects are staged and only
+    /// swapped in on success, and a durable frame without its commit
+    /// marker is skipped on replay.
+    pub fn set_statement_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.config.deadline = deadline;
+    }
 }
 
 /// A thread-safe handle around a [`Database`] for multi-client scenarios
@@ -806,25 +859,29 @@ impl SharedDatabase {
     /// `None` on timeout; the closure is then never run.
     ///
     /// Implemented as a spin-and-sleep over `try_lock` (std's mutex has
-    /// no native timed acquire): worst-case oversleep is one backoff
-    /// step (≤ 5 ms), which is noise against EM-statement runtimes.
+    /// no native timed acquire). Each sleep is clamped to the time left
+    /// until the deadline, so acquisition never oversleeps past the
+    /// timeout by a backoff step — with per-statement deadlines riding
+    /// on this path, that slack would come straight out of the client's
+    /// budget.
     pub fn with_timeout<R>(
         &self,
         timeout: std::time::Duration,
         f: impl FnOnce(&mut Database) -> R,
     ) -> Option<R> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut backoff_us = 50u64;
+        let mut backoff = std::time::Duration::from_micros(50);
         loop {
             match self.inner.try_lock() {
                 Ok(mut guard) => return Some(f(&mut guard)),
                 Err(std::sync::TryLockError::Poisoned(e)) => return Some(f(&mut e.into_inner())),
                 Err(std::sync::TryLockError::WouldBlock) => {
-                    if std::time::Instant::now() >= deadline {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
                         return None;
                     }
-                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-                    backoff_us = (backoff_us * 2).min(5_000);
+                    std::thread::sleep(backoff.min(deadline - now));
+                    backoff = (backoff * 2).min(std::time::Duration::from_millis(5));
                 }
             }
         }

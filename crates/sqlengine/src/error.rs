@@ -125,6 +125,21 @@ pub enum Error {
         /// Retrying (after a reconnect) may succeed.
         transient: bool,
     },
+    /// A statement overran its wall-clock deadline: the client-propagated
+    /// budget expired while the statement was waiting for the database
+    /// lock or mid-execution. The statement's effects were **not**
+    /// applied (execution aborts before the stage-then-commit swap).
+    /// Transient by classification — a retry arrives with a fresh
+    /// per-attempt budget and may succeed; when the *overall* retry
+    /// budget is exhausted, the last `Deadline` error surfaces to the
+    /// caller as the actionable diagnosis.
+    Deadline {
+        /// What was running when the budget expired ("lock wait",
+        /// "table scan", …).
+        context: String,
+        /// The budget the statement was given, in milliseconds.
+        budget_ms: u64,
+    },
     /// An error that happened inside a *remote* server, relayed verbatim
     /// over the wire. Variants a caller inspects structurally
     /// ([`Error::StatementTooLong`], [`Error::Arithmetic`],
@@ -190,6 +205,16 @@ impl fmt::Display for Error {
                 if *transient { " (transient)" } else { "" }
             ),
             Error::Corruption { detail } => write!(f, "durable state corrupted: {detail}"),
+            Error::Deadline { context, budget_ms } => {
+                if *budget_ms == 0 {
+                    write!(f, "deadline exceeded ({context}): statement budget expired")
+                } else {
+                    write!(
+                        f,
+                        "deadline exceeded ({context}): statement budget of {budget_ms} ms expired"
+                    )
+                }
+            }
             Error::Remote(m) => write!(f, "server error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
@@ -249,11 +274,21 @@ impl Error {
         }
     }
 
+    /// Build a [`Error::Deadline`] from the execution context and the
+    /// budget that expired.
+    pub fn deadline(context: impl Into<String>, budget_ms: u64) -> Self {
+        Error::Deadline {
+            context: context.into(),
+            budget_ms,
+        }
+    }
+
     /// Is a retry of the failed statement worth attempting? Injected
-    /// transient faults and transient wire failures (connection reset,
-    /// I/O timeout) qualify: every organic engine error (parse,
-    /// analysis, arity, duplicate key, arithmetic, …) is deterministic
-    /// and will reproduce on retry.
+    /// transient faults, transient wire failures (connection reset,
+    /// I/O timeout) and deadline overruns qualify — a retry arrives
+    /// with a fresh per-attempt deadline budget. Every organic engine
+    /// error (parse, analysis, arity, duplicate key, arithmetic, …) is
+    /// deterministic and will reproduce on retry.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -263,7 +298,7 @@ impl Error {
             } | Error::Net {
                 transient: true,
                 ..
-            }
+            } | Error::Deadline { .. }
         )
     }
 

@@ -34,6 +34,15 @@ pub struct ExecConfig {
     /// (term count, expression depth, column width, FROM width) —
     /// the structural counterpart of `max_statement_len`.
     pub limits: crate::analyze::Limits,
+    /// Wall-clock deadline for the statements that follow: a scan still
+    /// running past this instant aborts with
+    /// [`crate::Error::Deadline`]. `None` (the default) means
+    /// unbounded. Servers arm this per statement from the client's
+    /// propagated budget ([`crate::Database::set_statement_deadline`]);
+    /// the abort is checked between row batches, so overrun is bounded
+    /// by one batch's work, and statement atomicity holds (effects are
+    /// staged and never swapped in).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ExecConfig {
@@ -42,6 +51,7 @@ impl Default for ExecConfig {
             workers: 1,
             max_statement_len: 64 * 1024,
             limits: crate::analyze::Limits::default(),
+            deadline: None,
         }
     }
 }

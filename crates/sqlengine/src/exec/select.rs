@@ -625,11 +625,18 @@ where
         probe.add_expr_evals(sink.expr_evals());
         return Ok(vec![sink]);
     }
+    let deadline = config.deadline;
     let workers = config.workers.max(1);
     if workers == 1 || pipeline.driver_rows.len() < PARALLEL_THRESHOLD {
         let mut sink = make_sink();
         let mut tally = Tally::default();
-        drive_partition(pipeline, pipeline.driver_rows, &mut sink, &mut tally)?;
+        drive_partition(
+            pipeline,
+            pipeline.driver_rows,
+            deadline,
+            &mut sink,
+            &mut tally,
+        )?;
         tally.expr_evals += sink.expr_evals();
         tally.flush(probe);
         return Ok(vec![sink]);
@@ -644,7 +651,7 @@ where
                 scope.spawn(|| -> Result<S> {
                     let mut sink = make_sink();
                     let mut tally = Tally::default();
-                    drive_partition(pipeline, part, &mut sink, &mut tally)?;
+                    drive_partition(pipeline, part, deadline, &mut sink, &mut tally)?;
                     tally.expr_evals += sink.expr_evals();
                     tally.flush(probe);
                     Ok(sink)
@@ -659,9 +666,15 @@ where
     Ok(results)
 }
 
+/// Rows processed between deadline checks: frequent enough that overrun
+/// stays small, rare enough that `Instant::now` never shows up in a
+/// profile of the hot loop.
+const DEADLINE_CHECK_ROWS: usize = 4096;
+
 fn drive_partition<S: RowSink>(
     pipeline: &Pipeline<'_>,
     rows: &[Row],
+    deadline: Option<std::time::Instant>,
     sink: &mut S,
     tally: &mut Tally,
 ) -> Result<()> {
@@ -670,7 +683,12 @@ fn drive_partition<S: RowSink>(
             + pipeline.stages.iter().map(|s| s.width).sum::<usize>(),
     );
     let has_filter = pipeline.driver_filter.is_some();
-    for row in rows {
+    for (i, row) in rows.iter().enumerate() {
+        if let Some(d) = deadline {
+            if i % DEADLINE_CHECK_ROWS == 0 && std::time::Instant::now() >= d {
+                return Err(crate::error::Error::deadline("table scan", 0));
+            }
+        }
         if let Some(f) = &pipeline.driver_filter {
             if !f.eval_predicate(row)? {
                 continue;

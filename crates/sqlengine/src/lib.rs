@@ -61,7 +61,9 @@ pub mod wal;
 pub use analyze::{
     AnalyzeError, AnalyzeErrorKind, Clause, Limits, Metric, Report, SymbolicCatalog,
 };
-pub use engine::{is_mutating, Database, DurabilityOptions, EngineConfig, SharedDatabase};
+pub use engine::{
+    is_mutating, Database, DurabilityOptions, EngineConfig, SharedDatabase, WalRecovery,
+};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
 pub use executor::{PrepareError, PreparedId, SqlExecutor};

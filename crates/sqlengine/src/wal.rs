@@ -188,6 +188,11 @@ pub struct ScanResult {
     /// Byte length of the valid prefix (magic + complete records).
     /// Anything past this is a torn tail the caller should truncate.
     pub valid_len: usize,
+    /// Sequence numbers whose frame was begun but never committed — a
+    /// statement that failed (or was interrupted by a crash) after its
+    /// frame hit the log. Exactly-once session recovery uses this to
+    /// prove a retried statement was *not* applied.
+    pub uncommitted: Vec<u64>,
 }
 
 /// Validate a WAL image: check the magic, walk the records, enforce the
@@ -203,12 +208,14 @@ pub fn scan(bytes: &[u8]) -> Result<ScanResult> {
             committed: Vec::new(),
             next_seq: 0,
             valid_len: 0,
+            uncommitted: Vec::new(),
         });
     }
     if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
         return Err(Error::corruption("wal: bad magic"));
     }
     let mut committed = Vec::new();
+    let mut uncommitted = Vec::new();
     let mut next_seq = 0u64;
     let mut pos = WAL_MAGIC.len();
     let mut valid_len = pos;
@@ -244,7 +251,11 @@ pub fn scan(bytes: &[u8]) -> Result<ScanResult> {
         match record {
             Record::Begin { seq } => {
                 // A Begin while a frame is open: the previous statement
-                // failed before committing — normal, drop it.
+                // failed before committing — normal, drop it (but record
+                // the seq so recovery can prove it never applied).
+                if let Some((failed_seq, _)) = open.take() {
+                    uncommitted.push(failed_seq);
+                }
                 open = Some((seq, None));
                 next_seq = next_seq.max(seq + 1);
             }
@@ -270,10 +281,14 @@ pub fn scan(bytes: &[u8]) -> Result<ScanResult> {
             },
         }
     }
+    if let Some((open_seq, _)) = open {
+        uncommitted.push(open_seq);
+    }
     Ok(ScanResult {
         committed,
         next_seq,
         valid_len,
+        uncommitted,
     })
 }
 
@@ -436,6 +451,7 @@ mod tests {
             vec![0, 2]
         );
         assert_eq!(scan.next_seq, 3, "uncommitted seq still bumps the counter");
+        assert_eq!(scan.uncommitted, vec![1], "failed frame's seq is reported");
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! `chaos-proxy` — a standalone frame-aware network chaos relay.
+//!
+//! Sits between `sqlem-cli` and `sqlem-server` and injects byte-level
+//! wire faults at chosen frame boundaries, for exercising the
+//! exactly-once session protocol across real processes (the `chaos-net`
+//! stage of `ci.sh`). The in-process equivalent lives in
+//! [`sqlwire::chaos`]; this binary just wraps it with argument parsing
+//! and a run-until-stdin-closes lifetime.
+//!
+//! ```text
+//! chaos-proxy --upstream 127.0.0.1:7878 \
+//!     --cut-dir to-client --cut-frame 12 --cut-offset 5
+//! ```
+//!
+//! Prints `listening on ADDR` once ready, then relays until stdin
+//! reaches EOF (kill the parent, close the pipe, or press ^D).
+
+#![forbid(unsafe_code)]
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use sqlwire::{ChaosAction, ChaosProxy, Direction};
+
+const USAGE: &str = "\
+usage: chaos-proxy --upstream HOST:PORT [options]
+
+options:
+  --listen ADDR          address to listen on (default 127.0.0.1:0)
+  --upstream HOST:PORT   server to relay to (required)
+  --cut-dir DIR          direction of the cut rule: to-server | to-client
+  --cut-frame N          0-based global frame number the cut applies to
+  --cut-offset N         bytes of the frame to forward before cutting;
+                         omit to cut before the first byte
+  --delay-dir DIR        direction of a delay rule
+  --delay-frame N        frame to delay
+  --delay-ms MS          how long to hold it (default 100)
+  --dup-dir DIR          direction of a duplicate rule
+  --dup-frame N          frame to deliver twice
+  --blackhole-dir DIR    direction of a blackhole rule
+  --blackhole-frame N    frame to swallow silently
+
+Every rule fires once, then the relay is clean (reconnects pass
+through). Prints `listening on ADDR`, then runs until stdin closes.";
+
+fn parse_dir(s: &str) -> Result<Direction, String> {
+    match s {
+        "to-server" => Ok(Direction::ToServer),
+        "to-client" => Ok(Direction::ToClient),
+        other => Err(format!(
+            "bad direction {other:?}: want to-server | to-client"
+        )),
+    }
+}
+
+struct Args {
+    listen: String,
+    upstream: String,
+    rules: Vec<(Direction, u64, ChaosAction)>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut upstream = None;
+    let mut cut_dir = None;
+    let mut cut_frame = None;
+    let mut cut_offset: Option<usize> = None;
+    let mut delay_dir = None;
+    let mut delay_frame = None;
+    let mut delay_ms: u64 = 100;
+    let mut dup_dir = None;
+    let mut dup_frame = None;
+    let mut hole_dir = None;
+    let mut hole_frame = None;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => listen = value("--listen")?.clone(),
+            "--upstream" => upstream = Some(value("--upstream")?.clone()),
+            "--cut-dir" => cut_dir = Some(parse_dir(value("--cut-dir")?)?),
+            "--cut-frame" => {
+                cut_frame = Some(
+                    value("--cut-frame")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--cut-frame: {e}"))?,
+                )
+            }
+            "--cut-offset" => {
+                cut_offset = Some(
+                    value("--cut-offset")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--cut-offset: {e}"))?,
+                )
+            }
+            "--delay-dir" => delay_dir = Some(parse_dir(value("--delay-dir")?)?),
+            "--delay-frame" => {
+                delay_frame = Some(
+                    value("--delay-frame")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--delay-frame: {e}"))?,
+                )
+            }
+            "--delay-ms" => {
+                delay_ms = value("--delay-ms")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--delay-ms: {e}"))?
+            }
+            "--dup-dir" => dup_dir = Some(parse_dir(value("--dup-dir")?)?),
+            "--dup-frame" => {
+                dup_frame = Some(
+                    value("--dup-frame")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--dup-frame: {e}"))?,
+                )
+            }
+            "--blackhole-dir" => hole_dir = Some(parse_dir(value("--blackhole-dir")?)?),
+            "--blackhole-frame" => {
+                hole_frame = Some(
+                    value("--blackhole-frame")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--blackhole-frame: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let upstream = upstream.ok_or("--upstream is required")?;
+
+    let mut rules = Vec::new();
+    if let Some(frame) = cut_frame {
+        let dir = cut_dir.ok_or("--cut-frame needs --cut-dir")?;
+        let action = match cut_offset {
+            Some(off) => ChaosAction::CutAt(off),
+            None => ChaosAction::CutBefore,
+        };
+        rules.push((dir, frame, action));
+    } else if cut_dir.is_some() || cut_offset.is_some() {
+        return Err("--cut-dir/--cut-offset need --cut-frame".into());
+    }
+    if let Some(frame) = delay_frame {
+        let dir = delay_dir.ok_or("--delay-frame needs --delay-dir")?;
+        rules.push((dir, frame, ChaosAction::DelayMs(delay_ms)));
+    }
+    if let Some(frame) = dup_frame {
+        let dir = dup_dir.ok_or("--dup-frame needs --dup-dir")?;
+        rules.push((dir, frame, ChaosAction::Duplicate));
+    }
+    if let Some(frame) = hole_frame {
+        let dir = hole_dir.ok_or("--blackhole-frame needs --blackhole-dir")?;
+        rules.push((dir, frame, ChaosAction::Blackhole));
+    }
+    Ok(Args {
+        listen,
+        upstream,
+        rules,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("chaos-proxy: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    // The library proxy binds ephemerally; honor an explicit --listen
+    // by rejecting what we cannot provide rather than mis-listening.
+    if args.listen != "127.0.0.1:0" {
+        eprintln!("chaos-proxy: only --listen 127.0.0.1:0 (ephemeral) is supported");
+        return ExitCode::from(2);
+    }
+    let proxy = match ChaosProxy::start(args.upstream.as_str()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("chaos-proxy: start: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    for (dir, frame, action) in args.rules {
+        proxy.arm(dir, frame, action);
+    }
+    println!("listening on {}", proxy.addr());
+    // Run until the parent closes our stdin (or EOF from a terminal).
+    let mut sink = [0u8; 1024];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+    ExitCode::SUCCESS
+}

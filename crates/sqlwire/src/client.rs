@@ -17,10 +17,31 @@
 //! prepared script (client-side ids are stable across reconnects; the
 //! fresh server ids are remapped internally).
 //!
-//! One ambiguity is inherent to lost acks: if the connection dies
-//! *after* the server executed a statement but *before* the reply
-//! arrived, a retry re-executes it (see `docs/SERVER.md` for why the
-//! EM scripts tolerate this).
+//! ## Exactly-once replay
+//!
+//! Lost acks are *not* ambiguous here: every statement-bearing request
+//! carries a session-scoped sequence number ([`StmtMeta`]), and the
+//! handshake carries a durable *resume token* that reattaches a
+//! reconnecting client to its server-side dedup window. When the wire
+//! dies with a statement in flight, the client remembers the statement
+//! and its sequence number; the retried operation re-sends it under
+//! the *same* number, and the server either serves the cached reply,
+//! answers [`Response::ReplayApplied`] (the effects committed before
+//! the ack was lost — reconciled locally instead of re-executed), or
+//! re-executes a statement proven to have left no effects. A reply
+//! that *was* decoded — success or engine error — resolves the
+//! statement, so an application-level retry after an engine fault is a
+//! new statement under a new sequence number, never a replay.
+//!
+//! Bulk loads chunk client-side; the same machinery tracks which
+//! chunks were acked so a resumed load replays only the unresolved
+//! chunk and never re-inserts acked rows (see
+//! [`SqlExecutor::bulk_insert_rows`]).
+//!
+//! Per-statement deadlines ([`ClientConfig::statement_deadline`]) ride
+//! the same header: the server enforces the budget against its lock
+//! wait and the execution path and answers with the typed, transient
+//! [`Error::Deadline`] when it expires.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -33,7 +54,7 @@ use sqlengine::{
 };
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{Request, Response, PROTOCOL_VERSION};
+use crate::proto::{Request, Response, StmtMeta, PROTOCOL_VERSION};
 
 /// Rows per bulk-insert frame: keeps each frame far below
 /// [`crate::frame::MAX_FRAME_LEN`] even for wide rows.
@@ -50,6 +71,12 @@ pub struct ClientConfig {
     pub connect_timeout: Duration,
     /// Optional cap on waiting for any single reply (None = block).
     pub read_timeout: Option<Duration>,
+    /// Optional per-statement wall-clock budget, sent with every
+    /// statement-bearing request and enforced *server-side* against
+    /// both the lock wait and the execution path. Each attempt gets a
+    /// fresh budget; expiry surfaces as the typed, transient
+    /// [`Error::Deadline`].
+    pub statement_deadline: Option<Duration>,
 }
 
 impl Default for ClientConfig {
@@ -59,6 +86,7 @@ impl Default for ClientConfig {
             namespace: String::new(),
             connect_timeout: Duration::from_secs(5),
             read_timeout: None,
+            statement_deadline: None,
         }
     }
 }
@@ -71,6 +99,38 @@ struct HelloInfo {
     max_statement_len: usize,
     limits: Limits,
     description: String,
+}
+
+/// Identity of the statement whose reply the wire may have eaten. A
+/// keyed call whose logical key matches replays under the same
+/// sequence number; any other keyed call abandons the old number (the
+/// caller gave up on that statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum InFlightKey {
+    /// `execute` — keyed by statement text.
+    Query(String),
+    /// `run_prepared` — keyed by the *client* id, which is stable
+    /// across redials (server ids are remapped on reconnect).
+    Exec(u64),
+    /// One bulk chunk — keyed by table and row offset within the load.
+    Bulk {
+        /// Destination table.
+        table: String,
+        /// Offset of the chunk's first row within the full load.
+        offset: usize,
+    },
+}
+
+/// Progress of a chunked bulk load, kept across wire failures so a
+/// resumed load skips acked chunks instead of re-sending them.
+#[derive(Debug, Clone)]
+struct BulkProgress {
+    table: String,
+    total_rows: usize,
+    /// Rows in chunks the server has acknowledged.
+    acked_rows: usize,
+    /// Sum of the server's per-chunk insert counts so far.
+    acked_count: usize,
 }
 
 /// A reconnecting client-side [`SqlExecutor`] over TCP.
@@ -86,6 +146,14 @@ pub struct RemoteConnection {
     id_map: Vec<(usize, usize)>,
     /// Client id → current server id (rebuilt on reconnect).
     server_ids: HashMap<u64, u64>,
+    /// Durable session identity, presented on every (re)dial.
+    resume_token: String,
+    /// Next fresh statement sequence number.
+    next_seq: u64,
+    /// The statement whose reply a wire failure may have eaten.
+    in_flight: Option<(u64, InFlightKey)>,
+    /// Resumable bulk-load progress (see [`BulkProgress`]).
+    bulk: Option<BulkProgress>,
 }
 
 impl RemoteConnection {
@@ -106,6 +174,10 @@ impl RemoteConnection {
             groups: Vec::new(),
             id_map: Vec::new(),
             server_ids: HashMap::new(),
+            resume_token: String::new(),
+            next_seq: 0,
+            in_flight: None,
+            bulk: None,
         };
         conn.dial()?;
         Ok(conn)
@@ -120,6 +192,12 @@ impl RemoteConnection {
     /// The server's self-description from the handshake.
     pub fn server_description(&self) -> &str {
         &self.hello.description
+    }
+
+    /// The session resume token the server issued (stable across
+    /// reconnects; a restarted durable server recognizes it).
+    pub fn resume_token(&self) -> &str {
+        &self.resume_token
     }
 
     /// Ask the server to cancel another live session (by the id its
@@ -169,6 +247,7 @@ impl RemoteConnection {
             version: PROTOCOL_VERSION,
             auth_token: self.config.auth_token.clone(),
             namespace: self.config.namespace.clone(),
+            resume_token: self.resume_token.clone(),
         };
         match self.raw_call(&hello)? {
             Response::HelloAck {
@@ -177,6 +256,7 @@ impl RemoteConnection {
                 max_statement_len,
                 limits,
                 description,
+                resume_token,
             } => {
                 self.hello = HelloInfo {
                     session,
@@ -184,6 +264,7 @@ impl RemoteConnection {
                     limits,
                     description,
                 };
+                self.resume_token = resume_token;
             }
             other => return Err(unexpected("Hello", &other)),
         }
@@ -251,6 +332,52 @@ impl RemoteConnection {
         }
         self.raw_call(req)
     }
+
+    /// The statement metadata for this attempt: its sequence number
+    /// plus a fresh deadline budget.
+    fn meta(&self, seq: u64) -> StmtMeta {
+        StmtMeta {
+            seq,
+            deadline_ms: self
+                .config
+                .statement_deadline
+                .map_or(0, |d| d.as_millis().max(1) as u64),
+        }
+    }
+
+    /// One statement-bearing request under the exactly-once contract.
+    ///
+    /// If `key` matches the in-flight statement (its reply was eaten by
+    /// a wire failure), the send *replays* under the same sequence
+    /// number; otherwise it is a fresh statement under a fresh number.
+    /// Any decoded reply — success or engine error — resolves the
+    /// in-flight slot; only a wire death keeps it armed for replay.
+    fn keyed_call(
+        &mut self,
+        key: InFlightKey,
+        build: impl FnOnce(StmtMeta) -> Request,
+    ) -> Result<Response> {
+        let seq = match &self.in_flight {
+            Some((s, k)) if *k == key => *s,
+            _ => {
+                let s = self.next_seq;
+                self.next_seq += 1;
+                s
+            }
+        };
+        self.in_flight = Some((seq, key));
+        if self.stream.is_none() {
+            self.dial()?; // in_flight stays armed if the dial fails
+        }
+        let result = self.raw_call(&build(self.meta(seq)));
+        if self.stream.is_some() {
+            // A reply was decoded (even an engine error): the statement
+            // is resolved. A later application-level retry is a *new*
+            // statement, never a replay.
+            self.in_flight = None;
+        }
+        result
+    }
 }
 
 impl std::fmt::Debug for RemoteConnection {
@@ -259,6 +386,7 @@ impl std::fmt::Debug for RemoteConnection {
             .field("addr", &self.addr)
             .field("session", &self.hello.session)
             .field("connected", &self.stream.is_some())
+            .field("resume_token", &self.resume_token)
             .finish_non_exhaustive()
     }
 }
@@ -272,10 +400,17 @@ fn unexpected(what: &str, got: &Response) -> Error {
 
 impl SqlExecutor for RemoteConnection {
     fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        match self.call(&Request::Query {
+        let key = InFlightKey::Query(sql.to_string());
+        match self.keyed_call(key, |meta| Request::Query {
+            meta,
             sql: sql.to_string(),
         })? {
             Response::Rows(q) => Ok(q),
+            // The effects committed before the ack was lost; the result
+            // bytes are gone. Reads are never answered this way (they
+            // leave no effects and simply re-execute), so an empty
+            // affected-rows result is a faithful reconciliation.
+            Response::ReplayApplied => Ok(QueryResult::affected(0)),
             other => Err(unexpected("Query", &other)),
         }
     }
@@ -319,8 +454,12 @@ impl SqlExecutor for RemoteConnection {
         let server_id = *self.server_ids.get(&id.0).ok_or_else(|| {
             Error::net_permanent("execute prepared", format!("unknown prepared id {}", id.0))
         })?;
-        match self.raw_call(&Request::ExecutePrepared { id: server_id })? {
+        match self.keyed_call(InFlightKey::Exec(id.0), |meta| Request::ExecutePrepared {
+            meta,
+            id: server_id,
+        })? {
             Response::Rows(q) => Ok(q),
+            Response::ReplayApplied => Ok(QueryResult::affected(0)),
             other => Err(unexpected("ExecutePrepared", &other)),
         }
     }
@@ -336,30 +475,73 @@ impl SqlExecutor for RemoteConnection {
     }
 
     fn bulk_insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
-        let mut total = 0usize;
         if rows.is_empty() {
             // Arity/table checks still apply server-side.
-            match self.call(&Request::BulkInsert {
+            let key = InFlightKey::Bulk {
+                table: table.to_string(),
+                offset: 0,
+            };
+            return match self.keyed_call(key, |meta| Request::BulkInsert {
+                meta,
                 table: table.to_string(),
                 rows,
             })? {
-                Response::Count(n) => return Ok(n as usize),
-                other => return Err(unexpected("BulkInsert", &other)),
-            }
+                Response::Count(n) => Ok(n as usize),
+                Response::ReplayApplied => Ok(0),
+                other => Err(unexpected("BulkInsert", &other)),
+            };
         }
-        let mut rows = rows;
-        while !rows.is_empty() {
-            let rest = rows.split_off(rows.len().min(BULK_CHUNK_ROWS));
-            match self.call(&Request::BulkInsert {
+        // Resume a matching interrupted load (same table, same shape):
+        // chunks the server acked are skipped locally; the unresolved
+        // chunk replays under its original sequence number.
+        let mut progress = match self.bulk.take() {
+            Some(p) if p.table == table && p.total_rows == rows.len() => p,
+            _ => {
+                self.in_flight = None; // a different load abandons any old chunk
+                BulkProgress {
+                    table: table.to_string(),
+                    total_rows: rows.len(),
+                    acked_rows: 0,
+                    acked_count: 0,
+                }
+            }
+        };
+        while progress.acked_rows < rows.len() {
+            let offset = progress.acked_rows;
+            let end = (offset + BULK_CHUNK_ROWS).min(rows.len());
+            let chunk: Vec<Vec<Value>> = rows[offset..end].to_vec();
+            let key = InFlightKey::Bulk {
                 table: table.to_string(),
-                rows,
-            })? {
-                Response::Count(n) => total += n as usize,
-                other => return Err(unexpected("BulkInsert", &other)),
+                offset,
+            };
+            let resp = self.keyed_call(key, |meta| Request::BulkInsert {
+                meta,
+                table: table.to_string(),
+                rows: chunk,
+            });
+            match resp {
+                Ok(Response::Count(n)) => {
+                    progress.acked_rows = end;
+                    progress.acked_count += n as usize;
+                }
+                // This chunk committed before its ack was lost: every
+                // row of it is in (bulk inserts are all-or-nothing).
+                Ok(Response::ReplayApplied) => {
+                    progress.acked_rows = end;
+                    progress.acked_count += end - offset;
+                }
+                Ok(other) => return Err(unexpected("BulkInsert", &other)),
+                Err(e) => {
+                    if e.is_transient() {
+                        // Keep progress (and the armed in-flight chunk)
+                        // so the retried load resumes, not restarts.
+                        self.bulk = Some(progress);
+                    }
+                    return Err(e);
+                }
             }
-            rows = rest;
         }
-        Ok(total)
+        Ok(progress.acked_count)
     }
 
     fn table_rows(&mut self, table: &str) -> Result<usize> {

@@ -16,17 +16,27 @@
 //!   graceful drain; composes with the engine's durability and fault
 //!   layers.
 //! - [`client`] — [`client::RemoteConnection`], the remote executor.
+//! - [`session`] — exactly-once machinery: the per-session reply
+//!   cache and the durable session log that lets statement dedup
+//!   survive a server `kill -9`.
+//! - [`chaos`] — a frame-aware byte-level chaos proxy for verifying
+//!   the exactly-once contract under cut/delay/duplicate faults.
 //!
-//! See `docs/SERVER.md` for the frame grammar and session lifecycle.
+//! See `docs/SERVER.md` for the frame grammar, the session lifecycle
+//! and the exactly-once contract.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod frame;
 pub mod proto;
 pub mod server;
+pub mod session;
 
+pub use chaos::{ChaosAction, ChaosProxy, Direction};
 pub use client::{ClientConfig, RemoteConnection};
-pub use proto::{Request, Response, PROTOCOL_VERSION};
+pub use proto::{Request, Response, StmtMeta, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use session::{Admit, ReplyCache, SessionLog};

@@ -15,9 +15,24 @@
 //! [`Error::StatementTooLong`] (the §3.3 capacity taxonomy that
 //! `sqlem`'s purpose attribution promotes), [`Error::Arithmetic`] (the
 //! degenerate-cluster recovery trigger), [`Error::Injected`] (fault
-//! injection's transient/applied semantics feed the retry policy) and
-//! [`Error::Net`] travel as themselves; every other variant arrives as
-//! its rendered message wrapped in [`Error::Remote`].
+//! injection's transient/applied semantics feed the retry policy),
+//! [`Error::Net`] and [`Error::Deadline`] (budget exhaustion must stay
+//! typed so clients can render an actionable message) travel as
+//! themselves; every other variant arrives as its rendered message
+//! wrapped in [`Error::Remote`].
+//!
+//! ## Statement idempotency keys
+//!
+//! The three statement-bearing requests ([`Request::Query`],
+//! [`Request::ExecutePrepared`], [`Request::BulkInsert`]) carry a
+//! [`StmtMeta`]: a per-session monotonically increasing sequence
+//! number (the idempotency key the server's reply cache dedups on) and
+//! the client's remaining per-statement deadline budget. Sessions are
+//! resumable: [`Request::Hello`] carries a resume token (empty for a
+//! new session) and [`Response::HelloAck`] returns the token the
+//! server issued or adopted, so a reconnecting client reattaches to
+//! its dedup window — even across a server `kill -9` when the server
+//! is durable. See `docs/SERVER.md` §3 for the full contract.
 
 use sqlengine::storage::codec::{put_str, put_u32, put_u64, put_value, read_value, Reader};
 use sqlengine::{Column, Schema, SymbolicCatalog};
@@ -26,8 +41,45 @@ use std::time::Duration;
 
 /// Protocol version; [`Request::Hello`] carries the client's, the server
 /// rejects mismatches permanently (a newer binary won't start working by
-/// retrying).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// retrying). Version 2 added statement sequence numbers, deadline
+/// propagation and session resume tokens.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Per-statement metadata every statement-bearing request carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StmtMeta {
+    /// Session-scoped, monotonically increasing statement sequence
+    /// number — the idempotency key the server's reply cache dedups
+    /// on. A redial replays the in-flight statement under its original
+    /// `seq`; a genuine retry after an *engine* error uses a fresh one.
+    pub seq: u64,
+    /// Remaining wall-clock budget for this statement in milliseconds,
+    /// measured at send time (relative, so no clock synchronisation is
+    /// assumed). `0` means no deadline.
+    pub deadline_ms: u64,
+}
+
+impl StmtMeta {
+    /// Metadata carrying only a sequence number (no deadline).
+    pub fn seq(seq: u64) -> Self {
+        StmtMeta {
+            seq,
+            deadline_ms: 0,
+        }
+    }
+}
+
+fn put_meta(buf: &mut Vec<u8>, m: &StmtMeta) {
+    put_u64(buf, m.seq);
+    put_u64(buf, m.deadline_ms);
+}
+
+fn read_meta(r: &mut Reader<'_>) -> Result<StmtMeta, Error> {
+    Ok(StmtMeta {
+        seq: r.u64()?,
+        deadline_ms: r.u64()?,
+    })
+}
 
 /// Client-to-server messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,9 +94,15 @@ pub enum Request {
         auth_token: String,
         /// Work-table prefix the session claims exclusively.
         namespace: String,
+        /// Resume token from a previous [`Response::HelloAck`], or empty
+        /// to start a fresh session. A known token reattaches the
+        /// client to its namespace, sequence window and reply cache.
+        resume_token: String,
     },
     /// Execute one SQL statement.
     Query {
+        /// Idempotency key + deadline budget.
+        meta: StmtMeta,
         /// Statement text.
         sql: String,
     },
@@ -55,6 +113,8 @@ pub enum Request {
     },
     /// Execute a previously prepared statement by server-assigned id.
     ExecutePrepared {
+        /// Idempotency key + deadline budget.
+        meta: StmtMeta,
         /// Id from the [`Response::PreparedIds`] answering a `Prepare`.
         id: u64,
     },
@@ -62,6 +122,8 @@ pub enum Request {
     ClearPrepared,
     /// Parser-bypassing bulk load (the FastLoad analogue, DESIGN.md §5).
     BulkInsert {
+        /// Idempotency key + deadline budget.
+        meta: StmtMeta,
         /// Destination table.
         table: String,
         /// Rows; every row must match the table's arity.
@@ -122,6 +184,10 @@ pub enum Response {
         limits: Limits,
         /// Human-readable server identification.
         description: String,
+        /// Session resume token: either the one the client presented
+        /// (reattach/adopt) or a freshly issued one. The client stores
+        /// it and presents it on every redial.
+        resume_token: String,
     },
     /// Operation succeeded with nothing to return.
     Ok,
@@ -146,6 +212,13 @@ pub enum Response {
     Catalog(SymbolicCatalog),
     /// Telemetry entries answering [`Request::MetricsSince`].
     Metrics(Vec<ExecMetrics>),
+    /// A replayed statement is *proven applied* (its WAL frame
+    /// committed before the crash) but the cached reply bytes did not
+    /// survive the server restart. The client reconciles: the mutation
+    /// happened exactly once, only the result payload is gone — safe
+    /// for the DML/bulk statements the EM driver replays, which only
+    /// need the applied/not-applied bit.
+    ReplayApplied,
 }
 
 // ---------------------------------------------------------------------
@@ -177,6 +250,7 @@ const OP_PREPARED_IDS: u8 = 0x87;
 const OP_PREPARE_ERR: u8 = 0x88;
 const OP_CATALOG: u8 = 0x89;
 const OP_METRICS: u8 = 0x8A;
+const OP_REPLAY_APPLIED: u8 = 0x8B;
 
 // error relay tags
 const ERR_OTHER: u8 = 0;
@@ -184,6 +258,7 @@ const ERR_TOO_LONG: u8 = 1;
 const ERR_ARITHMETIC: u8 = 2;
 const ERR_INJECTED: u8 = 3;
 const ERR_NET: u8 = 4;
+const ERR_DEADLINE: u8 = 5;
 
 fn malformed(what: &str) -> Error {
     Error::net_permanent("decode message", format!("malformed {what}"))
@@ -235,6 +310,11 @@ fn put_error(buf: &mut Vec<u8>, e: &Error) {
             put_str(buf, message);
             put_bool(buf, *transient);
         }
+        Error::Deadline { context, budget_ms } => {
+            buf.push(ERR_DEADLINE);
+            put_str(buf, context);
+            put_u64(buf, *budget_ms);
+        }
         // Re-relaying an already-relayed error must not stack
         // "server error:" prefixes.
         Error::Remote(m) => {
@@ -264,6 +344,10 @@ fn read_error(r: &mut Reader<'_>) -> Result<Error, Error> {
             context: r.str()?,
             message: r.str()?,
             transient: read_bool(r)?,
+        },
+        ERR_DEADLINE => Error::Deadline {
+            context: r.str()?,
+            budget_ms: r.u64()?,
         },
         ERR_OTHER => Error::Remote(r.str()?),
         _ => return Err(malformed("error tag")),
@@ -497,14 +581,17 @@ impl Request {
                 version,
                 auth_token,
                 namespace,
+                resume_token,
             } => {
                 buf.push(OP_HELLO);
                 put_u32(&mut buf, *version);
                 put_str(&mut buf, auth_token);
                 put_str(&mut buf, namespace);
+                put_str(&mut buf, resume_token);
             }
-            Request::Query { sql } => {
+            Request::Query { meta, sql } => {
                 buf.push(OP_QUERY);
+                put_meta(&mut buf, meta);
                 put_str(&mut buf, sql);
             }
             Request::Prepare { statements } => {
@@ -514,13 +601,15 @@ impl Request {
                     put_str(&mut buf, s);
                 }
             }
-            Request::ExecutePrepared { id } => {
+            Request::ExecutePrepared { meta, id } => {
                 buf.push(OP_EXECUTE_PREPARED);
+                put_meta(&mut buf, meta);
                 put_u64(&mut buf, *id);
             }
             Request::ClearPrepared => buf.push(OP_CLEAR_PREPARED),
-            Request::BulkInsert { table, rows } => {
+            Request::BulkInsert { meta, table, rows } => {
                 buf.push(OP_BULK_INSERT);
+                put_meta(&mut buf, meta);
                 put_str(&mut buf, table);
                 put_rows(&mut buf, rows);
             }
@@ -560,8 +649,12 @@ impl Request {
                 version: r.u32()?,
                 auth_token: r.str()?,
                 namespace: r.str()?,
+                resume_token: r.str()?,
             },
-            OP_QUERY => Request::Query { sql: r.str()? },
+            OP_QUERY => Request::Query {
+                meta: read_meta(&mut r)?,
+                sql: r.str()?,
+            },
             OP_PREPARE => {
                 let n = r.u32()? as usize;
                 let mut statements = Vec::with_capacity(n.min(r.remaining()));
@@ -570,9 +663,13 @@ impl Request {
                 }
                 Request::Prepare { statements }
             }
-            OP_EXECUTE_PREPARED => Request::ExecutePrepared { id: r.u64()? },
+            OP_EXECUTE_PREPARED => Request::ExecutePrepared {
+                meta: read_meta(&mut r)?,
+                id: r.u64()?,
+            },
             OP_CLEAR_PREPARED => Request::ClearPrepared,
             OP_BULK_INSERT => Request::BulkInsert {
+                meta: read_meta(&mut r)?,
                 table: r.str()?,
                 rows: read_rows(&mut r)?,
             },
@@ -607,6 +704,7 @@ impl Response {
                 max_statement_len,
                 limits,
                 description,
+                resume_token,
             } => {
                 buf.push(OP_HELLO_ACK);
                 put_u32(&mut buf, *version);
@@ -614,6 +712,7 @@ impl Response {
                 put_u64(&mut buf, *max_statement_len);
                 put_limits(&mut buf, limits);
                 put_str(&mut buf, description);
+                put_str(&mut buf, resume_token);
             }
             Response::Ok => buf.push(OP_OK),
             Response::Bool(b) => {
@@ -655,6 +754,7 @@ impl Response {
                     put_metrics_entry(&mut buf, m);
                 }
             }
+            Response::ReplayApplied => buf.push(OP_REPLAY_APPLIED),
         }
         buf
     }
@@ -669,6 +769,7 @@ impl Response {
                 max_statement_len: r.u64()?,
                 limits: read_limits(&mut r)?,
                 description: r.str()?,
+                resume_token: r.str()?,
             },
             OP_OK => Response::Ok,
             OP_BOOL => Response::Bool(read_bool(&mut r)?),
@@ -696,6 +797,7 @@ impl Response {
                 }
                 Response::Metrics(entries)
             }
+            OP_REPLAY_APPLIED => Response::ReplayApplied,
             _ => return Err(malformed("response opcode")),
         };
         if r.remaining() != 0 {
@@ -732,16 +834,25 @@ mod tests {
             version: PROTOCOL_VERSION,
             auth_token: "sekrit".into(),
             namespace: "run1_".into(),
+            resume_token: "tok-42".into(),
         });
         roundtrip_req(Request::Query {
+            meta: StmtMeta {
+                seq: 3,
+                deadline_ms: 1500,
+            },
             sql: "SELECT 1".into(),
         });
         roundtrip_req(Request::Prepare {
             statements: vec!["DELETE FROM c".into(), "INSERT INTO c VALUES (1)".into()],
         });
-        roundtrip_req(Request::ExecutePrepared { id: 7 });
+        roundtrip_req(Request::ExecutePrepared {
+            meta: StmtMeta::seq(8),
+            id: 7,
+        });
         roundtrip_req(Request::ClearPrepared);
         roundtrip_req(Request::BulkInsert {
+            meta: StmtMeta::seq(9),
             table: "z".into(),
             rows: vec![
                 vec![Value::Int(1), Value::Double(0.5), Value::Null],
@@ -766,13 +877,15 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         roundtrip_resp(Response::HelloAck {
-            version: 1,
+            version: 2,
             session: 9,
             max_statement_len: 1 << 20,
             limits: Limits::default(),
             description: "sqlem-server".into(),
+            resume_token: "tok-9".into(),
         });
         roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::ReplayApplied);
         roundtrip_resp(Response::Bool(true));
         roundtrip_resp(Response::Count(12345));
         roundtrip_resp(Response::Rows(QueryResult {
@@ -815,6 +928,10 @@ mod tests {
             applied: false,
             statement: 4,
         });
+        assert!(e.is_transient());
+        // Deadline overruns must survive typed (transient, actionable).
+        let e = roundtrip_err(Error::deadline("lock wait", 250));
+        assert!(matches!(e, Error::Deadline { budget_ms: 250, .. }));
         assert!(e.is_transient());
         // Everything else flattens to Remote with the rendered text.
         let e = roundtrip_err(Error::UnknownTable("nope".into()));
@@ -870,6 +987,7 @@ mod tests {
     #[test]
     fn truncated_payloads_are_rejected() {
         let full = Request::BulkInsert {
+            meta: StmtMeta::seq(5),
             table: "z".into(),
             rows: vec![vec![Value::Int(1), Value::Str("abc".into())]],
         }

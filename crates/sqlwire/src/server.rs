@@ -11,36 +11,52 @@
 //!    (backpressure: a client retry policy will wait and reconnect).
 //! 2. **Handshake** — the client's [`Request::Hello`] carries the
 //!    protocol version, a shared-secret token and the work-table
-//!    namespace it wants. Version and token mismatches are rejected
+//!    namespace it wants, plus an optional *resume token* from an
+//!    earlier session. Version and token mismatches are rejected
 //!    *permanently*; a namespace another live session owns is rejected
-//!    transiently (it frees on that session's disconnect).
+//!    transiently (it frees on that session's disconnect). A known
+//!    resume token reattaches the client to its namespace and its
+//!    exactly-once dedup window — cancelling any zombie session still
+//!    holding the token.
 //! 3. **Statements** — executed under the shared database lock with a
 //!    bounded wait ([`ServerConfig::lock_timeout`]): a session that
 //!    cannot get the lock in time gets a transient statement-timeout
 //!    error instead of wedging behind a long-running peer forever.
+//!    Statement-bearing requests carry a [`StmtMeta`] idempotency key;
+//!    the server deduplicates replays through a per-token
+//!    [`ReplyCache`], and — when the database is durable — journals
+//!    intent/outcome records to a sidecar session log so dedup
+//!    survives `kill -9` (see [`crate::session`]). Requests may also
+//!    carry a deadline budget, enforced against both the lock wait and
+//!    the execution path and surfaced as the typed, transient
+//!    [`sqlengine::Error::Deadline`].
 //! 4. **Idle timeout** — a session that sends nothing for
 //!    [`ServerConfig::idle_timeout`] is closed and its namespace freed.
 //! 5. **Teardown** — orderly ([`Request::Goodbye`]) or not, the session
 //!    unregisters its prepared statements and releases its namespace.
+//!    An orderly goodbye also retires the resume token; a torn
+//!    connection keeps it alive for reattach.
 //!
 //! Shutdown ([`ServerHandle::shutdown`]) stops accepting and *drains*:
 //! live sessions keep working until they disconnect or the drain
 //! timeout passes. Composability with the durability layer is free —
 //! hand [`Server::bind`] a `SharedDatabase` whose inner database was
 //! opened with [`Database::open_durable`](sqlengine::Database::open_durable)
-//! and every mutation is WAL-logged exactly as in-process.
+//! and every mutation is WAL-logged exactly as in-process; the session
+//! log is created next to the WAL automatically.
 
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use sqlengine::{Database, Error, Result, SharedDatabase, SqlExecutor};
+use sqlengine::{Database, Error, Result, SharedDatabase, SqlExecutor, WalRecovery};
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{Request, Response, PROTOCOL_VERSION};
+use crate::proto::{Request, Response, StmtMeta, PROTOCOL_VERSION};
+use crate::session::{format_token, token_ordinal, Admit, ReplyCache, SessionLog};
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -81,8 +97,20 @@ impl Default for ServerConfig {
 struct SessionEntry {
     /// Namespace the session claimed exclusively ("" = none).
     namespace: String,
+    /// The session's resume token (used for zombie takeover).
+    token: String,
     /// Set by [`Request::Cancel`]; the session fails its next request.
     cancelled: Arc<AtomicBool>,
+}
+
+/// Exactly-once state for one resume token. Lives in the dedup
+/// registry, which outlives individual connections: a reconnect
+/// presenting the token reattaches to this entry.
+struct DedupEntry {
+    /// Namespace the token is bound to.
+    namespace: String,
+    /// Sequence window + cached replies + applied watermark.
+    cache: ReplyCache,
 }
 
 /// State shared between the accept loop, session threads and handles.
@@ -91,7 +119,13 @@ struct ServerState {
     active: AtomicUsize,
     accepted: AtomicU64,
     next_session: AtomicU64,
+    next_token: AtomicU64,
     sessions: Mutex<HashMap<u64, SessionEntry>>,
+    /// Resume-token → dedup window. All access to the session log is
+    /// serialized under this lock (lock order: dedup → db → log).
+    dedup: Mutex<HashMap<String, DedupEntry>>,
+    /// Durable sidecar journal; `None` for in-memory databases.
+    session_log: Option<Mutex<SessionLog>>,
 }
 
 /// Control handle for a running [`Server`] (cloneable across threads).
@@ -110,6 +144,15 @@ impl ServerHandle {
     pub fn active_sessions(&self) -> usize {
         self.state.active.load(Ordering::SeqCst)
     }
+
+    /// Number of resume tokens with live dedup state (tests).
+    pub fn live_tokens(&self) -> usize {
+        self.state
+            .dedup
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
 }
 
 /// A bound, not-yet-running server. Call [`Server::run`] to serve.
@@ -122,9 +165,42 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// For a durable database this opens (or creates) the session log
+    /// next to the WAL and rebuilds the exactly-once dedup state of
+    /// every session the previous incarnation left behind, correlating
+    /// unresolved intents with what WAL recovery found.
     pub fn bind(addr: &str, db: SharedDatabase, config: ServerConfig) -> Result<Server> {
         let listener =
             TcpListener::bind(addr).map_err(|e| Error::net_permanent("bind", e.to_string()))?;
+        let durable: Option<(std::path::PathBuf, WalRecovery)> =
+            db.with(|d| match (d.data_dir(), d.wal_recovery_info()) {
+                (Some(dir), Some(rec)) => Some((dir.to_path_buf(), rec.clone())),
+                _ => None,
+            });
+        let mut dedup = HashMap::new();
+        let mut max_token = 0u64;
+        let session_log = match durable {
+            Some((dir, recovery)) => {
+                let (log, recovered, max_id) = SessionLog::open(&dir, &recovery)?;
+                max_token = max_id;
+                for (token, s) in recovered {
+                    dedup.insert(
+                        token,
+                        DedupEntry {
+                            namespace: s.namespace,
+                            cache: ReplyCache::recovered(
+                                crate::session::DEFAULT_REPLY_WINDOW,
+                                s.applied,
+                                s.max_intent,
+                            ),
+                        },
+                    );
+                }
+                Some(Mutex::new(log))
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
             db,
@@ -134,7 +210,10 @@ impl Server {
                 active: AtomicUsize::new(0),
                 accepted: AtomicU64::new(0),
                 next_session: AtomicU64::new(1),
+                next_token: AtomicU64::new(max_token + 1),
                 sessions: Mutex::new(HashMap::new()),
+                dedup: Mutex::new(dedup),
+                session_log,
             }),
         })
     }
@@ -213,6 +292,7 @@ fn serve_session(
         version,
         auth_token,
         namespace,
+        resume_token,
     } = hello
     else {
         let e = Error::net_permanent("handshake", "first message must be Hello");
@@ -246,10 +326,31 @@ fn serve_session(
         return Err(e);
     }
 
+    // Resolve the resume token: issue, reattach, or adopt.
+    let token = match attach_token(state, &resume_token, &namespace) {
+        Ok(t) => t,
+        Err(e) => {
+            write_frame(&mut stream, &Response::Err(e.clone()).encode())?;
+            return Err(e);
+        }
+    };
+
     let session_id;
     let cancelled = Arc::new(AtomicBool::new(false));
     {
         let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        // Zombie takeover: a live session still holding this token is a
+        // previous incarnation of *this* client whose wire death the
+        // server has not noticed yet. Cancel it and free its slot so
+        // the namespace check below does not see our own ghost.
+        sessions.retain(|_, s| {
+            if s.token == token {
+                s.cancelled.store(true, Ordering::SeqCst);
+                false
+            } else {
+                true
+            }
+        });
         if !namespace.is_empty() && sessions.values().any(|s| s.namespace == namespace) {
             drop(sessions);
             let e = Error::net_transient(
@@ -264,6 +365,7 @@ fn serve_session(
             session_id,
             SessionEntry {
                 namespace: namespace.clone(),
+                token: token.clone(),
                 cancelled: Arc::clone(&cancelled),
             },
         );
@@ -291,13 +393,22 @@ fn serve_session(
                     "in-memory"
                 }
             ),
+            resume_token: token.clone(),
         }
         .encode(),
     )?;
 
     // ---- request loop ----------------------------------------------
     let mut my_prepared: Vec<u64> = Vec::new();
-    let result = request_loop(&mut stream, db, config, state, &cancelled, &mut my_prepared);
+    let result = request_loop(
+        &mut stream,
+        db,
+        config,
+        state,
+        &token,
+        &cancelled,
+        &mut my_prepared,
+    );
 
     // ---- teardown --------------------------------------------------
     db.with(|d| {
@@ -310,14 +421,77 @@ fn serve_session(
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .remove(&session_id);
+    if result.is_ok() {
+        // Orderly goodbye: retire the token and its dedup window. A
+        // torn connection keeps both alive for reattach.
+        let mut dedup = state.dedup.lock().unwrap_or_else(|e| e.into_inner());
+        if dedup.remove(&token).is_some() {
+            if let Some(log) = state.session_log.as_ref() {
+                let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+                let _ = log.close_token(&token);
+            }
+        }
+    }
     result
 }
 
+/// Resolve the Hello's resume token against the dedup registry:
+/// empty → issue a fresh token; known → reattach (namespace must
+/// match); unknown → adopt it with a fresh window (a non-durable
+/// restart forgot the token — the data is gone too, so a fresh window
+/// is exactly right).
+fn attach_token(state: &ServerState, resume_token: &str, namespace: &str) -> Result<String> {
+    let mut dedup = state.dedup.lock().unwrap_or_else(|e| e.into_inner());
+    let token = if resume_token.is_empty() {
+        loop {
+            let t = format_token(state.next_token.fetch_add(1, Ordering::SeqCst));
+            if !dedup.contains_key(&t) {
+                break t;
+            }
+        }
+    } else {
+        resume_token.to_string()
+    };
+    match dedup.get(&token) {
+        Some(entry) => {
+            if entry.namespace != namespace {
+                return Err(Error::net_permanent(
+                    "handshake",
+                    format!(
+                        "resume token is bound to namespace {:?}, not {namespace:?}",
+                        entry.namespace
+                    ),
+                ));
+            }
+        }
+        None => {
+            if let Some(n) = token_ordinal(&token) {
+                // Keep issued ordinals ahead of any adopted token.
+                state.next_token.fetch_max(n + 1, Ordering::SeqCst);
+            }
+            dedup.insert(
+                token.clone(),
+                DedupEntry {
+                    namespace: namespace.to_string(),
+                    cache: ReplyCache::default(),
+                },
+            );
+            if let Some(log) = state.session_log.as_ref() {
+                let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+                log.open_token(&token, namespace)?;
+            }
+        }
+    }
+    Ok(token)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn request_loop(
     stream: &mut TcpStream,
     db: &SharedDatabase,
     config: &ServerConfig,
     state: &ServerState,
+    token: &str,
     cancelled: &AtomicBool,
     my_prepared: &mut Vec<u64>,
 ) -> Result<()> {
@@ -353,7 +527,7 @@ fn request_loop(
                     None => Response::Bool(false),
                 }
             }
-            other => dispatch_db(db, config, other, my_prepared),
+            other => dispatch_db(db, config, state, token, other, my_prepared),
         };
         write_frame(stream, &response.encode())?;
     }
@@ -363,6 +537,8 @@ fn request_loop(
 fn dispatch_db(
     db: &SharedDatabase,
     config: &ServerConfig,
+    state: &ServerState,
+    token: &str,
     request: Request,
     my_prepared: &mut Vec<u64>,
 ) -> Response {
@@ -385,7 +561,9 @@ fn dispatch_db(
         }
     }
     match request {
-        Request::Query { sql } => run(&mut |d| reply(d.execute(&sql), Response::Rows)),
+        Request::Query { meta, sql } => keyed(db, config, state, token, meta, &mut |d| {
+            d.execute(&sql).map(Response::Rows)
+        }),
         Request::Prepare { statements } => {
             run(&mut |d| match SqlExecutor::prepare_script(d, &statements) {
                 Ok(ids) => {
@@ -398,18 +576,15 @@ fn dispatch_db(
                 },
             })
         }
-        Request::ExecutePrepared { id } => {
+        Request::ExecutePrepared { meta, id } => {
             if !my_prepared.contains(&id) {
                 return Response::Err(Error::net_permanent(
                     "execute prepared",
                     format!("unknown prepared id {id} for this session"),
                 ));
             }
-            run(&mut |d| {
-                reply(
-                    SqlExecutor::run_prepared(d, sqlengine::PreparedId(id)),
-                    Response::Rows,
-                )
+            keyed(db, config, state, token, meta, &mut |d| {
+                SqlExecutor::run_prepared(d, sqlengine::PreparedId(id)).map(Response::Rows)
             })
         }
         Request::ClearPrepared => run(&mut |d| {
@@ -418,13 +593,14 @@ fn dispatch_db(
             }
             Response::Ok
         }),
-        Request::BulkInsert { table, rows } => {
-            // `run` takes an FnMut but calls it at most once; Option
+        Request::BulkInsert { meta, table, rows } => {
+            // `keyed` takes an FnMut but calls it at most once; Option
             // lets the rows move into bulk_insert without a clone.
             let mut rows = Some(rows);
-            run(&mut |d| {
+            keyed(db, config, state, token, meta, &mut |d| {
                 let rows = rows.take().expect("bulk-insert closure runs once");
-                reply(d.bulk_insert(&table, rows), |n| Response::Count(n as u64))
+                d.bulk_insert(&table, rows)
+                    .map(|n| Response::Count(n as u64))
             })
         }
         Request::TableRows { table } => {
@@ -458,4 +634,150 @@ fn dispatch_db(
             Response::Err(Error::net_permanent("session", "unreachable request"))
         }
     }
+}
+
+/// Rewrite an engine-raised deadline error (which only knows "the
+/// budget expired", `budget_ms == 0`) with the budget the client
+/// actually sent, so the surfaced error is actionable.
+fn rewrite_deadline(e: Error, budget_ms: u64) -> Error {
+    match e {
+        Error::Deadline {
+            context,
+            budget_ms: 0,
+        } => Error::Deadline { context, budget_ms },
+        other => other,
+    }
+}
+
+/// Execute one idempotency-keyed statement: admit it against the
+/// session's dedup window, journal intent/outcome around execution
+/// (durable servers), enforce the deadline budget against both lock
+/// wait and execution, and record the reply for future replays.
+fn keyed(
+    db: &SharedDatabase,
+    config: &ServerConfig,
+    state: &ServerState,
+    token: &str,
+    meta: StmtMeta,
+    exec: &mut dyn FnMut(&mut Database) -> Result<Response>,
+) -> Response {
+    // The dedup registry is held for the whole statement: it serializes
+    // replay classification, session-log access and the rewrite pass
+    // (lock order: dedup → db → log; the log is always innermost).
+    let mut dedup = state.dedup.lock().unwrap_or_else(|e| e.into_inner());
+    match dedup.get_mut(token) {
+        None => {
+            return Response::Err(Error::net_permanent(
+                "session",
+                "unknown session token (session was closed)",
+            ))
+        }
+        Some(entry) => match entry.cache.admit(meta.seq) {
+            Admit::Replay(r) => return r,
+            Admit::ProvenApplied => return Response::ReplayApplied,
+            Admit::Fresh | Admit::NotApplied => {}
+        },
+    }
+
+    // Deadline budget: bounds the lock wait below and, via the engine's
+    // statement deadline, the execution inside.
+    let deadline =
+        (meta.deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(meta.deadline_ms));
+    let lock_wait = match deadline {
+        Some(dl) => {
+            let remaining = dl.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Response::Err(Error::deadline("lock wait", meta.deadline_ms));
+            }
+            config.lock_timeout.min(remaining)
+        }
+        None => config.lock_timeout,
+    };
+
+    let executed = db.with_timeout(lock_wait, |d| {
+        // Journal the intent (fsynced) *before* executing: the WAL seq
+        // recorded here lets recovery decide whether this statement's
+        // effects committed. This fsync also flushes every earlier
+        // outcome append — the invariant recovery judgement relies on.
+        let engine_seq = d.wal_next_seq();
+        if let (Some(log), Some(eseq)) = (state.session_log.as_ref(), engine_seq) {
+            let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = log.intent(token, meta.seq, eseq) {
+                // Refuse to execute without a durable intent: failing
+                // closed keeps exactly-once sound.
+                return (Response::Err(e), false);
+            }
+        }
+        d.set_statement_deadline(deadline);
+        let result = exec(d);
+        d.set_statement_deadline(None);
+        // Applied = succeeded and consumed a WAL frame. In-memory
+        // databases report false: their replies never outlive the
+        // process, so the applied watermark is never consulted.
+        let applied = result.is_ok()
+            && match (engine_seq, d.wal_next_seq()) {
+                (Some(before), Some(after)) => after > before,
+                _ => false,
+            };
+        let response = match result {
+            Ok(r) => r,
+            Err(e) => Response::Err(rewrite_deadline(e, meta.deadline_ms)),
+        };
+        if let Some(log) = state.session_log.as_ref() {
+            let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+            // Failures are fsynced (their WAL evidence may be compacted
+            // away later); success outcomes ride the next intent's
+            // fsync. An append failure here is survivable either way:
+            // recovery re-derives the outcome from the WAL.
+            let failed = matches!(response, Response::Err(_));
+            let _ = log.outcome(token, meta.seq, applied, failed);
+        }
+        (response, applied)
+    });
+
+    let (response, applied) = match executed {
+        Some(v) => v,
+        None => {
+            // Lock not acquired in time. Not recorded in the dedup
+            // window: nothing executed, so a replay (or retry) should
+            // attempt the lock again rather than be served this error.
+            return if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                Response::Err(Error::deadline("lock wait", meta.deadline_ms))
+            } else {
+                Response::Err(Error::net_transient(
+                    "execute",
+                    format!(
+                        "statement timeout: database lock not acquired within {:?}",
+                        config.lock_timeout
+                    ),
+                ))
+            };
+        }
+    };
+
+    if let Some(entry) = dedup.get_mut(token) {
+        entry.cache.record(meta.seq, response.clone(), applied);
+    }
+
+    // Size-bound the session log: rewrite it as per-token baselines.
+    // Safe here because we hold the dedup lock — no statement is
+    // between its intent and outcome, and no other log writer runs.
+    if let Some(log) = state.session_log.as_ref() {
+        let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+        if log.wants_rewrite() {
+            let live: Vec<(String, String, Option<u64>, u64)> = dedup
+                .iter()
+                .map(|(t, e)| {
+                    (
+                        t.clone(),
+                        e.namespace.clone(),
+                        e.cache.applied_watermark(),
+                        e.cache.expected(),
+                    )
+                })
+                .collect();
+            let _ = log.rewrite(&live);
+        }
+    }
+    response
 }

@@ -26,8 +26,10 @@ use emcore::GmmParams;
 use sqlem::{EmSession, RetryPolicy, SqlemConfig, SqlemRun, Strategy};
 use sqlengine::{Database, SharedDatabase, SqlExecutor, Value};
 use sqlwire::frame::{read_frame, write_frame};
-use sqlwire::proto::{Request, Response};
-use sqlwire::{ClientConfig, RemoteConnection, Server, ServerConfig, ServerHandle};
+use sqlwire::proto::{same_encoding, Request, Response};
+use sqlwire::{
+    ClientConfig, RemoteConnection, Server, ServerConfig, ServerHandle, StmtMeta, PROTOCOL_VERSION,
+};
 
 // ---------------------------------------------------------------------
 // harness
@@ -359,6 +361,7 @@ fn protocol_version_mismatch_is_rejected_permanently() {
         version: 9999,
         auth_token: String::new(),
         namespace: String::new(),
+        resume_token: String::new(),
     };
     write_frame(&mut stream, &hello.encode()).unwrap();
     let resp = Response::decode(&read_frame(&mut stream).unwrap()).unwrap();
@@ -501,6 +504,223 @@ fn statement_lock_timeout_is_transient_backpressure() {
     hold.join().unwrap();
 
     // Once the lock frees, the same connection works again.
+    assert!(conn.execute("SELECT 1").is_ok());
+    drop(conn);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// exactly-once: idempotency keys, resume tokens, deadlines
+
+/// Raw-wire handshake helper: returns the stream and the issued token.
+fn raw_handshake(addr: &str, namespace: &str, resume_token: &str) -> (TcpStream, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let hello = Request::Hello {
+        version: PROTOCOL_VERSION,
+        auth_token: String::new(),
+        namespace: namespace.to_string(),
+        resume_token: resume_token.to_string(),
+    };
+    write_frame(&mut stream, &hello.encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut stream).unwrap()).unwrap();
+    let Response::HelloAck { resume_token, .. } = resp else {
+        panic!("expected HelloAck, got {resp:?}");
+    };
+    (stream, resume_token)
+}
+
+fn raw_roundtrip(stream: &mut TcpStream, req: &Request) -> Response {
+    write_frame(stream, &req.encode()).unwrap();
+    Response::decode(&read_frame(stream).unwrap()).unwrap()
+}
+
+#[test]
+fn duplicate_delivery_is_acked_from_the_reply_cache() {
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let (mut stream, token) = raw_handshake(&server.addr, "", "");
+    assert!(!token.is_empty(), "the server must issue a resume token");
+
+    let create = Request::Query {
+        meta: StmtMeta::seq(0),
+        sql: "CREATE TABLE dup (i BIGINT PRIMARY KEY)".into(),
+    };
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &create),
+        Response::Rows(_)
+    ));
+
+    // Deliver the same keyed INSERT twice (what a duplicating network
+    // or a replaying client produces). The second must be acked from
+    // the reply cache — bit-identical — and never re-executed: a
+    // re-execution would raise a duplicate-key error.
+    let insert = Request::Query {
+        meta: StmtMeta::seq(1),
+        sql: "INSERT INTO dup VALUES (1)".into(),
+    };
+    let first = raw_roundtrip(&mut stream, &insert);
+    assert!(matches!(first, Response::Rows(_)), "{first:?}");
+    let second = raw_roundtrip(&mut stream, &insert);
+    assert!(
+        same_encoding(&first, &second),
+        "replay must be bit-identical: {first:?} vs {second:?}"
+    );
+
+    // Stale sequence number (the CREATE) after newer traffic: still
+    // acked from the window, not re-executed (which would raise a
+    // duplicate-table error).
+    let stale = raw_roundtrip(&mut stream, &create);
+    assert!(matches!(stale, Response::Rows(_)), "{stale:?}");
+
+    // Exactly one row made it in.
+    let count = raw_roundtrip(
+        &mut stream,
+        &Request::TableRows {
+            table: "dup".into(),
+        },
+    );
+    let Response::Count(n) = count else {
+        panic!("expected a count, got {count:?}");
+    };
+    assert_eq!(n, 1, "the duplicate delivery must not double-insert");
+    drop(stream);
+    server.stop();
+}
+
+#[test]
+fn error_replies_replay_identically_from_the_cache() {
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let (mut stream, _token) = raw_handshake(&server.addr, "", "");
+    let bad = Request::Query {
+        meta: StmtMeta::seq(0),
+        sql: "SELECT 1 FROM no_such_table".into(),
+    };
+    let first = raw_roundtrip(&mut stream, &bad);
+    assert!(matches!(first, Response::Err(_)), "{first:?}");
+    let second = raw_roundtrip(&mut stream, &bad);
+    assert!(
+        same_encoding(&first, &second),
+        "a replayed failure must reproduce the same error"
+    );
+    drop(stream);
+    server.stop();
+}
+
+#[test]
+fn resume_token_survives_reconnect_and_keeps_the_dedup_window() {
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+
+    // Session 1: issue a token, execute a keyed statement.
+    let (stream1, token) = raw_handshake(&server.addr, "rt_", "");
+    let mut s1 = stream1;
+    let create = Request::Query {
+        meta: StmtMeta::seq(0),
+        sql: "CREATE TABLE rt_t (i BIGINT PRIMARY KEY)".into(),
+    };
+    assert!(matches!(raw_roundtrip(&mut s1, &create), Response::Rows(_)));
+
+    // Session 2 presents the token WITHOUT an orderly goodbye on
+    // session 1: the server must cancel the zombie, reattach the
+    // namespace, and keep the dedup window — replaying seq 0 is acked
+    // from the cache instead of raising a duplicate-table error.
+    let (mut s2, token2) = raw_handshake(&server.addr, "rt_", &token);
+    assert_eq!(token2, token, "reattach echoes the presented token");
+    let replay = raw_roundtrip(&mut s2, &create);
+    assert!(
+        matches!(replay, Response::Rows(_)),
+        "replay after reconnect must be served, got {replay:?}"
+    );
+    drop(s1);
+    drop(s2);
+    server.stop();
+}
+
+#[test]
+fn resume_token_bound_to_other_namespace_is_rejected() {
+    let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
+    let (_s1, token) = raw_handshake(&server.addr, "nsa_", "");
+    let mut stream = TcpStream::connect(&server.addr).unwrap();
+    let hello = Request::Hello {
+        version: PROTOCOL_VERSION,
+        auth_token: String::new(),
+        namespace: "nsb_".to_string(),
+        resume_token: token,
+    };
+    write_frame(&mut stream, &hello.encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut stream).unwrap()).unwrap();
+    let Response::Err(e) = resp else {
+        panic!("expected a rejection, got {resp:?}");
+    };
+    assert!(!e.is_transient(), "namespace/token mismatch is permanent");
+    drop(stream);
+    server.stop();
+}
+
+#[test]
+fn client_replays_in_flight_statement_after_idle_disconnect() {
+    // The server hangs up idle sessions after 100 ms. The client's
+    // first post-sleep statement hits a dead wire (transient error);
+    // the *retried* statement replays under the same sequence number
+    // through the resumed token — observable as: no duplicate-key
+    // error, exactly one row, same resume token.
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(SharedDatabase::default(), config);
+    let mut conn = connect(&server.addr, "ri_");
+    conn.execute("CREATE TABLE ri_t (i BIGINT PRIMARY KEY)")
+        .unwrap();
+    let token_before = conn.resume_token().to_string();
+    thread::sleep(Duration::from_millis(300));
+    // Dead wire: the first attempt fails transiently…
+    let err = conn.execute("INSERT INTO ri_t VALUES (1)").unwrap_err();
+    assert!(err.is_transient(), "{err}");
+    // …and the bare retry succeeds (replay or fresh execution — either
+    // way exactly once).
+    conn.execute("INSERT INTO ri_t VALUES (1)").unwrap();
+    assert_eq!(conn.table_rows("ri_t").unwrap(), 1);
+    assert_eq!(conn.resume_token(), token_before, "token is stable");
+    drop(conn);
+    server.stop();
+}
+
+#[test]
+fn statement_deadline_surfaces_as_typed_transient_error() {
+    let shared = SharedDatabase::default();
+    let server = TestServer::start(shared.clone(), ServerConfig::default());
+    let mut conn = RemoteConnection::connect(
+        &server.addr,
+        ClientConfig {
+            statement_deadline: Some(Duration::from_millis(100)),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Hold the database lock well past the client's budget: the server
+    // must give up at the *deadline* (not its own 30 s lock timeout)
+    // and answer with the typed deadline error.
+    let blocker = shared.clone();
+    let hold = thread::spawn(move || {
+        blocker.with(|_db| thread::sleep(Duration::from_millis(600)));
+    });
+    thread::sleep(Duration::from_millis(50)); // let the blocker win the lock
+    let start = std::time::Instant::now();
+    let err = conn.execute("SELECT 1").unwrap_err();
+    let waited = start.elapsed();
+    assert!(
+        matches!(err, sqlengine::Error::Deadline { .. }),
+        "expected a typed deadline error, got {err}"
+    );
+    assert!(err.is_transient(), "deadline errors invite a retry: {err}");
+    assert!(err.to_string().contains("100"), "budget in message: {err}");
+    assert!(
+        waited < Duration::from_millis(500),
+        "must give up at the deadline, waited {waited:?}"
+    );
+    hold.join().unwrap();
+
+    // With the lock free the same statement fits the budget again.
     assert!(conn.execute("SELECT 1").is_ok());
     drop(conn);
     server.stop();

@@ -16,13 +16,21 @@
 //! Decoders must also never panic on arbitrary garbage: a malicious or
 //! corrupt peer gets an [`Error`], not a crashed server.
 //!
+//! On top of the codec, the exactly-once machinery gets its own
+//! properties: for *any* interleaving of recorded replies, duplicated
+//! and stale sequence numbers are answered from the [`ReplyCache`] with
+//! the bit-identical original reply (or a proven-applied
+//! reconciliation) — never re-execution — including across the
+//! cache-rebuild a server restart performs.
+//!
 //! (Gated behind the `proptest` feature: restore the proptest
 //! dev-dependency to run.)
 
 use proptest::prelude::*;
 use sqlengine::{Error, QueryResult, Value};
 use sqlwire::frame::{encode_frame, read_frame};
-use sqlwire::proto::{same_encoding, Request, Response};
+use sqlwire::proto::{same_encoding, Request, Response, StmtMeta};
+use sqlwire::session::{Admit, ReplyCache};
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -39,6 +47,12 @@ fn arb_rows() -> impl Strategy<Value = Vec<Vec<Value>>> {
     proptest::collection::vec(proptest::collection::vec(arb_value(), 0..5), 0..6)
 }
 
+fn arb_meta() -> impl Strategy<Value = StmtMeta> {
+    // Sequence numbers and deadline budgets cover the full u64 range:
+    // the codec must not care about semantic plausibility.
+    (any::<u64>(), any::<u64>()).prop_map(|(seq, deadline_ms)| StmtMeta { seq, deadline_ms })
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     let simple = prop_oneof![
         Just(Request::ClearPrepared),
@@ -46,26 +60,33 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::MetricsLen),
         Just(Request::NoteRetry),
         Just(Request::Goodbye),
-        any::<u64>().prop_map(|id| Request::ExecutePrepared { id }),
+        (arb_meta(), any::<u64>()).prop_map(|(meta, id)| Request::ExecutePrepared { meta, id }),
         any::<u64>().prop_map(|from| Request::MetricsSince { from }),
         any::<u64>().prop_map(|session| Request::Cancel { session }),
         any::<bool>().prop_map(|on| Request::SetMetrics { on }),
     ];
     let composite = prop_oneof![
-        (any::<u32>(), "[ -~]{0,16}", "[a-z0-9_]{0,12}").prop_map(
-            |(version, auth_token, namespace)| Request::Hello {
-                version,
-                auth_token,
-                namespace,
-            }
-        ),
+        (
+            any::<u32>(),
+            "[ -~]{0,16}",
+            "[a-z0-9_]{0,12}",
+            "[a-z0-9:-]{0,24}"
+        )
+            .prop_map(
+                |(version, auth_token, namespace, resume_token)| Request::Hello {
+                    version,
+                    auth_token,
+                    namespace,
+                    resume_token,
+                }
+            ),
         // Statement text is opaque to the codec; any printable string
         // (quotes, semicolons, whitespace) must round-trip verbatim.
-        "[ -~]{0,120}".prop_map(|sql| Request::Query { sql }),
+        (arb_meta(), "[ -~]{0,120}").prop_map(|(meta, sql)| Request::Query { meta, sql }),
         proptest::collection::vec("[ -~]{0,60}", 0..6)
             .prop_map(|statements| Request::Prepare { statements }),
-        ("[a-z][a-z0-9_]{0,10}", arb_rows())
-            .prop_map(|(table, rows)| Request::BulkInsert { table, rows }),
+        (arb_meta(), "[a-z][a-z0-9_]{0,10}", arb_rows())
+            .prop_map(|(meta, table, rows)| Request::BulkInsert { meta, table, rows }),
         "[a-z][a-z0-9_]{0,10}".prop_map(|table| Request::TableRows { table }),
         "[a-z][a-z0-9_]{0,10}".prop_map(|table| Request::HasTable { table }),
     ];
@@ -108,6 +129,7 @@ fn arb_query_result() -> impl Strategy<Value = QueryResult> {
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
         Just(Response::Ok),
+        Just(Response::ReplayApplied),
         any::<bool>().prop_map(Response::Bool),
         any::<u64>().prop_map(Response::Count),
         arb_query_result().prop_map(Response::Rows),
@@ -187,5 +209,101 @@ proptest! {
         // Err or (coincidentally) Ok are both fine; panicking is not.
         let _ = Request::decode(&bytes);
         let _ = Response::decode(&bytes);
+    }
+
+    /// Exactly-once, cache side: record an arbitrary conversation of
+    /// replies (any mix of results, errors, applied bits) into a cache
+    /// of arbitrary window size, then replay *every* sequence number
+    /// seen so far, in arbitrary order. Each must be answered without
+    /// re-execution:
+    ///
+    /// * still cached → the bit-identical original reply;
+    /// * evicted but at/below the applied watermark → `ProvenApplied`;
+    /// * evicted above the watermark → `NotApplied` (re-executing a
+    ///   statement proven effect-free is sound).
+    ///
+    /// A sequence number beyond everything recorded is `Fresh`.
+    #[test]
+    fn duplicated_and_stale_sequences_are_acked_from_the_cache(
+        replies in proptest::collection::vec((arb_response(), any::<bool>()), 1..40),
+        window in 1usize..12,
+        probe_order in proptest::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let mut cache = ReplyCache::new(window);
+        for (seq, (reply, applied)) in replies.iter().enumerate() {
+            // The server only records what admit() classified Fresh.
+            prop_assert!(matches!(cache.admit(seq as u64), Admit::Fresh));
+            cache.record(seq as u64, reply.clone(), *applied);
+
+            // Duplicate delivery of the statement just executed — the
+            // most common chaos outcome (ack lost, client resends) —
+            // must echo the identical reply bytes.
+            match cache.admit(seq as u64) {
+                Admit::Replay(r) => prop_assert!(same_encoding(&r, reply)),
+                other => prop_assert!(false, "just-recorded seq not replayed: {:?}", other),
+            }
+        }
+
+        let n = replies.len() as u64;
+        let applied_mark = replies.iter().enumerate()
+            .filter(|(_, (_, applied))| *applied)
+            .map(|(seq, _)| seq as u64)
+            .max();
+        prop_assert_eq!(cache.applied_watermark(), applied_mark);
+        for probe in probe_order {
+            let seq = probe % (n + 2); // every recorded seq + two fresh ones
+            match cache.admit(seq) {
+                Admit::Fresh => prop_assert!(seq >= n, "recorded seq {} came back Fresh", seq),
+                Admit::Replay(r) => {
+                    prop_assert!(seq < n);
+                    // A replay is always the original reply, bit for bit.
+                    prop_assert!(same_encoding(&r, &replies[seq as usize].0));
+                }
+                Admit::ProvenApplied => {
+                    prop_assert!(applied_mark.is_some_and(|a| seq <= a),
+                        "ProvenApplied for seq {} above watermark {:?}", seq, applied_mark);
+                }
+                Admit::NotApplied => {
+                    // Only for evicted entries above the applied
+                    // watermark — never for one still in the window.
+                    prop_assert!(seq < n);
+                    prop_assert!(seq < n.saturating_sub(window as u64),
+                        "NotApplied for seq {} still inside window", seq);
+                    prop_assert!(!applied_mark.is_some_and(|a| seq <= a));
+                }
+            }
+        }
+    }
+
+    /// Exactly-once across a server restart: the rebuilt cache has no
+    /// reply bytes, only the recovered applied watermark and highest
+    /// intent. Every replay at/below the watermark must reconcile as
+    /// `ProvenApplied` (never re-execute a committed mutation); every
+    /// replay between watermark and the highest intent is proven
+    /// effect-free and may re-execute; everything beyond is fresh.
+    #[test]
+    fn recovered_cache_never_reexecutes_proven_mutations(
+        applied in proptest::option::of(0u64..64),
+        intent_gap in 0u64..16,
+        window in 1usize..12,
+        probes in proptest::collection::vec(0u64..96, 1..32),
+    ) {
+        let max_intent = applied.map(|a| a + intent_gap).or(
+            if intent_gap > 0 { Some(intent_gap - 1) } else { None });
+        let mut cache = ReplyCache::recovered(window, applied, max_intent);
+        let expected = cache.expected();
+        for seq in probes {
+            match cache.admit(seq) {
+                Admit::Fresh => prop_assert!(seq >= expected),
+                Admit::Replay(_) =>
+                    prop_assert!(false, "recovery cannot resurrect reply bytes"),
+                Admit::ProvenApplied =>
+                    prop_assert!(applied.is_some_and(|a| seq <= a)),
+                Admit::NotApplied => {
+                    prop_assert!(seq < expected);
+                    prop_assert!(!applied.is_some_and(|a| seq <= a));
+                }
+            }
+        }
     }
 }
