@@ -47,6 +47,12 @@ Stages, in order:
                 stream at swept frame positions in both directions —
                 every interrupted run must match the clean run byte
                 for byte (--quick: strided sweep, fewer cut positions)
+  overload      resource-governor load test: a query swarm plus an EM
+                client against an in-process server with an admission
+                cap and memory budgets; emits BENCH_overload.json
+                (throughput, p50/p99, shed count, peak memory) and
+                fails if shedding never happened or was not absorbed
+                (--quick: shorter window, smaller swarm)
   workspace     cargo test --workspace
 EOF
     exit 0
@@ -363,6 +369,23 @@ NET_EXTRA='--deadline 30' run_net_case "deadline-header passthrough"
 echo shutdown >&9
 wait "$SERVER_PID" || { echo "ERROR: server drain failed" >&2; exit 1; }
 SERVER_PID=''
+
+# Overload gate (docs/ROBUSTNESS.md "Resource governance"): the load
+# generator drives an in-process server past its admission cap with
+# global and per-session memory budgets armed. The bench exits nonzero
+# if a shed dial is not absorbed by retry, an EM run fails under
+# budget, or the cap never shed anything — so this stage asserts the
+# whole degradation ladder end to end, not just that the binary ran.
+if [ "$QUICK" = 1 ]; then
+    echo "== overload: load-shed bench (--quick: short window)"
+    target/release/overload --quick --out "$SRV_TMP/BENCH_overload.json"
+else
+    echo "== overload: load-shed bench"
+    target/release/overload --out "$SRV_TMP/BENCH_overload.json"
+fi
+grep -q '"shed_count"' "$SRV_TMP/BENCH_overload.json" || {
+    echo "ERROR: overload bench produced no shed telemetry" >&2; exit 1; }
+cp "$SRV_TMP/BENCH_overload.json" BENCH_overload.json
 
 echo "== workspace: all crate tests"
 cargo test --workspace -q

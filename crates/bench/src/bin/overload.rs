@@ -1,0 +1,278 @@
+//! Overload load-generator: drive an in-process [`sqlwire::Server`]
+//! past its admission and memory limits and report how it degrades.
+//!
+//! One EM client runs back-to-back remote clustering studies while a
+//! swarm of point-query clients churns connections against a
+//! `max_connections` cap sized *below* the swarm, so a measurable
+//! fraction of dials is load-shed. Global and per-session memory
+//! budgets are installed so the resource governor is on the hot path
+//! of every statement.
+//!
+//! The output is a single JSON object (`BENCH_overload.json` by
+//! default): sustained query throughput, p50/p99 latency, the
+//! server's shed counter and peak-memory gauge, and the EM success
+//! count. CI runs this as the `overload` stage and requires every
+//! shed dial to have been absorbed by a retry — the bench fails (exit
+//! 1) if any client gives up or any EM run fails.
+//!
+//! Usage: `overload [--out FILE] [--clients N] [--max-connections N]
+//! [--duration-ms MS] [--memory-budget BYTES]
+//! [--session-memory-budget BYTES] [--quick]`
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use datagen::generate_dataset;
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, Strategy};
+use sqlengine::{SharedDatabase, SqlExecutor};
+use sqlwire::{ClientConfig, RemoteConnection, Server, ServerConfig};
+
+struct Opts {
+    out: String,
+    clients: usize,
+    max_connections: usize,
+    duration: Duration,
+    memory_budget: u64,
+    session_memory_budget: u64,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let mut opts = Opts {
+            out: "BENCH_overload.json".to_string(),
+            clients: 8,
+            max_connections: 5,
+            duration: Duration::from_millis(3_000),
+            memory_budget: 8 * 1024 * 1024,
+            session_memory_budget: 1024 * 1024,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--out" => opts.out = value("--out"),
+                "--clients" => opts.clients = value("--clients").parse().unwrap(),
+                "--max-connections" => {
+                    opts.max_connections = value("--max-connections").parse().unwrap()
+                }
+                "--duration-ms" => {
+                    opts.duration = Duration::from_millis(value("--duration-ms").parse().unwrap())
+                }
+                "--memory-budget" => opts.memory_budget = value("--memory-budget").parse().unwrap(),
+                "--session-memory-budget" => {
+                    opts.session_memory_budget = value("--session-memory-budget").parse().unwrap()
+                }
+                "--quick" => {
+                    opts.clients = 6;
+                    opts.max_connections = 4;
+                    opts.duration = Duration::from_millis(800);
+                }
+                other => panic!("unknown argument: {other} (see the module docs)"),
+            }
+        }
+        assert!(opts.clients >= 1 && opts.max_connections >= 2);
+        opts
+    }
+}
+
+/// Dial until admitted, counting load-shed rejections. Shedding is
+/// transient backpressure by contract, so every rejection is retried
+/// after the hinted pause; a permanent error is a bench failure.
+fn dial_with_backoff(addr: &str, namespace: &str, shed_dials: &AtomicU64) -> RemoteConnection {
+    let config = ClientConfig {
+        namespace: namespace.to_string(),
+        connect_timeout: Duration::from_secs(2),
+        ..ClientConfig::default()
+    };
+    loop {
+        match RemoteConnection::connect(addr, config.clone()) {
+            Ok(conn) => return conn,
+            Err(e) if e.is_transient() => {
+                shed_dials.fetch_add(1, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => panic!("permanent dial failure: {e}"),
+        }
+    }
+}
+
+/// One point-query client: keep a private table hot with inserts and
+/// aggregates, redialing every few statements so admission control
+/// stays under pressure for the whole window. Returns the latencies
+/// (µs) of every completed statement.
+fn query_client(addr: &str, id: usize, stop: &AtomicBool, shed_dials: &AtomicU64) -> Vec<u64> {
+    let mut latencies = Vec::new();
+    let table = format!("load{id}");
+    let mut conn = dial_with_backoff(addr, "", shed_dials);
+    conn.execute(&format!(
+        "CREATE TABLE {table} (a BIGINT PRIMARY KEY, x DOUBLE)"
+    ))
+    .unwrap();
+    let mut next_row = 0u64;
+    let mut since_redial = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        let sql = if next_row % 4 == 3 {
+            format!("SELECT count(*), sum(x) FROM {table}")
+        } else {
+            next_row += 1;
+            format!("INSERT INTO {table} VALUES ({next_row}, {next_row}.5)")
+        };
+        let t0 = Instant::now();
+        match conn.execute(&sql) {
+            Ok(_) => latencies.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)),
+            // Transient turbulence (a redial racing the cap, a shed
+            // session's slot not yet free) is retried on a fresh
+            // connection; the statement itself is not latency-counted.
+            Err(e) if e.is_transient() => {
+                conn = dial_with_backoff(addr, "", shed_dials);
+            }
+            Err(e) => panic!("client {id}: permanent failure: {e}"),
+        }
+        since_redial += 1;
+        if since_redial >= 24 {
+            since_redial = 0;
+            drop(conn);
+            conn = dial_with_backoff(addr, "", shed_dials);
+        }
+    }
+    let _ = conn.execute(&format!("DROP TABLE {table}"));
+    latencies
+}
+
+/// The EM client: back-to-back remote clustering studies for the whole
+/// window. Returns (completed runs, first error if any).
+fn em_client(addr: &str, stop: &AtomicBool, shed_dials: &AtomicU64) -> (u64, Option<String>) {
+    let data = generate_dataset(120, 3, 2, 42);
+    let cfg = SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(2)
+        .with_prefix("ovem_");
+    let mut runs = 0;
+    while !stop.load(Ordering::SeqCst) {
+        let mut conn = dial_with_backoff(addr, "ovem_", shed_dials);
+        let result = (|| {
+            let mut session = EmSession::create(&mut conn, &cfg, 3)?;
+            session.load_points(&data.points)?;
+            session.initialize(&InitStrategy::Random { seed: 42 })?;
+            let run = session.run()?;
+            session.cleanup()?;
+            Ok::<_, sqlem::SqlemError>(run)
+        })();
+        match result {
+            Ok(_) => runs += 1,
+            Err(e) => return (runs, Some(e.to_string())),
+        }
+    }
+    (runs, None)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        SharedDatabase::default(),
+        ServerConfig {
+            max_connections: opts.max_connections,
+            memory_budget: Some(opts.memory_budget),
+            session_memory_budget: Some(opts.session_memory_budget),
+            shed_retry_after: Duration::from_millis(5),
+            drain_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let server_join = thread::spawn(move || server.run());
+
+    let stop = AtomicBool::new(false);
+    let shed_dials = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let (mut latencies, em) = thread::scope(|s| {
+        let em = s.spawn(|| em_client(&addr, &stop, &shed_dials));
+        let workers: Vec<_> = (0..opts.clients)
+            .map(|id| {
+                let addr = &addr;
+                let (stop, shed_dials) = (&stop, &shed_dials);
+                s.spawn(move || query_client(addr, id, stop, shed_dials))
+            })
+            .collect();
+        thread::sleep(opts.duration);
+        stop.store(true, Ordering::SeqCst);
+        let latencies: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        (latencies, em.join().unwrap())
+    });
+    let elapsed = t0.elapsed();
+    let (em_runs, em_error) = em;
+
+    latencies.sort_unstable();
+    let queries = latencies.len();
+    let throughput = queries as f64 / elapsed.as_secs_f64();
+    let shed_count = handle.shed_count();
+    let peak_memory = handle.peak_memory_bytes().unwrap_or(0);
+    handle.shutdown();
+    server_join.join().unwrap().unwrap();
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"overload\",\"clients\":{},\"max_connections\":{},",
+            "\"duration_ms\":{},\"queries\":{},\"throughput_qps\":{:.1},",
+            "\"p50_us\":{},\"p99_us\":{},\"shed_count\":{},\"shed_dials\":{},",
+            "\"peak_memory_bytes\":{},\"em_runs\":{}}}\n"
+        ),
+        opts.clients,
+        opts.max_connections,
+        elapsed.as_millis(),
+        queries,
+        throughput,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        shed_count,
+        shed_dials.load(Ordering::SeqCst),
+        peak_memory,
+        em_runs,
+    );
+    let mut file = std::fs::File::create(&opts.out).unwrap();
+    file.write_all(json.as_bytes()).unwrap();
+    print!("{json}");
+
+    if let Some(e) = em_error {
+        eprintln!("FAIL: EM client died under load: {e}");
+        std::process::exit(1);
+    }
+    if em_runs == 0 {
+        eprintln!("FAIL: the EM client never completed a run");
+        std::process::exit(1);
+    }
+    if queries == 0 {
+        eprintln!("FAIL: the query swarm completed nothing");
+        std::process::exit(1);
+    }
+    if shed_count == 0 {
+        eprintln!("FAIL: the cap never shed a dial — the bench measured no overload");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "ok: {queries} queries at {throughput:.0} qps, {shed_count} dials shed and absorbed, \
+         {em_runs} EM runs under budget"
+    );
+}

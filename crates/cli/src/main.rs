@@ -39,8 +39,18 @@
 //!                         SPEC = SELECTOR[:MOD]... with SELECTOR one of
 //!                         a statement number, kind=insert|update|
 //!                         delete|select, or table=SUBSTRING; MODs:
-//!                         transient (default), permanent, once
+//!                         transient (default), permanent, exhaustion
+//!                         (a typed out-of-memory failure), once
 //!                         (default), always. Repeatable.
+//!   --memory-budget B     cap the engine's working memory at B bytes
+//!                         (K/M/G suffixes accepted). The pre-flight
+//!                         lint then also proves the script's peak
+//!                         footprint fits, and over-budget statements
+//!                         fail with a typed transient error instead
+//!                         of growing without bound.
+//!   --load-chunk N        bulk-load at most N rows per INSERT; under
+//!                         a budget the chunk also halves on memory
+//!                         pressure instead of failing the load.
 //!   --connect HOST:PORT   run against a remote sqlem-server instead of
 //!                         an in-process database (the paper's two-tier
 //!                         deployment, §1.4). Server-side options
@@ -100,7 +110,9 @@ use std::time::Duration;
 use emcore::init::InitStrategy;
 use sqlem::naming::Names;
 use sqlem::{checkpoint, EmSession, RetryPolicy, SqlemConfig, Strategy};
-use sqlengine::{Database, Error as SqlError, FaultPlan, FaultRule, SqlExecutor, StatementKind};
+use sqlengine::{
+    Database, Error as SqlError, FaultPlan, FaultRule, MemoryBudget, SqlExecutor, StatementKind,
+};
 use sqlwire::{ClientConfig, RemoteConnection};
 
 /// Exit code for a `--resume` checkpoint that is missing, empty, or
@@ -192,6 +204,8 @@ struct Args {
     resume_path: Option<String>,
     data_dir: Option<String>,
     recover: bool,
+    memory_budget: Option<u64>,
+    load_chunk: Option<usize>,
     fault_specs: Vec<String>,
     connect: Option<String>,
     namespace: String,
@@ -206,6 +220,7 @@ fn usage() -> ! {
          [--scores PATH] [--sql] [--fused] [--workers N] [--trace-metrics] \
          [--retries N] [--checkpoint PATH] [--resume PATH] [--durable] [--data-dir PATH] \
          [--recover] [--inject-fault SPEC]... \
+         [--memory-budget BYTES] [--load-chunk ROWS] \
          [--connect HOST:PORT] [--namespace PREFIX] [--auth-token TOKEN] \
          [--deadline SECS]\n\
          \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
@@ -236,6 +251,8 @@ fn parse_args() -> Args {
     let mut data_dir = None;
     let mut durable = false;
     let mut recover = false;
+    let mut memory_budget = None;
+    let mut load_chunk = None;
     let mut fault_specs = Vec::new();
     let mut connect = None;
     let mut namespace = String::new();
@@ -281,6 +298,24 @@ fn parse_args() -> Args {
             "--durable" => durable = true,
             "--data-dir" => data_dir = Some(req("--data-dir")),
             "--recover" => recover = true,
+            "--memory-budget" => {
+                let v = req("--memory-budget");
+                match parse_bytes(&v) {
+                    Some(b) if b > 0 => memory_budget = Some(b),
+                    _ => {
+                        eprintln!("--memory-budget needs a positive byte count, got {v:?}");
+                        usage();
+                    }
+                }
+            }
+            "--load-chunk" => {
+                let rows: usize = req("--load-chunk").parse().unwrap_or_else(|_| usage());
+                if rows == 0 {
+                    eprintln!("--load-chunk must be at least 1 row");
+                    usage();
+                }
+                load_chunk = Some(rows);
+            }
             "--inject-fault" => fault_specs.push(req("--inject-fault")),
             "--connect" => connect = Some(req("--connect")),
             "--namespace" => namespace = req("--namespace"),
@@ -328,6 +363,8 @@ fn parse_args() -> Args {
         resume_path,
         data_dir: data_dir.or_else(|| durable.then(|| "sqlem_data".to_string())),
         recover,
+        memory_budget,
+        load_chunk,
         fault_specs,
         connect,
         namespace,
@@ -336,9 +373,25 @@ fn parse_args() -> Args {
     }
 }
 
+/// Parse a byte count with an optional K/M/G suffix (powers of 1024).
+fn parse_bytes(s: &str) -> Option<u64> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = t.strip_suffix('g') {
+        (d, 1u64 << 30)
+    } else if let Some(d) = t.strip_suffix('m') {
+        (d, 1 << 20)
+    } else if let Some(d) = t.strip_suffix('k') {
+        (d, 1 << 10)
+    } else {
+        (t.as_str(), 1)
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
 /// Parse one `--inject-fault` spec: `SELECTOR[:MOD]...` where SELECTOR
 /// is a statement number, `kind=NAME`, or `table=SUBSTRING`, and MODs
-/// are `transient` (default), `permanent`, `once` (default), `always`.
+/// are `transient` (default), `permanent`, `exhaustion`, `once`
+/// (default), `always`.
 fn parse_fault_rule(spec: &str) -> Result<FaultRule, String> {
     let mut parts = spec.split(':');
     let selector = parts.next().unwrap_or_default();
@@ -368,6 +421,7 @@ fn parse_fault_rule(spec: &str) -> Result<FaultRule, String> {
         match modifier {
             "transient" => rule = rule.transient(),
             "permanent" => rule = rule.permanent(),
+            "exhaustion" => rule = rule.exhausting(),
             "once" => always = false,
             "always" => always = true,
             other => return Err(format!("unknown fault modifier {other:?} in {spec:?}")),
@@ -434,6 +488,14 @@ fn run(args: &Args) -> Result<(), CliError> {
     if args.recover {
         config = config.with_degenerate_recovery(args.seed);
     }
+    if let Some(rows) = args.load_chunk {
+        config = config.with_load_chunk_rows(rows);
+    }
+    if args.memory_budget.is_some() {
+        // We know n up front, so let the pre-flight lint prove the
+        // script's peak footprint fits the budget before any DDL.
+        config = config.with_expected_n(n.max(1));
+    }
 
     if args.deadline.is_some() && args.connect.is_none() {
         eprintln!("--deadline budgets remote statements; it requires --connect");
@@ -444,6 +506,7 @@ fn run(args: &Args) -> Result<(), CliError> {
             ("--durable/--data-dir", args.data_dir.is_some()),
             ("--inject-fault", !args.fault_specs.is_empty()),
             ("--workers", args.workers != 1),
+            ("--memory-budget", args.memory_budget.is_some()),
         ] {
             if set {
                 eprintln!(
@@ -475,6 +538,10 @@ fn run(args: &Args) -> Result<(), CliError> {
         None => Database::new(),
     };
     db.set_workers(args.workers);
+    if let Some(b) = args.memory_budget {
+        db.set_memory_budget(Some(MemoryBudget::new(b)));
+        eprintln!("working-memory budget: {b} byte(s)");
+    }
     if !args.fault_specs.is_empty() {
         let rules = args
             .fault_specs

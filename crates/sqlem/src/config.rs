@@ -99,6 +99,19 @@ pub struct SqlemConfig {
     /// tables into a shared database. Checkpoint tables survive either
     /// way.
     pub cleanup_on_error: bool,
+    /// Expected number of input points, used only by the pre-flight
+    /// lint: when the executor reports a memory budget, the symbolic
+    /// peak footprint of the generated script is evaluated at this `n`
+    /// and an over-budget script is flagged as a capacity finding
+    /// (triggering the same auto-fallback ladder as a parser-limit
+    /// overflow). `None` (default) skips the static budget check.
+    pub expected_n: Option<usize>,
+    /// Load the input points in bulk-insert chunks of at most this
+    /// many rows (`None`, the default, loads each layout in one
+    /// statement). Under a memory budget the loader also *shrinks*
+    /// the chunk — halving it on each `ResourceExhausted` failure —
+    /// so an over-budget load degrades gracefully instead of failing.
+    pub load_chunk_rows: Option<usize>,
 }
 
 impl SqlemConfig {
@@ -120,6 +133,8 @@ impl SqlemConfig {
             recover_degenerate: false,
             recovery_seed: 0,
             cleanup_on_error: true,
+            expected_n: None,
+            load_chunk_rows: None,
         }
     }
 
@@ -194,6 +209,21 @@ impl SqlemConfig {
     /// post-mortem inspection).
     pub fn without_cleanup_on_error(mut self) -> Self {
         self.cleanup_on_error = false;
+        self
+    }
+
+    /// Builder: tell the pre-flight lint how many points will be
+    /// loaded, enabling the static memory-budget check.
+    pub fn with_expected_n(mut self, n: usize) -> Self {
+        assert!(n >= 1, "expected_n must be at least 1");
+        self.expected_n = Some(n);
+        self
+    }
+
+    /// Builder: load input points in chunks of at most `rows` rows.
+    pub fn with_load_chunk_rows(mut self, rows: usize) -> Self {
+        assert!(rows >= 1, "load_chunk_rows must be at least 1");
+        self.load_chunk_rows = Some(rows);
         self
     }
 }

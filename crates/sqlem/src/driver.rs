@@ -54,6 +54,10 @@ pub struct SqlemRun {
     pub iteration_reports: Vec<IterationReport>,
     /// Transient-fault statement retries performed across the run.
     pub retries: usize,
+    /// Bulk-load chunk halvings performed under memory pressure (0
+    /// unless a load hit the budget; see
+    /// [`SqlemConfig::load_chunk_rows`]).
+    pub load_shrinks: usize,
     /// Degenerate-cluster repairs performed across the run (empty unless
     /// [`SqlemConfig::recover_degenerate`] is on and a cluster died).
     pub recoveries: Vec<RecoveryEvent>,
@@ -103,6 +107,8 @@ pub struct EmSession<'a, E: SqlExecutor = Database> {
     iterations_done: usize,
     /// Transient-fault retries performed so far.
     retries: usize,
+    /// Bulk-load chunk halvings performed so far under memory pressure.
+    load_shrinks: usize,
     /// Degenerate-cluster repairs performed so far.
     recoveries: Vec<RecoveryEvent>,
     /// Loglikelihood history restored by
@@ -194,6 +200,7 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
             iteration_reports: Vec::new(),
             iterations_done: 0,
             retries,
+            load_shrinks: 0,
             recoveries: Vec::new(),
             resumed_llh: Vec::new(),
         };
@@ -266,8 +273,10 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
             &self.names,
             self.config.strategy,
             points,
+            self.config.load_chunk_rows,
             policy.as_ref(),
             &mut self.retries,
+            &mut self.load_shrinks,
         )?;
         self.n = Some(n);
         self.points = Some(points.to_vec());
@@ -614,6 +623,7 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
             iteration_times,
             iteration_reports: self.iteration_reports.clone(),
             retries: self.retries,
+            load_shrinks: self.load_shrinks,
             recoveries: self.recoveries.clone(),
         })
     }
@@ -658,6 +668,12 @@ impl<'a, E: SqlExecutor> EmSession<'a, E> {
     /// [`SqlemConfig::retry`] policy).
     pub fn retries(&self) -> usize {
         self.retries
+    }
+
+    /// Bulk-load chunk halvings performed so far under memory pressure
+    /// (0 unless a load hit the executor's budget).
+    pub fn load_shrinks(&self) -> usize {
+        self.load_shrinks
     }
 
     /// Degenerate-cluster repairs performed so far.
@@ -957,6 +973,26 @@ mod tests {
             .initialize(&InitStrategy::Explicit(init_params()))
             .unwrap();
         session.run().unwrap()
+    }
+
+    #[test]
+    fn preflight_rejects_provably_over_budget_scripts() {
+        let mut db = Database::new();
+        db.set_memory_budget(Some(sqlengine::MemoryBudget::new(4096)));
+        // A million points cannot fit any strategy's E-step working
+        // set in 4 KiB; the session must be refused before any DDL.
+        let config = SqlemConfig::new(3, Strategy::Hybrid).with_expected_n(1_000_000);
+        match EmSession::create(&mut db, &config, 4) {
+            Err(SqlemError::Preflight { findings, .. }) => {
+                assert!(findings
+                    .iter()
+                    .any(|f| matches!(f.kind, crate::lint::LintKind::OverBudget { .. })));
+            }
+            Err(other) => panic!("expected a preflight rejection, got {other}"),
+            Ok(_) => panic!("over-budget script must not create a session"),
+        }
+        // Nothing executed: the database has no tables.
+        assert_eq!(db.catalog_snapshot().unwrap().tables().count(), 0);
     }
 
     #[test]

@@ -120,6 +120,20 @@ impl SqlemError {
         matches!(self, SqlemError::Sql { source, .. } if source.is_transient())
     }
 
+    /// Did the failed step run out of working memory
+    /// ([`sqlengine::Error::ResourceExhausted`], locally enforced or
+    /// relayed from a server)? The loader reacts by shrinking its
+    /// bulk-insert chunk before retrying.
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(
+            self,
+            SqlemError::Sql {
+                source: SqlError::ResourceExhausted { .. },
+                ..
+            }
+        )
+    }
+
     /// Is this a degenerate-model condition (a dead cluster or a
     /// non-finite parameter) that [`crate::SqlemConfig::recover_degenerate`]
     /// can repair?

@@ -157,6 +157,8 @@ impl<'a> KmeansSession<'a> {
             crate::config::Strategy::Hybrid,
             points,
             None,
+            None,
+            &mut 0,
             &mut 0,
         )?;
         self.n = Some(n);

@@ -45,6 +45,19 @@ pub enum LintKind {
     /// A complexity metric (term count, expression depth, column width)
     /// exceeds the analyzer's limit. Also recoverable by strategy switch.
     TooComplex,
+    /// The statically derived peak working-memory footprint at the
+    /// configured [`SqlemConfig::expected_n`] exceeds the executor's
+    /// memory budget — the script would provably be load-shed at run
+    /// time. Capacity-class, so auto-fallback can try a leaner
+    /// strategy.
+    ///
+    /// [`SqlemConfig::expected_n`]: crate::SqlemConfig::expected_n
+    OverBudget {
+        /// Derived peak footprint in bytes.
+        bytes: u64,
+        /// The executor's budget in bytes.
+        budget: u64,
+    },
     /// The statement failed to parse or to analyze for a non-capacity
     /// reason — a generator bug, not a sizing problem. Lifecycle
     /// violations, mutation-classification drift, provable division by
@@ -237,7 +250,26 @@ pub fn lint_strategy(
     p: usize,
 ) -> Result<LintReport, SqlemError> {
     let plan = analyze_strategy(db, config, p)?;
-    Ok(lint_report_from_plan(&plan))
+    let mut report = lint_report_from_plan(&plan);
+    // Static budget check: when the executor enforces a memory budget
+    // and the configuration says how many points are coming, reject a
+    // script whose derived peak footprint provably exceeds it — as a
+    // capacity finding, so the same fallback ladder that handles the
+    // §3.3 parser overflow can try a leaner strategy first.
+    if let (Some(budget), Some(n)) = (db.memory_budget_bytes(), config.expected_n) {
+        let bytes = plan.footprint_bytes(n, config.load_chunk_rows);
+        if bytes > budget {
+            report.findings.push(LintFinding {
+                purpose: "peak memory footprint".into(),
+                message: format!(
+                    "derived peak working memory {bytes} byte(s) at n = {n} exceeds \
+                     the {budget}-byte budget"
+                ),
+                kind: LintKind::OverBudget { bytes, budget },
+            });
+        }
+    }
+    Ok(report)
 }
 
 /// Lint all three strategies for one `(p, k)` — the CLI `lint`
@@ -309,6 +341,30 @@ mod tests {
             .iter()
             .any(|f| f.kind == LintKind::TooComplex));
         assert!(report.findings.iter().all(LintFinding::is_capacity));
+    }
+
+    #[test]
+    fn over_budget_script_flagged_as_capacity() {
+        let mut db = Database::new();
+        db.set_memory_budget(Some(sqlengine::MemoryBudget::new(64 * 1024)));
+        // A million points blow a 64 KiB budget in any strategy.
+        let config = SqlemConfig::new(3, Strategy::Hybrid).with_expected_n(1_000_000);
+        let report = lint_strategy(&mut db, &config, 4).unwrap();
+        assert!(!report.ok());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f.kind, LintKind::OverBudget { .. })));
+        // Capacity-class, so the driver's auto-fallback machinery
+        // treats it like a §3.3 parser overflow.
+        assert!(report.findings.iter().all(LintFinding::is_capacity));
+
+        // Without expected_n the static check is off...
+        let blind = SqlemConfig::new(3, Strategy::Hybrid);
+        assert!(lint_strategy(&mut db, &blind, 4).unwrap().ok());
+        // ...and with a roomy budget the same script is clean.
+        db.set_memory_budget(Some(sqlengine::MemoryBudget::new(u64::MAX)));
+        assert!(lint_strategy(&mut db, &config, 4).unwrap().ok());
     }
 
     #[test]

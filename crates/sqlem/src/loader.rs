@@ -51,18 +51,69 @@ fn retry_stmt<T>(
     })
 }
 
+/// Load `rows` into `table` in bulk-insert chunks of at most `chunk`
+/// rows (the whole batch at once when `None`), the degradation rung
+/// between "load everything" and "fail the run". Each chunk statement
+/// is retried per `retry`; a chunk that still fails with
+/// [`resource exhaustion`](SqlemError::is_resource_exhausted) and has
+/// more than one row *shrinks* — the chunk size halves and the loop
+/// re-issues from the same offset, with `shrinks` counting the
+/// halvings. This is exactly-once safe: a failed bulk INSERT is
+/// atomic (the staging buffer is charged and dropped before the table
+/// is touched), already-committed chunks stay committed, and the
+/// smaller re-issue is a fresh statement over rows no prior statement
+/// committed.
+#[allow(clippy::too_many_arguments)]
+fn load_chunked(
+    db: &mut dyn SqlExecutor,
+    table: &str,
+    purpose: &str,
+    rows: &[Vec<Value>],
+    chunk: Option<usize>,
+    retry: Option<&RetryPolicy>,
+    retries: &mut usize,
+    shrinks: &mut usize,
+) -> Result<(), SqlemError> {
+    let total = rows.len();
+    let mut size = chunk.unwrap_or(total).max(1);
+    let mut at = 0usize;
+    while at < total {
+        let end = (at + size).min(total);
+        let slice = &rows[at..end];
+        let res = retry_stmt(&mut *db, retry, retries, |db| {
+            db.bulk_insert_rows(table, slice.to_vec())
+                .map_err(|e| SqlemError::from_sql(purpose, e))
+        });
+        match res {
+            Ok(_) => at = end,
+            Err(e) if e.is_resource_exhausted() && size > 1 => {
+                size = (size / 2).max(1);
+                *shrinks += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Bulk-load `points` into the layout tables for `strategy`. Returns `n`.
 ///
 /// Transient failures of each individual load statement are re-run per
 /// `retry` (see `retry_stmt` for why the granularity matters), with
-/// `retries` counting the re-runs.
+/// `retries` counting the re-runs. `chunk` caps each bulk-insert
+/// statement at that many rows; under a memory budget the chunk also
+/// shrinks on resource exhaustion (see `load_chunked`), with `shrinks`
+/// counting the halvings.
+#[allow(clippy::too_many_arguments)]
 pub fn load_points(
     db: &mut dyn SqlExecutor,
     names: &Names,
     strategy: Strategy,
     points: &[Vec<f64>],
+    chunk: Option<usize>,
     retry: Option<&RetryPolicy>,
     retries: &mut usize,
+    shrinks: &mut usize,
 ) -> Result<usize, SqlemError> {
     let n = points.len();
     if n == 0 {
@@ -84,10 +135,16 @@ pub fn load_points(
                 row
             })
             .collect();
-        retry_stmt(&mut *db, retry, retries, |db| {
-            db.bulk_insert_rows(&names.z(), rows.clone())
-                .map_err(|e| SqlemError::from_sql("load Z", e))
-        })?;
+        load_chunked(
+            &mut *db,
+            &names.z(),
+            "load Z",
+            &rows,
+            chunk,
+            retry,
+            retries,
+            shrinks,
+        )?;
     }
     if long {
         let mut rows = Vec::with_capacity(n * p);
@@ -100,10 +157,16 @@ pub fn load_points(
                 ]);
             }
         }
-        retry_stmt(&mut *db, retry, retries, |db| {
-            db.bulk_insert_rows(&names.y(), rows.clone())
-                .map_err(|e| SqlemError::from_sql("load Y", e))
-        })?;
+        load_chunked(
+            &mut *db,
+            &names.y(),
+            "load Y",
+            &rows,
+            chunk,
+            retry,
+            retries,
+            shrinks,
+        )?;
     }
     Ok(n)
 }
@@ -179,7 +242,17 @@ mod tests {
     fn hybrid_loads_both_layouts() {
         let (mut db, names) = setup(Strategy::Hybrid);
         let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        let n = load_points(&mut db, &names, Strategy::Hybrid, &pts, None, &mut 0).unwrap();
+        let n = load_points(
+            &mut db,
+            &names,
+            Strategy::Hybrid,
+            &pts,
+            None,
+            None,
+            &mut 0,
+            &mut 0,
+        )
+        .unwrap();
         assert_eq!(n, 2);
         assert_eq!(db.table_len("z").unwrap(), 2);
         assert_eq!(db.table_len("y").unwrap(), 4);
@@ -193,7 +266,17 @@ mod tests {
     fn horizontal_loads_wide_only() {
         let (mut db, names) = setup(Strategy::Horizontal);
         let pts = vec![vec![1.0, 2.0]];
-        load_points(&mut db, &names, Strategy::Horizontal, &pts, None, &mut 0).unwrap();
+        load_points(
+            &mut db,
+            &names,
+            Strategy::Horizontal,
+            &pts,
+            None,
+            None,
+            &mut 0,
+            &mut 0,
+        )
+        .unwrap();
         assert_eq!(db.table_len("z").unwrap(), 1);
         assert!(!db.contains_table("y"));
     }
@@ -202,7 +285,17 @@ mod tests {
     fn vertical_loads_long_only() {
         let (mut db, names) = setup(Strategy::Vertical);
         let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
-        load_points(&mut db, &names, Strategy::Vertical, &pts, None, &mut 0).unwrap();
+        load_points(
+            &mut db,
+            &names,
+            Strategy::Vertical,
+            &pts,
+            None,
+            None,
+            &mut 0,
+            &mut 0,
+        )
+        .unwrap();
         assert_eq!(db.table_len("y").unwrap(), 6);
         assert!(!db.contains_table("z"));
     }
@@ -211,14 +304,107 @@ mod tests {
     fn rejects_bad_input() {
         let (mut db, names) = setup(Strategy::Hybrid);
         assert!(matches!(
-            load_points(&mut db, &names, Strategy::Hybrid, &[], None, &mut 0),
+            load_points(
+                &mut db,
+                &names,
+                Strategy::Hybrid,
+                &[],
+                None,
+                None,
+                &mut 0,
+                &mut 0
+            ),
             Err(SqlemError::BadInput(_))
         ));
         let ragged = vec![vec![1.0, 2.0], vec![3.0]];
         assert!(matches!(
-            load_points(&mut db, &names, Strategy::Hybrid, &ragged, None, &mut 0),
+            load_points(
+                &mut db,
+                &names,
+                Strategy::Hybrid,
+                &ragged,
+                None,
+                None,
+                &mut 0,
+                &mut 0
+            ),
             Err(SqlemError::BadInput(_))
         ));
+    }
+
+    #[test]
+    fn explicit_chunking_loads_everything_exactly_once() {
+        let (mut db, names) = setup(Strategy::Hybrid);
+        let pts: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let mut shrinks = 0usize;
+        let n = load_points(
+            &mut db,
+            &names,
+            Strategy::Hybrid,
+            &pts,
+            Some(7),
+            None,
+            &mut 0,
+            &mut shrinks,
+        )
+        .unwrap();
+        assert_eq!(n, 25);
+        assert_eq!(shrinks, 0, "no budget, no shrinking");
+        assert_eq!(db.table_len("z").unwrap(), 25);
+        assert_eq!(db.table_len("y").unwrap(), 50);
+        // RIDs 1..=25 each exactly once: sum is 325.
+        let r = db.execute("SELECT sum(rid) FROM z").unwrap();
+        assert_eq!(r.scalar_f64(), Some(325.0));
+    }
+
+    #[test]
+    fn tight_budget_shrinks_chunks_and_still_loads_everything() {
+        let (mut db, names) = setup(Strategy::Hybrid);
+        // Each staged row charges 72 bytes (24 overhead + 3 × 16); the
+        // full 100-row batch charges 7200, far over a 600-byte budget,
+        // but 6-row chunks fit.
+        db.set_memory_budget(Some(sqlengine::MemoryBudget::new(600)));
+        let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let mut shrinks = 0usize;
+        let n = load_points(
+            &mut db,
+            &names,
+            Strategy::Hybrid,
+            &pts,
+            None,
+            None,
+            &mut 0,
+            &mut shrinks,
+        )
+        .unwrap();
+        assert_eq!(n, 100);
+        assert!(shrinks > 0, "tight budget must force chunk halving");
+        assert_eq!(db.table_len("z").unwrap(), 100);
+        assert_eq!(db.table_len("y").unwrap(), 200);
+        // Exactly-once under the shrink loop: RIDs 1..=100 sum to 5050.
+        let r = db.execute("SELECT sum(rid) FROM z").unwrap();
+        assert_eq!(r.scalar_f64(), Some(5050.0));
+    }
+
+    #[test]
+    fn budget_below_one_row_fails_typed() {
+        let (mut db, names) = setup(Strategy::Hybrid);
+        db.set_memory_budget(Some(sqlengine::MemoryBudget::new(50)));
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let mut shrinks = 0usize;
+        let err = load_points(
+            &mut db,
+            &names,
+            Strategy::Hybrid,
+            &pts,
+            None,
+            None,
+            &mut 0,
+            &mut shrinks,
+        )
+        .unwrap_err();
+        assert!(err.is_resource_exhausted(), "{err}");
+        assert!(err.is_transient(), "exhaustion is typed-transient");
     }
 
     #[test]

@@ -179,6 +179,8 @@ impl<'a> PerClusterSession<'a> {
             crate::config::Strategy::Hybrid,
             points,
             None,
+            None,
+            &mut 0,
             &mut 0,
         )?;
         self.n = Some(n);

@@ -198,6 +198,38 @@ impl PlanReport {
         self.script.ok() && !matches!(self.cost_check, CostCheck::Mismatch { .. })
     }
 
+    /// Symbolic peak working-memory footprint of the script, in bytes
+    /// as a polynomial in `(n, p, k)` — the statement-wise maximum of
+    /// the per-statement footprints (statements run sequentially, each
+    /// under its own tracker). The external bulk load is *not*
+    /// included; [`PlanReport::footprint_bytes`] folds it in.
+    pub fn peak_footprint(&self) -> Card {
+        self.script.peak_footprint()
+    }
+
+    /// Concrete peak working-memory bound, in bytes, for a run over
+    /// `n` points: the script's symbolic peak evaluated at
+    /// `(n, p, k)`, combined with the loader's staging buffers (per
+    /// layout, one bulk-insert statement of at most `load_chunk` rows
+    /// — the whole table when `None`). Layouts load sequentially, so
+    /// they combine by max, like statements.
+    pub fn footprint_bytes(&self, n: usize, load_chunk: Option<usize>) -> u64 {
+        use sqlengine::resource::row_width_bytes;
+        let stmt_peak = self.peak_footprint().eval(n, self.p, self.k);
+        let chunk = |total: usize| load_chunk.map_or(total, |c| c.min(total)) as u128;
+        let (wide, long) = layouts(self.strategy);
+        let mut load: u128 = 0;
+        if wide {
+            // z(rid, y1..yp): n rows of p+1 columns.
+            load = load.max(chunk(n) * u128::from(row_width_bytes(self.p + 1)));
+        }
+        if long {
+            // y(rid, v, val): pn rows of 3 columns.
+            load = load.max(chunk(n.saturating_mul(self.p)) * u128::from(row_width_bytes(3)));
+        }
+        u64::try_from(stmt_peak.max(load)).unwrap_or(u64::MAX)
+    }
+
     /// Deterministic rendering for the CLI `analyze` subcommand and
     /// the golden snapshots.
     pub fn render(&self) -> String {

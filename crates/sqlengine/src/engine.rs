@@ -219,8 +219,14 @@ impl Database {
                 let stmts = parse(sql).map_err(|e| {
                     Error::corruption(format!("wal replay: logged statement unparsable: {e}"))
                 })?;
+                // Replay runs budget-free: every logged statement already
+                // succeeded when it was acknowledged, and a budget
+                // tightened since then must not turn recovery of durable
+                // state into a corruption report.
+                let mut replay_config = self.config.clone();
+                replay_config.memory_budget = None;
                 for stmt in &stmts {
-                    execute_statement(&mut self.catalog, &mut self.stats, &self.config, stmt)
+                    execute_statement(&mut self.catalog, &mut self.stats, &replay_config, stmt)
                         .map_err(|e| {
                             Error::corruption(format!(
                                 "wal replay: logged statement failed: {e} (statement: {sql})"
@@ -365,7 +371,7 @@ impl Database {
             None
         };
         let result = if !self.metrics.is_enabled() {
-            let mut probe = StmtProbe::disabled();
+            let mut probe = StmtProbe::disabled().with_budget(self.config.memory_budget.clone());
             execute_statement_metered(
                 &mut self.catalog,
                 &mut self.stats,
@@ -374,7 +380,7 @@ impl Database {
                 &mut probe,
             )?
         } else {
-            let mut probe = StmtProbe::enabled();
+            let mut probe = StmtProbe::enabled().with_budget(self.config.memory_budget.clone());
             let t0 = std::time::Instant::now();
             let result = execute_statement_metered(
                 &mut self.catalog,
@@ -422,7 +428,7 @@ impl Database {
                 std::process::abort();
             }
             return Err(Error::Injected {
-                transient: hit.fault == FaultKind::Transient,
+                transient: hit.fault != FaultKind::Permanent,
                 applied: false,
                 statement: hit.statement,
             });
@@ -447,7 +453,7 @@ impl Database {
             // Non-crash fault: the frame is on disk but uncommitted —
             // recovery skips it, so nothing was applied.
             return Err(Error::Injected {
-                transient: hit.fault == FaultKind::Transient,
+                transient: hit.fault != FaultKind::Permanent,
                 applied: false,
                 statement: hit.statement,
             });
@@ -472,7 +478,7 @@ impl Database {
             // Non-crash flavour of the same window: the statement
             // applied (in memory and in the log) but the ack was lost.
             return Err(Error::Injected {
-                transient: hit.fault == FaultKind::Transient,
+                transient: hit.fault != FaultKind::Permanent,
                 applied: true,
                 statement: hit.statement,
             });
@@ -489,8 +495,17 @@ impl Database {
         };
         let tables = statement_tables(stmt);
         if let Some(hit) = injector.decide(site, statement_kind(stmt), &tables) {
+            // An injected exhaustion at the submission site models the
+            // resource governor rejecting the statement before any
+            // effect: surface the typed error so chaos plans exercise
+            // the exact path a real over-budget charge takes. At
+            // AfterExec the Injected envelope is kept — its `applied`
+            // flag is what the exactly-once machinery keys on.
+            if hit.fault == FaultKind::ResourceExhaustion && site == FaultSite::BeforeExec {
+                return Err(Error::resource_exhausted("injected fault", 0, 0));
+            }
             return Err(Error::Injected {
-                transient: hit.fault == crate::fault::FaultKind::Transient,
+                transient: hit.fault != crate::fault::FaultKind::Permanent,
                 applied: site == FaultSite::AfterExec,
                 statement: hit.statement,
             });
@@ -650,8 +665,11 @@ impl Database {
             if let Some(hit) =
                 injector.decide(FaultSite::BeforeExec, StatementKind::Insert, &wal_tables)
             {
+                if hit.fault == FaultKind::ResourceExhaustion {
+                    return Err(Error::resource_exhausted("injected fault", 0, 0));
+                }
                 return Err(Error::Injected {
-                    transient: hit.fault == FaultKind::Transient,
+                    transient: hit.fault != FaultKind::Permanent,
                     applied: false,
                     statement: hit.statement,
                 });
@@ -667,6 +685,15 @@ impl Database {
             .collect();
         // Coerce every row before touching the table, then insert
         // atomically: a failed bulk load leaves the target unchanged.
+        // The staging buffer is the dominant allocation of a bulk load,
+        // so it is charged against the memory budget row by row — an
+        // over-budget load aborts before the table or the WAL see it.
+        let mut probe = if self.metrics.is_enabled() {
+            StmtProbe::enabled()
+        } else {
+            StmtProbe::disabled()
+        }
+        .with_budget(self.config.memory_budget.clone());
         let mut staged: Vec<Row> = Vec::new();
         for row in rows {
             if row.len() != types.len() {
@@ -676,13 +703,16 @@ impl Database {
                     actual: row.len(),
                 });
             }
-            staged.push(
-                row.iter()
-                    .zip(&types)
-                    .map(|(v, ty)| v.coerce_to(*ty))
-                    .collect::<Result<Vec<_>>>()?
-                    .into_boxed_slice(),
-            );
+            let coerced: Row = row
+                .iter()
+                .zip(&types)
+                .map(|(v, ty)| v.coerce_to(*ty))
+                .collect::<Result<Vec<_>>>()?
+                .into_boxed_slice();
+            probe
+                .tracker()
+                .charge("bulk-load staging", crate::resource::row_bytes(&coerced))?;
+            staged.push(coerced);
         }
         // Bulk loads have no SQL text; they are logged as binary row
         // frames under the same begin/commit protocol.
@@ -704,7 +734,6 @@ impl Database {
             self.wal_commit_frame(seq, StatementKind::Insert, &wal_tables)?;
         }
         if self.metrics.is_enabled() {
-            let mut probe = StmtProbe::enabled();
             probe.add_inserted(inserted);
             self.metrics
                 .push(probe.finish(StatementKind::Insert, std::time::Duration::ZERO));
@@ -824,6 +853,19 @@ impl Database {
     /// marker is skipped on replay.
     pub fn set_statement_deadline(&mut self, deadline: Option<std::time::Instant>) {
         self.config.deadline = deadline;
+    }
+
+    /// Install (or clear) the working-memory budget for subsequent
+    /// statements. Allocating operators charge the budget as they run;
+    /// a charge that would exceed the limit aborts the statement with
+    /// the typed transient [`Error::ResourceExhausted`] before any
+    /// effects commit (statement atomicity holds, exactly as for a
+    /// deadline abort). The handle is shared — a server installs a
+    /// per-namespace budget chained to a global one
+    /// ([`crate::resource::MemoryBudget::child_of`]) so concurrent
+    /// sessions draw from the same pool.
+    pub fn set_memory_budget(&mut self, budget: Option<crate::resource::MemoryBudget>) {
+        self.config.memory_budget = budget;
     }
 }
 

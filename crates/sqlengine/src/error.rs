@@ -140,6 +140,24 @@ pub enum Error {
         /// The budget the statement was given, in milliseconds.
         budget_ms: u64,
     },
+    /// A statement overran the configured memory budget: an allocating
+    /// operator (join build side, GROUP BY table, staged DML buffer,
+    /// bulk-load staging) would have pushed the tracked footprint past
+    /// the limit. The statement's effects were **not** applied —
+    /// execution aborts before the stage-then-commit swap, so a retry
+    /// (typically after the caller sheds load or degrades its plan)
+    /// observes exactly the state the failed attempt saw. Transient by
+    /// classification for that reason.
+    ResourceExhausted {
+        /// The allocating operator that hit the wall ("join build",
+        /// "group table", "staged insert", …).
+        context: String,
+        /// Tracked footprint in bytes at the moment of the failure,
+        /// including the allocation that did not fit.
+        used_bytes: u64,
+        /// The budget that was exceeded, in bytes.
+        budget_bytes: u64,
+    },
     /// An error that happened inside a *remote* server, relayed verbatim
     /// over the wire. Variants a caller inspects structurally
     /// ([`Error::StatementTooLong`], [`Error::Arithmetic`],
@@ -215,6 +233,15 @@ impl fmt::Display for Error {
                     )
                 }
             }
+            Error::ResourceExhausted {
+                context,
+                used_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "resource exhausted ({context}): {used_bytes} bytes needed, \
+                 budget is {budget_bytes} bytes"
+            ),
             Error::Remote(m) => write!(f, "server error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
@@ -283,12 +310,28 @@ impl Error {
         }
     }
 
+    /// Build a [`Error::ResourceExhausted`] from the allocating context,
+    /// the footprint that did not fit, and the budget it exceeded.
+    pub fn resource_exhausted(
+        context: impl Into<String>,
+        used_bytes: u64,
+        budget_bytes: u64,
+    ) -> Self {
+        Error::ResourceExhausted {
+            context: context.into(),
+            used_bytes,
+            budget_bytes,
+        }
+    }
+
     /// Is a retry of the failed statement worth attempting? Injected
     /// transient faults, transient wire failures (connection reset,
-    /// I/O timeout) and deadline overruns qualify — a retry arrives
-    /// with a fresh per-attempt deadline budget. Every organic engine
-    /// error (parse, analysis, arity, duplicate key, arithmetic, …) is
-    /// deterministic and will reproduce on retry.
+    /// I/O timeout), deadline overruns and memory-budget overruns
+    /// qualify — a retry arrives with a fresh per-attempt deadline
+    /// budget, and an exhausted memory budget may clear once concurrent
+    /// load drains or the caller degrades its plan. Every organic
+    /// engine error (parse, analysis, arity, duplicate key,
+    /// arithmetic, …) is deterministic and will reproduce on retry.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -299,6 +342,7 @@ impl Error {
                 transient: true,
                 ..
             } | Error::Deadline { .. }
+                | Error::ResourceExhausted { .. }
         )
     }
 

@@ -504,6 +504,22 @@ impl AggSink {
         self.groups.len()
     }
 
+    /// Working-memory footprint of the group table under the logical
+    /// size model of [`crate::resource`]: one hash entry per group (key
+    /// row + entry overhead) plus one accumulator state per aggregate.
+    /// Charged against the statement's memory budget after partitions
+    /// merge — the merged table is identical under serial and parallel
+    /// execution, so the charge is deterministic.
+    pub fn footprint_bytes(&self) -> u64 {
+        use crate::resource::{row_bytes, AGG_STATE_BYTES, ENTRY_OVERHEAD_BYTES};
+        self.groups
+            .iter()
+            .map(|(key, states)| {
+                row_bytes(key) + ENTRY_OVERHEAD_BYTES + states.len() as u64 * AGG_STATE_BYTES
+            })
+            .sum()
+    }
+
     /// Merge another partition's groups into this one (partition order
     /// gives deterministic group ordering).
     pub fn merge(&mut self, other: AggSink) {

@@ -128,6 +128,11 @@ pub fn insert(
             .map(|(i, v)| v.coerce_to(table.schema().column(i).ty))
             .collect::<Result<Vec<_>>>()?
             .into_boxed_slice();
+        // Charge the staging buffer as it grows: an over-budget INSERT
+        // aborts before the table is touched, so atomicity holds.
+        probe
+            .tracker()
+            .charge("staged insert", crate::resource::row_bytes(&coerced))?;
         staged.push(coerced);
     }
     let inserted = table.insert_all_or_rollback(staged)?;
@@ -189,6 +194,9 @@ pub fn update(
             for row in t.rows() {
                 let mut c = combo.clone();
                 c.extend_from_slice(row);
+                probe
+                    .tracker()
+                    .charge("update from", crate::resource::row_bytes(&c))?;
                 next.push(c);
             }
         }

@@ -43,6 +43,16 @@ pub struct ExecConfig {
     /// by one batch's work, and statement atomicity holds (effects are
     /// staged and never swapped in).
     pub deadline: Option<std::time::Instant>,
+    /// Working-memory budget for statement execution: every allocating
+    /// operator (join builds, GROUP BY tables, staged DML buffers,
+    /// bulk-load staging) charges it and a charge that would exceed the
+    /// limit aborts the statement with the typed transient
+    /// [`crate::Error::ResourceExhausted`] before any effects commit.
+    /// `None` (the default) means unbounded — the peak-memory gauge in
+    /// [`crate::ExecMetrics`] is still reported. The budget handle is
+    /// shared: servers install per-namespace budgets chained to a
+    /// global one ([`crate::resource::MemoryBudget::child_of`]).
+    pub memory_budget: Option<crate::resource::MemoryBudget>,
 }
 
 impl Default for ExecConfig {
@@ -52,6 +62,7 @@ impl Default for ExecConfig {
             max_statement_len: 64 * 1024,
             limits: crate::analyze::Limits::default(),
             deadline: None,
+            memory_budget: None,
         }
     }
 }
@@ -106,7 +117,7 @@ pub fn execute_statement(
     config: &ExecConfig,
     stmt: &Statement,
 ) -> Result<QueryResult> {
-    let mut probe = StmtProbe::disabled();
+    let mut probe = StmtProbe::disabled().with_budget(config.memory_budget.clone());
     execute_statement_metered(catalog, stats, config, stmt, &mut probe)
 }
 
@@ -238,7 +249,7 @@ fn explain_analyze(
         let plan = explain_select(catalog, sel)?;
         lines.extend(plan.rows.iter().map(|r| r[0].to_string()));
     }
-    let mut probe = StmtProbe::enabled();
+    let mut probe = StmtProbe::enabled().with_budget(config.memory_budget.clone());
     let t0 = std::time::Instant::now();
     let result = execute_statement_metered(catalog, stats, config, inner, &mut probe)?;
     let metrics = probe.finish(statement_kind(inner), t0.elapsed());

@@ -24,6 +24,7 @@ use crate::exec::aggregate::{plan_aggregate, AggSink};
 use crate::exec::{ExecConfig, QueryResult};
 use crate::expr::{compile, CExpr, ColumnResolver};
 use crate::metrics::StmtProbe;
+use crate::resource::{row_bytes, ResourceTracker, ENTRY_OVERHEAD_BYTES};
 use crate::stats::Stats;
 use crate::table::Row;
 use crate::value::Value;
@@ -114,6 +115,12 @@ pub fn run_select(
                 a
             })
             .expect("at least one sink");
+        // The merged table is charged (not the per-partition partials):
+        // its contents are identical under serial and parallel execution,
+        // which keeps the peak-memory gauge partition-order-independent.
+        probe
+            .tracker()
+            .charge("group table", merged.footprint_bytes())?;
         probe.set_groups(merged.group_count());
         out_rows = merged.finalize()?;
     } else {
@@ -124,11 +131,13 @@ pub fn run_select(
         }
         let compiled = compile_scalar_items(&all_items, &output_names, &resolver)?;
         let base_width = resolver.width();
+        let mem = probe.tracker();
         let sinks = run_pipeline(&pipeline, config, probe, || ScalarSink {
             items: compiled.clone(),
             base_width,
             buf: Vec::with_capacity(base_width + compiled.len()),
             out: Vec::new(),
+            mem,
         })?;
         out_rows = Vec::new();
         for s in sinks {
@@ -459,6 +468,10 @@ fn build_pipeline<'a>(
                 indices.push(idx as u32);
             }
             probe.add_build_rows(indices.len() as u64);
+            probe.tracker().charge(
+                "join broadcast",
+                indices.len() as u64 * ENTRY_OVERHEAD_BYTES,
+            )?;
             StageKind::Broadcast { indices }
         } else {
             let mut map: HashMap<Row, Vec<u32>> = HashMap::with_capacity(table.len());
@@ -477,7 +490,23 @@ fn build_pipeline<'a>(
                 if key.iter().any(Value::is_null) {
                     continue;
                 }
-                map.entry(key).or_default().push(idx as u32);
+                // Charge the build side as it grows: a new entry costs
+                // its key plus one index slot, a collision one slot.
+                // The build phase is single-threaded, so these charges
+                // are deterministic regardless of worker count.
+                let key_bytes = row_bytes(&key);
+                match map.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        probe.tracker().charge("join build", ENTRY_OVERHEAD_BYTES)?;
+                        e.get_mut().push(idx as u32);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        probe
+                            .tracker()
+                            .charge("join build", key_bytes + ENTRY_OVERHEAD_BYTES)?;
+                        e.insert(vec![idx as u32]);
+                    }
+                }
             }
             probe.add_build_rows(map.values().map(|v| v.len() as u64).sum());
             StageKind::Hash {
@@ -546,14 +575,18 @@ pub trait RowSink {
 
 /// Scalar projection sink with Teradata-style lateral aliases: the buffer
 /// holds the base row followed by one slot per already-computed item.
-struct ScalarSink {
+struct ScalarSink<'t> {
     items: Vec<CExpr>,
     base_width: usize,
     buf: Vec<Value>,
     out: Vec<Row>,
+    /// Statement working-memory account; every materialized output row
+    /// is charged before it is kept, so an over-budget SELECT aborts
+    /// mid-stream instead of after buffering the whole result.
+    mem: &'t ResourceTracker,
 }
 
-impl RowSink for ScalarSink {
+impl RowSink for ScalarSink<'_> {
     fn push(&mut self, row: &[Value]) -> Result<()> {
         self.buf.clear();
         self.buf.extend_from_slice(row);
@@ -561,8 +594,9 @@ impl RowSink for ScalarSink {
             let v = item.eval(&self.buf)?;
             self.buf.push(v);
         }
-        self.out
-            .push(self.buf[self.base_width..].to_vec().into_boxed_slice());
+        let out_row: Row = self.buf[self.base_width..].to_vec().into_boxed_slice();
+        self.mem.charge("select output", row_bytes(&out_row))?;
+        self.out.push(out_row);
         Ok(())
     }
 

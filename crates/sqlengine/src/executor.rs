@@ -113,6 +113,17 @@ pub trait SqlExecutor {
     /// The engine's semantic-analysis limits (term count, depth, …).
     fn analyze_limits(&self) -> Limits;
 
+    /// The working-memory budget this executor enforces, in bytes, when
+    /// one is installed and introspectable. The in-process engine
+    /// reports its configured [`crate::MemoryBudget`] limit so
+    /// pre-flight footprint checks can reject over-budget scripts;
+    /// remote implementations default to `None` — server-side budgets
+    /// are enforced at execution time and surface as typed transient
+    /// `ResourceExhausted` errors instead.
+    fn memory_budget_bytes(&self) -> Option<u64> {
+        None
+    }
+
     /// Tell the engine the next statement is a *retry* of the one that
     /// just failed (fault-injection sequence-number bookkeeping; see
     /// [`Database::note_statement_retry`]).
@@ -209,6 +220,10 @@ impl SqlExecutor for Database {
         self.config().limits.clone()
     }
 
+    fn memory_budget_bytes(&self) -> Option<u64> {
+        self.config().memory_budget.as_ref().map(|b| b.limit())
+    }
+
     fn note_statement_retry(&mut self) {
         Database::note_statement_retry(self);
     }
@@ -282,6 +297,10 @@ impl SqlExecutor for SharedDatabase {
 
     fn analyze_limits(&self) -> Limits {
         self.with(|db| db.config().limits.clone())
+    }
+
+    fn memory_budget_bytes(&self) -> Option<u64> {
+        self.with(|db| db.config().memory_budget.as_ref().map(|b| b.limit()))
     }
 
     fn note_statement_retry(&mut self) {

@@ -32,6 +32,14 @@ pub enum FaultKind {
     Transient,
     /// Deterministic; retrying reproduces it (disk full, missing grant).
     Permanent,
+    /// The resource governor rejected the statement: surfaces as the
+    /// typed [`crate::Error::ResourceExhausted`] (transient — see
+    /// [`crate::Error::is_transient`]) instead of
+    /// [`crate::Error::Injected`], so chaos plans drive the exact error
+    /// path a real over-budget charge takes. Meaningful at the
+    /// execution sites; pair with the default `BeforeExec` so the
+    /// target is untouched and a retry is safe.
+    ResourceExhaustion,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -39,6 +47,7 @@ impl std::fmt::Display for FaultKind {
         f.write_str(match self {
             FaultKind::Transient => "transient",
             FaultKind::Permanent => "permanent",
+            FaultKind::ResourceExhaustion => "resource-exhaustion",
         })
     }
 }
@@ -165,6 +174,13 @@ impl FaultRule {
     /// Builder: mark permanent.
     pub fn permanent(mut self) -> Self {
         self.fault = FaultKind::Permanent;
+        self
+    }
+
+    /// Builder: surface as the typed resource-governor rejection
+    /// ([`FaultKind::ResourceExhaustion`]).
+    pub fn exhausting(mut self) -> Self {
+        self.fault = FaultKind::ResourceExhaustion;
         self
     }
 

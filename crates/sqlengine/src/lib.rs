@@ -51,6 +51,7 @@ pub mod lexer;
 pub mod metrics;
 pub mod parser;
 pub mod plancheck;
+pub mod resource;
 pub mod schema;
 pub mod stats;
 pub mod storage;
@@ -73,6 +74,7 @@ pub use plancheck::{
     check_script, Card, CheckEnv, Diagnostic, DiagnosticKind, IterationDerivation, MutationClass,
     ScanEvent, ScriptReport, ScriptSpec, ScriptStmt, Severity, StmtReport, SymState, TableLoad,
 };
+pub use resource::{MemoryBudget, ResourceTracker};
 pub use schema::{Column, Schema};
 pub use stats::Stats;
 pub use table::Row;

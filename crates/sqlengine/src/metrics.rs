@@ -108,6 +108,11 @@ pub struct ExecMetrics {
     /// Scalar expression evaluations performed by sinks, filters and
     /// probe keys — the "CPU work" proxy of the cost model.
     pub expr_evals: u64,
+    /// Peak working memory charged by the statement, in bytes of the
+    /// deterministic logical model of [`crate::resource`]. Charges are
+    /// monotone for the life of a statement, so the peak equals the
+    /// total and is bit-identical across serial and parallel execution.
+    pub peak_mem_bytes: u64,
     /// Wall-clock spent in planning (pipeline/build construction).
     pub plan_time: Duration,
     /// Wall-clock for the whole statement.
@@ -157,6 +162,9 @@ impl ExecMetrics {
         }
         if self.expr_evals > 0 {
             lines.push(format!("expressions: {} eval(s)", self.expr_evals));
+        }
+        if self.peak_mem_bytes > 0 {
+            lines.push(format!("peak memory: {} byte(s)", self.peak_mem_bytes));
         }
         let written = self.rows_written();
         if written > 0 {
@@ -277,6 +285,10 @@ pub struct StmtProbe {
     // Worker-shared counters.
     expr_evals: AtomicU64,
     join_probe_rows: AtomicU64,
+    // Working-memory account. Unlike the counters above this is *not*
+    // gated on `enabled`: budget enforcement must work without
+    // telemetry, and the gauge costs one atomic add per charge.
+    tracker: crate::resource::ResourceTracker,
 }
 
 impl StmtProbe {
@@ -291,6 +303,20 @@ impl StmtProbe {
     /// A no-op probe (records nothing).
     pub fn disabled() -> Self {
         StmtProbe::default()
+    }
+
+    /// Attach a memory budget: every working-memory charge made through
+    /// [`StmtProbe::tracker`] is accounted against it (and released
+    /// when the probe is dropped or finished).
+    pub fn with_budget(mut self, budget: Option<crate::resource::MemoryBudget>) -> Self {
+        self.tracker = crate::resource::ResourceTracker::new(budget);
+        self
+    }
+
+    /// The statement's working-memory account. Allocation sites charge
+    /// it; the engine reads the total back as the peak-memory gauge.
+    pub fn tracker(&self) -> &crate::resource::ResourceTracker {
+        &self.tracker
     }
 
     /// Is this probe recording?
@@ -385,6 +411,7 @@ impl StmtProbe {
             join_probe_rows: self.join_probe_rows.into_inner(),
             groups: self.groups,
             expr_evals: self.expr_evals.into_inner(),
+            peak_mem_bytes: self.tracker.charged(),
             plan_time: self.plan_time,
             elapsed,
         }

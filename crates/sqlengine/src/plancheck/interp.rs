@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::analyze::{SchemaProvider, SymbolicCatalog};
 use crate::ast::{BinOp, Expr, InsertSource, Select, SelectItem, Statement};
+use crate::resource::{row_width_bytes, AGG_STATE_BYTES, ENTRY_OVERHEAD_BYTES};
 
 use super::card::Card;
 
@@ -254,6 +255,147 @@ impl SymState {
             Statement::ExplainAnalyze(inner) => return self.apply(inner, catalog),
         }
         effect
+    }
+
+    /// Symbolic peak working-memory footprint, in bytes, of executing
+    /// `stmt` against the current state — the static counterpart of the
+    /// runtime [`crate::ResourceTracker`] charges, under the same
+    /// deterministic logical size model ([`crate::resource`]).
+    ///
+    /// Must be derived against the state *before* [`SymState::apply`]
+    /// updates it. The result is a conservative upper bound: join build
+    /// sides assume every build row introduces a fresh single-column
+    /// hash key, and numeric cell widths are exact while strings add
+    /// unmodeled length bytes. What is summed mirrors the executor's
+    /// charge sites: join builds and broadcasts, merged GROUP BY
+    /// tables, materialized SELECT output, staged INSERT batches and
+    /// UPDATE…FROM cross products. Committed table storage is not
+    /// counted, matching the runtime budget's scope.
+    pub fn footprint(&self, stmt: &Statement, catalog: &SymbolicCatalog) -> Card {
+        let bytes = |b: u64| Card::constant(b as usize);
+        match stmt {
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
+                // `staged insert`: the full incoming batch is buffered
+                // and charged row-by-row before the table is touched.
+                let staged_arity = match columns {
+                    Some(cols) => cols.len(),
+                    None => catalog
+                        .table_schema(table)
+                        .map(|s| s.columns().len())
+                        .unwrap_or(0),
+                };
+                match source {
+                    InsertSource::Values(rows) => {
+                        Card::constant(rows.len()).mul(&bytes(row_width_bytes(staged_arity)))
+                    }
+                    InsertSource::Select(sel) => {
+                        // The producing SELECT's working set is live at
+                        // the same time as the staging buffer.
+                        let (working, out_rows) = self.select_footprint(sel, catalog);
+                        working.add(&out_rows.mul(&bytes(row_width_bytes(staged_arity))))
+                    }
+                }
+            }
+            Statement::Select(sel) => self.select_footprint(sel, catalog).0,
+            Statement::Update { from, .. } => {
+                // `update from`: the FROM cross product is materialized
+                // stage by stage; every intermediate combination row is
+                // charged at its width so far.
+                let mut fp = Card::zero();
+                let mut prod = Card::constant(1);
+                let mut arity = 0usize;
+                for tref in from {
+                    let rows = self
+                        .table(&tref.table)
+                        .map(|t| t.rows.clone())
+                        .unwrap_or_else(Card::zero);
+                    prod = prod.mul(&rows);
+                    arity += catalog
+                        .table_schema(&tref.table)
+                        .map(|s| s.columns().len())
+                        .unwrap_or(0);
+                    fp = fp.add(&prod.mul(&bytes(row_width_bytes(arity))));
+                }
+                fp
+            }
+            Statement::ExplainAnalyze(inner) => self.footprint(inner, catalog),
+            _ => Card::zero(),
+        }
+    }
+
+    /// Footprint of one SELECT: `(working bytes, output rows)`.
+    fn select_footprint(&self, sel: &Select, catalog: &SymbolicCatalog) -> (Card, Card) {
+        let bytes = |b: u64| Card::constant(b as usize);
+        let mut fp = Card::zero();
+        // Join build sides: every FROM table after the driver is
+        // hashed or broadcast. Upper bound: each build row costs one
+        // entry slot plus a fresh single-column key row.
+        for tref in sel.from.iter().skip(1) {
+            let rows = self
+                .table(&tref.table)
+                .map(|t| t.rows.clone())
+                .unwrap_or_else(Card::zero);
+            fp = fp.add(&rows.mul(&bytes(ENTRY_OVERHEAD_BYTES + row_width_bytes(1))));
+        }
+        let d = self.derive_select(sel, catalog);
+        let aggregated = !sel.group_by.is_empty()
+            || sel
+                .items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || sel.having.as_ref().is_some_and(|h| h.contains_aggregate());
+        if aggregated {
+            // `group table`: the merged AggSink — one key row, one
+            // entry slot and one accumulator state per aggregate item
+            // for every group.
+            let n_aggs = sel
+                .items
+                .iter()
+                .filter(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+                .count()
+                .max(1);
+            let per_group = row_width_bytes(sel.group_by.len())
+                + ENTRY_OVERHEAD_BYTES
+                + n_aggs as u64 * AGG_STATE_BYTES;
+            fp = fp.add(&d.out_rows.mul(&bytes(per_group)));
+        } else {
+            // `select output`: every materialized row, at the
+            // projection's width (hidden ORDER BY columns included).
+            let width = self.item_count(sel, catalog) + sel.order_by.len();
+            fp = fp.add(&d.out_rows.mul(&bytes(row_width_bytes(width))));
+        }
+        (fp, d.out_rows)
+    }
+
+    /// Number of output columns a SELECT's item list expands to.
+    fn item_count(&self, sel: &Select, catalog: &SymbolicCatalog) -> usize {
+        sel.items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Wildcard => sel
+                    .from
+                    .iter()
+                    .map(|t| {
+                        catalog
+                            .table_schema(&t.table)
+                            .map(|s| s.columns().len())
+                            .unwrap_or(0)
+                    })
+                    .sum(),
+                SelectItem::QualifiedWildcard(q) => sel
+                    .from
+                    .iter()
+                    .find(|t| t.visible_name().eq_ignore_ascii_case(q))
+                    .and_then(|t| catalog.table_schema(&t.table))
+                    .map(|s| s.columns().len())
+                    .unwrap_or(0),
+                SelectItem::Expr { .. } => 1,
+            })
+            .sum()
     }
 
     /// Append `added` rows to `table`, merging per-column distincts.
@@ -660,5 +802,89 @@ mod tests {
         // i values {1,2,3}, j values {1,2} — exact across both chunks.
         assert_eq!(c.distinct_of("i"), Card::constant(3));
         assert_eq!(c.distinct_of("j"), Card::constant(2));
+    }
+
+    #[test]
+    fn footprint_sums_join_build_group_table_and_staging() {
+        let mut cat = SymbolicCatalog::new();
+        let mut st = SymState::new();
+        apply_sql(
+            &mut st,
+            &mut cat,
+            "CREATE TABLE y (rid BIGINT, v BIGINT, val DOUBLE, PRIMARY KEY (rid, v))",
+        );
+        apply_sql(
+            &mut st,
+            &mut cat,
+            "CREATE TABLE cr (v BIGINT PRIMARY KEY, c1 DOUBLE)",
+        );
+        apply_sql(
+            &mut st,
+            &mut cat,
+            "CREATE TABLE yd (rid BIGINT PRIMARY KEY, d1 DOUBLE)",
+        );
+        st.load(
+            "y",
+            Card::p().mul(&Card::n()),
+            &[("rid".into(), Card::n()), ("v".into(), Card::p())],
+        );
+        st.load("cr", Card::p(), &[("v".into(), Card::p())]);
+        let stmt = parse_one(
+            "INSERT INTO yd SELECT rid, sum(val) FROM y, cr WHERE y.v = cr.v GROUP BY rid",
+        )
+        .unwrap();
+        let fp = st.footprint(&stmt, &cat);
+        // Build side: p rows, each an entry slot plus a single-key row.
+        // Group table: n groups, each a key row, an entry slot and one
+        // accumulator. Staging: n rows at the target's two-column width.
+        let build = (ENTRY_OVERHEAD_BYTES + row_width_bytes(1)) as u128;
+        let per_group = (row_width_bytes(1) + ENTRY_OVERHEAD_BYTES + AGG_STATE_BYTES) as u128;
+        let staged = row_width_bytes(2) as u128;
+        assert_eq!(fp.eval(1000, 4, 3), 4 * build + 1000 * (per_group + staged));
+    }
+
+    #[test]
+    fn footprint_of_values_insert_and_update_from() {
+        let mut cat = SymbolicCatalog::new();
+        let mut st = SymState::new();
+        apply_sql(&mut st, &mut cat, "CREATE TABLE w (w1 DOUBLE, llh DOUBLE)");
+        let ins = parse_one("INSERT INTO w VALUES (0.5, 0.0), (1.0, 2.0)").unwrap();
+        // Two staged rows at the table's two-column width.
+        assert_eq!(
+            st.footprint(&ins, &cat).eval(1, 1, 1),
+            2 * row_width_bytes(2) as u128
+        );
+        apply_sql(
+            &mut st,
+            &mut cat,
+            "INSERT INTO w VALUES (0.5, 0.0), (1.0, 2.0)",
+        );
+        apply_sql(&mut st, &mut cat, "CREATE TABLE m (f DOUBLE, g DOUBLE)");
+        apply_sql(&mut st, &mut cat, "INSERT INTO m VALUES (3.0, 4.0)");
+        let upd = parse_one("UPDATE w FROM m SET w1 = m.f").unwrap();
+        // The FROM cross product (target excluded) is one m row staged
+        // at m's two-column width.
+        assert_eq!(
+            st.footprint(&upd, &cat).eval(1, 1, 1),
+            row_width_bytes(2) as u128
+        );
+    }
+
+    #[test]
+    fn footprint_of_plain_select_counts_materialized_output() {
+        let mut cat = SymbolicCatalog::new();
+        let mut st = SymState::new();
+        apply_sql(
+            &mut st,
+            &mut cat,
+            "CREATE TABLE z (rid BIGINT PRIMARY KEY, y1 DOUBLE)",
+        );
+        st.load("z", Card::n(), &[("rid".into(), Card::n())]);
+        let sel = parse_one("SELECT rid, y1 FROM z ORDER BY y1").unwrap();
+        // n output rows at width 2 plus one hidden sort column.
+        assert_eq!(
+            st.footprint(&sel, &cat).eval(500, 1, 1),
+            500 * row_width_bytes(3) as u128
+        );
     }
 }

@@ -1,0 +1,161 @@
+//! Resource-governance invariants (integration tests).
+//!
+//! Two properties tie the static and runtime halves of the memory
+//! model together:
+//!
+//! * **static bounds runtime** — the symbolic peak footprint that
+//!   `plancheck` derives for a statement is a true upper bound on the
+//!   `peak_mem_bytes` gauge the executor reports for the same
+//!   statement, because both sides share one deterministic logical
+//!   size model (`sqlengine::resource`);
+//! * **accounting determinism** — charges are monotone within a
+//!   statement (released only at statement end), so the per-statement
+//!   peak gauge is a pure function of the statement and its input
+//!   tables. Running the same workload serially or through concurrent
+//!   `SharedDatabase` clones must yield bit-identical gauge multisets.
+
+use sqlengine::{check_script, CheckEnv, Database, ScriptSpec, ScriptStmt, SharedDatabase};
+
+/// A small join + group-by script exercising every runtime charge
+/// site: staged INSERT batches, a hash-join build side, a merged
+/// group table and a materialized sorted SELECT.
+const SCRIPT: &[(&str, &str)] = &[
+    (
+        "create:t",
+        "CREATE TABLE t (a BIGINT PRIMARY KEY, b DOUBLE)",
+    ),
+    (
+        "create:u",
+        "CREATE TABLE u (a BIGINT PRIMARY KEY, c DOUBLE)",
+    ),
+    (
+        "create:o",
+        "CREATE TABLE o (a BIGINT PRIMARY KEY, s DOUBLE)",
+    ),
+    (
+        "fill:t",
+        "INSERT INTO t VALUES (1, 2.0), (2, 3.0), (3, 4.0)",
+    ),
+    (
+        "fill:u",
+        "INSERT INTO u VALUES (1, 10.0), (2, 20.0), (3, 30.0)",
+    ),
+    (
+        "join",
+        "INSERT INTO o SELECT t.a, sum(t.b * u.c) FROM t, u \
+         WHERE t.a = u.a GROUP BY t.a",
+    ),
+    ("read", "SELECT a, s FROM o ORDER BY s"),
+    ("drop:o", "DROP TABLE o"),
+    ("drop:u", "DROP TABLE u"),
+    ("drop:t", "DROP TABLE t"),
+];
+
+#[test]
+fn static_footprint_bounds_runtime_peak_memory() {
+    let spec = ScriptSpec {
+        statements: SCRIPT
+            .iter()
+            .map(|(p, s)| ScriptStmt::new(*p, *s))
+            .collect(),
+        ..ScriptSpec::default()
+    };
+    let report = check_script(&spec, &CheckEnv::default());
+    assert!(report.ok(), "unexpected findings: {:?}", report.diagnostics);
+
+    let mut db = Database::new();
+    db.enable_metrics();
+    for (_, sql) in SCRIPT {
+        db.execute(sql).unwrap();
+    }
+    let metrics = db.take_metrics();
+    assert_eq!(metrics.len(), SCRIPT.len());
+
+    for ((m, s), (purpose, _)) in metrics.iter().zip(&report.statements).zip(SCRIPT) {
+        // All cardinalities in this script are literal constants, so
+        // the polynomial is flat in (n, p, k).
+        let bound = s.footprint.eval(1, 1, 1);
+        assert!(
+            u128::from(m.peak_mem_bytes) <= bound,
+            "{purpose}: runtime peak {} exceeds static bound {bound}",
+            m.peak_mem_bytes,
+        );
+    }
+
+    // The interesting statements genuinely charge: the join INSERT
+    // touches a build side, a group table and a staging buffer.
+    let join = &metrics[5];
+    assert!(join.peak_mem_bytes > 0, "join statement charged nothing");
+    assert!(!report.statements[5].footprint.is_zero());
+    // And the script-wide peak is exactly the statement-wise max.
+    let peak = report.peak_footprint().eval(1, 1, 1);
+    assert!(report
+        .statements
+        .iter()
+        .all(|s| s.footprint.eval(1, 1, 1) <= peak));
+    assert!(report
+        .statements
+        .iter()
+        .any(|s| s.footprint.eval(1, 1, 1) == peak));
+}
+
+/// One client's workload against its private table.
+fn client_statements(c: usize) -> Vec<String> {
+    let mut out = vec![format!(
+        "CREATE TABLE w{c} (a BIGINT PRIMARY KEY, x DOUBLE)"
+    )];
+    for i in 0..20 {
+        out.push(format!("INSERT INTO w{c} VALUES ({i}, {i}.25)"));
+    }
+    out.push(format!("SELECT a, sum(x) FROM w{c} GROUP BY a"));
+    out.push(format!("SELECT count(*), sum(x) FROM w{c}"));
+    out.push(format!("DROP TABLE w{c}"));
+    out
+}
+
+/// Sorted multiset of (kind, peak) gauge pairs for one run.
+fn gauge_multiset(metrics: &[sqlengine::ExecMetrics]) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = metrics
+        .iter()
+        .map(|m| (format!("{:?}", m.kind), m.peak_mem_bytes))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn peak_memory_gauges_are_identical_serial_and_shared_parallel() {
+    const CLIENTS: usize = 4;
+
+    // Serial baseline: one database, clients run back to back.
+    let mut db = Database::new();
+    db.enable_metrics();
+    for c in 0..CLIENTS {
+        for sql in client_statements(c) {
+            db.execute(&sql).unwrap();
+        }
+    }
+    let serial = gauge_multiset(&db.take_metrics());
+
+    // Concurrent run: the same statements race through SharedDatabase
+    // clones. Monotone per-statement charging makes each gauge a pure
+    // function of the statement, so the multisets must be identical.
+    let shared = SharedDatabase::default();
+    shared.with(|db| db.enable_metrics());
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let client = shared.clone();
+            s.spawn(move || {
+                for sql in client_statements(c) {
+                    client.execute(&sql).unwrap();
+                }
+            });
+        }
+    });
+    let parallel = shared.with(|db| gauge_multiset(&db.take_metrics()));
+
+    assert_eq!(serial, parallel);
+    // The gauges are real, not a wall of zeros: every INSERT stages at
+    // least one row.
+    assert!(serial.iter().filter(|(_, p)| *p > 0).count() >= CLIENTS * 20);
+}

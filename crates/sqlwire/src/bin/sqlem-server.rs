@@ -10,6 +10,7 @@
 //!              [--workers N] [--max-connections N]
 //!              [--idle-timeout SECS] [--lock-timeout SECS]
 //!              [--auth-token TOKEN] [--drop-nth-connection N]
+//!              [--memory-budget BYTES] [--session-memory-budget BYTES]
 //!              [--inject-fault SPEC]... [--seed N]
 //! ```
 //!
@@ -42,7 +43,8 @@ struct Args {
 const USAGE: &str = "usage: sqlem-server [--listen ADDR] [--durable] [--data-dir DIR]\n\
      [--workers N] [--max-connections N] [--idle-timeout SECS]\n\
      [--lock-timeout SECS] [--auth-token TOKEN]\n\
-     [--drop-nth-connection N] [--inject-fault SPEC]... [--seed N]\n\
+     [--drop-nth-connection N] [--memory-budget BYTES]\n\
+     [--session-memory-budget BYTES] [--inject-fault SPEC]... [--seed N]\n\
 \n\
 Serves a SQLEM database over TCP (see docs/SERVER.md). Prints\n\
 'listening on ADDR' when ready; type 'shutdown' (or close stdin) for\n\
@@ -102,6 +104,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "--drop-nth-connection needs an integer".to_string())?,
                 );
             }
+            "--memory-budget" => {
+                args.server.memory_budget =
+                    Some(parse_budget("--memory-budget", &req("--memory-budget")?)?);
+            }
+            "--session-memory-budget" => {
+                args.server.session_memory_budget = Some(parse_budget(
+                    "--session-memory-budget",
+                    &req("--session-memory-budget")?,
+                )?);
+            }
             "--inject-fault" => args.fault_specs.push(req("--inject-fault")?),
             "--seed" => {
                 args.seed = req("--seed")?
@@ -118,9 +130,30 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Parse a byte budget with an optional K/M/G suffix (powers of 1024).
+fn parse_budget(flag: &str, value: &str) -> Result<u64, String> {
+    let t = value.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = t.strip_suffix('g') {
+        (d, 1u64 << 30)
+    } else if let Some(d) = t.strip_suffix('m') {
+        (d, 1 << 20)
+    } else if let Some(d) = t.strip_suffix('k') {
+        (d, 1 << 10)
+    } else {
+        (t.as_str(), 1)
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|b| b.checked_mul(mult))
+        .filter(|&b| b > 0)
+        .ok_or_else(|| format!("{flag} needs a positive byte count (K/M/G suffixes accepted)"))
+}
+
 /// Same `--inject-fault` grammar as `sqlem-cli`:
 /// `SELECTOR[:MOD]...` with SELECTOR a statement number, `kind=NAME`
-/// or `table=SUBSTRING`, MODs `transient`/`permanent`/`once`/`always`.
+/// or `table=SUBSTRING`, MODs `transient`/`permanent`/`exhaustion`/
+/// `once`/`always`.
 fn parse_fault_rule(spec: &str) -> Result<FaultRule, String> {
     let mut parts = spec.split(':');
     let selector = parts.next().unwrap_or_default();
@@ -150,6 +183,7 @@ fn parse_fault_rule(spec: &str) -> Result<FaultRule, String> {
         match modifier {
             "transient" => rule = rule.transient(),
             "permanent" => rule = rule.permanent(),
+            "exhaustion" => rule = rule.exhausting(),
             "once" => always = false,
             "always" => always = true,
             other => return Err(format!("unknown fault modifier {other:?} in {spec:?}")),
@@ -180,6 +214,12 @@ fn run(args: Args) -> Result<(), String> {
             .collect::<Result<Vec<_>, _>>()?;
         db.set_fault_plan(FaultPlan::new(rules).with_seed(args.seed));
         eprintln!("fault plan armed ({} rule(s))", args.fault_specs.len());
+    }
+    if let Some(b) = args.server.memory_budget {
+        eprintln!("global working-memory budget: {b} byte(s)");
+    }
+    if let Some(b) = args.server.session_memory_budget {
+        eprintln!("per-session working-memory budget: {b} byte(s)");
     }
 
     let server = Server::bind(&args.listen, SharedDatabase::new(db), args.server)

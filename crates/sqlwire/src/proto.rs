@@ -17,7 +17,9 @@
 //! degenerate-cluster recovery trigger), [`Error::Injected`] (fault
 //! injection's transient/applied semantics feed the retry policy),
 //! [`Error::Net`] and [`Error::Deadline`] (budget exhaustion must stay
-//! typed so clients can render an actionable message) travel as
+//! typed so clients can render an actionable message), and
+//! [`Error::ResourceExhausted`] (the memory governor's transient
+//! rejection, which drives the driver's degradation ladder) travel as
 //! themselves; every other variant arrives as its rendered message
 //! wrapped in [`Error::Remote`].
 //!
@@ -259,6 +261,7 @@ const ERR_ARITHMETIC: u8 = 2;
 const ERR_INJECTED: u8 = 3;
 const ERR_NET: u8 = 4;
 const ERR_DEADLINE: u8 = 5;
+const ERR_RESOURCE: u8 = 6;
 
 fn malformed(what: &str) -> Error {
     Error::net_permanent("decode message", format!("malformed {what}"))
@@ -315,6 +318,16 @@ fn put_error(buf: &mut Vec<u8>, e: &Error) {
             put_str(buf, context);
             put_u64(buf, *budget_ms);
         }
+        Error::ResourceExhausted {
+            context,
+            used_bytes,
+            budget_bytes,
+        } => {
+            buf.push(ERR_RESOURCE);
+            put_str(buf, context);
+            put_u64(buf, *used_bytes);
+            put_u64(buf, *budget_bytes);
+        }
         // Re-relaying an already-relayed error must not stack
         // "server error:" prefixes.
         Error::Remote(m) => {
@@ -348,6 +361,11 @@ fn read_error(r: &mut Reader<'_>) -> Result<Error, Error> {
         ERR_DEADLINE => Error::Deadline {
             context: r.str()?,
             budget_ms: r.u64()?,
+        },
+        ERR_RESOURCE => Error::ResourceExhausted {
+            context: r.str()?,
+            used_bytes: r.u64()?,
+            budget_bytes: r.u64()?,
         },
         ERR_OTHER => Error::Remote(r.str()?),
         _ => return Err(malformed("error tag")),
@@ -538,6 +556,7 @@ fn put_metrics_entry(buf: &mut Vec<u8>, m: &ExecMetrics) {
     put_u64(buf, m.join_probe_rows);
     put_u64(buf, m.groups as u64);
     put_u64(buf, m.expr_evals);
+    put_u64(buf, m.peak_mem_bytes);
     put_u64(buf, m.plan_time.as_nanos() as u64);
     put_u64(buf, m.elapsed.as_nanos() as u64);
 }
@@ -564,6 +583,7 @@ fn read_metrics_entry(r: &mut Reader<'_>) -> Result<ExecMetrics, Error> {
         join_probe_rows: r.u64()?,
         groups: read_usize(r)?,
         expr_evals: r.u64()?,
+        peak_mem_bytes: r.u64()?,
         plan_time: Duration::from_nanos(r.u64()?),
         elapsed: Duration::from_nanos(r.u64()?),
     })
@@ -909,6 +929,7 @@ mod tests {
             join_probe_rows: 1000,
             groups: 0,
             expr_evals: 4000,
+            peak_mem_bytes: 65536,
             plan_time: Duration::from_micros(120),
             elapsed: Duration::from_millis(3),
         }]));
@@ -932,6 +953,18 @@ mod tests {
         // Deadline overruns must survive typed (transient, actionable).
         let e = roundtrip_err(Error::deadline("lock wait", 250));
         assert!(matches!(e, Error::Deadline { budget_ms: 250, .. }));
+        assert!(e.is_transient());
+        // Memory-governor rejections must survive typed and transient
+        // so the remote driver's degradation ladder can react.
+        let e = roundtrip_err(Error::resource_exhausted("join build", 2048, 1024));
+        match &e {
+            Error::ResourceExhausted {
+                used_bytes: 2048,
+                budget_bytes: 1024,
+                context,
+            } => assert_eq!(context, "join build"),
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
         assert!(e.is_transient());
         // Everything else flattens to Remote with the rendered text.
         let e = roundtrip_err(Error::UnknownTable("nope".into()));

@@ -6,9 +6,15 @@
 //! the network; all heavy lifting happens where the data lives. Each
 //! accepted connection becomes one *session* on its own thread:
 //!
-//! 1. **Admission** — beyond [`ServerConfig::max_connections`] live
-//!    sessions, the handshake is rejected with a *transient* error
-//!    (backpressure: a client retry policy will wait and reconnect).
+//! 1. **Admission** — the accept loop reserves a session slot with a
+//!    capped atomic update *before* spawning the session thread, so
+//!    live sessions can never exceed [`ServerConfig::max_connections`],
+//!    even momentarily. An over-capacity connection is *shed*: its
+//!    handshake is answered with a transient error carrying a
+//!    retry-after hint ([`ServerConfig::shed_retry_after`]) and the
+//!    connection is closed (backpressure: a client retry policy will
+//!    wait and reconnect). Shed connections are counted
+//!    ([`ServerHandle::shed_count`]).
 //! 2. **Handshake** — the client's [`Request::Hello`] carries the
 //!    protocol version, a shared-secret token and the work-table
 //!    namespace it wants, plus an optional *resume token* from an
@@ -52,7 +58,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use sqlengine::{Database, Error, Result, SharedDatabase, SqlExecutor, WalRecovery};
+use sqlengine::{Database, Error, MemoryBudget, Result, SharedDatabase, SqlExecutor, WalRecovery};
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{Request, Response, StmtMeta, PROTOCOL_VERSION};
@@ -78,6 +84,20 @@ pub struct ServerConfig {
     /// floor without a single response byte — deterministic
     /// connection-failure injection for retry tests.
     pub drop_nth_connection: Option<u64>,
+    /// Global working-memory budget in bytes, shared by every session:
+    /// an allocating statement that would push the server past this
+    /// fails with the typed transient
+    /// [`sqlengine::Error::ResourceExhausted`]. `None` = unbounded.
+    pub memory_budget: Option<u64>,
+    /// Per-session working-memory budget in bytes, chained under the
+    /// global one when both are set
+    /// ([`sqlengine::MemoryBudget::child_of`]): one greedy session hits
+    /// its own ceiling before it can starve the shared pool. `None` =
+    /// only the global budget (if any) applies.
+    pub session_memory_budget: Option<u64>,
+    /// Retry-after hint carried in the backpressure error a shed
+    /// (over-capacity) connection receives.
+    pub shed_retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +109,9 @@ impl Default for ServerConfig {
             lock_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(10),
             drop_nth_connection: None,
+            memory_budget: None,
+            session_memory_budget: None,
+            shed_retry_after: Duration::from_millis(100),
         }
     }
 }
@@ -118,6 +141,10 @@ struct ServerState {
     shutdown: AtomicBool,
     active: AtomicUsize,
     accepted: AtomicU64,
+    /// Connections shed at admission (over capacity).
+    shed: AtomicU64,
+    /// Global memory budget every session budget chains under.
+    global_budget: Option<MemoryBudget>,
     next_session: AtomicU64,
     next_token: AtomicU64,
     sessions: Mutex<HashMap<u64, SessionEntry>>,
@@ -143,6 +170,18 @@ impl ServerHandle {
     /// Number of currently live sessions.
     pub fn active_sessions(&self) -> usize {
         self.state.active.load(Ordering::SeqCst)
+    }
+
+    /// Connections shed at admission so far (load-shedding telemetry;
+    /// the overload bench reports this next to throughput).
+    pub fn shed_count(&self) -> u64 {
+        self.state.shed.load(Ordering::SeqCst)
+    }
+
+    /// Peak bytes charged against the global memory budget, if one is
+    /// configured ([`ServerConfig::memory_budget`]).
+    pub fn peak_memory_bytes(&self) -> Option<u64> {
+        self.state.global_budget.as_ref().map(MemoryBudget::peak)
     }
 
     /// Number of resume tokens with live dedup state (tests).
@@ -201,6 +240,7 @@ impl Server {
             }
             None => None,
         };
+        let global_budget = config.memory_budget.map(MemoryBudget::new);
         Ok(Server {
             listener,
             db,
@@ -209,6 +249,8 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
                 accepted: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                global_budget,
                 next_session: AtomicU64::new(1),
                 next_token: AtomicU64::new(max_token + 1),
                 sessions: Mutex::new(HashMap::new()),
@@ -248,7 +290,23 @@ impl Server {
                     let db = self.db.clone();
                     let config = self.config.clone();
                     let state = Arc::clone(&self.state);
-                    state.active.fetch_add(1, Ordering::SeqCst);
+                    // Admission: reserve a session slot with a capped
+                    // compare-and-swap *before* spawning, so `active`
+                    // can never exceed `max_connections`, even
+                    // transiently. (It used to be bumped optimistically
+                    // and checked later, so a burst of dials overshot
+                    // the cap for the length of a handshake.)
+                    let admitted = state
+                        .active
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
+                            (live < config.max_connections).then_some(live + 1)
+                        })
+                        .is_ok();
+                    if !admitted {
+                        state.shed.fetch_add(1, Ordering::SeqCst);
+                        std::thread::spawn(move || shed_session(stream, &config));
+                        continue;
+                    }
                     std::thread::spawn(move || {
                         // The session outcome is reported to the peer over
                         // the wire; a torn connection has nowhere to report.
@@ -269,6 +327,29 @@ impl Server {
         }
         Ok(())
     }
+}
+
+/// Shed one over-capacity connection: read its Hello (so the reply is
+/// a well-formed answer to a well-formed question), respond with a
+/// transient backpressure error carrying the retry-after hint, close.
+/// The shed path never touches the database or the session registry.
+fn shed_session(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_nodelay(true);
+    // A shed connection must not occupy the shedding thread for long;
+    // the retry-after hint doubles as the read patience.
+    let _ = stream.set_read_timeout(Some(config.shed_retry_after.max(Duration::from_millis(10))));
+    if read_frame(&mut stream).is_err() {
+        return;
+    }
+    let e = Error::net_transient(
+        "handshake",
+        format!(
+            "server at capacity ({} sessions); retry after {} ms",
+            config.max_connections,
+            config.shed_retry_after.as_millis()
+        ),
+    );
+    let _ = write_frame(&mut stream, &Response::Err(e).encode());
 }
 
 /// Receive the handshake, register the session, then serve requests
@@ -312,19 +393,8 @@ fn serve_session(
         write_frame(&mut stream, &Response::Err(e.clone()).encode())?;
         return Err(e);
     }
-    // Admission control: the session slot was taken optimistically by
-    // the accept loop; over capacity means *this* session must go.
-    if state.active.load(Ordering::SeqCst) > config.max_connections {
-        let e = Error::net_transient(
-            "handshake",
-            format!(
-                "server at capacity ({} sessions); retry later",
-                config.max_connections
-            ),
-        );
-        write_frame(&mut stream, &Response::Err(e.clone()).encode())?;
-        return Err(e);
-    }
+    // Admission already happened in the accept loop (a capped slot
+    // reservation); a thread running here holds a slot by construction.
 
     // Resolve the resume token: issue, reattach, or adopt.
     let token = match attach_token(state, &resume_token, &namespace) {
@@ -399,6 +469,15 @@ fn serve_session(
     )?;
 
     // ---- request loop ----------------------------------------------
+    // This session's working-memory budget: chained under the global
+    // pool when both knobs are set, so one greedy session trips its own
+    // ceiling before it can starve everyone else's.
+    let budget = match (&state.global_budget, config.session_memory_budget) {
+        (Some(global), Some(per)) => Some(MemoryBudget::child_of(global, per)),
+        (Some(global), None) => Some(global.clone()),
+        (None, Some(per)) => Some(MemoryBudget::new(per)),
+        (None, None) => None,
+    };
     let mut my_prepared: Vec<u64> = Vec::new();
     let result = request_loop(
         &mut stream,
@@ -406,6 +485,7 @@ fn serve_session(
         config,
         state,
         &token,
+        budget.as_ref(),
         &cancelled,
         &mut my_prepared,
     );
@@ -492,6 +572,7 @@ fn request_loop(
     config: &ServerConfig,
     state: &ServerState,
     token: &str,
+    budget: Option<&MemoryBudget>,
     cancelled: &AtomicBool,
     my_prepared: &mut Vec<u64>,
 ) -> Result<()> {
@@ -527,18 +608,20 @@ fn request_loop(
                     None => Response::Bool(false),
                 }
             }
-            other => dispatch_db(db, config, state, token, other, my_prepared),
+            other => dispatch_db(db, config, state, token, budget, other, my_prepared),
         };
         write_frame(stream, &response.encode())?;
     }
 }
 
 /// Execute one database-touching request under the bounded lock wait.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_db(
     db: &SharedDatabase,
     config: &ServerConfig,
     state: &ServerState,
     token: &str,
+    budget: Option<&MemoryBudget>,
     request: Request,
     my_prepared: &mut Vec<u64>,
 ) -> Response {
@@ -561,7 +644,7 @@ fn dispatch_db(
         }
     }
     match request {
-        Request::Query { meta, sql } => keyed(db, config, state, token, meta, &mut |d| {
+        Request::Query { meta, sql } => keyed(db, config, state, token, budget, meta, &mut |d| {
             d.execute(&sql).map(Response::Rows)
         }),
         Request::Prepare { statements } => {
@@ -583,7 +666,7 @@ fn dispatch_db(
                     format!("unknown prepared id {id} for this session"),
                 ));
             }
-            keyed(db, config, state, token, meta, &mut |d| {
+            keyed(db, config, state, token, budget, meta, &mut |d| {
                 SqlExecutor::run_prepared(d, sqlengine::PreparedId(id)).map(Response::Rows)
             })
         }
@@ -597,7 +680,7 @@ fn dispatch_db(
             // `keyed` takes an FnMut but calls it at most once; Option
             // lets the rows move into bulk_insert without a clone.
             let mut rows = Some(rows);
-            keyed(db, config, state, token, meta, &mut |d| {
+            keyed(db, config, state, token, budget, meta, &mut |d| {
                 let rows = rows.take().expect("bulk-insert closure runs once");
                 d.bulk_insert(&table, rows)
                     .map(|n| Response::Count(n as u64))
@@ -652,12 +735,15 @@ fn rewrite_deadline(e: Error, budget_ms: u64) -> Error {
 /// Execute one idempotency-keyed statement: admit it against the
 /// session's dedup window, journal intent/outcome around execution
 /// (durable servers), enforce the deadline budget against both lock
-/// wait and execution, and record the reply for future replays.
+/// wait and execution, install the session's memory budget for the
+/// statement's duration, and record the reply for future replays.
+#[allow(clippy::too_many_arguments)]
 fn keyed(
     db: &SharedDatabase,
     config: &ServerConfig,
     state: &ServerState,
     token: &str,
+    budget: Option<&MemoryBudget>,
     meta: StmtMeta,
     exec: &mut dyn FnMut(&mut Database) -> Result<Response>,
 ) -> Response {
@@ -709,7 +795,9 @@ fn keyed(
             }
         }
         d.set_statement_deadline(deadline);
+        d.set_memory_budget(budget.cloned());
         let result = exec(d);
+        d.set_memory_budget(None);
         d.set_statement_deadline(None);
         // Applied = succeeded and consumed a WAL frame. In-memory
         // databases report false: their replies never outlive the

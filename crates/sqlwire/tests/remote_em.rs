@@ -464,6 +464,78 @@ fn admission_control_rejects_transiently_over_capacity() {
 }
 
 #[test]
+fn shed_connections_carry_retry_after_and_are_counted() {
+    let config = ServerConfig {
+        max_connections: 1,
+        shed_retry_after: Duration::from_millis(40),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(SharedDatabase::default(), config);
+    let conn = connect(&server.addr, "");
+    for _ in 0..3 {
+        let err = RemoteConnection::connect(&server.addr, ClientConfig::default()).unwrap_err();
+        assert!(err.is_transient(), "shedding invites a retry: {err}");
+        assert!(err.to_string().contains("retry after 40 ms"), "{err}");
+    }
+    assert_eq!(server.handle.shed_count(), 3, "every shed must be counted");
+
+    // Releasing the slot readmits the next dial (the session teardown
+    // races the redial, so poll briefly).
+    drop(conn);
+    let mut readmitted = None;
+    for _ in 0..100 {
+        match RemoteConnection::connect(&server.addr, ClientConfig::default()) {
+            Ok(c) => {
+                readmitted = Some(c);
+                break;
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let mut conn = readmitted.expect("slot never freed after disconnect");
+    assert!(conn.execute("SELECT 1").is_ok());
+    drop(conn);
+    server.stop();
+}
+
+#[test]
+fn session_memory_budget_relays_typed_exhaustion() {
+    let config = ServerConfig {
+        memory_budget: Some(64 * 1024),
+        session_memory_budget: Some(256),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(SharedDatabase::default(), config);
+    let mut conn = connect(&server.addr, "");
+    conn.execute("CREATE TABLE big (a BIGINT PRIMARY KEY, b DOUBLE)")
+        .unwrap();
+
+    // Twenty staged rows blow the 256-byte session ceiling; the typed
+    // error crosses the wire intact and stays transient backpressure.
+    let rows: Vec<String> = (0..20).map(|i| format!("({i}, {i}.5)")).collect();
+    let err = conn
+        .execute(&format!("INSERT INTO big VALUES {}", rows.join(", ")))
+        .unwrap_err();
+    assert!(
+        matches!(err, sqlengine::Error::ResourceExhausted { .. }),
+        "expected typed exhaustion over the wire, got: {err}"
+    );
+    assert!(err.is_transient(), "exhaustion is backpressure: {err}");
+
+    // Charges release at statement end: right-sized statements still fit.
+    conn.execute("INSERT INTO big VALUES (1, 1.5)").unwrap();
+    let r = conn.execute("SELECT count(*) FROM big").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    conn.execute("DROP TABLE big").unwrap();
+
+    // The global pool saw the session's charges: the gauge is real.
+    let peak = server.handle.peak_memory_bytes();
+    assert!(peak.is_some_and(|p| p > 0), "global peak gauge: {peak:?}");
+    drop(conn);
+    server.stop();
+}
+
+#[test]
 fn cancel_kills_the_target_session() {
     let server = TestServer::start(SharedDatabase::default(), ServerConfig::default());
     let mut victim = connect(&server.addr, "");

@@ -141,6 +141,46 @@ fn transient_fault_at_every_statement_retries_or_fails_clean() {
     }
 }
 
+/// Exhaustion sweep: an injected one-shot out-of-memory rejection at
+/// every statement index, with retries. The governor's contract is the
+/// transient one — exhaustion is backpressure, not corruption — so the
+/// run either completes bit-identically to the unconstrained baseline
+/// or fails with the typed [`SqlError::ResourceExhausted`] and zero
+/// leaked work tables.
+#[test]
+fn exhaustion_fault_at_every_statement_retries_or_fails_clean() {
+    let (points, init) = (blobs(), blob_init());
+    for strategy in STRATEGIES {
+        let cfg = SqlemConfig::new(2, strategy)
+            .with_epsilon(0.0)
+            .with_max_iterations(2)
+            .with_prefix("cz_");
+        let baseline = run_all(&mut Database::new(), &cfg, &points, &init).unwrap();
+        let (_, total) = statement_counts(&cfg, &points, &init);
+        let retry_cfg = cfg.clone().with_retry(RetryPolicy::immediate(4));
+        for i in (0..total).step_by(stride()) {
+            let ctx = format!("{strategy}, exhaustion fault at statement {i}");
+            let mut db = Database::new();
+            db.set_fault_plan(FaultPlan::single(FaultRule::nth(i).exhausting().once()));
+            match run_all(&mut db, &retry_cfg, &points, &init) {
+                Ok(run) => {
+                    assert_eq!(run.params, baseline.params, "{ctx}: params diverged");
+                    assert_eq!(run.llh_history, baseline.llh_history, "{ctx}: llh diverged");
+                }
+                Err(e) => {
+                    assert!(
+                        e.is_resource_exhausted(),
+                        "{ctx}: expected typed exhaustion, got: {e}"
+                    );
+                    assert!(e.is_transient(), "{ctx}: exhaustion must stay retryable");
+                    let left = leaked(&db, "cz_");
+                    assert!(left.is_empty(), "{ctx}: leaked tables {left:?}");
+                }
+            }
+        }
+    }
+}
+
 /// Permanent sweep: an unretryable fault at every statement index must
 /// always surface as the typed injected error, leak-free — even with a
 /// generous retry policy installed.

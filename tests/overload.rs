@@ -1,0 +1,382 @@
+//! Overload suite: end-to-end EM runs under a byte-accurate memory
+//! budget (tier-2 robustness for the resource governor).
+//!
+//! The contract under test (docs/ROBUSTNESS.md "Resource governance"):
+//!
+//! * under a tight budget every concurrent session either completes
+//!   **bit-identically** to the unconstrained baseline (degrading
+//!   gracefully by shrinking its bulk-load chunks) or fails with the
+//!   typed, transient [`sqlengine::Error::ResourceExhausted`] — and
+//!   either way leaves zero work tables behind;
+//! * a budget below the smallest unit of work (one staged row) is a
+//!   clean typed failure, never a panic or a partial load;
+//! * on a durable database the budget changes WAL *framing* (more,
+//!   smaller bulk-insert frames) but not WAL *meaning*: recovery
+//!   reaches the same logical state as an unconstrained run;
+//! * with no budget installed, the gauges still report but results
+//!   are unchanged — governance is observe-only by default.
+
+use emcore::init::InitStrategy;
+use emcore::GmmParams;
+use sqlem::{EmSession, RetryPolicy, SqlemConfig, SqlemError, SqlemRun, Strategy};
+use sqlengine::{Database, MemoryBudget, SharedDatabase, SqlExecutor};
+use std::path::PathBuf;
+
+/// Points are deliberately wide (p = 6) so the bulk load's staging
+/// buffer — n rows of width p+1 — dominates every other statement's
+/// footprint. That opens a budget window where EM statements fit but
+/// the one-shot load does not, forcing the chunk-shrink ladder.
+const P: usize = 6;
+const N: usize = 48;
+
+fn points() -> Vec<Vec<f64>> {
+    (0..N)
+        .map(|i| {
+            let t = (i % 5) as f64 * 0.2;
+            let base = if i % 2 == 0 { 0.0 } else { 12.0 };
+            (0..P).map(|d| base + t + d as f64 * 0.01).collect()
+        })
+        .collect()
+}
+
+fn init_params() -> GmmParams {
+    GmmParams::new(
+        vec![vec![2.0; P], vec![9.0; P]],
+        vec![8.0; P],
+        vec![0.5, 0.5],
+    )
+}
+
+fn config(prefix: &str) -> SqlemConfig {
+    SqlemConfig::new(2, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(2)
+        .with_prefix(prefix)
+}
+
+/// Create → load → initialize → run → cleanup. Work tables are dropped
+/// on success *and* on error, so any table left behind is a leak.
+fn run_session<E: SqlExecutor>(
+    db: &mut E,
+    cfg: &SqlemConfig,
+    pts: &[Vec<f64>],
+    init: &GmmParams,
+) -> Result<SqlemRun, SqlemError> {
+    let mut session = EmSession::create(db, cfg, init.p())?;
+    let result = (|| {
+        session.load_points(pts)?;
+        session.initialize(&InitStrategy::Explicit(init.clone()))?;
+        session.run()
+    })();
+    match result {
+        Ok(run) => {
+            session.cleanup()?;
+            Ok(run)
+        }
+        Err(e) => {
+            let _ = session.cleanup();
+            Err(e)
+        }
+    }
+}
+
+/// Largest per-statement `peak_mem_bytes` gauge of an unconstrained
+/// run of `cfg` — the smallest budget under which that exact run
+/// cannot fail.
+fn probe_peak(cfg: &SqlemConfig, pts: &[Vec<f64>], init: &GmmParams) -> u64 {
+    let mut db = Database::new();
+    db.enable_metrics();
+    run_session(&mut db, cfg, pts, init).unwrap();
+    db.take_metrics()
+        .iter()
+        .map(|m| m.peak_mem_bytes)
+        .max()
+        .unwrap()
+}
+
+/// A budget that admits every statement of the workload *except* the
+/// unchunked bulk load: big enough for the run with single-row chunks,
+/// too small for the full staging buffer. Asserts the window exists.
+fn tight_budget(pts: &[Vec<f64>], init: &GmmParams) -> u64 {
+    let rest = probe_peak(&config("pr_").with_load_chunk_rows(1), pts, init);
+    let full = probe_peak(&config("pr_"), pts, init);
+    let budget = rest + rest / 8;
+    assert!(
+        full > budget,
+        "workload is not load-dominated: full-load peak {full} <= budget {budget}"
+    );
+    budget
+}
+
+/// Work tables left behind with `prefix` (checkpoint tables are
+/// durable by design and excluded).
+fn leaked(db: &Database, prefix: &str) -> Vec<String> {
+    db.catalog()
+        .table_names()
+        .into_iter()
+        .filter(|t| t.starts_with(prefix) && !t.contains("ckpt"))
+        .map(str::to_string)
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqlem_overload_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Four sessions race through `SharedDatabase` clones under one global
+/// budget sized below the unchunked load. Every session must either
+/// finish bit-identical to the unconstrained baseline or fail typed —
+/// and at least one must have degraded (shrunk its load chunks) rather
+/// than failed.
+#[test]
+fn concurrent_sessions_under_tight_budget_match_baseline_or_fail_typed() {
+    const CLIENTS: usize = 4;
+    let (pts, init) = (points(), init_params());
+    let baseline = run_session(&mut Database::new(), &config("ob_"), &pts, &init).unwrap();
+    let budget = tight_budget(&pts, &init);
+
+    let shared = SharedDatabase::default();
+    shared.with(|db| db.set_memory_budget(Some(MemoryBudget::new(budget))));
+
+    let results: Vec<(String, Result<SqlemRun, SqlemError>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let mut client = shared.clone();
+                let (pts, init) = (&pts, &init);
+                s.spawn(move || {
+                    let prefix = format!("ov{c}_");
+                    let cfg = config(&prefix).with_retry(RetryPolicy::immediate(4));
+                    let result = run_session(&mut client, &cfg, pts, init);
+                    (prefix, result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut shrinks = 0;
+    let mut completed = 0;
+    for (prefix, result) in &results {
+        match result {
+            Ok(run) => {
+                assert_eq!(run.params, baseline.params, "{prefix}: params diverged");
+                assert_eq!(
+                    run.llh_history, baseline.llh_history,
+                    "{prefix}: llh diverged"
+                );
+                shrinks += run.load_shrinks;
+                completed += 1;
+            }
+            Err(e) => {
+                assert!(e.is_resource_exhausted(), "{prefix}: untyped failure: {e}");
+                assert!(e.is_transient(), "{prefix}: exhaustion must stay retryable");
+            }
+        }
+        let left = shared.with(|db| leaked(db, prefix));
+        assert!(left.is_empty(), "{prefix}: leaked tables {left:?}");
+    }
+    assert!(completed > 0, "no session survived the budget");
+    assert!(shrinks > 0, "the budget never forced a chunk shrink");
+}
+
+/// A budget below one staged row starves every session: all must fail
+/// with the typed transient error and leave nothing behind.
+#[test]
+fn starvation_budget_fails_every_session_typed_and_leak_free() {
+    const CLIENTS: usize = 3;
+    let (pts, init) = (points(), init_params());
+    let shared = SharedDatabase::default();
+    shared.with(|db| db.set_memory_budget(Some(MemoryBudget::new(64))));
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let mut client = shared.clone();
+            let (pts, init) = (&pts, &init);
+            s.spawn(move || {
+                let prefix = format!("os{c}_");
+                let err = run_session(&mut client, &config(&prefix), pts, init)
+                    .expect_err("a 64-byte budget cannot stage a row");
+                assert!(err.is_resource_exhausted(), "{prefix}: {err}");
+                assert!(err.is_transient(), "{prefix}: must stay retryable");
+                let left = client.with(|db| leaked(db, &prefix));
+                assert!(left.is_empty(), "{prefix}: leaked tables {left:?}");
+            });
+        }
+    });
+}
+
+/// The whole service tier at once: an admission cap *and* a global
+/// memory budget on one server. Dials into the saturated cap are shed
+/// with the transient retry-after error and absorbed by redialing;
+/// admitted sessions run EM under the budget and must match the
+/// unconstrained baseline bit for bit (degrading via chunk shrinks)
+/// or fail typed — never anything in between.
+#[test]
+fn overloaded_server_sheds_dials_and_admitted_sessions_degrade() {
+    use sqlwire::{ClientConfig, RemoteConnection, Server, ServerConfig};
+    use std::time::Duration;
+
+    fn dial(addr: &str, namespace: &str) -> RemoteConnection {
+        let cfg = ClientConfig {
+            namespace: namespace.to_string(),
+            ..ClientConfig::default()
+        };
+        loop {
+            match RemoteConnection::connect(addr, cfg.clone()) {
+                Ok(conn) => return conn,
+                Err(e) if e.is_transient() => std::thread::sleep(Duration::from_millis(5)),
+                Err(e) => panic!("permanent dial failure: {e}"),
+            }
+        }
+    }
+
+    let (pts, init) = (points(), init_params());
+    let baseline = run_session(&mut Database::new(), &config("ob_"), &pts, &init).unwrap();
+    let budget = tight_budget(&pts, &init);
+
+    let shared = SharedDatabase::default();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        shared.clone(),
+        ServerConfig {
+            max_connections: 2,
+            memory_budget: Some(budget),
+            shed_retry_after: Duration::from_millis(10),
+            drain_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let accept_loop = std::thread::spawn(move || server.run());
+
+    // Saturate the cap, then dial into it: every extra dial must be
+    // shed with the transient backpressure error and counted.
+    let holders: Vec<_> = (0..2).map(|_| dial(&addr, "")).collect();
+    for _ in 0..3 {
+        let err = RemoteConnection::connect(&addr, ClientConfig::default()).unwrap_err();
+        assert!(err.is_transient(), "shedding invites a retry: {err}");
+        assert!(err.to_string().contains("retry after"), "{err}");
+    }
+    assert!(handle.shed_count() >= 3, "sheds: {}", handle.shed_count());
+    drop(holders);
+
+    // Three EM clients contend for the two slots, redialing through
+    // residual shedding, each under the shared global budget.
+    let results: Vec<(String, Result<SqlemRun, SqlemError>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|c| {
+                let (addr, pts, init) = (&addr, &pts, &init);
+                s.spawn(move || {
+                    let prefix = format!("ow{c}_");
+                    let mut conn = dial(addr, &prefix);
+                    let cfg = config(&prefix).with_retry(RetryPolicy::immediate(4));
+                    let result = run_session(&mut conn, &cfg, pts, init);
+                    (prefix, result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut shrinks = 0;
+    let mut completed = 0;
+    for (prefix, result) in &results {
+        match result {
+            Ok(run) => {
+                assert_eq!(run.params, baseline.params, "{prefix}: params diverged");
+                assert_eq!(
+                    run.llh_history, baseline.llh_history,
+                    "{prefix}: llh diverged"
+                );
+                shrinks += run.load_shrinks;
+                completed += 1;
+            }
+            Err(e) => {
+                assert!(e.is_resource_exhausted(), "{prefix}: untyped failure: {e}");
+                assert!(e.is_transient(), "{prefix}: exhaustion must stay retryable");
+            }
+        }
+        let left = shared.with(|db| leaked(db, prefix));
+        assert!(left.is_empty(), "{prefix}: leaked tables {left:?}");
+    }
+    assert!(completed > 0, "no session survived the overloaded server");
+    assert!(shrinks > 0, "the budget never forced a chunk shrink");
+    assert!(
+        handle.peak_memory_bytes().is_some_and(|p| p > 0),
+        "the global pool gauge never moved"
+    );
+
+    handle.shutdown();
+    accept_loop.join().unwrap().unwrap();
+}
+
+/// WAL parity: a budget-constrained durable run logs more (smaller)
+/// bulk-insert frames than an unconstrained one, but recovery replays
+/// both logs to the same logical state, and the runs themselves are
+/// bit-identical.
+#[test]
+fn durable_runs_with_and_without_budget_recover_to_identical_state() {
+    let (pts, init) = (points(), init_params());
+    let budget = tight_budget(&pts, &init);
+
+    let run_durable = |tag: &str, budget: Option<u64>| -> (PathBuf, SqlemRun) {
+        let dir = temp_dir(tag);
+        let mut db = Database::open_durable(&dir).unwrap();
+        db.set_memory_budget(budget.map(MemoryBudget::new));
+        let run = run_session(&mut db, &config("ow_"), &pts, &init).unwrap();
+        assert!(leaked(&db, "ow_").is_empty(), "{tag}: leaked work tables");
+        (dir, run)
+    };
+    let (plain_dir, plain) = run_durable("plain", None);
+    let (budget_dir, constrained) = run_durable("budget", Some(budget));
+
+    assert_eq!(constrained.params, plain.params, "budget changed the model");
+    assert_eq!(constrained.llh_history, plain.llh_history, "llh diverged");
+    assert_eq!(plain.load_shrinks, 0, "unconstrained run must not shrink");
+    assert!(
+        constrained.load_shrinks > 0,
+        "the budget never forced a chunk shrink"
+    );
+
+    // Replay both logs: identical catalogs, no resurrected work tables.
+    let recovered_plain = Database::open_durable(&plain_dir).unwrap();
+    let recovered_budget = Database::open_durable(&budget_dir).unwrap();
+    let mut tables_plain = recovered_plain.catalog().table_names();
+    let mut tables_budget = recovered_budget.catalog().table_names();
+    tables_plain.sort_unstable();
+    tables_budget.sort_unstable();
+    assert_eq!(tables_plain, tables_budget, "recovered catalogs differ");
+    assert!(leaked(&recovered_plain, "ow_").is_empty());
+    assert!(leaked(&recovered_budget, "ow_").is_empty());
+
+    std::fs::remove_dir_all(&plain_dir).ok();
+    std::fs::remove_dir_all(&budget_dir).ok();
+}
+
+/// With no budget installed the governor is observe-only: gauges
+/// report real peaks but the run, its chunking, and its results are
+/// byte-for-byte what they were before governance existed.
+#[test]
+fn without_budget_gauges_report_and_behavior_is_unchanged() {
+    let (pts, init) = (points(), init_params());
+    let cfg = config("og_");
+    let plain = run_session(&mut Database::new(), &cfg, &pts, &init).unwrap();
+
+    let mut db = Database::new();
+    db.enable_metrics();
+    assert_eq!(db.memory_budget_bytes(), None);
+    let gauged = run_session(&mut db, &cfg, &pts, &init).unwrap();
+
+    assert_eq!(gauged.params, plain.params, "metrics changed the model");
+    assert_eq!(gauged.llh_history, plain.llh_history, "llh diverged");
+    assert_eq!(gauged.load_shrinks, 0, "no budget, no degradation");
+    let metrics = db.take_metrics();
+    assert!(
+        metrics.iter().any(|m| m.peak_mem_bytes > 0),
+        "gauges must report without a budget"
+    );
+}
