@@ -52,7 +52,22 @@ Stages, in order:
                 cap and memory budgets; emits BENCH_overload.json
                 (throughput, p50/p99, shed count, peak memory) and
                 fails if shedding never happened or was not absorbed
-                (--quick: shorter window, smaller swarm)
+                (--quick: shorter window, smaller swarm). The fresh
+                numbers are then gated against the checked-in
+                bench/BASELINE_overload.json: a throughput drop or a
+                p99 rise beyond SQLEM_BENCH_TOLERANCE (default 0.50,
+                i.e. 50%) fails the stage. First run (no baseline) or
+                SQLEM_BENCH_SKIP_GATE=1 records the baseline instead;
+                SQLEM_BENCH_ACCEPT=1 re-records it after a deliberate
+                perf change.
+  cluster       sharded scale-out (docs/CLUSTER.md): the same study
+                hash-partitioned across two real sqlem-server shard
+                processes via sqlem-cli --shards must be byte-identical
+                to the in-process run, then the cluster bench sweeps
+                shard counts 1/2/4 over the retail workload and emits
+                BENCH_cluster.json (per-shard-count E/M-step
+                wall-clock), failing on any model drift
+                (--quick: smaller dataset, shorter sweep)
   workspace     cargo test --workspace
 EOF
     exit 0
@@ -165,7 +180,10 @@ PROXY_BIN=target/release/chaos-proxy
 SRV_TMP=$(mktemp -d)
 SERVER_PID=''
 PROXY_PID=''
-trap 'kill -9 $SERVER_PID $PROXY_PID 2>/dev/null || :; rm -rf "$SRV_TMP"' EXIT
+SHARD1_PID=''
+SHARD2_PID=''
+trap 'kill -9 $SERVER_PID $PROXY_PID $SHARD1_PID $SHARD2_PID 2>/dev/null || :; \
+     rm -rf "$SRV_TMP"' EXIT
 
 # Two *overlapping* irregular blobs: separated blobs saturate the
 # posteriors to exact 0/1 and EM hits a fixed point in a couple of
@@ -386,6 +404,112 @@ fi
 grep -q '"shed_count"' "$SRV_TMP/BENCH_overload.json" || {
     echo "ERROR: overload bench produced no shed telemetry" >&2; exit 1; }
 cp "$SRV_TMP/BENCH_overload.json" BENCH_overload.json
+
+# Regression gate: compare the fresh numbers against the checked-in
+# baseline. Throughput may not drop, nor p99 latency rise, by more
+# than SQLEM_BENCH_TOLERANCE (a fraction; the default 0.50 is wide
+# because shared CI machines jitter — the gate exists to catch order-
+# of-magnitude regressions, not single-digit noise). The baseline is
+# NOT auto-refreshed on success: accept a deliberate perf change with
+# SQLEM_BENCH_ACCEPT=1, and skip the gate (recording a first baseline)
+# with SQLEM_BENCH_SKIP_GATE=1 on a brand-new machine.
+BENCH_BASELINE=bench/BASELINE_overload.json
+bench_field() { sed -n "s/.*\"$2\":\([0-9.]*\).*/\1/p" "$1"; }
+if [ "${SQLEM_BENCH_SKIP_GATE:-0}" = 1 ] || [ ! -f "$BENCH_BASELINE" ]; then
+    echo "overload gate: no baseline (or gate skipped); recording this run as it"
+    mkdir -p bench
+    cp "$SRV_TMP/BENCH_overload.json" "$BENCH_BASELINE"
+elif [ "${SQLEM_BENCH_ACCEPT:-0}" = 1 ]; then
+    echo "overload gate: SQLEM_BENCH_ACCEPT=1, re-recording the baseline"
+    cp "$SRV_TMP/BENCH_overload.json" "$BENCH_BASELINE"
+else
+    awk -v tol="${SQLEM_BENCH_TOLERANCE:-0.50}" \
+        -v qps="$(bench_field "$SRV_TMP/BENCH_overload.json" throughput_qps)" \
+        -v p99="$(bench_field "$SRV_TMP/BENCH_overload.json" p99_us)" \
+        -v base_qps="$(bench_field "$BENCH_BASELINE" throughput_qps)" \
+        -v base_p99="$(bench_field "$BENCH_BASELINE" p99_us)" \
+        'BEGIN {
+            ok = 1
+            if (qps + 0 < base_qps * (1 - tol)) {
+                printf "ERROR: throughput regressed: %.0f qps vs baseline %.0f (tolerance %.0f%%)\n", \
+                    qps, base_qps, tol * 100 > "/dev/stderr"
+                ok = 0
+            }
+            if (p99 + 0 > base_p99 * (1 + tol)) {
+                printf "ERROR: p99 latency regressed: %d us vs baseline %d (tolerance %.0f%%)\n", \
+                    p99, base_p99, tol * 100 > "/dev/stderr"
+                ok = 0
+            }
+            if (ok) {
+                printf "overload gate: %.0f qps (baseline %.0f), p99 %d us (baseline %d) — within %.0f%%\n", \
+                    qps, base_qps, p99, base_p99, tol * 100
+            }
+            exit ok ? 0 : 1
+        }' || {
+        echo "hint: a deliberate perf change? re-record with SQLEM_BENCH_ACCEPT=1 ./ci.sh" >&2
+        exit 1
+    }
+fi
+
+# Cluster gate (docs/CLUSTER.md): the same study hash-partitioned
+# across two *real* shard server processes behind the scatter/gather
+# coordinator must be byte-identical to the in-process run — summary
+# and per-row assignments. Reuses the server stage's in-process
+# artifacts (same data, seed and iteration budget).
+echo "== cluster: sharded scale-out parity + scaling bench"
+: > "$SRV_TMP/shard1.log"
+"$SERVER_BIN" --listen 127.0.0.1:0 \
+    < "$SRV_TMP/ctl" > "$SRV_TMP/shard1.log" 2> "$SRV_TMP/shard1.err" &
+SHARD1_PID=$!
+: > "$SRV_TMP/shard2.log"
+"$SERVER_BIN" --listen 127.0.0.1:0 \
+    < "$SRV_TMP/ctl" > "$SRV_TMP/shard2.log" 2> "$SRV_TMP/shard2.err" &
+SHARD2_PID=$!
+SHARD1_ADDR=''
+SHARD2_ADDR=''
+i=0
+while [ $i -lt 100 ]; do
+    SHARD1_ADDR=$(sed -n 's/^listening on //p' "$SRV_TMP/shard1.log")
+    SHARD2_ADDR=$(sed -n 's/^listening on //p' "$SRV_TMP/shard2.log")
+    [ -n "$SHARD1_ADDR" ] && [ -n "$SHARD2_ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$SHARD1_ADDR" ] || [ -z "$SHARD2_ADDR" ]; then
+    echo "ERROR: shard servers failed to start" >&2
+    cat "$SRV_TMP/shard1.err" "$SRV_TMP/shard2.err" >&2
+    exit 1
+fi
+"$CLI_BIN" "$SRV_TMP/data.csv" --k 2 --seed 11 --max-iterations 12 \
+    --scores "$SRV_TMP/cluster.csv" --shards "$SHARD1_ADDR,$SHARD2_ADDR" \
+    --namespace cic_ > "$SRV_TMP/cluster.out" 2> "$SRV_TMP/cluster.err"
+grep -q "cluster coordinator over 2 shard(s)" "$SRV_TMP/cluster.err" || {
+    echo "ERROR: the run did not go through the coordinator" >&2
+    cat "$SRV_TMP/cluster.err" >&2
+    exit 1
+}
+cmp "$SRV_TMP/local.csv" "$SRV_TMP/cluster.csv" || {
+    echo "ERROR: sharded assignments differ from in-process" >&2; exit 1; }
+cmp "$SRV_TMP/local.out" "$SRV_TMP/cluster.out" || {
+    echo "ERROR: sharded summary differs from in-process" >&2; exit 1; }
+echo shutdown >&9
+echo shutdown >&9
+wait "$SHARD1_PID" || { echo "ERROR: shard 1 drain failed" >&2; exit 1; }
+wait "$SHARD2_PID" || { echo "ERROR: shard 2 drain failed" >&2; exit 1; }
+SHARD1_PID=''
+SHARD2_PID=''
+
+# The scaling bench sweeps shard counts over the retail workload
+# (embedded shards, real scatter/gather fragmentation) and fails
+# itself on any model drift between shard counts.
+if [ "$QUICK" = 1 ]; then
+    target/release/cluster --quick --out "$SRV_TMP/BENCH_cluster.json"
+else
+    target/release/cluster --out "$SRV_TMP/BENCH_cluster.json"
+fi
+grep -q '"bench":"cluster"' "$SRV_TMP/BENCH_cluster.json" || {
+    echo "ERROR: cluster bench produced no telemetry" >&2; exit 1; }
+cp "$SRV_TMP/BENCH_cluster.json" BENCH_cluster.json
 
 echo "== workspace: all crate tests"
 cargo test --workspace -q

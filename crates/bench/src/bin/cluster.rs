@@ -1,0 +1,193 @@
+//! Sharded scale-out bench: the §4.1 retail workload through the
+//! scatter/gather [`sqlwire::Coordinator`] at increasing shard counts.
+//!
+//! For each shard count the same hybrid EM study (retail generator,
+//! p = 6, k = 9) runs over that many embedded shard databases behind
+//! one coordinator, with per-iteration telemetry on. The bench
+//! records the E-step and M-step wall-clock per shard count plus the
+//! speedup relative to one shard, and *requires* every sharded run to
+//! be bit-identical to the single-shard run (llh history and final
+//! model) — scale-out must never buy speed with drift. Shard workers
+//! run as real threads, so speedup tracks the machine's core count;
+//! the JSON records `cores` so readers can judge the curve.
+//!
+//! The output is a single JSON object (`BENCH_cluster.json` by
+//! default). CI runs this as the `cluster` stage.
+//!
+//! Usage: `cluster [--out FILE] [--n N] [--shards LIST] [--iterations N]
+//! [--seed S] [--full] [--quick]`
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use datagen::retail::{retail_dataset, RetailConfig, RETAIL_FULL_N, RETAIL_K, RETAIL_P};
+use emcore::init::InitStrategy;
+use sqlem::{EmSession, SqlemConfig, SqlemRun, Strategy};
+use sqlengine::{Database, SqlExecutor};
+use sqlwire::Coordinator;
+
+struct Opts {
+    out: String,
+    n: usize,
+    shard_counts: Vec<usize>,
+    iterations: usize,
+    seed: u64,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let mut opts = Opts {
+            out: "BENCH_cluster.json".to_string(),
+            n: 60_000,
+            shard_counts: vec![1, 2, 4],
+            iterations: 3,
+            seed: 20000518,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--out" => opts.out = value("--out"),
+                "--n" => opts.n = value("--n").parse().unwrap(),
+                "--shards" => {
+                    opts.shard_counts = value("--shards")
+                        .split(',')
+                        .map(|s| s.trim().parse().unwrap())
+                        .collect()
+                }
+                "--iterations" => opts.iterations = value("--iterations").parse().unwrap(),
+                "--seed" => opts.seed = value("--seed").parse().unwrap(),
+                "--full" => opts.n = RETAIL_FULL_N,
+                "--quick" => {
+                    opts.n = 8_000;
+                    opts.iterations = 2;
+                }
+                other => panic!("unknown argument: {other} (see the module docs)"),
+            }
+        }
+        assert!(
+            !opts.shard_counts.is_empty() && opts.shard_counts.contains(&1),
+            "--shards needs a list that includes 1 (the parity baseline)"
+        );
+        opts
+    }
+}
+
+/// One full study against `db`; telemetry on so the run carries
+/// per-iteration E/M-step wall-clock.
+fn run_study<E: SqlExecutor>(db: &mut E, opts: &Opts, points: &[Vec<f64>]) -> SqlemRun {
+    let config = SqlemConfig::new(RETAIL_K, Strategy::Hybrid)
+        .with_epsilon(0.0)
+        .with_max_iterations(opts.iterations)
+        .with_prefix("clb_");
+    let mut session = EmSession::create(db, &config, RETAIL_P).unwrap();
+    session.load_points(points).unwrap();
+    session
+        .initialize(&InitStrategy::FromSample {
+            fraction: 0.05,
+            seed: opts.seed,
+            em_iterations: 5,
+        })
+        .unwrap();
+    session.enable_telemetry().unwrap();
+    session.run().unwrap()
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn main() {
+    let opts = Opts::parse();
+    eprintln!(
+        "generating {} retail baskets (p = {RETAIL_P}, k = {RETAIL_K}) …",
+        opts.n
+    );
+    let data = retail_dataset(&RetailConfig {
+        n: opts.n,
+        seed: opts.seed,
+    });
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<SqlemRun> = None;
+    let mut base_e_step = 0.0f64;
+    for &nshards in &opts.shard_counts {
+        let shards: Vec<Database> = (0..nshards).map(|_| Database::new()).collect();
+        let mut coord = Coordinator::new(shards).unwrap();
+        let t0 = Instant::now();
+        let run = run_study(&mut coord, &opts, &data.points);
+        let total = t0.elapsed();
+
+        let e_step: f64 = run
+            .iteration_reports
+            .iter()
+            .map(|r| secs(r.e_step_time))
+            .sum();
+        let m_step: f64 = run
+            .iteration_reports
+            .iter()
+            .map(|r| secs(r.m_step_time))
+            .sum();
+        match &baseline {
+            None => {
+                baseline = Some(run);
+                base_e_step = e_step;
+            }
+            Some(base) => {
+                // The whole point of the coordinator: more shards must
+                // not move a single bit of the model.
+                if run.params != base.params || run.llh_history != base.llh_history {
+                    eprintln!("FAIL: {nshards}-shard run diverged from the 1-shard run");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let speedup = if e_step > 0.0 {
+            base_e_step / e_step
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{nshards} shard(s): E-step {e_step:.3}s, M-step {m_step:.3}s, \
+             total {:.3}s, E-step speedup {speedup:.2}x",
+            secs(total)
+        );
+        rows.push(format!(
+            concat!(
+                "{{\"nshards\":{},\"e_step_secs\":{:.6},\"m_step_secs\":{:.6},",
+                "\"total_secs\":{:.6},\"e_step_speedup\":{:.3}}}"
+            ),
+            nshards,
+            e_step,
+            m_step,
+            secs(total),
+            speedup,
+        ));
+    }
+
+    let base = baseline.expect("shard count 1 always runs");
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"cluster\",\"n\":{},\"p\":{},\"k\":{},",
+            "\"iterations\":{},\"cores\":{},\"shards\":[{}]}}\n"
+        ),
+        opts.n,
+        RETAIL_P,
+        RETAIL_K,
+        base.iterations,
+        std::thread::available_parallelism().map_or(1, usize::from),
+        rows.join(","),
+    );
+    let mut file = std::fs::File::create(&opts.out).unwrap();
+    file.write_all(json.as_bytes()).unwrap();
+    print!("{json}");
+    eprintln!(
+        "ok: sharded runs bit-identical to single node across {:?} shard(s)",
+        opts.shard_counts
+    );
+}

@@ -56,14 +56,22 @@
 //!                         deployment, §1.4). Server-side options
 //!                         (--durable, --data-dir, --workers,
 //!                         --inject-fault) then belong to the server.
+//!   --shards ADDR,...     run against a *cluster* of sqlem-servers:
+//!                         rid-bearing tables are hash-partitioned
+//!                         across the comma-separated HOST:PORT shards
+//!                         and every statement is fragmented by the
+//!                         scatter/gather coordinator (docs/CLUSTER.md),
+//!                         bit-identically to a single node. Mutually
+//!                         exclusive with --connect; an unreachable or
+//!                         version-mismatched shard exits with code 5.
 //!   --namespace PREFIX    work-table prefix to claim exclusively on the
 //!                         server (lets concurrent clients share it)
 //!   --auth-token TOKEN    shared secret for the server handshake
 //!   --deadline SECS       per-statement deadline (fractional seconds),
 //!                         enforced by the server against lock waits and
-//!                         execution; requires --connect. An expired
-//!                         deadline fails the run with a typed error
-//!                         and a hint to raise the budget.
+//!                         execution; requires --connect or --shards. An
+//!                         expired deadline fails the run with a typed
+//!                         error and a hint to raise the budget.
 //!
 //! lint options:
 //!   --p N                 dimensionality (required)
@@ -98,7 +106,8 @@
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 the
 //! `--resume` checkpoint is missing, empty, or unusable, 4 the
 //! `--connect` target is unreachable or the handshake was rejected
-//! (version/token mismatch).
+//! (version/token mismatch), 5 a `--shards` shard is unreachable,
+//! version-mismatched, or its catalog could not be adopted.
 
 #![forbid(unsafe_code)]
 
@@ -113,7 +122,7 @@ use sqlem::{checkpoint, EmSession, RetryPolicy, SqlemConfig, Strategy};
 use sqlengine::{
     Database, Error as SqlError, FaultPlan, FaultRule, MemoryBudget, SqlExecutor, StatementKind,
 };
-use sqlwire::{ClientConfig, RemoteConnection};
+use sqlwire::{ClientConfig, Coordinator, RemoteConnection};
 
 /// Exit code for a `--resume` checkpoint that is missing, empty, or
 /// unusable — distinct from generic runtime failure (1) and usage
@@ -125,6 +134,13 @@ const EXIT_NO_CHECKPOINT: u8 = 3;
 /// distinct from runtime failure (1) so scripts can branch on "the
 /// server is not there", mirroring the checkpoint convention (3).
 const EXIT_CONNECT: u8 = 4;
+
+/// Exit code for a `--shards` cluster that could not be assembled: a
+/// shard is unreachable, speaks a different protocol version, rejected
+/// the handshake, or the coordinator could not adopt its catalog —
+/// distinct from the single-server case (4) so scripts can tell "the
+/// server is down" from "the cluster is degraded".
+const EXIT_SHARDS: u8 = 5;
 
 /// A CLI failure carrying the process exit code to report it with.
 struct CliError {
@@ -155,6 +171,28 @@ impl CliError {
         CliError {
             code: EXIT_CONNECT,
             message: format!("cannot establish a session with {addr}: {e}\n  hint: {hint}"),
+        }
+    }
+
+    /// Wrap a failed `--shards` connection with the shard that broke
+    /// the cluster and an actionable next step.
+    fn shard(addr: &str, e: &SqlError) -> Self {
+        let hint = match &e {
+            SqlError::Net { message, .. } if message.contains("version mismatch") => {
+                "this shard speaks a different protocol version; rebuild every \
+                 sqlem-server and the client from the same source tree"
+            }
+            SqlError::Net { message, .. } if message.contains("auth token") => {
+                "pass the shared secret with --auth-token (every shard must use the same token)"
+            }
+            _ => {
+                "is sqlem-server running there? every address in --shards needs a live \
+                 server: sqlem-server --listen HOST:PORT"
+            }
+        };
+        CliError {
+            code: EXIT_SHARDS,
+            message: format!("cannot bring up shard {addr}: {e}\n  hint: {hint}"),
         }
     }
 }
@@ -208,6 +246,7 @@ struct Args {
     load_chunk: Option<usize>,
     fault_specs: Vec<String>,
     connect: Option<String>,
+    shards: Vec<String>,
     namespace: String,
     auth_token: String,
     deadline: Option<f64>,
@@ -221,8 +260,8 @@ fn usage() -> ! {
          [--retries N] [--checkpoint PATH] [--resume PATH] [--durable] [--data-dir PATH] \
          [--recover] [--inject-fault SPEC]... \
          [--memory-budget BYTES] [--load-chunk ROWS] \
-         [--connect HOST:PORT] [--namespace PREFIX] [--auth-token TOKEN] \
-         [--deadline SECS]\n\
+         [--connect HOST:PORT | --shards HOST:PORT,...] [--namespace PREFIX] \
+         [--auth-token TOKEN] [--deadline SECS]\n\
          \x20      sqlem-cli lint --p <dims> --k <clusters> [--max-statement-len N] \
          [--max-terms N] [--verbose]\n\
          \x20      sqlem-cli analyze --p <dims> --k <clusters> [--strategy S] [--fused] \
@@ -255,6 +294,7 @@ fn parse_args() -> Args {
     let mut load_chunk = None;
     let mut fault_specs = Vec::new();
     let mut connect = None;
+    let mut shards = Vec::new();
     let mut namespace = String::new();
     let mut auth_token = String::new();
     let mut deadline = None;
@@ -318,6 +358,19 @@ fn parse_args() -> Args {
             }
             "--inject-fault" => fault_specs.push(req("--inject-fault")),
             "--connect" => connect = Some(req("--connect")),
+            "--shards" => {
+                let list = req("--shards");
+                shards = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if shards.is_empty() {
+                    eprintln!("--shards needs a comma-separated list of HOST:PORT addresses");
+                    usage();
+                }
+            }
             "--namespace" => namespace = req("--namespace"),
             "--auth-token" => auth_token = req("--auth-token"),
             "--deadline" => {
@@ -367,6 +420,7 @@ fn parse_args() -> Args {
         load_chunk,
         fault_specs,
         connect,
+        shards,
         namespace,
         auth_token,
         deadline,
@@ -497,11 +551,24 @@ fn run(args: &Args) -> Result<(), CliError> {
         config = config.with_expected_n(n.max(1));
     }
 
-    if args.deadline.is_some() && args.connect.is_none() {
-        eprintln!("--deadline budgets remote statements; it requires --connect");
+    let remote = args.connect.is_some() || !args.shards.is_empty();
+    if args.deadline.is_some() && !remote {
+        eprintln!("--deadline budgets remote statements; it requires --connect or --shards");
         usage();
     }
-    if let Some(addr) = &args.connect {
+    if args.connect.is_some() && !args.shards.is_empty() {
+        eprintln!(
+            "--connect and --shards are mutually exclusive: --connect targets one \
+             server, --shards assembles a hash-partitioned cluster"
+        );
+        usage();
+    }
+    if remote {
+        let mode = if args.connect.is_some() {
+            "--connect"
+        } else {
+            "--shards"
+        };
         for (flag, set) in [
             ("--durable/--data-dir", args.data_dir.is_some()),
             ("--inject-fault", !args.fault_specs.is_empty()),
@@ -510,7 +577,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         ] {
             if set {
                 eprintln!(
-                    "{flag} configures the database process; with --connect, pass it \
+                    "{flag} configures the database process; with {mode}, pass it \
                      to sqlem-server instead"
                 );
                 usage();
@@ -522,10 +589,28 @@ fn run(args: &Args) -> Result<(), CliError> {
             statement_deadline: args.deadline.map(Duration::from_secs_f64),
             ..ClientConfig::default()
         };
-        let mut conn =
-            RemoteConnection::connect(addr, client).map_err(|e| CliError::connect(addr, &e))?;
-        eprintln!("connected: {}", conn.describe());
-        return run_clustering(args, &config, &data, p, &mut conn, true);
+        if let Some(addr) = &args.connect {
+            let mut conn =
+                RemoteConnection::connect(addr, client).map_err(|e| CliError::connect(addr, &e))?;
+            eprintln!("connected: {}", conn.describe());
+            return run_clustering(args, &config, &data, p, &mut conn, true);
+        }
+        let mut conns = Vec::with_capacity(args.shards.len());
+        for addr in &args.shards {
+            conns.push(
+                RemoteConnection::connect(addr, client.clone())
+                    .map_err(|e| CliError::shard(addr, &e))?,
+            );
+        }
+        // Adopting the shard catalogs can itself fail (a shard died
+        // between connect and snapshot); that is still a cluster
+        // bring-up failure, so it shares exit code 5.
+        let mut coord = Coordinator::new(conns).map_err(|e| CliError {
+            code: EXIT_SHARDS,
+            message: format!("cannot assemble the shard cluster: {e}"),
+        })?;
+        eprintln!("connected: {}", coord.describe());
+        return run_clustering(args, &config, &data, p, &mut coord, true);
     }
 
     let mut db = match &args.data_dir {

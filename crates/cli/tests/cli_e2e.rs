@@ -648,6 +648,163 @@ fn deadline_without_connect_is_a_usage_error() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+// ---------------------------------------------------------------------
+// --shards: the hash-partitioned cluster through the CLI
+
+#[test]
+fn shards_conflicts_with_connect() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_shards_conflict");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--connect",
+            "127.0.0.1:1",
+            "--shards",
+            "127.0.0.1:1,127.0.0.1:2",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shards_conflicts_with_database_process_flags() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_shards_flags");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--shards",
+            "127.0.0.1:1,127.0.0.1:2",
+            "--workers",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("with --shards, pass it to sqlem-server instead"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unreachable_shard_exits_with_code_5_and_names_it() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_shards_unreach");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    // One live shard plus one port with no listener: the cluster must
+    // refuse to assemble and name the shard that broke it.
+    let (addr, handle, join) = spawn_server(sqlwire::ServerConfig::default());
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        format!("127.0.0.1:{}", l.local_addr().unwrap().port())
+    };
+    let out = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--shards",
+            &format!("{addr},{dead}"),
+        ])
+        .output()
+        .unwrap();
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    assert_eq!(out.status.code(), Some(5), "distinct cluster bring-up code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!("cannot bring up shard {dead}")),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("every address in --shards needs a live server"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_cluster_run_matches_in_process_run() {
+    let dir = std::env::temp_dir().join("sqlem_cli_test_shards_match");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = demo_csv(&dir);
+    let local_scores = dir.join("local.csv");
+    let sharded_scores = dir.join("sharded.csv");
+
+    let local = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--scores",
+            local_scores.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        local.status.success(),
+        "{}",
+        String::from_utf8_lossy(&local.stderr)
+    );
+
+    let (a0, h0, j0) = spawn_server(sqlwire::ServerConfig::default());
+    let (a1, h1, j1) = spawn_server(sqlwire::ServerConfig::default());
+    let sharded = Command::new(bin())
+        .args([
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "7",
+            "--scores",
+            sharded_scores.to_str().unwrap(),
+            "--shards",
+            &format!("{a0},{a1}"),
+            "--namespace",
+            "e2s_",
+        ])
+        .output()
+        .unwrap();
+    h0.shutdown();
+    h1.shutdown();
+    j0.join().unwrap().unwrap();
+    j1.join().unwrap().unwrap();
+    let stderr = String::from_utf8_lossy(&sharded.stderr);
+    assert!(sharded.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("cluster coordinator over 2 shard(s)"),
+        "{stderr}"
+    );
+
+    // Partitioned execution across two real servers, yet every artifact
+    // the user sees is byte-identical to the in-process run.
+    assert_eq!(
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&sharded.stdout)
+    );
+    assert_eq!(
+        std::fs::read(&local_scores).unwrap(),
+        std::fs::read(&sharded_scores).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn exceeded_deadline_fails_with_actionable_hint() {
     let dir = std::env::temp_dir().join("sqlem_cli_test_deadline_hit");

@@ -10,9 +10,10 @@ use crate::analyze::{analyze, Limits, SymbolicCatalog};
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
+use crate::exec::aggregate::PartialAggResult;
 use crate::exec::{
-    execute_statement, execute_statement_metered, explain_select, statement_kind, statement_tables,
-    ExecConfig, QueryResult,
+    execute_statement, execute_statement_metered, explain_select, finalize_select_partials,
+    run_select_partial, statement_kind, statement_tables, ExecConfig, QueryResult,
 };
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 use crate::metrics::{ExecMetrics, MetricsLog, StatementKind, StmtProbe};
@@ -398,6 +399,102 @@ impl Database {
         }
         self.check_fault(FaultSite::AfterExec, stmt)?;
         Ok(result)
+    }
+
+    /// Execute the *scatter* half of a distributed aggregate `SELECT`:
+    /// run the full scan/join/group pipeline locally but stop **before**
+    /// finalizing the accumulators, returning the exact per-group partial
+    /// states ([`crate::PartialAggResult`]) instead of finished rows. A
+    /// cluster coordinator merges the partials from every shard and
+    /// finalizes once ([`Database::finalize_partials`]), so the result is
+    /// bit-identical to a single-node run of the same statement.
+    ///
+    /// `sql` must be exactly one aggregate `SELECT` (no `ORDER BY`
+    /// restrictions — ordering is applied at finalize time). Scan
+    /// accounting, metrics, deadline/budget enforcement and fault
+    /// injection all behave exactly as for [`Database::execute`].
+    pub fn execute_partial(&mut self, sql: &str) -> Result<PartialAggResult> {
+        if sql.len() > self.config.max_statement_len {
+            return Err(Error::StatementTooLong {
+                len: sql.len(),
+                max: self.config.max_statement_len,
+            });
+        }
+        let stmts = parse(sql)?;
+        let stmt = match stmts.as_slice() {
+            [stmt @ Statement::Select(_)] => stmt,
+            [_] => {
+                return Err(Error::Unsupported(
+                    "partial execution requires a SELECT statement".into(),
+                ))
+            }
+            _ => {
+                return Err(Error::Unsupported(
+                    "partial execution takes exactly one statement".into(),
+                ))
+            }
+        };
+        analyze(&self.catalog, stmt, &self.config.limits)
+            .map_err(|e| Error::Analyze(e.locate(sql)))?;
+        let Statement::Select(select) = stmt else {
+            unreachable!("matched above");
+        };
+        self.check_fault(FaultSite::BeforeExec, stmt)?;
+        self.stats.record_statement();
+        let result = if !self.metrics.is_enabled() {
+            let mut probe = StmtProbe::disabled().with_budget(self.config.memory_budget.clone());
+            run_select_partial(
+                &self.catalog,
+                &mut self.stats,
+                &self.config,
+                select,
+                &mut probe,
+            )?
+        } else {
+            let mut probe = StmtProbe::enabled().with_budget(self.config.memory_budget.clone());
+            let t0 = std::time::Instant::now();
+            let result = run_select_partial(
+                &self.catalog,
+                &mut self.stats,
+                &self.config,
+                select,
+                &mut probe,
+            )?;
+            self.metrics
+                .push(probe.finish(StatementKind::Select, t0.elapsed()));
+            result
+        };
+        self.check_fault(FaultSite::AfterExec, stmt)?;
+        Ok(result)
+    }
+
+    /// The *gather* half of a distributed aggregate `SELECT`: rehydrate
+    /// merged partial states produced by [`Database::execute_partial`] on
+    /// the shards, finalize them once, and apply the statement's
+    /// `ORDER BY`/`LIMIT`. Runs against this database's **catalog schema
+    /// only** — no base-table rows are read and no scans are recorded, so
+    /// a coordinator can call it on a rowless shadow catalog. No metrics
+    /// entry is pushed: the statement's telemetry lives on the shards.
+    pub fn finalize_partials(
+        &mut self,
+        sql: &str,
+        partial: &PartialAggResult,
+    ) -> Result<QueryResult> {
+        let stmts = parse(sql)?;
+        let stmt = match stmts.as_slice() {
+            [stmt @ Statement::Select(_)] => stmt,
+            _ => {
+                return Err(Error::Unsupported(
+                    "partial finalize takes exactly one SELECT statement".into(),
+                ))
+            }
+        };
+        analyze(&self.catalog, stmt, &self.config.limits)
+            .map_err(|e| Error::Analyze(e.locate(sql)))?;
+        let Statement::Select(select) = stmt else {
+            unreachable!("matched above");
+        };
+        finalize_select_partials(&self.catalog, select, partial)
     }
 
     /// Consult the armed fault plan at a WAL site. Returns the fired

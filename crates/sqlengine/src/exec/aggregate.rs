@@ -9,11 +9,21 @@
 //! Numeric behaviour: `SUM`/`AVG` skip NULLs; `SUM` over zero non-NULL
 //! inputs is NULL (SQL), `COUNT` is 0; `SUM` of integers stays integral,
 //! anything else is a double.
+//!
+//! `SUM`/`AVG` accumulate through [`ExactSum`], so the finalized value
+//! is the correctly-rounded sum of the input multiset — bit-identical
+//! under any partitioning, whether across execution threads or across
+//! cluster shards. [`PartialAggState`] snapshots accumulator state for
+//! shard→coordinator transport, and merging partials is exact for every
+//! aggregate except `VARIANCE`/`STDDEV` (Chan's moment combination,
+//! deterministic in shard order but not order-free; the EM-generated
+//! SQL never uses them).
 
 use std::collections::HashMap;
 
 use crate::ast::{is_aggregate_name, Expr};
 use crate::error::{Error, Result};
+use crate::exactsum::ExactSum;
 use crate::exec::select::RowSink;
 use crate::expr::{compile, CExpr, ColumnResolver};
 use crate::table::Row;
@@ -237,13 +247,13 @@ fn rewrite(
 #[derive(Debug, Clone)]
 enum AggState {
     Sum {
-        acc: f64,
+        acc: ExactSum,
         count: u64,
         all_int: bool,
     },
     Count(u64),
     Avg {
-        acc: f64,
+        acc: ExactSum,
         count: u64,
     },
     Min(Option<Value>),
@@ -262,12 +272,15 @@ impl AggState {
     fn new(kind: AggKind) -> AggState {
         match kind {
             AggKind::Sum => AggState::Sum {
-                acc: 0.0,
+                acc: ExactSum::new(),
                 count: 0,
                 all_int: true,
             },
             AggKind::Count => AggState::Count(0),
-            AggKind::Avg => AggState::Avg { acc: 0.0, count: 0 },
+            AggKind::Avg => AggState::Avg {
+                acc: ExactSum::new(),
+                count: 0,
+            },
             AggKind::Min => AggState::Min(None),
             AggKind::Max => AggState::Max(None),
             AggKind::Variance => AggState::Var {
@@ -309,7 +322,7 @@ impl AggState {
                         if !matches!(val, Value::Int(_)) {
                             *all_int = false;
                         }
-                        *acc += x;
+                        acc.add(x);
                         *count += 1;
                     }
                 }
@@ -320,7 +333,7 @@ impl AggState {
                         let x = val.as_f64().ok_or_else(|| Error::TypeMismatch {
                             context: format!("AVG over non-numeric value {val}"),
                         })?;
-                        *acc += x;
+                        acc.add(x);
                         *count += 1;
                     }
                 }
@@ -385,13 +398,13 @@ impl AggState {
                     all_int: i2,
                 },
             ) => {
-                *acc += a2;
+                acc.merge(&a2);
                 *count += c2;
                 *all_int &= i2;
             }
             (AggState::Count(c), AggState::Count(c2)) => *c += c2,
             (AggState::Avg { acc, count }, AggState::Avg { acc: a2, count: c2 }) => {
-                *acc += a2;
+                acc.merge(&a2);
                 *count += c2;
             }
             (AggState::Min(best), AggState::Min(Some(v))) => {
@@ -447,12 +460,13 @@ impl AggState {
                 count,
                 all_int,
             } => {
+                let total = acc.finalize();
                 if *count == 0 {
                     Value::Null
-                } else if *all_int && acc.abs() < 9.0e15 {
-                    Value::Int(*acc as i64)
+                } else if *all_int && total.abs() < 9.0e15 {
+                    Value::Int(total as i64)
                 } else {
-                    Value::Double(*acc)
+                    Value::Double(total)
                 }
             }
             AggState::Count(c) => Value::Int(*c as i64),
@@ -460,7 +474,7 @@ impl AggState {
                 if *count == 0 {
                     Value::Null
                 } else {
-                    Value::Double(acc / *count as f64)
+                    Value::Double(acc.finalize() / *count as f64)
                 }
             }
             AggState::Min(b) | AggState::Max(b) => b.clone().unwrap_or(Value::Null),
@@ -475,6 +489,215 @@ impl AggState {
                 }
             }
         }
+    }
+
+    /// Snapshot for shard→coordinator transport.
+    fn to_partial(&self) -> PartialAggState {
+        match self {
+            AggState::Sum {
+                acc,
+                count,
+                all_int,
+            } => {
+                let (comps, has_nan, pos_inf, neg_inf) = acc.to_parts();
+                PartialAggState::Sum {
+                    comps: comps.to_vec(),
+                    has_nan,
+                    pos_inf,
+                    neg_inf,
+                    count: *count,
+                    all_int: *all_int,
+                }
+            }
+            AggState::Count(c) => PartialAggState::Count(*c),
+            AggState::Avg { acc, count } => {
+                let (comps, has_nan, pos_inf, neg_inf) = acc.to_parts();
+                PartialAggState::Avg {
+                    comps: comps.to_vec(),
+                    has_nan,
+                    pos_inf,
+                    neg_inf,
+                    count: *count,
+                }
+            }
+            AggState::Min(b) => PartialAggState::Min(b.clone()),
+            AggState::Max(b) => PartialAggState::Max(b.clone()),
+            AggState::Var {
+                count,
+                mean,
+                m2,
+                stddev,
+            } => PartialAggState::Var {
+                count: *count,
+                mean: *mean,
+                m2: *m2,
+                stddev: *stddev,
+            },
+        }
+    }
+
+    /// Rebuild a live accumulator from a transported snapshot.
+    fn from_partial(p: &PartialAggState) -> AggState {
+        match p {
+            PartialAggState::Sum {
+                comps,
+                has_nan,
+                pos_inf,
+                neg_inf,
+                count,
+                all_int,
+            } => AggState::Sum {
+                acc: ExactSum::from_parts(comps, *has_nan, *pos_inf, *neg_inf),
+                count: *count,
+                all_int: *all_int,
+            },
+            PartialAggState::Count(c) => AggState::Count(*c),
+            PartialAggState::Avg {
+                comps,
+                has_nan,
+                pos_inf,
+                neg_inf,
+                count,
+            } => AggState::Avg {
+                acc: ExactSum::from_parts(comps, *has_nan, *pos_inf, *neg_inf),
+                count: *count,
+            },
+            PartialAggState::Min(b) => AggState::Min(b.clone()),
+            PartialAggState::Max(b) => AggState::Max(b.clone()),
+            PartialAggState::Var {
+                count,
+                mean,
+                m2,
+                stddev,
+            } => AggState::Var {
+                count: *count,
+                mean: *mean,
+                m2: *m2,
+                stddev: *stddev,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partial-aggregate transport (scatter/gather)
+// ---------------------------------------------------------------------
+
+/// Serializable snapshot of one aggregate accumulator: what a shard
+/// ships to the cluster coordinator instead of a finalized value, so
+/// the gather step can recombine partial `SUM`/`COUNT`/`AVG` states
+/// **exactly** (the expansion components of [`ExactSum`] travel as-is
+/// and merge without rounding).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartialAggState {
+    /// `COUNT` — rows counted so far.
+    Count(u64),
+    /// `SUM` — exact-sum expansion plus SQL bookkeeping.
+    Sum {
+        /// Nonoverlapping expansion components of the running sum.
+        comps: Vec<f64>,
+        /// A NaN was absorbed.
+        has_nan: bool,
+        /// A `+∞` was absorbed (or the sum overflowed upward).
+        pos_inf: bool,
+        /// A `-∞` was absorbed (or the sum overflowed downward).
+        neg_inf: bool,
+        /// Non-NULL inputs seen (SUM over zero inputs is NULL).
+        count: u64,
+        /// Every input was an integer (integral SUM stays integral).
+        all_int: bool,
+    },
+    /// `AVG` — exact-sum expansion plus the divisor count.
+    Avg {
+        /// Nonoverlapping expansion components of the running sum.
+        comps: Vec<f64>,
+        /// A NaN was absorbed.
+        has_nan: bool,
+        /// A `+∞` was absorbed (or the sum overflowed upward).
+        pos_inf: bool,
+        /// A `-∞` was absorbed (or the sum overflowed downward).
+        neg_inf: bool,
+        /// Non-NULL inputs seen.
+        count: u64,
+    },
+    /// `MIN` — best value so far (None = no non-NULL input).
+    Min(Option<Value>),
+    /// `MAX` — best value so far.
+    Max(Option<Value>),
+    /// `VARIANCE`/`STDDEV` — Welford moments. Merging uses Chan's
+    /// combination: deterministic in merge order, not order-free.
+    Var {
+        /// Non-NULL inputs seen.
+        count: u64,
+        /// Running mean.
+        mean: f64,
+        /// Sum of squared deviations.
+        m2: f64,
+        /// Finalize as standard deviation instead of variance.
+        stddev: bool,
+    },
+}
+
+impl PartialAggState {
+    /// Merge another shard's partial into this one. Mismatched
+    /// accumulator kinds mean the two sides planned different
+    /// aggregates for the same statement — an internal invariant
+    /// violation, surfaced as a typed error instead of a panic since
+    /// the input crossed a process boundary.
+    pub fn merge(&mut self, other: &PartialAggState) -> Result<()> {
+        let mut mine = AggState::from_partial(self);
+        let theirs = AggState::from_partial(other);
+        if std::mem::discriminant(&mine) != std::mem::discriminant(&theirs) {
+            return Err(Error::Unsupported(format!(
+                "mismatched partial-aggregate kinds: {self:?} vs {other:?}"
+            )));
+        }
+        mine.merge(theirs);
+        *self = mine.to_partial();
+        Ok(())
+    }
+}
+
+/// The partial result of one scattered aggregate statement on one
+/// shard: grouped keys with un-finalized accumulator states. The
+/// coordinator merges shards' results group-by-group, then hands the
+/// merged states back to the engine for the finalize tail (HAVING,
+/// projection, ORDER BY, LIMIT).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartialAggResult {
+    /// `(group key, accumulator states)` in first-seen order.
+    pub groups: Vec<(Vec<Value>, Vec<PartialAggState>)>,
+}
+
+impl PartialAggResult {
+    /// Merge another shard's partial result. Groups present on both
+    /// sides combine state-by-state; new groups append in `other`'s
+    /// order — merging shards in index order therefore yields a
+    /// deterministic group order.
+    pub fn merge(&mut self, other: &PartialAggResult) -> Result<()> {
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for (i, (key, _)) in self.groups.iter().enumerate() {
+            index.insert(key.clone(), i);
+        }
+        for (key, states) in &other.groups {
+            match index.get(key) {
+                Some(&i) => {
+                    let mine = &mut self.groups[i].1;
+                    if mine.len() != states.len() {
+                        return Err(Error::Unsupported(format!(
+                            "mismatched partial-aggregate arity: {} vs {}",
+                            mine.len(),
+                            states.len()
+                        )));
+                    }
+                    for (m, t) in mine.iter_mut().zip(states) {
+                        m.merge(t)?;
+                    }
+                }
+                None => self.groups.push((key.clone(), states.clone())),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -518,6 +741,65 @@ impl AggSink {
                 row_bytes(key) + ENTRY_OVERHEAD_BYTES + states.len() as u64 * AGG_STATE_BYTES
             })
             .sum()
+    }
+
+    /// Snapshot the accumulated groups as transportable partial states
+    /// (the scatter half of a distributed aggregate).
+    pub fn export_partial(&self) -> PartialAggResult {
+        PartialAggResult {
+            groups: self
+                .groups
+                .iter()
+                .map(|(key, states)| {
+                    (
+                        key.to_vec(),
+                        states.iter().map(AggState::to_partial).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Absorb a merged partial result (the gather half): each group's
+    /// transported states rehydrate into live accumulators and merge
+    /// into this sink. The plan's aggregate arity must match.
+    pub fn inject_partial(&mut self, partial: &PartialAggResult) -> Result<()> {
+        for (key, states) in &partial.groups {
+            if states.len() != self.plan.aggs.len() {
+                return Err(Error::Unsupported(format!(
+                    "partial-aggregate arity {} does not match plan arity {}",
+                    states.len(),
+                    self.plan.aggs.len()
+                )));
+            }
+            let key: Row = key.clone().into_boxed_slice();
+            let rehydrated: Vec<AggState> = states.iter().map(AggState::from_partial).collect();
+            // Kind check before merge: the states crossed a process
+            // boundary, so a mismatch must be a typed error, not the
+            // panic the in-process merge path reserves for impossible
+            // states.
+            for (spec, st) in self.plan.aggs.iter().zip(&rehydrated) {
+                let expected = AggState::new(spec.kind);
+                if std::mem::discriminant(st) != std::mem::discriminant(&expected) {
+                    return Err(Error::Unsupported(format!(
+                        "partial-aggregate state {st:?} does not match planned {:?}",
+                        spec.kind
+                    )));
+                }
+            }
+            match self.index.get(&key) {
+                Some(&i) => {
+                    for (mine, theirs) in self.groups[i].1.iter_mut().zip(rehydrated) {
+                        mine.merge(theirs);
+                    }
+                }
+                None => {
+                    self.index.insert(key.clone(), self.groups.len());
+                    self.groups.push((key, rehydrated));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Merge another partition's groups into this one (partition order

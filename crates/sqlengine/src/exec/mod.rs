@@ -11,7 +11,7 @@ pub mod aggregate;
 mod dml;
 mod select;
 
-pub use select::{explain_select, run_select};
+pub use select::{explain_select, finalize_select_partials, run_select, run_select_partial};
 
 use crate::ast::Statement;
 use crate::catalog::Catalog;

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use crate::ast::{BinOp, Expr, Select, SelectItem};
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
-use crate::exec::aggregate::{plan_aggregate, AggSink};
+use crate::exec::aggregate::{plan_aggregate, AggSink, PartialAggResult};
 use crate::exec::{ExecConfig, QueryResult};
 use crate::expr::{compile, CExpr, ColumnResolver};
 use crate::metrics::StmtProbe;
@@ -32,15 +32,23 @@ use crate::value::Value;
 /// Minimum driver rows before parallel execution is worth spawning.
 const PARALLEL_THRESHOLD: usize = 4096;
 
-/// Run a SELECT and materialize its result, recording telemetry into
-/// `probe` (pass a disabled probe to skip).
-pub fn run_select(
-    catalog: &Catalog,
-    stats: &mut Stats,
-    config: &ExecConfig,
-    select: &Select,
-    probe: &mut StmtProbe,
-) -> Result<QueryResult> {
+/// The schema-level preparation every SELECT path shares: resolved FROM
+/// scopes, expanded projection items, and the hidden-sort-column
+/// planning inputs. Derivable from the catalog's *schemas* alone, so
+/// the cluster coordinator (whose shadow catalog holds no rows) plans
+/// identically to the shards.
+struct SelectPrep {
+    scopes: Vec<(String, Vec<String>)>,
+    resolver: ColumnResolver,
+    output_names: Vec<String>,
+    /// Visible projection width; columns beyond it are hidden sort keys.
+    n_real: usize,
+    /// Projection items plus hidden ORDER BY key expressions.
+    all_items: Vec<Expr>,
+    is_aggregate: bool,
+}
+
+fn prepare_select(catalog: &Catalog, select: &Select) -> Result<SelectPrep> {
     // ---- resolve FROM scopes ------------------------------------------
     let mut scopes: Vec<(String, Vec<String>)> = Vec::with_capacity(select.from.len());
     for tref in &select.from {
@@ -64,21 +72,6 @@ pub fn run_select(
     // ---- expand projection wildcards ----------------------------------
     let (item_exprs, output_names) = expand_items(&select.items, &scopes)?;
 
-    // ---- classify WHERE conjuncts --------------------------------------
-    // Aggregates in WHERE are rejected by the analyze pass up front and
-    // again by `compile` when the predicates are lowered, so no separate
-    // scan is needed here.
-    let conjuncts = match &select.where_clause {
-        Some(w) => split_conjuncts(w),
-        None => Vec::new(),
-    };
-
-    let plan_t0 = std::time::Instant::now();
-    let pipeline = build_pipeline(
-        catalog, stats, select, &scopes, &conjuncts, &resolver, probe,
-    )?;
-    probe.add_plan_time(plan_t0.elapsed());
-
     // ORDER BY may reference output aliases (`ORDER BY sump`) or base
     // columns absent from the projection (`ORDER BY rid` under
     // `SELECT x1, x2`). Both are handled uniformly by materializing every
@@ -94,18 +87,79 @@ pub fn run_select(
         .collect();
     let all_items: Vec<Expr> = item_exprs.iter().chain(&order_exprs).cloned().collect();
 
-    // ---- choose sink: aggregate or scalar projection -------------------
     let is_aggregate = !select.group_by.is_empty()
         || all_items.iter().any(Expr::contains_aggregate)
         || select.having.as_ref().is_some_and(Expr::contains_aggregate);
 
+    Ok(SelectPrep {
+        scopes,
+        resolver,
+        output_names,
+        n_real,
+        all_items,
+        is_aggregate,
+    })
+}
+
+/// The post-sink tail shared by full and gathered execution: sort by
+/// the hidden key columns, strip them, apply LIMIT.
+fn apply_order_and_limit(prep: &SelectPrep, select: &Select, out_rows: &mut Vec<Row>) {
+    if !select.order_by.is_empty() {
+        let descs: Vec<bool> = select.order_by.iter().map(|k| k.desc).collect();
+        sort_by_hidden(out_rows, prep.n_real, &descs);
+    }
+    if prep.n_real < prep.all_items.len() {
+        for row in out_rows.iter_mut() {
+            let mut v = std::mem::take(row).into_vec();
+            v.truncate(prep.n_real);
+            *row = v.into_boxed_slice();
+        }
+    }
+    if let Some(limit) = select.limit {
+        out_rows.truncate(limit);
+    }
+}
+
+/// Run a SELECT and materialize its result, recording telemetry into
+/// `probe` (pass a disabled probe to skip).
+pub fn run_select(
+    catalog: &Catalog,
+    stats: &mut Stats,
+    config: &ExecConfig,
+    select: &Select,
+    probe: &mut StmtProbe,
+) -> Result<QueryResult> {
+    let prep = prepare_select(catalog, select)?;
+
+    // ---- classify WHERE conjuncts --------------------------------------
+    // Aggregates in WHERE are rejected by the analyze pass up front and
+    // again by `compile` when the predicates are lowered, so no separate
+    // scan is needed here.
+    let conjuncts = match &select.where_clause {
+        Some(w) => split_conjuncts(w),
+        None => Vec::new(),
+    };
+
+    let plan_t0 = std::time::Instant::now();
+    let pipeline = build_pipeline(
+        catalog,
+        stats,
+        select,
+        &prep.scopes,
+        &conjuncts,
+        &prep.resolver,
+        probe,
+    )?;
+    probe.add_plan_time(plan_t0.elapsed());
+
+    // ---- choose sink: aggregate or scalar projection -------------------
     let mut out_rows: Vec<Row>;
-    if is_aggregate {
+    if prep.is_aggregate {
         let plan = plan_aggregate(
-            &all_items,
+            &prep.all_items,
             &select.group_by,
             select.having.as_ref(),
-            &resolver,
+            &prep.resolver,
         )?;
         let sinks = run_pipeline(&pipeline, config, probe, || AggSink::new(plan.clone()))?;
         let mut merged = sinks
@@ -129,8 +183,8 @@ pub fn run_select(
                 "HAVING requires GROUP BY or aggregates".into(),
             ));
         }
-        let compiled = compile_scalar_items(&all_items, &output_names, &resolver)?;
-        let base_width = resolver.width();
+        let compiled = compile_scalar_items(&prep.all_items, &prep.output_names, &prep.resolver)?;
+        let base_width = prep.resolver.width();
         let mem = probe.tracker();
         let sinks = run_pipeline(&pipeline, config, probe, || ScalarSink {
             items: compiled.clone(),
@@ -145,26 +199,105 @@ pub fn run_select(
         }
     }
 
-    // ---- ORDER BY / LIMIT ----------------------------------------------
-    if !select.order_by.is_empty() {
-        let descs: Vec<bool> = select.order_by.iter().map(|k| k.desc).collect();
-        sort_by_hidden(&mut out_rows, n_real, &descs);
-    }
-    if n_real < all_items.len() {
-        for row in &mut out_rows {
-            let mut v = std::mem::take(row).into_vec();
-            v.truncate(n_real);
-            *row = v.into_boxed_slice();
-        }
-    }
-    if let Some(limit) = select.limit {
-        out_rows.truncate(limit);
-    }
+    apply_order_and_limit(&prep, select, &mut out_rows);
 
     let n = out_rows.len();
     probe.set_rows_produced(n);
     Ok(QueryResult {
-        columns: output_names,
+        columns: prep.output_names,
+        rows: out_rows,
+        rows_affected: n,
+    })
+}
+
+/// Run the scatter half of a distributed aggregate: execute the full
+/// scan/join pipeline locally but stop *before* finalizing — the group
+/// table is exported as transportable partial states instead of being
+/// projected. Scan accounting is identical to [`run_select`] (the data
+/// really was scanned); only the finalize tail moves to the gatherer.
+pub fn run_select_partial(
+    catalog: &Catalog,
+    stats: &mut Stats,
+    config: &ExecConfig,
+    select: &Select,
+    probe: &mut StmtProbe,
+) -> Result<PartialAggResult> {
+    let prep = prepare_select(catalog, select)?;
+    if !prep.is_aggregate {
+        return Err(Error::Unsupported(
+            "partial execution requires an aggregate SELECT".into(),
+        ));
+    }
+    let conjuncts = match &select.where_clause {
+        Some(w) => split_conjuncts(w),
+        None => Vec::new(),
+    };
+    let plan_t0 = std::time::Instant::now();
+    let pipeline = build_pipeline(
+        catalog,
+        stats,
+        select,
+        &prep.scopes,
+        &conjuncts,
+        &prep.resolver,
+        probe,
+    )?;
+    probe.add_plan_time(plan_t0.elapsed());
+
+    let plan = plan_aggregate(
+        &prep.all_items,
+        &select.group_by,
+        select.having.as_ref(),
+        &prep.resolver,
+    )?;
+    let sinks = run_pipeline(&pipeline, config, probe, || AggSink::new(plan.clone()))?;
+    let merged = sinks
+        .into_iter()
+        .reduce(|mut a, b| {
+            a.merge(b);
+            a
+        })
+        .expect("at least one sink");
+    probe
+        .tracker()
+        .charge("group table", merged.footprint_bytes())?;
+    probe.set_groups(merged.group_count());
+    probe.set_rows_produced(merged.group_count());
+    Ok(merged.export_partial())
+}
+
+/// Run the gather half: rebuild the aggregate plan from the same SQL
+/// (against schemas only — no rows are scanned and no tables need
+/// data), inject the merged partial states, and run the finalize tail
+/// (implicit empty group, HAVING, projection, ORDER BY, LIMIT).
+///
+/// Planning here and planning on the shards start from the same
+/// statement text and the same schemas, so the accumulator layout is
+/// identical by construction.
+pub fn finalize_select_partials(
+    catalog: &Catalog,
+    select: &Select,
+    partial: &PartialAggResult,
+) -> Result<QueryResult> {
+    let prep = prepare_select(catalog, select)?;
+    if !prep.is_aggregate {
+        return Err(Error::Unsupported(
+            "partial finalize requires an aggregate SELECT".into(),
+        ));
+    }
+    let plan = plan_aggregate(
+        &prep.all_items,
+        &select.group_by,
+        select.having.as_ref(),
+        &prep.resolver,
+    )?;
+    let mut sink = AggSink::new(plan);
+    sink.inject_partial(partial)?;
+    let mut out_rows = sink.finalize()?;
+    apply_order_and_limit(&prep, select, &mut out_rows);
+    let n = out_rows.len();
+    Ok(QueryResult {
+        columns: prep.output_names,
         rows: out_rows,
         rows_affected: n,
     })

@@ -124,6 +124,19 @@ pub trait SqlExecutor {
         None
     }
 
+    /// Execute one aggregate `SELECT` up to — but not including — the
+    /// accumulator finalize step, returning the exact per-group partial
+    /// states (see [`Database::execute_partial`]). A cluster coordinator
+    /// merges partials from every shard and finalizes once, which is
+    /// what makes sharded aggregates bit-identical to single-node runs.
+    /// Executors that cannot scatter default to `Unsupported`.
+    fn execute_partial(&mut self, sql: &str) -> Result<crate::PartialAggResult> {
+        let _ = sql;
+        Err(crate::Error::Unsupported(
+            "this executor does not support partial aggregate execution".into(),
+        ))
+    }
+
     /// Tell the engine the next statement is a *retry* of the one that
     /// just failed (fault-injection sequence-number bookkeeping; see
     /// [`Database::note_statement_retry`]).
@@ -151,6 +164,10 @@ pub trait SqlExecutor {
 impl SqlExecutor for Database {
     fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         Database::execute(self, sql)
+    }
+
+    fn execute_partial(&mut self, sql: &str) -> Result<crate::PartialAggResult> {
+        Database::execute_partial(self, sql)
     }
 
     fn prepare_script(
@@ -258,6 +275,10 @@ impl SqlExecutor for Database {
 impl SqlExecutor for SharedDatabase {
     fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         self.with(|db| SqlExecutor::execute(db, sql))
+    }
+
+    fn execute_partial(&mut self, sql: &str) -> Result<crate::PartialAggResult> {
+        self.with(|db| Database::execute_partial(db, sql))
     }
 
     fn prepare_script(

@@ -43,6 +43,7 @@ pub mod ast;
 pub mod catalog;
 pub mod engine;
 pub mod error;
+pub mod exactsum;
 pub mod exec;
 pub mod executor;
 pub mod expr;
@@ -66,6 +67,8 @@ pub use engine::{
     is_mutating, Database, DurabilityOptions, EngineConfig, SharedDatabase, WalRecovery,
 };
 pub use error::{Error, Result};
+pub use exactsum::ExactSum;
+pub use exec::aggregate::{PartialAggResult, PartialAggState};
 pub use exec::QueryResult;
 pub use executor::{PrepareError, PreparedId, SqlExecutor};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, Injection};

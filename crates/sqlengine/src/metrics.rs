@@ -130,6 +130,45 @@ impl ExecMetrics {
         self.rows_inserted + self.rows_updated + self.rows_deleted
     }
 
+    /// Combine another shard's telemetry for the *same logical
+    /// statement* into this one, as a cluster coordinator does when it
+    /// fans a statement out and presents one entry per driver
+    /// statement.
+    ///
+    /// Semantics per field: counters (`rows_*`, `join_*`, `groups`,
+    /// `expr_evals`) add; scans merge positionally (shards run the same
+    /// plan, so scan `j` is the same table pass — its rows add), with
+    /// any length mismatch resolved by appending the tail; gauges
+    /// (`peak_mem_bytes`, `plan_time`, `elapsed`) take the max, because
+    /// shards run concurrently in separate processes — summing wall
+    /// clock or per-process memory would overstate both. `kind` keeps
+    /// the first known value. The operation is associative and
+    /// commutative (for equal `kind`s), so shard merge order never
+    /// changes the result.
+    pub fn merge(&mut self, other: &ExecMetrics) {
+        if self.kind.is_none() {
+            self.kind = other.kind;
+        }
+        for (j, s) in other.scans.iter().enumerate() {
+            if let Some(mine) = self.scans.get_mut(j) {
+                mine.rows += s.rows;
+            } else {
+                self.scans.push(s.clone());
+            }
+        }
+        self.rows_produced += other.rows_produced;
+        self.rows_inserted += other.rows_inserted;
+        self.rows_updated += other.rows_updated;
+        self.rows_deleted += other.rows_deleted;
+        self.join_build_rows += other.join_build_rows;
+        self.join_probe_rows += other.join_probe_rows;
+        self.groups += other.groups;
+        self.expr_evals += other.expr_evals;
+        self.peak_mem_bytes = self.peak_mem_bytes.max(other.peak_mem_bytes);
+        self.plan_time = self.plan_time.max(other.plan_time);
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
     /// Multi-line human-readable rendering, used by `EXPLAIN ANALYZE`
     /// and the shell's `\metrics` command.
     pub fn render(&self) -> Vec<String> {
@@ -508,6 +547,74 @@ mod tests {
         assert!(!by_table.contains_key("c"));
         assert_eq!(log.rows_inserted_since(0), 5);
         assert_eq!(log.rows_inserted_since(99), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let entry = |scan_rows: usize, build_rows: usize, peak: u64, ms: u64| ExecMetrics {
+            kind: Some(StatementKind::Select),
+            scans: vec![
+                ScanMetric {
+                    table: "yd".into(),
+                    rows: scan_rows,
+                    build: false,
+                },
+                ScanMetric {
+                    table: "c".into(),
+                    rows: build_rows,
+                    build: true,
+                },
+            ],
+            rows_produced: scan_rows,
+            rows_inserted: 1,
+            rows_updated: 2,
+            rows_deleted: 3,
+            join_build_rows: build_rows as u64,
+            join_probe_rows: scan_rows as u64,
+            groups: 4,
+            expr_evals: 10,
+            peak_mem_bytes: peak,
+            plan_time: Duration::from_micros(ms),
+            elapsed: Duration::from_millis(ms),
+        };
+        let (a, b, c) = (
+            entry(100, 9, 4096, 3),
+            entry(250, 9, 8192, 7),
+            entry(50, 9, 2048, 1),
+        );
+
+        // Commutative: a⊕b == b⊕a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Associative: (a⊕b)⊕c == a⊕(b⊕c).
+        let mut left = ab.clone();
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // Counters add, gauges take the per-shard max (memory budgets
+        // are per process — summing would overstate the footprint).
+        assert_eq!(left.scans[0].rows, 400);
+        assert_eq!(left.rows_inserted, 3);
+        assert_eq!(left.peak_mem_bytes, 8192);
+        assert_eq!(left.elapsed, Duration::from_millis(7));
+
+        // Unequal scan lists: the longer tail is appended, which keeps
+        // the operation associative for ragged shard plans too.
+        let mut short = entry(10, 1, 1, 1);
+        short.scans.truncate(1);
+        let mut merged = short.clone();
+        merged.merge(&a);
+        assert_eq!(merged.scans.len(), 2);
+        assert_eq!(merged.scans[0].rows, 110);
+        assert_eq!(merged.scans[1].rows, 9);
     }
 
     #[test]

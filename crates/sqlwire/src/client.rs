@@ -112,6 +112,10 @@ enum InFlightKey {
     /// `run_prepared` — keyed by the *client* id, which is stable
     /// across redials (server ids are remapped on reconnect).
     Exec(u64),
+    /// `execute_partial` — keyed by statement text, distinct from
+    /// [`InFlightKey::Query`] so the same SQL sent both ways never
+    /// replays the wrong reply shape.
+    Partial(String),
     /// One bulk chunk — keyed by table and row offset within the load.
     Bulk {
         /// Destination table.
@@ -412,6 +416,21 @@ impl SqlExecutor for RemoteConnection {
             // affected-rows result is a faithful reconciliation.
             Response::ReplayApplied => Ok(QueryResult::affected(0)),
             other => Err(unexpected("Query", &other)),
+        }
+    }
+
+    fn execute_partial(&mut self, sql: &str) -> Result<sqlengine::PartialAggResult> {
+        let key = InFlightKey::Partial(sql.to_string());
+        match self.keyed_call(key, |meta| Request::ExecutePartial {
+            meta,
+            sql: sql.to_string(),
+        })? {
+            Response::Partial(p) => Ok(p),
+            // Partial execution is a pure read: it leaves no effects,
+            // so a server that lost the cached reply bytes can never
+            // answer ReplayApplied for it — re-execution under a fresh
+            // dial handles the recovery instead.
+            other => Err(unexpected("ExecutePartial", &other)),
         }
     }
 

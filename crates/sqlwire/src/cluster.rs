@@ -1,0 +1,1696 @@
+//! Sharded scale-out: a hash-partitioned cluster behind one executor.
+//!
+//! The paper's performance argument (§1.4, §3.5) is that SQL-generated
+//! EM inherits the DBMS's parallelism for free: every generated
+//! statement is a scan, a rid-equi-join or a GROUP BY aggregate, all of
+//! which partition cleanly. This module supplies that parallelism
+//! across *processes*: [`Coordinator`] implements
+//! [`sqlengine::SqlExecutor`] over N shard executors (remote
+//! [`crate::RemoteConnection`]s or embedded [`Database`]s), so the
+//! whole `sqlem` driver runs against a cluster **unchanged**.
+//!
+//! ## Partitioning
+//!
+//! Tables are classified by schema at `CREATE TABLE` time:
+//!
+//! * **partitioned** — tables with a `rid` column (`y`, `z`, `yd`,
+//!   `yp`, `yx`, `x`, `xmax`, `ysump`, …): each row lives on exactly
+//!   one shard, chosen by `splitmix64(rid) % nshards`.
+//! * **broadcast** — everything else (the model tables `c`, `r`, `w`,
+//!   `gmm`, `rk`, …): replicated in full on every shard, kept
+//!   bit-identical by running every mutation on every shard.
+//!
+//! ## Statement fragmentation
+//!
+//! Each driver statement is classified against that map and routed:
+//!
+//! * DDL and broadcast-table mutations run verbatim on every shard.
+//! * Statements over partitioned tables whose output stays partitioned
+//!   (rid-preserving `INSERT … SELECT`, `UPDATE … FROM`, `DELETE`) run
+//!   verbatim on every shard — each shard operates on its own rid
+//!   slice, and rid-equi-joins never cross shards because joined
+//!   tables are co-partitioned on `rid`.
+//! * Aggregates over partitioned data *scatter*: each shard runs the
+//!   statement through [`sqlengine::Database::execute_partial`],
+//!   returning exact per-group accumulator states
+//!   ([`sqlengine::PartialAggResult`]); the coordinator merges them in
+//!   shard order and finalizes once on its rowless shadow catalog.
+//!   Because `SUM`/`AVG` accumulate in an exact expansion
+//!   ([`sqlengine::ExactSum`]), the merged result is **bit-identical**
+//!   to a single-node run for any shard count.
+//! * Non-aggregate reads over partitioned data *gather*: each shard
+//!   executes the statement with its `ORDER BY` keys appended as
+//!   hidden trailing columns, and the coordinator merge-sorts the
+//!   per-shard streams on those keys.
+//!
+//! Bulk loads route each row by its rid hash; per-shard exactly-once
+//! delivery is inherited from the shard executor (the remote client's
+//! idempotent session protocol). Multi-shard mutations track per-shard
+//! completion so a retry after a partial failure re-runs only the
+//! shards that did not finish — the cluster-level analogue of the
+//! wire-level replay cache.
+//!
+//! Per-shard telemetry is merged into **one [`ExecMetrics`] entry per
+//! driver statement** (counters add, partitioned scans add to the full
+//! `n`, duplicated broadcast scans are masked, gauges take the
+//! per-shard max), so the paper's `2k+3` scans-per-iteration cost
+//! model verifies against a cluster exactly as it does single-node.
+//!
+//! See `docs/CLUSTER.md` for the full fragment/merge grammar and the
+//! failure semantics.
+
+use sqlengine::ast::{BinOp, Expr, InsertSource, Select, SelectItem, Statement};
+use sqlengine::parser::parse;
+use sqlengine::{
+    Database, Error, ExecMetrics, Limits, PartialAggResult, PrepareError, PreparedId, QueryResult,
+    Result, SqlExecutor, StatementKind, SymbolicCatalog, Value,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The shard owning `rid` in an `nshards`-way cluster: a splitmix64
+/// finalizer over the rid, reduced mod `nshards`. Stateless and
+/// version-stable — loaders, the coordinator and tests must agree on
+/// this function exactly.
+pub fn shard_of_rid(rid: i64, nshards: usize) -> usize {
+    let mut z = (rid as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % nshards as u64) as usize
+}
+
+/// How a classified statement executes across the cluster.
+#[derive(Debug)]
+enum Class {
+    /// DDL / broadcast-table mutation: verbatim on every shard, result
+    /// identical everywhere (shard 0's is returned).
+    AllShards,
+    /// Pure read over broadcast tables only: shard 0 answers alone.
+    ReadOne,
+    /// Partition-local statement: verbatim on every shard, each shard
+    /// touching only its rid slice; affected-row counts add.
+    Local,
+    /// Aggregate read over partitioned data: scatter partials, merge,
+    /// finalize once on the shadow catalog.
+    ScatterRead(Box<Select>),
+    /// `INSERT` of a scattered aggregate into a broadcast table:
+    /// finalize coordinator-side, then replicate the finished rows.
+    ScatterInsert {
+        table: String,
+        columns: Option<Vec<String>>,
+        select: Box<Select>,
+    },
+    /// Non-aggregate read over partitioned data: per-shard execution
+    /// plus an ordered (or concatenating) gather.
+    GatherRead(Box<Select>),
+    /// `INSERT` of a gathered read into a broadcast table.
+    GatherInsert {
+        table: String,
+        columns: Option<Vec<String>>,
+        select: Box<Select>,
+    },
+    /// `INSERT … VALUES` into a partitioned table: rows route to their
+    /// owning shard by rid hash.
+    RoutedValues {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+/// A multi-shard mutation whose acknowledgement may have been lost:
+/// per-shard completion flags keyed by a statement fingerprint, so a
+/// retry of the *same* statement skips shards that already applied it
+/// (re-running them would double-apply — the cluster-level analogue of
+/// the wire protocol's reply cache).
+#[derive(Debug)]
+struct Inflight {
+    fingerprint: u64,
+    done: Vec<bool>,
+}
+
+/// Hash-partitioned scatter/gather coordinator over `E` shards.
+///
+/// Implements [`SqlExecutor`], so the EM driver, the plancheck
+/// harness and the CLI run against a cluster without modification.
+/// Construct with [`Coordinator::new`] over any executors — remote
+/// connections for a real cluster, embedded [`Database`]s for tests
+/// and benchmarks.
+pub struct Coordinator<E: SqlExecutor + Send> {
+    shards: Vec<E>,
+    /// Rowless schema mirror: receives every DDL statement, validates
+    /// prepared scripts, and finalizes scattered aggregates. Holding
+    /// no base rows, it plans exactly like the shards do.
+    shadow: Database,
+    /// Partitioned table name → rid column slot.
+    partitioned: HashMap<String, usize>,
+    /// Prepared-statement id → original text (statements re-classify
+    /// at execution; shards are not pre-prepared).
+    prepared: HashMap<u64, String>,
+    inflight: Option<Inflight>,
+    /// Coordinator-level telemetry: one merged entry per statement.
+    metrics: Vec<ExecMetrics>,
+    metrics_on: bool,
+    /// Per-shard drain cursor into each shard's metrics log.
+    cursors: Vec<usize>,
+}
+
+/// A table adopted from a shard catalog: name, `(column, type)` pairs,
+/// and primary-key column indexes.
+type AdoptedTable = (String, Vec<(String, sqlengine::DataType)>, Vec<usize>);
+
+impl<E: SqlExecutor + Send> Coordinator<E> {
+    /// Build a coordinator over `shards` (at least one). Adopts the
+    /// first shard's catalog into the shadow so a coordinator can
+    /// attach to a cluster that already holds tables.
+    pub fn new(mut shards: Vec<E>) -> Result<Self> {
+        if shards.is_empty() {
+            return Err(Error::Unsupported(
+                "a cluster needs at least one shard".into(),
+            ));
+        }
+        let mut shadow = Database::new();
+        let min_len = shards.iter().map(|s| s.max_statement_len()).min().unwrap();
+        shadow.set_max_statement_len(min_len);
+        let mut partitioned = HashMap::new();
+        let snapshot = shards[0].catalog_snapshot()?;
+        let mut tables: Vec<AdoptedTable> = snapshot
+            .tables()
+            .map(|(name, schema)| {
+                (
+                    name.to_string(),
+                    schema
+                        .columns()
+                        .iter()
+                        .map(|c| (c.name.clone(), c.ty))
+                        .collect(),
+                    schema.primary_key().to_vec(),
+                )
+            })
+            .collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, cols, pk) in tables {
+            let mut ddl = format!("CREATE TABLE {name} (");
+            for (i, (cname, ty)) in cols.iter().enumerate() {
+                if i > 0 {
+                    ddl.push_str(", ");
+                }
+                let tyname = match ty {
+                    sqlengine::DataType::BigInt => "BIGINT",
+                    sqlengine::DataType::Double => "DOUBLE",
+                    sqlengine::DataType::Varchar => "VARCHAR",
+                };
+                ddl.push_str(&format!("{cname} {tyname}"));
+            }
+            if !pk.is_empty() {
+                let names: Vec<&str> = pk.iter().map(|&i| cols[i].0.as_str()).collect();
+                ddl.push_str(&format!(", PRIMARY KEY ({})", names.join(", ")));
+            }
+            ddl.push(')');
+            shadow.execute(&ddl)?;
+            if let Some(idx) = cols.iter().position(|(c, _)| c == "rid") {
+                partitioned.insert(name, idx);
+            }
+        }
+        let cursors = vec![0; shards.len()];
+        // Drain any pre-existing metrics so merged entries start clean.
+        let metrics_on = shards[0].metrics_enabled();
+        let mut coord = Coordinator {
+            shards,
+            shadow,
+            partitioned,
+            prepared: HashMap::new(),
+            inflight: None,
+            metrics: Vec::new(),
+            metrics_on,
+            cursors,
+        };
+        if metrics_on {
+            coord.reset_cursors()?;
+        }
+        Ok(coord)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Is `table` hash-partitioned (as opposed to broadcast)?
+    pub fn is_partitioned(&self, table: &str) -> bool {
+        self.partitioned.contains_key(&table.to_ascii_lowercase())
+    }
+
+    fn reset_cursors(&mut self) -> Result<()> {
+        for i in 0..self.shards.len() {
+            self.cursors[i] = self.shards[i].metrics_len()?;
+        }
+        Ok(())
+    }
+
+    // ---- classification ----------------------------------------------
+
+    /// The rid column slot of `table`, if partitioned.
+    fn rid_slot(&self, table: &str) -> Option<usize> {
+        self.partitioned.get(&table.to_ascii_lowercase()).copied()
+    }
+
+    /// Partitioned FROM entries of a select, as (visible_name, table).
+    fn partitioned_from(&self, sel: &Select) -> Vec<(String, String)> {
+        sel.from
+            .iter()
+            .filter(|t| self.rid_slot(&t.table).is_some())
+            .map(|t| {
+                (
+                    t.visible_name().to_ascii_lowercase(),
+                    t.table.to_ascii_lowercase(),
+                )
+            })
+            .collect()
+    }
+
+    /// Are all partitioned FROM tables pairwise connected through
+    /// `a.rid = b.rid` equality conjuncts? Co-partitioning on rid is
+    /// what keeps shard-local joins equal to the global join.
+    fn rid_join_connected(names: &[String], where_clause: Option<&Expr>) -> bool {
+        if names.len() <= 1 {
+            return true;
+        }
+        let mut parent: Vec<usize> = (0..names.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        let index = |n: &str| names.iter().position(|x| x == n);
+        let mut stack: Vec<&Expr> = where_clause.into_iter().collect();
+        while let Some(e) = stack.pop() {
+            match e {
+                Expr::Binary {
+                    op: BinOp::And,
+                    left,
+                    right,
+                } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                Expr::Binary {
+                    op: BinOp::Eq,
+                    left,
+                    right,
+                } => {
+                    if let (
+                        Expr::Column {
+                            table: Some(a),
+                            name: an,
+                        },
+                        Expr::Column {
+                            table: Some(b),
+                            name: bn,
+                        },
+                    ) = (left.as_ref(), right.as_ref())
+                    {
+                        if an == "rid" && bn == "rid" {
+                            if let (Some(i), Some(j)) = (index(a), index(b)) {
+                                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                                parent[ri] = rj;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let root = find(&mut parent, 0);
+        (1..names.len()).all(|i| find(&mut parent, i) == root)
+    }
+
+    fn is_aggregate_select(sel: &Select) -> bool {
+        !sel.group_by.is_empty()
+            || sel.having.as_ref().is_some_and(Expr::contains_aggregate)
+            || sel.items.iter().any(|it| match it {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            })
+    }
+
+    /// Does the expression name the rid column of a partitioned FROM
+    /// table (bare `rid` with a single partitioned source, or
+    /// `t.rid`)?
+    fn is_rid_column(&self, e: &Expr, sel: &Select) -> bool {
+        match e {
+            Expr::Column { table: None, name } => {
+                name == "rid" && !self.partitioned_from(sel).is_empty()
+            }
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => {
+                name == "rid"
+                    && self
+                        .partitioned_from(sel)
+                        .iter()
+                        .any(|(vis, _)| vis == t.as_str())
+            }
+            _ => false,
+        }
+    }
+
+    /// Does this `INSERT … SELECT` into partitioned `table` keep every
+    /// produced row on the shard that computes it? True when the
+    /// target's rid column is filled from a source rid column — the
+    /// produced rids are then a subset of the shard's own partition.
+    fn insert_preserves_partition(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        sel: &Select,
+    ) -> bool {
+        let Some(rid_slot) = self.rid_slot(table) else {
+            return false;
+        };
+        // `SELECT *` / `SELECT t.*` from a single partitioned table
+        // copies rid through positionally.
+        if sel.from.len() == 1
+            && columns.is_none()
+            && sel
+                .items
+                .iter()
+                .all(|it| matches!(it, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)))
+        {
+            return true;
+        }
+        // Which item feeds the target's rid column?
+        let item_idx = match columns {
+            Some(cols) => match cols.iter().position(|c| c == "rid") {
+                Some(i) => i,
+                None => return false, // rid filled with NULL: not routable
+            },
+            None => rid_slot,
+        };
+        match sel.items.get(item_idx) {
+            Some(SelectItem::Expr { expr, .. }) => self.is_rid_column(expr, sel),
+            _ => false,
+        }
+    }
+
+    /// Classify one parsed statement against the partition map.
+    fn classify(&self, stmt: &Statement) -> Result<Class> {
+        match stmt {
+            Statement::CreateTable { .. } | Statement::DropTable { .. } => Ok(Class::AllShards),
+            Statement::Explain(_) => Ok(Class::ReadOne),
+            Statement::ExplainAnalyze(_) => Err(Error::Unsupported(
+                "EXPLAIN ANALYZE is not supported on a cluster (per-shard \
+                 side effects cannot merge into one plan)"
+                    .into(),
+            )),
+            Statement::Select(sel) => self.classify_select(sel).map(|c| match c {
+                SelectClass::Broadcast => Class::ReadOne,
+                SelectClass::Scatter => Class::ScatterRead(Box::new(sel.clone())),
+                SelectClass::Gather => Class::GatherRead(Box::new(sel.clone())),
+            }),
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => self.classify_insert(table, columns.as_deref(), source),
+            Statement::Update { table, from, .. } => {
+                let target_partitioned = self.rid_slot(table).is_some();
+                let from_partitioned: Vec<String> = from
+                    .iter()
+                    .filter(|t| self.rid_slot(&t.table).is_some())
+                    .map(|t| t.visible_name().to_ascii_lowercase())
+                    .collect();
+                if target_partitioned {
+                    if from_partitioned.is_empty() {
+                        return Ok(Class::Local);
+                    }
+                    // Target + partitioned FROM tables must co-join on rid.
+                    let mut names = vec![table.to_ascii_lowercase()];
+                    names.extend(from_partitioned);
+                    let wc = match stmt {
+                        Statement::Update { where_clause, .. } => where_clause.as_ref(),
+                        _ => unreachable!(),
+                    };
+                    if Self::rid_join_connected(&names, wc) {
+                        Ok(Class::Local)
+                    } else {
+                        Err(Error::Unsupported(format!(
+                            "UPDATE {table}: partitioned FROM tables must join \
+                             the target on rid to execute shard-locally"
+                        )))
+                    }
+                } else if from_partitioned.is_empty() {
+                    Ok(Class::AllShards)
+                } else {
+                    Err(Error::Unsupported(format!(
+                        "UPDATE {table}: cannot update a broadcast table from \
+                         partitioned data; aggregate into it with INSERT … SELECT instead"
+                    )))
+                }
+            }
+            Statement::Delete { table, .. } => {
+                if self.rid_slot(table).is_some() {
+                    Ok(Class::Local)
+                } else {
+                    Ok(Class::AllShards)
+                }
+            }
+        }
+    }
+
+    fn classify_insert(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> Result<Class> {
+        let target_partitioned = self.rid_slot(table).is_some();
+        match source {
+            InsertSource::Values(rows) => {
+                if !target_partitioned {
+                    // Literal VALUES are deterministic: every shard
+                    // computes the identical rows.
+                    return Ok(Class::AllShards);
+                }
+                let mut literal_rows = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let vals: Vec<Value> = row
+                        .iter()
+                        .map(literal_value)
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| {
+                            Error::Unsupported(format!(
+                                "INSERT INTO {table}: VALUES into a partitioned \
+                                 table must be literals (rows route by rid hash)"
+                            ))
+                        })?;
+                    literal_rows.push(vals);
+                }
+                Ok(Class::RoutedValues {
+                    table: table.to_ascii_lowercase(),
+                    columns: columns.map(<[String]>::to_vec),
+                    rows: literal_rows,
+                })
+            }
+            InsertSource::Select(sel) => {
+                let inner = self.classify_select(sel)?;
+                if target_partitioned {
+                    match inner {
+                        SelectClass::Broadcast => Err(Error::Unsupported(format!(
+                            "INSERT INTO {table}: inserting broadcast-derived rows \
+                             into a partitioned table would replicate them on every \
+                             shard; load partitioned data with the bulk loader"
+                        ))),
+                        SelectClass::Scatter | SelectClass::Gather => {
+                            if self.insert_preserves_partition(table, columns, sel) {
+                                Ok(Class::Local)
+                            } else {
+                                Err(Error::Unsupported(format!(
+                                    "INSERT INTO {table}: a partitioned target requires \
+                                     the rid column to be copied from a partitioned \
+                                     source (rows must stay on their shard)"
+                                )))
+                            }
+                        }
+                    }
+                } else {
+                    // Broadcast target: re-reading it while writing it
+                    // breaks scatter/gather re-execution on retry.
+                    if sel.from.iter().any(|t| t.table.eq_ignore_ascii_case(table)) {
+                        return Err(Error::Unsupported(format!(
+                            "INSERT INTO {table}: self-referential insert into a \
+                             broadcast table is not supported on a cluster"
+                        )));
+                    }
+                    match inner {
+                        SelectClass::Broadcast => Ok(Class::AllShards),
+                        SelectClass::Scatter => Ok(Class::ScatterInsert {
+                            table: table.to_ascii_lowercase(),
+                            columns: columns.map(<[String]>::to_vec),
+                            select: Box::new((**sel).clone()),
+                        }),
+                        SelectClass::Gather => Ok(Class::GatherInsert {
+                            table: table.to_ascii_lowercase(),
+                            columns: columns.map(<[String]>::to_vec),
+                            select: Box::new((**sel).clone()),
+                        }),
+                    }
+                }
+            }
+        }
+    }
+
+    fn classify_select(&self, sel: &Select) -> Result<SelectClass> {
+        let parts = self.partitioned_from(sel);
+        if parts.is_empty() {
+            return Ok(SelectClass::Broadcast);
+        }
+        let names: Vec<String> = parts.iter().map(|(vis, _)| vis.clone()).collect();
+        if !Self::rid_join_connected(&names, sel.where_clause.as_ref()) {
+            return Err(Error::Unsupported(
+                "joins between partitioned tables must include a rid equality \
+                 for every table (cross-shard joins are not supported)"
+                    .into(),
+            ));
+        }
+        if Self::is_aggregate_select(sel) {
+            Ok(SelectClass::Scatter)
+        } else {
+            Ok(SelectClass::Gather)
+        }
+    }
+
+    // ---- execution ---------------------------------------------------
+
+    /// Run `f` against every shard whose `skip` flag is false, in
+    /// parallel (one scoped thread per shard). Results come back in
+    /// shard order; skipped shards yield `None`.
+    fn fan_out<R, F>(shards: &mut [E], skip: &[bool], f: F) -> Vec<Option<Result<R>>>
+    where
+        R: Send,
+        F: Fn(usize, &mut E) -> Result<R> + Sync,
+    {
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .enumerate()
+                .map(|(i, shard)| {
+                    if skip.get(i).copied().unwrap_or(false) {
+                        None
+                    } else {
+                        Some(scope.spawn(move || f(i, shard)))
+                    }
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("shard worker panicked")))
+                .collect()
+        })
+    }
+
+    /// Per-shard completion flags for a mutating fan-out: fresh unless
+    /// this exact statement is the one whose last attempt failed.
+    fn arm_inflight(&mut self, fingerprint: u64) -> Vec<bool> {
+        match &self.inflight {
+            Some(f) if f.fingerprint == fingerprint => f.done.clone(),
+            _ => vec![false; self.shards.len()],
+        }
+    }
+
+    /// Run a mutating operation on every not-yet-done shard, recording
+    /// completion so a retry after a partial failure skips the shards
+    /// that already applied it.
+    fn mutate_all<R, F>(&mut self, fingerprint: u64, f: F) -> Result<Vec<Option<R>>>
+    where
+        R: Send,
+        F: Fn(usize, &mut E) -> Result<R> + Sync,
+    {
+        let mut done = self.arm_inflight(fingerprint);
+        let results = Self::fan_out(&mut self.shards, &done, f);
+        let mut out = Vec::with_capacity(results.len());
+        let mut first_err = None;
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                None => out.push(None), // already applied in an earlier attempt
+                Some(Ok(v)) => {
+                    done[i] = true;
+                    out.push(Some(v));
+                }
+                Some(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    out.push(None);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => {
+                self.inflight = Some(Inflight { fingerprint, done });
+                Err(e)
+            }
+            None => {
+                self.inflight = None;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Execute one parsed statement across the cluster.
+    fn run_one(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        let text = stmt.to_string();
+        match self.classify(stmt)? {
+            Class::AllShards => {
+                let fp = fingerprint_text(&text);
+                let results = self.mutate_all(fp, |_, shard| shard.execute(&text))?;
+                // DDL also lands on the shadow so the coordinator's
+                // schema mirror stays exact.
+                if matches!(
+                    stmt,
+                    Statement::CreateTable { .. } | Statement::DropTable { .. }
+                ) {
+                    self.shadow.execute(&text)?;
+                    self.refresh_partition_map(stmt);
+                }
+                self.drain_metrics(MergeMode::KeepFirst, None)?;
+                Ok(results
+                    .into_iter()
+                    .flatten()
+                    .next()
+                    .unwrap_or(QueryResult::affected(0)))
+            }
+            Class::Local => {
+                let fp = fingerprint_text(&text);
+                let results = self.mutate_all(fp, |_, shard| shard.execute(&text))?;
+                self.drain_metrics(MergeMode::MergeMasked, None)?;
+                let affected: usize = results
+                    .iter()
+                    .flatten()
+                    .map(|q: &QueryResult| q.rows_affected)
+                    .sum();
+                Ok(QueryResult::affected(affected))
+            }
+            Class::ReadOne => {
+                let result = self.shards[0].execute(&text)?;
+                self.drain_metrics(MergeMode::KeepFirst, None)?;
+                Ok(result)
+            }
+            Class::ScatterRead(sel) => {
+                let (merged, groups) = self.scatter_partials(&sel)?;
+                let text = Statement::Select((*sel).clone()).to_string();
+                let result = self.shadow.finalize_partials(&text, &merged)?;
+                self.drain_metrics(MergeMode::MergeMasked, Some((groups, result.rows.len())))?;
+                Ok(result)
+            }
+            Class::ScatterInsert {
+                table,
+                columns,
+                select,
+            } => {
+                let (merged, _) = self.scatter_partials(&select)?;
+                let text = Statement::Select((*select).clone()).to_string();
+                let finalized = self.shadow.finalize_partials(&text, &merged)?;
+                let rows = self.full_arity_rows(&table, columns.as_deref(), finalized.rows)?;
+                self.replicate_rows(&text, &table, rows)
+            }
+            Class::GatherRead(sel) => {
+                let result = self.gather_read(&sel)?;
+                self.drain_metrics(MergeMode::MergeMasked, Some((0, result.rows.len())))?;
+                Ok(result)
+            }
+            Class::GatherInsert {
+                table,
+                columns,
+                select,
+            } => {
+                let gathered = self.gather_read(&select)?;
+                let rows = self.full_arity_rows(&table, columns.as_deref(), gathered.rows)?;
+                let text = Statement::Select((*select).clone()).to_string();
+                self.replicate_rows(&text, &table, rows)
+            }
+            Class::RoutedValues {
+                table,
+                columns,
+                rows,
+            } => {
+                let full = self.full_arity_rows(
+                    &table,
+                    columns.as_deref(),
+                    rows.into_iter().map(Vec::into_boxed_slice).collect(),
+                )?;
+                let n = self.route_bulk(&table, full)?;
+                self.drain_metrics(MergeMode::MergeMasked, None)?;
+                Ok(QueryResult::affected(n))
+            }
+        }
+    }
+
+    /// Scatter an aggregate select: every shard computes exact partial
+    /// accumulator states over its slice; merge them in shard index
+    /// order (the merge itself is order-free for `SUM`/`AVG`/`COUNT`/
+    /// `MIN`/`MAX`, and shard order makes `VARIANCE`'s Chan combination
+    /// deterministic too). Returns the merged partial and its group
+    /// count.
+    fn scatter_partials(&mut self, sel: &Select) -> Result<(PartialAggResult, usize)> {
+        let text = Statement::Select(sel.clone()).to_string();
+        let skip = vec![false; self.shards.len()];
+        let results = Self::fan_out(&mut self.shards, &skip, |_, shard| {
+            shard.execute_partial(&text)
+        });
+        let mut merged: Option<PartialAggResult> = None;
+        for r in results {
+            let partial = r.expect("no shard skipped")?;
+            match &mut merged {
+                None => merged = Some(partial),
+                Some(m) => m.merge(&partial)?,
+            }
+        }
+        let merged = merged.expect("at least one shard");
+        let groups = merged.groups.len();
+        Ok((merged, groups))
+    }
+
+    /// Gather a non-aggregate select: each shard executes it with the
+    /// ORDER BY keys appended as hidden trailing columns, then the
+    /// per-shard streams merge on those keys (ties break by shard
+    /// index). Without ORDER BY the streams concatenate in shard order.
+    fn gather_read(&mut self, sel: &Select) -> Result<QueryResult> {
+        let nkeys = sel.order_by.len();
+        let mut shard_sel = sel.clone();
+        for (j, key) in sel.order_by.iter().enumerate() {
+            let expr = substitute_aliases(&key.expr, &sel.items);
+            shard_sel.items.push(SelectItem::Expr {
+                expr,
+                alias: Some(format!("__gk{j}")),
+            });
+        }
+        let text = Statement::Select(shard_sel).to_string();
+        let skip = vec![false; self.shards.len()];
+        let results = Self::fan_out(&mut self.shards, &skip, |_, shard| shard.execute(&text));
+        let mut parts = Vec::with_capacity(results.len());
+        for r in results {
+            parts.push(r.expect("no shard skipped")?);
+        }
+        let visible = parts[0].columns.len().saturating_sub(nkeys);
+        let columns: Vec<String> = parts[0].columns[..visible].to_vec();
+        let descs: Vec<bool> = sel.order_by.iter().map(|k| k.desc).collect();
+
+        let mut rows: Vec<sqlengine::Row> = Vec::new();
+        if nkeys == 0 {
+            for part in parts {
+                rows.extend(part.rows);
+            }
+        } else {
+            // K-way merge over per-shard sorted streams.
+            let mut streams: Vec<std::vec::IntoIter<sqlengine::Row>> =
+                parts.into_iter().map(|p| p.rows.into_iter()).collect();
+            let mut heads: Vec<Option<sqlengine::Row>> =
+                streams.iter_mut().map(Iterator::next).collect();
+            loop {
+                let mut best: Option<usize> = None;
+                for (i, head) in heads.iter().enumerate() {
+                    let Some(row) = head else { continue };
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            key_cmp(row, heads[b].as_ref().unwrap(), visible, &descs).is_lt()
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+                let Some(i) = best else { break };
+                rows.push(heads[i].take().unwrap());
+                heads[i] = streams[i].next();
+            }
+        }
+        for row in &mut rows {
+            let mut v = std::mem::take(row).into_vec();
+            v.truncate(visible);
+            *row = v.into_boxed_slice();
+        }
+        if let Some(limit) = sel.limit {
+            rows.truncate(limit);
+        }
+        let n = rows.len();
+        Ok(QueryResult {
+            columns,
+            rows,
+            rows_affected: n,
+        })
+    }
+
+    /// Replicate finished rows into a broadcast table on every shard
+    /// (the merge step of a scatter/gather insert), with per-shard
+    /// completion tracking keyed on the originating statement.
+    fn replicate_rows(
+        &mut self,
+        origin_text: &str,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<QueryResult> {
+        let n = rows.len();
+        let fp = fingerprint_text(origin_text);
+        let rows = &rows;
+        let table_name = table.to_string();
+        self.mutate_all(fp, move |_, shard| {
+            if rows.is_empty() {
+                return Ok(0usize);
+            }
+            shard.bulk_insert_rows(&table_name, rows.clone())
+        })?;
+        self.drain_metrics(MergeMode::MergeReplicated, None)?;
+        Ok(QueryResult::affected(n))
+    }
+
+    /// Route full-arity rows of a partitioned table to their owning
+    /// shards by rid hash and bulk-load each slice in parallel.
+    fn route_bulk(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let slot = self.rid_slot(table).ok_or_else(|| {
+            Error::Unsupported(format!("table {table} is not partitioned by rid"))
+        })?;
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<Vec<Value>>> = vec![Vec::new(); n];
+        let fp = fingerprint_bulk(table, &rows);
+        for row in rows {
+            let rid = match row.get(slot) {
+                Some(Value::Int(r)) => *r,
+                other => {
+                    return Err(Error::Unsupported(format!(
+                        "partitioned table {table} requires an integer rid to \
+                         route rows (got {other:?})"
+                    )))
+                }
+            };
+            buckets[shard_of_rid(rid, n)].push(row);
+        }
+        let table_name = table.to_string();
+        let buckets = &buckets;
+        let counts = self.mutate_all(fp, move |i, shard| {
+            if buckets[i].is_empty() {
+                return Ok(0usize);
+            }
+            shard.bulk_insert_rows(&table_name, buckets[i].clone())
+        })?;
+        Ok(counts.into_iter().flatten().sum())
+    }
+
+    /// Expand a result row set to the target table's full arity,
+    /// honoring an explicit INSERT column list (missing columns become
+    /// NULL, exactly like the engine's INSERT).
+    fn full_arity_rows(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: Vec<sqlengine::Row>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let snapshot = self.shadow.symbolic_catalog();
+        let schema = snapshot
+            .tables()
+            .find(|(name, _)| *name == table)
+            .map(|(_, s)| s.clone())
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        let arity = schema.columns().len();
+        let slot_map: Option<Vec<usize>> = match columns {
+            None => None,
+            Some(cols) => {
+                let mut map = Vec::with_capacity(cols.len());
+                for c in cols {
+                    let idx = schema
+                        .columns()
+                        .iter()
+                        .position(|col| col.name == *c)
+                        .ok_or_else(|| Error::UnknownColumn(c.clone()))?;
+                    map.push(idx);
+                }
+                Some(map)
+            }
+        };
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            match &slot_map {
+                None => {
+                    if row.len() != arity {
+                        return Err(Error::ArityMismatch {
+                            table: table.to_string(),
+                            expected: arity,
+                            actual: row.len(),
+                        });
+                    }
+                    out.push(row.into_vec());
+                }
+                Some(map) => {
+                    if row.len() != map.len() {
+                        return Err(Error::ArityMismatch {
+                            table: table.to_string(),
+                            expected: map.len(),
+                            actual: row.len(),
+                        });
+                    }
+                    let mut full = vec![Value::Null; arity];
+                    for (v, &slot) in row.iter().zip(map) {
+                        full[slot] = v.clone();
+                    }
+                    out.push(full);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// After DDL, re-derive the partition map entry for the table.
+    fn refresh_partition_map(&mut self, stmt: &Statement) {
+        match stmt {
+            Statement::CreateTable { name, columns, .. } => {
+                let lname = name.to_ascii_lowercase();
+                if let Some(idx) = columns.iter().position(|c| c.name == "rid") {
+                    self.partitioned.insert(lname, idx);
+                } else {
+                    self.partitioned.remove(&lname);
+                }
+            }
+            Statement::DropTable { name, .. } => {
+                self.partitioned.remove(&name.to_ascii_lowercase());
+            }
+            _ => {}
+        }
+    }
+
+    // ---- telemetry ---------------------------------------------------
+
+    /// Drain every shard's new metrics entries and append **one**
+    /// merged entry per driver statement to the coordinator log.
+    ///
+    /// `KeepFirst`: the statement ran identically everywhere (or on
+    /// shard 0 alone) — shard 0's entries stand for the cluster.
+    /// `MergeMasked`: the statement split across shards — counters and
+    /// partitioned-table scan rows add up to the single-node totals,
+    /// duplicated broadcast-table scans on shards ≥ 1 are masked to 0
+    /// rows, and gauges take the per-shard max. `finalize` overrides
+    /// `(groups, rows_produced)` for scattered aggregates, whose true
+    /// totals only exist after the coordinator's merge.
+    fn drain_metrics(&mut self, mode: MergeMode, finalize: Option<(usize, usize)>) -> Result<()> {
+        if !self.metrics_on {
+            return Ok(());
+        }
+        let mut per_shard: Vec<Vec<ExecMetrics>> = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            let entries = self.shards[i].metrics_since(self.cursors[i])?;
+            self.cursors[i] += entries.len();
+            per_shard.push(entries);
+        }
+        let merged = match mode {
+            MergeMode::KeepFirst => fold_entries(per_shard.swap_remove(0)),
+            MergeMode::MergeMasked | MergeMode::MergeReplicated => {
+                let mut acc: Option<ExecMetrics> = None;
+                for entries in per_shard {
+                    let Some(mut folded) = fold_entries(entries) else {
+                        continue;
+                    };
+                    // The first contributing shard stands in for the
+                    // single node; later shards' broadcast-table scans
+                    // are duplicates of it and mask to zero rows. For a
+                    // replicated mutation the *effects* are duplicates
+                    // too: a single node would write those rows once.
+                    if acc.is_some() {
+                        for scan in &mut folded.scans {
+                            if !self.partitioned.contains_key(&scan.table) {
+                                scan.rows = 0;
+                            }
+                        }
+                        if matches!(mode, MergeMode::MergeReplicated) {
+                            folded.rows_inserted = 0;
+                            folded.rows_updated = 0;
+                            folded.rows_deleted = 0;
+                        }
+                    }
+                    match &mut acc {
+                        None => acc = Some(folded),
+                        Some(a) => a.merge(&folded),
+                    }
+                }
+                acc
+            }
+        };
+        if let Some(mut entry) = merged {
+            if let Some((groups, rows_produced)) = finalize {
+                entry.groups = groups;
+                entry.rows_produced = rows_produced;
+                entry.kind = Some(StatementKind::Select);
+            }
+            self.metrics.push(entry);
+        }
+        Ok(())
+    }
+}
+
+/// Inner classification of a SELECT's data sources.
+enum SelectClass {
+    /// Broadcast tables only (or no FROM): any one shard answers.
+    Broadcast,
+    /// Aggregate over partitioned data.
+    Scatter,
+    /// Row-returning read over partitioned data.
+    Gather,
+}
+
+#[derive(Clone, Copy)]
+enum MergeMode {
+    /// Shard 0's entries stand for the cluster (identical everywhere).
+    KeepFirst,
+    /// Counters and effects add across shards (partition-split work).
+    MergeMasked,
+    /// Like `MergeMasked`, but mutation effect counters (`rows_*`) come
+    /// from the first contributor only — the statement replicated the
+    /// same write to every shard, which a single node performs once.
+    MergeReplicated,
+}
+
+/// Fold one shard's entries for a statement into one entry (bulk loads
+/// record one entry per chunk server-side).
+fn fold_entries(entries: Vec<ExecMetrics>) -> Option<ExecMetrics> {
+    let mut it = entries.into_iter();
+    let mut first = it.next()?;
+    for e in it {
+        first.merge(&e);
+    }
+    Some(first)
+}
+
+fn fingerprint_text(text: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    "stmt".hash(&mut h);
+    text.hash(&mut h);
+    h.finish()
+}
+
+fn fingerprint_bulk(table: &str, rows: &[Vec<Value>]) -> u64 {
+    let mut h = DefaultHasher::new();
+    "bulk".hash(&mut h);
+    table.hash(&mut h);
+    rows.len().hash(&mut h);
+    if let Some(first) = rows.first() {
+        first.hash(&mut h);
+    }
+    if let Some(last) = rows.last() {
+        last.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A VALUES expression that is a literal (or a negated numeric
+/// literal), evaluated without an engine.
+fn literal_value(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Literal(v) => Some(v.clone()),
+        Expr::Unary {
+            op: sqlengine::ast::UnaryOp::Neg,
+            expr,
+        } => match literal_value(expr)? {
+            Value::Int(i) => Some(Value::Int(-i)),
+            Value::Double(d) => Some(Value::Double(-d)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Replace references to output aliases in an ORDER BY key with the
+/// aliased expressions, so the key can travel as a hidden projection
+/// item on each shard.
+fn substitute_aliases(e: &Expr, items: &[SelectItem]) -> Expr {
+    if let Expr::Column { table: None, name } = e {
+        for item in items {
+            if let SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } = item
+            {
+                if a == name {
+                    return expr.clone();
+                }
+            }
+        }
+    }
+    match e {
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_aliases(expr, items)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute_aliases(left, items)),
+            right: Box::new(substitute_aliases(right, items)),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| substitute_aliases(a, items)).collect(),
+        },
+        Expr::Case { whens, else_expr } => Expr::Case {
+            whens: whens
+                .iter()
+                .map(|(c, r)| (substitute_aliases(c, items), substitute_aliases(r, items)))
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|x| Box::new(substitute_aliases(x, items))),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(substitute_aliases(expr, items)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Compare two gathered rows on their hidden trailing key columns.
+fn key_cmp(
+    a: &sqlengine::Row,
+    b: &sqlengine::Row,
+    visible: usize,
+    descs: &[bool],
+) -> std::cmp::Ordering {
+    for (j, desc) in descs.iter().enumerate() {
+        let ord = a[visible + j].total_cmp(&b[visible + j]);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+impl<E: SqlExecutor + Send> SqlExecutor for Coordinator<E> {
+    fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        if sql.len() > self.max_statement_len() {
+            return Err(Error::StatementTooLong {
+                len: sql.len(),
+                max: self.max_statement_len(),
+            });
+        }
+        let stmts = parse(sql)?;
+        let mut last = None;
+        for stmt in &stmts {
+            last = Some(self.run_one(stmt)?);
+        }
+        last.ok_or(Error::Parse {
+            pos: 0,
+            message: "empty statement".into(),
+        })
+    }
+
+    fn execute_partial(&mut self, sql: &str) -> Result<PartialAggResult> {
+        let stmts = parse(sql)?;
+        let [Statement::Select(sel)] = stmts.as_slice() else {
+            return Err(Error::Unsupported(
+                "partial execution requires a single SELECT".into(),
+            ));
+        };
+        match self.classify_select(sel)? {
+            SelectClass::Broadcast => self.shards[0].execute_partial(sql),
+            SelectClass::Scatter => {
+                let (merged, _) = self.scatter_partials(sel)?;
+                self.drain_metrics(MergeMode::MergeMasked, None)?;
+                Ok(merged)
+            }
+            SelectClass::Gather => Err(Error::Unsupported(
+                "partial execution requires an aggregate SELECT".into(),
+            )),
+        }
+    }
+
+    fn prepare_script(
+        &mut self,
+        statements: &[String],
+    ) -> std::result::Result<Vec<PreparedId>, PrepareError> {
+        // The shadow validates the whole script (symbolic DDL replay
+        // included) and allocates ids; shards see each statement only
+        // when it runs, freshly classified.
+        let ids = self.shadow.prepare_script(statements)?;
+        for (id, text) in ids.iter().zip(statements) {
+            self.prepared.insert(id.0, text.clone());
+        }
+        Ok(ids)
+    }
+
+    fn run_prepared(&mut self, id: PreparedId) -> Result<QueryResult> {
+        let text = self
+            .prepared
+            .get(&id.0)
+            .cloned()
+            .ok_or_else(|| Error::Unsupported(format!("unknown prepared id {}", id.0)))?;
+        self.execute(&text)
+    }
+
+    fn clear_prepared(&mut self) -> Result<()> {
+        self.prepared.clear();
+        self.shadow.clear_prepared()
+    }
+
+    fn bulk_insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let lname = table.to_ascii_lowercase();
+        if self.partitioned.contains_key(&lname) {
+            let inserted = self.route_bulk(&lname, rows)?;
+            self.drain_metrics(MergeMode::MergeMasked, None)?;
+            Ok(inserted)
+        } else {
+            let n = rows.len();
+            let fp = fingerprint_bulk(&lname, &rows);
+            {
+                let rows = &rows;
+                let table_name = lname.clone();
+                self.mutate_all(fp, move |_, shard| {
+                    if rows.is_empty() {
+                        return Ok(0usize);
+                    }
+                    shard.bulk_insert_rows(&table_name, rows.clone())
+                })?;
+            }
+            self.drain_metrics(MergeMode::MergeReplicated, None)?;
+            Ok(n)
+        }
+    }
+
+    fn table_rows(&mut self, table: &str) -> Result<usize> {
+        if self.partitioned.contains_key(&table.to_ascii_lowercase()) {
+            let skip = vec![false; self.shards.len()];
+            let table = table.to_string();
+            let results = Self::fan_out(&mut self.shards, &skip, move |_, shard| {
+                shard.table_rows(&table)
+            });
+            let mut total = 0;
+            for r in results {
+                total += r.expect("no shard skipped")?;
+            }
+            Ok(total)
+        } else {
+            self.shards[0].table_rows(table)
+        }
+    }
+
+    fn has_table(&mut self, table: &str) -> Result<bool> {
+        self.shards[0].has_table(table)
+    }
+
+    fn catalog_snapshot(&mut self) -> Result<SymbolicCatalog> {
+        Ok(self.shadow.symbolic_catalog())
+    }
+
+    fn max_statement_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(SqlExecutor::max_statement_len)
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn analyze_limits(&self) -> Limits {
+        self.shards[0].analyze_limits()
+    }
+
+    fn memory_budget_bytes(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(SqlExecutor::memory_budget_bytes)
+            .min()
+    }
+
+    fn note_statement_retry(&mut self) {
+        for shard in &mut self.shards {
+            shard.note_statement_retry();
+        }
+    }
+
+    fn set_metrics_enabled(&mut self, on: bool) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.set_metrics_enabled(on)?;
+        }
+        self.metrics_on = on;
+        if on {
+            self.reset_cursors()?;
+        }
+        Ok(())
+    }
+
+    fn metrics_enabled(&self) -> bool {
+        self.metrics_on
+    }
+
+    fn metrics_len(&mut self) -> Result<usize> {
+        Ok(self.metrics.len())
+    }
+
+    fn metrics_since(&mut self, from: usize) -> Result<Vec<ExecMetrics>> {
+        let from = from.min(self.metrics.len());
+        Ok(self.metrics[from..].to_vec())
+    }
+
+    fn describe(&self) -> String {
+        let shards: Vec<String> = self.shards.iter().map(|s| s.describe()).collect();
+        format!(
+            "cluster coordinator over {} shard(s): [{}]",
+            self.shards.len(),
+            shards.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Coordinator<Database> {
+        Coordinator::new((0..n).map(|_| Database::new()).collect()).unwrap()
+    }
+
+    /// Run `sqls` against both a fresh single-node database and a
+    /// fresh n-shard cluster; assert the final statement's result is
+    /// identical (columns, rows, bit-for-bit values).
+    fn assert_parity(n: usize, sqls: &[&str]) {
+        let mut single = Database::new();
+        let mut coord = cluster(n);
+        let mut last_single = None;
+        let mut last_coord = None;
+        for sql in sqls {
+            last_single = Some(single.execute(sql).unwrap());
+            last_coord = Some(coord.execute(sql).unwrap());
+        }
+        let s = last_single.unwrap();
+        let c = last_coord.unwrap();
+        assert_eq!(s.columns, c.columns);
+        assert_eq!(s.rows, c.rows, "rows diverge at {n} shards");
+    }
+
+    const SETUP: &[&str] = &[
+        "CREATE TABLE y (rid BIGINT PRIMARY KEY, y1 DOUBLE, y2 DOUBLE)",
+        "CREATE TABLE c (j BIGINT PRIMARY KEY, c1 DOUBLE, c2 DOUBLE)",
+        "INSERT INTO y VALUES (1, 1.0, 10.0), (2, 2.0, 20.0), (3, 3.5, 30.5), \
+         (4, -4.25, 40.0), (5, 0.125, -50.0), (6, 6.0, 60.0), (7, 7.75, 70.0)",
+        "INSERT INTO c VALUES (1, 0.5, 9.0), (2, 5.0, 55.0)",
+    ];
+
+    #[test]
+    fn rid_routing_is_stable_and_total() {
+        for n in [1usize, 2, 4, 7] {
+            for rid in -100i64..100 {
+                let s = shard_of_rid(rid, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of_rid(rid, n), "must be deterministic");
+            }
+        }
+        // One shard takes everything.
+        assert!((0..64).all(|r| shard_of_rid(r, 1) == 0));
+        // Several shards each get some rows for a modest rid range.
+        let hit: std::collections::HashSet<usize> = (0..64).map(|r| shard_of_rid(r, 4)).collect();
+        assert_eq!(hit.len(), 4, "64 rids should reach all 4 shards");
+    }
+
+    #[test]
+    fn partition_map_tracks_ddl() {
+        let mut coord = cluster(2);
+        coord
+            .execute("CREATE TABLE y (rid BIGINT, v DOUBLE)")
+            .unwrap();
+        coord
+            .execute("CREATE TABLE w (j BIGINT, w DOUBLE)")
+            .unwrap();
+        assert!(coord.is_partitioned("y"));
+        assert!(!coord.is_partitioned("w"));
+        coord.execute("DROP TABLE y").unwrap();
+        assert!(!coord.is_partitioned("y"));
+    }
+
+    #[test]
+    fn routed_values_land_on_owning_shards_only() {
+        let mut coord = cluster(4);
+        for sql in SETUP {
+            coord.execute(sql).unwrap();
+        }
+        assert_eq!(coord.table_rows("y").unwrap(), 7);
+        // Per-shard counts match the hash routing exactly, and rows
+        // are not replicated.
+        let mut expect = [0usize; 4];
+        for rid in 1..=7i64 {
+            expect[shard_of_rid(rid, 4)] += 1;
+        }
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(coord.shards[i].table_len("y").unwrap(), *want);
+        }
+        // Broadcast tables replicate in full.
+        for shard in &mut coord.shards {
+            assert_eq!(shard.table_len("c").unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn scatter_aggregates_match_single_node_bit_for_bit() {
+        for n in [1, 2, 4] {
+            let mut sqls = SETUP.to_vec();
+            sqls.push("SELECT count(rid), sum(y1), avg(y2), min(y1), max(y2) FROM y");
+            assert_parity(n, &sqls);
+        }
+    }
+
+    #[test]
+    fn grouped_scatter_with_join_matches_single_node() {
+        for n in [1, 2, 4] {
+            let mut sqls = SETUP.to_vec();
+            sqls.push(
+                "SELECT c.j, sum(y.y1 * c.c1), count(y.rid) FROM y, c \
+                 GROUP BY c.j ORDER BY c.j",
+            );
+            assert_parity(n, &sqls);
+        }
+    }
+
+    #[test]
+    fn gather_read_merges_order_by_streams() {
+        for n in [1, 2, 4] {
+            let mut sqls = SETUP.to_vec();
+            sqls.push("SELECT rid, y1 + y2 AS s FROM y ORDER BY s DESC, rid");
+            assert_parity(n, &sqls);
+        }
+    }
+
+    #[test]
+    fn gather_read_honors_limit_after_merge() {
+        for n in [2, 4] {
+            let mut sqls = SETUP.to_vec();
+            sqls.push("SELECT rid FROM y ORDER BY rid LIMIT 3");
+            assert_parity(n, &sqls);
+        }
+    }
+
+    #[test]
+    fn local_insert_select_keeps_rows_on_their_shard() {
+        let mut coord = cluster(4);
+        for sql in SETUP {
+            coord.execute(sql).unwrap();
+        }
+        coord
+            .execute("CREATE TABLE yd (rid BIGINT, d DOUBLE)")
+            .unwrap();
+        let r = coord
+            .execute(
+                "INSERT INTO yd SELECT y.rid, sum((y.y1 - c.c1) * (y.y1 - c.c1)) \
+                 FROM y, c GROUP BY y.rid",
+            )
+            .unwrap();
+        assert_eq!(r.rows_affected, 7);
+        // Derived rows co-locate with their source rows.
+        for i in 0..4 {
+            assert_eq!(
+                coord.shards[i].table_len("yd").unwrap(),
+                coord.shards[i].table_len("y").unwrap()
+            );
+        }
+        // And the derived table reads back identically to single node.
+        let mut sqls: Vec<&str> = SETUP.to_vec();
+        sqls.push("CREATE TABLE yd (rid BIGINT, d DOUBLE)");
+        sqls.push(
+            "INSERT INTO yd SELECT y.rid, sum((y.y1 - c.c1) * (y.y1 - c.c1)) \
+             FROM y, c GROUP BY y.rid",
+        );
+        sqls.push("SELECT rid, d FROM yd ORDER BY rid");
+        assert_parity(4, &sqls);
+    }
+
+    #[test]
+    fn scatter_insert_replicates_finalized_aggregates() {
+        let mut coord = cluster(3);
+        for sql in SETUP {
+            coord.execute(sql).unwrap();
+        }
+        coord
+            .execute("CREATE TABLE stats (j BIGINT, total DOUBLE, n BIGINT)")
+            .unwrap();
+        coord
+            .execute(
+                "INSERT INTO stats SELECT c.j, sum(y.y1 * c.c1), count(y.rid) \
+                 FROM y, c GROUP BY c.j",
+            )
+            .unwrap();
+        // The broadcast result lands in full on every shard.
+        for shard in &mut coord.shards {
+            assert_eq!(shard.table_len("stats").unwrap(), 2);
+        }
+        let mut sqls: Vec<&str> = SETUP.to_vec();
+        sqls.push("CREATE TABLE stats (j BIGINT, total DOUBLE, n BIGINT)");
+        sqls.push(
+            "INSERT INTO stats SELECT c.j, sum(y.y1 * c.c1), count(y.rid) \
+             FROM y, c GROUP BY c.j",
+        );
+        sqls.push("SELECT j, total, n FROM stats ORDER BY j");
+        assert_parity(3, &sqls);
+    }
+
+    #[test]
+    fn broadcast_update_and_delete_stay_replica_identical() {
+        let mut sqls: Vec<&str> = SETUP.to_vec();
+        sqls.push("UPDATE c SET c1 = c1 * 2.0 WHERE j = 1");
+        sqls.push("DELETE FROM y WHERE y1 < 0.0");
+        sqls.push("SELECT rid, y1 FROM y ORDER BY rid");
+        assert_parity(2, &sqls);
+        let mut sqls: Vec<&str> = SETUP.to_vec();
+        sqls.push("UPDATE c SET c1 = c1 * 2.0 WHERE j = 1");
+        sqls.push("SELECT j, c1, c2 FROM c ORDER BY j");
+        assert_parity(2, &sqls);
+    }
+
+    #[test]
+    fn cross_shard_joins_are_rejected_with_a_typed_error() {
+        let mut coord = cluster(2);
+        coord
+            .execute("CREATE TABLE a (rid BIGINT, v DOUBLE)")
+            .unwrap();
+        coord
+            .execute("CREATE TABLE b (rid BIGINT, w DOUBLE)")
+            .unwrap();
+        // No rid equality between the two partitioned tables.
+        let err = coord
+            .execute("SELECT sum(a.v * b.w) FROM a, b")
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "got {err:?}");
+        // With the rid join it scatters fine.
+        coord
+            .execute("SELECT sum(a.v * b.w) FROM a, b WHERE a.rid = b.rid")
+            .unwrap();
+    }
+
+    #[test]
+    fn update_broadcast_from_partitioned_is_rejected() {
+        let mut coord = cluster(2);
+        for sql in SETUP {
+            coord.execute(sql).unwrap();
+        }
+        let err = coord
+            .execute("UPDATE c FROM y SET c1 = y.y1 WHERE c.j = 1")
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn partial_retry_does_not_double_apply() {
+        // Shard 1 fails the statement once (transient, not applied);
+        // shard 0 applies it. The retry must skip shard 0.
+        let mut coord = cluster(2);
+        coord
+            .execute("CREATE TABLE w (j BIGINT, v DOUBLE)")
+            .unwrap();
+        let plan =
+            sqlengine::FaultPlan::single(sqlengine::FaultRule::table("w").transient().once());
+        coord.shards[1].set_fault_plan(plan);
+        let sql = "INSERT INTO w VALUES (1, 1.0)";
+        let err = coord.execute(sql).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Injected {
+                transient: true,
+                ..
+            }
+        ));
+        coord.note_statement_retry();
+        coord.execute(sql).unwrap();
+        for shard in &mut coord.shards {
+            assert_eq!(shard.table_len("w").unwrap(), 1, "exactly once per shard");
+        }
+    }
+
+    #[test]
+    fn merged_metrics_match_single_node_scan_counts() {
+        let mut single = Database::new();
+        let mut coord = cluster(4);
+        for sql in SETUP {
+            single.execute(sql).unwrap();
+            coord.execute(sql).unwrap();
+        }
+        SqlExecutor::set_metrics_enabled(&mut single, true).unwrap();
+        coord.set_metrics_enabled(true).unwrap();
+        let sqls = [
+            "SELECT c.j, sum(y.y1), count(y.rid) FROM y, c GROUP BY c.j",
+            "SELECT rid, y1 FROM y ORDER BY rid",
+            "SELECT j, c1 FROM c ORDER BY j",
+        ];
+        for sql in sqls {
+            single.execute(sql).unwrap();
+            coord.execute(sql).unwrap();
+        }
+        let s = SqlExecutor::metrics_since(&mut single, 0).unwrap();
+        let c = coord.metrics_since(0).unwrap();
+        assert_eq!(s.len(), c.len(), "one merged entry per statement");
+        for (se, ce) in s.iter().zip(&c) {
+            let srows: Vec<(String, usize)> =
+                se.scans.iter().map(|m| (m.table.clone(), m.rows)).collect();
+            let crows: Vec<(String, usize)> =
+                ce.scans.iter().map(|m| (m.table.clone(), m.rows)).collect();
+            assert_eq!(srows, crows, "scan rows must merge to single-node counts");
+            assert_eq!(se.groups, ce.groups);
+        }
+    }
+
+    #[test]
+    fn prepared_scripts_run_through_classification() {
+        let mut coord = cluster(2);
+        for sql in SETUP {
+            coord.execute(sql).unwrap();
+        }
+        let ids = coord
+            .prepare_script(&[
+                "SELECT count(rid) FROM y".to_string(),
+                "SELECT sum(y1) FROM y".to_string(),
+            ])
+            .unwrap();
+        let r = coord.run_prepared(ids[0]).unwrap();
+        assert_eq!(r.scalar_f64(), Some(7.0));
+        coord.clear_prepared().unwrap();
+        assert!(coord.run_prepared(ids[0]).is_err());
+    }
+
+    #[test]
+    fn bulk_insert_routes_partitioned_and_replicates_broadcast() {
+        let mut coord = cluster(3);
+        coord
+            .execute("CREATE TABLE y (rid BIGINT, v DOUBLE)")
+            .unwrap();
+        coord
+            .execute("CREATE TABLE m (j BIGINT, v DOUBLE)")
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..30)
+            .map(|i| vec![Value::Int(i), Value::Double(i as f64 / 8.0)])
+            .collect();
+        assert_eq!(coord.bulk_insert_rows("y", rows.clone()).unwrap(), 30);
+        assert_eq!(coord.bulk_insert_rows("m", rows).unwrap(), 30);
+        assert_eq!(coord.table_rows("y").unwrap(), 30);
+        let spread: usize = (0..3)
+            .map(|i| coord.shards[i].table_len("y").unwrap())
+            .sum();
+        assert_eq!(spread, 30);
+        for shard in &mut coord.shards {
+            assert_eq!(shard.table_len("m").unwrap(), 30);
+        }
+    }
+
+    #[test]
+    fn coordinator_adopts_existing_catalog() {
+        let mut shard0 = Database::new();
+        let mut shard1 = Database::new();
+        for db in [&mut shard0, &mut shard1] {
+            db.execute("CREATE TABLE y (rid BIGINT, v DOUBLE)").unwrap();
+            db.execute("CREATE TABLE c (j BIGINT, v DOUBLE)").unwrap();
+        }
+        let mut coord = Coordinator::new(vec![shard0, shard1]).unwrap();
+        assert!(coord.is_partitioned("y"));
+        assert!(!coord.is_partitioned("c"));
+        assert!(coord.has_table("y").unwrap());
+        let snap = coord.catalog_snapshot().unwrap();
+        assert!(snap.contains("y") && snap.contains("c"));
+    }
+}

@@ -21,6 +21,10 @@
 //!   survive a server `kill -9`.
 //! - [`chaos`] — a frame-aware byte-level chaos proxy for verifying
 //!   the exactly-once contract under cut/delay/duplicate faults.
+//! - [`cluster`] — the scatter/gather coordinator: hash-partitions
+//!   base tables across N shard executors and fragments every
+//!   generated statement, so one EM driver drives a whole cluster
+//!   bit-identically to a single node (see `docs/CLUSTER.md`).
 //!
 //! See `docs/SERVER.md` for the frame grammar, the session lifecycle
 //! and the exactly-once contract.
@@ -30,6 +34,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod cluster;
 pub mod frame;
 pub mod proto;
 pub mod server;
@@ -37,6 +42,7 @@ pub mod session;
 
 pub use chaos::{ChaosAction, ChaosProxy, Direction};
 pub use client::{ClientConfig, RemoteConnection};
+pub use cluster::{shard_of_rid, Coordinator};
 pub use proto::{Request, Response, StmtMeta, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{Admit, ReplyCache, SessionLog};

@@ -38,7 +38,10 @@
 
 use sqlengine::storage::codec::{put_str, put_u32, put_u64, put_value, read_value, Reader};
 use sqlengine::{Column, Schema, SymbolicCatalog};
-use sqlengine::{Error, ExecMetrics, Limits, QueryResult, ScanMetric, StatementKind, Value};
+use sqlengine::{
+    Error, ExecMetrics, Limits, PartialAggResult, PartialAggState, QueryResult, ScanMetric,
+    StatementKind, Value,
+};
 use std::time::Duration;
 
 /// Protocol version; [`Request::Hello`] carries the client's, the server
@@ -106,6 +109,17 @@ pub enum Request {
         /// Idempotency key + deadline budget.
         meta: StmtMeta,
         /// Statement text.
+        sql: String,
+    },
+    /// Execute one aggregate `SELECT` up to — but not including — the
+    /// finalize step, returning exact per-group accumulator states
+    /// ([`Response::Partial`]). The scatter half of a distributed
+    /// aggregate: a cluster coordinator merges every shard's partials
+    /// and finalizes once, bit-identically to a single-node run.
+    ExecutePartial {
+        /// Idempotency key + deadline budget.
+        meta: StmtMeta,
+        /// Statement text (must be a single aggregate `SELECT`).
         sql: String,
     },
     /// Prepare a script of statements atomically (all or none).
@@ -214,6 +228,11 @@ pub enum Response {
     Catalog(SymbolicCatalog),
     /// Telemetry entries answering [`Request::MetricsSince`].
     Metrics(Vec<ExecMetrics>),
+    /// Exact per-group partial accumulator states answering a
+    /// [`Request::ExecutePartial`]. Expansion components travel as raw
+    /// IEEE-754 bits, so merged sums finalize bit-identically to a
+    /// single-node run.
+    Partial(PartialAggResult),
     /// A replayed statement is *proven applied* (its WAL frame
     /// committed before the crash) but the cached reply bytes did not
     /// survive the server restart. The client reconciles: the mutation
@@ -241,6 +260,7 @@ const OP_METRICS_SINCE: u8 = 0x0C;
 const OP_NOTE_RETRY: u8 = 0x0D;
 const OP_CANCEL: u8 = 0x0E;
 const OP_GOODBYE: u8 = 0x0F;
+const OP_EXECUTE_PARTIAL: u8 = 0x10;
 
 const OP_HELLO_ACK: u8 = 0x81;
 const OP_OK: u8 = 0x82;
@@ -253,6 +273,15 @@ const OP_PREPARE_ERR: u8 = 0x88;
 const OP_CATALOG: u8 = 0x89;
 const OP_METRICS: u8 = 0x8A;
 const OP_REPLAY_APPLIED: u8 = 0x8B;
+const OP_PARTIAL: u8 = 0x8C;
+
+// partial-aggregate state tags
+const AGG_COUNT: u8 = 0;
+const AGG_SUM: u8 = 1;
+const AGG_AVG: u8 = 2;
+const AGG_MIN: u8 = 3;
+const AGG_MAX: u8 = 4;
+const AGG_VAR: u8 = 5;
 
 // error relay tags
 const ERR_OTHER: u8 = 0;
@@ -432,6 +461,177 @@ fn read_query_result(r: &mut Reader<'_>) -> Result<QueryResult, Error> {
         rows,
         rows_affected,
     })
+}
+
+// Doubles in partial states travel as raw IEEE-754 bits — an expansion
+// component reconstructed from anything lossier would destroy the
+// exact-sum invariant.
+fn put_f64(buf: &mut Vec<u8>, x: f64) {
+    put_u64(buf, x.to_bits());
+}
+
+fn read_f64(r: &mut Reader<'_>) -> Result<f64, Error> {
+    Ok(f64::from_bits(r.u64()?))
+}
+
+fn put_opt_value(buf: &mut Vec<u8>, v: &Option<Value>) {
+    match v {
+        None => put_bool(buf, false),
+        Some(v) => {
+            put_bool(buf, true);
+            put_value(buf, v);
+        }
+    }
+}
+
+fn read_opt_value(r: &mut Reader<'_>) -> Result<Option<Value>, Error> {
+    Ok(if read_bool(r)? {
+        Some(read_value(r)?)
+    } else {
+        None
+    })
+}
+
+fn put_agg_state(buf: &mut Vec<u8>, s: &PartialAggState) {
+    match s {
+        PartialAggState::Count(n) => {
+            buf.push(AGG_COUNT);
+            put_u64(buf, *n);
+        }
+        PartialAggState::Sum {
+            comps,
+            has_nan,
+            pos_inf,
+            neg_inf,
+            count,
+            all_int,
+        } => {
+            buf.push(AGG_SUM);
+            put_u32(buf, comps.len() as u32);
+            for &c in comps {
+                put_f64(buf, c);
+            }
+            put_bool(buf, *has_nan);
+            put_bool(buf, *pos_inf);
+            put_bool(buf, *neg_inf);
+            put_u64(buf, *count);
+            put_bool(buf, *all_int);
+        }
+        PartialAggState::Avg {
+            comps,
+            has_nan,
+            pos_inf,
+            neg_inf,
+            count,
+        } => {
+            buf.push(AGG_AVG);
+            put_u32(buf, comps.len() as u32);
+            for &c in comps {
+                put_f64(buf, c);
+            }
+            put_bool(buf, *has_nan);
+            put_bool(buf, *pos_inf);
+            put_bool(buf, *neg_inf);
+            put_u64(buf, *count);
+        }
+        PartialAggState::Min(v) => {
+            buf.push(AGG_MIN);
+            put_opt_value(buf, v);
+        }
+        PartialAggState::Max(v) => {
+            buf.push(AGG_MAX);
+            put_opt_value(buf, v);
+        }
+        PartialAggState::Var {
+            count,
+            mean,
+            m2,
+            stddev,
+        } => {
+            buf.push(AGG_VAR);
+            put_u64(buf, *count);
+            put_f64(buf, *mean);
+            put_f64(buf, *m2);
+            put_bool(buf, *stddev);
+        }
+    }
+}
+
+fn read_agg_state(r: &mut Reader<'_>) -> Result<PartialAggState, Error> {
+    Ok(match r.u8()? {
+        AGG_COUNT => PartialAggState::Count(r.u64()?),
+        AGG_SUM => {
+            let n = r.u32()? as usize;
+            let mut comps = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                comps.push(read_f64(r)?);
+            }
+            PartialAggState::Sum {
+                comps,
+                has_nan: read_bool(r)?,
+                pos_inf: read_bool(r)?,
+                neg_inf: read_bool(r)?,
+                count: r.u64()?,
+                all_int: read_bool(r)?,
+            }
+        }
+        AGG_AVG => {
+            let n = r.u32()? as usize;
+            let mut comps = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                comps.push(read_f64(r)?);
+            }
+            PartialAggState::Avg {
+                comps,
+                has_nan: read_bool(r)?,
+                pos_inf: read_bool(r)?,
+                neg_inf: read_bool(r)?,
+                count: r.u64()?,
+            }
+        }
+        AGG_MIN => PartialAggState::Min(read_opt_value(r)?),
+        AGG_MAX => PartialAggState::Max(read_opt_value(r)?),
+        AGG_VAR => PartialAggState::Var {
+            count: r.u64()?,
+            mean: read_f64(r)?,
+            m2: read_f64(r)?,
+            stddev: read_bool(r)?,
+        },
+        _ => return Err(malformed("aggregate state tag")),
+    })
+}
+
+fn put_partial_result(buf: &mut Vec<u8>, p: &PartialAggResult) {
+    put_u32(buf, p.groups.len() as u32);
+    for (key, states) in &p.groups {
+        put_u32(buf, key.len() as u32);
+        for v in key {
+            put_value(buf, v);
+        }
+        put_u32(buf, states.len() as u32);
+        for s in states {
+            put_agg_state(buf, s);
+        }
+    }
+}
+
+fn read_partial_result(r: &mut Reader<'_>) -> Result<PartialAggResult, Error> {
+    let ngroups = r.u32()? as usize;
+    let mut groups = Vec::with_capacity(ngroups.min(r.remaining()));
+    for _ in 0..ngroups {
+        let nkey = r.u32()? as usize;
+        let mut key = Vec::with_capacity(nkey.min(r.remaining()));
+        for _ in 0..nkey {
+            key.push(read_value(r)?);
+        }
+        let nstates = r.u32()? as usize;
+        let mut states = Vec::with_capacity(nstates.min(r.remaining()));
+        for _ in 0..nstates {
+            states.push(read_agg_state(r)?);
+        }
+        groups.push((key, states));
+    }
+    Ok(PartialAggResult { groups })
 }
 
 fn put_limits(buf: &mut Vec<u8>, l: &Limits) {
@@ -614,6 +814,11 @@ impl Request {
                 put_meta(&mut buf, meta);
                 put_str(&mut buf, sql);
             }
+            Request::ExecutePartial { meta, sql } => {
+                buf.push(OP_EXECUTE_PARTIAL);
+                put_meta(&mut buf, meta);
+                put_str(&mut buf, sql);
+            }
             Request::Prepare { statements } => {
                 buf.push(OP_PREPARE);
                 put_u32(&mut buf, statements.len() as u32);
@@ -672,6 +877,10 @@ impl Request {
                 resume_token: r.str()?,
             },
             OP_QUERY => Request::Query {
+                meta: read_meta(&mut r)?,
+                sql: r.str()?,
+            },
+            OP_EXECUTE_PARTIAL => Request::ExecutePartial {
                 meta: read_meta(&mut r)?,
                 sql: r.str()?,
             },
@@ -774,6 +983,10 @@ impl Response {
                     put_metrics_entry(&mut buf, m);
                 }
             }
+            Response::Partial(p) => {
+                buf.push(OP_PARTIAL);
+                put_partial_result(&mut buf, p);
+            }
             Response::ReplayApplied => buf.push(OP_REPLAY_APPLIED),
         }
         buf
@@ -817,6 +1030,7 @@ impl Response {
                 }
                 Response::Metrics(entries)
             }
+            OP_PARTIAL => Response::Partial(read_partial_result(&mut r)?),
             OP_REPLAY_APPLIED => Response::ReplayApplied,
             _ => return Err(malformed("response opcode")),
         };
@@ -1028,6 +1242,90 @@ mod tests {
         for cut in 0..full.len() {
             assert!(
                 Request::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_aggregates_roundtrip_bit_exact() {
+        roundtrip_req(Request::ExecutePartial {
+            meta: StmtMeta {
+                seq: 11,
+                deadline_ms: 2500,
+            },
+            sql: "SELECT j, SUM(w) FROM gmm GROUP BY j".into(),
+        });
+        // One group per accumulator kind, with awkward doubles: a
+        // two-component expansion, a negative zero, infinities, NaN
+        // flags — everything must survive as raw bits.
+        let partial = PartialAggResult {
+            groups: vec![
+                (
+                    vec![Value::Int(3), Value::Str("a".into())],
+                    vec![
+                        PartialAggState::Count(7),
+                        PartialAggState::Sum {
+                            comps: vec![4.9e-324, -0.0, 1e300],
+                            has_nan: false,
+                            pos_inf: true,
+                            neg_inf: false,
+                            count: 7,
+                            all_int: false,
+                        },
+                    ],
+                ),
+                (
+                    vec![Value::Null],
+                    vec![
+                        PartialAggState::Avg {
+                            comps: vec![0.1, 1e-17],
+                            has_nan: true,
+                            pos_inf: false,
+                            neg_inf: true,
+                            count: 2,
+                        },
+                        PartialAggState::Min(Some(Value::Double(-1.5))),
+                        PartialAggState::Max(None),
+                        PartialAggState::Var {
+                            count: 5,
+                            mean: 2.5,
+                            m2: 0.125,
+                            stddev: true,
+                        },
+                    ],
+                ),
+            ],
+        };
+        let resp = Response::Partial(partial.clone());
+        let back = Response::decode(&resp.encode()).unwrap();
+        let Response::Partial(p2) = back else {
+            panic!("expected Partial");
+        };
+        // PartialEq is not enough for -0.0 vs 0.0; compare encodings too.
+        assert_eq!(p2, partial);
+        assert!(same_encoding(&resp, &Response::Partial(p2)));
+    }
+
+    #[test]
+    fn truncated_partial_payloads_are_rejected() {
+        let full = Response::Partial(PartialAggResult {
+            groups: vec![(
+                vec![Value::Int(1)],
+                vec![PartialAggState::Sum {
+                    comps: vec![1.0, 1e-30],
+                    has_nan: false,
+                    pos_inf: false,
+                    neg_inf: false,
+                    count: 2,
+                    all_int: false,
+                }],
+            )],
+        })
+        .encode();
+        for cut in 0..full.len() {
+            assert!(
+                Response::decode(&full[..cut]).is_err(),
                 "prefix of {cut} bytes decoded"
             );
         }

@@ -647,6 +647,11 @@ fn dispatch_db(
         Request::Query { meta, sql } => keyed(db, config, state, token, budget, meta, &mut |d| {
             d.execute(&sql).map(Response::Rows)
         }),
+        Request::ExecutePartial { meta, sql } => {
+            keyed(db, config, state, token, budget, meta, &mut |d| {
+                d.execute_partial(&sql).map(Response::Partial)
+            })
+        }
         Request::Prepare { statements } => {
             run(&mut |d| match SqlExecutor::prepare_script(d, &statements) {
                 Ok(ids) => {
